@@ -1,0 +1,39 @@
+//! Criterion bench of the full edge-softmax pipeline (Eq. 1) — shadow vs
+//! AMP exp — at host wall-clock granularity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use halfgnn_bench::experiments::SEED;
+use halfgnn_graph::datasets::Dataset;
+use halfgnn_half::slice::f32_slice_to_half;
+use halfgnn_kernels::common::Reduce;
+use halfgnn_kernels::edge_ops;
+use halfgnn_kernels::halfgnn_spmm::edge_reduce;
+use halfgnn_sim::DeviceConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_softmax(c: &mut Criterion) {
+    let dev = DeviceConfig::a100_like();
+    let data = Dataset::amazon().load(SEED);
+    let coo = &data.coo;
+    let mut rng = StdRng::seed_from_u64(3);
+    let e = f32_slice_to_half(
+        &(0..coo.nnz()).map(|_| rng.gen_range(-8.0f32..8.0)).collect::<Vec<_>>(),
+    );
+    let mut group = c.benchmark_group("edge_softmax_amazon");
+    group.sample_size(10);
+    for (name, shadow) in [("shadow", true), ("amp", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let (m, _) = edge_reduce(&dev, coo, &e, Reduce::Max);
+                let (num, _) = edge_ops::sub_row_exp(&dev, coo, &e, &m, shadow);
+                let (z, _) = edge_reduce(&dev, coo, &num, Reduce::Sum);
+                edge_ops::div_row(&dev, coo, &num, &z)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_softmax);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benches for the SDDMM vector-width variants (Fig. 12's
+//! subject) and the DGL baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use halfgnn_bench::experiments::{random_features_h, SEED};
+use halfgnn_graph::datasets::Dataset;
+use halfgnn_kernels::baseline::dgl_sddmm;
+use halfgnn_kernels::common::VectorWidth;
+use halfgnn_kernels::halfgnn_sddmm::sddmm;
+use halfgnn_sim::DeviceConfig;
+
+fn bench_sddmm(c: &mut Criterion) {
+    let dev = DeviceConfig::a100_like();
+    let data = Dataset::amazon().load(SEED);
+    let f = 64;
+    let u = random_features_h(&data, f, 5);
+    let v = random_features_h(&data, f, 6);
+    let mut group = c.benchmark_group("sddmm_f64feat_amazon");
+    group.sample_size(10);
+    for width in [VectorWidth::Half2, VectorWidth::Half4, VectorWidth::Half8] {
+        group.bench_function(format!("halfgnn_{width:?}"), |b| {
+            b.iter(|| sddmm(&dev, &data.coo, &u, &v, f, width))
+        });
+    }
+    group.bench_function("dgl_half", |b| {
+        b.iter(|| dgl_sddmm::sddmm_half(&dev, &data.coo, &u, &v, f))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sddmm);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion benches for the SpMM kernels (host wall-clock of the
+//! simulated kernels; modeled GPU time is reported by `repro fig9/fig13`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use halfgnn_bench::experiments::{random_edge_weights_h, random_features_h, SEED};
+use halfgnn_graph::datasets::Dataset;
+use halfgnn_kernels::baseline::cusparse;
+use halfgnn_kernels::common::{EdgeWeights, ScalePlacement, WriteStrategy};
+use halfgnn_kernels::halfgnn_spmm::{spmm, SpmmConfig};
+use halfgnn_sim::DeviceConfig;
+
+fn bench_spmm(c: &mut Criterion) {
+    let dev = DeviceConfig::a100_like();
+    let data = Dataset::amazon().load(SEED);
+    let f = 64;
+    let w = random_edge_weights_h(&data, 3);
+    let x = random_features_h(&data, f, 4);
+    let mut group = c.benchmark_group("spmm_f64feat_amazon");
+    group.sample_size(10);
+    let base = SpmmConfig { scaling: ScalePlacement::None, ..Default::default() };
+    group.bench_function("halfgnn_staged", |b| {
+        b.iter(|| spmm(&dev, &data.coo, EdgeWeights::Values(&w), &x, f, None, &base))
+    });
+    group.bench_function("halfgnn_atomic", |b| {
+        b.iter(|| {
+            spmm(&dev, &data.coo, EdgeWeights::Values(&w), &x, f, None,
+                &SpmmConfig { writes: WriteStrategy::Atomic, ..base })
+        })
+    });
+    group.bench_function("cusparse_half", |b| {
+        b.iter(|| cusparse::spmm_half(&dev, &data.coo, EdgeWeights::Values(&w), &x, f, None))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmm);
+criterion_main!(benches);

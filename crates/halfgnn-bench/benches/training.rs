@@ -1,0 +1,36 @@
+//! Criterion bench of one full training epoch per system (Figs. 7-8's
+//! subject, at host wall-clock granularity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use halfgnn_bench::experiments::SEED;
+use halfgnn_graph::datasets::Dataset;
+use halfgnn_nn::trainer::{train, ModelKind, PrecisionMode, TrainConfig};
+
+fn bench_training(c: &mut Criterion) {
+    let data = Dataset::cora().load(SEED);
+    let mut group = c.benchmark_group("train_epoch_cora_gcn");
+    group.sample_size(10);
+    for (name, precision) in [
+        ("float", PrecisionMode::Float),
+        ("halfnaive", PrecisionMode::HalfNaive),
+        ("halfgnn", PrecisionMode::HalfGnn),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                train(
+                    &data,
+                    &TrainConfig {
+                        model: ModelKind::Gcn,
+                        precision,
+                        epochs: 1,
+                        ..TrainConfig::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Host-side microbenchmarks of the software half-precision types: the
+//! conversion and arithmetic primitives everything else is built on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use halfgnn_half::prelude::*;
+use halfgnn_half::slice;
+
+fn bench_vectors(c: &mut Criterion) {
+    let xs: Vec<f32> = (0..4096).map(|i| (i as f32 * 0.37).sin() * 100.0).collect();
+    let hs = slice::f32_slice_to_half(&xs);
+
+    let mut group = c.benchmark_group("half_primitives_4096");
+    group.bench_function("f32_to_half", |b| b.iter(|| slice::f32_slice_to_half(black_box(&xs))));
+    group.bench_function("half_to_f32", |b| b.iter(|| slice::half_slice_to_f32(black_box(&hs))));
+    group.bench_function("scalar_hfma_chain", |b| {
+        b.iter(|| {
+            let mut acc = Half::ZERO;
+            for &h in black_box(&hs) {
+                acc = hfma(h, Half::ONE, acc);
+            }
+            acc
+        })
+    });
+    group.bench_function("half2_fma_chain", |b| {
+        b.iter(|| {
+            let mut acc = Half2::ZERO;
+            for pair in black_box(&hs).chunks_exact(2) {
+                acc = Half2::new(pair[0], pair[1]).fma2(Half2::splat(Half::ONE), acc);
+            }
+            acc
+        })
+    });
+    group.bench_function("half8_load_fold", |b| {
+        b.iter(|| {
+            let mut acc = 0f32;
+            let mut i = 0;
+            while i + 8 <= hs.len() {
+                acc += Half8::load(black_box(&hs), i).hsum_f32();
+                i += 8;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_vectors);
+criterion_main!(benches);

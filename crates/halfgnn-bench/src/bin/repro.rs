@@ -1,0 +1,88 @@
+//! `repro` — regenerate any table or figure from the paper's evaluation.
+//!
+//! ```text
+//! repro <experiment> [--quick]
+//!
+//! experiments:
+//!   table1 fig1a fig1b fig1c fig5 fig6 fig7 fig8 fig9 fig9aux
+//!   fig10 fig11 fig12 fig13 fig14 ablate-discretize ablate-gin-lambda
+//!   conversions kernels all
+//! ```
+//!
+//! Run with `--release`; full `fig5`/`fig7` sweeps train on every dataset.
+
+use halfgnn_bench::experiments as exp;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let targets: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    if targets.is_empty() {
+        eprintln!("usage: repro <experiment|all> [--quick]");
+        eprintln!("  experiments: table1 fig1a fig1b fig1c fig5 fig6 fig7 fig8 fig9 fig9aux");
+        eprintln!("               fig10 fig11 fig12 fig13 fig14 ablate-discretize ablate-norm");
+        eprintln!("               ablate-gin-lambda conversions kernels all");
+        exit(2);
+    }
+    for target in targets {
+        run(target, quick);
+    }
+}
+
+fn run(target: &str, quick: bool) {
+    match target {
+        "table1" => println!("{}", exp::table1::run(quick)),
+        "fig1a" => println!("{}", exp::fig1::fig1a(quick)),
+        "fig1b" => println!("{}", exp::fig1::fig1b(quick)),
+        "fig1c" => println!("{}", exp::fig1::fig1c(quick)),
+        "fig1" => {
+            println!("{}", exp::fig1::fig1a(quick));
+            println!("{}", exp::fig1::fig1b(quick));
+            println!("{}", exp::fig1::fig1c(quick));
+        }
+        "fig5" => println!("{}", exp::fig5::run(quick)),
+        "fig6" => println!("{}", exp::fig6::run(quick)),
+        "fig7" | "fig8" | "fig78" => {
+            for t in exp::fig7_8::run(quick) {
+                println!("{t}");
+            }
+        }
+        "fig9" => println!("{}", exp::fig9::run(quick)),
+        "fig9aux" => println!("{}", exp::fig9::spmm_vs_float(quick)),
+        "fig10" => println!("{}", exp::fig10_11::fig10(quick)),
+        "fig11" => println!("{}", exp::fig10_11::fig11(quick)),
+        "fig12" => println!("{}", exp::fig12::run(quick)),
+        "fig13" => println!("{}", exp::fig13::run(quick)),
+        "fig14" => println!("{}", exp::fig14::run(quick)),
+        "ablate-discretize" => println!("{}", exp::ablations::discretize(quick)),
+        "ablate-norm" => println!("{}", exp::ablations::gcn_norms(quick)),
+        "ablate-batch" => println!("{}", exp::ablations::batch_size(quick)),
+        "ablate-paradigm" => println!("{}", exp::ablations::paradigms(quick)),
+        "ablate-gin-lambda" => println!("{}", exp::ablations::gin_lambda(quick)),
+        "conversions" => println!("{}", exp::conversions::run(quick)),
+        "kernels" => {
+            // Kernel-level figures only (fast path for calibration).
+            println!("{}", exp::fig9::run(quick));
+            println!("{}", exp::fig10_11::fig10(quick));
+            println!("{}", exp::fig10_11::fig11(quick));
+            println!("{}", exp::fig12::run(quick));
+            println!("{}", exp::fig13::run(quick));
+            println!("{}", exp::fig14::run(quick));
+        }
+        "all" => {
+            for t in [
+                "table1", "fig1a", "fig1b", "fig1c", "fig5", "fig6", "fig78", "fig9",
+                "fig9aux", "fig10", "fig11", "fig12", "fig13", "fig14",
+                "ablate-discretize", "ablate-norm", "ablate-batch", "ablate-paradigm",
+                "ablate-gin-lambda", "conversions",
+            ] {
+                run(t, quick);
+            }
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            exit(2);
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Ablations the paper describes in prose:
+//!
+//! * §6.1.1 "Overflow Protection is the Key": replace the discretized
+//!   reduction with the usual (post-reduction-scaled) one and the DGL-half
+//!   accuracy collapse returns.
+//! * §5.2.2: GIN's λ — with λ = 1 the combine addition overflows on hub
+//!   rows; λ = 0.1 is safe.
+
+use crate::experiments::{fig1_datasets, SEED};
+use crate::Table;
+use halfgnn_nn::models::GcnNorm;
+use halfgnn_nn::trainer::{train, ModelKind, PrecisionMode, TrainConfig};
+
+/// §6.1.1: discretized vs usual reduction inside the HalfGNN system.
+pub fn discretize(quick: bool) -> Table {
+    let epochs = if quick { 8 } else { 30 };
+    let mut t = Table::new(
+        "Ablation §6.1.1 — discretized vs post-reduction scaling in HalfGNN",
+        &["dataset", "model", "discretized acc", "post-reduction acc", "post NaN epoch"],
+    );
+    for ds in fig1_datasets() {
+        let data = ds.load(SEED);
+        for model in [ModelKind::Gcn, ModelKind::Gin] {
+            let base = TrainConfig { model, epochs, ..TrainConfig::default() };
+            let disc =
+                train(&data, &TrainConfig { precision: PrecisionMode::HalfGnn, ..base });
+            let post = train(
+                &data,
+                &TrainConfig { precision: PrecisionMode::HalfGnnNoDiscretize, ..base },
+            );
+            t.row(vec![
+                data.spec.name.to_string(),
+                format!("{model:?}"),
+                format!("{:.3}", disc.final_train_accuracy),
+                format!("{:.3}", post.final_train_accuracy),
+                post.nan_epoch.map_or("-".into(), |e| e.to_string()),
+            ]);
+        }
+    }
+    t.note("replacing discretized reduction with the usual one reproduces the DGL-half-like abnormal accuracy (§6.1.1).");
+    t
+}
+
+/// §3.1.3: GCN degree-norm placement × kernel system. Right overflows in
+/// the forward pass under naive half; left is forward-safe but its
+/// backward applies the norm after the reduction and overflows there;
+/// HalfGNN's discretized kernels are safe everywhere.
+pub fn gcn_norms(quick: bool) -> Table {
+    let epochs = if quick { 6 } else { 20 };
+    let mut t = Table::new(
+        "Ablation §3.1.3 — GCN degree-norm placement under half precision",
+        &["dataset", "norm", "system", "acc", "NaN epoch"],
+    );
+    for ds in fig1_datasets() {
+        let data = ds.load(SEED);
+        for norm in [GcnNorm::Right, GcnNorm::Left, GcnNorm::Both] {
+            for (name, precision) in [
+                ("DGL-half", PrecisionMode::HalfNaive),
+                ("HalfGNN", PrecisionMode::HalfGnn),
+            ] {
+                let cfg = TrainConfig {
+                    model: ModelKind::Gcn,
+                    precision,
+                    epochs,
+                    gcn_norm: norm,
+                    ..TrainConfig::default()
+                };
+                let r = train(&data, &cfg);
+                t.row(vec![
+                    data.spec.name.to_string(),
+                    format!("{norm:?}"),
+                    name.to_string(),
+                    format!("{:.3}", r.final_train_accuracy),
+                    r.nan_epoch.map_or("-".into(), |e| e.to_string()),
+                ]);
+            }
+        }
+    }
+    t.note("right: naive-half NaNs in the forward (epoch 0). left: the forward is safe as §3.1.3 predicts; its backward applies the norm after the reduction and overflows for large gradients (demonstrated at kernel level in halfgnn-nn's gcn tests) but training gradients at this scale stay small enough. both: the sqrt scaling suffices at this reduced scale (at the paper's full scale Eq. 2 still overflows).");
+    t
+}
+
+/// §4.1.1 / §5.2: the discretization unit (edges per warp) trades
+/// coalescing against overflow headroom. The paper mandates ≥ 64 edges per
+/// warp for full 128-byte edge loads; the batch must also stay small
+/// enough that `batch x max|w x| < 65504`.
+pub fn batch_size(quick: bool) -> Table {
+    use halfgnn_kernels::common::{EdgeWeights, ScalePlacement, Tiling};
+    use halfgnn_kernels::halfgnn_spmm::{spmm, SpmmConfig};
+    use halfgnn_sim::DeviceConfig;
+
+    let dev = DeviceConfig::a100_like();
+    let mut t = Table::new(
+        "Ablation §4.1.1 — edges per warp (the discretization unit)",
+        &["edges/warp", "time (us)", "vs 64", "overflow headroom (|x| <=)"],
+    );
+    let ds = if quick { crate::experiments::perf_datasets(true)[2] } else {
+        halfgnn_graph::datasets::Dataset::hollywood09()
+    };
+    let data = ds.load(SEED);
+    let f = 64;
+    let x = crate::experiments::random_features_h(&data, f, 4);
+    let w = crate::experiments::random_edge_weights_h(&data, 3);
+    // Reference time at the paper's 64-edge batches.
+    let base_time = {
+        let cfg = SpmmConfig { scaling: ScalePlacement::None, ..Default::default() };
+        spmm(&dev, &data.coo, EdgeWeights::Values(&w), &x, f, None, &cfg).1.time_us
+    };
+    for &epw in &[16usize, 32, 64, 128, 256] {
+        let cfg = SpmmConfig {
+            scaling: ScalePlacement::None,
+            tiling: Tiling { edges_per_warp: epw, warps_per_cta: 4 },
+            ..Default::default()
+        };
+        let (_, s) = spmm(&dev, &data.coo, EdgeWeights::Values(&w), &x, f, None, &cfg);
+        // A batch of `epw` same-sign products of magnitude m overflows at
+        // m > 65504 / epw: the per-batch safety envelope.
+        t.row(vec![
+            epw.to_string(),
+            format!("{:.1}", s.time_us),
+            format!("{:.2}x", s.time_us / base_time),
+            format!("{:.0}", 65504.0 / epw as f64),
+        ]);
+    }
+    t.note("64 edges/warp is the paper's sweet spot: full 128-byte edge loads with a ~1000x overflow envelope per batch.");
+    t
+}
+
+/// §3.2 / §5.4: HalfGNN's edge-parallel recommendation, quantified — the
+/// same discretized + staged design in both computation paradigms.
+pub fn paradigms(quick: bool) -> Table {
+    use halfgnn_kernels::common::{EdgeWeights, ScalePlacement};
+    use halfgnn_kernels::halfgnn_spmm::{spmm, spmm_vertex_parallel, SpmmConfig};
+    use halfgnn_sim::DeviceConfig;
+
+    let dev = DeviceConfig::a100_like();
+    let f = 64;
+    let mut t = Table::new(
+        "Ablation §5.4 — HalfGNN edge-parallel vs vertex-parallel SpMM",
+        &["dataset", "edge-parallel (us)", "vertex-parallel (us)", "edge/vertex"],
+    );
+    let mut ratios = Vec::new();
+    for ds in crate::experiments::perf_datasets(quick) {
+        let data = ds.load(SEED);
+        let x = crate::experiments::random_features_h(&data, f, 4);
+        let w = crate::experiments::random_edge_weights_h(&data, 3);
+        let (_, edge) = spmm(
+            &dev, &data.coo, EdgeWeights::Values(&w), &x, f, None,
+            &SpmmConfig { scaling: ScalePlacement::None, ..Default::default() },
+        );
+        let (_, vertex) = spmm_vertex_parallel(
+            &dev, &data.adj, EdgeWeights::Values(&w), &x, f, None, ScalePlacement::None,
+        );
+        let ratio = vertex.time_us / edge.time_us;
+        ratios.push(ratio);
+        t.row(vec![
+            data.spec.name.to_string(),
+            format!("{:.1}", edge.time_us),
+            format!("{:.1}", vertex.time_us),
+            format!("{ratio:.2}x"),
+        ]);
+    }
+    t.note(format!(
+        "geomean vertex/edge = {:.2}x — the discretized design transfers to vertex-parallel (§5.4), and edge-parallel stays the best default (§3.2)",
+        crate::geomean(&ratios)
+    ));
+    t
+}
+
+/// §5.2.2: GIN λ sweep.
+pub fn gin_lambda(quick: bool) -> Table {
+    let epochs = if quick { 8 } else { 30 };
+    let mut t = Table::new(
+        "Ablation §5.2.2 — GIN aggregation scale λ",
+        &["dataset", "lambda", "acc", "NaN epoch"],
+    );
+    for ds in fig1_datasets() {
+        let data = ds.load(SEED);
+        for &lambda in &[1.0f32, 0.5, 0.1] {
+            let cfg = TrainConfig {
+                model: ModelKind::Gin,
+                precision: PrecisionMode::HalfGnn,
+                epochs,
+                gin_lambda: lambda,
+                ..TrainConfig::default()
+            };
+            let r = train(&data, &cfg);
+            t.row(vec![
+                data.spec.name.to_string(),
+                format!("{lambda}"),
+                format!("{:.3}", r.final_train_accuracy),
+                r.nan_epoch.map_or("-".into(), |e| e.to_string()),
+            ]);
+        }
+    }
+    t.note("the paper fixes lambda = 0.1 (\"worked fine for all our robust testing\").");
+    t
+}

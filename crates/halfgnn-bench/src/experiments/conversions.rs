@@ -1,0 +1,36 @@
+//! §3.1.2 — the data-conversion tax of naive mixed precision: count the
+//! tensor-level h2f/f2h conversions per training epoch with the AMP
+//! promotion policy (DGL-half) vs HalfGNN's shadow APIs.
+
+use crate::experiments::{fig1_datasets, SEED};
+use crate::Table;
+use halfgnn_nn::trainer::{train, ModelKind, PrecisionMode, TrainConfig};
+
+/// Conversion kernels and converted elements per epoch, per model.
+pub fn run(_quick: bool) -> Table {
+    let mut t = Table::new(
+        "§3.1.2 — dtype conversions per training epoch",
+        &["dataset", "model", "system", "conversion kernels", "elements converted"],
+    );
+    for ds in fig1_datasets() {
+        let data = ds.load(SEED);
+        for model in [ModelKind::Gcn, ModelKind::Gat, ModelKind::Gin] {
+            for (name, precision) in [
+                ("DGL-half (AMP)", PrecisionMode::HalfNaive),
+                ("HalfGNN (shadow)", PrecisionMode::HalfGnn),
+            ] {
+                let cfg = TrainConfig { model, precision, epochs: 1, ..TrainConfig::default() };
+                let r = train(&data, &cfg);
+                t.row(vec![
+                    data.spec.name.to_string(),
+                    format!("{model:?}"),
+                    name.to_string(),
+                    r.conversions_per_epoch.to_string(),
+                    r.converted_elems_per_epoch.to_string(),
+                ]);
+            }
+        }
+    }
+    t.note("GAT shows the biggest gap: AMP's promoted exp materializes float edge tensors every step (§3.1.2); both systems keep weight casts and the f32 loss (Micikevicius et al.).");
+    t
+}

@@ -1,0 +1,34 @@
+//! Fig. 12 — SDDMM micro-benchmark: half8 vs half2 data-load vectors
+//! (paper: 1.67× average, up to ~3×).
+
+use crate::experiments::{perf_datasets, random_features_h, SEED};
+use crate::{fx, geomean, Table};
+use halfgnn_kernels::common::VectorWidth;
+use halfgnn_kernels::halfgnn_sddmm::sddmm;
+use halfgnn_sim::DeviceConfig;
+
+/// half8 speedup over half2 for F ∈ {32, 64}.
+pub fn run(quick: bool) -> Table {
+    let dev = DeviceConfig::a100_like();
+    let mut t = Table::new(
+        "Fig 12 — SDDMM: half8 speedup over half2",
+        &["dataset", "F=32", "F=64"],
+    );
+    let mut all = Vec::new();
+    for ds in perf_datasets(quick) {
+        let data = ds.load(SEED);
+        let mut cells = vec![data.spec.name.to_string()];
+        for &f in &[32usize, 64] {
+            let u = random_features_h(&data, f, 7);
+            let v = random_features_h(&data, f, 8);
+            let (_, h2) = sddmm(&dev, &data.coo, &u, &v, f, VectorWidth::Half2);
+            let (_, h8) = sddmm(&dev, &data.coo, &u, &v, f, VectorWidth::Half8);
+            let s = h2.time_us / h8.time_us;
+            all.push(s);
+            cells.push(fx(s));
+        }
+        t.row(cells);
+    }
+    t.note(format!("geomean = {} (paper: 1.67x average)", fx(geomean(&all))));
+    t
+}

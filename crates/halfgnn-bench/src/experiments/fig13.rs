@@ -1,0 +1,48 @@
+//! Fig. 13 — SpMM micro-benchmark: removing atomic writes (staging buffer
+//! + follow-up kernel) vs keeping them, everything else equal.
+
+use crate::experiments::{perf_datasets, random_edge_weights_h, random_features_h, SEED};
+use crate::{fx, geomean, Table};
+use halfgnn_kernels::common::{EdgeWeights, ScalePlacement, WriteStrategy};
+use halfgnn_kernels::halfgnn_spmm::{spmm, SpmmConfig};
+use halfgnn_sim::DeviceConfig;
+
+/// Non-atomic speedup over the atomic variant, F = 64.
+pub fn run(quick: bool) -> Table {
+    let dev = DeviceConfig::a100_like();
+    let f = 64;
+    let mut t = Table::new(
+        "Fig 13 — SpMM speedup from removing atomic writes",
+        &["dataset", "atomic (us)", "non-atomic (us)", "speedup"],
+    );
+    let mut all = Vec::new();
+    for ds in perf_datasets(quick) {
+        let data = ds.load(SEED);
+        let w = random_edge_weights_h(&data, 9);
+        let x = random_features_h(&data, f, 10);
+        let base = SpmmConfig { scaling: ScalePlacement::None, ..Default::default() };
+        let (_, atomic) = spmm(
+            &dev,
+            &data.coo,
+            EdgeWeights::Values(&w),
+            &x,
+            f,
+            None,
+            &SpmmConfig { writes: WriteStrategy::Atomic, ..base },
+        );
+        let (_, staged) = spmm(&dev, &data.coo, EdgeWeights::Values(&w), &x, f, None, &base);
+        let s = atomic.time_us / staged.time_us;
+        all.push(s);
+        t.row(vec![
+            data.spec.name.to_string(),
+            format!("{:.1}", atomic.time_us),
+            format!("{:.1}", staged.time_us),
+            fx(s),
+        ]);
+    }
+    t.note(format!(
+        "geomean = {}; half atomics are CAS loops that serialize on hub rows (§5.2.3)",
+        fx(geomean(&all))
+    ));
+    t
+}

@@ -1,0 +1,81 @@
+//! Figs. 7 & 8 — end-to-end training speedup of HalfGNN over DGL-half
+//! (Fig. 7) and DGL-float (Fig. 8), per dataset and model, |F| hidden 64.
+
+use crate::experiments::{perf_datasets, SEED};
+use crate::{fx, geomean, Table};
+use halfgnn_nn::trainer::{train, ModelKind, PrecisionMode, TrainConfig};
+
+/// Per-(dataset, model) epoch times for the three systems.
+pub struct EpochTimes {
+    rows: Vec<(String, ModelKind, f64, f64, f64)>, // (dataset, model, float, naive, ours)
+}
+
+/// Measure one modeled epoch per configuration (kernel sequences are
+/// value-independent, so one epoch represents them all).
+pub fn measure(quick: bool) -> EpochTimes {
+    let mut rows = Vec::new();
+    for ds in perf_datasets(quick) {
+        let data = ds.load(SEED);
+        for model in [ModelKind::Gcn, ModelKind::Gat, ModelKind::Gin] {
+            let base = TrainConfig { model, epochs: 1, ..TrainConfig::default() };
+            let tf = train(&data, &TrainConfig { precision: PrecisionMode::Float, ..base })
+                .epoch_time_us;
+            let tn = train(&data, &TrainConfig { precision: PrecisionMode::HalfNaive, ..base })
+                .epoch_time_us;
+            let th = train(&data, &TrainConfig { precision: PrecisionMode::HalfGnn, ..base })
+                .epoch_time_us;
+            rows.push((data.spec.name.to_string(), model, tf, tn, th));
+        }
+    }
+    EpochTimes { rows }
+}
+
+fn speedup_table(times: &EpochTimes, title: &str, baseline_float: bool, paper: &str) -> Table {
+    let mut t = Table::new(title, &["dataset", "GCN", "GAT", "GIN"]);
+    let mut per_model: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    // Group rows by dataset (3 consecutive model entries).
+    for chunk in times.rows.chunks(3) {
+        let mut cells = vec![chunk[0].0.clone()];
+        for (i, (_, _, tf, tn, th)) in chunk.iter().enumerate() {
+            let base = if baseline_float { *tf } else { *tn };
+            let s = base / th;
+            per_model[i].push(s);
+            cells.push(fx(s));
+        }
+        t.row(cells);
+    }
+    t.row(vec![
+        "**geomean**".into(),
+        fx(geomean(&per_model[0])),
+        fx(geomean(&per_model[1])),
+        fx(geomean(&per_model[2])),
+    ]);
+    t.note(paper.to_string());
+    t
+}
+
+/// Fig. 7: speedup over DGL-half.
+pub fn fig7(times: &EpochTimes) -> Table {
+    speedup_table(
+        times,
+        "Fig 7 — HalfGNN training speedup over DGL-half (F=64)",
+        false,
+        "paper: 2.44x / 3.84x / 2.42x average for GCN / GAT / GIN",
+    )
+}
+
+/// Fig. 8: speedup over DGL-float.
+pub fn fig8(times: &EpochTimes) -> Table {
+    speedup_table(
+        times,
+        "Fig 8 — HalfGNN training speedup over DGL-float (F=64)",
+        true,
+        "paper: 1.85x / 3.55x / 1.78x average for GCN / GAT / GIN",
+    )
+}
+
+/// Convenience wrapper for the `repro` binary: measure once, print both.
+pub fn run(quick: bool) -> Vec<Table> {
+    let times = measure(quick);
+    vec![fig7(&times), fig8(&times)]
+}

@@ -1,0 +1,62 @@
+//! One module per paper experiment. Each `run(quick)` regenerates a table
+//! or figure series; `quick` trims datasets/epochs for CI-speed smoke runs
+//! while the full mode covers everything the paper plots.
+
+pub mod ablations;
+pub mod conversions;
+pub mod fig1;
+pub mod fig10_11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7_8;
+pub mod fig9;
+pub mod table1;
+
+use halfgnn_graph::datasets::{Dataset, LoadedDataset};
+use halfgnn_half::slice::f32_slice_to_half;
+use halfgnn_half::Half;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seed every experiment derives data from (reported in EXPERIMENTS.md).
+pub const SEED: u64 = 42;
+
+/// Performance datasets (G4–G16), or a representative skewed/flat/dense
+/// triple in quick mode.
+pub fn perf_datasets(quick: bool) -> Vec<Dataset> {
+    if quick {
+        vec![Dataset::amazon(), Dataset::roadnet_ca(), Dataset::hollywood09()]
+    } else {
+        Dataset::performance()
+    }
+}
+
+/// The two mid-size labeled datasets Figs. 1a–1c use.
+pub fn fig1_datasets() -> Vec<Dataset> {
+    vec![Dataset::ogb_product(), Dataset::reddit()]
+}
+
+/// Random half-precision vertex features, `n × f`, magnitude ≤ 0.5.
+pub fn random_features_h(data: &LoadedDataset, f: usize, seed: u64) -> Vec<Half> {
+    f32_slice_to_half(&random_features_f(data, f, seed))
+}
+
+/// Random f32 vertex features, `n × f`.
+pub fn random_features_f(data: &LoadedDataset, f: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..data.num_vertices() * f).map(|_| rng.gen_range(-0.5..0.5)).collect()
+}
+
+/// Random half edge weights, `|E|`.
+pub fn random_edge_weights_h(data: &LoadedDataset, seed: u64) -> Vec<Half> {
+    f32_slice_to_half(&random_edge_weights_f(data, seed))
+}
+
+/// Random f32 edge weights.
+pub fn random_edge_weights_f(data: &LoadedDataset, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..data.num_edges()).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}

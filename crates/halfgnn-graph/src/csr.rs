@@ -1,0 +1,203 @@
+//! CSR (compressed sparse row) storage: an offset array pointing at the
+//! start of each row's neighborhood plus a flat column array. Vertex-parallel
+//! kernels allocate warps per row slice; the offset array also supplies the
+//! degrees that discretized reduction scaling divides by.
+
+use crate::{Coo, VertexId};
+
+/// A sparse graph in CSR format. Column indices within each row are sorted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    num_cols: usize,
+    offsets: Vec<usize>,
+    cols: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Build from an edge list (sorted + deduplicated internally).
+    pub fn from_edges(num_rows: usize, num_cols: usize, edges: &[(VertexId, VertexId)]) -> Csr {
+        Csr::from_coo(&Coo::from_edges(num_rows, num_cols, edges))
+    }
+
+    /// Convert from canonical COO (already row-sorted: a single counting
+    /// pass builds the offsets).
+    pub fn from_coo(coo: &Coo) -> Csr {
+        let mut offsets = vec![0usize; coo.num_rows() + 1];
+        for &r in coo.rows() {
+            offsets[r as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        Csr { num_cols: coo.num_cols(), offsets, cols: coo.cols().to_vec() }
+    }
+
+    /// Convert to canonical COO.
+    pub fn to_coo(&self) -> Coo {
+        let mut edges = Vec::with_capacity(self.nnz());
+        for r in 0..self.num_rows() {
+            for &c in self.row(r as VertexId) {
+                edges.push((r as VertexId, c));
+            }
+        }
+        Coo::from_edges(self.num_rows(), self.num_cols, &edges)
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.num_cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The offset array (`num_rows + 1` entries).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flat, row-major column array.
+    pub fn cols(&self) -> &[VertexId] {
+        &self.cols
+    }
+
+    /// Neighborhood (column indices) of row `v`.
+    pub fn row(&self, v: VertexId) -> &[VertexId] {
+        &self.cols[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Degree (neighborhood size) of row `v`.
+    pub fn degree(&self, v: VertexId) -> u32 {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as u32
+    }
+
+    /// Degrees of all rows.
+    pub fn degrees(&self) -> Vec<u32> {
+        self.offsets.windows(2).map(|w| (w[1] - w[0]) as u32).collect()
+    }
+
+    /// Largest row degree (0 for an empty graph).
+    pub fn max_degree(&self) -> u32 {
+        (0..self.num_rows()).map(|v| self.degree(v as VertexId)).max().unwrap_or(0)
+    }
+
+    /// Mean row degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_rows() == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.num_rows() as f64
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Csr {
+        Csr::from_coo(&self.to_coo().transpose())
+    }
+
+    /// True when for every edge (u, v) the reverse edge (v, u) is present —
+    /// the undirected convention GNN datasets use.
+    pub fn is_symmetric(&self) -> bool {
+        if self.num_rows() != self.num_cols {
+            return false;
+        }
+        for r in 0..self.num_rows() {
+            for &c in self.row(r as VertexId) {
+                if self.row(c).binary_search(&(r as VertexId)).is_err() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Copy with every edge mirrored and a self-loop on each vertex — the
+    /// standard GCN preprocessing (Â = A + Aᵀ + I).
+    pub fn symmetrized_with_self_loops(&self) -> Csr {
+        assert_eq!(self.num_rows(), self.num_cols, "need a square adjacency");
+        let n = self.num_rows();
+        let mut edges = Vec::with_capacity(self.nnz() * 2 + n);
+        for r in 0..n {
+            for &c in self.row(r as VertexId) {
+                edges.push((r as VertexId, c));
+                edges.push((c, r as VertexId));
+            }
+            edges.push((r as VertexId, r as VertexId));
+        }
+        Csr::from_edges(n, n, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        Csr::from_edges(4, 4, &[(0, 1), (0, 2), (1, 0), (1, 2), (2, 0), (2, 1), (2, 3), (3, 2)])
+    }
+
+    #[test]
+    fn offsets_and_rows() {
+        let g = sample();
+        assert_eq!(g.num_rows(), 4);
+        assert_eq!(g.nnz(), 8);
+        assert_eq!(g.offsets(), &[0, 2, 4, 7, 8]);
+        assert_eq!(g.row(2), &[0, 1, 3]);
+        assert_eq!(g.row(3), &[2]);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = sample();
+        assert_eq!(g.degrees(), vec![2, 2, 3, 1]);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.mean_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coo_round_trip() {
+        let g = sample();
+        assert_eq!(Csr::from_coo(&g.to_coo()), g);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let g = Csr::from_edges(3, 5, &[(0, 4), (1, 1), (2, 0), (2, 4)]);
+        assert_eq!(g.transpose().transpose(), g);
+        assert_eq!(g.transpose().num_rows(), 5);
+        assert_eq!(g.transpose().row(4), &[0, 2]);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        assert!(sample().is_symmetric());
+        let asym = Csr::from_edges(3, 3, &[(0, 1)]);
+        assert!(!asym.is_symmetric());
+        assert!(asym.symmetrized_with_self_loops().is_symmetric());
+    }
+
+    #[test]
+    fn symmetrize_adds_self_loops() {
+        let g = Csr::from_edges(3, 3, &[(0, 1)]).symmetrized_with_self_loops();
+        for v in 0..3u32 {
+            assert!(g.row(v).contains(&v), "missing self loop at {v}");
+        }
+        assert_eq!(g.nnz(), 5); // (0,1), (1,0) and 3 loops
+    }
+
+    #[test]
+    fn empty_rows_have_zero_degree() {
+        let g = Csr::from_edges(4, 4, &[(0, 1)]);
+        assert_eq!(g.degree(3), 0);
+        assert!(g.row(3).is_empty());
+        assert_eq!(g.max_degree(), 1);
+    }
+}

@@ -1,0 +1,318 @@
+//! The Table-1 dataset registry (G1–G16), scaled for CPU-hosted simulation.
+//!
+//! Each entry records the paper's published |V|, |E|, |F|, |C| and the
+//! scaled synthetic stand-in this reproduction generates. The stand-ins
+//! preserve the properties sparse kernels and FP16 accuracy depend on:
+//!
+//! * **degree skew** — power-law generators (R-MAT, preferential
+//!   attachment) for social/web graphs, grid for RoadNet, hub-overlaid SBM
+//!   for Reddit/Ogb-product whose high-degree vertices overflow FP16;
+//! * **density** — mean degree matched to the paper within ~2×;
+//! * **learnability** — labeled sets get homophilous SBM structure and
+//!   class-conditional features, so Fig. 5's accuracy comparison is real.
+
+use crate::features::{random_features, random_labels, split_per_class, Split};
+use crate::gen;
+use crate::{Coo, Csr};
+
+/// How a dataset's topology is synthesized.
+#[derive(Clone, Copy, Debug)]
+pub enum GenKind {
+    /// Stochastic block model: one block per class.
+    Sbm { p_in: f64, p_out: f64 },
+    /// SBM plus high-degree hub overlay (Reddit/Ogb-product shape).
+    SbmHubs { p_in: f64, p_out: f64, num_hubs: usize, hub_degree: usize },
+    /// R-MAT power law; `scale` fixes |V| = 2^scale.
+    Rmat { scale: u32, edge_factor: usize },
+    /// Barabási–Albert preferential attachment with `m` edges per vertex.
+    PrefAttach { m: usize },
+    /// 2-D grid (RoadNet stand-in).
+    Grid { width: usize, height: usize },
+}
+
+/// Static description of one Table-1 dataset.
+#[derive(Clone, Copy, Debug)]
+pub struct DatasetSpec {
+    /// Registry key, "G1".."G16".
+    pub id: &'static str,
+    /// Human name as printed in Table 1.
+    pub name: &'static str,
+    /// |V| in the paper.
+    pub paper_vertices: u64,
+    /// |E| in the paper.
+    pub paper_edges: u64,
+    /// Input feature length in the paper.
+    pub paper_feat: usize,
+    /// Prediction categories |C|.
+    pub classes: usize,
+    /// True for the five datasets with real labels (accuracy experiments).
+    pub labeled: bool,
+    /// Scaled vertex count generated here.
+    pub vertices: usize,
+    /// Scaled input feature length generated here.
+    pub feat: usize,
+    /// Feature magnitude (class-mean norm for labeled sets, uniform bound
+    /// otherwise). The hub datasets (G13, G15) use a large magnitude so
+    /// that `max_degree x |activation|` crosses the FP16 overflow threshold
+    /// at this reduced scale, exactly as it does at the paper's full scale
+    /// (see DESIGN.md §2).
+    pub feat_signal: f32,
+    /// Feature noise level around the class mean.
+    pub feat_noise: f32,
+    /// Clamp features non-negative (count-like inputs).
+    pub feat_nonneg: bool,
+    /// If > 0, feature column 0 is a large-magnitude count column of this
+    /// scale (see `features::attach_count_column`): hub rows' FP16
+    /// aggregation of it overflows, as on the paper's full-size datasets.
+    pub count_scale: f32,
+    /// Topology generator.
+    pub gen: GenKind,
+}
+
+/// A fully materialized dataset: symmetrized self-looped adjacency in both
+/// formats, features, labels, and split masks.
+pub struct LoadedDataset {
+    /// The spec this was generated from.
+    pub spec: DatasetSpec,
+    /// Â = A + Aᵀ + I in CSR.
+    pub adj: Csr,
+    /// Â in COO (edge-parallel kernels).
+    pub coo: Coo,
+    /// Row-major `vertices × feat` input features (f32 master copy).
+    pub features: Vec<f32>,
+    /// Class label per vertex.
+    pub labels: Vec<u32>,
+    /// Train/val/test masks.
+    pub split: Split,
+}
+
+impl LoadedDataset {
+    /// Realized edge count (after symmetrization and self loops).
+    pub fn num_edges(&self) -> usize {
+        self.adj.nnz()
+    }
+
+    /// Realized vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.num_rows()
+    }
+}
+
+const REGISTRY: [DatasetSpec; 16] = [
+    DatasetSpec { id: "G1", name: "Cora", paper_vertices: 2_708, paper_edges: 10_858, paper_feat: 1_433, classes: 7, labeled: true, vertices: 2_708, feat: 128, feat_signal: 1.0, feat_noise: 6.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::Sbm { p_in: 0.010, p_out: 0.0004 } },
+    DatasetSpec { id: "G2", name: "Citeseer", paper_vertices: 3_327, paper_edges: 9_104, paper_feat: 3_703, classes: 6, labeled: true, vertices: 3_327, feat: 128, feat_signal: 1.0, feat_noise: 6.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::Sbm { p_in: 0.007, p_out: 0.0003 } },
+    DatasetSpec { id: "G3", name: "PubMed", paper_vertices: 19_717, paper_edges: 88_648, paper_feat: 500, classes: 3, labeled: true, vertices: 4_800, feat: 100, feat_signal: 1.0, feat_noise: 6.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::Sbm { p_in: 0.006, p_out: 0.0004 } },
+    DatasetSpec { id: "G4", name: "Amazon", paper_vertices: 400_727, paper_edges: 6_400_880, paper_feat: 150, classes: 7, labeled: false, vertices: 12_000, feat: 150, feat_signal: 0.5, feat_noise: 0.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::PrefAttach { m: 8 } },
+    DatasetSpec { id: "G5", name: "Wiki-Talk", paper_vertices: 2_394_385, paper_edges: 10_042_820, paper_feat: 150, classes: 7, labeled: false, vertices: 16_384, feat: 150, feat_signal: 0.5, feat_noise: 0.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::Rmat { scale: 14, edge_factor: 4 } },
+    DatasetSpec { id: "G6", name: "RoadNet-CA", paper_vertices: 1_971_279, paper_edges: 11_066_420, paper_feat: 150, classes: 7, labeled: false, vertices: 12_100, feat: 150, feat_signal: 0.5, feat_noise: 0.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::Grid { width: 110, height: 110 } },
+    DatasetSpec { id: "G7", name: "Web-BerkStan", paper_vertices: 685_230, paper_edges: 15_201_173, paper_feat: 150, classes: 7, labeled: false, vertices: 8_192, feat: 150, feat_signal: 0.5, feat_noise: 0.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::Rmat { scale: 13, edge_factor: 11 } },
+    DatasetSpec { id: "G8", name: "As-Skitter", paper_vertices: 1_696_415, paper_edges: 22_190_596, paper_feat: 150, classes: 7, labeled: false, vertices: 12_000, feat: 150, feat_signal: 0.5, feat_noise: 0.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::PrefAttach { m: 7 } },
+    DatasetSpec { id: "G9", name: "Cit-Patent", paper_vertices: 3_774_768, paper_edges: 33_037_894, paper_feat: 150, classes: 7, labeled: false, vertices: 16_000, feat: 150, feat_signal: 0.5, feat_noise: 0.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::PrefAttach { m: 4 } },
+    DatasetSpec { id: "G10", name: "Sx-stackoverflow", paper_vertices: 2_601_977, paper_edges: 95_806_532, paper_feat: 150, classes: 7, labeled: false, vertices: 16_384, feat: 150, feat_signal: 0.5, feat_noise: 0.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::Rmat { scale: 14, edge_factor: 18 } },
+    DatasetSpec { id: "G11", name: "Kron-21", paper_vertices: 2_097_152, paper_edges: 67_108_864, paper_feat: 150, classes: 7, labeled: false, vertices: 16_384, feat: 150, feat_signal: 0.5, feat_noise: 0.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::Rmat { scale: 14, edge_factor: 16 } },
+    DatasetSpec { id: "G12", name: "Hollywood09", paper_vertices: 1_069_127, paper_edges: 112_613_308, paper_feat: 150, classes: 7, labeled: false, vertices: 4_000, feat: 150, feat_signal: 0.5, feat_noise: 0.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::PrefAttach { m: 26 } },
+    DatasetSpec { id: "G13", name: "Ogb-product", paper_vertices: 2_449_029, paper_edges: 123_718_280, paper_feat: 100, classes: 47, labeled: true, vertices: 8_000, feat: 48, feat_signal: 1.0, feat_noise: 3.0, feat_nonneg: false, count_scale: 40.0, gen: GenKind::SbmHubs { p_in: 0.12, p_out: 0.0015, num_hubs: 16, hub_degree: 1_500 } },
+    DatasetSpec { id: "G14", name: "LiveJournal", paper_vertices: 4_847_571, paper_edges: 137_987_546, paper_feat: 150, classes: 7, labeled: false, vertices: 16_384, feat: 150, feat_signal: 0.5, feat_noise: 0.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::Rmat { scale: 14, edge_factor: 14 } },
+    DatasetSpec { id: "G15", name: "Reddit", paper_vertices: 232_965, paper_edges: 114_848_857, paper_feat: 602, classes: 41, labeled: true, vertices: 4_100, feat: 48, feat_signal: 1.0, feat_noise: 3.0, feat_nonneg: false, count_scale: 40.0, gen: GenKind::SbmHubs { p_in: 0.62, p_out: 0.012, num_hubs: 24, hub_degree: 3_000 } },
+    DatasetSpec { id: "G16", name: "Orkut", paper_vertices: 3_072_627, paper_edges: 234_370_166, paper_feat: 150, classes: 7, labeled: false, vertices: 8_192, feat: 150, feat_signal: 0.5, feat_noise: 0.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::Rmat { scale: 13, edge_factor: 38 } },
+];
+
+/// Handle to one registry entry.
+#[derive(Clone, Copy, Debug)]
+pub struct Dataset(&'static DatasetSpec);
+
+macro_rules! dataset_ctor {
+    ($($fn_name:ident => $idx:expr),* $(,)?) => {
+        $(
+            /// Registry accessor for this Table-1 dataset.
+            pub fn $fn_name() -> Dataset { Dataset(&REGISTRY[$idx]) }
+        )*
+    };
+}
+
+impl Dataset {
+    dataset_ctor! {
+        cora => 0, citeseer => 1, pubmed => 2, amazon => 3, wiki_talk => 4,
+        roadnet_ca => 5, web_berkstan => 6, as_skitter => 7, cit_patent => 8,
+        sx_stackoverflow => 9, kron21 => 10, hollywood09 => 11,
+        ogb_product => 12, livejournal => 13, reddit => 14, orkut => 15,
+    }
+
+    /// Every dataset, G1–G16.
+    pub fn all() -> Vec<Dataset> {
+        REGISTRY.iter().map(Dataset).collect()
+    }
+
+    /// The five labeled datasets used for accuracy (Fig. 5).
+    pub fn labeled() -> Vec<Dataset> {
+        REGISTRY.iter().filter(|s| s.labeled).map(Dataset).collect()
+    }
+
+    /// The mid/large datasets used for runtime figures (G4–G16, as the
+    /// paper excludes G1–G3 from performance measurements).
+    pub fn performance() -> Vec<Dataset> {
+        REGISTRY[3..].iter().map(Dataset).collect()
+    }
+
+    /// Look up by registry id ("G13") or case-insensitive name ("reddit").
+    pub fn by_id(id: &str) -> Option<Dataset> {
+        REGISTRY
+            .iter()
+            .find(|s| s.id.eq_ignore_ascii_case(id) || s.name.eq_ignore_ascii_case(id))
+            .map(Dataset)
+    }
+
+    /// The static spec.
+    pub fn spec(&self) -> &'static DatasetSpec {
+        self.0
+    }
+
+    /// Generate the dataset deterministically from `seed`.
+    pub fn load(&self, seed: u64) -> LoadedDataset {
+        let s = *self.0;
+        let (edges, labels) = match s.gen {
+            GenKind::Sbm { p_in, p_out } => {
+                let (e, l) = gen::sbm(&block_sizes(s.vertices, s.classes), p_in, p_out, seed);
+                (e, Some(l))
+            }
+            GenKind::SbmHubs { p_in, p_out, num_hubs, hub_degree } => {
+                let (e, l) = gen::sbm_with_hubs(
+                    &block_sizes(s.vertices, s.classes),
+                    p_in,
+                    p_out,
+                    num_hubs,
+                    hub_degree,
+                    seed,
+                );
+                (e, Some(l))
+            }
+            GenKind::Rmat { scale, edge_factor } => {
+                (gen::rmat(scale, edge_factor, (0.57, 0.19, 0.19), seed), None)
+            }
+            GenKind::PrefAttach { m } => (gen::preferential_attachment(s.vertices, m, seed), None),
+            GenKind::Grid { width, height } => (gen::grid2d(width, height), None),
+        };
+        let adj = Csr::from_edges(s.vertices, s.vertices, &edges).symmetrized_with_self_loops();
+        let coo = adj.to_coo();
+        let labels = labels.unwrap_or_else(|| random_labels(s.vertices, s.classes, seed ^ 1));
+        let mut features = if s.labeled {
+            crate::features::class_features_with(
+                &labels, s.classes, s.feat, s.feat_signal, s.feat_noise, s.feat_nonneg, seed ^ 2,
+            )
+        } else {
+            random_features(s.vertices, s.feat, s.feat_signal, seed ^ 2)
+        };
+        if s.count_scale > 0.0 {
+            crate::features::attach_count_column(&mut features, s.feat, s.count_scale, seed ^ 4);
+        }
+        let split = split_per_class(&labels, seed ^ 3);
+        LoadedDataset { spec: s, adj, coo, features, labels, split }
+    }
+}
+
+/// Distribute `n` vertices over `c` near-equal blocks.
+fn block_sizes(n: usize, c: usize) -> Vec<usize> {
+    let base = n / c;
+    let extra = n % c;
+    (0..c).map(|i| base + usize::from(i < extra)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table1_shapes() {
+        assert_eq!(REGISTRY.len(), 16);
+        let reddit = Dataset::reddit().spec();
+        assert_eq!(reddit.paper_vertices, 232_965);
+        assert_eq!(reddit.classes, 41);
+        assert!(reddit.labeled);
+        let kron = Dataset::kron21().spec();
+        assert_eq!(kron.paper_edges, 67_108_864);
+        assert!(!kron.labeled);
+        assert_eq!(Dataset::labeled().len(), 5);
+        assert_eq!(Dataset::performance().len(), 13);
+    }
+
+    #[test]
+    fn lookup_by_id_and_name() {
+        assert_eq!(Dataset::by_id("G15").unwrap().spec().name, "Reddit");
+        assert_eq!(Dataset::by_id("reddit").unwrap().spec().id, "G15");
+        assert!(Dataset::by_id("nope").is_none());
+    }
+
+    #[test]
+    fn cora_loads_learnable() {
+        let d = Dataset::cora().load(42);
+        assert_eq!(d.num_vertices(), 2_708);
+        assert!(d.adj.is_symmetric());
+        assert_eq!(d.labels.len(), 2_708);
+        assert_eq!(d.features.len(), 2_708 * 128);
+        assert!(d.labels.iter().all(|&l| l < 7));
+        // Homophily: most non-loop edges stay within a class.
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for e in 0..d.coo.nnz() {
+            let (r, c) = d.coo.edge(e);
+            if r == c {
+                continue;
+            }
+            if d.labels[r as usize] == d.labels[c as usize] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 2 * inter, "intra {intra} inter {inter}");
+    }
+
+    #[test]
+    fn reddit_standin_has_overflow_grade_hubs() {
+        let d = Dataset::reddit().load(42);
+        // The whole point of the Reddit stand-in: hub degrees large enough
+        // that an FP16 sum of O(1) values overflows 65504.
+        assert!(d.adj.max_degree() > 1_500, "max degree {}", d.adj.max_degree());
+        assert!(d.adj.mean_degree() > 30.0, "mean degree {}", d.adj.mean_degree());
+    }
+
+    #[test]
+    fn roadnet_standin_is_flat() {
+        let d = Dataset::roadnet_ca().load(1);
+        assert!(d.adj.max_degree() <= 5);
+    }
+
+    #[test]
+    fn loading_is_deterministic() {
+        let a = Dataset::pubmed().load(7);
+        let b = Dataset::pubmed().load(7);
+        assert_eq!(a.adj, b.adj);
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn all_performance_sets_generate() {
+        for d in Dataset::performance() {
+            let loaded = d.load(3);
+            let s = loaded.spec;
+            assert!(loaded.num_edges() > 0, "{} empty", s.id);
+            assert_eq!(loaded.num_vertices(), s.vertices, "{}", s.id);
+            // Mean degree within a factor ~4 of the paper's (shape check).
+            let paper_mean = 2.0 * s.paper_edges as f64 / s.paper_vertices as f64;
+            let got = loaded.adj.mean_degree();
+            assert!(
+                got > paper_mean / 8.0,
+                "{}: mean degree {got:.1} too far below paper {paper_mean:.1}",
+                s.id
+            );
+        }
+    }
+
+    #[test]
+    fn block_sizes_partition() {
+        assert_eq!(block_sizes(10, 3), vec![4, 3, 3]);
+        assert_eq!(block_sizes(9, 3), vec![3, 3, 3]);
+        assert_eq!(block_sizes(8_000, 47).iter().sum::<usize>(), 8_000);
+    }
+}

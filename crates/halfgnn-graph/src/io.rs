@@ -1,0 +1,155 @@
+//! Edge-list I/O: plain-text (SNAP-style) and a compact binary format, so
+//! generated stand-ins can be saved once and reloaded, or real edge lists
+//! dropped in.
+//!
+//! Text format: one `src dst` pair per line; `#`-prefixed lines are
+//! comments (what SNAP distributes). Binary format: `u64 num_vertices`,
+//! `u64 num_edges`, then `u32 src, u32 dst` pairs, little-endian.
+
+use crate::{Csr, VertexId};
+use std::io::{self, BufRead, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Write a graph as a SNAP-style text edge list.
+pub fn write_edgelist_text(csr: &Csr, path: &Path) -> io::Result<()> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(out, "# {} vertices, {} edges", csr.num_rows(), csr.nnz())?;
+    for r in 0..csr.num_rows() {
+        for &c in csr.row(r as VertexId) {
+            writeln!(out, "{r} {c}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Read a SNAP-style text edge list. Vertex count is `max id + 1` unless a
+/// larger `min_vertices` is given.
+pub fn read_edgelist_text(path: &Path, min_vertices: usize) -> io::Result<Csr> {
+    let file = std::fs::File::open(path)?;
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut max_id = 0u32;
+    for line in io::BufReader::new(file).lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |s: Option<&str>| -> io::Result<u32> {
+            s.and_then(|v| v.parse().ok())
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad edge line"))
+        };
+        let a = parse(it.next())?;
+        let b = parse(it.next())?;
+        max_id = max_id.max(a).max(b);
+        edges.push((a, b));
+    }
+    let n = min_vertices.max(max_id as usize + 1);
+    Ok(Csr::from_edges(n, n, &edges))
+}
+
+/// Magic prefix of the binary format.
+const MAGIC: &[u8; 8] = b"HGNNEDG1";
+
+/// Write the compact binary edge list.
+pub fn write_edgelist_binary(csr: &Csr, path: &Path) -> io::Result<()> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    out.write_all(MAGIC)?;
+    out.write_all(&(csr.num_rows() as u64).to_le_bytes())?;
+    out.write_all(&(csr.nnz() as u64).to_le_bytes())?;
+    for r in 0..csr.num_rows() {
+        for &c in csr.row(r as VertexId) {
+            out.write_all(&(r as u32).to_le_bytes())?;
+            out.write_all(&c.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Read the compact binary edge list.
+pub fn read_edgelist_binary(path: &Path) -> io::Result<Csr> {
+    let mut data = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut data)?;
+    let err = |m: &str| io::Error::new(io::ErrorKind::InvalidData, m.to_string());
+    if data.len() < 24 || &data[..8] != MAGIC {
+        return Err(err("missing HGNNEDG1 header"));
+    }
+    let n = u64::from_le_bytes(data[8..16].try_into().unwrap()) as usize;
+    let m = u64::from_le_bytes(data[16..24].try_into().unwrap()) as usize;
+    if data.len() != 24 + m * 8 {
+        return Err(err("truncated edge payload"));
+    }
+    let mut edges = Vec::with_capacity(m);
+    for i in 0..m {
+        let off = 24 + i * 8;
+        let a = u32::from_le_bytes(data[off..off + 4].try_into().unwrap());
+        let b = u32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap());
+        edges.push((a, b));
+    }
+    Ok(Csr::from_edges(n, n, &edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn sample() -> Csr {
+        let edges = gen::erdos_renyi(50, 200, 3);
+        Csr::from_edges(50, 50, &edges).symmetrized_with_self_loops()
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("halfgnn_io_text");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        write_edgelist_text(&g, &path).unwrap();
+        let back = read_edgelist_text(&path, g.num_rows()).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("halfgnn_io_bin");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin");
+        write_edgelist_binary(&g, &path).unwrap();
+        let back = read_edgelist_binary(&path).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn text_reader_skips_comments_and_pads_vertices() {
+        let dir = std::env::temp_dir().join("halfgnn_io_misc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.txt");
+        std::fs::write(&path, "# comment\n0 1\n\n2 0\n").unwrap();
+        let g = read_edgelist_text(&path, 10).unwrap();
+        assert_eq!(g.num_rows(), 10);
+        assert_eq!(g.nnz(), 2);
+        assert_eq!(g.row(0), &[1]);
+    }
+
+    #[test]
+    fn binary_reader_rejects_garbage() {
+        let dir = std::env::temp_dir().join("halfgnn_io_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.bin");
+        std::fs::write(&path, b"NOTMAGIC").unwrap();
+        assert!(read_edgelist_binary(&path).is_err());
+        std::fs::write(&path, [MAGIC.as_slice(), &[0u8; 16], &[1, 2, 3]].concat()).unwrap();
+        assert!(read_edgelist_binary(&path).is_err());
+    }
+
+    #[test]
+    fn text_reader_rejects_malformed_lines() {
+        let dir = std::env::temp_dir().join("halfgnn_io_bad2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.txt");
+        std::fs::write(&path, "0 not_a_number\n").unwrap();
+        assert!(read_edgelist_text(&path, 0).is_err());
+    }
+}

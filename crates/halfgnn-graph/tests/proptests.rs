@@ -1,0 +1,84 @@
+//! Property-based invariants for graph storage and conversions.
+
+use halfgnn_graph::{Coo, Csr, VertexId};
+use proptest::prelude::*;
+
+fn arb_edges(max_n: usize, max_e: usize) -> impl Strategy<Value = (usize, Vec<(VertexId, VertexId)>)> {
+    (2usize..max_n).prop_flat_map(move |n| {
+        let edge = (0..n as VertexId, 0..n as VertexId);
+        prop::collection::vec(edge, 0..max_e).prop_map(move |es| (n, es))
+    })
+}
+
+proptest! {
+    #[test]
+    fn csr_offsets_are_monotone_and_bounded((n, edges) in arb_edges(64, 256)) {
+        let g = Csr::from_edges(n, n, &edges);
+        let off = g.offsets();
+        prop_assert_eq!(off.len(), n + 1);
+        prop_assert_eq!(off[0], 0);
+        prop_assert_eq!(off[n], g.nnz());
+        prop_assert!(off.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn csr_rows_sorted_and_deduped((n, edges) in arb_edges(64, 256)) {
+        let g = Csr::from_edges(n, n, &edges);
+        for v in 0..n {
+            let row = g.row(v as VertexId);
+            prop_assert!(row.windows(2).all(|w| w[0] < w[1]), "row {v} not strictly sorted");
+        }
+    }
+
+    #[test]
+    fn degrees_sum_to_nnz((n, edges) in arb_edges(64, 256)) {
+        let g = Csr::from_edges(n, n, &edges);
+        prop_assert_eq!(g.degrees().iter().map(|&d| d as usize).sum::<usize>(), g.nnz());
+    }
+
+    #[test]
+    fn coo_csr_round_trip((n, edges) in arb_edges(64, 256)) {
+        let coo = Coo::from_edges(n, n, &edges);
+        let csr = Csr::from_coo(&coo);
+        prop_assert_eq!(csr.to_coo(), coo);
+    }
+
+    #[test]
+    fn transpose_involution((n, edges) in arb_edges(48, 192)) {
+        let g = Csr::from_edges(n, n, &edges);
+        prop_assert_eq!(g.transpose().transpose(), g.clone());
+    }
+
+    #[test]
+    fn transpose_preserves_nnz((n, edges) in arb_edges(48, 192)) {
+        let g = Csr::from_edges(n, n, &edges);
+        prop_assert_eq!(g.transpose().nnz(), g.nnz());
+    }
+
+    #[test]
+    fn symmetrize_is_symmetric_and_has_loops((n, edges) in arb_edges(32, 128)) {
+        let g = Csr::from_edges(n, n, &edges).symmetrized_with_self_loops();
+        prop_assert!(g.is_symmetric());
+        for v in 0..n as VertexId {
+            prop_assert!(g.row(v).contains(&v));
+            prop_assert!(g.degree(v) >= 1);
+        }
+    }
+
+    #[test]
+    fn symmetric_graph_equals_its_transpose((n, edges) in arb_edges(32, 128)) {
+        let g = Csr::from_edges(n, n, &edges).symmetrized_with_self_loops();
+        prop_assert_eq!(g.transpose(), g.clone());
+    }
+
+    #[test]
+    fn coo_edges_match_membership((n, edges) in arb_edges(32, 96)) {
+        let coo = Coo::from_edges(n, n, &edges);
+        let csr = Csr::from_coo(&coo);
+        // Every original edge must be found in the CSR row.
+        for &(r, c) in &edges {
+            prop_assert!(csr.row(r).binary_search(&c).is_ok());
+        }
+        prop_assert!(coo.nnz() <= edges.len());
+    }
+}

@@ -1,0 +1,169 @@
+//! bfloat16 — the extension comparison the paper's overflow analysis
+//! invites.
+//!
+//! `bf16` keeps float's 8-bit exponent (no overflow at GNN magnitudes) but
+//! has only 8 significand bits (vs. binary16's 11). It is the obvious
+//! "what if we just used a wider-range 16-bit type?" answer to §3.1.3 —
+//! and the comparison experiments show why it is not free: per-value
+//! rounding error is ~8× coarser, and long unscaled reductions lose
+//! precision instead of exploding. HalfGNN's discretized scaling keeps
+//! binary16's accuracy *and* its range safety.
+
+use std::fmt;
+
+/// A 16-bit bfloat: 1 sign, 8 exponent, 7 mantissa bits (the top half of an
+/// `f32`).
+#[derive(Clone, Copy, Default)]
+#[repr(transparent)]
+pub struct Bf16(u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0x0000);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+    /// Largest finite value, ≈ 3.39e38 (float-like range).
+    pub const MAX: Bf16 = Bf16(0x7F7F);
+    /// Positive infinity.
+    pub const INFINITY: Bf16 = Bf16(0x7F80);
+    /// Machine epsilon, 2⁻⁷ (8× coarser than binary16's 2⁻¹⁰).
+    pub const EPSILON: Bf16 = Bf16(0x3C00);
+
+    /// Raw bits.
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// From raw bits.
+    pub const fn from_bits(bits: u16) -> Bf16 {
+        Bf16(bits)
+    }
+
+    /// Round an `f32` to bfloat16 (round-to-nearest-even on the truncated
+    /// 16 bits).
+    pub fn from_f32(v: f32) -> Bf16 {
+        let x = v.to_bits();
+        if v.is_nan() {
+            return Bf16(((x >> 16) as u16) | 0x0040); // quiet
+        }
+        let lsb = (x >> 16) & 1;
+        let rounded = x.wrapping_add(0x7FFF + lsb);
+        Bf16((rounded >> 16) as u16)
+    }
+
+    /// Exact widening to `f32`.
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// True for NaN.
+    pub fn is_nan(self) -> bool {
+        self.0 & 0x7FFF > 0x7F80
+    }
+
+    /// True for ±∞.
+    pub fn is_infinite(self) -> bool {
+        self.0 & 0x7FFF == 0x7F80
+    }
+
+    /// True for finite values.
+    pub fn is_finite(self) -> bool {
+        self.0 & 0x7F80 != 0x7F80
+    }
+
+    /// Correctly-rounded bf16 add (compute in f32, round once).
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() + rhs.to_f32())
+    }
+
+    /// Correctly-rounded bf16 multiply.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, rhs: Bf16) -> Bf16 {
+        Bf16::from_f32(self.to_f32() * rhs.to_f32())
+    }
+}
+
+impl PartialEq for Bf16 {
+    fn eq(&self, other: &Bf16) -> bool {
+        self.to_f32() == other.to_f32()
+    }
+}
+
+impl fmt::Debug for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}bf16", self.to_f32())
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&self.to_f32(), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Half;
+
+    #[test]
+    fn known_patterns() {
+        assert_eq!(Bf16::from_f32(1.0).to_bits(), 0x3F80);
+        assert_eq!(Bf16::from_f32(0.0).to_bits(), 0x0000);
+        assert_eq!(Bf16::from_f32(-2.0).to_bits(), 0xC000);
+        assert!(Bf16::from_f32(f32::NAN).is_nan());
+        assert!(Bf16::from_f32(f32::INFINITY).is_infinite());
+    }
+
+    #[test]
+    fn round_trip_is_identity_on_bf16_grid() {
+        for bits in [0x0000u16, 0x3F80, 0x4049, 0x7F7F, 0xC2C8] {
+            let b = Bf16::from_bits(bits);
+            assert_eq!(Bf16::from_f32(b.to_f32()).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn rne_rounding() {
+        // 1 + 2^-8 is exactly halfway between 1.0 and 1 + 2^-7: ties to
+        // even (1.0).
+        assert_eq!(Bf16::from_f32(1.0 + 2f32.powi(-8)), Bf16::ONE);
+        // Slightly above rounds up.
+        assert_eq!(
+            Bf16::from_f32(1.0 + 2f32.powi(-8) + 1e-4).to_f32(),
+            1.0 + 2f32.powi(-7)
+        );
+    }
+
+    #[test]
+    fn range_no_overflow_where_half_overflows() {
+        // The §3.1.3 hub sum: 2000 x 60 = 120000.
+        let mut acc_b = Bf16::ZERO;
+        let mut acc_h = Half::ZERO;
+        let vb = Bf16::from_f32(60.0);
+        let vh = Half::from_f32(60.0);
+        for _ in 0..2000 {
+            acc_b = acc_b.add(vb);
+            acc_h += vh;
+        }
+        assert!(acc_h.is_infinite(), "binary16 must overflow");
+        assert!(acc_b.is_finite(), "bfloat16 must not");
+        // ... but bf16's 8-bit mantissa makes the sum noticeably lossy.
+        let err_b = (acc_b.to_f32() - 120_000.0).abs() / 120_000.0;
+        assert!(err_b > 1e-3, "bf16 should show visible accumulation error, got {err_b}");
+    }
+
+    #[test]
+    fn precision_half_beats_bf16_in_range() {
+        // For in-range values, binary16 rounds ~8x finer.
+        let mut worst_h = 0f32;
+        let mut worst_b = 0f32;
+        for i in 1..1000 {
+            let v = 1.0 + i as f32 * 1e-3;
+            worst_h = worst_h.max((Half::from_f32(v).to_f32() - v).abs() / v);
+            worst_b = worst_b.max((Bf16::from_f32(v).to_f32() - v).abs() / v);
+        }
+        assert!(worst_b > 4.0 * worst_h, "bf16 {worst_b} vs half {worst_h}");
+    }
+}

@@ -1,0 +1,191 @@
+//! `Half2` — the native 32-bit vector of two binary16 lanes (Fig. 3c path).
+//!
+//! GPUs support `half2` natively for both data load and arithmetic: one
+//! instruction operates on both lanes, doubling arithmetic throughput over
+//! scalar half or float. HalfGNN's baseline design (§4) is built on this
+//! type, together with *edge-feature mirroring* ([`Half2::mirror_lo`] /
+//! [`Half2::mirror_hi`]), which duplicates a single edge feature across both
+//! lanes so that one `half2` FMA multiplies one edge weight against two
+//! vertex features.
+
+use crate::f16::Half;
+use crate::intrinsics::{hadd, hdiv, hfma, hmax, hmul, hsub};
+
+/// Two binary16 lanes packed in 32 bits.
+#[derive(Clone, Copy, Default, PartialEq, Debug)]
+#[repr(C, align(4))]
+pub struct Half2 {
+    /// Low lane (first in memory).
+    pub lo: Half,
+    /// High lane (second in memory).
+    pub hi: Half,
+}
+
+impl Half2 {
+    /// Both lanes zero.
+    pub const ZERO: Half2 = Half2 { lo: Half::ZERO, hi: Half::ZERO };
+
+    /// Pack two halves.
+    #[inline(always)]
+    pub const fn new(lo: Half, hi: Half) -> Half2 {
+        Half2 { lo, hi }
+    }
+
+    /// Broadcast one half to both lanes (CUDA `__half2half2`).
+    #[inline(always)]
+    pub const fn splat(v: Half) -> Half2 {
+        Half2 { lo: v, hi: v }
+    }
+
+    /// Convert a pair of `f32`s, rounding each lane.
+    pub fn from_f32s(lo: f32, hi: f32) -> Half2 {
+        Half2 { lo: Half::from_f32(lo), hi: Half::from_f32(hi) }
+    }
+
+    /// Mirror the low lane across both lanes: `(a, b) -> (a, a)`.
+    ///
+    /// Edge-feature mirroring (§4.2): an edge-feature load brings two
+    /// *different* edges' features `(w_e, w_e')` as one `half2`; the dot
+    /// product needs `(w_e, w_e)` against that edge's two vertex features.
+    #[inline(always)]
+    pub const fn mirror_lo(self) -> Half2 {
+        Half2 { lo: self.lo, hi: self.lo }
+    }
+
+    /// Mirror the high lane across both lanes: `(a, b) -> (b, b)`.
+    #[inline(always)]
+    pub const fn mirror_hi(self) -> Half2 {
+        Half2 { lo: self.hi, hi: self.hi }
+    }
+
+    /// Lanewise add (CUDA `__hadd2`): one instruction, two results.
+    #[inline(always)]
+    pub fn add2(self, rhs: Half2) -> Half2 {
+        Half2 { lo: hadd(self.lo, rhs.lo), hi: hadd(self.hi, rhs.hi) }
+    }
+
+    /// Lanewise subtract (CUDA `__hsub2`).
+    #[inline(always)]
+    pub fn sub2(self, rhs: Half2) -> Half2 {
+        Half2 { lo: hsub(self.lo, rhs.lo), hi: hsub(self.hi, rhs.hi) }
+    }
+
+    /// Lanewise multiply (CUDA `__hmul2`).
+    #[inline(always)]
+    pub fn mul2(self, rhs: Half2) -> Half2 {
+        Half2 { lo: hmul(self.lo, rhs.lo), hi: hmul(self.hi, rhs.hi) }
+    }
+
+    /// Lanewise divide (CUDA `__h2div`).
+    #[inline(always)]
+    pub fn div2(self, rhs: Half2) -> Half2 {
+        Half2 { lo: hdiv(self.lo, rhs.lo), hi: hdiv(self.hi, rhs.hi) }
+    }
+
+    /// Lanewise fused multiply-add (CUDA `__hfma2`): `self * b + c`.
+    #[inline(always)]
+    pub fn fma2(self, b: Half2, c: Half2) -> Half2 {
+        Half2 { lo: hfma(self.lo, b.lo, c.lo), hi: hfma(self.hi, b.hi, c.hi) }
+    }
+
+    /// Lanewise max (CUDA `__hmax2`).
+    #[inline(always)]
+    pub fn max2(self, rhs: Half2) -> Half2 {
+        Half2 { lo: hmax(self.lo, rhs.lo), hi: hmax(self.hi, rhs.hi) }
+    }
+
+    /// Horizontal sum of the two lanes as one half add.
+    #[inline(always)]
+    pub fn hsum(self) -> Half {
+        hadd(self.lo, self.hi)
+    }
+
+    /// Horizontal sum widened to `f32` (exact).
+    #[inline(always)]
+    pub fn hsum_f32(self) -> f32 {
+        self.lo.to_f32() + self.hi.to_f32()
+    }
+
+    /// True if either lane is non-finite.
+    pub fn has_non_finite(self) -> bool {
+        !self.lo.is_finite() || !self.hi.is_finite()
+    }
+
+    /// Reinterpret as the raw 32-bit word the GPU would move.
+    #[inline(always)]
+    pub fn to_bits(self) -> u32 {
+        (self.lo.to_bits() as u32) | ((self.hi.to_bits() as u32) << 16)
+    }
+
+    /// Rebuild from a raw 32-bit word.
+    #[inline(always)]
+    pub fn from_bits(bits: u32) -> Half2 {
+        Half2 { lo: Half::from_bits(bits as u16), hi: Half::from_bits((bits >> 16) as u16) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(v: f32) -> Half {
+        Half::from_f32(v)
+    }
+
+    #[test]
+    fn layout_is_32_bits() {
+        assert_eq!(std::mem::size_of::<Half2>(), 4);
+        assert_eq!(std::mem::align_of::<Half2>(), 4);
+    }
+
+    #[test]
+    fn lanewise_ops_match_scalar() {
+        let a = Half2::from_f32s(1.5, -2.0);
+        let b = Half2::from_f32s(0.25, 4.0);
+        assert_eq!(a.add2(b), Half2::from_f32s(1.75, 2.0));
+        assert_eq!(a.mul2(b), Half2::from_f32s(0.375, -8.0));
+        assert_eq!(a.sub2(b), Half2::from_f32s(1.25, -6.0));
+        assert_eq!(a.fma2(b, Half2::splat(Half::ONE)), Half2::from_f32s(1.375, -7.0));
+        assert_eq!(a.max2(b), Half2::from_f32s(1.5, 4.0));
+    }
+
+    #[test]
+    fn mirroring() {
+        let w = Half2::from_f32s(3.0, 7.0); // two different edges' features
+        assert_eq!(w.mirror_lo(), Half2::from_f32s(3.0, 3.0));
+        assert_eq!(w.mirror_hi(), Half2::from_f32s(7.0, 7.0));
+    }
+
+    #[test]
+    fn mirrored_fma_computes_correct_dot_product() {
+        // Edge weight w against vertex feature pair (x0, x1): the mirrored
+        // half2 FMA must produce (w*x0, w*x1), not (w*x0, w'*x1).
+        let packed = Half2::from_f32s(2.0, 5.0); // w = 2.0 for this edge
+        let x = Half2::from_f32s(1.5, -3.0);
+        let r = packed.mirror_lo().mul2(x);
+        assert_eq!(r, Half2::from_f32s(3.0, -6.0));
+    }
+
+    #[test]
+    fn horizontal_sum() {
+        let v = Half2::from_f32s(1.25, 2.5);
+        assert_eq!(v.hsum().to_f32(), 3.75);
+        assert_eq!(v.hsum_f32(), 3.75);
+    }
+
+    #[test]
+    fn bit_packing_round_trip() {
+        let v = Half2::from_f32s(-0.125, 65504.0);
+        assert_eq!(Half2::from_bits(v.to_bits()), v);
+        assert_eq!(v.to_bits() & 0xFFFF, Half::from_f32(-0.125).to_bits() as u32);
+    }
+
+    #[test]
+    fn overflow_per_lane() {
+        let a = Half2::new(Half::MAX, h(1.0));
+        let r = a.add2(Half2::new(Half::MAX, h(1.0)));
+        assert!(r.lo.is_infinite());
+        assert_eq!(r.hi.to_f32(), 2.0);
+        assert!(r.has_non_finite());
+    }
+}

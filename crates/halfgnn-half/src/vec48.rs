@@ -1,0 +1,247 @@
+//! `Half4` and `Half8` — the paper's proposed wider half vectors (§5.1.2).
+//!
+//! GPUs have no native arithmetic beyond `half2`, but they *do* have native
+//! 64-bit (`float2`) and 128-bit (`float4`) vector loads. `Half4` packs four
+//! halves in a `float2`-sized word and `Half8` packs eight in a
+//! `float4`-sized word, so a warp issues 256 B or 512 B of data in a single
+//! load instruction. Arithmetic on these types decomposes into `half2`
+//! operations, exactly as the paper specifies ("half4 and half8 use half2
+//! for arithmetic").
+
+use crate::f16::Half;
+use crate::vec2::Half2;
+
+/// Four binary16 lanes packed in 64 bits (loaded like a `float2`).
+#[derive(Clone, Copy, Default, PartialEq, Debug)]
+#[repr(C, align(8))]
+pub struct Half4 {
+    /// Lanes 0–1.
+    pub a: Half2,
+    /// Lanes 2–3.
+    pub b: Half2,
+}
+
+/// Eight binary16 lanes packed in 128 bits (loaded like a `float4`).
+#[derive(Clone, Copy, Default, PartialEq, Debug)]
+#[repr(C, align(16))]
+pub struct Half8 {
+    /// Lanes 0–3.
+    pub lo: Half4,
+    /// Lanes 4–7.
+    pub hi: Half4,
+}
+
+impl Half4 {
+    /// All lanes zero.
+    pub const ZERO: Half4 = Half4 { a: Half2::ZERO, b: Half2::ZERO };
+
+    /// Pack four halves.
+    pub const fn new(x0: Half, x1: Half, x2: Half, x3: Half) -> Half4 {
+        Half4 { a: Half2::new(x0, x1), b: Half2::new(x2, x3) }
+    }
+
+    /// Broadcast one half to all four lanes.
+    pub const fn splat(v: Half) -> Half4 {
+        Half4 { a: Half2::splat(v), b: Half2::splat(v) }
+    }
+
+    /// Gather the four lanes from a slice starting at `off` (must have 4
+    /// elements available; this is the functional view of one thread's
+    /// `float2`-width load).
+    pub fn load(src: &[Half], off: usize) -> Half4 {
+        Half4 {
+            a: Half2::new(src[off], src[off + 1]),
+            b: Half2::new(src[off + 2], src[off + 3]),
+        }
+    }
+
+    /// Scatter all four lanes to a slice starting at `off`.
+    pub fn store(self, dst: &mut [Half], off: usize) {
+        dst[off] = self.a.lo;
+        dst[off + 1] = self.a.hi;
+        dst[off + 2] = self.b.lo;
+        dst[off + 3] = self.b.hi;
+    }
+
+    /// Lanewise add: two `half2` instructions.
+    #[inline(always)]
+    pub fn add4(self, rhs: Half4) -> Half4 {
+        Half4 { a: self.a.add2(rhs.a), b: self.b.add2(rhs.b) }
+    }
+
+    /// Lanewise multiply: two `half2` instructions.
+    #[inline(always)]
+    pub fn mul4(self, rhs: Half4) -> Half4 {
+        Half4 { a: self.a.mul2(rhs.a), b: self.b.mul2(rhs.b) }
+    }
+
+    /// Lanewise FMA: two `half2` instructions.
+    #[inline(always)]
+    pub fn fma4(self, b: Half4, c: Half4) -> Half4 {
+        Half4 { a: self.a.fma2(b.a, c.a), b: self.b.fma2(b.b, c.b) }
+    }
+
+    /// Horizontal sum widened to `f32` (exact partial dot-product reduce).
+    #[inline(always)]
+    pub fn hsum_f32(self) -> f32 {
+        self.a.hsum_f32() + self.b.hsum_f32()
+    }
+
+    /// Pairwise horizontal reduce to one `half2` (lane0+lane2, lane1+lane3):
+    /// the in-register reduction step SDDMM uses before shuffles.
+    #[inline(always)]
+    pub fn fold2(self) -> Half2 {
+        self.a.add2(self.b)
+    }
+
+    /// Lane access by index (0..4).
+    pub fn lane(self, i: usize) -> Half {
+        match i {
+            0 => self.a.lo,
+            1 => self.a.hi,
+            2 => self.b.lo,
+            3 => self.b.hi,
+            _ => panic!("Half4 lane index {i} out of range"),
+        }
+    }
+}
+
+impl Half8 {
+    /// All lanes zero.
+    pub const ZERO: Half8 = Half8 { lo: Half4::ZERO, hi: Half4::ZERO };
+
+    /// Broadcast one half to all eight lanes.
+    pub const fn splat(v: Half) -> Half8 {
+        Half8 { lo: Half4::splat(v), hi: Half4::splat(v) }
+    }
+
+    /// Gather eight lanes from a slice starting at `off` (one thread's
+    /// `float4`-width load).
+    pub fn load(src: &[Half], off: usize) -> Half8 {
+        Half8 { lo: Half4::load(src, off), hi: Half4::load(src, off + 4) }
+    }
+
+    /// Scatter all eight lanes to a slice starting at `off`.
+    pub fn store(self, dst: &mut [Half], off: usize) {
+        self.lo.store(dst, off);
+        self.hi.store(dst, off + 4);
+    }
+
+    /// Lanewise add: four `half2` instructions.
+    #[inline(always)]
+    pub fn add8(self, rhs: Half8) -> Half8 {
+        Half8 { lo: self.lo.add4(rhs.lo), hi: self.hi.add4(rhs.hi) }
+    }
+
+    /// Lanewise multiply: four `half2` instructions.
+    #[inline(always)]
+    pub fn mul8(self, rhs: Half8) -> Half8 {
+        Half8 { lo: self.lo.mul4(rhs.lo), hi: self.hi.mul4(rhs.hi) }
+    }
+
+    /// Lanewise FMA: four `half2` instructions.
+    #[inline(always)]
+    pub fn fma8(self, b: Half8, c: Half8) -> Half8 {
+        Half8 { lo: self.lo.fma4(b.lo, c.lo), hi: self.hi.fma4(b.hi, c.hi) }
+    }
+
+    /// Horizontal sum widened to `f32` (exact).
+    #[inline(always)]
+    pub fn hsum_f32(self) -> f32 {
+        self.lo.hsum_f32() + self.hi.hsum_f32()
+    }
+
+    /// In-register tree reduce to one `half2`: three `half2` adds, leaving
+    /// only log2(sub-warp) shuffle rounds to finish an SDDMM reduction.
+    #[inline(always)]
+    pub fn fold2(self) -> Half2 {
+        self.lo.fold2().add2(self.hi.fold2())
+    }
+
+    /// Lane access by index (0..8).
+    pub fn lane(self, i: usize) -> Half {
+        if i < 4 {
+            self.lo.lane(i)
+        } else {
+            self.hi.lane(i - 4)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(v: f32) -> Half {
+        Half::from_f32(v)
+    }
+
+    #[test]
+    fn sizes_match_float2_float4() {
+        assert_eq!(std::mem::size_of::<Half4>(), 8); // float2-sized
+        assert_eq!(std::mem::size_of::<Half8>(), 16); // float4-sized
+        assert_eq!(std::mem::align_of::<Half4>(), 8);
+        assert_eq!(std::mem::align_of::<Half8>(), 16);
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let data: Vec<Half> = (0..16).map(|i| h(i as f32 * 0.5)).collect();
+        let v4 = Half4::load(&data, 4);
+        assert_eq!(v4.lane(0).to_f32(), 2.0);
+        assert_eq!(v4.lane(3).to_f32(), 3.5);
+        let v8 = Half8::load(&data, 8);
+        assert_eq!(v8.lane(0).to_f32(), 4.0);
+        assert_eq!(v8.lane(7).to_f32(), 7.5);
+
+        let mut out = vec![Half::ZERO; 16];
+        v4.store(&mut out, 0);
+        v8.store(&mut out, 8);
+        assert_eq!(out[..4], data[4..8]);
+        assert_eq!(out[8..16], data[8..16]);
+    }
+
+    #[test]
+    fn arithmetic_is_lanewise() {
+        let a = Half4::new(h(1.0), h(2.0), h(3.0), h(4.0));
+        let b = Half4::splat(h(2.0));
+        let r = a.mul4(b);
+        for i in 0..4 {
+            assert_eq!(r.lane(i).to_f32(), (i as f32 + 1.0) * 2.0);
+        }
+        let s = a.add4(b);
+        assert_eq!(s.lane(3).to_f32(), 6.0);
+        let f = a.fma4(b, Half4::splat(h(1.0)));
+        assert_eq!(f.lane(0).to_f32(), 3.0);
+    }
+
+    #[test]
+    fn half8_fma_matches_scalar_loop() {
+        let data: Vec<Half> = (0..8).map(|i| h(i as f32 - 3.5)).collect();
+        let x = Half8::load(&data, 0);
+        let y = Half8::splat(h(1.5));
+        let r = x.mul8(y);
+        for (i, d) in data.iter().enumerate() {
+            assert_eq!(r.lane(i).to_f32(), crate::intrinsics::hmul(*d, h(1.5)).to_f32());
+        }
+    }
+
+    #[test]
+    fn horizontal_reductions() {
+        let a = Half4::new(h(1.0), h(2.0), h(3.0), h(4.0));
+        assert_eq!(a.hsum_f32(), 10.0);
+        assert_eq!(a.fold2(), Half2::from_f32s(4.0, 6.0));
+
+        let data: Vec<Half> = (1..=8).map(|i| h(i as f32)).collect();
+        let v = Half8::load(&data, 0);
+        assert_eq!(v.hsum_f32(), 36.0);
+        // fold2: (1+3+5+7, 2+4+6+8)
+        assert_eq!(v.fold2(), Half2::from_f32s(16.0, 20.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "lane index")]
+    fn lane_out_of_range_panics() {
+        Half4::ZERO.lane(4);
+    }
+}

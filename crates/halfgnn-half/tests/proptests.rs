@@ -1,0 +1,157 @@
+//! Property-based tests for the binary16 implementation: the conversion is
+//! checked against an independent reference model, and vector ops are
+//! checked lanewise against the scalar intrinsics.
+
+use halfgnn_half::prelude::*;
+use halfgnn_half::slice;
+use proptest::prelude::*;
+
+/// Reference f32→binary16 conversion built on integer rounding of the exact
+/// scaled significand — structurally different from the production
+/// implementation (no bit surgery on the f32 encoding).
+fn reference_f32_to_f16_bits(x: f32) -> u16 {
+    if x.is_nan() {
+        return 0x7E00 | if x.is_sign_negative() { 0x8000 } else { 0 };
+    }
+    let sign: u16 = if x.is_sign_negative() { 0x8000 } else { 0 };
+    let a = x.abs() as f64;
+    if a == 0.0 {
+        return sign;
+    }
+    if x.is_infinite() {
+        return sign | 0x7C00;
+    }
+    // Quantize to the binary16 grid: units of 2^(e-10) for normals with
+    // exponent e, units of 2^-24 below the normal range.
+    let e = a.log2().floor() as i32;
+    let e = e.clamp(-14, 15);
+    let ulp = 2f64.powi(e - 10).max(2f64.powi(-24));
+    let q = a / ulp;
+    // Round half to even on the integer grid.
+    let floor = q.floor();
+    let frac = q - floor;
+    let mut n = floor as u64;
+    if frac > 0.5 || (frac == 0.5 && n % 2 == 1) {
+        n += 1;
+    }
+    let v = n as f64 * ulp;
+    if v > 65504.0 {
+        return sign | 0x7C00;
+    }
+    // Re-encode the quantized value exactly.
+    if v < 2f64.powi(-14) {
+        // subnormal: v = m * 2^-24
+        let m = (v / 2f64.powi(-24)).round() as u16;
+        return sign | m;
+    }
+    let e2 = v.log2().floor() as i32;
+    let m = ((v / 2f64.powi(e2) - 1.0) * 1024.0).round() as u16;
+    // Rounding up may have pushed the mantissa to 1024 (carry into exponent).
+    let (e2, m) = if m == 1024 { (e2 + 1, 0) } else { (e2, m) };
+    if e2 > 15 {
+        return sign | 0x7C00;
+    }
+    sign | (((e2 + 15) as u16) << 10) | m
+}
+
+proptest! {
+    #[test]
+    fn conversion_matches_reference_model(x in prop::num::f32::NORMAL | prop::num::f32::SUBNORMAL | prop::num::f32::ZERO) {
+        let got = Half::from_f32(x).to_bits();
+        let want = reference_f32_to_f16_bits(x);
+        prop_assert_eq!(got, want, "x = {} ({:#010x})", x, x.to_bits());
+    }
+
+    #[test]
+    fn round_trip_is_identity_on_f16_grid(bits in 0u16..0x7C00u16) {
+        // Every finite positive half value survives f16 -> f32 -> f16.
+        let h = Half::from_bits(bits);
+        prop_assert_eq!(Half::from_f32(h.to_f32()).to_bits(), bits);
+    }
+
+    #[test]
+    fn conversion_is_monotone(a in -70000f32..70000f32, b in -70000f32..70000f32) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let hl = Half::from_f32(lo);
+        let hh = Half::from_f32(hi);
+        prop_assert!(hl.to_f32() <= hh.to_f32());
+    }
+
+    #[test]
+    fn conversion_error_within_half_ulp(x in -60000f32..60000f32) {
+        let h = Half::from_f32(x);
+        let back = h.to_f32();
+        // ulp at |x|: 2^(floor(log2 |x|) - 10), at least the subnormal step.
+        let ulp = if x == 0.0 {
+            2f32.powi(-24)
+        } else {
+            2f32.powi((x.abs().log2().floor() as i32 - 10).max(-24))
+        };
+        prop_assert!((back - x).abs() <= ulp * 0.5 + f32::EPSILON,
+            "x={x} back={back} ulp={ulp}");
+    }
+
+    #[test]
+    fn half2_ops_match_scalar_lanes(a0 in -100f32..100f32, a1 in -100f32..100f32,
+                                    b0 in -100f32..100f32, b1 in -100f32..100f32) {
+        let a = Half2::from_f32s(a0, a1);
+        let b = Half2::from_f32s(b0, b1);
+        prop_assert_eq!(a.add2(b).lo.to_bits(), hadd(a.lo, b.lo).to_bits());
+        prop_assert_eq!(a.add2(b).hi.to_bits(), hadd(a.hi, b.hi).to_bits());
+        prop_assert_eq!(a.mul2(b).lo.to_bits(), hmul(a.lo, b.lo).to_bits());
+        prop_assert_eq!(a.fma2(b, Half2::ZERO).hi.to_bits(), hfma(a.hi, b.hi, Half::ZERO).to_bits());
+        prop_assert_eq!(a.max2(b).lo.to_bits(), hmax(a.lo, b.lo).to_bits());
+    }
+
+    #[test]
+    fn half8_ops_match_scalar_lanes(vals in prop::collection::vec(-50f32..50f32, 16)) {
+        let xs: Vec<Half> = vals[..8].iter().map(|&v| Half::from_f32(v)).collect();
+        let ys: Vec<Half> = vals[8..].iter().map(|&v| Half::from_f32(v)).collect();
+        let a = Half8::load(&xs, 0);
+        let b = Half8::load(&ys, 0);
+        let sum = a.add8(b);
+        let prod = a.mul8(b);
+        for i in 0..8 {
+            prop_assert_eq!(sum.lane(i).to_bits(), hadd(xs[i], ys[i]).to_bits());
+            prop_assert_eq!(prod.lane(i).to_bits(), hmul(xs[i], ys[i]).to_bits());
+        }
+    }
+
+    #[test]
+    fn fold2_preserves_exact_f32_sum(vals in prop::collection::vec(-8f32..8f32, 8)) {
+        // With small-magnitude inputs the half2 tree reduction must agree
+        // with the scalar f32 sum of the rounded inputs to within the
+        // rounding of each add.
+        let xs: Vec<Half> = vals.iter().map(|&v| Half::from_f32(v)).collect();
+        let v = Half8::load(&xs, 0);
+        let exact: f32 = xs.iter().map(|h| h.to_f32()).sum();
+        let folded = v.fold2().hsum_f32();
+        prop_assert!((folded - exact).abs() <= 0.25, "folded={folded} exact={exact}");
+    }
+
+    #[test]
+    fn pad_feature_len_properties(len in 0usize..10_000, width in prop::sample::select(vec![2usize, 4, 8])) {
+        let padded = slice::pad_feature_len(len, width);
+        prop_assert!(padded >= len);
+        prop_assert!(padded < len + width);
+        prop_assert_eq!(padded % width, 0);
+    }
+
+    #[test]
+    fn intrinsic_add_commutative_and_mul_distributes_sign(a in -1000f32..1000f32, b in -1000f32..1000f32) {
+        let (x, y) = (Half::from_f32(a), Half::from_f32(b));
+        prop_assert_eq!(hadd(x, y).to_bits(), hadd(y, x).to_bits());
+        prop_assert_eq!(hmul(-x, y).to_bits(), (-hmul(x, y)).to_bits());
+    }
+
+    #[test]
+    fn bulk_conversion_round_trips(vals in prop::collection::vec(-60000f32..60000f32, 0..64)) {
+        let hs = slice::f32_slice_to_half(&vals);
+        let back = slice::half_slice_to_f32(&hs);
+        let again = slice::f32_slice_to_half(&back);
+        prop_assert_eq!(
+            hs.iter().map(|h| h.to_bits()).collect::<Vec<_>>(),
+            again.iter().map(|h| h.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

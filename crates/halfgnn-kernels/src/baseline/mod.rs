@@ -1,0 +1,18 @@
+//! Baseline kernels the paper compares against.
+//!
+//! These model the *state of the practice* the paper analyzes in §3.1:
+//!
+//! * [`cusparse`] — the closed-source cuSPARSE SpMM that DGL calls:
+//!   workload-balanced with atomic conflict resolution (as the paper's
+//!   profiling reveals), scalar data loads, and — in the half variant —
+//!   implicit-promotion arithmetic (Fig. 3a) plus costly 16-bit atomics.
+//!   Reproduces Fig. 1a (half slower than float).
+//! * [`dgl_sddmm`] — DGL's in-house SDDMM, which "replaces float with the
+//!   half-precision data type without any system design change": same
+//!   structure for both precisions, so half shows no speedup (Fig. 1b).
+//! * [`ge_spmm`] — GE-SpMM-style vanilla vertex-parallel SpMM (row per
+//!   warp, no workload balancing): the classic design §2.1.3 describes.
+
+pub mod cusparse;
+pub mod dgl_sddmm;
+pub mod ge_spmm;

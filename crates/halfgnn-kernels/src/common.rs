@@ -1,0 +1,204 @@
+//! Shared kernel vocabulary: reduction modes, scaling placement, write
+//! strategies, vector widths, and the edge-tiling geometry.
+
+use halfgnn_half::Half;
+
+/// Where degree-norm scaling happens relative to the SpMM reduction
+/// (§5.2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScalePlacement {
+    /// No scaling: plain sum (GIN's default aggregation — overflows).
+    None,
+    /// Scale once after the full reduction (current systems; overflow has
+    /// already happened by then).
+    PostReduction,
+    /// Scale every dot product before reducing (no overflow, extra
+    /// arithmetic, underflow risk).
+    PreReduction,
+    /// **The paper's contribution**: scale at the end of each discretized
+    /// batch of neighbors — overflow-safe at no extra cost.
+    Discretized,
+}
+
+/// How conflicting writes are resolved (§5.2.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteStrategy {
+    /// Atomic read-modify-write per conflicting element (costly for half).
+    Atomic,
+    /// Warp-local direct writes + intra-CTA shared-memory combine +
+    /// staging buffer and follow-up kernel.
+    Staged,
+}
+
+/// SpMM reduction operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reduce {
+    /// Sum of neighbor contributions.
+    Sum,
+    /// Maximum (edge-softmax's `m_i`; never overflows).
+    Max,
+}
+
+/// Data-load vector width for SDDMM (§5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VectorWidth {
+    /// Scalar half loads: 64 B per warp instruction.
+    Half1,
+    /// Native half2: 128 B.
+    Half2,
+    /// Proposed half4 via float2: 256 B.
+    Half4,
+    /// Proposed half8 via float4: 512 B.
+    Half8,
+}
+
+impl VectorWidth {
+    /// Lanes of half data per thread per load.
+    pub fn lanes(self) -> usize {
+        match self {
+            VectorWidth::Half1 => 1,
+            VectorWidth::Half2 => 2,
+            VectorWidth::Half4 => 4,
+            VectorWidth::Half8 => 8,
+        }
+    }
+
+    /// Bytes per thread per load instruction.
+    pub fn bytes(self) -> usize {
+        self.lanes() * 2
+    }
+}
+
+/// Edge weights for SpMM: `SpMMv` (implicit ones) or `SpMMve` (explicit
+/// edge-level tensor).
+#[derive(Clone, Copy, Debug)]
+pub enum EdgeWeights<'a> {
+    /// All weights are 1.0 — GCN/GIN's kernel; no weight tensor is stored
+    /// or loaded.
+    Ones,
+    /// Explicit per-edge weights (attention scores in GAT).
+    Values(&'a [Half]),
+}
+
+impl<'a> EdgeWeights<'a> {
+    /// Weight of edge `e`.
+    #[inline(always)]
+    pub fn get(&self, e: usize) -> Half {
+        match self {
+            EdgeWeights::Ones => Half::ONE,
+            EdgeWeights::Values(w) => w[e],
+        }
+    }
+
+    /// True for the SpMMv case.
+    pub fn is_ones(&self) -> bool {
+        matches!(self, EdgeWeights::Ones)
+    }
+}
+
+/// Edge-tile geometry for edge-parallel kernels: the discretization unit of
+/// §5.2. Defaults follow §4.1.1 ("at least 64 edges must be allocated to
+/// each warp").
+#[derive(Clone, Copy, Debug)]
+pub struct Tiling {
+    /// Edges assigned to each warp.
+    pub edges_per_warp: usize,
+    /// Warps per CTA.
+    pub warps_per_cta: usize,
+}
+
+impl Default for Tiling {
+    fn default() -> Tiling {
+        Tiling { edges_per_warp: 64, warps_per_cta: 4 }
+    }
+}
+
+impl Tiling {
+    /// Edges covered by one CTA.
+    pub fn edges_per_cta(&self) -> usize {
+        self.edges_per_warp * self.warps_per_cta
+    }
+
+    /// CTAs needed for `nnz` edges.
+    pub fn num_ctas(&self, nnz: usize) -> usize {
+        nnz.div_ceil(self.edges_per_cta()).max(1)
+    }
+
+    /// The edge range `[start, end)` of warp `w` in CTA `cta`.
+    pub fn warp_range(&self, cta: usize, w: usize, nnz: usize) -> (usize, usize) {
+        let start = cta * self.edges_per_cta() + w * self.edges_per_warp;
+        let end = (start + self.edges_per_warp).min(nnz);
+        (start.min(nnz), end)
+    }
+}
+
+/// Convert per-row scale factors (e.g. 1/degree) to half precision once, as
+/// the GPU kernel would keep them.
+pub fn row_scales_mean(degrees: &[u32]) -> Vec<Half> {
+    degrees
+        .iter()
+        .map(|&d| if d == 0 { Half::ZERO } else { Half::from_f32(1.0 / d as f32) })
+        .collect()
+}
+
+/// Per-row `1/sqrt(degree)` factors for GCN's `both` norm.
+pub fn row_scales_inv_sqrt(degrees: &[u32]) -> Vec<Half> {
+    degrees
+        .iter()
+        .map(|&d| if d == 0 { Half::ZERO } else { Half::from_f32(1.0 / (d as f32).sqrt()) })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_width_bytes() {
+        assert_eq!(VectorWidth::Half1.bytes(), 2);
+        assert_eq!(VectorWidth::Half2.bytes(), 4);
+        assert_eq!(VectorWidth::Half4.bytes(), 8);
+        assert_eq!(VectorWidth::Half8.bytes(), 16);
+    }
+
+    #[test]
+    fn tiling_covers_all_edges() {
+        let t = Tiling::default();
+        assert_eq!(t.edges_per_cta(), 256);
+        assert_eq!(t.num_ctas(1000), 4);
+        assert_eq!(t.num_ctas(1024), 4);
+        assert_eq!(t.num_ctas(1025), 5);
+        assert_eq!(t.num_ctas(0), 1);
+        // Ranges tile the edge list exactly.
+        let nnz = 1000;
+        let mut covered = 0;
+        for cta in 0..t.num_ctas(nnz) {
+            for w in 0..t.warps_per_cta {
+                let (s, e) = t.warp_range(cta, w, nnz);
+                assert_eq!(s, covered.min(nnz));
+                covered = e.max(covered);
+            }
+        }
+        assert_eq!(covered, nnz);
+    }
+
+    #[test]
+    fn edge_weights_accessor() {
+        let w = [Half::from_f32(2.0), Half::from_f32(3.0)];
+        assert_eq!(EdgeWeights::Ones.get(1), Half::ONE);
+        assert_eq!(EdgeWeights::Values(&w).get(1).to_f32(), 3.0);
+        assert!(EdgeWeights::Ones.is_ones());
+        assert!(!EdgeWeights::Values(&w).is_ones());
+    }
+
+    #[test]
+    fn row_scale_tables() {
+        let d = [0u32, 1, 4, 16];
+        let mean = row_scales_mean(&d);
+        assert_eq!(mean[0], Half::ZERO);
+        assert_eq!(mean[2].to_f32(), 0.25);
+        let isq = row_scales_inv_sqrt(&d);
+        assert_eq!(isq[3].to_f32(), 0.25);
+        assert_eq!(isq[1].to_f32(), 1.0);
+    }
+}

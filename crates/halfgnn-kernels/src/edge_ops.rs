@@ -1,0 +1,695 @@
+//! Edge-level elementwise kernels — the pieces of edge-softmax (Eq. 1) and
+//! its backward pass.
+//!
+//! These are where mixed-precision training leaks performance (§3.1.2):
+//! PyTorch AMP force-promotes `exp` (and friends) to float, dragging every
+//! downstream sparse kernel to float or forcing h2f/f2h round trips. The
+//! `shadow` flag on [`sub_row_exp`] switches between that AMP behaviour and
+//! the paper's shadow API (§5.3), which stays in half because
+//! `exp(e_ij − m_i) ∈ (0, 1]` cannot overflow.
+
+use crate::common::Tiling;
+use halfgnn_graph::Coo;
+use halfgnn_half::intrinsics::{hadd, hdiv, hexp, hmul, hsub};
+use halfgnn_half::Half;
+use halfgnn_sim::launch::{launch, LaunchParams};
+use halfgnn_sim::memory::AddrSpace;
+use halfgnn_sim::{DeviceConfig, KernelStats};
+
+/// Charging profile of one edge-map kernel.
+#[derive(Clone, Copy)]
+struct EdgeMapCost {
+    /// Row-vector gathers per edge (tensors indexed by `row(e)`).
+    row_gathers: u32,
+    /// Column-vector gathers per edge.
+    col_gathers: u32,
+    /// Edge-tensor operand loads per edge.
+    edge_loads: u32,
+    /// Half instructions per 32 edges.
+    half_instrs: u64,
+    /// Float instructions per 32 edges (AMP-promoted ops).
+    float_instrs: u64,
+    /// Conversion instructions per 32 edges (h2f/f2h round trips).
+    convert_instrs: u64,
+    /// Materialized f32 tensor round trips per edge tensor (AMP promotion
+    /// writes a float copy to global memory and reads it back).
+    f32_roundtrips: u32,
+}
+
+/// Shared edge-parallel skeleton: loads per the cost profile, computes
+/// `op(e)` functionally, stores one element per edge. Generic over the
+/// element type so the float baselines share the structure.
+fn edge_map<T: Copy + Default + Send>(
+    dev: &DeviceConfig,
+    name: &str,
+    coo: &Coo,
+    elem_bytes: usize,
+    cost: EdgeMapCost,
+    op: impl Fn(usize, u32, u32) -> T + Sync,
+) -> (Vec<T>, KernelStats) {
+    let nnz = coo.nnz();
+    let tiling = Tiling::default();
+    let num_ctas = tiling.num_ctas(nnz);
+    let rows = coo.rows();
+    let cols = coo.cols();
+
+    let mut space = AddrSpace::new();
+    let rows_base = space.alloc(nnz, 4);
+    let cols_base = space.alloc(nnz, 4);
+    let row_vec_base = space.alloc(coo.num_rows(), elem_bytes);
+    let col_vec_base = space.alloc(coo.num_cols(), elem_bytes);
+    let edge_base = space.alloc(nnz, elem_bytes);
+    let out_base = space.alloc(nnz, elem_bytes);
+
+    let (cta_outs, stats) = launch(
+        dev,
+        name,
+        LaunchParams { num_ctas, warps_per_cta: tiling.warps_per_cta },
+        |cta| {
+            let mut out: Vec<(usize, Vec<T>)> = Vec::new();
+            for wi in 0..tiling.warps_per_cta {
+                let (s, e) = tiling.warp_range(cta.id, wi, nnz);
+                if s >= e {
+                    continue;
+                }
+                let n = e - s;
+                let mut warp = cta.warp(wi);
+                if cost.row_gathers > 0 {
+                    warp.load_contiguous(rows_base + s as u64 * 4, n, 4);
+                    for _ in 0..cost.row_gathers {
+                        // Row-sorted edges: gathers of m[row] mostly share
+                        // sectors, which load_gather dedups.
+                        warp.load_gather(
+                            (s..e).map(|ei| row_vec_base + rows[ei] as u64 * elem_bytes as u64),
+                            elem_bytes,
+                        );
+                    }
+                }
+                if cost.col_gathers > 0 {
+                    warp.load_contiguous(cols_base + s as u64 * 4, n, 4);
+                    for _ in 0..cost.col_gathers {
+                        warp.load_gather(
+                            (s..e).map(|ei| col_vec_base + cols[ei] as u64 * elem_bytes as u64),
+                            elem_bytes,
+                        );
+                    }
+                }
+                for _ in 0..cost.edge_loads {
+                    // Half operands load as half2-cast words; floats as f32.
+                    if elem_bytes == 2 {
+                        warp.load_contiguous(edge_base + s as u64 * 2, n.div_ceil(2), 4);
+                    } else {
+                        warp.load_contiguous(edge_base + s as u64 * 4, n, 4);
+                    }
+                }
+                let per32 = (n as u64).div_ceil(32);
+                warp.half_ops(cost.half_instrs * per32);
+                warp.float_ops(cost.float_instrs * per32);
+                warp.convert_ops(cost.convert_instrs * per32);
+                for _ in 0..cost.f32_roundtrips {
+                    // AMP materializes a float tensor in global memory and
+                    // the next kernel reads it back (§3.1.2).
+                    warp.store_contiguous(edge_base + s as u64 * 4, n, 4);
+                    warp.load_contiguous(edge_base + s as u64 * 4, n, 4);
+                }
+                if elem_bytes == 2 {
+                    warp.store_contiguous(out_base + s as u64 * 2, n.div_ceil(2), 4);
+                } else {
+                    warp.store_contiguous(out_base + s as u64 * 4, n, 4);
+                }
+
+                out.push((s, (s..e).map(|ei| op(ei, rows[ei], cols[ei])).collect()));
+            }
+            out
+        },
+    );
+
+    let mut result = vec![T::default(); nnz];
+    for cta in cta_outs {
+        for (s, vals) in cta {
+            result[s..s + vals.len()].copy_from_slice(&vals);
+        }
+    }
+    (result, stats)
+}
+
+/// `e_ij ← LeakyReLU(s_src[row] + s_dst[col])` — GAT's raw attention
+/// logits from per-vertex projections (an SDDMM variant).
+pub fn src_dst_add_leakyrelu(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    s_src: &[Half],
+    s_dst: &[Half],
+    slope: f32,
+) -> (Vec<Half>, KernelStats) {
+    assert_eq!(s_src.len(), coo.num_rows());
+    assert_eq!(s_dst.len(), coo.num_cols());
+    let slope_h = Half::from_f32(slope);
+    edge_map(
+        dev,
+        "edge_add_leakyrelu",
+        coo,
+        2,
+        EdgeMapCost {
+            row_gathers: 1,
+            col_gathers: 1,
+            edge_loads: 0,
+            half_instrs: 3,
+            float_instrs: 0,
+            convert_instrs: 0,
+            f32_roundtrips: 0,
+        },
+        |_, r, c| {
+            let v = hadd(s_src[r as usize], s_dst[c as usize]);
+            if v.to_f32() >= 0.0 {
+                v
+            } else {
+                hmul(v, slope_h)
+            }
+        },
+    )
+}
+
+/// `out ← exp(e − m[row])`, the numerically-stabilized softmax numerator.
+///
+/// * `shadow == true`: the paper's shadow API (§5.3) — pure half
+///   arithmetic; safe because the argument is ≤ 0.
+/// * `shadow == false`: PyTorch-AMP behaviour — h2f on the input, float
+///   `exp`, f2h on the output; same values, extra conversion traffic.
+pub fn sub_row_exp(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    e: &[Half],
+    m: &[Half],
+    shadow: bool,
+) -> (Vec<Half>, KernelStats) {
+    assert_eq!(e.len(), coo.nnz());
+    assert_eq!(m.len(), coo.num_rows());
+    let cost = if shadow {
+        EdgeMapCost {
+            row_gathers: 1,
+            col_gathers: 0,
+            edge_loads: 1,
+            half_instrs: 4,
+            float_instrs: 0,
+            convert_instrs: 0,
+            f32_roundtrips: 0,
+        }
+    } else {
+        EdgeMapCost {
+            row_gathers: 1,
+            col_gathers: 0,
+            edge_loads: 1,
+            half_instrs: 1,
+            float_instrs: 4,
+            convert_instrs: 3,
+            f32_roundtrips: 2,
+        }
+    };
+    edge_map(
+        dev,
+        if shadow { "edge_sub_exp_shadow" } else { "edge_sub_exp_amp" },
+        coo,
+        2,
+        cost,
+        |ei, r, _| {
+            if shadow {
+                hexp(hsub(e[ei], m[r as usize]))
+            } else {
+                // AMP: promote, compute in f32, round back.
+                Half::from_f32((e[ei].to_f32() - m[r as usize].to_f32()).exp())
+            }
+        },
+    )
+}
+
+/// `α ← e / z[row]`, the softmax normalization.
+pub fn div_row(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    e: &[Half],
+    z: &[Half],
+) -> (Vec<Half>, KernelStats) {
+    assert_eq!(e.len(), coo.nnz());
+    assert_eq!(z.len(), coo.num_rows());
+    edge_map(
+        dev,
+        "edge_div_row",
+        coo,
+        2,
+        EdgeMapCost {
+            row_gathers: 1,
+            col_gathers: 0,
+            edge_loads: 1,
+            half_instrs: 2,
+            float_instrs: 0,
+            convert_instrs: 0,
+            f32_roundtrips: 0,
+        },
+        |ei, r, _| hdiv(e[ei], z[r as usize]),
+    )
+}
+
+/// Elementwise product of two edge tensors (softmax backward).
+pub fn mul(dev: &DeviceConfig, coo: &Coo, a: &[Half], b: &[Half]) -> (Vec<Half>, KernelStats) {
+    assert_eq!(a.len(), coo.nnz());
+    assert_eq!(b.len(), coo.nnz());
+    edge_map(
+        dev,
+        "edge_mul",
+        coo,
+        2,
+        EdgeMapCost {
+            row_gathers: 0,
+            col_gathers: 0,
+            edge_loads: 2,
+            half_instrs: 1,
+            float_instrs: 0,
+            convert_instrs: 0,
+            f32_roundtrips: 0,
+        },
+        |ei, _, _| hmul(a[ei], b[ei]),
+    )
+}
+
+/// Edge-softmax backward: `δe ← α ⊙ (δα − t[row])` where
+/// `t_i = Σ_j α_ij·δα_ij` (computed by an `edge_reduce` sum).
+pub fn softmax_grad(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    alpha: &[Half],
+    dalpha: &[Half],
+    t: &[Half],
+) -> (Vec<Half>, KernelStats) {
+    assert_eq!(alpha.len(), coo.nnz());
+    assert_eq!(dalpha.len(), coo.nnz());
+    assert_eq!(t.len(), coo.num_rows());
+    edge_map(
+        dev,
+        "edge_softmax_grad",
+        coo,
+        2,
+        EdgeMapCost {
+            row_gathers: 1,
+            col_gathers: 0,
+            edge_loads: 2,
+            half_instrs: 2,
+            float_instrs: 0,
+            convert_instrs: 0,
+            f32_roundtrips: 0,
+        },
+        |ei, r, _| hmul(alpha[ei], hsub(dalpha[ei], t[r as usize])),
+    )
+}
+
+/// LeakyReLU backward on edge logits: `δx ← δy · (x ≥ 0 ? 1 : slope)`.
+pub fn leakyrelu_grad(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    pre: &[Half],
+    grad: &[Half],
+    slope: f32,
+) -> (Vec<Half>, KernelStats) {
+    assert_eq!(pre.len(), coo.nnz());
+    assert_eq!(grad.len(), coo.nnz());
+    let slope_h = Half::from_f32(slope);
+    edge_map(
+        dev,
+        "edge_leakyrelu_grad",
+        coo,
+        2,
+        EdgeMapCost {
+            row_gathers: 0,
+            col_gathers: 0,
+            edge_loads: 2,
+            half_instrs: 2,
+            float_instrs: 0,
+            convert_instrs: 0,
+            f32_roundtrips: 0,
+        },
+        |ei, _, _| {
+            if pre[ei].to_f32() >= 0.0 {
+                grad[ei]
+            } else {
+                hmul(grad[ei], slope_h)
+            }
+        },
+    )
+}
+
+
+// ---------------------------------------------------------------------
+// Float variants — what DGL's float GAT executes. Same structure, 4-byte
+// elements, float arithmetic (no conversions).
+// ---------------------------------------------------------------------
+
+/// Float `e_ij ← LeakyReLU(s_src[row] + s_dst[col])`.
+pub fn src_dst_add_leakyrelu_f32(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    s_src: &[f32],
+    s_dst: &[f32],
+    slope: f32,
+) -> (Vec<f32>, KernelStats) {
+    assert_eq!(s_src.len(), coo.num_rows());
+    assert_eq!(s_dst.len(), coo.num_cols());
+    edge_map(
+        dev,
+        "edge_add_leakyrelu_f32",
+        coo,
+        4,
+        EdgeMapCost {
+            row_gathers: 1,
+            col_gathers: 1,
+            edge_loads: 0,
+            half_instrs: 0,
+            float_instrs: 3,
+            convert_instrs: 0,
+            f32_roundtrips: 0,
+        },
+        |_, r, c| {
+            let v = s_src[r as usize] + s_dst[c as usize];
+            if v >= 0.0 { v } else { v * slope }
+        },
+    )
+}
+
+/// Float `out ← exp(e − m[row])`.
+pub fn sub_row_exp_f32(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    e: &[f32],
+    m: &[f32],
+) -> (Vec<f32>, KernelStats) {
+    assert_eq!(e.len(), coo.nnz());
+    assert_eq!(m.len(), coo.num_rows());
+    edge_map(
+        dev,
+        "edge_sub_exp_f32",
+        coo,
+        4,
+        EdgeMapCost {
+            row_gathers: 1,
+            col_gathers: 0,
+            edge_loads: 1,
+            half_instrs: 0,
+            float_instrs: 4,
+            convert_instrs: 0,
+            f32_roundtrips: 0,
+        },
+        |ei, r, _| (e[ei] - m[r as usize]).exp(),
+    )
+}
+
+/// Float `α ← e / z[row]`.
+pub fn div_row_f32(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    e: &[f32],
+    z: &[f32],
+) -> (Vec<f32>, KernelStats) {
+    assert_eq!(e.len(), coo.nnz());
+    assert_eq!(z.len(), coo.num_rows());
+    edge_map(
+        dev,
+        "edge_div_row_f32",
+        coo,
+        4,
+        EdgeMapCost {
+            row_gathers: 1,
+            col_gathers: 0,
+            edge_loads: 1,
+            half_instrs: 0,
+            float_instrs: 2,
+            convert_instrs: 0,
+            f32_roundtrips: 0,
+        },
+        |ei, r, _| e[ei] / z[r as usize],
+    )
+}
+
+/// Float elementwise edge product.
+pub fn mul_f32(dev: &DeviceConfig, coo: &Coo, a: &[f32], b: &[f32]) -> (Vec<f32>, KernelStats) {
+    assert_eq!(a.len(), coo.nnz());
+    assert_eq!(b.len(), coo.nnz());
+    edge_map(
+        dev,
+        "edge_mul_f32",
+        coo,
+        4,
+        EdgeMapCost {
+            row_gathers: 0,
+            col_gathers: 0,
+            edge_loads: 2,
+            half_instrs: 0,
+            float_instrs: 1,
+            convert_instrs: 0,
+            f32_roundtrips: 0,
+        },
+        |ei, _, _| a[ei] * b[ei],
+    )
+}
+
+/// Float edge-softmax backward.
+pub fn softmax_grad_f32(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    alpha: &[f32],
+    dalpha: &[f32],
+    t: &[f32],
+) -> (Vec<f32>, KernelStats) {
+    assert_eq!(alpha.len(), coo.nnz());
+    assert_eq!(dalpha.len(), coo.nnz());
+    assert_eq!(t.len(), coo.num_rows());
+    edge_map(
+        dev,
+        "edge_softmax_grad_f32",
+        coo,
+        4,
+        EdgeMapCost {
+            row_gathers: 1,
+            col_gathers: 0,
+            edge_loads: 2,
+            half_instrs: 0,
+            float_instrs: 2,
+            convert_instrs: 0,
+            f32_roundtrips: 0,
+        },
+        |ei, r, _| alpha[ei] * (dalpha[ei] - t[r as usize]),
+    )
+}
+
+/// Float LeakyReLU backward on edge logits.
+pub fn leakyrelu_grad_f32(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    pre: &[f32],
+    grad: &[f32],
+    slope: f32,
+) -> (Vec<f32>, KernelStats) {
+    assert_eq!(pre.len(), coo.nnz());
+    assert_eq!(grad.len(), coo.nnz());
+    edge_map(
+        dev,
+        "edge_leakyrelu_grad_f32",
+        coo,
+        4,
+        EdgeMapCost {
+            row_gathers: 0,
+            col_gathers: 0,
+            edge_loads: 2,
+            half_instrs: 0,
+            float_instrs: 2,
+            convert_instrs: 0,
+            f32_roundtrips: 0,
+        },
+        |ei, _, _| if pre[ei] >= 0.0 { grad[ei] } else { grad[ei] * slope },
+    )
+}
+
+/// Float per-row reduction of an edge tensor (the float counterpart of
+/// [`crate::halfgnn_spmm::edge_reduce`]).
+pub fn edge_reduce_f32(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    w: &[f32],
+    op: crate::common::Reduce,
+) -> (Vec<f32>, KernelStats) {
+    use crate::common::{Reduce, Tiling};
+    use halfgnn_sim::launch::{launch, LaunchParams};
+    assert_eq!(w.len(), coo.nnz());
+    let nnz = coo.nnz();
+    let tiling = Tiling::default();
+    let num_ctas = tiling.num_ctas(nnz);
+    let rows = coo.rows();
+    let mut space = AddrSpace::new();
+    let rows_base = space.alloc(nnz, 4);
+    let w_base = space.alloc(nnz, 4);
+    let y_base = space.alloc(coo.num_rows(), 4);
+    let init = match op {
+        Reduce::Sum => 0.0f32,
+        Reduce::Max => f32::NEG_INFINITY,
+    };
+    let combine = |a: f32, b: f32| match op {
+        Reduce::Sum => a + b,
+        Reduce::Max => a.max(b),
+    };
+    let (cta_outs, stats) = launch(
+        dev,
+        "edge_reduce_f32",
+        LaunchParams { num_ctas, warps_per_cta: tiling.warps_per_cta },
+        |cta| {
+            let mut partials: Vec<(u32, f32)> = Vec::new();
+            for wi in 0..tiling.warps_per_cta {
+                let (s, e) = tiling.warp_range(cta.id, wi, nnz);
+                if s >= e {
+                    continue;
+                }
+                let n = e - s;
+                let mut warp = cta.warp(wi);
+                warp.load_contiguous(rows_base + s as u64 * 4, n, 4);
+                warp.load_contiguous(w_base + s as u64 * 4, n, 4);
+                warp.float_ops((n as u64).div_ceil(32));
+                let mut acc = init;
+                let mut seg_row = rows[s];
+                for ei in s..e {
+                    let r = rows[ei];
+                    if r != seg_row {
+                        partials.push((seg_row, acc));
+                        warp.store_contiguous(y_base + seg_row as u64 * 4, 1, 4);
+                        acc = init;
+                        seg_row = r;
+                    }
+                    acc = combine(acc, w[ei]);
+                }
+                partials.push((seg_row, acc));
+                warp.store_contiguous(y_base + seg_row as u64 * 4, 1, 4);
+            }
+            partials
+        },
+    );
+    let mut y = vec![init; coo.num_rows()];
+    for partials in cta_outs {
+        for (r, v) in partials {
+            y[r as usize] = combine(y[r as usize], v);
+        }
+    }
+    if op == crate::common::Reduce::Max {
+        let off = crate::halfgnn_spmm::row_offsets_of(coo);
+        for (r, v) in y.iter_mut().enumerate() {
+            if off[r] == off[r + 1] {
+                *v = 0.0;
+            }
+        }
+    }
+    (y, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::Reduce;
+    use crate::halfgnn_spmm::edge_reduce;
+    use halfgnn_graph::{gen, Csr};
+    use halfgnn_half::slice::f32_slice_to_half;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dev() -> DeviceConfig {
+        DeviceConfig::a100_like()
+    }
+
+    fn random_graph(n: usize, m: usize, seed: u64) -> Coo {
+        let edges = gen::erdos_renyi(n, m, seed);
+        Csr::from_edges(n, n, &edges).symmetrized_with_self_loops().to_coo()
+    }
+
+    fn random_halves(n: usize, scale: f32, seed: u64) -> Vec<Half> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        f32_slice_to_half(&(0..n).map(|_| rng.gen_range(-scale..scale)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn add_leakyrelu_values() {
+        let g = Coo::from_edges(2, 2, &[(0, 1), (1, 0)]);
+        let s_src = f32_slice_to_half(&[1.0, -3.0]);
+        let s_dst = f32_slice_to_half(&[0.5, 1.0]);
+        let (e, _) = src_dst_add_leakyrelu(&dev(), &g, &s_src, &s_dst, 0.2);
+        assert_eq!(e[0].to_f32(), 2.0); // 1.0 + 1.0
+        assert!((e[1].to_f32() - (-0.5)).abs() < 1e-3); // 0.2 * (-3 + 0.5)
+    }
+
+    #[test]
+    fn full_edge_softmax_rows_sum_to_one() {
+        // Compose max → sub_exp → sum → div and check the softmax property.
+        let g = random_graph(60, 300, 1);
+        let e = random_halves(g.nnz(), 4.0, 2);
+        let (m, _) = edge_reduce(&dev(), &g, &e, Reduce::Max);
+        let (num, _) = sub_row_exp(&dev(), &g, &e, &m, true);
+        let (z, _) = edge_reduce(&dev(), &g, &num, Reduce::Sum);
+        let (alpha, _) = div_row(&dev(), &g, &num, &z);
+        let off = crate::halfgnn_spmm::row_offsets_of(&g);
+        for r in 0..g.num_rows() {
+            if off[r] == off[r + 1] {
+                continue;
+            }
+            let sum: f32 = alpha[off[r]..off[r + 1]].iter().map(|h| h.to_f32()).sum();
+            assert!((sum - 1.0).abs() < 0.05, "row {r} sums to {sum}");
+            assert!(alpha[off[r]..off[r + 1]].iter().all(|h| h.is_finite()));
+        }
+    }
+
+    #[test]
+    fn shadow_exp_saves_conversions_and_time() {
+        // §5.3: the shadow API avoids the AMP h2f/f2h round trip.
+        let g = random_graph(2_000, 30_000, 3);
+        let e = random_halves(g.nnz(), 4.0, 4);
+        let (m, _) = edge_reduce(&dev(), &g, &e, Reduce::Max);
+        let (v_shadow, s_shadow) = sub_row_exp(&dev(), &g, &e, &m, true);
+        let (v_amp, s_amp) = sub_row_exp(&dev(), &g, &e, &m, false);
+        assert_eq!(s_shadow.totals.convert_ops, 0);
+        assert!(s_amp.totals.convert_ops > 0);
+        assert!(s_amp.cycles > s_shadow.cycles);
+        // Functionally both are the stabilized exponent; values agree to
+        // FP16 rounding.
+        for (a, b) in v_shadow.iter().zip(&v_amp) {
+            assert!((a.to_f32() - b.to_f32()).abs() <= 2e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn shadow_exp_never_overflows_on_stabilized_input() {
+        // The §3.1.2 guarantee: e - m ≤ 0 ⇒ exp ∈ (0, 1].
+        let g = random_graph(100, 600, 5);
+        let e = random_halves(g.nnz(), 100.0, 6); // wild logits
+        let (m, _) = edge_reduce(&dev(), &g, &e, Reduce::Max);
+        let (v, _) = sub_row_exp(&dev(), &g, &e, &m, true);
+        for h in &v {
+            assert!(h.is_finite() && h.to_f32() <= 1.0 && h.to_f32() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn softmax_grad_formula() {
+        let g = Coo::from_edges(1, 2, &[(0, 0), (0, 1)]);
+        let alpha = f32_slice_to_half(&[0.25, 0.75]);
+        let dalpha = f32_slice_to_half(&[2.0, -1.0]);
+        // t = 0.25*2 + 0.75*(-1) = -0.25
+        let (prod, _) = mul(&dev(), &g, &alpha, &dalpha);
+        let (t, _) = edge_reduce(&dev(), &g, &prod, Reduce::Sum);
+        assert!((t[0].to_f32() + 0.25).abs() < 1e-3);
+        let (de, _) = softmax_grad(&dev(), &g, &alpha, &dalpha, &t);
+        assert!((de[0].to_f32() - 0.25 * 2.25).abs() < 2e-3);
+        assert!((de[1].to_f32() - 0.75 * -0.75).abs() < 2e-3);
+    }
+
+    #[test]
+    fn leakyrelu_grad_gates_by_sign() {
+        let g = Coo::from_edges(1, 2, &[(0, 0), (0, 1)]);
+        let pre = f32_slice_to_half(&[3.0, -2.0]);
+        let grad = f32_slice_to_half(&[1.0, 1.0]);
+        let (dx, _) = leakyrelu_grad(&dev(), &g, &pre, &grad, 0.1);
+        assert_eq!(dx[0].to_f32(), 1.0);
+        assert!((dx[1].to_f32() - 0.1).abs() < 1e-3);
+    }
+}

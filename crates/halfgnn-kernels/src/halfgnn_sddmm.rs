@@ -1,0 +1,300 @@
+//! **HalfGNN's edge-parallel SDDMM** (§5.1): per-edge dot products with
+//! configurable vector width.
+//!
+//! SDDMM reduces along the feature dimension, so inter-thread shuffle
+//! rounds are unavoidable — and every round is an implicit memory barrier
+//! that caps how many loads are in flight (§5.1.1). The proposed `half4` /
+//! `half8` types attack exactly that: with `half8`, one thread covers 8
+//! features, so F=32 needs only 4 threads → 2 shuffle rounds and 4× the
+//! bytes in flight per load instruction; the half2-only design needs 16
+//! threads → 4 rounds; a scalar-half design needs 32 → 5 rounds.
+//!
+//! Sub-warps (§4.1) keep idle lanes busy: when one edge needs fewer than 32
+//! threads, the warp processes `32 / threads_per_edge` edges concurrently.
+
+use crate::common::{Tiling, VectorWidth};
+use halfgnn_graph::Coo;
+use halfgnn_half::intrinsics::hadd;
+use halfgnn_half::{Half, Half2};
+use halfgnn_sim::launch::{launch, LaunchParams};
+use halfgnn_sim::memory::AddrSpace;
+use halfgnn_sim::{DeviceConfig, KernelStats};
+
+/// `out[e] ← dot(U[row(e)], V[col(e)])` in half precision.
+///
+/// `width` selects the data-load vector type (Fig. 12 compares them);
+/// arithmetic is always half2 (wider types have no native arithmetic —
+/// §5.1.2). `f` must be a multiple of `width.lanes()` (feature padding).
+pub fn sddmm(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    u: &[Half],
+    v: &[Half],
+    f: usize,
+    width: VectorWidth,
+) -> (Vec<Half>, KernelStats) {
+    assert_eq!(u.len(), coo.num_rows() * f, "U shape mismatch");
+    assert_eq!(v.len(), coo.num_cols() * f, "V shape mismatch");
+    assert_eq!(
+        f % width.lanes(),
+        0,
+        "feature length {f} needs padding to a multiple of {}",
+        width.lanes()
+    );
+
+    let nnz = coo.nnz();
+    let tiling = Tiling::default();
+    let num_ctas = tiling.num_ctas(nnz);
+    let rows = coo.rows();
+    let cols = coo.cols();
+
+    let mut space = AddrSpace::new();
+    let rows_base = space.alloc(nnz, 4);
+    let cols_base = space.alloc(nnz, 4);
+    let u_base = space.alloc(u.len(), 2);
+    let v_base = space.alloc(v.len(), 2);
+    let out_base = space.alloc(nnz, 2);
+
+    // Threads cooperating on one edge, and shuffle rounds to combine them.
+    let threads_per_edge = (f / width.lanes()).clamp(1, 32);
+    let sub_warps = 32 / threads_per_edge.max(1);
+    let shuffle_rounds = threads_per_edge.next_power_of_two().trailing_zeros() as u64;
+
+    let (cta_outs, stats) = launch(
+        dev,
+        "halfgnn_sddmm",
+        LaunchParams { num_ctas, warps_per_cta: tiling.warps_per_cta },
+        |cta| {
+            let mut out: Vec<(usize, Vec<Half>)> = Vec::new();
+            for wi in 0..tiling.warps_per_cta {
+                let (s, e) = tiling.warp_range(cta.id, wi, nnz);
+                if s >= e {
+                    continue;
+                }
+                let n = e - s;
+                let mut warp = cta.warp(wi);
+
+                // Phase 1: edge-parallel load of NZE indices (§4.1.1).
+                warp.load_contiguous(rows_base + s as u64 * 4, n, 4);
+                warp.load_contiguous(cols_base + s as u64 * 4, n, 4);
+                warp.smem_accesses((n as u64 * 2).div_ceil(32) + 2);
+                warp.barrier();
+
+                // Phase 2: feature loads of both endpoints at the chosen
+                // vector width.
+                let row_bytes = f * 2;
+                warp.load_feature_rows(
+                    (s..e).flat_map(|ei| {
+                        [
+                            u_base + rows[ei] as u64 * (f as u64 * 2),
+                            v_base + cols[ei] as u64 * (f as u64 * 2),
+                        ]
+                    }),
+                    row_bytes,
+                    width.bytes(),
+                );
+
+                // Dot products: half2 arithmetic regardless of load width.
+                let half2_lanes = (f / 2) as u64;
+                warp.half2_ops((n as u64 * half2_lanes).div_ceil(32));
+                if width.lanes() > 2 {
+                    // In-register fold of the wider vector down to half2
+                    // before any shuffle (half4: 1 add2; half8: 3 add2s per
+                    // 8 lanes — charged at half2 throughput).
+                    let folds_per_edge = (f / 2 - f / width.lanes()) as u64;
+                    warp.half2_ops((n as u64 * folds_per_edge).div_ceil(32).max(1));
+                }
+
+                // Reduction: shuffle rounds per sub-warp group; every round
+                // is a barrier for the whole warp.
+                let groups = n.div_ceil(sub_warps) as u64;
+                warp.shuffle_rounds(groups * shuffle_rounds);
+
+                // Output: one half per edge, contiguous across the tile.
+                warp.store_contiguous(out_base + s as u64 * 2, n.div_ceil(2), 4);
+
+                // Functional computation, faithful to the reduction tree:
+                // each thread accumulates its feature stripe in a half2
+                // register, the stripes tree-combine in half2, and the final
+                // half2 folds to one half.
+                let mut vals = Vec::with_capacity(n);
+                for ei in s..e {
+                    let ur = &u[rows[ei] as usize * f..rows[ei] as usize * f + f];
+                    let vc = &v[cols[ei] as usize * f..cols[ei] as usize * f + f];
+                    vals.push(dot_half2_tree(ur, vc, threads_per_edge, width.lanes()));
+                }
+                out.push((s, vals));
+            }
+            out
+        },
+    );
+
+    let mut result = vec![Half::ZERO; nnz];
+    for cta in cta_outs {
+        for (s, vals) in cta {
+            result[s..s + vals.len()].copy_from_slice(&vals);
+        }
+    }
+    (result, stats)
+}
+
+/// Half-precision dot product with the exact reduction shape of the kernel:
+/// per-thread half2 accumulation over a strided stripe, in-register fold,
+/// then a binary shuffle tree across threads.
+fn dot_half2_tree(u: &[Half], v: &[Half], threads: usize, lanes: usize) -> Half {
+    let f = u.len();
+    // Per-thread half2 accumulators.
+    let mut accs: Vec<Half2> = vec![Half2::ZERO; threads];
+    let chunk = lanes; // features one thread loads per iteration
+    let stride = threads * chunk;
+    for (t, acc) in accs.iter_mut().enumerate() {
+        let mut base = t * chunk;
+        while base < f {
+            // Fold this chunk's half2 words into the accumulator.
+            let mut j = 0;
+            while j < chunk && base + j < f {
+                let a = Half2::new(u[base + j], u[base + j + 1]);
+                let b = Half2::new(v[base + j], v[base + j + 1]);
+                *acc = a.fma2(b, *acc);
+                j += 2;
+            }
+            base += stride;
+        }
+    }
+    // Shuffle tree across threads (half2 adds), then the final fold.
+    let mut width = threads.next_power_of_two();
+    while width > 1 {
+        width /= 2;
+        for t in 0..width {
+            if t + width < accs.len() {
+                accs[t] = accs[t].add2(accs[t + width]);
+            }
+        }
+    }
+    hadd(accs[0].lo, accs[0].hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{assert_close_half, half_to_f64, sddmm_f64};
+    use halfgnn_graph::gen;
+    use halfgnn_graph::Csr;
+    use halfgnn_half::slice::f32_slice_to_half;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dev() -> DeviceConfig {
+        DeviceConfig::a100_like()
+    }
+
+    fn random_graph(n: usize, m: usize, seed: u64) -> Coo {
+        let edges = gen::erdos_renyi(n, m, seed);
+        Csr::from_edges(n, n, &edges).symmetrized_with_self_loops().to_coo()
+    }
+
+    fn random_halves(n: usize, scale: f32, seed: u64) -> Vec<Half> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        f32_slice_to_half(&(0..n).map(|_| rng.gen_range(-scale..scale)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn all_widths_match_reference() {
+        let g = random_graph(150, 700, 1);
+        for f in [16usize, 32, 64, 128] {
+            let u = random_halves(g.num_rows() * f, 0.5, 2);
+            let v = random_halves(g.num_cols() * f, 0.5, 3);
+            let want = sddmm_f64(&g, &half_to_f64(&u), &half_to_f64(&v), f);
+            for width in [VectorWidth::Half2, VectorWidth::Half4, VectorWidth::Half8] {
+                let (got, _) = sddmm(&dev(), &g, &u, &v, f, width);
+                assert_close_half(&got, &want, 0.03, 0.05, &format!("sddmm f={f} {width:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn widths_agree_within_rounding() {
+        // Different widths accumulate in different orders, so results can
+        // differ by half-precision rounding — but no more.
+        let g = random_graph(60, 250, 5);
+        let f = 32;
+        let u = random_halves(g.num_rows() * f, 1.0, 6);
+        let v = random_halves(g.num_cols() * f, 1.0, 7);
+        let (a, _) = sddmm(&dev(), &g, &u, &v, f, VectorWidth::Half2);
+        let (b, _) = sddmm(&dev(), &g, &u, &v, f, VectorWidth::Half8);
+        for (x, y) in a.iter().zip(&b) {
+            let (x, y) = (x.to_f32(), y.to_f32());
+            assert!((x - y).abs() <= 0.05 + 0.02 * x.abs().max(y.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn half8_is_faster_than_half2() {
+        // Fig. 12: fewer shuffle rounds + wider loads → speedup.
+        let g = random_graph(2_000, 40_000, 8);
+        let f = 64;
+        let u = random_halves(g.num_rows() * f, 0.5, 9);
+        let v = random_halves(g.num_cols() * f, 0.5, 10);
+        let (_, s2) = sddmm(&dev(), &g, &u, &v, f, VectorWidth::Half2);
+        let (_, s8) = sddmm(&dev(), &g, &u, &v, f, VectorWidth::Half8);
+        assert!(
+            s8.cycles < s2.cycles,
+            "half8 {} should beat half2 {}",
+            s8.cycles,
+            s2.cycles
+        );
+        // And it does so via fewer barriers and fewer load instructions.
+        assert!(s8.totals.shuffles < s2.totals.shuffles);
+        assert!(s8.totals.load_instrs < s2.totals.load_instrs);
+        // Same useful bytes either way.
+        assert_eq!(s8.totals.useful_bytes_loaded, s2.totals.useful_bytes_loaded);
+    }
+
+    #[test]
+    fn shuffle_round_counts_match_section_5_1_3() {
+        // F = 32: half8 → 4 threads → 2 rounds; half2 → 16 threads → 4
+        // rounds (the paper's exact example).
+        let g = Coo::from_edges(2, 2, &[(0, 1)]);
+        let f = 32;
+        let u = random_halves(2 * f, 1.0, 11);
+        let v = random_halves(2 * f, 1.0, 12);
+        let (_, s8) = sddmm(&dev(), &g, &u, &v, f, VectorWidth::Half8);
+        let (_, s2) = sddmm(&dev(), &g, &u, &v, f, VectorWidth::Half2);
+        assert_eq!(s8.totals.shuffles, 2);
+        assert_eq!(s2.totals.shuffles, 4);
+    }
+
+    #[test]
+    fn unpadded_feature_length_rejected() {
+        let g = Coo::from_edges(2, 2, &[(0, 1)]);
+        let u = random_halves(2 * 12, 1.0, 1);
+        let v = random_halves(2 * 12, 1.0, 2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sddmm(&dev(), &g, &u, &v, 12, VectorWidth::Half8)
+        }));
+        assert!(r.is_err(), "F=12 is not a multiple of 8");
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Coo::from_edges(4, 4, &[]);
+        let u = random_halves(4 * 8, 1.0, 1);
+        let v = random_halves(4 * 8, 1.0, 2);
+        let (out, _) = sddmm(&dev(), &g, &u, &v, 8, VectorWidth::Half2);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn dot_tree_matches_simple_dot_for_small_values() {
+        let u = random_halves(64, 0.25, 20);
+        let v = random_halves(64, 0.25, 21);
+        let exact: f64 = u.iter().zip(&v).map(|(a, b)| a.to_f64() * b.to_f64()).sum();
+        for (threads, lanes) in [(32, 2), (16, 2), (8, 4), (4, 8), (8, 8)] {
+            let got = dot_half2_tree(&u, &v, threads, lanes).to_f64();
+            assert!(
+                (got - exact).abs() < 0.05 + 0.03 * exact.abs(),
+                "threads={threads} lanes={lanes}: {got} vs {exact}"
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Sparse GNN kernels on the SIMT cost-model simulator.
+//!
+//! Two kernel families from the paper (§2.1.2):
+//!
+//! * **SpMM** — `Y ← A_w · X`: multiply the (edge-weighted) adjacency by a
+//!   vertex-feature matrix. `SpMMv` treats all edge weights as 1 (GCN/GIN);
+//!   `SpMMve` takes an edge-level weight tensor (GAT).
+//! * **SDDMM** — `δW ← A ⊙ (U · Vᵀ)`: per-edge dot products of endpoint
+//!   feature vectors.
+//!
+//! Implementations:
+//!
+//! | module | system modeled | design |
+//! |---|---|---|
+//! | [`baseline::cusparse`] | cuSPARSE float/half SpMM (what DGL calls) | edge-balanced, atomic writes, scalar loads, Fig. 3a arithmetic for half |
+//! | [`baseline::dgl_sddmm`] | DGL float/half SDDMM | feature-parallel scalar loads, full shuffle reduction |
+//! | [`baseline::ge_spmm`] | GE-SpMM | vanilla vertex-parallel row-per-warp, no balancing |
+//! | [`huang`] | Huang et al. (ref. 20) | vertex-parallel, 32-neighbor groups + half2 adaptation (§5.4, Fig. 14) |
+//! | [`halfgnn_spmm`] | **HalfGNN SpMM** | edge-parallel, half2 two-phase load, edge-feature mirroring, discretized reduction scaling, staging-buffer non-atomic writes (§4, §5.2) |
+//! | [`halfgnn_sddmm`] | **HalfGNN SDDMM** | half2/half4/half8 vectorized loads, reduced shuffle rounds (§5.1) |
+//! | [`edge_ops`] | edge-level softmax pieces | gather-add, shadow-exp, gather-div (§3.1.2, §5.3) |
+//!
+//! Every public kernel returns its functional output *and* a
+//! [`halfgnn_sim::KernelStats`] with modeled time and NCU-style counters.
+//! All kernels are validated against the serial `f64` implementations in
+//! [`mod@reference`].
+
+pub mod baseline;
+pub mod common;
+pub mod edge_ops;
+pub mod halfgnn_sddmm;
+pub mod halfgnn_spmm;
+pub mod huang;
+pub mod reference;
+
+pub use common::{EdgeWeights, Reduce, ScalePlacement, VectorWidth, WriteStrategy};

@@ -1,0 +1,187 @@
+//! Serial `f64` reference implementations — the ground truth every kernel
+//! is validated against. These are deliberately simple and allocation-happy;
+//! they model exact arithmetic (up to f64), so comparisons against FP16
+//! kernels use tolerance bands derived from half-precision ulps.
+
+use crate::common::{EdgeWeights, Reduce};
+use halfgnn_graph::Coo;
+use halfgnn_half::Half;
+
+/// `Y ← A_w · X` in f64 with optional per-row scaling applied after the
+/// exact reduction (exact arithmetic never overflows, so placement is
+/// irrelevant here).
+pub fn spmm_f64(
+    coo: &Coo,
+    w: EdgeWeights,
+    x: &[f64],
+    f: usize,
+    reduce: Reduce,
+    row_scale: Option<&[f64]>,
+) -> Vec<f64> {
+    let n = coo.num_rows();
+    assert_eq!(x.len(), coo.num_cols() * f, "X shape mismatch");
+    let mut y = match reduce {
+        Reduce::Sum => vec![0f64; n * f],
+        Reduce::Max => vec![f64::NEG_INFINITY; n * f],
+    };
+    for e in 0..coo.nnz() {
+        let (r, c) = coo.edge(e);
+        let wv = w.get(e).to_f64();
+        let xr = &x[c as usize * f..(c as usize + 1) * f];
+        let yr = &mut y[r as usize * f..(r as usize + 1) * f];
+        match reduce {
+            Reduce::Sum => {
+                for (yo, &xv) in yr.iter_mut().zip(xr) {
+                    *yo += wv * xv;
+                }
+            }
+            Reduce::Max => {
+                for (yo, &xv) in yr.iter_mut().zip(xr) {
+                    *yo = yo.max(wv * xv);
+                }
+            }
+        }
+    }
+    if let Reduce::Max = reduce {
+        // Rows with no edges: define as 0 like the kernels do.
+        for r in 0..n {
+            if y[r * f..(r + 1) * f].iter().all(|v| *v == f64::NEG_INFINITY) {
+                y[r * f..(r + 1) * f].fill(0.0);
+            }
+        }
+    }
+    if let Some(s) = row_scale {
+        for r in 0..n {
+            for v in &mut y[r * f..(r + 1) * f] {
+                *v *= s[r];
+            }
+        }
+    }
+    y
+}
+
+/// `out[e] ← dot(U[row(e)], V[col(e)])` in f64.
+pub fn sddmm_f64(coo: &Coo, u: &[f64], v: &[f64], f: usize) -> Vec<f64> {
+    assert_eq!(u.len(), coo.num_rows() * f, "U shape mismatch");
+    assert_eq!(v.len(), coo.num_cols() * f, "V shape mismatch");
+    (0..coo.nnz())
+        .map(|e| {
+            let (r, c) = coo.edge(e);
+            let ur = &u[r as usize * f..(r as usize + 1) * f];
+            let vc = &v[c as usize * f..(c as usize + 1) * f];
+            ur.iter().zip(vc).map(|(a, b)| a * b).sum()
+        })
+        .collect()
+}
+
+/// Convert a half tensor to the f64 reference domain.
+pub fn half_to_f64(h: &[Half]) -> Vec<f64> {
+    h.iter().map(|v| v.to_f64()).collect()
+}
+
+/// Convert an f32 tensor to the f64 reference domain.
+pub fn f32_to_f64(x: &[f32]) -> Vec<f64> {
+    x.iter().map(|&v| v as f64).collect()
+}
+
+/// Assert a half result matches an f64 reference within `rel` relative and
+/// `abs` absolute tolerance (both needed: FP16 results near zero are
+/// dominated by absolute rounding; large ones by relative).
+pub fn assert_close_half(got: &[Half], want: &[f64], rel: f64, abs: f64, what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let g = g.to_f64();
+        let err = (g - w).abs();
+        let tol = abs + rel * w.abs();
+        assert!(
+            err <= tol,
+            "{what}[{i}]: got {g}, want {w}, err {err:.3e} > tol {tol:.3e}"
+        );
+    }
+}
+
+/// As [`assert_close_half`] for f32 kernels.
+pub fn assert_close_f32(got: &[f32], want: &[f64], rel: f64, abs: f64, what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let g = *g as f64;
+        let err = (g - w).abs();
+        let tol = abs + rel * w.abs();
+        assert!(
+            err <= tol,
+            "{what}[{i}]: got {g}, want {w}, err {err:.3e} > tol {tol:.3e}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halfgnn_graph::Coo;
+
+    fn fig2_graph() -> Coo {
+        // The paper's Fig. 2 sample graph.
+        Coo::from_edges(4, 4, &[(0, 1), (0, 2), (1, 0), (2, 1), (2, 3), (3, 2)])
+    }
+
+    #[test]
+    fn spmm_sum_hand_checked() {
+        let g = fig2_graph();
+        // X row v = [v, 10v].
+        let x: Vec<f64> = (0..4).flat_map(|v| [v as f64, 10.0 * v as f64]).collect();
+        let y = spmm_f64(&g, EdgeWeights::Ones, &x, 2, Reduce::Sum, None);
+        // Row 0 = X1 + X2 = [3, 30]; Row 2 = X1 + X3 = [4, 40].
+        assert_eq!(&y[0..2], &[3.0, 30.0]);
+        assert_eq!(&y[2..4], &[0.0, 0.0]);
+        assert_eq!(&y[4..6], &[4.0, 40.0]);
+        assert_eq!(&y[6..8], &[2.0, 20.0]);
+    }
+
+    #[test]
+    fn spmm_weighted() {
+        let g = Coo::from_edges(2, 2, &[(0, 0), (0, 1)]);
+        let w = [Half::from_f32(2.0), Half::from_f32(0.5)];
+        let x = [1.0, 10.0];
+        let y = spmm_f64(&g, EdgeWeights::Values(&w), &x, 1, Reduce::Sum, None);
+        assert_eq!(y, vec![2.0 + 5.0, 0.0]);
+    }
+
+    #[test]
+    fn spmm_max_and_empty_rows() {
+        let g = Coo::from_edges(3, 3, &[(0, 1), (0, 2)]);
+        let x = [5.0, -2.0, 7.0];
+        let y = spmm_f64(&g, EdgeWeights::Ones, &x, 1, Reduce::Max, None);
+        assert_eq!(y, vec![7.0, 0.0, 0.0]); // empty rows defined as 0
+    }
+
+    #[test]
+    fn spmm_row_scale() {
+        let g = Coo::from_edges(2, 2, &[(0, 0), (0, 1)]);
+        let x = [4.0, 8.0];
+        let y = spmm_f64(&g, EdgeWeights::Ones, &x, 1, Reduce::Sum, Some(&[0.5, 1.0]));
+        assert_eq!(y, vec![6.0, 0.0]);
+    }
+
+    #[test]
+    fn sddmm_hand_checked() {
+        let g = Coo::from_edges(2, 2, &[(0, 1), (1, 0)]);
+        let u = [1.0, 2.0, 3.0, 4.0]; // rows [1,2],[3,4]
+        let v = [10.0, 20.0, 30.0, 40.0];
+        let out = sddmm_f64(&g, &u, &v, 2);
+        // edge (0,1): [1,2]·[30,40] = 110; edge (1,0): [3,4]·[10,20] = 110.
+        assert_eq!(out, vec![110.0, 110.0]);
+    }
+
+    #[test]
+    fn tolerance_helpers() {
+        let got = [Half::from_f32(1.0), Half::from_f32(2.001)];
+        assert_close_half(&got, &[1.0, 2.0], 1e-2, 1e-3, "ok");
+    }
+
+    #[test]
+    #[should_panic(expected = "err")]
+    fn tolerance_helpers_catch_mismatch() {
+        let got = [Half::from_f32(1.5)];
+        assert_close_half(&got, &[1.0], 1e-3, 1e-3, "bad");
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based validation: every kernel agrees with the f64 reference
+//! on arbitrary random graphs and features, and the design invariants
+//! (non-atomic staging, discretized overflow safety) hold universally.
+
+use halfgnn_graph::{Csr, VertexId};
+use halfgnn_half::slice::f32_slice_to_half;
+use halfgnn_half::Half;
+use halfgnn_kernels::baseline::cusparse::{self, EdgeWeightsF32};
+use halfgnn_kernels::baseline::dgl_sddmm;
+use halfgnn_kernels::common::{EdgeWeights, Reduce, ScalePlacement, VectorWidth};
+use halfgnn_kernels::reference;
+use halfgnn_kernels::{halfgnn_sddmm, halfgnn_spmm, huang};
+use halfgnn_sim::DeviceConfig;
+use proptest::prelude::*;
+
+/// Arbitrary graph + padded feature length + half features (|x| ≤ 1).
+fn arb_case() -> impl Strategy<Value = (Csr, usize, Vec<Half>, Vec<Half>)> {
+    (3usize..40, 1usize..5)
+        .prop_flat_map(|(n, fpow)| {
+            let f = 8 << (fpow % 3); // 8, 16, 32
+            let edge = (0..n as VertexId, 0..n as VertexId);
+            (
+                Just(n),
+                Just(f),
+                prop::collection::vec(edge, 0..120),
+                prop::collection::vec(-1.0f32..1.0, n * f),
+            )
+        })
+        .prop_map(|(n, f, edges, feats)| {
+            let csr = Csr::from_edges(n, n, &edges).symmetrized_with_self_loops();
+            let x = f32_slice_to_half(&feats);
+            let w: Vec<Half> = (0..csr.nnz())
+                .map(|i| Half::from_f32(((i % 17) as f32 - 8.0) / 8.0))
+                .collect();
+            (csr, f, x, w)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn halfgnn_spmm_matches_reference((csr, f, x, w) in arb_case()) {
+        let dev = DeviceConfig::a100_like();
+        let coo = csr.to_coo();
+        let cfg = halfgnn_spmm::SpmmConfig {
+            scaling: ScalePlacement::None,
+            ..Default::default()
+        };
+        let (y, stats) = halfgnn_spmm::spmm(&dev, &coo, EdgeWeights::Values(&w), &x, f, None, &cfg);
+        let want = reference::spmm_f64(
+            &coo, EdgeWeights::Values(&w), &reference::half_to_f64(&x), f, Reduce::Sum, None,
+        );
+        for (i, (g, want)) in y.iter().zip(&want).enumerate() {
+            let err = (g.to_f64() - want).abs();
+            prop_assert!(err <= 0.05 + 0.05 * want.abs(), "[{i}] {g} vs {want}");
+        }
+        prop_assert_eq!(stats.totals.atomics_f16 + stats.totals.atomics_f32, 0);
+    }
+
+    #[test]
+    fn discretized_never_overflows_with_mean_scaling((csr, f, x, _w) in arb_case()) {
+        // Universal invariant: with mean scaling and |x| ≤ 1, discretized
+        // SpMM output is a convex combination — finite and bounded by 1.
+        let dev = DeviceConfig::a100_like();
+        let coo = csr.to_coo();
+        let scale = halfgnn_kernels::common::row_scales_mean(&csr.degrees());
+        let (y, _) = halfgnn_spmm::spmm(
+            &dev, &coo, EdgeWeights::Ones, &x, f, Some(&scale),
+            &halfgnn_spmm::SpmmConfig::default(),
+        );
+        for v in &y {
+            prop_assert!(v.is_finite());
+            prop_assert!(v.to_f32().abs() <= 1.05, "mean output must stay bounded: {v}");
+        }
+    }
+
+    #[test]
+    fn sddmm_all_widths_match_reference((csr, f, x, _w) in arb_case()) {
+        let dev = DeviceConfig::a100_like();
+        let coo = csr.to_coo();
+        let want = reference::sddmm_f64(
+            &coo, &reference::half_to_f64(&x), &reference::half_to_f64(&x), f,
+        );
+        for width in [VectorWidth::Half2, VectorWidth::Half4, VectorWidth::Half8] {
+            let (got, _) = halfgnn_sddmm::sddmm(&dev, &coo, &x, &x, f, width);
+            for (i, (g, want)) in got.iter().zip(&want).enumerate() {
+                let err = (g.to_f64() - want).abs();
+                prop_assert!(err <= 0.05 + 0.05 * want.abs(), "{width:?}[{i}] {g} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn cusparse_half_and_float_agree_in_range((csr, f, x, w) in arb_case()) {
+        let dev = DeviceConfig::a100_like();
+        let coo = csr.to_coo();
+        let xf: Vec<f32> = x.iter().map(|h| h.to_f32()).collect();
+        let wf: Vec<f32> = w.iter().map(|h| h.to_f32()).collect();
+        let (yh, _) = cusparse::spmm_half(&dev, &coo, EdgeWeights::Values(&w), &x, f, None);
+        let (yf, _) =
+            cusparse::spmm_float(&dev, &coo, EdgeWeightsF32::Values(&wf), &xf, f, None);
+        for (a, b) in yh.iter().zip(&yf) {
+            prop_assert!((a.to_f32() - b).abs() <= 0.05 + 0.05 * b.abs(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn huang_variants_agree((csr, f, x, _w) in arb_case()) {
+        let dev = DeviceConfig::a100_like();
+        let xf: Vec<f32> = x.iter().map(|h| h.to_f32()).collect();
+        let (yf, sf) = huang::spmm_float(&dev, &csr, EdgeWeightsF32::Ones, &xf, f);
+        let (yh, sh) = huang::spmm_half2(&dev, &csr, EdgeWeights::Ones, &x, f);
+        for (a, b) in yh.iter().zip(&yf) {
+            prop_assert!((a.to_f32() - b).abs() <= 0.08 + 0.05 * b.abs(), "{a} vs {b}");
+        }
+        // The half2 adaptation never uses atomics; the float original may.
+        prop_assert_eq!(sh.totals.atomics_f16, 0);
+        prop_assert_eq!(sh.totals.atomics_f32, 0);
+        let _ = sf;
+    }
+
+    #[test]
+    fn dgl_sddmm_agrees_with_halfgnn_sddmm((csr, f, x, _w) in arb_case()) {
+        let dev = DeviceConfig::a100_like();
+        let coo = csr.to_coo();
+        let (a, _) = dgl_sddmm::sddmm_half(&dev, &coo, &x, &x, f);
+        let (b, _) = halfgnn_sddmm::sddmm(&dev, &coo, &x, &x, f, VectorWidth::Half8);
+        for (u, v) in a.iter().zip(&b) {
+            prop_assert!(
+                (u.to_f32() - v.to_f32()).abs() <= 0.05 + 0.05 * u.to_f32().abs(),
+                "{u} vs {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_reduce_sum_equals_degree_on_ones(n in 3usize..60, m in 0usize..150) {
+        let dev = DeviceConfig::a100_like();
+        let edges = halfgnn_graph::gen::erdos_renyi(n, m.max(1), 7);
+        let csr = Csr::from_edges(n, n, &edges).symmetrized_with_self_loops();
+        let coo = csr.to_coo();
+        let ones = vec![Half::ONE; coo.nnz()];
+        let (sums, _) = halfgnn_spmm::edge_reduce(&dev, &coo, &ones, Reduce::Sum);
+        for (v, s) in sums.iter().enumerate() {
+            prop_assert_eq!(s.to_f32(), csr.degree(v as u32) as f32, "vertex {}", v);
+        }
+    }
+
+    #[test]
+    fn staging_protocol_correct_under_any_tiling(
+        (csr, f, x, w) in arb_case(),
+        edges_per_warp in 1usize..96,
+        warps_per_cta in 1usize..6,
+    ) {
+        // The §5.2.3 write protocol must stay correct (and assign-disjoint,
+        // checked by a debug_assert inside spmm) for ANY discretization
+        // geometry, not just the default 64x4.
+        let dev = DeviceConfig::a100_like();
+        let coo = csr.to_coo();
+        let cfg = halfgnn_spmm::SpmmConfig {
+            scaling: ScalePlacement::None,
+            tiling: halfgnn_kernels::common::Tiling { edges_per_warp, warps_per_cta },
+            ..Default::default()
+        };
+        let (y, stats) = halfgnn_spmm::spmm(&dev, &coo, EdgeWeights::Values(&w), &x, f, None, &cfg);
+        let want = reference::spmm_f64(
+            &coo, EdgeWeights::Values(&w), &reference::half_to_f64(&x), f, Reduce::Sum, None,
+        );
+        for (i, (g, want)) in y.iter().zip(&want).enumerate() {
+            let err = (g.to_f64() - want).abs();
+            prop_assert!(
+                err <= 0.08 + 0.05 * want.abs(),
+                "tiling {edges_per_warp}x{warps_per_cta} [{i}]: {g} vs {want}"
+            );
+        }
+        prop_assert_eq!(stats.totals.atomics_f16, 0);
+    }
+
+    #[test]
+    fn spmm_is_linear_in_x((csr, f, x, _w) in arb_case()) {
+        // spmm(2x) == 2 * spmm(x) exactly in half (multiplying by 2 is
+        // exact in binary floating point).
+        let dev = DeviceConfig::a100_like();
+        let coo = csr.to_coo();
+        let cfg = halfgnn_spmm::SpmmConfig { scaling: ScalePlacement::None, ..Default::default() };
+        let x2: Vec<Half> = x.iter().map(|h| Half::from_f32(h.to_f32() * 2.0)).collect();
+        let (y1, _) = halfgnn_spmm::spmm(&dev, &coo, EdgeWeights::Ones, &x, f, None, &cfg);
+        let (y2, _) = halfgnn_spmm::spmm(&dev, &coo, EdgeWeights::Ones, &x2, f, None, &cfg);
+        for (a, b) in y1.iter().zip(&y2) {
+            if a.is_finite() && b.is_finite() {
+                prop_assert!((a.to_f32() * 2.0 - b.to_f32()).abs() <= 1e-2 + 0.01 * b.to_f32().abs());
+            }
+        }
+    }
+}

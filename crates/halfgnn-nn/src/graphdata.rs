@@ -1,0 +1,109 @@
+//! Precomputed per-graph training state: both storage formats, degree-norm
+//! tables in both precisions, and the transpose permutation backward
+//! passes use to reindex edge tensors.
+
+use halfgnn_graph::{Coo, Csr};
+use halfgnn_half::Half;
+use halfgnn_kernels::common::{row_scales_inv_sqrt, row_scales_mean};
+
+/// Everything the model steps need about the graph, computed once.
+pub struct PreparedGraph {
+    /// Canonical COO of Â (symmetrized, self-looped).
+    pub coo: Coo,
+    /// CSR of Â.
+    pub csr: Csr,
+    /// Row degrees.
+    pub degrees: Vec<u32>,
+    /// `1/deg` per row in half (discretized mean scaling).
+    pub mean_scale_h: Vec<Half>,
+    /// `1/deg` per row in f32.
+    pub mean_scale_f: Vec<f32>,
+    /// `1/sqrt(deg)` per row in half (GCN `both` norm).
+    pub inv_sqrt_scale_h: Vec<Half>,
+    /// `1/sqrt(deg)` per row in f32.
+    pub inv_sqrt_scale_f: Vec<f32>,
+    /// Transpose permutation: `alpha_t[i] = alpha[t_perm[i]]`.
+    pub t_perm: Vec<usize>,
+}
+
+impl PreparedGraph {
+    /// Build from a symmetric adjacency (panics otherwise: GNN training
+    /// assumes Â = Âᵀ so backward kernels can reuse the same structure).
+    pub fn new(csr: &Csr) -> PreparedGraph {
+        assert!(csr.is_symmetric(), "training graphs must be symmetrized");
+        let coo = csr.to_coo();
+        let degrees = csr.degrees();
+        let mean_scale_h = row_scales_mean(&degrees);
+        let mean_scale_f = degrees
+            .iter()
+            .map(|&d| if d == 0 { 0.0 } else { 1.0 / d as f32 })
+            .collect();
+        let inv_sqrt_scale_h = row_scales_inv_sqrt(&degrees);
+        let inv_sqrt_scale_f: Vec<f32> = degrees
+            .iter()
+            .map(|&d| if d == 0 { 0.0 } else { 1.0 / (d as f32).sqrt() })
+            .collect();
+        let t_perm = coo.transpose_permutation();
+        PreparedGraph {
+            coo,
+            csr: csr.clone(),
+            degrees,
+            mean_scale_h,
+            mean_scale_f,
+            inv_sqrt_scale_h,
+            inv_sqrt_scale_f,
+            t_perm,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.coo.num_rows()
+    }
+
+    /// Number of edges.
+    pub fn nnz(&self) -> usize {
+        self.coo.nnz()
+    }
+
+    /// Permute an edge tensor into transpose order.
+    pub fn permute_to_transpose<T: Copy>(&self, e: &[T]) -> Vec<T> {
+        self.t_perm.iter().map(|&i| e[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepared_graph_tables() {
+        let csr = Csr::from_edges(4, 4, &[(0, 1), (1, 2)]).symmetrized_with_self_loops();
+        let g = PreparedGraph::new(&csr);
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.degrees.len(), 4);
+        for (v, &d) in g.degrees.iter().enumerate() {
+            assert!((g.mean_scale_f[v] - 1.0 / d as f32).abs() < 1e-6);
+            assert!((g.mean_scale_h[v].to_f32() - 1.0 / d as f32).abs() < 1e-3);
+            assert!((g.inv_sqrt_scale_h[v].to_f32() - 1.0 / (d as f32).sqrt()).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transpose_permutation_is_identity_on_symmetric_values() {
+        // For a symmetric graph, permuting twice returns the original.
+        let csr = Csr::from_edges(5, 5, &[(0, 1), (2, 3), (1, 4)]).symmetrized_with_self_loops();
+        let g = PreparedGraph::new(&csr);
+        let vals: Vec<usize> = (0..g.nnz()).collect();
+        let once = g.permute_to_transpose(&vals);
+        let twice = g.permute_to_transpose(&once);
+        assert_eq!(twice, vals);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetrized")]
+    fn asymmetric_graph_rejected() {
+        let csr = Csr::from_edges(3, 3, &[(0, 1)]);
+        PreparedGraph::new(&csr);
+    }
+}

@@ -1,0 +1,434 @@
+//! Model and precision-mode selection, plus the kernel dispatch layer that
+//! routes a model's sparse operations to the right system's kernels.
+
+use crate::graphdata::PreparedGraph;
+use halfgnn_half::Half;
+use halfgnn_kernels::baseline::cusparse::{self, EdgeWeightsF32};
+use halfgnn_kernels::common::{EdgeWeights, Reduce, ScalePlacement, VectorWidth, WriteStrategy};
+use halfgnn_kernels::halfgnn_spmm::{self, SpmmConfig};
+use halfgnn_kernels::{baseline::dgl_sddmm, halfgnn_sddmm};
+use halfgnn_tensor::Ops;
+
+/// Which GNN architecture to train.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelKind {
+    /// Graph Convolutional Network (Kipf & Welling), right degree norm.
+    Gcn,
+    /// Graph Attention Network (Veličković et al.), single head.
+    Gat,
+    /// Graph Isomorphism Network (Xu et al.).
+    Gin,
+    /// GraphSAGE with the mean aggregator (Hamilton et al.).
+    Sage,
+}
+
+/// Which system's kernels and numerics a training run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PrecisionMode {
+    /// f32 everywhere — the DGL-float baseline.
+    Float,
+    /// Half state tensors through DGL/cuSPARSE-style kernels with AMP
+    /// promotions — the DGL-half baseline (overflows on hub graphs).
+    HalfNaive,
+    /// The paper's HalfGNN system: half2/half8 kernels, discretized
+    /// reduction scaling, staged writes, shadow APIs.
+    HalfGnn,
+    /// Ablation (§6.1.1): HalfGNN kernels but post-reduction scaling — the
+    /// overflow returns.
+    HalfGnnNoDiscretize,
+}
+
+impl PrecisionMode {
+    /// True for any mode whose state tensors are half precision.
+    pub fn is_half(self) -> bool {
+        !matches!(self, PrecisionMode::Float)
+    }
+
+    /// HalfGNN SpMM configuration for this mode (half modes only).
+    fn spmm_config(self) -> SpmmConfig {
+        match self {
+            PrecisionMode::HalfGnn => SpmmConfig::default(),
+            PrecisionMode::HalfGnnNoDiscretize => SpmmConfig {
+                scaling: ScalePlacement::PostReduction,
+                writes: WriteStrategy::Staged,
+                ..Default::default()
+            },
+            _ => unreachable!("spmm_config is only for HalfGNN modes"),
+        }
+    }
+}
+
+/// GCN degree-norm placement (§3.1.3 discusses all three).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GcnNorm {
+    /// Divide the SpMM *output* by the degree — the "frequently used"
+    /// variant whose forward reduction overflows under naive half.
+    Right,
+    /// Divide the SpMM *input* by the degree: the forward never overflows,
+    /// "however, during backward computation the degree-norm happens after
+    /// SpMMv, where it is likely to overflow" (§3.1.3).
+    Left,
+    /// Divide input and output by √degree (Eq. 2's symmetric norm).
+    Both,
+}
+
+// ---------------------------------------------------------------------
+// Sparse-kernel dispatch. Every call records its stats into `ops`.
+// ---------------------------------------------------------------------
+
+/// f32 GCN aggregation under the chosen norm (Â is symmetric).
+pub fn gcn_agg_f32(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    x: &[f32],
+    f: usize,
+    norm: GcnNorm,
+) -> Vec<f32> {
+    match norm {
+        GcnNorm::Right => spmm_mean_f32(ops, g, x, f),
+        GcnNorm::Left => {
+            let scaled = ops.row_scale_f32(x, &g.mean_scale_f, f);
+            spmm_sum_f32(ops, g, &scaled, f)
+        }
+        GcnNorm::Both => {
+            let scaled = ops.row_scale_f32(x, &g.inv_sqrt_scale_f, f);
+            let (y, stats) = halfgnn_kernels::baseline::cusparse::spmm_float(
+                ops.dev,
+                &g.coo,
+                EdgeWeightsF32::Ones,
+                &scaled,
+                f,
+                Some(&g.inv_sqrt_scale_f),
+            );
+            ops.record(stats);
+            y
+        }
+    }
+}
+
+/// Adjoint of [`gcn_agg_f32`] on a symmetric Â.
+pub fn gcn_agg_backward_f32(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    dy: &[f32],
+    f: usize,
+    norm: GcnNorm,
+) -> Vec<f32> {
+    match norm {
+        // (D⁻¹Â)ᵀ = Â D⁻¹: scale first, then sum.
+        GcnNorm::Right => {
+            let scaled = ops.row_scale_f32(dy, &g.mean_scale_f, f);
+            spmm_sum_f32(ops, g, &scaled, f)
+        }
+        // (ÂD⁻¹)ᵀ = D⁻¹Â: sum first, then scale — the §3.1.3 backward trap.
+        GcnNorm::Left => {
+            let summed = spmm_sum_f32(ops, g, dy, f);
+            ops.row_scale_f32(&summed, &g.mean_scale_f, f)
+        }
+        // D^-1/2 Â D^-1/2 is self-adjoint.
+        GcnNorm::Both => gcn_agg_f32(ops, g, dy, f, GcnNorm::Both),
+    }
+}
+
+/// Half GCN aggregation under the chosen norm and kernel system.
+pub fn gcn_agg_half(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    x: &[Half],
+    f: usize,
+    norm: GcnNorm,
+    mode: PrecisionMode,
+) -> Vec<Half> {
+    match norm {
+        GcnNorm::Right => spmm_mean_half(ops, g, x, f, mode),
+        GcnNorm::Left => {
+            let scaled = ops.row_scale_half(x, &g.mean_scale_h, f);
+            spmm_sum_half(ops, g, &scaled, f, mode)
+        }
+        GcnNorm::Both => {
+            let scaled = ops.row_scale_half(x, &g.inv_sqrt_scale_h, f);
+            scaled_spmm_half(ops, g, &scaled, f, &g.inv_sqrt_scale_h, mode)
+        }
+    }
+}
+
+/// Adjoint of [`gcn_agg_half`]: the `Left` adjoint applies the degree norm
+/// *after* the reduction — under the naive kernels this is where the
+/// backward pass overflows even though the forward was safe (§3.1.3);
+/// HalfGNN's discretized mean is safe on both sides.
+pub fn gcn_agg_backward_half(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    dy: &[Half],
+    f: usize,
+    norm: GcnNorm,
+    mode: PrecisionMode,
+) -> Vec<Half> {
+    match norm {
+        GcnNorm::Right => {
+            let scaled = ops.row_scale_half(dy, &g.mean_scale_h, f);
+            spmm_sum_half(ops, g, &scaled, f, mode)
+        }
+        // D⁻¹Â δy is exactly a mean aggregation of δy: the naive path runs
+        // sum-then-post-scale (overflow), HalfGNN discretizes it.
+        GcnNorm::Left => spmm_mean_half(ops, g, dy, f, mode),
+        GcnNorm::Both => gcn_agg_half(ops, g, dy, f, GcnNorm::Both, mode),
+    }
+}
+
+/// Half SpMMv with an arbitrary per-row output scale (the `both` norm's
+/// √degree factor), routed through the mode's kernel.
+fn scaled_spmm_half(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    x: &[Half],
+    f: usize,
+    scale: &[Half],
+    mode: PrecisionMode,
+) -> Vec<Half> {
+    let (y, stats) = match mode {
+        PrecisionMode::HalfNaive => {
+            cusparse::spmm_half(ops.dev, &g.coo, EdgeWeights::Ones, x, f, Some(scale))
+        }
+        PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => halfgnn_spmm::spmm(
+            ops.dev,
+            &g.coo,
+            EdgeWeights::Ones,
+            x,
+            f,
+            Some(scale),
+            &mode.spmm_config(),
+        ),
+        PrecisionMode::Float => unreachable!("float path uses gcn_agg_f32"),
+    };
+    ops.record(stats);
+    y
+}
+
+/// Half SpMMv with mean (right degree-norm) aggregation.
+pub fn spmm_mean_half(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    x: &[Half],
+    f: usize,
+    mode: PrecisionMode,
+) -> Vec<Half> {
+    let (y, stats) = match mode {
+        PrecisionMode::HalfNaive => cusparse::spmm_half(
+            ops.dev,
+            &g.coo,
+            EdgeWeights::Ones,
+            x,
+            f,
+            Some(&g.mean_scale_h),
+        ),
+        PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => halfgnn_spmm::spmm(
+            ops.dev,
+            &g.coo,
+            EdgeWeights::Ones,
+            x,
+            f,
+            Some(&g.mean_scale_h),
+            &mode.spmm_config(),
+        ),
+        PrecisionMode::Float => unreachable!("float path uses spmm_mean_f32"),
+    };
+    ops.record(stats);
+    y
+}
+
+/// Half SpMMv, plain sum (GIN's default aggregation; backward passes).
+pub fn spmm_sum_half(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    x: &[Half],
+    f: usize,
+    mode: PrecisionMode,
+) -> Vec<Half> {
+    let (y, stats) = match mode {
+        PrecisionMode::HalfNaive => {
+            cusparse::spmm_half(ops.dev, &g.coo, EdgeWeights::Ones, x, f, None)
+        }
+        PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => halfgnn_spmm::spmm(
+            ops.dev,
+            &g.coo,
+            EdgeWeights::Ones,
+            x,
+            f,
+            None,
+            &SpmmConfig { scaling: ScalePlacement::None, ..mode.spmm_config() },
+        ),
+        PrecisionMode::Float => unreachable!("float path uses spmm_sum_f32"),
+    };
+    ops.record(stats);
+    y
+}
+
+/// Half SpMMve (weighted sum — GAT's attention aggregation; the attention
+/// weights are normalized, so no degree scaling is needed).
+pub fn spmmve_half(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    w: &[Half],
+    x: &[Half],
+    f: usize,
+    mode: PrecisionMode,
+) -> Vec<Half> {
+    let (y, stats) = match mode {
+        PrecisionMode::HalfNaive => {
+            cusparse::spmm_half(ops.dev, &g.coo, EdgeWeights::Values(w), x, f, None)
+        }
+        PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => halfgnn_spmm::spmm(
+            ops.dev,
+            &g.coo,
+            EdgeWeights::Values(w),
+            x,
+            f,
+            None,
+            &SpmmConfig { scaling: ScalePlacement::None, ..mode.spmm_config() },
+        ),
+        PrecisionMode::Float => unreachable!("float path uses spmmve_f32"),
+    };
+    ops.record(stats);
+    y
+}
+
+/// Half SDDMM dispatch: DGL's naive kernel or HalfGNN's half8 design.
+pub fn sddmm_half(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    u: &[Half],
+    v: &[Half],
+    f: usize,
+    mode: PrecisionMode,
+) -> Vec<Half> {
+    let (y, stats) = match mode {
+        PrecisionMode::HalfNaive => dgl_sddmm::sddmm_half(ops.dev, &g.coo, u, v, f),
+        PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => {
+            // Widest vector the (padded) feature length supports.
+            let width = if f.is_multiple_of(8) {
+                VectorWidth::Half8
+            } else if f.is_multiple_of(4) {
+                VectorWidth::Half4
+            } else {
+                VectorWidth::Half2
+            };
+            halfgnn_sddmm::sddmm(ops.dev, &g.coo, u, v, f, width)
+        }
+        PrecisionMode::Float => unreachable!("float path uses sddmm_f32"),
+    };
+    ops.record(stats);
+    y
+}
+
+/// Half per-row edge reduce (softmax max/denominator).
+pub fn edge_reduce_half(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    w: &[Half],
+    op: Reduce,
+) -> Vec<Half> {
+    let (y, stats) = halfgnn_spmm::edge_reduce(ops.dev, &g.coo, w, op);
+    ops.record(stats);
+    y
+}
+
+/// Float SpMMv with mean aggregation (cuSPARSE + post scale, as DGL does).
+pub fn spmm_mean_f32(ops: &mut Ops, g: &PreparedGraph, x: &[f32], f: usize) -> Vec<f32> {
+    let (y, stats) =
+        cusparse::spmm_float(ops.dev, &g.coo, EdgeWeightsF32::Ones, x, f, Some(&g.mean_scale_f));
+    ops.record(stats);
+    y
+}
+
+/// Float SpMMv, plain sum.
+pub fn spmm_sum_f32(ops: &mut Ops, g: &PreparedGraph, x: &[f32], f: usize) -> Vec<f32> {
+    let (y, stats) = cusparse::spmm_float(ops.dev, &g.coo, EdgeWeightsF32::Ones, x, f, None);
+    ops.record(stats);
+    y
+}
+
+/// Float SpMMve.
+pub fn spmmve_f32(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    w: &[f32],
+    x: &[f32],
+    f: usize,
+) -> Vec<f32> {
+    let (y, stats) =
+        cusparse::spmm_float(ops.dev, &g.coo, EdgeWeightsF32::Values(w), x, f, None);
+    ops.record(stats);
+    y
+}
+
+/// Float SDDMM (DGL's).
+pub fn sddmm_f32(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    u: &[f32],
+    v: &[f32],
+    f: usize,
+) -> Vec<f32> {
+    let (y, stats) = dgl_sddmm::sddmm_float(ops.dev, &g.coo, u, v, f);
+    ops.record(stats);
+    y
+}
+
+/// Float edge reduce.
+pub fn edge_reduce_f32(ops: &mut Ops, g: &PreparedGraph, w: &[f32], op: Reduce) -> Vec<f32> {
+    let (y, stats) = halfgnn_kernels::edge_ops::edge_reduce_f32(ops.dev, &g.coo, w, op);
+    ops.record(stats);
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halfgnn_graph::Csr;
+    use halfgnn_sim::DeviceConfig;
+
+    fn prep() -> PreparedGraph {
+        let csr = Csr::from_edges(6, 6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+            .symmetrized_with_self_loops();
+        PreparedGraph::new(&csr)
+    }
+
+    #[test]
+    fn half_dispatch_runs_all_modes() {
+        let dev = DeviceConfig::a100_like();
+        let g = prep();
+        let x = vec![Half::from_f32(0.5); g.n() * 4];
+        for mode in
+            [PrecisionMode::HalfNaive, PrecisionMode::HalfGnn, PrecisionMode::HalfGnnNoDiscretize]
+        {
+            let mut ops = Ops::new(&dev);
+            let y = spmm_mean_half(&mut ops, &g, &x, 4, mode);
+            assert_eq!(y.len(), g.n() * 4);
+            // Mean of constant 0.5 is 0.5 whatever the kernel.
+            assert!((y[0].to_f32() - 0.5).abs() < 0.01, "{mode:?}: {}", y[0]);
+            assert!(ops.kernel_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn float_and_half_dispatch_agree() {
+        let dev = DeviceConfig::a100_like();
+        let g = prep();
+        let xf: Vec<f32> = (0..g.n() * 4).map(|i| (i % 7) as f32 * 0.25 - 0.75).collect();
+        let xh: Vec<Half> = xf.iter().map(|&v| Half::from_f32(v)).collect();
+        let mut ops = Ops::new(&dev);
+        let yf = spmm_sum_f32(&mut ops, &g, &xf, 4);
+        let yh = spmm_sum_half(&mut ops, &g, &xh, 4, PrecisionMode::HalfGnn);
+        for (a, b) in yf.iter().zip(&yh) {
+            assert!((a - b.to_f32()).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mode_flags() {
+        assert!(!PrecisionMode::Float.is_half());
+        assert!(PrecisionMode::HalfNaive.is_half());
+        assert!(PrecisionMode::HalfGnn.is_half());
+    }
+}

@@ -1,0 +1,444 @@
+//! Full-batch training loop: Adam over f32 master weights, per-epoch
+//! modeled time, NaN detection, and analytic memory accounting.
+
+use crate::adam::Adam;
+use crate::graphdata::PreparedGraph;
+use crate::params::{GatParams, TwoLayerParams};
+use crate::sage::SageParams;
+use crate::{gat, gcn, gin, sage};
+pub use crate::models::{ModelKind, PrecisionMode};
+use halfgnn_graph::datasets::LoadedDataset;
+use halfgnn_half::slice::{f32_slice_to_half, pad_feature_len};
+use halfgnn_sim::DeviceConfig;
+use halfgnn_tensor::{MemoryTracker, Ops};
+
+/// Training configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TrainConfig {
+    /// Architecture.
+    pub model: ModelKind,
+    /// Kernel/precision system.
+    pub precision: PrecisionMode,
+    /// Full-batch epochs.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Hidden width (the paper fixes 64).
+    pub hidden: usize,
+    /// Parameter-init seed.
+    pub seed: u64,
+    /// GIN's aggregation scale λ (Eq. 4; the paper validates 0.1).
+    pub gin_lambda: f32,
+    /// GCN degree-norm placement (§3.1.3).
+    pub gcn_norm: crate::models::GcnNorm,
+    /// Static loss scale for the half backward pass (1.0 = off).
+    pub loss_scale: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> TrainConfig {
+        TrainConfig {
+            model: ModelKind::Gcn,
+            precision: PrecisionMode::Float,
+            epochs: 100,
+            lr: 0.01,
+            hidden: 64,
+            seed: 0,
+            gin_lambda: crate::gin::GIN_LAMBDA,
+            gcn_norm: crate::models::GcnNorm::Right,
+            loss_scale: 1.0,
+        }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// Loss per epoch.
+    pub losses: Vec<f32>,
+    /// Training accuracy at the final epoch.
+    pub final_train_accuracy: f32,
+    /// Held-out test accuracy at the final epoch.
+    pub test_accuracy: f32,
+    /// First epoch whose loss was NaN (the DGL-half failure of Fig. 1c).
+    pub nan_epoch: Option<usize>,
+    /// Modeled time of one training epoch in microseconds.
+    pub epoch_time_us: f64,
+    /// Peak modeled device memory in bytes (Fig. 6).
+    pub peak_memory_bytes: u64,
+    /// Tensor dtype conversions per epoch (§3.1.2).
+    pub conversions_per_epoch: u64,
+    /// Elements converted per epoch.
+    pub converted_elems_per_epoch: u64,
+    /// Kernel launches per epoch.
+    pub kernels_per_epoch: usize,
+    /// Per-kernel time breakdown of one epoch: `(name, launches, total us)`
+    /// sorted by time descending — the profile a Nsight Systems trace
+    /// would show.
+    pub kernel_breakdown: Vec<(String, usize, f64)>,
+}
+
+/// Train on the standard A100-like device.
+pub fn train(data: &LoadedDataset, cfg: &TrainConfig) -> TrainReport {
+    train_on(&DeviceConfig::a100_like(), data, cfg)
+}
+
+/// Train on an explicit device.
+pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> TrainReport {
+    let g = PreparedGraph::new(&data.adj);
+    let f_in = data.spec.feat;
+    let is_half = cfg.precision.is_half();
+    // Feature padding (§4.1.2): half paths pad odd class counts.
+    let classes = if is_half {
+        pad_feature_len(data.spec.classes, 2)
+    } else {
+        data.spec.classes
+    };
+
+    let x = data.features.clone();
+    let xh = if is_half { f32_slice_to_half(&x) } else { Vec::new() };
+    let labels = &data.labels;
+    let train_mask = &data.split.train;
+
+    let mut losses = Vec::with_capacity(cfg.epochs);
+    let mut nan_epoch = None;
+    let mut epoch_time_us = 0.0;
+    let mut conversions = 0u64;
+    let mut converted = 0u64;
+    let mut kernels = 0usize;
+    let mut breakdown: Vec<(String, usize, f64)> = Vec::new();
+    let mut last_logits: Vec<f32> = Vec::new();
+
+    // Parameter storage + optimizer, per architecture.
+    enum P {
+        Two(TwoLayerParams),
+        Gat(GatParams),
+        Sage(SageParams),
+    }
+    let mut params = match cfg.model {
+        ModelKind::Gcn | ModelKind::Gin => {
+            P::Two(TwoLayerParams::new(f_in, cfg.hidden, classes, cfg.seed))
+        }
+        ModelKind::Gat => P::Gat(GatParams::new(f_in, cfg.hidden, classes, cfg.seed)),
+        ModelKind::Sage => P::Sage(SageParams::new(f_in, cfg.hidden, classes, cfg.seed)),
+    };
+    let mut opt = match &params {
+        P::Two(p) => Adam::new(p.num_params(), cfg.lr),
+        P::Gat(p) => Adam::new(p.num_params(), cfg.lr),
+        P::Sage(p) => Adam::new(p.num_params(), cfg.lr),
+    };
+
+    for epoch in 0..cfg.epochs {
+        let mut ops = Ops::new(dev);
+        ops.loss_scale = cfg.loss_scale;
+        let (loss, correct, grad_flat, logits) = match (&params, cfg.model) {
+            (P::Two(p), ModelKind::Gcn) => {
+                let out = if is_half {
+                    gcn::step_half_norm(
+                        &mut ops, &g, p, &xh, labels, train_mask, cfg.precision, cfg.gcn_norm,
+                    )
+                } else {
+                    gcn::step_f32_norm(&mut ops, &g, p, &x, labels, train_mask, cfg.gcn_norm)
+                };
+                (out.loss, out.correct, out.grads.flat(), out.logits)
+            }
+            (P::Two(p), ModelKind::Gin) => {
+                let out = if is_half {
+                    gin::step_half_lambda(
+                        &mut ops, &g, p, &xh, labels, train_mask, cfg.precision, cfg.gin_lambda,
+                    )
+                } else {
+                    gin::step_f32(&mut ops, &g, p, &x, labels, train_mask)
+                };
+                (out.loss, out.correct, out.grads.flat(), out.logits)
+            }
+            (P::Gat(p), _) => {
+                let out = if is_half {
+                    gat::step_half(&mut ops, &g, p, &xh, labels, train_mask, cfg.precision)
+                } else {
+                    gat::step_f32(&mut ops, &g, p, &x, labels, train_mask)
+                };
+                (out.loss, out.correct, out.grads.flat(), out.logits)
+            }
+            (P::Sage(p), _) => {
+                let out = if is_half {
+                    sage::step_half(&mut ops, &g, p, &xh, labels, train_mask, cfg.precision)
+                } else {
+                    sage::step_f32(&mut ops, &g, p, &x, labels, train_mask)
+                };
+                (out.loss, out.correct, out.grads.flat(), out.logits)
+            }
+            _ => unreachable!("parameter kind matches model kind"),
+        };
+
+        if loss.is_nan() && nan_epoch.is_none() {
+            nan_epoch = Some(epoch);
+        }
+        losses.push(loss);
+        let _ = correct;
+        last_logits = logits;
+
+        if epoch == 0 {
+            // Kernel sequences are value-independent, so one epoch's
+            // modeled time represents them all.
+            epoch_time_us = ops.total_time_us();
+            conversions = ops.tensor_conversions;
+            converted = ops.converted_elems;
+            kernels = ops.kernel_count();
+            breakdown = kernel_breakdown(&ops);
+        }
+
+        // Master update in f32 (NaN gradients propagate, as in real DGL).
+        match &mut params {
+            P::Two(p) => {
+                let mut flat = p.flat();
+                opt.step(&mut flat, &grad_flat);
+                p.set_flat(&flat);
+            }
+            P::Gat(p) => {
+                let mut flat = p.flat();
+                opt.step(&mut flat, &grad_flat);
+                p.set_flat(&flat);
+            }
+            P::Sage(p) => {
+                let mut flat = p.flat();
+                opt.step(&mut flat, &grad_flat);
+                p.set_flat(&flat);
+            }
+        }
+    }
+
+    let final_train_accuracy =
+        Ops::accuracy(&last_logits, labels, train_mask, classes);
+    let test_accuracy = Ops::accuracy(&last_logits, labels, &data.split.test, classes);
+
+    TrainReport {
+        losses,
+        final_train_accuracy,
+        test_accuracy,
+        nan_epoch,
+        epoch_time_us,
+        peak_memory_bytes: model_memory(data, cfg, classes).peak(),
+        conversions_per_epoch: conversions,
+        converted_elems_per_epoch: converted,
+        kernels_per_epoch: kernels,
+        kernel_breakdown: breakdown,
+    }
+}
+
+/// Aggregate an epoch's kernel log by kernel name, sorted by total time.
+fn kernel_breakdown(ops: &Ops) -> Vec<(String, usize, f64)> {
+    let mut agg: std::collections::BTreeMap<&str, (usize, f64)> = std::collections::BTreeMap::new();
+    for s in &ops.log {
+        // Composite stats ("a+b") are named by their phases; aggregate on
+        // the full composite name.
+        let e = agg.entry(s.name.as_str()).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += s.time_us;
+    }
+    let mut out: Vec<(String, usize, f64)> =
+        agg.into_iter().map(|(k, (n, t))| (k.to_string(), n, t)).collect();
+    out.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+/// Analytic peak-memory model for Fig. 6.
+///
+/// State tensors (features, per-layer activations, their gradients, GAT's
+/// edge tensors) take the mode's element width; parameters, optimizer
+/// state, and the loss take f32. DGL modes additionally carry framework
+/// overhead (GNNBench's finding the paper cites in §6.1.2) and the
+/// AMP-materialized float copies of promoted tensors.
+pub fn model_memory(data: &LoadedDataset, cfg: &TrainConfig, classes: usize) -> MemoryTracker {
+    let n = data.num_vertices();
+    let e = data.num_edges();
+    let f_in = data.spec.feat;
+    let h = cfg.hidden;
+    let c = classes;
+    let elem = if cfg.precision.is_half() { 2 } else { 4 };
+    let mut m = MemoryTracker::new();
+
+    // Graph structure (COO + CSR), shared by all systems.
+    m.alloc("coo", e * 2, 4);
+    m.alloc("csr", e + n + 1, 4);
+    m.alloc("features", n * f_in, elem);
+
+    // Per-layer state tensors + mirrored gradients (x2).
+    let acts: usize = match cfg.model {
+        ModelKind::Gcn => n * h * 3 + n * c * 2,
+        ModelKind::Gin => n * f_in + n * h * 3 + n * c,
+        ModelKind::Gat => n * h * 2 + n * c * 2 + 4 * e + 2 * n,
+        ModelKind::Sage => n * f_in + n * h * 4 + n * c * 2,
+    };
+    m.alloc("activations", acts, elem);
+    m.alloc("activation_grads", acts, elem);
+
+    // Parameters + grads + Adam m/v in f32, plus half copies in half modes.
+    let pcount: usize = match cfg.model {
+        ModelKind::Gcn | ModelKind::Gin => f_in * h + h + h * c + c,
+        ModelKind::Gat => f_in * h + 2 * h + h * c + 2 * c,
+        ModelKind::Sage => 2 * f_in * h + h + 2 * h * c + c,
+    };
+    m.alloc("params_master_opt", pcount * 4, 4);
+    if cfg.precision.is_half() {
+        m.alloc("params_half_copy", pcount, 2);
+        // AMP-promoted logits materialize in f32.
+        m.alloc("amp_logits_f32", n * c * 2, 4);
+    }
+
+    match cfg.precision {
+        PrecisionMode::Float | PrecisionMode::HalfNaive => {
+            // DGL: framework workspace + caching-allocator slack, plus (for
+            // half) the float copies AMP materializes around promoted ops.
+            if cfg.precision == PrecisionMode::HalfNaive && cfg.model == ModelKind::Gat {
+                m.alloc("amp_exp_f32", 2 * e, 4);
+            }
+            let overhead = (m.current() / 4) + (8 << 20);
+            m.framework_overhead(overhead);
+        }
+        PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => {
+            // Staging buffer: 2 entries per CTA of |F| halves (§5.2.3).
+            let ctas = e.div_ceil(256).max(1);
+            m.alloc("staging_buffer", 2 * ctas * (h + 2), 2);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halfgnn_graph::datasets::Dataset;
+
+    fn quick_cfg(model: ModelKind, precision: PrecisionMode, epochs: usize) -> TrainConfig {
+        TrainConfig { model, precision, epochs, hidden: 16, lr: 0.02, seed: 1, ..TrainConfig::default() }
+    }
+
+    #[test]
+    fn gcn_float_learns_cora() {
+        let data = Dataset::cora().load(42);
+        let r = train(&data, &quick_cfg(ModelKind::Gcn, PrecisionMode::Float, 30));
+        assert!(r.nan_epoch.is_none());
+        assert!(
+            r.final_train_accuracy > 0.75,
+            "train accuracy {}",
+            r.final_train_accuracy
+        );
+        assert!(r.test_accuracy > 0.6, "test accuracy {}", r.test_accuracy);
+        assert!(r.losses.first().unwrap() > r.losses.last().unwrap());
+    }
+
+    #[test]
+    fn gcn_halfgnn_matches_float_accuracy() {
+        let data = Dataset::cora().load(42);
+        let f = train(&data, &quick_cfg(ModelKind::Gcn, PrecisionMode::Float, 30));
+        let h = train(&data, &quick_cfg(ModelKind::Gcn, PrecisionMode::HalfGnn, 30));
+        assert!(h.nan_epoch.is_none(), "HalfGNN must not NaN");
+        assert!(
+            (f.final_train_accuracy - h.final_train_accuracy).abs() < 0.05,
+            "float {} vs halfgnn {}",
+            f.final_train_accuracy,
+            h.final_train_accuracy
+        );
+    }
+
+    #[test]
+    fn halfgnn_trains_faster_than_naive_half() {
+        // Needs a graph big enough to fill more than one scheduling wave
+        // (like the paper's G4-G16); tiny Cora hides kernel quality behind
+        // launch overheads.
+        let data = Dataset::hollywood09().load(42);
+        let naive = train(&data, &quick_cfg(ModelKind::Gcn, PrecisionMode::HalfNaive, 2));
+        let ours = train(&data, &quick_cfg(ModelKind::Gcn, PrecisionMode::HalfGnn, 2));
+        assert!(
+            ours.epoch_time_us < naive.epoch_time_us,
+            "halfgnn {} vs naive {}",
+            ours.epoch_time_us,
+            naive.epoch_time_us
+        );
+    }
+
+    #[test]
+    fn half_uses_less_memory_than_float() {
+        let data = Dataset::cora().load(42);
+        let f = train(&data, &quick_cfg(ModelKind::Gcn, PrecisionMode::Float, 1));
+        let h = train(&data, &quick_cfg(ModelKind::Gcn, PrecisionMode::HalfGnn, 1));
+        let ratio = f.peak_memory_bytes as f64 / h.peak_memory_bytes as f64;
+        assert!(ratio > 1.8, "memory ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn gin_float_learns() {
+        let data = Dataset::citeseer().load(7);
+        let r = train(&data, &quick_cfg(ModelKind::Gin, PrecisionMode::Float, 30));
+        assert!(r.nan_epoch.is_none());
+        assert!(r.final_train_accuracy > 0.7, "accuracy {}", r.final_train_accuracy);
+    }
+
+    #[test]
+    fn gat_float_learns() {
+        let data = Dataset::cora().load(42);
+        let r = train(&data, &quick_cfg(ModelKind::Gat, PrecisionMode::Float, 30));
+        assert!(r.nan_epoch.is_none());
+        assert!(r.final_train_accuracy > 0.7, "accuracy {}", r.final_train_accuracy);
+    }
+
+    #[test]
+    fn odd_class_count_is_padded_for_half() {
+        // Cora has 7 classes; half paths pad to 8 and still train.
+        let data = Dataset::cora().load(42);
+        let r = train(&data, &quick_cfg(ModelKind::Gcn, PrecisionMode::HalfGnn, 10));
+        assert!(r.nan_epoch.is_none());
+        assert!(r.final_train_accuracy > 0.4);
+    }
+}
+
+#[cfg(test)]
+mod loss_scale_tests {
+    use super::*;
+    use halfgnn_graph::datasets::Dataset;
+
+    #[test]
+    fn loss_scaling_changes_nothing_when_gradients_are_healthy() {
+        let data = Dataset::cora().load(42);
+        let base = TrainConfig {
+            model: ModelKind::Gcn,
+            precision: PrecisionMode::HalfGnn,
+            epochs: 8,
+            ..TrainConfig::default()
+        };
+        let unscaled = train(&data, &base);
+        let scaled = train(&data, &TrainConfig { loss_scale: 128.0, ..base });
+        assert!(unscaled.nan_epoch.is_none() && scaled.nan_epoch.is_none());
+        // Same trajectory within FP16 rounding of the scaled backward.
+        for (a, b) in unscaled.losses.iter().zip(&scaled.losses) {
+            assert!((a - b).abs() < 0.15 + 0.05 * a.abs(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn loss_scaling_rescues_underflowing_gradients() {
+        // A large masked set makes per-vertex loss gradients ~1/|train| ~
+        // 4e-4; dividing across a wide hidden layer pushes weight-gradient
+        // contributions below the FP16 subnormal range. Scale 1024 keeps
+        // them alive. We check the *gradient signal*, not luck: the scaled
+        // run must decrease loss at least as well as the unscaled one.
+        let data = Dataset::pubmed().load(9);
+        let base = TrainConfig {
+            model: ModelKind::Gcn,
+            precision: PrecisionMode::HalfGnn,
+            epochs: 12,
+            lr: 0.005,
+            ..TrainConfig::default()
+        };
+        let unscaled = train(&data, &base);
+        let scaled = train(&data, &TrainConfig { loss_scale: 1024.0, ..base });
+        assert!(scaled.nan_epoch.is_none(), "scale 1024 must not overflow the backward");
+        let drop_unscaled = unscaled.losses[0] - unscaled.losses.last().unwrap();
+        let drop_scaled = scaled.losses[0] - scaled.losses.last().unwrap();
+        assert!(
+            drop_scaled >= 0.8 * drop_unscaled,
+            "scaled run should train at least comparably: {drop_scaled} vs {drop_unscaled}"
+        );
+    }
+}

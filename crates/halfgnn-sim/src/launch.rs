@@ -1,0 +1,306 @@
+//! Grid launch: execute a kernel closure once per CTA (rayon-parallel),
+//! merge counters, and produce [`KernelStats`].
+//!
+//! The kernel closure receives a [`Cta`] for cost charging and returns an
+//! arbitrary per-CTA value (typically a write list); the caller commits
+//! those sequentially in CTA order, which keeps results deterministic and
+//! lets conflicting-write protocols (staging buffer + follow-up kernel) be
+//! expressed safely.
+
+use crate::config::DeviceConfig;
+use crate::counters::{KernelStats, WarpCounters};
+use crate::warp::WarpCtx;
+use rayon::prelude::*;
+
+/// Grid geometry of a launch.
+#[derive(Clone, Copy, Debug)]
+pub struct LaunchParams {
+    /// Number of CTAs.
+    pub num_ctas: usize,
+    /// Warps per CTA.
+    pub warps_per_cta: usize,
+}
+
+/// One cooperative thread array during execution: owns per-warp counters
+/// and hands out warp charging handles.
+pub struct Cta<'d> {
+    /// This CTA's index in the grid.
+    pub id: usize,
+    dev: &'d DeviceConfig,
+    warp_counters: Vec<WarpCounters>,
+    scratch: Vec<u64>,
+}
+
+impl<'d> Cta<'d> {
+    fn new(id: usize, dev: &'d DeviceConfig, warps: usize) -> Cta<'d> {
+        Cta { id, dev, warp_counters: vec![WarpCounters::default(); warps], scratch: Vec::new() }
+    }
+
+    /// Number of warps in this CTA.
+    pub fn num_warps(&self) -> usize {
+        self.warp_counters.len()
+    }
+
+    /// Charging handle for warp `w`.
+    pub fn warp(&mut self, w: usize) -> WarpCtx<'_> {
+        WarpCtx::new(&mut self.warp_counters[w], self.dev, &mut self.scratch)
+    }
+
+    /// CTA-wide `__syncthreads()`: every warp pays the barrier.
+    pub fn barrier(&mut self) {
+        for c in &mut self.warp_counters {
+            c.barriers += 1;
+        }
+        // The sync cost itself lands on the critical path via warp 0 (any
+        // single warp suffices since CTA time is the max over warps).
+        self.warp_counters[0].atomic_conflict_cycles += self.dev.cost.cta_barrier;
+    }
+
+    /// Modeled CTA duration: slowest warp (warps run concurrently on the
+    /// SM's schedulers).
+    fn cta_cycles(&self) -> f64 {
+        self.warp_counters
+            .iter()
+            .map(|w| w.warp_cycles(self.dev))
+            .fold(0.0f64, f64::max)
+    }
+}
+
+/// Launch `kernel` over `params.num_ctas` CTAs. Returns the per-CTA results
+/// in CTA order plus the aggregated stats.
+pub fn launch<R, F>(
+    dev: &DeviceConfig,
+    name: &str,
+    params: LaunchParams,
+    kernel: F,
+) -> (Vec<R>, KernelStats)
+where
+    R: Send,
+    F: Fn(&mut Cta) -> R + Sync,
+{
+    let per_cta: Vec<(R, f64, WarpCounters, f64, f64)> = (0..params.num_ctas)
+        .into_par_iter()
+        .map(|cta_id| {
+            let mut cta = Cta::new(cta_id, dev, params.warps_per_cta);
+            let r = kernel(&mut cta);
+            let cycles = cta.cta_cycles() * dev.cost.occupancy_stretch;
+            let mut merged = WarpCounters::default();
+            let mut busy = 0.0;
+            let mut total = 0.0;
+            for w in &cta.warp_counters {
+                merged.merge(w);
+                busy += w.warp_busy_cycles(dev);
+                total += w.warp_cycles(dev);
+            }
+            (r, cycles, merged, busy, total)
+        })
+        .collect();
+
+    let mut results = Vec::with_capacity(per_cta.len());
+    let mut cta_times = Vec::with_capacity(per_cta.len());
+    let mut totals = WarpCounters::default();
+    let mut busy_sum = 0.0;
+    let mut total_sum = 0.0;
+    for (r, cycles, counters, busy, total) in per_cta {
+        results.push(r);
+        cta_times.push(cycles);
+        totals.merge(&counters);
+        busy_sum += busy;
+        total_sum += total;
+    }
+    let stats = KernelStats::from_ctas(
+        name, dev, params.warps_per_cta, &cta_times, totals, busy_sum, total_sum,
+    );
+    (results, stats)
+}
+
+/// A deferred write set: `(start, values)` range-assignments plus
+/// `(start, values)` range-accumulations, committed in CTA order.
+///
+/// This is how kernels return output safely from the parallel phase: a
+/// well-formed kernel's `assign` ranges are disjoint across CTAs (the
+/// non-conflicting writes of §5.2.3) while `add` ranges may overlap (the
+/// staging-buffer path resolves them sequentially, mirroring the follow-up
+/// kernel).
+#[derive(Debug, Default)]
+pub struct WriteList<T> {
+    assigns: Vec<(usize, Vec<T>)>,
+    adds: Vec<(usize, Vec<T>)>,
+}
+
+impl<T: Copy + std::ops::AddAssign> WriteList<T> {
+    /// Empty write list.
+    pub fn new() -> WriteList<T> {
+        WriteList { assigns: Vec::new(), adds: Vec::new() }
+    }
+
+    /// Overwrite `out[start..start+values.len()]` at commit.
+    pub fn assign(&mut self, start: usize, values: Vec<T>) {
+        self.assigns.push((start, values));
+    }
+
+    /// Accumulate into `out[start..]` at commit.
+    pub fn add(&mut self, start: usize, values: Vec<T>) {
+        self.adds.push((start, values));
+    }
+
+    /// Number of deferred operations.
+    pub fn len(&self) -> usize {
+        self.assigns.len() + self.adds.len()
+    }
+
+    /// True when nothing is deferred.
+    pub fn is_empty(&self) -> bool {
+        self.assigns.is_empty() && self.adds.is_empty()
+    }
+
+    /// Apply to the output buffer: assigns first, then accumulations.
+    pub fn commit(self, out: &mut [T]) {
+        for (start, vals) in self.assigns {
+            out[start..start + vals.len()].copy_from_slice(&vals);
+        }
+        for (start, vals) in self.adds {
+            for (i, v) in vals.into_iter().enumerate() {
+                out[start + i] += v;
+            }
+        }
+    }
+
+    /// The assign ranges, for overlap validation.
+    pub fn assign_ranges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.assigns.iter().map(|(s, v)| (*s, *s + v.len()))
+    }
+}
+
+/// Validate the §5.2.3 protocol invariant across a batch of per-CTA write
+/// lists: *assign* ranges must be pairwise disjoint (a conflicting assign
+/// means two CTAs both believed they owned a row — a kernel bug the real
+/// GPU would express as a lost update). Returns the first overlapping pair
+/// of ranges, if any.
+pub fn find_assign_overlap<T: Copy + std::ops::AddAssign>(
+    lists: &[WriteList<T>],
+) -> Option<((usize, usize), (usize, usize))> {
+    let mut ranges: Vec<(usize, usize)> =
+        lists.iter().flat_map(|l| l.assign_ranges()).collect();
+    ranges.sort_unstable();
+    for w in ranges.windows(2) {
+        if w[1].0 < w[0].1 {
+            return Some((w[0], w[1]));
+        }
+    }
+    None
+}
+
+/// Commit a batch of per-CTA write lists in CTA order.
+pub fn commit_all<T: Copy + std::ops::AddAssign>(lists: Vec<WriteList<T>>, out: &mut [T]) {
+    for l in lists {
+        l.commit(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warp::AtomicKind;
+
+    #[test]
+    fn launch_runs_every_cta_in_order() {
+        let dev = DeviceConfig::tiny();
+        let (results, stats) = launch(&dev, "ids", LaunchParams { num_ctas: 7, warps_per_cta: 2 }, |cta| cta.id * 10);
+        assert_eq!(results, vec![0, 10, 20, 30, 40, 50, 60]);
+        assert_eq!(stats.num_ctas, 7);
+        assert_eq!(stats.name, "ids");
+    }
+
+    #[test]
+    fn counters_aggregate_across_ctas_and_warps() {
+        let dev = DeviceConfig::tiny();
+        let (_, stats) = launch(&dev, "k", LaunchParams { num_ctas: 3, warps_per_cta: 2 }, |cta| {
+            for w in 0..2 {
+                let mut warp = cta.warp(w);
+                warp.load_contiguous(0, 32, 4);
+                warp.half2_ops(5);
+            }
+        });
+        assert_eq!(stats.totals.load_instrs, 6);
+        assert_eq!(stats.totals.half2_ops, 30);
+        assert_eq!(stats.totals.sectors_loaded, 24);
+    }
+
+    #[test]
+    fn cta_time_is_max_over_warps() {
+        let dev = DeviceConfig::tiny();
+        // One warp does heavy compute, the other nothing: the CTA should
+        // cost roughly the heavy warp, not the sum.
+        let (_, heavy) = launch(&dev, "h", LaunchParams { num_ctas: 1, warps_per_cta: 2 }, |cta| {
+            cta.warp(0).float_ops(10_000);
+        });
+        let (_, both) = launch(&dev, "b", LaunchParams { num_ctas: 1, warps_per_cta: 2 }, |cta| {
+            cta.warp(0).float_ops(10_000);
+            cta.warp(1).float_ops(10_000);
+        });
+        assert!((heavy.cycles - both.cycles).abs() < 1e-6);
+    }
+
+    #[test]
+    fn atomics_lengthen_kernels() {
+        let dev = DeviceConfig::tiny();
+        let run = |atomic: bool| {
+            let (_, s) = launch(&dev, "k", LaunchParams { num_ctas: 4, warps_per_cta: 1 }, |cta| {
+                let mut w = cta.warp(0);
+                w.load_contiguous(0, 64, 2);
+                if atomic {
+                    w.atomic_add(AtomicKind::F16, 64, 2.0);
+                }
+            });
+            s.cycles
+        };
+        assert!(run(true) > run(false));
+    }
+
+    #[test]
+    fn write_list_assign_then_add() {
+        let mut out = vec![0i64; 8];
+        let mut wl = WriteList::new();
+        wl.assign(2, vec![5, 6]);
+        wl.add(3, vec![10, 20]);
+        wl.commit(&mut out);
+        assert_eq!(out, vec![0, 0, 5, 16, 20, 0, 0, 0]);
+    }
+
+    #[test]
+    fn overlap_detector_finds_conflicting_assigns() {
+        let mut a: WriteList<i64> = WriteList::new();
+        a.assign(0, vec![1, 2, 3]);
+        let mut b: WriteList<i64> = WriteList::new();
+        b.assign(2, vec![9]);
+        assert!(find_assign_overlap(&[a, b]).is_some());
+
+        let mut c: WriteList<i64> = WriteList::new();
+        c.assign(0, vec![1, 2, 3]);
+        let mut d: WriteList<i64> = WriteList::new();
+        d.assign(3, vec![9]);
+        d.add(1, vec![5]); // adds may overlap freely
+        assert!(find_assign_overlap(&[c, d]).is_none());
+    }
+
+    #[test]
+    fn commit_all_is_cta_ordered() {
+        let mut out = vec![0i64; 4];
+        let mut a = WriteList::new();
+        a.assign(0, vec![1, 1]);
+        let mut b = WriteList::new();
+        b.add(0, vec![2, 2]);
+        commit_all(vec![a, b], &mut out);
+        assert_eq!(out, vec![3, 3, 0, 0]);
+    }
+
+    #[test]
+    fn cta_barrier_charges_all_warps() {
+        let dev = DeviceConfig::tiny();
+        let (_, s) = launch(&dev, "k", LaunchParams { num_ctas: 1, warps_per_cta: 4 }, |cta| {
+            cta.barrier();
+        });
+        assert_eq!(s.totals.barriers, 4);
+    }
+}

@@ -1,0 +1,133 @@
+//! Warp-level memory coalescing: decompose the 32 per-thread accesses of a
+//! warp instruction into distinct 32-byte DRAM sectors.
+//!
+//! This is the mechanism behind the paper's data-load analysis: a warp of
+//! scalar half loads touches 64 bytes → 2 sectors per instruction, float
+//! touches 128 B → 4 sectors, `half2` restores 128 B, and the proposed
+//! `half8` moves 512 B → 16 sectors in a *single* instruction, quadrupling
+//! bytes-in-flight per issue slot.
+
+/// Number of distinct `sector_bytes`-sized sectors covered by a contiguous
+/// byte range `[base, base + len)`.
+pub fn sectors_contiguous(base: u64, len: u64, sector_bytes: u64) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let first = base / sector_bytes;
+    let last = (base + len - 1) / sector_bytes;
+    last - first + 1
+}
+
+/// Number of distinct sectors touched by a gather of `elem_bytes`-sized
+/// accesses at arbitrary addresses. `scratch` avoids per-call allocation in
+/// hot kernels; it is cleared on entry.
+pub fn sectors_gather(
+    addrs: impl IntoIterator<Item = u64>,
+    elem_bytes: u64,
+    sector_bytes: u64,
+    scratch: &mut Vec<u64>,
+) -> u64 {
+    scratch.clear();
+    for a in addrs {
+        let first = a / sector_bytes;
+        let last = (a + elem_bytes - 1) / sector_bytes;
+        for s in first..=last {
+            scratch.push(s);
+        }
+    }
+    scratch.sort_unstable();
+    scratch.dedup();
+    scratch.len() as u64
+}
+
+/// Synthetic, non-overlapping base addresses for the tensors a kernel
+/// touches, so coalescing is computed on a realistic flat address space.
+#[derive(Default)]
+pub struct AddrSpace {
+    next: u64,
+}
+
+impl AddrSpace {
+    /// Start allocating at a 256-byte-aligned, non-zero base.
+    pub fn new() -> AddrSpace {
+        AddrSpace { next: 0x1000 }
+    }
+
+    /// Reserve `len` elements of `elem_bytes` each; returns the base
+    /// address, aligned to 256 bytes like `cudaMalloc` guarantees.
+    pub fn alloc(&mut self, len: usize, elem_bytes: usize) -> u64 {
+        let base = self.next;
+        let bytes = (len * elem_bytes) as u64;
+        self.next = (base + bytes + 255) & !255;
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_unit_stride_float_warp() {
+        // 32 threads x 4B = 128 B from an aligned base: 4 sectors.
+        assert_eq!(sectors_contiguous(0, 128, 32), 4);
+        // Scalar half warp: 64 B: 2 sectors.
+        assert_eq!(sectors_contiguous(0, 64, 32), 2);
+        // half2 warp: 32 threads x 4B: back to 4 sectors.
+        assert_eq!(sectors_contiguous(0, 128, 32), 4);
+        // half8 warp: 32 x 16B = 512 B: 16 sectors.
+        assert_eq!(sectors_contiguous(0, 512, 32), 16);
+    }
+
+    #[test]
+    fn contiguous_misaligned_adds_a_sector() {
+        assert_eq!(sectors_contiguous(16, 128, 32), 5);
+        assert_eq!(sectors_contiguous(30, 4, 32), 2); // straddles a boundary
+        assert_eq!(sectors_contiguous(31, 1, 32), 1);
+        assert_eq!(sectors_contiguous(0, 0, 32), 0);
+    }
+
+    #[test]
+    fn gather_broadcast_is_one_sector() {
+        let mut scratch = Vec::new();
+        let addrs = vec![100u64; 32];
+        assert_eq!(sectors_gather(addrs, 4, 32, &mut scratch), 1);
+    }
+
+    #[test]
+    fn gather_scattered_pays_per_element() {
+        let mut scratch = Vec::new();
+        // 32 accesses, each in its own sector (stride 128).
+        let addrs: Vec<u64> = (0..32).map(|i| i * 128).collect();
+        assert_eq!(sectors_gather(addrs, 4, 32, &mut scratch), 32);
+    }
+
+    #[test]
+    fn gather_of_contiguous_matches_contiguous() {
+        let mut scratch = Vec::new();
+        let addrs: Vec<u64> = (0..32).map(|i| i * 4).collect();
+        assert_eq!(
+            sectors_gather(addrs, 4, 32, &mut scratch),
+            sectors_contiguous(0, 128, 32)
+        );
+    }
+
+    #[test]
+    fn gather_element_straddling_counts_both() {
+        let mut scratch = Vec::new();
+        assert_eq!(sectors_gather([30u64], 4, 32, &mut scratch), 2);
+    }
+
+    #[test]
+    fn addr_space_is_disjoint_and_aligned() {
+        let mut a = AddrSpace::new();
+        let x = a.alloc(1000, 4);
+        let y = a.alloc(10, 2);
+        let z = a.alloc(1, 1);
+        assert!(x + 4000 <= y, "overlap");
+        assert!(y + 20 <= z, "overlap");
+        assert_eq!(x % 256, 0);
+        assert_eq!(y % 256, 0);
+        assert_eq!(z % 256, 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based invariants of the cost model: coalescing arithmetic,
+//! timing monotonicity, and aggregation consistency.
+
+use halfgnn_sim::launch::{launch, LaunchParams};
+use halfgnn_sim::memory::{sectors_contiguous, sectors_gather, AddrSpace};
+use halfgnn_sim::{DeviceConfig, WarpCounters};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn contiguous_sector_count_bounds(base in 0u64..1_000_000, len in 1u64..10_000) {
+        let s = sectors_contiguous(base, len, 32);
+        // At least ceil(len/32), at most one extra for misalignment.
+        prop_assert!(s >= len.div_ceil(32));
+        prop_assert!(s <= len.div_ceil(32) + 1);
+    }
+
+    #[test]
+    fn gather_never_beats_contiguous(addrs in prop::collection::vec(0u64..100_000, 1..64)) {
+        // A gather of k elements covers at least the sectors of the same
+        // bytes laid out contiguously, and at most one sector set per elem.
+        let mut scratch = Vec::new();
+        let k = addrs.len() as u64;
+        let s = sectors_gather(addrs.iter().copied(), 4, 32, &mut scratch);
+        prop_assert!(s >= 1);
+        prop_assert!(s <= 2 * k); // 4B elements straddle at most 2 sectors
+    }
+
+    #[test]
+    fn gather_is_permutation_invariant(mut addrs in prop::collection::vec(0u64..50_000, 1..48)) {
+        let mut scratch = Vec::new();
+        let a = sectors_gather(addrs.iter().copied(), 2, 32, &mut scratch);
+        addrs.reverse();
+        let b = sectors_gather(addrs.iter().copied(), 2, 32, &mut scratch);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn warp_cycles_monotone_in_every_counter(
+        loads in 0u64..200, sectors in 0u64..500, ops in 0u64..300,
+        shuffles in 0u64..50, atomics in 0u64..40,
+    ) {
+        let dev = DeviceConfig::a100_like();
+        let base = WarpCounters {
+            load_instrs: loads,
+            sectors_loaded: sectors,
+            half2_ops: ops,
+            shuffles,
+            barriers: shuffles,
+            atomics_f16: atomics,
+            ..Default::default()
+        };
+        let t0 = base.warp_cycles(&dev);
+        for grow in 0..5 {
+            let mut bigger = base.clone();
+            match grow {
+                0 => bigger.load_instrs += 8,
+                1 => bigger.sectors_loaded += 64,
+                2 => bigger.half2_ops += 64,
+                3 => { bigger.shuffles += 8; bigger.barriers += 8; }
+                _ => bigger.atomics_f16 += 8,
+            }
+            prop_assert!(
+                bigger.warp_cycles(&dev) >= t0,
+                "growing counter {grow} decreased time"
+            );
+        }
+    }
+
+    #[test]
+    fn busy_never_exceeds_total(loads in 0u64..100, sectors in 0u64..300, ops in 0u64..200) {
+        let dev = DeviceConfig::a100_like();
+        let c = WarpCounters {
+            load_instrs: loads,
+            sectors_loaded: sectors,
+            float_ops: ops,
+            ..Default::default()
+        };
+        prop_assert!(c.warp_busy_cycles(&dev) <= c.warp_cycles(&dev) + 1e-9);
+    }
+
+    #[test]
+    fn kernel_time_scales_with_grid(ctas in 1usize..400) {
+        // Same per-CTA work: more CTAs can never be faster.
+        let dev = DeviceConfig::a100_like();
+        let run = |n: usize| {
+            let (_, s) = launch(&dev, "k", LaunchParams { num_ctas: n, warps_per_cta: 2 }, |cta| {
+                for w in 0..2 {
+                    let mut warp = cta.warp(w);
+                    warp.load_contiguous(0, 64, 4);
+                    warp.float_ops(16);
+                }
+            });
+            s.cycles
+        };
+        prop_assert!(run(ctas + 1) >= run(ctas));
+    }
+
+    #[test]
+    fn merge_is_associative_on_counters(a in 0u64..50, b in 0u64..50, c in 0u64..50) {
+        let mk = |n: u64| WarpCounters { load_instrs: n, sectors_loaded: 2 * n, ..Default::default() };
+        let mut left = mk(a);
+        left.merge(&mk(b));
+        left.merge(&mk(c));
+        let mut right = mk(b);
+        right.merge(&mk(c));
+        let mut right2 = mk(a);
+        right2.merge(&right);
+        prop_assert_eq!(left, right2);
+    }
+
+    #[test]
+    fn addr_space_allocations_never_overlap(sizes in prop::collection::vec(1usize..5_000, 1..20)) {
+        let mut space = AddrSpace::new();
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        for (i, &len) in sizes.iter().enumerate() {
+            let elem = [1usize, 2, 4, 8][i % 4];
+            let base = space.alloc(len, elem);
+            let end = base + (len * elem) as u64;
+            for &(b, e) in &ranges {
+                prop_assert!(end <= b || base >= e, "overlap [{base},{end}) vs [{b},{e})");
+            }
+            ranges.push((base, end));
+        }
+    }
+}

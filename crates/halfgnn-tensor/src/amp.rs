@@ -1,0 +1,122 @@
+//! The PyTorch AMP autocast policy, as the paper characterizes it
+//! (§3.1.2): a fixed list of operations that are force-promoted to float
+//! under mixed precision, regardless of whether the model guarantees their
+//! output fits in half.
+//!
+//! The policy itself is data: [`promotes_to_float`] answers whether AMP
+//! would upgrade an op. The *shadow API* decision (§5.3) consults the same
+//! table but lets the caller assert an overflow-safety contract and stay
+//! in half.
+
+/// Operations that appear in GNN models, classified by AMP behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `exp` — promoted: output range `(0, INF)` in general.
+    Exp,
+    /// Row-wise softmax — promoted (internally exp + sum).
+    Softmax,
+    /// Log / log-softmax — promoted.
+    Log,
+    /// Reductions (`sum`, `mean` over big axes) — promoted.
+    Sum,
+    /// Cross-entropy / NLL loss — promoted.
+    CrossEntropy,
+    /// Matrix multiply — runs in half on tensor cores (AMP "fp16" list).
+    MatMul,
+    /// SpMM — DGL dispatches on input dtype; half allowed.
+    SpMM,
+    /// SDDMM — half allowed.
+    Sddmm,
+    /// Elementwise add/mul — dtype-preserving.
+    Elementwise,
+    /// ReLU / LeakyReLU — dtype-preserving.
+    Relu,
+    /// Dropout — dtype-preserving.
+    Dropout,
+}
+
+/// Would PyTorch AMP force this op to run in float on half inputs?
+pub const fn promotes_to_float(op: Op) -> bool {
+    matches!(op, Op::Exp | Op::Softmax | Op::Log | Op::Sum | Op::CrossEntropy)
+}
+
+/// Is a half-native *shadow* version sound, given the caller-asserted
+/// input contract? The table encodes the paper's analyses:
+///
+/// * `Exp` with non-positive inputs: output in `(0, 1]` — safe.
+/// * `Sum` bounded by `max_terms · max|value| ≤ 65504` — safe.
+/// * `Softmax` after max-subtraction — safe (it is exp-of-nonpositive
+///   followed by a bounded division).
+pub fn shadow_is_safe(op: Op, contract: InputContract) -> bool {
+    match op {
+        Op::Exp => contract.non_positive,
+        Op::Softmax => contract.max_subtracted,
+        Op::Sum => contract.bounded_sum,
+        Op::Log => contract.bounded_away_from_zero,
+        Op::CrossEntropy => false, // loss stays in float (weight updates too)
+        _ => true,                 // dtype-preserving ops never needed promotion
+    }
+}
+
+/// Caller-asserted properties of an op's inputs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InputContract {
+    /// Every input value is ≤ 0 (e.g. `e_ij − m_i`).
+    pub non_positive: bool,
+    /// The rowwise max has been subtracted (stabilized softmax).
+    pub max_subtracted: bool,
+    /// `Σ|x| ≤ 65504` is guaranteed (e.g. softmax denominator ≤ degree).
+    pub bounded_sum: bool,
+    /// Inputs are ≥ some ε > 2⁻²⁴.
+    pub bounded_away_from_zero: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promotion_list_matches_paper() {
+        // §3.1.2: "cross-entropy, log loss, softmax calculation,
+        // summation, etc." are promoted; sparse kernels and GeMM are not.
+        for op in [Op::Exp, Op::Softmax, Op::Log, Op::Sum, Op::CrossEntropy] {
+            assert!(promotes_to_float(op), "{op:?} should promote");
+        }
+        for op in [Op::MatMul, Op::SpMM, Op::Sddmm, Op::Elementwise, Op::Relu, Op::Dropout] {
+            assert!(!promotes_to_float(op), "{op:?} should stay in half");
+        }
+    }
+
+    #[test]
+    fn shadow_exp_requires_the_contract() {
+        assert!(!shadow_is_safe(Op::Exp, InputContract::default()));
+        assert!(shadow_is_safe(Op::Exp, InputContract { non_positive: true, ..Default::default() }));
+    }
+
+    #[test]
+    fn shadow_softmax_needs_stabilization() {
+        assert!(shadow_is_safe(
+            Op::Softmax,
+            InputContract { max_subtracted: true, ..Default::default() }
+        ));
+        assert!(!shadow_is_safe(Op::Softmax, InputContract::default()));
+    }
+
+    #[test]
+    fn loss_never_shadows() {
+        // Micikevicius et al.: weight updates and loss stay in float.
+        let all = InputContract {
+            non_positive: true,
+            max_subtracted: true,
+            bounded_sum: true,
+            bounded_away_from_zero: true,
+        };
+        assert!(!shadow_is_safe(Op::CrossEntropy, all));
+    }
+
+    #[test]
+    fn dtype_preserving_ops_always_safe() {
+        assert!(shadow_is_safe(Op::Relu, InputContract::default()));
+        assert!(shadow_is_safe(Op::SpMM, InputContract::default()));
+    }
+}

@@ -1,0 +1,119 @@
+//! `halfgnn-train` — train any registry dataset with any model under any
+//! precision system, from the command line.
+//!
+//! ```text
+//! halfgnn-train --dataset reddit --model gcn --precision halfgnn \
+//!               --epochs 60 [--lr 0.01] [--hidden 64] [--seed 0] [--norm right]
+//! ```
+
+use halfgnn::graph::datasets::Dataset;
+use halfgnn::nn::models::GcnNorm;
+use halfgnn::nn::trainer::{train, ModelKind, PrecisionMode, TrainConfig};
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: halfgnn-train --dataset <id|name> [--model gcn|gat|gin|sage] \
+         [--precision float|halfnaive|halfgnn|nodiscretize] [--epochs N] \
+         [--lr F] [--hidden N] [--seed N] [--norm right|left|both] [--gin-lambda F] [--loss-scale F]"
+    );
+    exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dataset = None;
+    let mut cfg = TrainConfig { epochs: 60, ..TrainConfig::default() };
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage()).as_str();
+        match flag.as_str() {
+            "--dataset" => dataset = Dataset::by_id(val()),
+            "--model" => {
+                cfg.model = match val() {
+                    "gcn" => ModelKind::Gcn,
+                    "gat" => ModelKind::Gat,
+                    "gin" => ModelKind::Gin,
+                    "sage" => ModelKind::Sage,
+                    other => {
+                        eprintln!("unknown model {other}");
+                        usage()
+                    }
+                }
+            }
+            "--precision" => {
+                cfg.precision = match val() {
+                    "float" => PrecisionMode::Float,
+                    "halfnaive" => PrecisionMode::HalfNaive,
+                    "halfgnn" => PrecisionMode::HalfGnn,
+                    "nodiscretize" => PrecisionMode::HalfGnnNoDiscretize,
+                    other => {
+                        eprintln!("unknown precision {other}");
+                        usage()
+                    }
+                }
+            }
+            "--norm" => {
+                cfg.gcn_norm = match val() {
+                    "right" => GcnNorm::Right,
+                    "left" => GcnNorm::Left,
+                    "both" => GcnNorm::Both,
+                    other => {
+                        eprintln!("unknown norm {other}");
+                        usage()
+                    }
+                }
+            }
+            "--epochs" => cfg.epochs = val().parse().unwrap_or_else(|_| usage()),
+            "--lr" => cfg.lr = val().parse().unwrap_or_else(|_| usage()),
+            "--hidden" => cfg.hidden = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--gin-lambda" => cfg.gin_lambda = val().parse().unwrap_or_else(|_| usage()),
+            "--loss-scale" => cfg.loss_scale = val().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage()
+            }
+        }
+    }
+    let Some(dataset) = dataset else { usage() };
+
+    let data = dataset.load(42);
+    eprintln!(
+        "{} ({}): {} vertices, {} edges, mean degree {:.1}, max degree {}",
+        data.spec.name,
+        data.spec.id,
+        data.num_vertices(),
+        data.num_edges(),
+        data.adj.mean_degree(),
+        data.adj.max_degree()
+    );
+    eprintln!(
+        "training {:?} / {:?} for {} epochs (hidden {}, lr {})",
+        cfg.model, cfg.precision, cfg.epochs, cfg.hidden, cfg.lr
+    );
+
+    let report = train(&data, &cfg);
+    for (e, loss) in report.losses.iter().enumerate() {
+        if e % 10 == 0 || e + 1 == report.losses.len() {
+            println!("epoch {e:>4}  loss {loss:.4}");
+        }
+    }
+    println!("train accuracy : {:.4}", report.final_train_accuracy);
+    println!("test accuracy  : {:.4}", report.test_accuracy);
+    println!("epoch time     : {:.1} us (modeled)", report.epoch_time_us);
+    println!("peak memory    : {:.1} MiB (modeled)", report.peak_memory_bytes as f64 / 1048576.0);
+    println!("kernels/epoch  : {}", report.kernels_per_epoch);
+    println!("conversions    : {} kernels, {} elements/epoch",
+        report.conversions_per_epoch, report.converted_elems_per_epoch);
+    println!("\nper-kernel breakdown (one epoch):");
+    for (name, launches, us) in report.kernel_breakdown.iter().take(12) {
+        println!("  {name:<42} x{launches:<3} {us:>10.1} us");
+    }
+    if let Some(e) = report.nan_epoch {
+        println!("loss became NaN at epoch {e} (FP16 overflow -> NaN, see DESIGN.md)");
+        exit(1);
+    }
+}

@@ -1,0 +1,114 @@
+//! End-to-end integration tests through the public facade: every model,
+//! every precision system, plus the paper's headline claims in miniature.
+
+use halfgnn::graph::datasets::Dataset;
+use halfgnn::nn::trainer::{train, ModelKind, PrecisionMode, TrainConfig};
+
+fn cfg(model: ModelKind, precision: PrecisionMode, epochs: usize) -> TrainConfig {
+    TrainConfig { model, precision, epochs, hidden: 64, lr: 0.02, ..TrainConfig::default() }
+}
+
+#[test]
+fn every_model_trains_under_every_system_on_citeseer() {
+    let data = Dataset::citeseer().load(11);
+    for model in [ModelKind::Gcn, ModelKind::Gat, ModelKind::Gin, ModelKind::Sage] {
+        for precision in
+            [PrecisionMode::Float, PrecisionMode::HalfNaive, PrecisionMode::HalfGnn]
+        {
+            let r = train(&data, &cfg(model, precision, 15));
+            // Citeseer has no overflow-grade hubs: everything stays finite.
+            assert!(
+                r.nan_epoch.is_none(),
+                "{model:?}/{precision:?} unexpectedly NaN'd at {:?}",
+                r.nan_epoch
+            );
+            assert!(
+                r.losses.first().unwrap() > r.losses.last().unwrap(),
+                "{model:?}/{precision:?}: loss did not decrease"
+            );
+        }
+    }
+}
+
+#[test]
+fn headline_claim_accuracy_parity() {
+    // Fig. 5 in miniature: HalfGNN ≈ float on a labeled dataset.
+    let data = Dataset::cora().load(42);
+    let f = train(&data, &cfg(ModelKind::Gcn, PrecisionMode::Float, 40));
+    let h = train(&data, &cfg(ModelKind::Gcn, PrecisionMode::HalfGnn, 40));
+    assert!(f.final_train_accuracy > 0.8, "float should learn: {}", f.final_train_accuracy);
+    assert!(
+        (f.final_train_accuracy - h.final_train_accuracy).abs() < 0.05,
+        "parity violated: float {} vs halfgnn {}",
+        f.final_train_accuracy,
+        h.final_train_accuracy
+    );
+}
+
+#[test]
+fn headline_claim_naive_half_collapses_on_hub_graphs() {
+    // Fig. 1c in miniature (SAGE shares GCN's mean-aggregation anatomy).
+    let data = Dataset::reddit().load(42);
+    for model in [ModelKind::Gcn, ModelKind::Gin, ModelKind::Sage] {
+        let naive = train(&data, &cfg(model, PrecisionMode::HalfNaive, 3));
+        assert!(naive.nan_epoch.is_some(), "{model:?} naive-half should NaN");
+        let ours = train(&data, &cfg(model, PrecisionMode::HalfGnn, 3));
+        assert!(ours.nan_epoch.is_none(), "{model:?} HalfGNN must stay finite");
+    }
+}
+
+#[test]
+fn headline_claim_discretization_is_the_fix() {
+    // §6.1.1 ablation in miniature: same kernels, post-reduction scaling,
+    // and the collapse returns.
+    let data = Dataset::reddit().load(42);
+    let r = train(&data, &cfg(ModelKind::Gcn, PrecisionMode::HalfGnnNoDiscretize, 3));
+    assert!(r.nan_epoch.is_some(), "post-reduction scaling should overflow");
+}
+
+#[test]
+fn headline_claim_speed_and_memory() {
+    // Figs. 7/8 + Fig. 6 in miniature on a mid-size skewed graph.
+    let data = Dataset::hollywood09().load(42);
+    let f = train(&data, &cfg(ModelKind::Gcn, PrecisionMode::Float, 1));
+    let n = train(&data, &cfg(ModelKind::Gcn, PrecisionMode::HalfNaive, 1));
+    let h = train(&data, &cfg(ModelKind::Gcn, PrecisionMode::HalfGnn, 1));
+    assert!(
+        h.epoch_time_us < n.epoch_time_us,
+        "HalfGNN {} should beat naive-half {}",
+        h.epoch_time_us,
+        n.epoch_time_us
+    );
+    assert!(
+        h.epoch_time_us < f.epoch_time_us,
+        "HalfGNN {} should beat float {}",
+        h.epoch_time_us,
+        f.epoch_time_us
+    );
+    let ratio = f.peak_memory_bytes as f64 / h.peak_memory_bytes as f64;
+    assert!(ratio > 1.8, "memory saving {ratio:.2}x below band");
+}
+
+#[test]
+fn gat_survives_naive_half_but_pays_conversions() {
+    // Fig. 1c shows GAT-half NOT collapsing; §3.1.2 shows it converting.
+    let data = Dataset::reddit().load(42);
+    let naive = train(&data, &cfg(ModelKind::Gat, PrecisionMode::HalfNaive, 2));
+    assert!(naive.nan_epoch.is_none(), "GAT-half should survive (softmax bounds the weights)");
+    let ours = train(&data, &cfg(ModelKind::Gat, PrecisionMode::HalfGnn, 2));
+    assert!(
+        naive.converted_elems_per_epoch > ours.converted_elems_per_epoch,
+        "AMP should convert more ({} vs {})",
+        naive.converted_elems_per_epoch,
+        ours.converted_elems_per_epoch
+    );
+}
+
+#[test]
+fn determinism_across_runs() {
+    let data = Dataset::pubmed().load(5);
+    let a = train(&data, &cfg(ModelKind::Gcn, PrecisionMode::HalfGnn, 5));
+    let b = train(&data, &cfg(ModelKind::Gcn, PrecisionMode::HalfGnn, 5));
+    assert_eq!(a.losses, b.losses, "training must be bit-deterministic");
+    assert_eq!(a.epoch_time_us, b.epoch_time_us, "modeled time must be deterministic");
+}

@@ -1,0 +1,108 @@
+//! Smoke tests for the reproduction harness: every experiment runs in
+//! quick mode and produces a well-formed, claim-consistent table.
+
+use halfgnn_bench::experiments as exp;
+use halfgnn_bench::Table;
+
+fn parse_speedup(cell: &str) -> f64 {
+    cell.trim_end_matches('x').trim_start_matches("**").parse().unwrap_or(f64::NAN)
+}
+
+fn geomean_note_value(t: &Table) -> f64 {
+    // Notes embed "geomean ... = N.NNx"; pull the first such figure.
+    for n in &t.notes {
+        if let Some(pos) = n.find('=') {
+            let tail = &n[pos + 1..];
+            let tok = tail.split_whitespace().next().unwrap_or("");
+            if let Ok(v) = tok.trim_end_matches('x').parse::<f64>() {
+                return v;
+            }
+        }
+    }
+    f64::NAN
+}
+
+#[test]
+fn fig1a_half_spmm_slower_than_float() {
+    let t = exp::fig1::fig1a(true);
+    assert!(!t.rows.is_empty());
+    let g = geomean_note_value(&t);
+    assert!(g > 1.5, "cuSPARSE-half should be clearly slower, got {g}");
+}
+
+#[test]
+fn fig1b_half_sddmm_no_speedup() {
+    let t = exp::fig1::fig1b(true);
+    let g = geomean_note_value(&t);
+    assert!((0.9..=1.2).contains(&g), "DGL-half SDDMM ratio should be ~1, got {g}");
+}
+
+#[test]
+fn fig12_half8_wins() {
+    let t = exp::fig12::run(true);
+    for row in &t.rows {
+        for cell in &row[1..] {
+            let s = parse_speedup(cell);
+            assert!(s > 1.0, "half8 must beat half2: {cell}");
+        }
+    }
+}
+
+#[test]
+fn fig13_non_atomic_wins() {
+    let t = exp::fig13::run(true);
+    for row in &t.rows {
+        let s = parse_speedup(row.last().unwrap());
+        assert!(s > 1.0, "staged must beat atomic: {:?}", row);
+    }
+}
+
+#[test]
+fn fig14_half2_adaptation_wins() {
+    let t = exp::fig14::run(true);
+    for row in &t.rows {
+        let s = parse_speedup(row.last().unwrap());
+        assert!(s > 1.2, "Huang-half2 must clearly win: {:?}", row);
+    }
+}
+
+#[test]
+fn fig9_kernel_speedups_in_band() {
+    let t = exp::fig9::run(true);
+    let rows = &t.rows[..t.rows.len() - 1]; // last row is the geomean
+    for row in rows {
+        for cell in &row[1..] {
+            let s = parse_speedup(cell);
+            assert!(s > 1.5, "HalfGNN kernels should clearly win: {row:?}");
+        }
+    }
+}
+
+#[test]
+fn fig10_utilization_ordering() {
+    let t = exp::fig10_11::fig10(true);
+    let bw: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+    // HalfGNN > cuSPARSE-float > cuSPARSE-half.
+    assert!(bw[0] > bw[2] && bw[2] > bw[1], "BW ordering violated: {bw:?}");
+}
+
+#[test]
+fn fig11_utilization_ordering() {
+    let t = exp::fig10_11::fig11(true);
+    let bw: Vec<f64> = t.rows.iter().map(|r| r[1].parse().unwrap()).collect();
+    assert!(bw[0] > bw[1] && bw[0] > bw[2], "HalfGNN must lead: {bw:?}");
+    assert!((bw[1] - bw[2]).abs() < 10.0, "baselines should be similar: {bw:?}");
+}
+
+#[test]
+fn fig6_memory_saving_in_band() {
+    let t = exp::fig6::run(true);
+    let g = geomean_note_value(&t);
+    assert!((1.8..=4.0).contains(&g), "memory saving {g} outside band");
+}
+
+#[test]
+fn table1_lists_all_datasets() {
+    let t = exp::table1::run(false);
+    assert_eq!(t.rows.len(), 16);
+}

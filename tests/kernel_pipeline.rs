@@ -1,0 +1,144 @@
+//! Cross-crate kernel pipeline tests: compose the public kernel API the
+//! way a downstream GNN system would and validate against the f64
+//! reference implementations.
+
+use halfgnn::graph::{gen, Csr};
+use halfgnn::half::slice::f32_slice_to_half;
+use halfgnn::half::Half;
+use halfgnn::kernels::baseline::cusparse;
+use halfgnn::kernels::common::{EdgeWeights, Reduce, ScalePlacement, VectorWidth};
+use halfgnn::kernels::reference;
+use halfgnn::kernels::{edge_ops, halfgnn_sddmm, halfgnn_spmm};
+use halfgnn::sim::DeviceConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn graph(seed: u64) -> Csr {
+    let edges = gen::preferential_attachment(800, 6, seed);
+    Csr::from_edges(800, 800, &edges).symmetrized_with_self_loops()
+}
+
+fn randh(n: usize, scale: f32, seed: u64) -> Vec<Half> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    f32_slice_to_half(&(0..n).map(|_| rng.gen_range(-scale..scale)).collect::<Vec<f32>>())
+}
+
+#[test]
+fn attention_pipeline_matches_reference_aggregation() {
+    // Full GAT-style layer: softmax(e) then SpMMve — compare the final
+    // aggregation against the f64 reference with the same alpha.
+    let dev = DeviceConfig::a100_like();
+    let csr = graph(1);
+    let coo = csr.to_coo();
+    let f = 32;
+    let z = randh(coo.num_rows() * f, 0.5, 2);
+    let e = randh(coo.nnz(), 3.0, 3);
+
+    let (m, _) = halfgnn_spmm::edge_reduce(&dev, &coo, &e, Reduce::Max);
+    let (num, _) = edge_ops::sub_row_exp(&dev, &coo, &e, &m, true);
+    let (zs, _) = halfgnn_spmm::edge_reduce(&dev, &coo, &num, Reduce::Sum);
+    let (alpha, _) = edge_ops::div_row(&dev, &coo, &num, &zs);
+
+    let cfg = halfgnn_spmm::SpmmConfig {
+        scaling: ScalePlacement::None,
+        ..Default::default()
+    };
+    let (h, _) = halfgnn_spmm::spmm(&dev, &coo, EdgeWeights::Values(&alpha), &z, f, None, &cfg);
+
+    let want = reference::spmm_f64(
+        &coo,
+        EdgeWeights::Values(&alpha),
+        &reference::half_to_f64(&z),
+        f,
+        Reduce::Sum,
+        None,
+    );
+    reference::assert_close_half(&h, &want, 0.05, 0.05, "attention aggregation");
+    // Attention outputs are convex combinations: bounded by max |z|.
+    let zmax = z.iter().map(|v| v.to_f32().abs()).fold(0.0f32, f32::max);
+    assert!(h.iter().all(|v| v.to_f32().abs() <= zmax * 1.05));
+}
+
+#[test]
+fn halfgnn_and_cusparse_agree_when_nothing_overflows() {
+    let dev = DeviceConfig::a100_like();
+    let coo = graph(4).to_coo();
+    let f = 16;
+    let x = randh(coo.num_cols() * f, 0.25, 5);
+    let cfg = halfgnn_spmm::SpmmConfig {
+        scaling: ScalePlacement::None,
+        ..Default::default()
+    };
+    let (ours, _) = halfgnn_spmm::spmm(&dev, &coo, EdgeWeights::Ones, &x, f, None, &cfg);
+    let (base, _) = cusparse::spmm_half(&dev, &coo, EdgeWeights::Ones, &x, f, None);
+    for (a, b) in ours.iter().zip(&base) {
+        assert!(
+            (a.to_f32() - b.to_f32()).abs() <= 0.02 + 0.02 * a.to_f32().abs(),
+            "{a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn sddmm_then_softmax_grad_shapes_compose() {
+    // The backward chain: SDDMM produces edge grads that feed softmax_grad.
+    let dev = DeviceConfig::a100_like();
+    let coo = graph(6).to_coo();
+    let f = 64;
+    let dh = randh(coo.num_rows() * f, 0.1, 7);
+    let z = randh(coo.num_cols() * f, 0.5, 8);
+    #[allow(clippy::needless_range_loop)]
+    let alpha = {
+        // Uniform attention per row for a clean invariant.
+        let offsets = halfgnn_spmm::row_offsets_of(&coo);
+        let mut a = vec![Half::ZERO; coo.nnz()];
+        for r in 0..coo.num_rows() {
+            let deg = (offsets[r + 1] - offsets[r]) as f32;
+            for e in offsets[r]..offsets[r + 1] {
+                a[e] = Half::from_f32(1.0 / deg);
+            }
+        }
+        a
+    };
+    let (dalpha, _) = halfgnn_sddmm::sddmm(&dev, &coo, &dh, &z, f, VectorWidth::Half8);
+    let (prod, _) = edge_ops::mul(&dev, &coo, &alpha, &dalpha);
+    let (t, _) = halfgnn_spmm::edge_reduce(&dev, &coo, &prod, Reduce::Sum);
+    let (de, _) = edge_ops::softmax_grad(&dev, &coo, &alpha, &dalpha, &t);
+    assert_eq!(de.len(), coo.nnz());
+    // Softmax-grad rows are zero-sum when alpha is a softmax (uniform here):
+    // Σ_j α(δα_j − t) = t − t = 0.
+    let offsets = halfgnn_spmm::row_offsets_of(&coo);
+    for r in 0..coo.num_rows().min(200) {
+        let s: f32 = de[offsets[r]..offsets[r + 1]].iter().map(|h| h.to_f32()).sum();
+        let scale: f32 =
+            de[offsets[r]..offsets[r + 1]].iter().map(|h| h.to_f32().abs()).sum::<f32>();
+        assert!(s.abs() <= 0.05 * scale + 0.02, "row {r}: sum {s} vs scale {scale}");
+    }
+}
+
+#[test]
+fn stats_compose_across_a_whole_layer() {
+    // Kernel stats accumulate sensibly: total layer time is the sum of its
+    // kernels; every kernel moved bytes and issued instructions.
+    let dev = DeviceConfig::a100_like();
+    let coo = graph(9).to_coo();
+    let f = 32;
+    let x = randh(coo.num_cols() * f, 0.5, 10);
+    let e = randh(coo.nnz(), 1.0, 11);
+
+    let mut total = 0.0;
+    let (_, s1) = halfgnn_spmm::edge_reduce(&dev, &coo, &e, Reduce::Max);
+    total += s1.time_us;
+    let (_, s2) = halfgnn_sddmm::sddmm(&dev, &coo, &x, &x, f, VectorWidth::Half8);
+    total += s2.time_us;
+    let cfg = halfgnn_spmm::SpmmConfig { scaling: ScalePlacement::None, ..Default::default() };
+    let (_, s3) = halfgnn_spmm::spmm(&dev, &coo, EdgeWeights::Ones, &x, f, None, &cfg);
+    total += s3.time_us;
+    for s in [&s1, &s2, &s3] {
+        assert!(s.time_us > 0.0);
+        assert!(s.dram_bytes() > 0);
+        assert!(s.mem_bw_utilization > 0.0 && s.mem_bw_utilization <= 100.0);
+        assert!(s.sm_utilization >= 0.0 && s.sm_utilization <= 100.0);
+    }
+    assert!(total > s2.time_us, "sum exceeds any component");
+}
