@@ -17,9 +17,8 @@ fn bench_softmax(c: &mut Criterion) {
     let data = Dataset::amazon().load(SEED);
     let coo = &data.coo;
     let mut rng = StdRng::seed_from_u64(3);
-    let e = f32_slice_to_half(
-        &(0..coo.nnz()).map(|_| rng.gen_range(-8.0f32..8.0)).collect::<Vec<_>>(),
-    );
+    let e =
+        f32_slice_to_half(&(0..coo.nnz()).map(|_| rng.gen_range(-8.0f32..8.0)).collect::<Vec<_>>());
     let mut group = c.benchmark_group("edge_softmax_amazon");
     group.sample_size(10);
     for (name, shadow) in [("shadow", true), ("amp", false)] {

@@ -23,8 +23,15 @@ fn bench_spmm(c: &mut Criterion) {
     });
     group.bench_function("halfgnn_atomic", |b| {
         b.iter(|| {
-            spmm(&dev, &data.coo, EdgeWeights::Values(&w), &x, f, None,
-                &SpmmConfig { writes: WriteStrategy::Atomic, ..base })
+            spmm(
+                &dev,
+                &data.coo,
+                EdgeWeights::Values(&w),
+                &x,
+                f,
+                None,
+                &SpmmConfig { writes: WriteStrategy::Atomic, ..base },
+            )
         })
     });
     group.bench_function("cusparse_half", |b| {

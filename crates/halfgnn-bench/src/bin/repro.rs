@@ -17,7 +17,8 @@ use std::process::exit;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let targets: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let targets: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
     if targets.is_empty() {
         eprintln!("usage: repro <experiment|all> [--quick]");
         eprintln!("  experiments: table1 fig1a fig1b fig1c fig5 fig6 fig7 fig8 fig9 fig9aux");
@@ -72,10 +73,26 @@ fn run(target: &str, quick: bool) {
         }
         "all" => {
             for t in [
-                "table1", "fig1a", "fig1b", "fig1c", "fig5", "fig6", "fig78", "fig9",
-                "fig9aux", "fig10", "fig11", "fig12", "fig13", "fig14",
-                "ablate-discretize", "ablate-norm", "ablate-batch", "ablate-paradigm",
-                "ablate-gin-lambda", "conversions",
+                "table1",
+                "fig1a",
+                "fig1b",
+                "fig1c",
+                "fig5",
+                "fig6",
+                "fig78",
+                "fig9",
+                "fig9aux",
+                "fig10",
+                "fig11",
+                "fig12",
+                "fig13",
+                "fig14",
+                "ablate-discretize",
+                "ablate-norm",
+                "ablate-batch",
+                "ablate-paradigm",
+                "ablate-gin-lambda",
+                "conversions",
             ] {
                 run(t, quick);
             }

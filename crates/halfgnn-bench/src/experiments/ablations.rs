@@ -22,8 +22,7 @@ pub fn discretize(quick: bool) -> Table {
         let data = ds.load(SEED);
         for model in [ModelKind::Gcn, ModelKind::Gin] {
             let base = TrainConfig { model, epochs, ..TrainConfig::default() };
-            let disc =
-                train(&data, &TrainConfig { precision: PrecisionMode::HalfGnn, ..base });
+            let disc = train(&data, &TrainConfig { precision: PrecisionMode::HalfGnn, ..base });
             let post = train(
                 &data,
                 &TrainConfig { precision: PrecisionMode::HalfGnnNoDiscretize, ..base },
@@ -54,10 +53,9 @@ pub fn gcn_norms(quick: bool) -> Table {
     for ds in fig1_datasets() {
         let data = ds.load(SEED);
         for norm in [GcnNorm::Right, GcnNorm::Left, GcnNorm::Both] {
-            for (name, precision) in [
-                ("DGL-half", PrecisionMode::HalfNaive),
-                ("HalfGNN", PrecisionMode::HalfGnn),
-            ] {
+            for (name, precision) in
+                [("DGL-half", PrecisionMode::HalfNaive), ("HalfGNN", PrecisionMode::HalfGnn)]
+            {
                 let cfg = TrainConfig {
                     model: ModelKind::Gcn,
                     precision,
@@ -94,7 +92,9 @@ pub fn batch_size(quick: bool) -> Table {
         "Ablation §4.1.1 — edges per warp (the discretization unit)",
         &["edges/warp", "time (us)", "vs 64", "overflow headroom (|x| <=)"],
     );
-    let ds = if quick { crate::experiments::perf_datasets(true)[2] } else {
+    let ds = if quick {
+        crate::experiments::perf_datasets(true)[2]
+    } else {
         halfgnn_graph::datasets::Dataset::hollywood09()
     };
     let data = ds.load(SEED);
@@ -145,11 +145,22 @@ pub fn paradigms(quick: bool) -> Table {
         let x = crate::experiments::random_features_h(&data, f, 4);
         let w = crate::experiments::random_edge_weights_h(&data, 3);
         let (_, edge) = spmm(
-            &dev, &data.coo, EdgeWeights::Values(&w), &x, f, None,
+            &dev,
+            &data.coo,
+            EdgeWeights::Values(&w),
+            &x,
+            f,
+            None,
             &SpmmConfig { scaling: ScalePlacement::None, ..Default::default() },
         );
         let (_, vertex) = spmm_vertex_parallel(
-            &dev, &data.adj, EdgeWeights::Values(&w), &x, f, None, ScalePlacement::None,
+            &dev,
+            &data.adj,
+            EdgeWeights::Values(&w),
+            &x,
+            f,
+            None,
+            ScalePlacement::None,
         );
         let ratio = vertex.time_us / edge.time_us;
         ratios.push(ratio);

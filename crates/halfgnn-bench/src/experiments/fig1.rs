@@ -24,8 +24,7 @@ pub fn fig1a(quick: bool) -> Table {
         for &f in feats {
             let xf = random_features_f(&data, f, 7);
             let xh = random_features_h(&data, f, 7);
-            let (_, sf) =
-                cusparse::spmm_float(&dev, &data.coo, EdgeWeightsF32::Ones, &xf, f, None);
+            let (_, sf) = cusparse::spmm_float(&dev, &data.coo, EdgeWeightsF32::Ones, &xf, f, None);
             let (_, sh) = cusparse::spmm_half(&dev, &data.coo, EdgeWeights::Ones, &xh, f, None);
             let ratio = sh.time_us / sf.time_us;
             ratios.push(ratio);
@@ -92,10 +91,8 @@ pub fn fig1c(quick: bool) -> Table {
         let data = ds.load(SEED);
         for model in [ModelKind::Gcn, ModelKind::Gin] {
             let base = TrainConfig { model, epochs, ..TrainConfig::default() };
-            let f =
-                train(&data, &TrainConfig { precision: PrecisionMode::Float, ..base });
-            let h =
-                train(&data, &TrainConfig { precision: PrecisionMode::HalfNaive, ..base });
+            let f = train(&data, &TrainConfig { precision: PrecisionMode::Float, ..base });
+            let h = train(&data, &TrainConfig { precision: PrecisionMode::HalfNaive, ..base });
             t.row(vec![
                 data.spec.name.to_string(),
                 format!("{model:?}"),

@@ -54,9 +54,8 @@ pub fn fig10(quick: bool) -> Table {
         }
         n += 1;
     }
-    for (i, name) in ["HalfGNN", "cuSPARSE-half (DGL-half)", "cuSPARSE-float (DGL-float)"]
-        .iter()
-        .enumerate()
+    for (i, name) in
+        ["HalfGNN", "cuSPARSE-half (DGL-half)", "cuSPARSE-float (DGL-float)"].iter().enumerate()
     {
         t.row(vec![
             name.to_string(),
@@ -64,7 +63,9 @@ pub fn fig10(quick: bool) -> Table {
             format!("{:.1}", acc[i][1] / n as f64),
         ]);
     }
-    t.note("paper: mem BW 80.9 / 20.2 / 52.0 %, SM 72.3 / 21.6 / 50.8 % — the ordering is the claim.");
+    t.note(
+        "paper: mem BW 80.9 / 20.2 / 52.0 %, SM 72.3 / 21.6 / 50.8 % — the ordering is the claim.",
+    );
     t
 }
 

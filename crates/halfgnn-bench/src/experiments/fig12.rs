@@ -10,10 +10,8 @@ use halfgnn_sim::DeviceConfig;
 /// half8 speedup over half2 for F ∈ {32, 64}.
 pub fn run(quick: bool) -> Table {
     let dev = DeviceConfig::a100_like();
-    let mut t = Table::new(
-        "Fig 12 — SDDMM: half8 speedup over half2",
-        &["dataset", "F=32", "F=64"],
-    );
+    let mut t =
+        Table::new("Fig 12 — SDDMM: half8 speedup over half2", &["dataset", "F=32", "F=64"]);
     let mut all = Vec::new();
     for ds in perf_datasets(quick) {
         let data = ds.load(SEED);

@@ -24,11 +24,7 @@ pub fn run(quick: bool) -> Table {
         "Fig 5 — accuracy: HalfGNN vs DGL-float",
         &["dataset", "model", "epochs", "float acc", "halfgnn acc", "delta"],
     );
-    let sets = if quick {
-        vec![Dataset::cora(), Dataset::reddit()]
-    } else {
-        Dataset::labeled()
-    };
+    let sets = if quick { vec![Dataset::cora(), Dataset::reddit()] } else { Dataset::labeled() };
     let mut max_drop = 0.0f32;
     for ds in sets {
         let data = ds.load(SEED);

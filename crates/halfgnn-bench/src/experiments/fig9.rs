@@ -2,9 +2,7 @@
 //! cuSPARSE-half (paper: 22.89× average) and SDDMM vs DGL-half SDDMM
 //! (paper: 7.12× average), feature sizes 32 and 64.
 
-use crate::experiments::{
-    perf_datasets, random_edge_weights_h, random_features_h, SEED,
-};
+use crate::experiments::{perf_datasets, random_edge_weights_h, random_features_h, SEED};
 use crate::{fx, geomean, Table};
 use halfgnn_kernels::baseline::{cusparse, dgl_sddmm};
 use halfgnn_kernels::common::{EdgeWeights, VectorWidth};
@@ -85,14 +83,8 @@ pub fn spmm_vs_float(quick: bool) -> Table {
         for &f in &[32usize, 64] {
             let xf = crate::experiments::random_features_f(&data, f, 4);
             let xh = random_features_h(&data, f, 4);
-            let (_, base) = cusparse::spmm_float(
-                &dev,
-                &data.coo,
-                cusparse::EdgeWeightsF32::Ones,
-                &xf,
-                f,
-                None,
-            );
+            let (_, base) =
+                cusparse::spmm_float(&dev, &data.coo, cusparse::EdgeWeightsF32::Ones, &xf, f, None);
             let (_, ours) = halfgnn_spmm::spmm(
                 &dev,
                 &data.coo,

@@ -10,8 +10,18 @@ pub fn run(quick: bool) -> Table {
     let mut t = Table::new(
         "Table 1 — datasets (paper vs. scaled stand-in)",
         &[
-            "id", "name", "paper |V|", "paper |E|", "|F|", "|C|", "labeled",
-            "scaled |V|", "scaled |E|", "mean deg", "max deg", "gini",
+            "id",
+            "name",
+            "paper |V|",
+            "paper |E|",
+            "|F|",
+            "|C|",
+            "labeled",
+            "scaled |V|",
+            "scaled |E|",
+            "mean deg",
+            "max deg",
+            "gini",
         ],
     );
     let sets = if quick { Dataset::labeled() } else { Dataset::all() };

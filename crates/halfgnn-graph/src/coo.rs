@@ -101,8 +101,7 @@ impl Coo {
         (0..t.nnz())
             .map(|i| {
                 let (r, c) = t.edge(i);
-                self.find_edge(c, r)
-                    .unwrap_or_else(|| panic!("reverse edge of ({r}, {c}) missing"))
+                self.find_edge(c, r).unwrap_or_else(|| panic!("reverse edge of ({r}, {c}) missing"))
             })
             .collect()
     }

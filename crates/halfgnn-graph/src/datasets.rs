@@ -99,22 +99,262 @@ impl LoadedDataset {
 }
 
 const REGISTRY: [DatasetSpec; 16] = [
-    DatasetSpec { id: "G1", name: "Cora", paper_vertices: 2_708, paper_edges: 10_858, paper_feat: 1_433, classes: 7, labeled: true, vertices: 2_708, feat: 128, feat_signal: 1.0, feat_noise: 6.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::Sbm { p_in: 0.010, p_out: 0.0004 } },
-    DatasetSpec { id: "G2", name: "Citeseer", paper_vertices: 3_327, paper_edges: 9_104, paper_feat: 3_703, classes: 6, labeled: true, vertices: 3_327, feat: 128, feat_signal: 1.0, feat_noise: 6.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::Sbm { p_in: 0.007, p_out: 0.0003 } },
-    DatasetSpec { id: "G3", name: "PubMed", paper_vertices: 19_717, paper_edges: 88_648, paper_feat: 500, classes: 3, labeled: true, vertices: 4_800, feat: 100, feat_signal: 1.0, feat_noise: 6.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::Sbm { p_in: 0.006, p_out: 0.0004 } },
-    DatasetSpec { id: "G4", name: "Amazon", paper_vertices: 400_727, paper_edges: 6_400_880, paper_feat: 150, classes: 7, labeled: false, vertices: 12_000, feat: 150, feat_signal: 0.5, feat_noise: 0.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::PrefAttach { m: 8 } },
-    DatasetSpec { id: "G5", name: "Wiki-Talk", paper_vertices: 2_394_385, paper_edges: 10_042_820, paper_feat: 150, classes: 7, labeled: false, vertices: 16_384, feat: 150, feat_signal: 0.5, feat_noise: 0.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::Rmat { scale: 14, edge_factor: 4 } },
-    DatasetSpec { id: "G6", name: "RoadNet-CA", paper_vertices: 1_971_279, paper_edges: 11_066_420, paper_feat: 150, classes: 7, labeled: false, vertices: 12_100, feat: 150, feat_signal: 0.5, feat_noise: 0.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::Grid { width: 110, height: 110 } },
-    DatasetSpec { id: "G7", name: "Web-BerkStan", paper_vertices: 685_230, paper_edges: 15_201_173, paper_feat: 150, classes: 7, labeled: false, vertices: 8_192, feat: 150, feat_signal: 0.5, feat_noise: 0.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::Rmat { scale: 13, edge_factor: 11 } },
-    DatasetSpec { id: "G8", name: "As-Skitter", paper_vertices: 1_696_415, paper_edges: 22_190_596, paper_feat: 150, classes: 7, labeled: false, vertices: 12_000, feat: 150, feat_signal: 0.5, feat_noise: 0.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::PrefAttach { m: 7 } },
-    DatasetSpec { id: "G9", name: "Cit-Patent", paper_vertices: 3_774_768, paper_edges: 33_037_894, paper_feat: 150, classes: 7, labeled: false, vertices: 16_000, feat: 150, feat_signal: 0.5, feat_noise: 0.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::PrefAttach { m: 4 } },
-    DatasetSpec { id: "G10", name: "Sx-stackoverflow", paper_vertices: 2_601_977, paper_edges: 95_806_532, paper_feat: 150, classes: 7, labeled: false, vertices: 16_384, feat: 150, feat_signal: 0.5, feat_noise: 0.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::Rmat { scale: 14, edge_factor: 18 } },
-    DatasetSpec { id: "G11", name: "Kron-21", paper_vertices: 2_097_152, paper_edges: 67_108_864, paper_feat: 150, classes: 7, labeled: false, vertices: 16_384, feat: 150, feat_signal: 0.5, feat_noise: 0.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::Rmat { scale: 14, edge_factor: 16 } },
-    DatasetSpec { id: "G12", name: "Hollywood09", paper_vertices: 1_069_127, paper_edges: 112_613_308, paper_feat: 150, classes: 7, labeled: false, vertices: 4_000, feat: 150, feat_signal: 0.5, feat_noise: 0.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::PrefAttach { m: 26 } },
-    DatasetSpec { id: "G13", name: "Ogb-product", paper_vertices: 2_449_029, paper_edges: 123_718_280, paper_feat: 100, classes: 47, labeled: true, vertices: 8_000, feat: 48, feat_signal: 1.0, feat_noise: 3.0, feat_nonneg: false, count_scale: 40.0, gen: GenKind::SbmHubs { p_in: 0.12, p_out: 0.0015, num_hubs: 16, hub_degree: 1_500 } },
-    DatasetSpec { id: "G14", name: "LiveJournal", paper_vertices: 4_847_571, paper_edges: 137_987_546, paper_feat: 150, classes: 7, labeled: false, vertices: 16_384, feat: 150, feat_signal: 0.5, feat_noise: 0.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::Rmat { scale: 14, edge_factor: 14 } },
-    DatasetSpec { id: "G15", name: "Reddit", paper_vertices: 232_965, paper_edges: 114_848_857, paper_feat: 602, classes: 41, labeled: true, vertices: 4_100, feat: 48, feat_signal: 1.0, feat_noise: 3.0, feat_nonneg: false, count_scale: 40.0, gen: GenKind::SbmHubs { p_in: 0.62, p_out: 0.012, num_hubs: 24, hub_degree: 3_000 } },
-    DatasetSpec { id: "G16", name: "Orkut", paper_vertices: 3_072_627, paper_edges: 234_370_166, paper_feat: 150, classes: 7, labeled: false, vertices: 8_192, feat: 150, feat_signal: 0.5, feat_noise: 0.0, feat_nonneg: false, count_scale: 0.0, gen: GenKind::Rmat { scale: 13, edge_factor: 38 } },
+    DatasetSpec {
+        id: "G1",
+        name: "Cora",
+        paper_vertices: 2_708,
+        paper_edges: 10_858,
+        paper_feat: 1_433,
+        classes: 7,
+        labeled: true,
+        vertices: 2_708,
+        feat: 128,
+        feat_signal: 1.0,
+        feat_noise: 6.0,
+        feat_nonneg: false,
+        count_scale: 0.0,
+        gen: GenKind::Sbm { p_in: 0.010, p_out: 0.0004 },
+    },
+    DatasetSpec {
+        id: "G2",
+        name: "Citeseer",
+        paper_vertices: 3_327,
+        paper_edges: 9_104,
+        paper_feat: 3_703,
+        classes: 6,
+        labeled: true,
+        vertices: 3_327,
+        feat: 128,
+        feat_signal: 1.0,
+        feat_noise: 6.0,
+        feat_nonneg: false,
+        count_scale: 0.0,
+        gen: GenKind::Sbm { p_in: 0.007, p_out: 0.0003 },
+    },
+    DatasetSpec {
+        id: "G3",
+        name: "PubMed",
+        paper_vertices: 19_717,
+        paper_edges: 88_648,
+        paper_feat: 500,
+        classes: 3,
+        labeled: true,
+        vertices: 4_800,
+        feat: 100,
+        feat_signal: 1.0,
+        feat_noise: 6.0,
+        feat_nonneg: false,
+        count_scale: 0.0,
+        gen: GenKind::Sbm { p_in: 0.006, p_out: 0.0004 },
+    },
+    DatasetSpec {
+        id: "G4",
+        name: "Amazon",
+        paper_vertices: 400_727,
+        paper_edges: 6_400_880,
+        paper_feat: 150,
+        classes: 7,
+        labeled: false,
+        vertices: 12_000,
+        feat: 150,
+        feat_signal: 0.5,
+        feat_noise: 0.0,
+        feat_nonneg: false,
+        count_scale: 0.0,
+        gen: GenKind::PrefAttach { m: 8 },
+    },
+    DatasetSpec {
+        id: "G5",
+        name: "Wiki-Talk",
+        paper_vertices: 2_394_385,
+        paper_edges: 10_042_820,
+        paper_feat: 150,
+        classes: 7,
+        labeled: false,
+        vertices: 16_384,
+        feat: 150,
+        feat_signal: 0.5,
+        feat_noise: 0.0,
+        feat_nonneg: false,
+        count_scale: 0.0,
+        gen: GenKind::Rmat { scale: 14, edge_factor: 4 },
+    },
+    DatasetSpec {
+        id: "G6",
+        name: "RoadNet-CA",
+        paper_vertices: 1_971_279,
+        paper_edges: 11_066_420,
+        paper_feat: 150,
+        classes: 7,
+        labeled: false,
+        vertices: 12_100,
+        feat: 150,
+        feat_signal: 0.5,
+        feat_noise: 0.0,
+        feat_nonneg: false,
+        count_scale: 0.0,
+        gen: GenKind::Grid { width: 110, height: 110 },
+    },
+    DatasetSpec {
+        id: "G7",
+        name: "Web-BerkStan",
+        paper_vertices: 685_230,
+        paper_edges: 15_201_173,
+        paper_feat: 150,
+        classes: 7,
+        labeled: false,
+        vertices: 8_192,
+        feat: 150,
+        feat_signal: 0.5,
+        feat_noise: 0.0,
+        feat_nonneg: false,
+        count_scale: 0.0,
+        gen: GenKind::Rmat { scale: 13, edge_factor: 11 },
+    },
+    DatasetSpec {
+        id: "G8",
+        name: "As-Skitter",
+        paper_vertices: 1_696_415,
+        paper_edges: 22_190_596,
+        paper_feat: 150,
+        classes: 7,
+        labeled: false,
+        vertices: 12_000,
+        feat: 150,
+        feat_signal: 0.5,
+        feat_noise: 0.0,
+        feat_nonneg: false,
+        count_scale: 0.0,
+        gen: GenKind::PrefAttach { m: 7 },
+    },
+    DatasetSpec {
+        id: "G9",
+        name: "Cit-Patent",
+        paper_vertices: 3_774_768,
+        paper_edges: 33_037_894,
+        paper_feat: 150,
+        classes: 7,
+        labeled: false,
+        vertices: 16_000,
+        feat: 150,
+        feat_signal: 0.5,
+        feat_noise: 0.0,
+        feat_nonneg: false,
+        count_scale: 0.0,
+        gen: GenKind::PrefAttach { m: 4 },
+    },
+    DatasetSpec {
+        id: "G10",
+        name: "Sx-stackoverflow",
+        paper_vertices: 2_601_977,
+        paper_edges: 95_806_532,
+        paper_feat: 150,
+        classes: 7,
+        labeled: false,
+        vertices: 16_384,
+        feat: 150,
+        feat_signal: 0.5,
+        feat_noise: 0.0,
+        feat_nonneg: false,
+        count_scale: 0.0,
+        gen: GenKind::Rmat { scale: 14, edge_factor: 18 },
+    },
+    DatasetSpec {
+        id: "G11",
+        name: "Kron-21",
+        paper_vertices: 2_097_152,
+        paper_edges: 67_108_864,
+        paper_feat: 150,
+        classes: 7,
+        labeled: false,
+        vertices: 16_384,
+        feat: 150,
+        feat_signal: 0.5,
+        feat_noise: 0.0,
+        feat_nonneg: false,
+        count_scale: 0.0,
+        gen: GenKind::Rmat { scale: 14, edge_factor: 16 },
+    },
+    DatasetSpec {
+        id: "G12",
+        name: "Hollywood09",
+        paper_vertices: 1_069_127,
+        paper_edges: 112_613_308,
+        paper_feat: 150,
+        classes: 7,
+        labeled: false,
+        vertices: 4_000,
+        feat: 150,
+        feat_signal: 0.5,
+        feat_noise: 0.0,
+        feat_nonneg: false,
+        count_scale: 0.0,
+        gen: GenKind::PrefAttach { m: 26 },
+    },
+    DatasetSpec {
+        id: "G13",
+        name: "Ogb-product",
+        paper_vertices: 2_449_029,
+        paper_edges: 123_718_280,
+        paper_feat: 100,
+        classes: 47,
+        labeled: true,
+        vertices: 8_000,
+        feat: 48,
+        feat_signal: 1.0,
+        feat_noise: 3.0,
+        feat_nonneg: false,
+        count_scale: 40.0,
+        gen: GenKind::SbmHubs { p_in: 0.12, p_out: 0.0015, num_hubs: 16, hub_degree: 1_500 },
+    },
+    DatasetSpec {
+        id: "G14",
+        name: "LiveJournal",
+        paper_vertices: 4_847_571,
+        paper_edges: 137_987_546,
+        paper_feat: 150,
+        classes: 7,
+        labeled: false,
+        vertices: 16_384,
+        feat: 150,
+        feat_signal: 0.5,
+        feat_noise: 0.0,
+        feat_nonneg: false,
+        count_scale: 0.0,
+        gen: GenKind::Rmat { scale: 14, edge_factor: 14 },
+    },
+    DatasetSpec {
+        id: "G15",
+        name: "Reddit",
+        paper_vertices: 232_965,
+        paper_edges: 114_848_857,
+        paper_feat: 602,
+        classes: 41,
+        labeled: true,
+        vertices: 4_100,
+        feat: 48,
+        feat_signal: 1.0,
+        feat_noise: 3.0,
+        feat_nonneg: false,
+        count_scale: 40.0,
+        gen: GenKind::SbmHubs { p_in: 0.62, p_out: 0.012, num_hubs: 24, hub_degree: 3_000 },
+    },
+    DatasetSpec {
+        id: "G16",
+        name: "Orkut",
+        paper_vertices: 3_072_627,
+        paper_edges: 234_370_166,
+        paper_feat: 150,
+        classes: 7,
+        labeled: false,
+        vertices: 8_192,
+        feat: 150,
+        feat_signal: 0.5,
+        feat_noise: 0.0,
+        feat_nonneg: false,
+        count_scale: 0.0,
+        gen: GenKind::Rmat { scale: 13, edge_factor: 38 },
+    },
 ];
 
 /// Handle to one registry entry.
@@ -197,7 +437,13 @@ impl Dataset {
         let labels = labels.unwrap_or_else(|| random_labels(s.vertices, s.classes, seed ^ 1));
         let mut features = if s.labeled {
             crate::features::class_features_with(
-                &labels, s.classes, s.feat, s.feat_signal, s.feat_noise, s.feat_nonneg, seed ^ 2,
+                &labels,
+                s.classes,
+                s.feat,
+                s.feat_signal,
+                s.feat_noise,
+                s.feat_nonneg,
+                seed ^ 2,
             )
         } else {
             random_features(s.vertices, s.feat, s.feat_signal, seed ^ 2)

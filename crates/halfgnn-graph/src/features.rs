@@ -127,11 +127,7 @@ pub fn split_per_class(labels: &[u32], seed: u64) -> Split {
     for &v in &order {
         per_class[labels[v] as usize].push(v);
     }
-    let mut split = Split {
-        train: vec![false; n],
-        val: vec![false; n],
-        test: vec![false; n],
-    };
+    let mut split = Split { train: vec![false; n], val: vec![false; n], test: vec![false; n] };
     for members in per_class {
         let t = (members.len() * 6) / 10;
         let v = (members.len() * 8) / 10;

@@ -246,7 +246,12 @@ mod tests {
         assert_eq!(e1, e2);
         let g = Csr::from_edges(1024, 1024, &e1);
         // Power-law: the max degree should dwarf the mean.
-        assert!(g.max_degree() as f64 > 8.0 * g.mean_degree(), "max {} mean {}", g.max_degree(), g.mean_degree());
+        assert!(
+            g.max_degree() as f64 > 8.0 * g.mean_degree(),
+            "max {} mean {}",
+            g.max_degree(),
+            g.mean_degree()
+        );
     }
 
     #[test]
@@ -265,7 +270,8 @@ mod tests {
     #[test]
     fn sbm_homophily() {
         let (edges, labels) = sbm(&[200, 200, 200], 0.05, 0.002, 3);
-        let intra = edges.iter().filter(|&&(a, b)| labels[a as usize] == labels[b as usize]).count();
+        let intra =
+            edges.iter().filter(|&&(a, b)| labels[a as usize] == labels[b as usize]).count();
         let inter = edges.len() - intra;
         assert!(intra > 3 * inter, "intra {intra} inter {inter}");
         assert_eq!(labels.len(), 600);
@@ -289,7 +295,12 @@ mod tests {
         let (hubby, _) = sbm_with_hubs(&sizes, 0.02, 0.001, 4, 400, 9);
         let g0 = Csr::from_edges(900, 900, &plain).symmetrized_with_self_loops();
         let g1 = Csr::from_edges(900, 900, &hubby).symmetrized_with_self_loops();
-        assert!(g1.max_degree() > g0.max_degree() + 200, "{} vs {}", g1.max_degree(), g0.max_degree());
+        assert!(
+            g1.max_degree() > g0.max_degree() + 200,
+            "{} vs {}",
+            g1.max_degree(),
+            g0.max_degree()
+        );
     }
 
     #[test]

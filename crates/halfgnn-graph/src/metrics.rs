@@ -26,7 +26,14 @@ pub struct DegreeStats {
 pub fn degree_stats(csr: &Csr) -> DegreeStats {
     let mut degs = csr.degrees();
     if degs.is_empty() {
-        return DegreeStats { min: 0, max: 0, mean: 0.0, median: 0, gini: 0.0, top1pct_edge_share: 0.0 };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            median: 0,
+            gini: 0.0,
+            top1pct_edge_share: 0.0,
+        };
     }
     degs.sort_unstable();
     let n = degs.len();
@@ -36,11 +43,8 @@ pub fn degree_stats(csr: &Csr) -> DegreeStats {
     let gini = if total == 0 {
         0.0
     } else {
-        let weighted: f64 = degs
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| (i as f64 + 1.0) * d as f64)
-            .sum();
+        let weighted: f64 =
+            degs.iter().enumerate().map(|(i, &d)| (i as f64 + 1.0) * d as f64).sum();
         (2.0 * weighted / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64).max(0.0)
     };
     let top = (n / 100).max(1);

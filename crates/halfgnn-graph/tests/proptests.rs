@@ -3,7 +3,10 @@
 use halfgnn_graph::{Coo, Csr, VertexId};
 use proptest::prelude::*;
 
-fn arb_edges(max_n: usize, max_e: usize) -> impl Strategy<Value = (usize, Vec<(VertexId, VertexId)>)> {
+fn arb_edges(
+    max_n: usize,
+    max_e: usize,
+) -> impl Strategy<Value = (usize, Vec<(VertexId, VertexId)>)> {
     (2usize..max_n).prop_flat_map(move |n| {
         let edge = (0..n as VertexId, 0..n as VertexId);
         prop::collection::vec(edge, 0..max_e).prop_map(move |es| (n, es))

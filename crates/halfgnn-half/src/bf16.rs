@@ -130,10 +130,7 @@ mod tests {
         // even (1.0).
         assert_eq!(Bf16::from_f32(1.0 + 2f32.powi(-8)), Bf16::ONE);
         // Slightly above rounds up.
-        assert_eq!(
-            Bf16::from_f32(1.0 + 2f32.powi(-8) + 1e-4).to_f32(),
-            1.0 + 2f32.powi(-7)
-        );
+        assert_eq!(Bf16::from_f32(1.0 + 2f32.powi(-8) + 1e-4).to_f32(), 1.0 + 2f32.powi(-7));
     }
 
     #[test]

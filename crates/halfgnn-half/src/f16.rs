@@ -72,7 +72,21 @@ impl Half {
     /// Values whose magnitude rounds to ≥ 65520 become `±INF` (the overflow
     /// the paper's §3.1.3 analyses); tiny values flush through subnormals to
     /// signed zero.
+    ///
+    /// Every arithmetic path in this crate rounds its result through this
+    /// function, so under the `provenance` feature it doubles as the
+    /// observation point for [`crate::overflow`] tracking.
+    #[inline]
     pub fn from_f32(value: f32) -> Half {
+        let h = Half::from_f32_raw(value);
+        #[cfg(feature = "provenance")]
+        crate::overflow::record(value, h);
+        h
+    }
+
+    /// The pure, uninstrumented conversion — identical numerics to
+    /// [`Half::from_f32`], never observed by overflow tracking.
+    pub fn from_f32_raw(value: f32) -> Half {
         let x = value.to_bits();
         let sign = ((x >> 16) & 0x8000) as u16;
         let abs = x & 0x7FFF_FFFF;

@@ -22,10 +22,16 @@
 //!   proposed wider types: native *data-load* vectors (backed by
 //!   `float2`/`float4`-sized words) whose arithmetic decomposes into `half2`
 //!   operations, exactly as §5.1.2 specifies.
+//!
+//! All three paths round their results through [`Half::from_f32`]; the
+//! [`overflow`] module exploits that choke point to record, under the
+//! opt-in `provenance` feature, the first op site that produced an
+//! INF/NaN — the forensic trail behind the paper's Fig. 1c NaN collapse.
 
 pub mod bf16;
 pub mod f16;
 pub mod intrinsics;
+pub mod overflow;
 pub mod slice;
 pub mod vec2;
 pub mod vec48;

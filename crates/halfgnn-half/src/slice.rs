@@ -116,9 +116,8 @@ mod tests {
     fn cast_even_aligned_slice() {
         // Vec<Half2>-backed storage guarantees 4-byte alignment.
         let backing: Vec<Half2> = vec![Half2::from_f32s(1.0, 2.0), Half2::from_f32s(3.0, 4.0)];
-        let halves: &[Half] = unsafe {
-            std::slice::from_raw_parts(backing.as_ptr().cast::<Half>(), 4)
-        };
+        let halves: &[Half] =
+            unsafe { std::slice::from_raw_parts(backing.as_ptr().cast::<Half>(), 4) };
         let pairs = cast_half2(halves).unwrap();
         assert_eq!(pairs.len(), 2);
         assert_eq!(pairs[1], Half2::from_f32s(3.0, 4.0));

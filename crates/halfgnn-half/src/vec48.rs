@@ -49,10 +49,7 @@ impl Half4 {
     /// elements available; this is the functional view of one thread's
     /// `float2`-width load).
     pub fn load(src: &[Half], off: usize) -> Half4 {
-        Half4 {
-            a: Half2::new(src[off], src[off + 1]),
-            b: Half2::new(src[off + 2], src[off + 3]),
-        }
+        Half4 { a: Half2::new(src[off], src[off + 1]), b: Half2::new(src[off + 2], src[off + 3]) }
     }
 
     /// Scatter all four lanes to a slice starting at `off`.

@@ -158,6 +158,11 @@ pub fn spmm_half(
     row_scale: Option<&[Half]>,
 ) -> (Vec<Half>, KernelStats) {
     assert_eq!(x.len(), coo.num_cols() * f, "X shape mismatch");
+    let _site = halfgnn_half::overflow::site(if w.is_ones() {
+        "cusparse_f16_spmmv"
+    } else {
+        "cusparse_f16_spmmve"
+    });
     let nnz = coo.nnz();
     let num_rows = coo.num_rows();
     let tiling = Tiling::default();
@@ -212,6 +217,7 @@ pub fn spmm_half(
                         let full = seg_start == row_offsets[seg_row as usize]
                             && ei == row_offsets[seg_row as usize + 1];
                         let vals = std::mem::replace(&mut acc, vec![Half::ZERO; f]);
+                        warp.nonfinite_values(crate::common::count_nonfinite(&vals));
                         if full {
                             warp.store_contiguous(y_base + seg_row as u64 * (f as u64 * 2), f, 2);
                             writes.assign(seg_row as usize * f, vals);
@@ -262,7 +268,9 @@ pub fn spmm_half(
 mod tests {
     use super::*;
     use crate::common::Reduce;
-    use crate::reference::{assert_close_f32, assert_close_half, f32_to_f64, half_to_f64, spmm_f64};
+    use crate::reference::{
+        assert_close_f32, assert_close_half, f32_to_f64, half_to_f64, spmm_f64,
+    };
     use halfgnn_graph::{gen, Csr};
     use halfgnn_half::slice::f32_slice_to_half;
     use rand::rngs::StdRng;

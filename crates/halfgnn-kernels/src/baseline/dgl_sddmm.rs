@@ -41,11 +41,8 @@ fn dgl_sddmm_generic<R: Send + Default + Clone>(
     // five shuffle rounds regardless of precision.
     let shuffle_rounds = 5u64;
 
-    let (cta_outs, stats) = launch(
-        dev,
-        name,
-        LaunchParams { num_ctas, warps_per_cta: tiling.warps_per_cta },
-        |cta| {
+    let (cta_outs, stats) =
+        launch(dev, name, LaunchParams { num_ctas, warps_per_cta: tiling.warps_per_cta }, |cta| {
             let mut out: Vec<(usize, Vec<R>)> = Vec::new();
             for wi in 0..tiling.warps_per_cta {
                 let (s, e) = tiling.warp_range(cta.id, wi, nnz);
@@ -87,8 +84,7 @@ fn dgl_sddmm_generic<R: Send + Default + Clone>(
                 out.push((s, vals));
             }
             out
-        },
-    );
+        });
 
     let mut result = vec![R::default(); nnz];
     for cta in cta_outs {
@@ -128,6 +124,7 @@ pub fn sddmm_half(
 ) -> (Vec<Half>, KernelStats) {
     assert_eq!(u.len(), coo.num_rows() * f, "U shape mismatch");
     assert_eq!(v.len(), coo.num_cols() * f, "V shape mismatch");
+    let _site = halfgnn_half::overflow::site("dgl_f16_sddmm");
     dgl_sddmm_generic::<Half>(dev, "dgl_f16_sddmm", coo, f, 2, true, |_, r, c| {
         let ur = &u[r as usize * f..(r as usize + 1) * f];
         let vc = &v[c as usize * f..(c as usize + 1) * f];
@@ -139,7 +136,9 @@ pub fn sddmm_half(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::reference::{assert_close_f32, assert_close_half, f32_to_f64, half_to_f64, sddmm_f64};
+    use crate::reference::{
+        assert_close_f32, assert_close_half, f32_to_f64, half_to_f64, sddmm_f64,
+    };
     use halfgnn_graph::{gen, Csr};
     use halfgnn_half::slice::f32_slice_to_half;
     use rand::rngs::StdRng;
@@ -205,14 +204,8 @@ mod tests {
         let u = f32_slice_to_half(&random_f32(g.num_rows() * f, 0.5, 11));
         let v = f32_slice_to_half(&random_f32(g.num_cols() * f, 0.5, 12));
         let (_, dgl) = sddmm_half(&dev(), &g, &u, &v, f);
-        let (_, ours) = crate::halfgnn_sddmm::sddmm(
-            &dev(),
-            &g,
-            &u,
-            &v,
-            f,
-            crate::common::VectorWidth::Half8,
-        );
+        let (_, ours) =
+            crate::halfgnn_sddmm::sddmm(&dev(), &g, &u, &v, f, crate::common::VectorWidth::Half8);
         assert!(
             dgl.cycles > 3.0 * ours.cycles,
             "expected large gap: dgl {} vs halfgnn {}",

@@ -14,12 +14,7 @@ use halfgnn_sim::{DeviceConfig, KernelStats};
 const ROWS_PER_CTA: usize = 4;
 
 /// `Y ← A X` in f32, vertex-parallel, sum reduction.
-pub fn spmm_float(
-    dev: &DeviceConfig,
-    csr: &Csr,
-    x: &[f32],
-    f: usize,
-) -> (Vec<f32>, KernelStats) {
+pub fn spmm_float(dev: &DeviceConfig, csr: &Csr, x: &[f32], f: usize) -> (Vec<f32>, KernelStats) {
     assert_eq!(x.len(), csr.num_cols() * f, "X shape mismatch");
     let n = csr.num_rows();
     let num_ctas = n.div_ceil(ROWS_PER_CTA).max(1);
@@ -29,11 +24,8 @@ pub fn spmm_float(
     let x_base = space.alloc(x.len(), 4);
     let y_base = space.alloc(n * f, 4);
 
-    let (cta_outs, stats) = launch(
-        dev,
-        "ge_spmm_f32",
-        LaunchParams { num_ctas, warps_per_cta: ROWS_PER_CTA },
-        |cta| {
+    let (cta_outs, stats) =
+        launch(dev, "ge_spmm_f32", LaunchParams { num_ctas, warps_per_cta: ROWS_PER_CTA }, |cta| {
             let mut writes: WriteList<f32> = WriteList::new();
             for wi in 0..ROWS_PER_CTA {
                 let row = cta.id * ROWS_PER_CTA + wi;
@@ -66,8 +58,7 @@ pub fn spmm_float(
                 writes.assign(row * f, acc);
             }
             writes
-        },
-    );
+        });
 
     let mut y = vec![0f32; n * f];
     commit_all(cta_outs, &mut y);
@@ -95,7 +86,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let x: Vec<f32> = (0..csr.num_cols() * f).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let (y, _) = spmm_float(&dev(), &csr, &x, f);
-        let want = spmm_f64(&csr.to_coo(), EdgeWeights::Ones, &f32_to_f64(&x), f, Reduce::Sum, None);
+        let want =
+            spmm_f64(&csr.to_coo(), EdgeWeights::Ones, &f32_to_f64(&x), f, Reduce::Sum, None);
         assert_close_f32(&y, &want, 1e-4, 1e-4, "ge_spmm");
     }
 

@@ -96,6 +96,32 @@ impl<'a> EdgeWeights<'a> {
     }
 }
 
+/// Finiteness probe shared by the generic kernel skeletons, so the
+/// simulator's [`halfgnn_sim::WarpCounters::nonfinite_values`] telemetry
+/// works for both half and float functional values.
+pub trait FiniteCheck: Copy {
+    /// True for INF or NaN.
+    fn is_nonfinite(&self) -> bool;
+}
+
+impl FiniteCheck for Half {
+    fn is_nonfinite(&self) -> bool {
+        !Half::is_finite(*self)
+    }
+}
+
+impl FiniteCheck for f32 {
+    fn is_nonfinite(&self) -> bool {
+        !f32::is_finite(*self)
+    }
+}
+
+/// Count of non-finite values in a slice (the per-tile quantity kernels
+/// report through [`halfgnn_sim::WarpCtx::nonfinite_values`]).
+pub fn count_nonfinite<T: FiniteCheck>(vals: &[T]) -> u64 {
+    vals.iter().filter(|v| v.is_nonfinite()).count() as u64
+}
+
 /// Edge-tile geometry for edge-parallel kernels: the discretization unit of
 /// §5.2. Defaults follow §4.1.1 ("at least 64 edges must be allocated to
 /// each warp").

@@ -8,10 +8,10 @@
 //! the paper's shadow API (§5.3), which stays in half because
 //! `exp(e_ij − m_i) ∈ (0, 1]` cannot overflow.
 
-use crate::common::Tiling;
+use crate::common::{count_nonfinite, FiniteCheck, Tiling};
 use halfgnn_graph::Coo;
 use halfgnn_half::intrinsics::{hadd, hdiv, hexp, hmul, hsub};
-use halfgnn_half::Half;
+use halfgnn_half::{overflow, Half};
 use halfgnn_sim::launch::{launch, LaunchParams};
 use halfgnn_sim::memory::AddrSpace;
 use halfgnn_sim::{DeviceConfig, KernelStats};
@@ -39,14 +39,15 @@ struct EdgeMapCost {
 /// Shared edge-parallel skeleton: loads per the cost profile, computes
 /// `op(e)` functionally, stores one element per edge. Generic over the
 /// element type so the float baselines share the structure.
-fn edge_map<T: Copy + Default + Send>(
+fn edge_map<T: Copy + Default + Send + FiniteCheck>(
     dev: &DeviceConfig,
-    name: &str,
+    name: &'static str,
     coo: &Coo,
     elem_bytes: usize,
     cost: EdgeMapCost,
     op: impl Fn(usize, u32, u32) -> T + Sync,
 ) -> (Vec<T>, KernelStats) {
+    let _site = overflow::site(name);
     let nnz = coo.nnz();
     let tiling = Tiling::default();
     let num_ctas = tiling.num_ctas(nnz);
@@ -61,11 +62,8 @@ fn edge_map<T: Copy + Default + Send>(
     let edge_base = space.alloc(nnz, elem_bytes);
     let out_base = space.alloc(nnz, elem_bytes);
 
-    let (cta_outs, stats) = launch(
-        dev,
-        name,
-        LaunchParams { num_ctas, warps_per_cta: tiling.warps_per_cta },
-        |cta| {
+    let (cta_outs, stats) =
+        launch(dev, name, LaunchParams { num_ctas, warps_per_cta: tiling.warps_per_cta }, |cta| {
             let mut out: Vec<(usize, Vec<T>)> = Vec::new();
             for wi in 0..tiling.warps_per_cta {
                 let (s, e) = tiling.warp_range(cta.id, wi, nnz);
@@ -118,11 +116,12 @@ fn edge_map<T: Copy + Default + Send>(
                     warp.store_contiguous(out_base + s as u64 * 4, n, 4);
                 }
 
-                out.push((s, (s..e).map(|ei| op(ei, rows[ei], cols[ei])).collect()));
+                let vals: Vec<T> = (s..e).map(|ei| op(ei, rows[ei], cols[ei])).collect();
+                warp.nonfinite_values(count_nonfinite(&vals));
+                out.push((s, vals));
             }
             out
-        },
-    );
+        });
 
     let mut result = vec![T::default(); nnz];
     for cta in cta_outs {
@@ -224,12 +223,7 @@ pub fn sub_row_exp(
 }
 
 /// `α ← e / z[row]`, the softmax normalization.
-pub fn div_row(
-    dev: &DeviceConfig,
-    coo: &Coo,
-    e: &[Half],
-    z: &[Half],
-) -> (Vec<Half>, KernelStats) {
+pub fn div_row(dev: &DeviceConfig, coo: &Coo, e: &[Half], z: &[Half]) -> (Vec<Half>, KernelStats) {
     assert_eq!(e.len(), coo.nnz());
     assert_eq!(z.len(), coo.num_rows());
     edge_map(
@@ -337,7 +331,6 @@ pub fn leakyrelu_grad(
     )
 }
 
-
 // ---------------------------------------------------------------------
 // Float variants — what DGL's float GAT executes. Same structure, 4-byte
 // elements, float arithmetic (no conversions).
@@ -369,7 +362,11 @@ pub fn src_dst_add_leakyrelu_f32(
         },
         |_, r, c| {
             let v = s_src[r as usize] + s_dst[c as usize];
-            if v >= 0.0 { v } else { v * slope }
+            if v >= 0.0 {
+                v
+            } else {
+                v * slope
+            }
         },
     )
 }
@@ -402,12 +399,7 @@ pub fn sub_row_exp_f32(
 }
 
 /// Float `α ← e / z[row]`.
-pub fn div_row_f32(
-    dev: &DeviceConfig,
-    coo: &Coo,
-    e: &[f32],
-    z: &[f32],
-) -> (Vec<f32>, KernelStats) {
+pub fn div_row_f32(dev: &DeviceConfig, coo: &Coo, e: &[f32], z: &[f32]) -> (Vec<f32>, KernelStats) {
     assert_eq!(e.len(), coo.nnz());
     assert_eq!(z.len(), coo.num_rows());
     edge_map(

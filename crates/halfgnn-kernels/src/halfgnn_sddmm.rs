@@ -33,6 +33,7 @@ pub fn sddmm(
     f: usize,
     width: VectorWidth,
 ) -> (Vec<Half>, KernelStats) {
+    let _site = halfgnn_half::overflow::site("halfgnn_sddmm");
     assert_eq!(u.len(), coo.num_rows() * f, "U shape mismatch");
     assert_eq!(v.len(), coo.num_cols() * f, "V shape mismatch");
     assert_eq!(
@@ -123,6 +124,7 @@ pub fn sddmm(
                     let vc = &v[cols[ei] as usize * f..cols[ei] as usize * f + f];
                     vals.push(dot_half2_tree(ur, vc, threads_per_edge, width.lanes()));
                 }
+                warp.nonfinite_values(crate::common::count_nonfinite(&vals));
                 out.push((s, vals));
             }
             out
@@ -237,12 +239,7 @@ mod tests {
         let v = random_halves(g.num_cols() * f, 0.5, 10);
         let (_, s2) = sddmm(&dev(), &g, &u, &v, f, VectorWidth::Half2);
         let (_, s8) = sddmm(&dev(), &g, &u, &v, f, VectorWidth::Half8);
-        assert!(
-            s8.cycles < s2.cycles,
-            "half8 {} should beat half2 {}",
-            s8.cycles,
-            s2.cycles
-        );
+        assert!(s8.cycles < s2.cycles, "half8 {} should beat half2 {}", s8.cycles, s2.cycles);
         // And it does so via fewer barriers and fewer load instructions.
         assert!(s8.totals.shuffles < s2.totals.shuffles);
         assert!(s8.totals.load_instrs < s2.totals.load_instrs);

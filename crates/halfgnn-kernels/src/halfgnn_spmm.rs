@@ -25,9 +25,10 @@
 //!   that a follow-up kernel merges and writes. The `Atomic` strategy
 //!   replaces all of that with (expensive) half atomics for Fig. 13.
 
-use crate::common::{EdgeWeights, Reduce, ScalePlacement, Tiling, WriteStrategy};
+use crate::common::{count_nonfinite, EdgeWeights, Reduce, ScalePlacement, Tiling, WriteStrategy};
 use halfgnn_graph::Coo;
 use halfgnn_half::intrinsics::{hadd, hmax, hmul};
+use halfgnn_half::overflow;
 use halfgnn_half::Half;
 use halfgnn_sim::launch::{commit_all, launch, LaunchParams, WriteList};
 use halfgnn_sim::memory::AddrSpace;
@@ -89,6 +90,7 @@ pub fn spmm(
     if cfg.scaling != ScalePlacement::None {
         assert!(row_scale.is_some(), "scaling placement {:?} needs row_scale", cfg.scaling);
     }
+    let _site = overflow::site(if w.is_ones() { "halfgnn_spmmv" } else { "halfgnn_spmmve" });
 
     let nnz = coo.nnz();
     let num_rows = coo.num_rows();
@@ -171,12 +173,12 @@ pub fn spmm(
                 let mut seg_row = rows[s];
                 let mut seg_start = s;
                 let flush = |warp: &mut halfgnn_sim::WarpCtx,
-                                 boundary: &mut Vec<StagedEntry>,
-                                 out: &mut CtaOut,
-                                 acc: &mut Vec<Half>,
-                                 row: u32,
-                                 seg_s: usize,
-                                 seg_e: usize| {
+                             boundary: &mut Vec<StagedEntry>,
+                             out: &mut CtaOut,
+                             acc: &mut Vec<Half>,
+                             row: u32,
+                             seg_s: usize,
+                             seg_e: usize| {
                     let mut vals = std::mem::replace(acc, vec![Half::ZERO; f]);
                     match cfg.scaling {
                         ScalePlacement::Discretized => {
@@ -186,8 +188,11 @@ pub fn spmm(
                             }
                             warp.half2_ops(half2_lanes.div_ceil(32));
                         }
-                        ScalePlacement::PreReduction | ScalePlacement::PostReduction | ScalePlacement::None => {}
+                        ScalePlacement::PreReduction
+                        | ScalePlacement::PostReduction
+                        | ScalePlacement::None => {}
                     }
+                    warp.nonfinite_values(count_nonfinite(&vals));
                     let full_row = seg_s == row_offsets[row as usize]
                         && seg_e == row_offsets[row as usize + 1];
                     match cfg.writes {
@@ -272,9 +277,7 @@ pub fn spmm(
                     }
                 }
                 let (cta_s, _) = tiling.warp_range(cta_id, 0, nnz);
-                let cta_e = tiling
-                    .warp_range(cta_id, tiling.warps_per_cta - 1, nnz)
-                    .1;
+                let cta_e = tiling.warp_range(cta_id, tiling.warps_per_cta - 1, nnz).1;
                 for m in merged {
                     let fully_inside = row_offsets[m.row as usize] >= cta_s
                         && row_offsets[m.row as usize + 1] <= cta_e;
@@ -404,6 +407,10 @@ pub fn edge_reduce(
     op: Reduce,
 ) -> (Vec<Half>, KernelStats) {
     assert_eq!(w.len(), coo.nnz(), "edge tensor length mismatch");
+    let _site = overflow::site(match op {
+        Reduce::Sum => "edge_reduce_sum",
+        Reduce::Max => "edge_reduce_max",
+    });
     let nnz = coo.nnz();
     let tiling = Tiling::default();
     let num_ctas = tiling.num_ctas(nnz);
@@ -450,12 +457,18 @@ pub fn edge_reduce(
                 for ei in s..e {
                     let r = rows[ei];
                     if r != seg_row {
+                        if !acc.is_finite() {
+                            warp.nonfinite_values(1);
+                        }
                         partials.push((seg_row, acc));
                         warp.store_contiguous(y_base + seg_row as u64 * 2, 1, 2);
                         acc = init;
                         seg_row = r;
                     }
                     acc = combine(acc, w[ei]);
+                }
+                if !acc.is_finite() {
+                    warp.nonfinite_values(1);
                 }
                 partials.push((seg_row, acc));
                 warp.store_contiguous(y_base + seg_row as u64 * 2, 1, 2);
@@ -504,6 +517,7 @@ pub fn spmm_vertex_parallel(
     if scaling != ScalePlacement::None {
         assert!(row_scale.is_some(), "scaling placement {scaling:?} needs row_scale");
     }
+    let _site = overflow::site(if w.is_ones() { "halfgnn_vp_spmmv" } else { "halfgnn_vp_spmmve" });
     const GROUP: usize = 64;
     const WARPS_PER_CTA: usize = 4;
     let n = csr.num_rows();
@@ -528,9 +542,7 @@ pub fn spmm_vertex_parallel(
     let y_base = space.alloc(n * f, 2);
     let stage_base = space.alloc(groups.len() * (f + 2), 2);
 
-    let scale_of = |r: u32| -> Half {
-        row_scale.map_or(Half::ONE, |s| s[r as usize])
-    };
+    let scale_of = |r: u32| -> Half { row_scale.map_or(Half::ONE, |s| s[r as usize]) };
 
     let (cta_outs, main_stats) = launch(
         dev,
@@ -584,6 +596,7 @@ pub fn spmm_vertex_parallel(
                     }
                     warp.half2_ops(half2_lanes.div_ceil(32));
                 }
+                warp.nonfinite_values(count_nonfinite(&acc));
                 if csr.degree(row) as usize <= GROUP {
                     warp.store_contiguous(y_base + row as u64 * (f as u64 * 2), f / 2, 4);
                     writes.assign(row as usize * f, acc);
@@ -696,8 +709,15 @@ mod tests {
         let g = random_graph(200, 800, 1);
         let f = 32;
         let x = random_halves(g.num_cols() * f, 1.0, 2);
-        let (y, stats) = spmm(&dev(), &g, EdgeWeights::Ones, &x, f, None,
-            &SpmmConfig { scaling: ScalePlacement::None, ..Default::default() });
+        let (y, stats) = spmm(
+            &dev(),
+            &g,
+            EdgeWeights::Ones,
+            &x,
+            f,
+            None,
+            &SpmmConfig { scaling: ScalePlacement::None, ..Default::default() },
+        );
         let want = spmm_f64(&g, EdgeWeights::Ones, &half_to_f64(&x), f, Reduce::Sum, None);
         assert_close_half(&y, &want, 0.02, 0.05, "spmmv");
         assert!(stats.cycles > 0.0);
@@ -710,8 +730,15 @@ mod tests {
         let f = 64;
         let x = random_halves(g.num_cols() * f, 1.0, 4);
         let w = random_halves(g.nnz(), 1.0, 5);
-        let (y, _) = spmm(&dev(), &g, EdgeWeights::Values(&w), &x, f, None,
-            &SpmmConfig { scaling: ScalePlacement::None, ..Default::default() });
+        let (y, _) = spmm(
+            &dev(),
+            &g,
+            EdgeWeights::Values(&w),
+            &x,
+            f,
+            None,
+            &SpmmConfig { scaling: ScalePlacement::None, ..Default::default() },
+        );
         let want = spmm_f64(&g, EdgeWeights::Values(&w), &half_to_f64(&x), f, Reduce::Sum, None);
         assert_close_half(&y, &want, 0.03, 0.08, "spmmve");
     }
@@ -724,8 +751,10 @@ mod tests {
         let degrees = Csr::from_coo(&g).degrees();
         let scale = crate::common::row_scales_mean(&degrees);
         let scale_f64: Vec<f64> = scale.iter().map(|s| s.to_f64()).collect();
-        let (y, _) = spmm(&dev(), &g, EdgeWeights::Ones, &x, f, Some(&scale), &SpmmConfig::default());
-        let want = spmm_f64(&g, EdgeWeights::Ones, &half_to_f64(&x), f, Reduce::Sum, Some(&scale_f64));
+        let (y, _) =
+            spmm(&dev(), &g, EdgeWeights::Ones, &x, f, Some(&scale), &SpmmConfig::default());
+        let want =
+            spmm_f64(&g, EdgeWeights::Ones, &half_to_f64(&x), f, Reduce::Sum, Some(&scale_f64));
         assert_close_half(&y, &want, 0.03, 0.05, "discretized mean");
     }
 
@@ -758,8 +787,15 @@ mod tests {
         let x = random_halves(g.num_cols() * f, 1.0, 12);
         let base = SpmmConfig { scaling: ScalePlacement::None, ..Default::default() };
         let (_, staged) = spmm(&small_dev, &g, EdgeWeights::Ones, &x, f, None, &base);
-        let (_, atomic) = spmm(&small_dev, &g, EdgeWeights::Ones, &x, f, None,
-            &SpmmConfig { writes: WriteStrategy::Atomic, ..base });
+        let (_, atomic) = spmm(
+            &small_dev,
+            &g,
+            EdgeWeights::Ones,
+            &x,
+            f,
+            None,
+            &SpmmConfig { writes: WriteStrategy::Atomic, ..base },
+        );
         assert!(
             atomic.cycles > staged.cycles,
             "atomic {} <= staged {}",
@@ -782,17 +818,38 @@ mod tests {
         let degrees = Csr::from_coo(&g).degrees();
         let scale = crate::common::row_scales_mean(&degrees);
 
-        let (post, _) = spmm(&dev(), &g, EdgeWeights::Ones, &x, f, Some(&scale),
-            &SpmmConfig { scaling: ScalePlacement::PostReduction, ..Default::default() });
+        let (post, _) = spmm(
+            &dev(),
+            &g,
+            EdgeWeights::Ones,
+            &x,
+            f,
+            Some(&scale),
+            &SpmmConfig { scaling: ScalePlacement::PostReduction, ..Default::default() },
+        );
         assert!(post[0].is_infinite(), "post-reduction scaling must overflow, got {:?}", post[0]);
 
-        let (disc, _) = spmm(&dev(), &g, EdgeWeights::Ones, &x, f, Some(&scale),
-            &SpmmConfig { scaling: ScalePlacement::Discretized, ..Default::default() });
+        let (disc, _) = spmm(
+            &dev(),
+            &g,
+            EdgeWeights::Ones,
+            &x,
+            f,
+            Some(&scale),
+            &SpmmConfig { scaling: ScalePlacement::Discretized, ..Default::default() },
+        );
         assert!(disc[0].is_finite(), "discretized must stay finite");
         assert!((disc[0].to_f32() - 200.0).abs() < 4.0, "mean should be ~200, got {}", disc[0]);
 
-        let (pre, _) = spmm(&dev(), &g, EdgeWeights::Ones, &x, f, Some(&scale),
-            &SpmmConfig { scaling: ScalePlacement::PreReduction, ..Default::default() });
+        let (pre, _) = spmm(
+            &dev(),
+            &g,
+            EdgeWeights::Ones,
+            &x,
+            f,
+            Some(&scale),
+            &SpmmConfig { scaling: ScalePlacement::PreReduction, ..Default::default() },
+        );
         assert!(pre[0].is_finite(), "pre-reduction must stay finite");
     }
 
@@ -811,10 +868,24 @@ mod tests {
         let x = vec![Half::from_f32(2e-5); (deg as usize + 1) * f];
         let degrees = Csr::from_coo(&g).degrees();
         let scale = crate::common::row_scales_mean(&degrees);
-        let (pre, _) = spmm(&dev(), &g, EdgeWeights::Ones, &x, f, Some(&scale),
-            &SpmmConfig { scaling: ScalePlacement::PreReduction, ..Default::default() });
-        let (disc, _) = spmm(&dev(), &g, EdgeWeights::Ones, &x, f, Some(&scale),
-            &SpmmConfig { scaling: ScalePlacement::Discretized, ..Default::default() });
+        let (pre, _) = spmm(
+            &dev(),
+            &g,
+            EdgeWeights::Ones,
+            &x,
+            f,
+            Some(&scale),
+            &SpmmConfig { scaling: ScalePlacement::PreReduction, ..Default::default() },
+        );
+        let (disc, _) = spmm(
+            &dev(),
+            &g,
+            EdgeWeights::Ones,
+            &x,
+            f,
+            Some(&scale),
+            &SpmmConfig { scaling: ScalePlacement::Discretized, ..Default::default() },
+        );
         let want = 2e-5f32;
         assert_eq!(pre[0].to_f32(), 0.0, "pre-reduction must underflow to zero");
         let disc_err = (disc[0].to_f32() - want).abs();
@@ -826,8 +897,15 @@ mod tests {
         let g = random_graph(10, 30, 1);
         let x = random_halves(g.num_cols() * 3, 1.0, 2);
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            spmm(&dev(), &g, EdgeWeights::Ones, &x, 3, None,
-                &SpmmConfig { scaling: ScalePlacement::None, ..Default::default() })
+            spmm(
+                &dev(),
+                &g,
+                EdgeWeights::Ones,
+                &x,
+                3,
+                None,
+                &SpmmConfig { scaling: ScalePlacement::None, ..Default::default() },
+            )
         }));
         assert!(r.is_err(), "odd F must require feature padding");
     }
@@ -836,8 +914,15 @@ mod tests {
     fn empty_rows_are_zero() {
         let g = Coo::from_edges(5, 5, &[(0, 1)]);
         let x = random_halves(5 * 4, 1.0, 3);
-        let (y, _) = spmm(&dev(), &g, EdgeWeights::Ones, &x, 4, None,
-            &SpmmConfig { scaling: ScalePlacement::None, ..Default::default() });
+        let (y, _) = spmm(
+            &dev(),
+            &g,
+            EdgeWeights::Ones,
+            &x,
+            4,
+            None,
+            &SpmmConfig { scaling: ScalePlacement::None, ..Default::default() },
+        );
         assert!(y[4..].iter().all(|h| h.is_zero()));
     }
 
@@ -857,7 +942,10 @@ mod tests {
             let want_max = es.iter().fold(f32::NEG_INFINITY, |a, h| a.max(h.to_f32()));
             assert_eq!(mx[r].to_f32(), want_max, "row {r} max");
             let want_sum: f32 = es.iter().map(|h| h.to_f32()).sum();
-            assert!((sm[r].to_f32() - want_sum).abs() <= 0.02 * want_sum.abs() + 0.1, "row {r} sum");
+            assert!(
+                (sm[r].to_f32() - want_sum).abs() <= 0.02 * want_sum.abs() + 0.1,
+                "row {r} sum"
+            );
         }
     }
 
@@ -869,14 +957,27 @@ mod tests {
         let x = random_halves(g.num_cols() * f, 0.5, 22);
         let w = random_halves(g.nnz(), 1.0, 23);
         let (yv, sv) = spmm_vertex_parallel(
-            &dev(), &csr, EdgeWeights::Values(&w), &x, f, None, ScalePlacement::None,
+            &dev(),
+            &csr,
+            EdgeWeights::Values(&w),
+            &x,
+            f,
+            None,
+            ScalePlacement::None,
         );
         let want = spmm_f64(&g, EdgeWeights::Values(&w), &half_to_f64(&x), f, Reduce::Sum, None);
         assert_close_half(&yv, &want, 0.05, 0.1, "vertex-parallel spmm");
         assert_eq!(sv.totals.atomics_f16 + sv.totals.atomics_f32, 0, "non-atomic design");
         // And it agrees with the edge-parallel kernel to FP16 rounding.
-        let (ye, _) = spmm(&dev(), &g, EdgeWeights::Values(&w), &x, f, None,
-            &SpmmConfig { scaling: ScalePlacement::None, ..Default::default() });
+        let (ye, _) = spmm(
+            &dev(),
+            &g,
+            EdgeWeights::Values(&w),
+            &x,
+            f,
+            None,
+            &SpmmConfig { scaling: ScalePlacement::None, ..Default::default() },
+        );
         for (a, b) in yv.iter().zip(&ye) {
             assert!((a.to_f32() - b.to_f32()).abs() <= 0.05 + 0.03 * b.to_f32().abs());
         }
@@ -892,11 +993,23 @@ mod tests {
         let x = vec![Half::from_f32(200.0); (deg as usize + 1) * f];
         let scale = crate::common::row_scales_mean(&csr.degrees());
         let (post, _) = spmm_vertex_parallel(
-            &dev(), &csr, EdgeWeights::Ones, &x, f, Some(&scale), ScalePlacement::PostReduction,
+            &dev(),
+            &csr,
+            EdgeWeights::Ones,
+            &x,
+            f,
+            Some(&scale),
+            ScalePlacement::PostReduction,
         );
         assert!(post[0].is_infinite(), "post-reduction must overflow");
         let (disc, _) = spmm_vertex_parallel(
-            &dev(), &csr, EdgeWeights::Ones, &x, f, Some(&scale), ScalePlacement::Discretized,
+            &dev(),
+            &csr,
+            EdgeWeights::Ones,
+            &x,
+            f,
+            Some(&scale),
+            ScalePlacement::Discretized,
         );
         assert!(disc[0].is_finite());
         assert!((disc[0].to_f32() - 200.0).abs() < 4.0);
@@ -912,10 +1025,23 @@ mod tests {
         let g = csr.to_coo();
         let f = 64;
         let x = random_halves(g.num_cols() * f, 0.5, 32);
-        let (_, se) = spmm(&dev(), &g, EdgeWeights::Ones, &x, f, None,
-            &SpmmConfig { scaling: ScalePlacement::None, ..Default::default() });
+        let (_, se) = spmm(
+            &dev(),
+            &g,
+            EdgeWeights::Ones,
+            &x,
+            f,
+            None,
+            &SpmmConfig { scaling: ScalePlacement::None, ..Default::default() },
+        );
         let (_, sv) = spmm_vertex_parallel(
-            &dev(), &csr, EdgeWeights::Ones, &x, f, None, ScalePlacement::None,
+            &dev(),
+            &csr,
+            EdgeWeights::Ones,
+            &x,
+            f,
+            None,
+            ScalePlacement::None,
         );
         assert!(
             se.cycles <= sv.cycles * 1.05,
@@ -934,8 +1060,15 @@ mod tests {
         let g = Coo::from_edges(3001, 3001, &edges);
         let f = 8;
         let x = random_halves(3001 * f, 0.25, 30);
-        let (y, _) = spmm(&dev(), &g, EdgeWeights::Ones, &x, f, None,
-            &SpmmConfig { scaling: ScalePlacement::None, ..Default::default() });
+        let (y, _) = spmm(
+            &dev(),
+            &g,
+            EdgeWeights::Ones,
+            &x,
+            f,
+            None,
+            &SpmmConfig { scaling: ScalePlacement::None, ..Default::default() },
+        );
         let want = spmm_f64(&g, EdgeWeights::Ones, &half_to_f64(&x), f, Reduce::Sum, None);
         assert_close_half(&y, &want, 0.05, 0.3, "hub spmm");
     }

@@ -122,6 +122,7 @@ pub fn spmm_half2(
 ) -> (Vec<Half>, KernelStats) {
     assert_eq!(x.len(), csr.num_cols() * f, "X shape mismatch");
     assert!(f.is_multiple_of(2), "feature length must be half2-padded");
+    let _site = halfgnn_half::overflow::site("huang_f16x2_spmm");
     let n = csr.num_rows();
     let groups = build_groups(csr);
     let num_ctas = groups.len().div_ceil(WARPS_PER_CTA).max(1);
@@ -371,7 +372,9 @@ fn spmm_half2_grouped(
 mod tests {
     use super::*;
     use crate::common::Reduce;
-    use crate::reference::{assert_close_f32, assert_close_half, f32_to_f64, half_to_f64, spmm_f64};
+    use crate::reference::{
+        assert_close_f32, assert_close_half, f32_to_f64, half_to_f64, spmm_f64,
+    };
     use halfgnn_graph::gen;
     use halfgnn_half::slice::f32_slice_to_half;
     use rand::rngs::StdRng;
@@ -407,7 +410,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let x: Vec<f32> = (0..csr.num_cols() * f).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let (y, stats) = spmm_float(&dev(), &csr, EdgeWeightsF32::Ones, &x, f);
-        let want = spmm_f64(&csr.to_coo(), EdgeWeights::Ones, &f32_to_f64(&x), f, Reduce::Sum, None);
+        let want =
+            spmm_f64(&csr.to_coo(), EdgeWeights::Ones, &f32_to_f64(&x), f, Reduce::Sum, None);
         assert_close_f32(&y, &want, 1e-4, 1e-4, "huang float");
         assert!(stats.totals.atomics_f32 > 0, "multi-group rows use atomics");
     }
@@ -420,7 +424,8 @@ mod tests {
         let xf: Vec<f32> = (0..csr.num_cols() * f).map(|_| rng.gen_range(-0.5..0.5)).collect();
         let x = f32_slice_to_half(&xf);
         let (y, stats) = spmm_half2(&dev(), &csr, EdgeWeights::Ones, &x, f);
-        let want = spmm_f64(&csr.to_coo(), EdgeWeights::Ones, &half_to_f64(&x), f, Reduce::Sum, None);
+        let want =
+            spmm_f64(&csr.to_coo(), EdgeWeights::Ones, &half_to_f64(&x), f, Reduce::Sum, None);
         assert_close_half(&y, &want, 0.05, 0.2, "huang half2");
         assert_eq!(stats.totals.atomics_f16, 0, "half2 adaptation is non-atomic");
     }

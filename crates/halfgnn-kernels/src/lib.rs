@@ -31,6 +31,7 @@ pub mod edge_ops;
 pub mod halfgnn_sddmm;
 pub mod halfgnn_spmm;
 pub mod huang;
+pub mod oracle;
 pub mod reference;
 
 pub use common::{EdgeWeights, Reduce, ScalePlacement, VectorWidth, WriteStrategy};

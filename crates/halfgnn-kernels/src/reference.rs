@@ -74,6 +74,105 @@ pub fn sddmm_f64(coo: &Coo, u: &[f64], v: &[f64], f: usize) -> Vec<f64> {
         .collect()
 }
 
+/// Per-row reduction of an edge tensor in f64 — ground truth for
+/// [`crate::halfgnn_spmm::edge_reduce`] and [`crate::edge_ops::edge_reduce_f32`].
+/// Rows with no edges are defined as 0 under `Max`, matching the kernels.
+pub fn edge_reduce_f64(coo: &Coo, w: &[f64], op: Reduce) -> Vec<f64> {
+    assert_eq!(w.len(), coo.nnz(), "edge tensor shape mismatch");
+    let n = coo.num_rows();
+    let init = match op {
+        Reduce::Sum => 0.0,
+        Reduce::Max => f64::NEG_INFINITY,
+    };
+    let mut y = vec![init; n];
+    let mut touched = vec![false; n];
+    for (e, &we) in w.iter().enumerate() {
+        let (r, _) = coo.edge(e);
+        let r = r as usize;
+        touched[r] = true;
+        y[r] = match op {
+            Reduce::Sum => y[r] + we,
+            Reduce::Max => y[r].max(we),
+        };
+    }
+    for r in 0..n {
+        if !touched[r] {
+            y[r] = 0.0;
+        }
+    }
+    y
+}
+
+/// f64 `e_ij ← LeakyReLU(s_src[row] + s_dst[col])` — ground truth for
+/// [`crate::edge_ops::src_dst_add_leakyrelu`].
+pub fn src_dst_add_leakyrelu_f64(coo: &Coo, s_src: &[f64], s_dst: &[f64], slope: f64) -> Vec<f64> {
+    assert_eq!(s_src.len(), coo.num_rows());
+    assert_eq!(s_dst.len(), coo.num_cols());
+    (0..coo.nnz())
+        .map(|e| {
+            let (r, c) = coo.edge(e);
+            let v = s_src[r as usize] + s_dst[c as usize];
+            if v >= 0.0 {
+                v
+            } else {
+                v * slope
+            }
+        })
+        .collect()
+}
+
+/// f64 `out ← exp(e − m[row])` — ground truth for
+/// [`crate::edge_ops::sub_row_exp`] (both the shadow and AMP paths).
+pub fn sub_row_exp_f64(coo: &Coo, e: &[f64], m: &[f64]) -> Vec<f64> {
+    assert_eq!(e.len(), coo.nnz());
+    assert_eq!(m.len(), coo.num_rows());
+    (0..coo.nnz())
+        .map(|ei| {
+            let (r, _) = coo.edge(ei);
+            (e[ei] - m[r as usize]).exp()
+        })
+        .collect()
+}
+
+/// f64 `α ← e / z[row]` — ground truth for [`crate::edge_ops::div_row`].
+pub fn div_row_f64(coo: &Coo, e: &[f64], z: &[f64]) -> Vec<f64> {
+    assert_eq!(e.len(), coo.nnz());
+    assert_eq!(z.len(), coo.num_rows());
+    (0..coo.nnz())
+        .map(|ei| {
+            let (r, _) = coo.edge(ei);
+            e[ei] / z[r as usize]
+        })
+        .collect()
+}
+
+/// f64 elementwise edge product — ground truth for [`crate::edge_ops::mul`].
+pub fn edge_mul_f64(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).collect()
+}
+
+/// f64 edge-softmax backward `δe ← α ⊙ (δα − t[row])` — ground truth for
+/// [`crate::edge_ops::softmax_grad`].
+pub fn softmax_grad_f64(coo: &Coo, alpha: &[f64], dalpha: &[f64], t: &[f64]) -> Vec<f64> {
+    assert_eq!(alpha.len(), coo.nnz());
+    assert_eq!(dalpha.len(), coo.nnz());
+    assert_eq!(t.len(), coo.num_rows());
+    (0..coo.nnz())
+        .map(|ei| {
+            let (r, _) = coo.edge(ei);
+            alpha[ei] * (dalpha[ei] - t[r as usize])
+        })
+        .collect()
+}
+
+/// f64 LeakyReLU backward on edge logits — ground truth for
+/// [`crate::edge_ops::leakyrelu_grad`].
+pub fn leakyrelu_grad_f64(pre: &[f64], grad: &[f64], slope: f64) -> Vec<f64> {
+    assert_eq!(pre.len(), grad.len());
+    pre.iter().zip(grad).map(|(p, g)| if *p >= 0.0 { *g } else { *g * slope }).collect()
+}
+
 /// Convert a half tensor to the f64 reference domain.
 pub fn half_to_f64(h: &[Half]) -> Vec<f64> {
     h.iter().map(|v| v.to_f64()).collect()
@@ -84,18 +183,38 @@ pub fn f32_to_f64(x: &[f32]) -> Vec<f64> {
     x.iter().map(|&v| v as f64).collect()
 }
 
+/// Shared closeness predicate: `|g − w| ≤ abs + rel · max(|g|, |w|)`.
+///
+/// The relative term is **symmetric** in the two operands. Scaling by the
+/// reference alone (`rel·|w|`) silently loosens when the kernel result is
+/// too small and tightens when it is too large — e.g. a kernel that
+/// underflows a 1e-3 reference to zero would pass a `rel`-only check scaled
+/// by `w` but fail the same check scaled by `g`. `max(|a|,|b|)` treats both
+/// failure directions identically. Non-finite `g` never passes against a
+/// finite `w` (the error is infinite/NaN).
+pub fn close(g: f64, w: f64, rel: f64, abs: f64) -> bool {
+    if g == w {
+        return true; // covers INF == INF where err would be NaN
+    }
+    if !g.is_finite() || !w.is_finite() {
+        return false; // don't let rel·INF inflate the band to infinity
+    }
+    (g - w).abs() <= abs + rel * g.abs().max(w.abs())
+}
+
 /// Assert a half result matches an f64 reference within `rel` relative and
 /// `abs` absolute tolerance (both needed: FP16 results near zero are
-/// dominated by absolute rounding; large ones by relative).
+/// dominated by absolute rounding; large ones by relative). Uses the
+/// symmetric [`close`] predicate.
 pub fn assert_close_half(got: &[Half], want: &[f64], rel: f64, abs: f64, what: &str) {
     assert_eq!(got.len(), want.len(), "{what}: length mismatch");
     for (i, (g, w)) in got.iter().zip(want).enumerate() {
         let g = g.to_f64();
-        let err = (g - w).abs();
-        let tol = abs + rel * w.abs();
         assert!(
-            err <= tol,
-            "{what}[{i}]: got {g}, want {w}, err {err:.3e} > tol {tol:.3e}"
+            close(g, *w, rel, abs),
+            "{what}[{i}]: got {g}, want {w}, err {:.3e} > tol {:.3e}",
+            (g - w).abs(),
+            abs + rel * g.abs().max(w.abs())
         );
     }
 }
@@ -105,11 +224,11 @@ pub fn assert_close_f32(got: &[f32], want: &[f64], rel: f64, abs: f64, what: &st
     assert_eq!(got.len(), want.len(), "{what}: length mismatch");
     for (i, (g, w)) in got.iter().zip(want).enumerate() {
         let g = *g as f64;
-        let err = (g - w).abs();
-        let tol = abs + rel * w.abs();
         assert!(
-            err <= tol,
-            "{what}[{i}]: got {g}, want {w}, err {err:.3e} > tol {tol:.3e}"
+            close(g, *w, rel, abs),
+            "{what}[{i}]: got {g}, want {w}, err {:.3e} > tol {:.3e}",
+            (g - w).abs(),
+            abs + rel * g.abs().max(w.abs())
         );
     }
 }
@@ -170,6 +289,27 @@ mod tests {
         let out = sddmm_f64(&g, &u, &v, 2);
         // edge (0,1): [1,2]·[30,40] = 110; edge (1,0): [3,4]·[10,20] = 110.
         assert_eq!(out, vec![110.0, 110.0]);
+    }
+
+    #[test]
+    fn edge_reduce_max_all_negative_and_empty() {
+        let g = Coo::from_edges(3, 3, &[(0, 1), (0, 2), (2, 0)]);
+        let w = [-5.0, -2.0, -7.0];
+        let y = edge_reduce_f64(&g, &w, Reduce::Max);
+        // Row 1 has no edges → 0; all-negative rows keep their true max.
+        assert_eq!(y, vec![-2.0, 0.0, -7.0]);
+    }
+
+    #[test]
+    fn symmetric_tolerance_rejects_underflow_to_zero() {
+        // got = 0 vs want = 1e-3 must fail a pure-relative check: the old
+        // `rel·|want|` form passed only because `want` was the larger side.
+        assert!(!close(0.0, 1e-3, 0.5, 0.0));
+        assert!(!close(1e-3, 0.0, 0.5, 0.0));
+        assert!(close(1e-3, 0.0, 0.5, 1e-2)); // abs term still applies
+        assert!(!close(f64::INFINITY, 1.0, 0.5, 1e6)); // nonfinite never passes vs finite
+        assert!(!close(f64::NAN, 1.0, 0.5, 1e6));
+        assert!(close(f64::INFINITY, f64::INFINITY, 0.0, 0.0));
     }
 
     #[test]

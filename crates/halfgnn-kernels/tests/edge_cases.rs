@@ -61,8 +61,7 @@ fn exactly_one_warp_tile_boundary() {
         let coo = Coo::from_edges(31, 31, &edges);
         let f = 4;
         let x = f32_slice_to_half(&(0..31 * f).map(|i| (i % 5) as f32 * 0.25).collect::<Vec<_>>());
-        let (y, _) =
-            halfgnn_spmm::spmm(&dev(), &coo, EdgeWeights::Ones, &x, f, None, &cfg_none());
+        let (y, _) = halfgnn_spmm::spmm(&dev(), &coo, EdgeWeights::Ones, &x, f, None, &cfg_none());
         let want = halfgnn_kernels::reference::spmm_f64(
             &coo,
             EdgeWeights::Ones,
@@ -78,9 +77,8 @@ fn exactly_one_warp_tile_boundary() {
 #[test]
 fn feature_length_two_minimum() {
     // F = 2 is the smallest half2-legal width: one half2 lane per row.
-    let coo = Csr::from_edges(10, 10, &[(0, 1), (1, 2), (5, 9)])
-        .symmetrized_with_self_loops()
-        .to_coo();
+    let coo =
+        Csr::from_edges(10, 10, &[(0, 1), (1, 2), (5, 9)]).symmetrized_with_self_loops().to_coo();
     let x = f32_slice_to_half(&(0..20).map(|i| i as f32 * 0.1).collect::<Vec<_>>());
     let (y, _) = halfgnn_spmm::spmm(&dev(), &coo, EdgeWeights::Ones, &x, 2, None, &cfg_none());
     assert!(y.iter().all(|v| v.is_finite()));
@@ -92,7 +90,8 @@ fn feature_length_two_minimum() {
 fn large_feature_length_256() {
     let coo = Coo::from_edges(4, 4, &[(0, 1), (1, 0), (2, 3), (3, 2)]);
     let f = 256;
-    let x = f32_slice_to_half(&(0..4 * f).map(|i| ((i % 11) as f32 - 5.0) * 0.1).collect::<Vec<_>>());
+    let x =
+        f32_slice_to_half(&(0..4 * f).map(|i| ((i % 11) as f32 - 5.0) * 0.1).collect::<Vec<_>>());
     let (y, _) = halfgnn_spmm::spmm(&dev(), &coo, EdgeWeights::Ones, &x, f, None, &cfg_none());
     // Row 0 = X1 exactly.
     for j in 0..f {

@@ -29,9 +29,8 @@ fn arb_case() -> impl Strategy<Value = (Csr, usize, Vec<Half>, Vec<Half>)> {
         .prop_map(|(n, f, edges, feats)| {
             let csr = Csr::from_edges(n, n, &edges).symmetrized_with_self_loops();
             let x = f32_slice_to_half(&feats);
-            let w: Vec<Half> = (0..csr.nnz())
-                .map(|i| Half::from_f32(((i % 17) as f32 - 8.0) / 8.0))
-                .collect();
+            let w: Vec<Half> =
+                (0..csr.nnz()).map(|i| Half::from_f32(((i % 17) as f32 - 8.0) / 8.0)).collect();
             (csr, f, x, w)
         })
 }
@@ -175,6 +174,71 @@ proptest! {
             );
         }
         prop_assert_eq!(stats.totals.atomics_f16, 0);
+    }
+
+    #[test]
+    fn staged_and_atomic_write_strategies_compute_the_same_values(
+        (csr, f, x, w) in arb_case(),
+        edges_per_warp in 1usize..16,
+    ) {
+        // §5.2.3: the staging-buffer protocol is a pure performance
+        // optimisation over prior-work atomics — for ANY graph, feature
+        // width, and warp geometry both strategies must land on the same
+        // half-precision values (small tilings force boundary rows, the
+        // only place the strategies differ).
+        let dev = DeviceConfig::a100_like();
+        let coo = csr.to_coo();
+        let base = halfgnn_spmm::SpmmConfig {
+            scaling: ScalePlacement::None,
+            tiling: halfgnn_kernels::common::Tiling {
+                edges_per_warp,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let atomic = halfgnn_spmm::SpmmConfig {
+            writes: halfgnn_kernels::common::WriteStrategy::Atomic,
+            ..base
+        };
+        let (ys, ss) =
+            halfgnn_spmm::spmm(&dev, &coo, EdgeWeights::Values(&w), &x, f, None, &base);
+        let (ya, _) =
+            halfgnn_spmm::spmm(&dev, &coo, EdgeWeights::Values(&w), &x, f, None, &atomic);
+        prop_assert_eq!(ss.totals.atomics_f16 + ss.totals.atomics_f32, 0);
+        for (i, (s, a)) in ys.iter().zip(&ya).enumerate() {
+            prop_assert!(
+                reference::close(s.to_f64(), a.to_f64(), 0.02, 0.02),
+                "tiling {edges_per_warp} [{i}]: staged {s} vs atomic {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_reduce_max_handles_all_negative_values_and_empty_rows(
+        n in 3usize..40,
+        edges in prop::collection::vec((0u32..40, 0u32..40), 0..120),
+    ) {
+        // Max-reduce must not lean on a zero identity: with every edge
+        // value negative, a `max(0, ·)` bug would surface immediately.
+        // The graph is NOT symmetrized, so empty rows (defined as 0,
+        // matching the reference) occur naturally.
+        let dev = DeviceConfig::a100_like();
+        let edges: Vec<(VertexId, VertexId)> = edges
+            .into_iter()
+            .map(|(u, v)| (u % n as VertexId, v % n as VertexId))
+            .collect();
+        let coo = Csr::from_edges(n, n, &edges).to_coo();
+        let w: Vec<Half> = (0..coo.nnz())
+            .map(|i| Half::from_f32(-(((i % 23) + 1) as f32) / 4.0))
+            .collect();
+        let (got, _) = halfgnn_spmm::edge_reduce(&dev, &coo, &w, Reduce::Max);
+        let wf: Vec<f64> = w.iter().map(|h| h.to_f64()).collect();
+        let want = reference::edge_reduce_f64(&coo, &wf, Reduce::Max);
+        for (r, (g, want)) in got.iter().zip(&want).enumerate() {
+            // Max selects an exact input (or the empty-row zero): the
+            // kernel must match the f64 reference bit for bit.
+            prop_assert_eq!(g.to_f64(), *want, "row {}: {} vs {}", r, g, want);
+        }
     }
 
     #[test]

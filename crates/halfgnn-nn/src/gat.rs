@@ -134,13 +134,11 @@ pub fn step_f32(
     let logits = l2.out.clone();
     let (loss, dlogits, correct) = ops.softmax_xent_f32(&logits, labels, mask, c);
 
-    let (dh1, dw2, da_src2, da_dst2) = layer_backward_f32(
-        ops, g, &l2, &h1, &p.w2, &p.a_src2, &p.a_dst2, &dlogits, h, c,
-    );
+    let (dh1, dw2, da_src2, da_dst2) =
+        layer_backward_f32(ops, g, &l2, &h1, &p.w2, &p.a_src2, &p.a_dst2, &dlogits, h, c);
     let dl1 = ops.relu_grad_f32(&l1.out, &dh1);
-    let (_, dw1, da_src1, da_dst1) = layer_backward_f32(
-        ops, g, &l1, x, &p.w1, &p.a_src1, &p.a_dst1, &dl1, f_in, h,
-    );
+    let (_, dw1, da_src1, da_dst1) =
+        layer_backward_f32(ops, g, &l1, x, &p.w1, &p.a_src1, &p.a_dst1, &dl1, f_in, h);
 
     StepOutput {
         loss,
@@ -259,9 +257,13 @@ pub fn step_half(
     let a_src2h = ops.to_half(&p.a_src2);
     let a_dst2h = ops.to_half(&p.a_dst2);
 
+    let layer1 = halfgnn_half::overflow::site("gat.layer1");
     let l1 = layer_forward_half(ops, g, x, &w1h, &a_src1h, &a_dst1h, f_in, h, mode);
     let h1 = ops.relu_half(&l1.out);
+    drop(layer1);
+    let layer2 = halfgnn_half::overflow::site("gat.layer2");
     let l2 = layer_forward_half(ops, g, &h1, &w2h, &a_src2h, &a_dst2h, h, c, mode);
+    drop(layer2);
 
     let logits = ops.to_f32(&l2.out);
     let (loss, mut dlogits, correct) = ops.softmax_xent_f32(&logits, labels, mask, c);
@@ -274,13 +276,14 @@ pub fn step_half(
     }
     let dout = ops.to_half(&dlogits);
 
-    let (dh1, dw2h, da_src2h, da_dst2h) = layer_backward_half(
-        ops, g, &l2, &h1, &w2h, &a_src2h, &a_dst2h, &dout, h, c, mode,
-    );
+    let bwd2 = halfgnn_half::overflow::site("gat.layer2.backward");
+    let (dh1, dw2h, da_src2h, da_dst2h) =
+        layer_backward_half(ops, g, &l2, &h1, &w2h, &a_src2h, &a_dst2h, &dout, h, c, mode);
+    drop(bwd2);
+    let _bwd1 = halfgnn_half::overflow::site("gat.layer1.backward");
     let dl1 = ops.relu_grad_half(&l1.out, &dh1);
-    let (_, dw1h, da_src1h, da_dst1h) = layer_backward_half(
-        ops, g, &l1, x, &w1h, &a_src1h, &a_dst1h, &dl1, f_in, h, mode,
-    );
+    let (_, dw1h, da_src1h, da_dst1h) =
+        layer_backward_half(ops, g, &l1, x, &w1h, &a_src1h, &a_dst1h, &dl1, f_in, h, mode);
 
     let mut grads = GatGrads {
         w1: ops.to_f32(&dw1h),
@@ -303,7 +306,6 @@ pub fn step_half(
 
     StepOutput { loss, correct, grads, logits }
 }
-
 
 // ---------------------------------------------------------------------
 // Multi-head GAT: H independent attention heads of width `hidden/H`,
@@ -449,7 +451,16 @@ pub fn step_f32_multihead(
     };
     for h in 0..p.heads {
         let (_, dw, dasrc, dadst) = layer_backward_f32(
-            ops, g, &states[h], x, &p.w1[h], &p.a_src1[h], &p.a_dst1[h], &per_head[h], f_in, d,
+            ops,
+            g,
+            &states[h],
+            x,
+            &p.w1[h],
+            &p.a_src1[h],
+            &p.a_dst1[h],
+            &per_head[h],
+            f_in,
+            d,
         );
         grads.w1.push(dw);
         grads.a_src1.push(dasrc);
@@ -507,9 +518,8 @@ pub fn step_half_multihead(
     let dout = ops.to_half(&dlogits);
 
     // ---- Backward.
-    let (dh1, dw2h, dasrc2h, dadst2h) = layer_backward_half(
-        ops, g, &l2, &h1, &w2h, &asrc2h, &adst2h, &dout, p.hidden, c, mode,
-    );
+    let (dh1, dw2h, dasrc2h, dadst2h) =
+        layer_backward_half(ops, g, &l2, &h1, &w2h, &asrc2h, &adst2h, &dout, p.hidden, c, mode);
     let dcat = ops.relu_grad_half(&cat, &dh1);
     let mut grads = MultiHeadGatGrads {
         w1: Vec::with_capacity(p.heads),
@@ -680,10 +690,8 @@ mod tests {
     fn concat_split_round_trip() {
         let n = 3;
         let d = 2;
-        let parts: Vec<Vec<f32>> = vec![
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
-            vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0],
-        ];
+        let parts: Vec<Vec<f32>> =
+            vec![vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0]];
         let cat = concat_heads(&parts, n, d);
         assert_eq!(cat, vec![1.0, 2.0, 10.0, 20.0, 3.0, 4.0, 30.0, 40.0, 5.0, 6.0, 50.0, 60.0]);
         assert_eq!(split_heads(&cat, n, 2, d), parts);

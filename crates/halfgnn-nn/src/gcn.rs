@@ -12,8 +12,7 @@
 
 use crate::graphdata::PreparedGraph;
 use crate::models::{
-    gcn_agg_backward_f32, gcn_agg_backward_half, gcn_agg_f32, gcn_agg_half, GcnNorm,
-    PrecisionMode,
+    gcn_agg_backward_f32, gcn_agg_backward_half, gcn_agg_f32, gcn_agg_half, GcnNorm, PrecisionMode,
 };
 use crate::params::{TwoLayerGrads, TwoLayerParams};
 use halfgnn_tensor::Ops;
@@ -147,6 +146,7 @@ pub fn step_half_norm(
     let aggregate_first = f_in <= h;
 
     // ---- Forward (all state tensors half; DGL-style layer-1 dispatch).
+    let layer1 = halfgnn_half::overflow::site("gcn.layer1");
     let (lin_in, a1) = if aggregate_first {
         let ax = gcn_agg_half(ops, g, x, f_in, norm, mode);
         let z1 = ops.gemm_half(&ax, false, &w1h, false, n, f_in, h);
@@ -158,10 +158,13 @@ pub fn step_half_norm(
         let a1 = gcn_agg_half(ops, g, &z1, h, norm, mode);
         (x.to_vec(), a1)
     };
+    drop(layer1);
+    let layer2 = halfgnn_half::overflow::site("gcn.layer2");
     let h1 = ops.relu_half(&a1);
     let z2 = ops.gemm_half(&h1, false, &w2h, false, n, h, c);
     let z2 = ops.bias_add_half(&z2, &b2h);
     let out = gcn_agg_half(ops, g, &z2, c, norm, mode);
+    drop(layer2);
 
     // AMP promotes the loss to float (charged conversion).
     let logits = ops.to_f32(&out);
@@ -177,6 +180,7 @@ pub fn step_half_norm(
     }
 
     // ---- Backward in half.
+    let _bwd = halfgnn_half::overflow::site("gcn.backward");
     let dout = ops.to_half(&dlogits);
     let dz2 = gcn_agg_backward_half(ops, g, &dout, c, norm, mode);
     let dw2h = ops.gemm_half(&h1, true, &dz2, false, h, n, c);
@@ -330,20 +334,42 @@ mod tests {
         let x: Vec<halfgnn_half::Half> =
             vec![halfgnn_half::Half::from_f32(100.0); (deg as usize + 1) * 4];
         let mut ops = Ops::new(&dev);
-        let y_left =
-            crate::models::gcn_agg_half(&mut ops, &g, &x, 4, GcnNorm::Left, PrecisionMode::HalfNaive);
+        let y_left = crate::models::gcn_agg_half(
+            &mut ops,
+            &g,
+            &x,
+            4,
+            GcnNorm::Left,
+            PrecisionMode::HalfNaive,
+        );
         assert!(y_left.iter().all(|v| v.is_finite()), "left-norm forward must be safe");
-        let y_right =
-            crate::models::gcn_agg_half(&mut ops, &g, &x, 4, GcnNorm::Right, PrecisionMode::HalfNaive);
+        let y_right = crate::models::gcn_agg_half(
+            &mut ops,
+            &g,
+            &x,
+            4,
+            GcnNorm::Right,
+            PrecisionMode::HalfNaive,
+        );
         assert!(y_right[0].is_infinite(), "right-norm forward overflows on the hub");
         // ... but the left-norm *adjoint* (sum then scale) overflows:
         let d_left = crate::models::gcn_agg_backward_half(
-            &mut ops, &g, &x, 4, GcnNorm::Left, PrecisionMode::HalfNaive,
+            &mut ops,
+            &g,
+            &x,
+            4,
+            GcnNorm::Left,
+            PrecisionMode::HalfNaive,
         );
         assert!(d_left[0].is_infinite(), "left-norm backward overflows (§3.1.3)");
         // ... and HalfGNN's discretized kernels are safe on both sides.
         let d_ours = crate::models::gcn_agg_backward_half(
-            &mut ops, &g, &x, 4, GcnNorm::Left, PrecisionMode::HalfGnn,
+            &mut ops,
+            &g,
+            &x,
+            4,
+            GcnNorm::Left,
+            PrecisionMode::HalfGnn,
         );
         assert!(d_ours.iter().all(|v| v.is_finite()));
     }
@@ -353,7 +379,8 @@ mod tests {
         let dev = DeviceConfig::a100_like();
         let (g, x, labels, mask) = toy();
         let p = TwoLayerParams::new(8, 6, 2, 1);
-        let xh: Vec<halfgnn_half::Half> = x.iter().map(|&v| halfgnn_half::Half::from_f32(v)).collect();
+        let xh: Vec<halfgnn_half::Half> =
+            x.iter().map(|&v| halfgnn_half::Half::from_f32(v)).collect();
         let mut ops = Ops::new(&dev);
         let f = step_f32(&mut ops, &g, &p, &x, &labels, &mask);
         let hstep = step_half(&mut ops, &g, &p, &xh, &labels, &mask, PrecisionMode::HalfGnn);

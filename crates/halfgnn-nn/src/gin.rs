@@ -15,9 +15,7 @@
 
 use crate::gcn::StepOutput;
 use crate::graphdata::PreparedGraph;
-use crate::models::{
-    spmm_mean_f32, spmm_mean_half, spmm_sum_f32, spmm_sum_half, PrecisionMode,
-};
+use crate::models::{spmm_mean_f32, spmm_mean_half, spmm_sum_f32, spmm_sum_half, PrecisionMode};
 use crate::params::{TwoLayerGrads, TwoLayerParams};
 use halfgnn_half::Half;
 use halfgnn_tensor::Ops;
@@ -119,15 +117,19 @@ pub fn step_half_lambda(
         |ops: &mut Ops, g: &PreparedGraph, t: &[Half], f: usize| spmm_mean_half(ops, g, t, f, mode);
 
     // ---- Forward.
+    let layer1 = halfgnn_half::overflow::site("gin.layer1");
     let agg1 = aggregate(ops, g, x, f_in);
     let comb1 = ops.scale_add_half(one_eps, x, agg_scale, &agg1);
     let z1 = ops.gemm_half(&comb1, false, &w1h, false, n, f_in, h);
     let z1 = ops.bias_add_half(&z1, &b1h);
     let h1 = ops.relu_half(&z1);
+    drop(layer1);
+    let layer2 = halfgnn_half::overflow::site("gin.layer2");
     let agg2 = aggregate(ops, g, &h1, h);
     let comb2 = ops.scale_add_half(one_eps, &h1, agg_scale, &agg2);
     let z2 = ops.gemm_half(&comb2, false, &w2h, false, n, h, c);
     let out = ops.bias_add_half(&z2, &b2h);
+    drop(layer2);
 
     let logits = ops.to_f32(&out);
     let (loss, mut dlogits, correct) = ops.softmax_xent_f32(&logits, labels, mask, c);
@@ -142,6 +144,7 @@ pub fn step_half_lambda(
     }
 
     // ---- Backward.
+    let _bwd = halfgnn_half::overflow::site("gin.backward");
     let dout = ops.to_half(&dlogits);
     let dw2h = ops.gemm_half(&comb2, true, &dout, false, h, n, c);
     let db2 = ops.colsum_half(&dout, c);

@@ -34,15 +34,11 @@ impl PreparedGraph {
         let coo = csr.to_coo();
         let degrees = csr.degrees();
         let mean_scale_h = row_scales_mean(&degrees);
-        let mean_scale_f = degrees
-            .iter()
-            .map(|&d| if d == 0 { 0.0 } else { 1.0 / d as f32 })
-            .collect();
+        let mean_scale_f =
+            degrees.iter().map(|&d| if d == 0 { 0.0 } else { 1.0 / d as f32 }).collect();
         let inv_sqrt_scale_h = row_scales_inv_sqrt(&degrees);
-        let inv_sqrt_scale_f: Vec<f32> = degrees
-            .iter()
-            .map(|&d| if d == 0 { 0.0 } else { 1.0 / (d as f32).sqrt() })
-            .collect();
+        let inv_sqrt_scale_f: Vec<f32> =
+            degrees.iter().map(|&d| if d == 0 { 0.0 } else { 1.0 / (d as f32).sqrt() }).collect();
         let t_perm = coo.transpose_permutation();
         PreparedGraph {
             coo,

@@ -214,14 +214,9 @@ pub fn spmm_mean_half(
     mode: PrecisionMode,
 ) -> Vec<Half> {
     let (y, stats) = match mode {
-        PrecisionMode::HalfNaive => cusparse::spmm_half(
-            ops.dev,
-            &g.coo,
-            EdgeWeights::Ones,
-            x,
-            f,
-            Some(&g.mean_scale_h),
-        ),
+        PrecisionMode::HalfNaive => {
+            cusparse::spmm_half(ops.dev, &g.coo, EdgeWeights::Ones, x, f, Some(&g.mean_scale_h))
+        }
         PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => halfgnn_spmm::spmm(
             ops.dev,
             &g.coo,
@@ -322,12 +317,7 @@ pub fn sddmm_half(
 }
 
 /// Half per-row edge reduce (softmax max/denominator).
-pub fn edge_reduce_half(
-    ops: &mut Ops,
-    g: &PreparedGraph,
-    w: &[Half],
-    op: Reduce,
-) -> Vec<Half> {
+pub fn edge_reduce_half(ops: &mut Ops, g: &PreparedGraph, w: &[Half], op: Reduce) -> Vec<Half> {
     let (y, stats) = halfgnn_spmm::edge_reduce(ops.dev, &g.coo, w, op);
     ops.record(stats);
     y
@@ -349,27 +339,14 @@ pub fn spmm_sum_f32(ops: &mut Ops, g: &PreparedGraph, x: &[f32], f: usize) -> Ve
 }
 
 /// Float SpMMve.
-pub fn spmmve_f32(
-    ops: &mut Ops,
-    g: &PreparedGraph,
-    w: &[f32],
-    x: &[f32],
-    f: usize,
-) -> Vec<f32> {
-    let (y, stats) =
-        cusparse::spmm_float(ops.dev, &g.coo, EdgeWeightsF32::Values(w), x, f, None);
+pub fn spmmve_f32(ops: &mut Ops, g: &PreparedGraph, w: &[f32], x: &[f32], f: usize) -> Vec<f32> {
+    let (y, stats) = cusparse::spmm_float(ops.dev, &g.coo, EdgeWeightsF32::Values(w), x, f, None);
     ops.record(stats);
     y
 }
 
 /// Float SDDMM (DGL's).
-pub fn sddmm_f32(
-    ops: &mut Ops,
-    g: &PreparedGraph,
-    u: &[f32],
-    v: &[f32],
-    f: usize,
-) -> Vec<f32> {
+pub fn sddmm_f32(ops: &mut Ops, g: &PreparedGraph, u: &[f32], v: &[f32], f: usize) -> Vec<f32> {
     let (y, stats) = dgl_sddmm::sddmm_float(ops.dev, &g.coo, u, v, f);
     ops.record(stats);
     y

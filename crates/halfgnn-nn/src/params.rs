@@ -140,9 +140,7 @@ impl GatParams {
     /// Flat view (w1, a_src1, a_dst1, w2, a_src2, a_dst2).
     pub fn flat(&self) -> Vec<f32> {
         let mut v = Vec::with_capacity(self.num_params());
-        for part in
-            [&self.w1, &self.a_src1, &self.a_dst1, &self.w2, &self.a_src2, &self.a_dst2]
-        {
+        for part in [&self.w1, &self.a_src1, &self.a_dst1, &self.w2, &self.a_src2, &self.a_dst2] {
             v.extend_from_slice(part);
         }
         v
@@ -198,9 +196,7 @@ impl GatGrads {
     /// Flat view matching [`GatParams::flat`].
     pub fn flat(&self) -> Vec<f32> {
         let mut v = Vec::new();
-        for part in
-            [&self.w1, &self.a_src1, &self.a_dst1, &self.w2, &self.a_src2, &self.a_dst2]
-        {
+        for part in [&self.w1, &self.a_src1, &self.a_dst1, &self.w2, &self.a_src2, &self.a_dst2] {
             v.extend_from_slice(part);
         }
         v

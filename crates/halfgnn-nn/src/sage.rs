@@ -201,17 +201,21 @@ pub fn step_half(
     let one = Half::ONE;
 
     // ---- Forward.
+    let layer1 = halfgnn_half::overflow::site("sage.layer1");
     let m1 = spmm_mean_half(ops, g, x, f_in, mode);
     let zs1 = ops.gemm_half(x, false, &w_self1, false, n, f_in, h);
     let zn1 = ops.gemm_half(&m1, false, &w_neigh1, false, n, f_in, h);
     let z1 = ops.scale_add_half(one, &zs1, one, &zn1);
     let z1 = ops.bias_add_half(&z1, &b1h);
     let h1 = ops.relu_half(&z1);
+    drop(layer1);
+    let layer2 = halfgnn_half::overflow::site("sage.layer2");
     let m2 = spmm_mean_half(ops, g, &h1, h, mode);
     let zs2 = ops.gemm_half(&h1, false, &w_self2, false, n, h, c);
     let zn2 = ops.gemm_half(&m2, false, &w_neigh2, false, n, h, c);
     let z2 = ops.scale_add_half(one, &zs2, one, &zn2);
     let out = ops.bias_add_half(&z2, &b2h);
+    drop(layer2);
 
     let logits = ops.to_f32(&out);
     let (loss, mut dlogits, correct) = ops.softmax_xent_f32(&logits, labels, mask, c);
@@ -223,6 +227,7 @@ pub fn step_half(
     }
 
     // ---- Backward.
+    let _bwd = halfgnn_half::overflow::site("sage.backward");
     let dout = ops.to_half(&dlogits);
     let dw_self2h = ops.gemm_half(&h1, true, &dout, false, h, n, c);
     let dw_neigh2h = ops.gemm_half(&m2, true, &dout, false, h, n, c);

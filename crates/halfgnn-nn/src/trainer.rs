@@ -3,11 +3,12 @@
 
 use crate::adam::Adam;
 use crate::graphdata::PreparedGraph;
+pub use crate::models::{ModelKind, PrecisionMode};
 use crate::params::{GatParams, TwoLayerParams};
 use crate::sage::SageParams;
 use crate::{gat, gcn, gin, sage};
-pub use crate::models::{ModelKind, PrecisionMode};
 use halfgnn_graph::datasets::LoadedDataset;
+use halfgnn_half::overflow;
 use halfgnn_half::slice::{f32_slice_to_half, pad_feature_len};
 use halfgnn_sim::DeviceConfig;
 use halfgnn_tensor::{MemoryTracker, Ops};
@@ -76,6 +77,23 @@ pub struct TrainReport {
     /// sorted by time descending — the profile a Nsight Systems trace
     /// would show.
     pub kernel_breakdown: Vec<(String, usize, f64)>,
+    /// Overflow-provenance summary for each epoch: every `f32 → half`
+    /// conversion of the step is tracked, and the first non-finite one
+    /// carries its site path (layer + kernel), answering *which tensor
+    /// overflowed first* when a half run NaNs (Fig. 1c). Clean summaries
+    /// when `halfgnn-half/provenance` is off or the run is float.
+    pub overflow_per_epoch: Vec<overflow::Summary>,
+}
+
+impl TrainReport {
+    /// The first non-finite conversion of the whole run, as
+    /// `(epoch, event)` — the genesis of a Fig. 1c loss collapse.
+    pub fn first_overflow(&self) -> Option<(usize, &overflow::OverflowEvent)> {
+        self.overflow_per_epoch
+            .iter()
+            .enumerate()
+            .find_map(|(ep, s)| s.first.as_ref().map(|ev| (ep, ev)))
+    }
 }
 
 /// Train on the standard A100-like device.
@@ -89,11 +107,7 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
     let f_in = data.spec.feat;
     let is_half = cfg.precision.is_half();
     // Feature padding (§4.1.2): half paths pad odd class counts.
-    let classes = if is_half {
-        pad_feature_len(data.spec.classes, 2)
-    } else {
-        data.spec.classes
-    };
+    let classes = if is_half { pad_feature_len(data.spec.classes, 2) } else { data.spec.classes };
 
     let x = data.features.clone();
     let xh = if is_half { f32_slice_to_half(&x) } else { Vec::new() };
@@ -128,14 +142,26 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
         P::Sage(p) => Adam::new(p.num_params(), cfg.lr),
     };
 
+    let mut overflow_per_epoch: Vec<overflow::Summary> = Vec::with_capacity(cfg.epochs);
+
     for epoch in 0..cfg.epochs {
         let mut ops = Ops::new(dev);
         ops.loss_scale = cfg.loss_scale;
+        // Track every f32→half conversion of this epoch's step; the first
+        // non-finite one is recorded with its layer/kernel site path.
+        overflow::begin();
         let (loss, correct, grad_flat, logits) = match (&params, cfg.model) {
             (P::Two(p), ModelKind::Gcn) => {
                 let out = if is_half {
                     gcn::step_half_norm(
-                        &mut ops, &g, p, &xh, labels, train_mask, cfg.precision, cfg.gcn_norm,
+                        &mut ops,
+                        &g,
+                        p,
+                        &xh,
+                        labels,
+                        train_mask,
+                        cfg.precision,
+                        cfg.gcn_norm,
                     )
                 } else {
                     gcn::step_f32_norm(&mut ops, &g, p, &x, labels, train_mask, cfg.gcn_norm)
@@ -145,7 +171,14 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
             (P::Two(p), ModelKind::Gin) => {
                 let out = if is_half {
                     gin::step_half_lambda(
-                        &mut ops, &g, p, &xh, labels, train_mask, cfg.precision, cfg.gin_lambda,
+                        &mut ops,
+                        &g,
+                        p,
+                        &xh,
+                        labels,
+                        train_mask,
+                        cfg.precision,
+                        cfg.gin_lambda,
                     )
                 } else {
                     gin::step_f32(&mut ops, &g, p, &x, labels, train_mask)
@@ -170,6 +203,23 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
             }
             _ => unreachable!("parameter kind matches model kind"),
         };
+
+        let ofw = overflow::take();
+        if let Some(ev) = &ofw.first {
+            // Log only the run's first overflow: later epochs mostly repeat
+            // the same site once the parameters are poisoned.
+            if overflow_per_epoch.iter().all(overflow::Summary::is_clean) {
+                eprintln!(
+                    "[halfgnn-nn] {:?}/{:?}: epoch {epoch}: first non-finite conversion: {ev} \
+                     ({} non-finite of {} conversions this epoch)",
+                    cfg.model,
+                    cfg.precision,
+                    ofw.nonfinite(),
+                    ofw.conversions
+                );
+            }
+        }
+        overflow_per_epoch.push(ofw);
 
         if loss.is_nan() && nan_epoch.is_none() {
             nan_epoch = Some(epoch);
@@ -208,8 +258,7 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
         }
     }
 
-    let final_train_accuracy =
-        Ops::accuracy(&last_logits, labels, train_mask, classes);
+    let final_train_accuracy = Ops::accuracy(&last_logits, labels, train_mask, classes);
     let test_accuracy = Ops::accuracy(&last_logits, labels, &data.split.test, classes);
 
     TrainReport {
@@ -223,6 +272,7 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
         converted_elems_per_epoch: converted,
         kernels_per_epoch: kernels,
         kernel_breakdown: breakdown,
+        overflow_per_epoch,
     }
 }
 
@@ -311,7 +361,15 @@ mod tests {
     use halfgnn_graph::datasets::Dataset;
 
     fn quick_cfg(model: ModelKind, precision: PrecisionMode, epochs: usize) -> TrainConfig {
-        TrainConfig { model, precision, epochs, hidden: 16, lr: 0.02, seed: 1, ..TrainConfig::default() }
+        TrainConfig {
+            model,
+            precision,
+            epochs,
+            hidden: 16,
+            lr: 0.02,
+            seed: 1,
+            ..TrainConfig::default()
+        }
     }
 
     #[test]
@@ -319,11 +377,7 @@ mod tests {
         let data = Dataset::cora().load(42);
         let r = train(&data, &quick_cfg(ModelKind::Gcn, PrecisionMode::Float, 30));
         assert!(r.nan_epoch.is_none());
-        assert!(
-            r.final_train_accuracy > 0.75,
-            "train accuracy {}",
-            r.final_train_accuracy
-        );
+        assert!(r.final_train_accuracy > 0.75, "train accuracy {}", r.final_train_accuracy);
         assert!(r.test_accuracy > 0.6, "test accuracy {}", r.test_accuracy);
         assert!(r.losses.first().unwrap() > r.losses.last().unwrap());
     }
@@ -381,6 +435,24 @@ mod tests {
         let r = train(&data, &quick_cfg(ModelKind::Gat, PrecisionMode::Float, 30));
         assert!(r.nan_epoch.is_none());
         assert!(r.final_train_accuracy > 0.7, "accuracy {}", r.final_train_accuracy);
+    }
+
+    #[test]
+    fn overflow_provenance_is_clean_and_active_on_healthy_half_runs() {
+        let data = Dataset::cora().load(42);
+        let r = train(&data, &quick_cfg(ModelKind::Gcn, PrecisionMode::HalfGnn, 3));
+        assert_eq!(r.overflow_per_epoch.len(), 3);
+        assert!(r.first_overflow().is_none(), "Cora has no overflow-grade hubs");
+        // The recorder must actually be watching: a half step converts.
+        assert!(r.overflow_per_epoch[0].conversions > 0);
+    }
+
+    #[test]
+    fn overflow_provenance_sees_nothing_in_float_runs() {
+        let data = Dataset::cora().load(42);
+        let r = train(&data, &quick_cfg(ModelKind::Gcn, PrecisionMode::Float, 2));
+        assert!(r.first_overflow().is_none());
+        assert_eq!(r.overflow_per_epoch[0].conversions, 0);
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub struct WarpCounters {
     pub atomics_f16: u64,
     /// Extra serialization cycles charged by atomic conflicts.
     pub atomic_conflict_cycles: f64,
+    /// Non-finite (INF/NaN) values this warp produced in its functional
+    /// output — numeric-health telemetry (§3.1.3 overflow tracking), not a
+    /// timing input.
+    pub nonfinite_values: u64,
 }
 
 impl WarpCounters {
@@ -58,6 +62,7 @@ impl WarpCounters {
         self.atomics_f32 += o.atomics_f32;
         self.atomics_f16 += o.atomics_f16;
         self.atomic_conflict_cycles += o.atomic_conflict_cycles;
+        self.nonfinite_values += o.nonfinite_values;
     }
 
     /// Total DRAM sectors in either direction.
@@ -222,8 +227,10 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = WarpCounters { load_instrs: 3, sectors_loaded: 12, half2_ops: 5, ..Default::default() };
-        let b = WarpCounters { load_instrs: 2, sectors_loaded: 4, shuffles: 7, ..Default::default() };
+        let mut a =
+            WarpCounters { load_instrs: 3, sectors_loaded: 12, half2_ops: 5, ..Default::default() };
+        let b =
+            WarpCounters { load_instrs: 2, sectors_loaded: 4, shuffles: 7, ..Default::default() };
         a.merge(&b);
         assert_eq!(a.load_instrs, 5);
         assert_eq!(a.sectors_loaded, 16);
@@ -234,7 +241,8 @@ mod tests {
     #[test]
     fn warp_cycles_monotone_in_work() {
         let d = dev();
-        let small = WarpCounters { load_instrs: 4, sectors_loaded: 16, float_ops: 8, ..Default::default() };
+        let small =
+            WarpCounters { load_instrs: 4, sectors_loaded: 16, float_ops: 8, ..Default::default() };
         let mut big = small.clone();
         big.sectors_loaded = 64;
         big.float_ops = 64;
@@ -245,7 +253,8 @@ mod tests {
     fn more_barriers_expose_more_latency() {
         let d = dev();
         let few = WarpCounters { load_instrs: 64, barriers: 4, shuffles: 0, ..Default::default() };
-        let many = WarpCounters { load_instrs: 64, barriers: 32, shuffles: 0, ..Default::default() };
+        let many =
+            WarpCounters { load_instrs: 64, barriers: 32, shuffles: 0, ..Default::default() };
         assert!(many.warp_cycles(&d) > few.warp_cycles(&d));
     }
 
@@ -262,7 +271,15 @@ mod tests {
         let d = dev(); // 2 slots
         let totals = WarpCounters::default();
         // 4 equal CTAs on 2 slots: 2 waves.
-        let s = KernelStats::from_ctas("k", &d, 1, &[100.0, 100.0, 100.0, 100.0], totals.clone(), 0.0, 0.0);
+        let s = KernelStats::from_ctas(
+            "k",
+            &d,
+            1,
+            &[100.0, 100.0, 100.0, 100.0],
+            totals.clone(),
+            0.0,
+            0.0,
+        );
         let one = KernelStats::from_ctas("k", &d, 1, &[100.0, 100.0], totals, 0.0, 0.0);
         assert!((s.cycles - one.cycles - 100.0).abs() < 1e-9);
     }
@@ -289,8 +306,24 @@ mod tests {
     #[test]
     fn then_composes_sequentially() {
         let d = dev();
-        let a = KernelStats::from_ctas("a", &d, 1, &[100.0], WarpCounters { sectors_loaded: 10, ..Default::default() }, 0.0, 0.0);
-        let b = KernelStats::from_ctas("b", &d, 1, &[200.0], WarpCounters { sectors_loaded: 20, ..Default::default() }, 0.0, 0.0);
+        let a = KernelStats::from_ctas(
+            "a",
+            &d,
+            1,
+            &[100.0],
+            WarpCounters { sectors_loaded: 10, ..Default::default() },
+            0.0,
+            0.0,
+        );
+        let b = KernelStats::from_ctas(
+            "b",
+            &d,
+            1,
+            &[200.0],
+            WarpCounters { sectors_loaded: 20, ..Default::default() },
+            0.0,
+            0.0,
+        );
         let c = a.then(&b);
         assert!((c.cycles - a.cycles - b.cycles).abs() < 1e-9);
         assert_eq!(c.totals.sectors_loaded, 30);

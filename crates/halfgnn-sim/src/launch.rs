@@ -59,10 +59,7 @@ impl<'d> Cta<'d> {
     /// Modeled CTA duration: slowest warp (warps run concurrently on the
     /// SM's schedulers).
     fn cta_cycles(&self) -> f64 {
-        self.warp_counters
-            .iter()
-            .map(|w| w.warp_cycles(self.dev))
-            .fold(0.0f64, f64::max)
+        self.warp_counters.iter().map(|w| w.warp_cycles(self.dev)).fold(0.0f64, f64::max)
     }
 }
 
@@ -109,7 +106,13 @@ where
         total_sum += total;
     }
     let stats = KernelStats::from_ctas(
-        name, dev, params.warps_per_cta, &cta_times, totals, busy_sum, total_sum,
+        name,
+        dev,
+        params.warps_per_cta,
+        &cta_times,
+        totals,
+        busy_sum,
+        total_sum,
     );
     (results, stats)
 }
@@ -180,8 +183,7 @@ impl<T: Copy + std::ops::AddAssign> WriteList<T> {
 pub fn find_assign_overlap<T: Copy + std::ops::AddAssign>(
     lists: &[WriteList<T>],
 ) -> Option<((usize, usize), (usize, usize))> {
-    let mut ranges: Vec<(usize, usize)> =
-        lists.iter().flat_map(|l| l.assign_ranges()).collect();
+    let mut ranges: Vec<(usize, usize)> = lists.iter().flat_map(|l| l.assign_ranges()).collect();
     ranges.sort_unstable();
     for w in ranges.windows(2) {
         if w[1].0 < w[0].1 {
@@ -206,7 +208,8 @@ mod tests {
     #[test]
     fn launch_runs_every_cta_in_order() {
         let dev = DeviceConfig::tiny();
-        let (results, stats) = launch(&dev, "ids", LaunchParams { num_ctas: 7, warps_per_cta: 2 }, |cta| cta.id * 10);
+        let (results, stats) =
+            launch(&dev, "ids", LaunchParams { num_ctas: 7, warps_per_cta: 2 }, |cta| cta.id * 10);
         assert_eq!(results, vec![0, 10, 20, 30, 40, 50, 60]);
         assert_eq!(stats.num_ctas, 7);
         assert_eq!(stats.name, "ids");

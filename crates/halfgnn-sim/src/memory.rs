@@ -106,10 +106,7 @@ mod tests {
     fn gather_of_contiguous_matches_contiguous() {
         let mut scratch = Vec::new();
         let addrs: Vec<u64> = (0..32).map(|i| i * 4).collect();
-        assert_eq!(
-            sectors_gather(addrs, 4, 32, &mut scratch),
-            sectors_contiguous(0, 128, 32)
-        );
+        assert_eq!(sectors_gather(addrs, 4, 32, &mut scratch), sectors_contiguous(0, 128, 32));
     }
 
     #[test]

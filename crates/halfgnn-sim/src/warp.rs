@@ -40,6 +40,13 @@ impl<'a> WarpCtx<'a> {
         self.dev
     }
 
+    /// Report `n` non-finite (INF/NaN) values observed in this warp's
+    /// functional output. Pure telemetry: feeds
+    /// [`WarpCounters::nonfinite_values`] and costs no modeled cycles.
+    pub fn nonfinite_values(&mut self, n: u64) {
+        self.counters.nonfinite_values += n;
+    }
+
     /// Coalesced load of `count` contiguous elements of `elem_bytes` from
     /// `base`: `ceil(count*elem_bytes / (warp_size*elem_bytes))` load
     /// instructions, sector-exact traffic. This is the feature-parallel
@@ -51,8 +58,7 @@ impl<'a> WarpCtx<'a> {
         let bytes = (count * elem_bytes) as u64;
         let lanes = self.dev.warp_size;
         self.counters.load_instrs += count.div_ceil(lanes) as u64;
-        self.counters.sectors_loaded +=
-            sectors_contiguous(base, bytes, self.dev.sector_bytes);
+        self.counters.sectors_loaded += sectors_contiguous(base, bytes, self.dev.sector_bytes);
         self.counters.useful_bytes_loaded += bytes;
     }
 
@@ -95,8 +101,7 @@ impl<'a> WarpCtx<'a> {
         }
         let bytes = (count * elem_bytes) as u64;
         self.counters.store_instrs += count.div_ceil(self.dev.warp_size) as u64;
-        self.counters.sectors_stored +=
-            sectors_contiguous(base, bytes, self.dev.sector_bytes);
+        self.counters.sectors_stored += sectors_contiguous(base, bytes, self.dev.sector_bytes);
         self.counters.useful_bytes_stored += bytes;
     }
 
@@ -191,10 +196,7 @@ impl<'a> WarpCtx<'a> {
                 self.counters.atomics_f32 += count;
                 // Native atomics pipeline in the L2 atomic unit: contention
                 // cost saturates.
-                (
-                    self.dev.cost.atomic_f32,
-                    avg_conflict.min(self.dev.cost.atomic_f32_conflict_cap),
-                )
+                (self.dev.cost.atomic_f32, avg_conflict.min(self.dev.cost.atomic_f32_conflict_cap))
             }
             AtomicKind::F16 => {
                 self.counters.atomics_f16 += count;

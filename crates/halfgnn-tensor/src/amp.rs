@@ -90,7 +90,10 @@ mod tests {
     #[test]
     fn shadow_exp_requires_the_contract() {
         assert!(!shadow_is_safe(Op::Exp, InputContract::default()));
-        assert!(shadow_is_safe(Op::Exp, InputContract { non_positive: true, ..Default::default() }));
+        assert!(shadow_is_safe(
+            Op::Exp,
+            InputContract { non_positive: true, ..Default::default() }
+        ));
     }
 
     #[test]

@@ -75,11 +75,8 @@ impl<'d> Ops<'d> {
             return;
         }
         let num_ctas = n.div_ceil(EW_CTA_ELEMS).max(1);
-        let (_, stats) = launch(
-            self.dev,
-            name,
-            LaunchParams { num_ctas, warps_per_cta: 4 },
-            |cta| {
+        let (_, stats) =
+            launch(self.dev, name, LaunchParams { num_ctas, warps_per_cta: 4 }, |cta| {
                 let lo = cta.id * EW_CTA_ELEMS;
                 let hi = (lo + EW_CTA_ELEMS).min(n);
                 if lo >= hi {
@@ -115,8 +112,7 @@ impl<'d> Ops<'d> {
                         );
                     }
                 }
-            },
-        );
+            });
         self.log.push(stats);
     }
 
@@ -189,17 +185,22 @@ impl<'d> Ops<'d> {
 
     /// GeMM cost: 64×64 output tiles, `mnk` MACs at `speedup`× float
     /// throughput, streaming operand tiles.
-    fn charge_gemm(&mut self, name: &str, m: usize, k: usize, n: usize, elem_bytes: usize, speedup: f64) {
+    fn charge_gemm(
+        &mut self,
+        name: &str,
+        m: usize,
+        k: usize,
+        n: usize,
+        elem_bytes: usize,
+        speedup: f64,
+    ) {
         let tiles_m = m.div_ceil(64).max(1);
         let tiles_n = n.div_ceil(64).max(1);
         let num_ctas = tiles_m * tiles_n;
         let fma_per_warp = ((64 * 64 * k) / 4 / 32) as u64; // 4 warps per tile
         let fma_per_warp = ((fma_per_warp as f64) / speedup).ceil() as u64;
-        let (_, stats) = launch(
-            self.dev,
-            name,
-            LaunchParams { num_ctas, warps_per_cta: 4 },
-            |cta| {
+        let (_, stats) =
+            launch(self.dev, name, LaunchParams { num_ctas, warps_per_cta: 4 }, |cta| {
                 let cta_id = cta.id;
                 for wi in 0..4 {
                     let mut warp = cta.warp(wi);
@@ -214,8 +215,7 @@ impl<'d> Ops<'d> {
                     }
                     warp.store_contiguous((cta_id * 31) as u64, 16 * 64, elem_bytes);
                 }
-            },
-        );
+            });
         self.log.push(stats);
     }
 
@@ -229,9 +229,7 @@ impl<'d> Ops<'d> {
     /// ReLU in half (dtype-preserving under AMP). NaN propagates.
     pub fn relu_half(&mut self, x: &[Half]) -> Vec<Half> {
         self.charge_elementwise("relu_f16", x.len(), 2, 1, 1, 1, true);
-        x.iter()
-            .map(|&v| if v.is_nan() || v.to_f32() > 0.0 { v } else { Half::ZERO })
-            .collect()
+        x.iter().map(|&v| if v.is_nan() || v.to_f32() > 0.0 { v } else { Half::ZERO }).collect()
     }
 
     /// ReLU backward: `δx = δy · 1[x > 0]` (NaN inputs propagate NaN).
@@ -239,7 +237,15 @@ impl<'d> Ops<'d> {
         self.charge_elementwise("relu_grad_f32", x.len(), 4, 2, 1, 1, false);
         x.iter()
             .zip(dy)
-            .map(|(&v, &g)| if v.is_nan() { v } else if v > 0.0 { g } else { 0.0 })
+            .map(|(&v, &g)| {
+                if v.is_nan() {
+                    v
+                } else if v > 0.0 {
+                    g
+                } else {
+                    0.0
+                }
+            })
             .collect()
     }
 
@@ -271,10 +277,7 @@ impl<'d> Ops<'d> {
     pub fn bias_add_half(&mut self, x: &[Half], bias: &[Half]) -> Vec<Half> {
         let n = bias.len();
         self.charge_elementwise("bias_f16", x.len(), 2, 2, 1, 1, true);
-        x.iter()
-            .enumerate()
-            .map(|(i, &v)| halfgnn_half::intrinsics::hadd(v, bias[i % n]))
-            .collect()
+        x.iter().enumerate().map(|(i, &v)| halfgnn_half::intrinsics::hadd(v, bias[i % n])).collect()
     }
 
     /// `out ← a·x + b·y` in half (GIN's Eq. 4 aggregation combine).
@@ -345,7 +348,7 @@ impl<'d> Ops<'d> {
     /// bounded by the row width. AMP would have promoted this to float
     /// with two tensor conversions.
     pub fn shadow_softmax_half(&mut self, x: &[Half], cols: usize) -> Vec<Half> {
-        assert!(cols > 0 && x.len() % cols == 0);
+        assert!(cols > 0 && x.len().is_multiple_of(cols));
         self.charge_elementwise("shadow_softmax_f16", x.len(), 2, 1, 1, 6, true);
         use halfgnn_half::intrinsics::{hdiv, hexp, hsub};
         let mut out = vec![Half::ZERO; x.len()];
@@ -367,7 +370,7 @@ impl<'d> Ops<'d> {
     /// f32, softmax, round back — two extra tensor conversions, identical
     /// math up to rounding.
     pub fn amp_softmax_half(&mut self, x: &[Half], cols: usize) -> Vec<Half> {
-        assert!(cols > 0 && x.len() % cols == 0);
+        assert!(cols > 0 && x.len().is_multiple_of(cols));
         let xf = self.to_f32(x);
         self.charge_elementwise("softmax_f32", x.len(), 4, 1, 1, 6, false);
         let mut out = vec![0f32; x.len()];

@@ -35,7 +35,10 @@ fn main() {
     println!("edge-softmax over {} edges:", coo.nnz());
     println!("  SpMM-max        {:>10.1} us", s1.time_us);
     println!("  exp (shadow)    {:>10.1} us   conversions: {}", s2.time_us, s2.totals.convert_ops);
-    println!("  exp (AMP)       {:>10.1} us   conversions: {}", s2_amp.time_us, s2_amp.totals.convert_ops);
+    println!(
+        "  exp (AMP)       {:>10.1} us   conversions: {}",
+        s2_amp.time_us, s2_amp.totals.convert_ops
+    );
     println!("  SpMM-sum        {:>10.1} us", s3.time_us);
     println!("  divide          {:>10.1} us", s4.time_us);
     println!(
@@ -58,16 +61,11 @@ fn main() {
 
     // ---- End-to-end single-head GAT training.
     println!("training GAT (single head, hidden 64):");
-    for (name, precision) in [
-        ("DGL-float", PrecisionMode::Float),
-        ("HalfGNN", PrecisionMode::HalfGnn),
-    ] {
-        let cfg = TrainConfig {
-            model: ModelKind::Gat,
-            precision,
-            epochs: 60,
-            ..TrainConfig::default()
-        };
+    for (name, precision) in
+        [("DGL-float", PrecisionMode::Float), ("HalfGNN", PrecisionMode::HalfGnn)]
+    {
+        let cfg =
+            TrainConfig { model: ModelKind::Gat, precision, epochs: 60, ..TrainConfig::default() };
         let r = train(&data, &cfg);
         println!(
             "  {:<10} train acc {:.3}  epoch {:>9.1} us  conversions/epoch {}",

@@ -37,12 +37,7 @@ fn main() {
     ] {
         let cfg = SpmmConfig { scaling: placement, ..Default::default() };
         let (y, _) = spmm(&dev, &g, EdgeWeights::Ones, &x, f, Some(&scale), &cfg);
-        println!(
-            "{:<18} {:>14} {:>12}",
-            name,
-            format!("{}", y[0]),
-            count_non_finite(&y[..f])
-        );
+        println!("{:<18} {:>14} {:>12}", name, format!("{}", y[0]), count_non_finite(&y[..f]));
     }
     println!("\npost-reduction scaling arrives after the overflow; discretized");
     println!("scaling normalizes every 64-edge batch and never sees INF (§5.2.2).\n");
@@ -56,12 +51,10 @@ fn main() {
         data.adj.max_degree()
     );
     for model in [ModelKind::Gcn, ModelKind::Gin] {
-        for (name, precision) in [
-            ("DGL-half", PrecisionMode::HalfNaive),
-            ("HalfGNN", PrecisionMode::HalfGnn),
-        ] {
-            let cfg =
-                TrainConfig { model, precision, epochs: 15, ..TrainConfig::default() };
+        for (name, precision) in
+            [("DGL-half", PrecisionMode::HalfNaive), ("HalfGNN", PrecisionMode::HalfGnn)]
+        {
+            let cfg = TrainConfig { model, precision, epochs: 15, ..TrainConfig::default() };
             let r = train(&data, &cfg);
             println!(
                 "{:?} / {:<9}  final loss {:>8.3}  train acc {:>6.3}  NaN at {}",

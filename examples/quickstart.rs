@@ -27,12 +27,8 @@ fn main() {
         ("DGL-half (naive)", PrecisionMode::HalfNaive),
         ("HalfGNN", PrecisionMode::HalfGnn),
     ] {
-        let cfg = TrainConfig {
-            model: ModelKind::Gcn,
-            precision,
-            epochs: 60,
-            ..TrainConfig::default()
-        };
+        let cfg =
+            TrainConfig { model: ModelKind::Gcn, precision, epochs: 60, ..TrainConfig::default() };
         let r = train(&data, &cfg);
         println!(
             "{:<22} {:>9.3} {:>9.3} {:>12.1} {:>10.1} {:>8}",

@@ -25,44 +25,39 @@ fn streaming_kernel(
     let num_ctas = 512;
     let mut space = AddrSpace::new();
     let base = space.alloc(elems_per_warp * num_ctas * 4, 2);
-    let (_, stats) = launch(
-        dev,
-        name,
-        LaunchParams { num_ctas, warps_per_cta: 4 },
-        |cta| {
-            let cta_id = cta.id;
-            for wi in 0..4 {
-                let mut warp = cta.warp(wi);
-                let addr = base + ((cta_id * 4 + wi) * elems_per_warp * 2) as u64;
-                // One warp instruction covers 32 threads x `load_bytes`.
-                warp.load_contiguous(addr, elems_per_warp * 2 / load_bytes, load_bytes);
-                warp.half2_ops((elems_per_warp as u64 / 2).div_ceil(32));
-                warp.shuffle_rounds(rounds);
-                if atomics > 0 {
-                    warp.atomic_add(AtomicKind::F16, atomics, 1.0);
-                }
-                warp.store_contiguous(addr, elems_per_warp / 2, 4);
+    let (_, stats) = launch(dev, name, LaunchParams { num_ctas, warps_per_cta: 4 }, |cta| {
+        let cta_id = cta.id;
+        for wi in 0..4 {
+            let mut warp = cta.warp(wi);
+            let addr = base + ((cta_id * 4 + wi) * elems_per_warp * 2) as u64;
+            // One warp instruction covers 32 threads x `load_bytes`.
+            warp.load_contiguous(addr, elems_per_warp * 2 / load_bytes, load_bytes);
+            warp.half2_ops((elems_per_warp as u64 / 2).div_ceil(32));
+            warp.shuffle_rounds(rounds);
+            if atomics > 0 {
+                warp.atomic_add(AtomicKind::F16, atomics, 1.0);
             }
-        },
-    );
+            warp.store_contiguous(addr, elems_per_warp / 2, 4);
+        }
+    });
     stats
 }
 
 fn show(s: &KernelStats) {
     println!(
         "{:<28} {:>9.1} us   BW {:>5.1}%   SM {:>5.1}%   {:>8} load instrs",
-        s.name,
-        s.time_us,
-        s.mem_bw_utilization,
-        s.sm_utilization,
-        s.totals.load_instrs
+        s.name, s.time_us, s.mem_bw_utilization, s.sm_utilization, s.totals.load_instrs
     );
 }
 
 fn main() {
     let dev = DeviceConfig::a100_like();
-    println!("device: {} ({} SMs, {:.0} GB/s)\n", dev.name, dev.num_sms,
-        dev.dram_bytes_per_cycle * dev.clock_ghz);
+    println!(
+        "device: {} ({} SMs, {:.0} GB/s)\n",
+        dev.name,
+        dev.num_sms,
+        dev.dram_bytes_per_cycle * dev.clock_ghz
+    );
 
     println!("--- load width (the paper's §4.1 coalescing story) ---");
     show(&streaming_kernel(&dev, "scalar half (2 B/thread)", 2, 0, 0));

@@ -106,8 +106,10 @@ fn main() {
     println!("epoch time     : {:.1} us (modeled)", report.epoch_time_us);
     println!("peak memory    : {:.1} MiB (modeled)", report.peak_memory_bytes as f64 / 1048576.0);
     println!("kernels/epoch  : {}", report.kernels_per_epoch);
-    println!("conversions    : {} kernels, {} elements/epoch",
-        report.conversions_per_epoch, report.converted_elems_per_epoch);
+    println!(
+        "conversions    : {} kernels, {} elements/epoch",
+        report.conversions_per_epoch, report.converted_elems_per_epoch
+    );
     println!("\nper-kernel breakdown (one epoch):");
     for (name, launches, us) in report.kernel_breakdown.iter().take(12) {
         println!("  {name:<42} x{launches:<3} {us:>10.1} us");

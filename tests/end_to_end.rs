@@ -12,9 +12,7 @@ fn cfg(model: ModelKind, precision: PrecisionMode, epochs: usize) -> TrainConfig
 fn every_model_trains_under_every_system_on_citeseer() {
     let data = Dataset::citeseer().load(11);
     for model in [ModelKind::Gcn, ModelKind::Gat, ModelKind::Gin, ModelKind::Sage] {
-        for precision in
-            [PrecisionMode::Float, PrecisionMode::HalfNaive, PrecisionMode::HalfGnn]
-        {
+        for precision in [PrecisionMode::Float, PrecisionMode::HalfNaive, PrecisionMode::HalfGnn] {
             let r = train(&data, &cfg(model, precision, 15));
             // Citeseer has no overflow-grade hubs: everything stays finite.
             assert!(
@@ -55,6 +53,32 @@ fn headline_claim_naive_half_collapses_on_hub_graphs() {
         let ours = train(&data, &cfg(model, PrecisionMode::HalfGnn, 3));
         assert!(ours.nan_epoch.is_none(), "{model:?} HalfGNN must stay finite");
     }
+}
+
+#[test]
+fn overflow_provenance_names_the_first_overflowing_tensor() {
+    // The differential-oracle acceptance criterion: on a hub dataset (the
+    // Reddit/G15 stand-in) the naive-half run must not just NaN — its
+    // report must say which tensor's conversion went non-finite first.
+    let data = Dataset::reddit().load(42);
+    let naive = train(&data, &cfg(ModelKind::Gcn, PrecisionMode::HalfNaive, 3));
+    assert!(naive.nan_epoch.is_some(), "naive-half should NaN on Reddit hubs");
+    let (epoch, ev) = naive.first_overflow().expect("provenance must capture the overflow");
+    assert!(
+        epoch <= naive.nan_epoch.unwrap(),
+        "overflow (epoch {epoch}) must precede the NaN loss (epoch {:?})",
+        naive.nan_epoch
+    );
+    // The site path identifies the layer and the kernel producing the
+    // tensor, e.g. "gcn.layer1/cusparse_f16_spmmv".
+    assert!(ev.site.contains("gcn.layer"), "site should name the layer: {}", ev.site);
+    // The same model protected by HalfGNN kernels stays overflow-free.
+    let ours = train(&data, &cfg(ModelKind::Gcn, PrecisionMode::HalfGnn, 3));
+    assert!(
+        ours.first_overflow().is_none(),
+        "HalfGNN must be overflow-free, got {:?}",
+        ours.first_overflow()
+    );
 }
 
 #[test]

@@ -39,10 +39,7 @@ fn attention_pipeline_matches_reference_aggregation() {
     let (zs, _) = halfgnn_spmm::edge_reduce(&dev, &coo, &num, Reduce::Sum);
     let (alpha, _) = edge_ops::div_row(&dev, &coo, &num, &zs);
 
-    let cfg = halfgnn_spmm::SpmmConfig {
-        scaling: ScalePlacement::None,
-        ..Default::default()
-    };
+    let cfg = halfgnn_spmm::SpmmConfig { scaling: ScalePlacement::None, ..Default::default() };
     let (h, _) = halfgnn_spmm::spmm(&dev, &coo, EdgeWeights::Values(&alpha), &z, f, None, &cfg);
 
     let want = reference::spmm_f64(
@@ -65,18 +62,19 @@ fn halfgnn_and_cusparse_agree_when_nothing_overflows() {
     let coo = graph(4).to_coo();
     let f = 16;
     let x = randh(coo.num_cols() * f, 0.25, 5);
-    let cfg = halfgnn_spmm::SpmmConfig {
-        scaling: ScalePlacement::None,
-        ..Default::default()
-    };
+    let cfg = halfgnn_spmm::SpmmConfig { scaling: ScalePlacement::None, ..Default::default() };
     let (ours, _) = halfgnn_spmm::spmm(&dev, &coo, EdgeWeights::Ones, &x, f, None, &cfg);
     let (base, _) = cusparse::spmm_half(&dev, &coo, EdgeWeights::Ones, &x, f, None);
-    for (a, b) in ours.iter().zip(&base) {
-        assert!(
-            (a.to_f32() - b.to_f32()).abs() <= 0.02 + 0.02 * a.to_f32().abs(),
-            "{a} vs {b}"
-        );
-    }
+    // Symmetric tolerance (reference::close): the old hand-rolled check
+    // scaled the relative band by |ours| only, so it silently loosened
+    // whenever our kernel overshot the baseline.
+    reference::assert_close_half(
+        &ours,
+        &reference::half_to_f64(&base),
+        0.02,
+        0.02,
+        "halfgnn vs cusparse",
+    );
 }
 
 #[test]

@@ -1,0 +1,114 @@
+//! Offline stand-in for `criterion`: enough API for the workspace benches to
+//! compile and produce simple wall-clock numbers under `cargo bench`.
+//!
+//! The build environment has no crates.io access. No statistics, warm-up, or
+//! outlier analysis — each bench runs `sample_size` iterations and reports
+//! min/mean per-iteration time to stderr.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level bench context.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { default_samples: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.default_samples, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), samples: self.default_samples, _c: self }
+    }
+}
+
+/// Named group; `sample_size` applies to subsequently registered benches.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    _c: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, name), self.samples, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Handed to each bench closure; `iter` times the workload.
+pub struct Bencher {
+    samples: usize,
+    timings_ns: Vec<u128>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.timings_ns.push(t0.elapsed().as_nanos());
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher { samples, timings_ns: Vec::new() };
+    f(&mut b);
+    if b.timings_ns.is_empty() {
+        eprintln!("bench {name}: no iterations recorded");
+        return;
+    }
+    let min = *b.timings_ns.iter().min().unwrap();
+    let mean = b.timings_ns.iter().sum::<u128>() / b.timings_ns.len() as u128;
+    eprintln!(
+        "bench {name}: min {:.3} ms, mean {:.3} ms over {} iters",
+        min as f64 / 1e6,
+        mean as f64 / 1e6,
+        b.timings_ns.len()
+    );
+}
+
+/// `criterion_group!(name, target, ...)` — plain function that runs each
+/// target against a default `Criterion`. The configured form
+/// (`config = ...`) is not supported by this shim.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

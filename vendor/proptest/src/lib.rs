@@ -1,0 +1,187 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! small property-testing harness that exposes the API subset its test
+//! suites use: the `proptest!` macro (with optional
+//! `#![proptest_config(...)]`), `prop_assert!`/`prop_assert_eq!`,
+//! `Strategy` with `prop_map`/`prop_flat_map`, `Just`, numeric range
+//! strategies, tuple strategies, `prop::collection::vec`,
+//! `prop::sample::select`, and the `prop::num::f32` class strategies.
+//!
+//! Differences from upstream, deliberately accepted:
+//! - **No shrinking.** A failing case reports the generated inputs via the
+//!   panic message (each case is derived deterministically from the test
+//!   name and case index, so failures reproduce exactly on re-run).
+//! - **Fixed derivation.** There is no `PROPTEST_CASES` env handling or
+//!   failure persistence file; runs are fully deterministic.
+
+pub mod collection;
+pub mod num;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Upstream re-exports itself under `prop::` in its prelude; mirror that.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::num;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fallible assertion inside a `proptest!` body. Upstream returns an `Err`
+/// that the runner turns into a failure-with-shrinking; without shrinking a
+/// panic carries the same information.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+);
+    };
+}
+
+/// The `proptest!` block: an optional `#![proptest_config(..)]` inner
+/// attribute followed by `#[test] fn name(bindings in strategies) { body }`
+/// items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                // Bind generated values first so the panic hook can report
+                // them if the body fails.
+                let ($($pat,)+) =
+                    ($($crate::strategy::Strategy::generate(&$strat, &mut rng),)+);
+                let run = std::panic::AssertUnwindSafe(|| { $body });
+                if let Err(payload) = std::panic::catch_unwind(run) {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed (deterministic; \
+                         re-run reproduces it)",
+                        case + 1, config.cases, stringify!($name),
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in -2.0f32..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_vec(pair in (0u64..5, 0u64..5), v in prop::collection::vec(0i32..100, 0..8)) {
+            prop_assert!(pair.0 < 5 && pair.1 < 5);
+            prop_assert!(v.len() < 8);
+            prop_assert!(v.iter().all(|&e| (0..100).contains(&e)));
+        }
+
+        #[test]
+        fn flat_map_dependent(v in (1usize..6).prop_flat_map(|n| prop::collection::vec(0usize..n, n))) {
+            let n = v.len();
+            prop_assert!((1..6).contains(&n));
+            prop_assert!(v.iter().all(|&e| e < n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+
+        #[test]
+        fn config_applies(x in 0u32..1000) {
+            prop_assert!(x < 1000);
+        }
+    }
+
+    #[test]
+    fn select_and_just() {
+        let mut rng = TestRng::for_case("select_and_just", 0);
+        for _ in 0..100 {
+            let w = Strategy::generate(&prop::sample::select(vec![2usize, 4, 8]), &mut rng);
+            assert!(w == 2 || w == 4 || w == 8);
+            assert_eq!(Strategy::generate(&Just(7), &mut rng), 7);
+        }
+    }
+
+    #[test]
+    fn f32_classes_generate_members() {
+        let mut rng = TestRng::for_case("f32_classes", 0);
+        let s = crate::num::f32::NORMAL | crate::num::f32::SUBNORMAL | crate::num::f32::ZERO;
+        let (mut normal, mut sub, mut zero) = (0, 0, 0);
+        for _ in 0..3000 {
+            let x = Strategy::generate(&s, &mut rng);
+            assert!(!x.is_nan() && !x.is_infinite());
+            if x == 0.0 {
+                zero += 1;
+            } else if x.is_normal() {
+                normal += 1;
+            } else {
+                sub += 1;
+            }
+        }
+        assert!(normal > 0 && sub > 0 && zero > 0);
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = Strategy::generate(&(0u64..u64::MAX), &mut TestRng::for_case("det", 3));
+        let b = Strategy::generate(&(0u64..u64::MAX), &mut TestRng::for_case("det", 3));
+        assert_eq!(a, b);
+    }
+}

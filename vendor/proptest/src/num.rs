@@ -1,0 +1,49 @@
+//! Numeric class strategies, mirroring `prop::num::f32::{NORMAL, ...}`:
+//! bitflag constants that `|` together into a union strategy.
+
+pub mod f32 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::BitOr;
+
+    /// A union of binary32 value classes; generates uniformly among the
+    /// selected classes, then uniformly over each class's encodings.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct FloatClasses(u8);
+
+    pub const ZERO: FloatClasses = FloatClasses(1 << 0);
+    pub const SUBNORMAL: FloatClasses = FloatClasses(1 << 1);
+    pub const NORMAL: FloatClasses = FloatClasses(1 << 2);
+    pub const INFINITE: FloatClasses = FloatClasses(1 << 3);
+    pub const QUIET_NAN: FloatClasses = FloatClasses(1 << 4);
+    pub const ANY: FloatClasses = FloatClasses(0b1_1111);
+
+    impl BitOr for FloatClasses {
+        type Output = FloatClasses;
+        fn bitor(self, rhs: FloatClasses) -> FloatClasses {
+            FloatClasses(self.0 | rhs.0)
+        }
+    }
+
+    impl Strategy for FloatClasses {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            let classes: Vec<u8> = (0..5).filter(|b| self.0 & (1 << b) != 0).collect();
+            assert!(!classes.is_empty(), "empty float class union");
+            let class = classes[rng.below(classes.len() as u64) as usize];
+            let sign = (rng.next_u64() as u32 & 1) << 31;
+            let bits = match class {
+                0 => sign,                                       // ±0
+                1 => sign | (1 + rng.below(0x007F_FFFF) as u32), // subnormal
+                2 => {
+                    // normal: exponent 1..=254, random mantissa
+                    let exp = 1 + rng.below(254) as u32;
+                    sign | (exp << 23) | (rng.next_u64() as u32 & 0x007F_FFFF)
+                }
+                3 => sign | 0x7F80_0000, // ±inf
+                _ => sign | 0x7FC0_0000 | (rng.next_u64() as u32 & 0x003F_FFFF),
+            };
+            f32::from_bits(bits)
+        }
+    }
+}

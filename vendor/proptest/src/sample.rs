@@ -1,0 +1,21 @@
+//! Sampling strategies: `select` from a fixed list.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub struct Select<T: Clone> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len() as u64) as usize].clone()
+    }
+}
+
+/// `prop::sample::select(items)`: uniform choice from a non-empty list.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select from empty list");
+    Select { items }
+}

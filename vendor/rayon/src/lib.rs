@@ -1,0 +1,83 @@
+//! Offline stand-in for `rayon`: the parallel-iterator entry points this
+//! workspace uses (`into_par_iter`, `par_iter`, `par_iter_mut`,
+//! `par_chunks_mut`) mapped onto ordinary sequential iterators.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! this shim instead of the real dependency. Callers already rely only on
+//! rayon semantics that sequential execution satisfies (deterministic
+//! per-element work, order-insensitive side effects), so the swap changes
+//! wall-clock parallelism, never results. The `launch` layer in
+//! `halfgnn-sim` commits per-CTA results in CTA order either way.
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// `into_par_iter()` for anything iterable; yields the std iterator, so all
+/// downstream adapters (`map`, `enumerate`, `for_each`, `collect`, …) are the
+/// std ones.
+pub trait IntoParallelIterator {
+    type Iter: Iterator<Item = Self::Item>;
+    type Item;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Shared-slice entry points.
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// Mutable-slice entry points.
+pub trait ParallelSliceMut<T> {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_into_par_iter_collects_in_order() {
+        let v: Vec<usize> = (0..5).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerated() {
+        let mut buf = vec![0u32; 6];
+        buf.par_chunks_mut(2).enumerate().for_each(|(i, chunk)| {
+            for c in chunk {
+                *c = i as u32;
+            }
+        });
+        assert_eq!(buf, vec![0, 0, 1, 1, 2, 2]);
+    }
+}
