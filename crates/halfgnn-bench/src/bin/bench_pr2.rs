@@ -1,0 +1,129 @@
+//! `bench_pr2` — execution-layer smoke benchmark.
+//!
+//! One HalfGNN-precision training epoch of GCN and GAT on the synthetic
+//! medium graph (hollywood09 stand-in, 4000 vertices), measured four
+//! ways:
+//!
+//! * `sim_modeled_us` — the cost-model backend's analytic epoch time
+//!   (modeled A100 cycles, what the figure experiments report);
+//! * `sim_wall_us` — wall-clock of the cost-model backend itself
+//!   (sequential CTAs, live counters);
+//! * `fast_wall_us_1thread` — wall-clock on the fast backend pinned to
+//!   one worker: same sequential execution, charging compiled out;
+//! * `fast_wall_us_auto` — wall-clock with auto-sized workers
+//!   (`HALFGNN_THREADS` / available cores).
+//!
+//! Two speedups fall out: `charging_off_speedup` (sim wall / fast 1T —
+//! what dead counters buy at equal parallelism) and `thread_speedup`
+//! (fast 1T / fast auto — what real threads buy; ≈1.0 on a single-core
+//! host, where `auto_threads` reports 1). Emits `BENCH_pr2.json` in the
+//! current directory; run from the repo root.
+
+use halfgnn_graph::datasets::Dataset;
+use halfgnn_nn::trainer::{train_on, ExecMode, ModelKind, PrecisionMode, TrainConfig};
+use halfgnn_sim::DeviceConfig;
+use std::time::Instant;
+
+struct Row {
+    model: &'static str,
+    sim_modeled_us: f64,
+    sim_wall_us: f64,
+    fast_wall_us_1thread: f64,
+    fast_wall_us_auto: f64,
+}
+
+/// Best-of-`reps` wall-clock of one full training epoch (minimum is the
+/// standard noise-robust estimator for single-core timing).
+fn wall_us(
+    dev: &DeviceConfig,
+    data: &halfgnn_graph::datasets::LoadedDataset,
+    cfg: &TrainConfig,
+) -> f64 {
+    train_on(dev, data, cfg); // warm-up: page faults, lazy init
+    let reps = 3;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        train_on(dev, data, cfg);
+        best = best.min(start.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+fn bench_model(model: ModelKind, name: &'static str) -> Row {
+    let data = Dataset::hollywood09().load(42);
+    let dev = DeviceConfig::a100_like();
+    let cfg = TrainConfig {
+        model,
+        precision: PrecisionMode::HalfGnn,
+        epochs: 1,
+        hidden: 64,
+        ..TrainConfig::default()
+    };
+
+    let sim = train_on(&dev, &data, &cfg);
+    let sim_wall = wall_us(&dev, &data, &cfg);
+    let fast1 = wall_us(&dev, &data, &TrainConfig { exec: ExecMode::fast_with_threads(1), ..cfg });
+    let fast_auto = wall_us(&dev, &data, &TrainConfig { exec: ExecMode::fast(), ..cfg });
+
+    Row {
+        model: name,
+        sim_modeled_us: sim.epoch_time_us,
+        sim_wall_us: sim_wall,
+        fast_wall_us_1thread: fast1,
+        fast_wall_us_auto: fast_auto,
+    }
+}
+
+fn main() {
+    let threads = rayon::pool::default_threads();
+    let rows = [bench_model(ModelKind::Gcn, "gcn"), bench_model(ModelKind::Gat, "gat")];
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"pr2_execution_layers\",\n");
+    json.push_str("  \"graph\": \"hollywood09-synthetic (4000 vertices)\",\n");
+    json.push_str("  \"precision\": \"HalfGnn\",\n");
+    json.push_str("  \"epochs\": 1,\n");
+    json.push_str(&format!("  \"auto_threads\": {threads},\n"));
+    json.push_str(
+        "  \"note\": \"thread_speedup needs >1 host core; on a 1-core host it is ~1.0 and \
+         charging_off_speedup (sim wall vs fast wall at equal threads) is the executor win\",\n",
+    );
+    json.push_str("  \"models\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let charging_off = r.sim_wall_us / r.fast_wall_us_1thread;
+        let thread_speedup = r.fast_wall_us_1thread / r.fast_wall_us_auto;
+        json.push_str(&format!(
+            "    {{\"model\": \"{}\", \"sim_modeled_us\": {:.1}, \"sim_wall_us\": {:.1}, \
+             \"fast_wall_us_1thread\": {:.1}, \"fast_wall_us_auto\": {:.1}, \
+             \"charging_off_speedup\": {:.2}, \"thread_speedup\": {:.2}}}{}\n",
+            r.model,
+            r.sim_modeled_us,
+            r.sim_wall_us,
+            r.fast_wall_us_1thread,
+            r.fast_wall_us_auto,
+            charging_off,
+            thread_speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_pr2.json", &json).expect("write BENCH_pr2.json");
+    print!("{json}");
+    for r in &rows {
+        eprintln!(
+            "[bench_pr2] {}: modeled {:.0} us | sim wall {:.0} us | fast 1T {:.0} us | \
+             fast {}T {:.0} us | charging-off {:.2}x | threads {:.2}x",
+            r.model,
+            r.sim_modeled_us,
+            r.sim_wall_us,
+            r.fast_wall_us_1thread,
+            threads,
+            r.fast_wall_us_auto,
+            r.sim_wall_us / r.fast_wall_us_1thread,
+            r.fast_wall_us_1thread / r.fast_wall_us_auto
+        );
+    }
+}

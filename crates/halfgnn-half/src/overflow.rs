@@ -26,10 +26,14 @@
 //! APIs without `cfg` noise. With the feature off, [`take`] simply returns
 //! an empty [`Summary`].
 //!
-//! Thread-locality: the workspace's `rayon` shim executes sequentially on
-//! the calling thread, so one tracking window sees every conversion of a
-//! kernel launch. A genuinely multi-threaded backend would need per-thread
-//! windows merged at join points.
+//! Thread-locality: the cost-model backend (`ExecMode::Sim`) runs every
+//! CTA sequentially on the calling thread, so one tracking window sees
+//! every conversion of a kernel launch and provenance is exact. The
+//! real-threads fast backend (`ExecMode::Fast`) runs CTAs on pool worker
+//! threads that do not share the recorder's thread-local state —
+//! provenance under fast mode is documented as incomplete (conversions on
+//! workers are simply not recorded); switch to `Sim` when chasing an
+//! overflow. Merging per-worker windows at join points is future work.
 
 #[cfg(feature = "provenance")]
 use crate::Half;

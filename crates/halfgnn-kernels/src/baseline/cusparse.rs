@@ -291,6 +291,21 @@ mod tests {
     }
 
     #[test]
+    fn fast_executor_matches_sim_bitwise() {
+        let g = random_graph(150, 700, 11);
+        let f = 16;
+        let x = f32_slice_to_half(&random_f32(g.num_cols() * f, 0.5, 12));
+        let (sim_y, _) = spmm_half(&dev(), &g, EdgeWeights::Ones, &x, f, None);
+        let (fast_y, fast_s) = spmm_half(&dev().fast(), &g, EdgeWeights::Ones, &x, f, None);
+        assert_eq!(
+            sim_y.iter().map(|h| h.to_bits()).collect::<Vec<u16>>(),
+            fast_y.iter().map(|h| h.to_bits()).collect::<Vec<u16>>()
+        );
+        assert_eq!(fast_s.cycles, 0.0);
+        assert_eq!(fast_s.totals.atomics_f16, 0, "fast charging is a no-op");
+    }
+
+    #[test]
     fn float_spmm_matches_reference() {
         let g = random_graph(200, 900, 1);
         let f = 32;

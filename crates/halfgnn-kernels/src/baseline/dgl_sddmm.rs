@@ -159,6 +159,22 @@ mod tests {
     }
 
     #[test]
+    fn fast_executor_matches_sim_bitwise() {
+        let g = random_graph(100, 500, 14);
+        let f = 32;
+        let u = f32_slice_to_half(&random_f32(g.num_rows() * f, 0.5, 15));
+        let v = f32_slice_to_half(&random_f32(g.num_cols() * f, 0.5, 16));
+        let (sim_y, _) = sddmm_half(&dev(), &g, &u, &v, f);
+        let (fast_y, fast_s) = sddmm_half(&dev().fast(), &g, &u, &v, f);
+        assert_eq!(
+            sim_y.iter().map(|h| h.to_bits()).collect::<Vec<u16>>(),
+            fast_y.iter().map(|h| h.to_bits()).collect::<Vec<u16>>()
+        );
+        assert_eq!(fast_s.cycles, 0.0);
+        assert_eq!(fast_s.totals.convert_ops, 0, "fast charging is a no-op");
+    }
+
+    #[test]
     fn float_matches_reference() {
         let g = random_graph(100, 500, 1);
         let f = 32;

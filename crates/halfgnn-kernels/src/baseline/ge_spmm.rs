@@ -79,6 +79,22 @@ mod tests {
     }
 
     #[test]
+    fn fast_executor_matches_sim_bitwise() {
+        let edges = gen::erdos_renyi(200, 1_000, 9);
+        let csr = Csr::from_edges(200, 200, &edges).symmetrized_with_self_loops();
+        let f = 16;
+        let mut rng = StdRng::seed_from_u64(10);
+        let x: Vec<f32> = (0..csr.num_cols() * f).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let (sim_y, _) = spmm_float(&dev(), &csr, &x, f);
+        let (fast_y, fast_s) = spmm_float(&dev().fast(), &csr, &x, f);
+        assert_eq!(
+            sim_y.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+            fast_y.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+        );
+        assert_eq!(fast_s.cycles, 0.0);
+    }
+
+    #[test]
     fn matches_reference() {
         let edges = gen::erdos_renyi(300, 1_500, 1);
         let csr = Csr::from_edges(300, 300, &edges).symmetrized_with_self_loops();

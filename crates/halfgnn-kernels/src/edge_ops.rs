@@ -612,6 +612,30 @@ mod tests {
     }
 
     #[test]
+    fn fast_executor_matches_sim_bitwise_through_softmax_chain() {
+        // Chain four edge kernels (max → sub_exp → sum → div) plus the GAT
+        // score map; any backend divergence would compound, so bitwise
+        // equality at the end is a strong whole-chain check.
+        let g = random_graph(80, 400, 31);
+        let e = random_halves(g.nnz(), 4.0, 32);
+        let s_src = random_halves(g.num_rows(), 1.0, 33);
+        let s_dst = random_halves(g.num_cols(), 1.0, 34);
+        let bits = |v: &[Half]| v.iter().map(|h| h.to_bits()).collect::<Vec<u16>>();
+        let chain = |d: &DeviceConfig| {
+            let (raw, _) = src_dst_add_leakyrelu(d, &g, &s_src, &s_dst, 0.2);
+            let (m, _) = edge_reduce(d, &g, &e, Reduce::Max);
+            let (num, _) = sub_row_exp(d, &g, &e, &m, true);
+            let (z, _) = edge_reduce(d, &g, &num, Reduce::Sum);
+            let (alpha, _) = div_row(d, &g, &num, &z);
+            (raw, alpha)
+        };
+        let (sim_raw, sim_alpha) = chain(&dev());
+        let (fast_raw, fast_alpha) = chain(&dev().fast());
+        assert_eq!(bits(&sim_raw), bits(&fast_raw));
+        assert_eq!(bits(&sim_alpha), bits(&fast_alpha));
+    }
+
+    #[test]
     fn full_edge_softmax_rows_sum_to_one() {
         // Compose max → sub_exp → sum → div and check the softmax property.
         let g = random_graph(60, 300, 1);

@@ -201,6 +201,25 @@ mod tests {
     }
 
     #[test]
+    fn fast_executor_matches_sim_bitwise() {
+        // The shuffle-tree accumulation order is part of the functional
+        // result, so it must survive the backend swap at every width.
+        let g = random_graph(120, 500, 11);
+        let f = 32;
+        let u = random_halves(g.num_rows() * f, 0.5, 12);
+        let v = random_halves(g.num_cols() * f, 0.5, 13);
+        let fast = dev().fast();
+        let bits = |e: &[Half]| e.iter().map(|h| h.to_bits()).collect::<Vec<u16>>();
+        for width in [VectorWidth::Half2, VectorWidth::Half4, VectorWidth::Half8] {
+            let (sim_y, _) = sddmm(&dev(), &g, &u, &v, f, width);
+            let (fast_y, fast_s) = sddmm(&fast, &g, &u, &v, f, width);
+            assert_eq!(bits(&sim_y), bits(&fast_y), "{width:?}");
+            assert_eq!(fast_s.cycles, 0.0);
+            assert_eq!(fast_s.totals.shuffles, 0, "fast charging is a no-op");
+        }
+    }
+
+    #[test]
     fn all_widths_match_reference() {
         let g = random_graph(150, 700, 1);
         for f in [16usize, 32, 64, 128] {

@@ -705,6 +705,27 @@ mod tests {
     }
 
     #[test]
+    fn fast_executor_matches_sim_bitwise() {
+        // Same kernel source, two backends: the fast path (real threads,
+        // dead counters) must reproduce the cost-model path bit-for-bit
+        // for both SpMMv and SpMMve.
+        let g = random_graph(200, 900, 21);
+        let f = 32;
+        let x = random_halves(g.num_cols() * f, 1.0, 22);
+        let w = random_halves(g.nnz(), 1.0, 23);
+        let cfg = SpmmConfig { scaling: ScalePlacement::None, ..Default::default() };
+        let fast = dev().fast();
+        let bits = |v: &[Half]| v.iter().map(|h| h.to_bits()).collect::<Vec<u16>>();
+        for weights in [EdgeWeights::Ones, EdgeWeights::Values(&w)] {
+            let (sim_y, sim_s) = spmm(&dev(), &g, weights, &x, f, None, &cfg);
+            let (fast_y, fast_s) = spmm(&fast, &g, weights, &x, f, None, &cfg);
+            assert_eq!(bits(&sim_y), bits(&fast_y));
+            assert!(sim_s.cycles > 0.0);
+            assert_eq!(fast_s.cycles, 0.0, "fast stats are wall-clock only");
+        }
+    }
+
+    #[test]
     fn spmmv_matches_reference() {
         let g = random_graph(200, 800, 1);
         let f = 32;

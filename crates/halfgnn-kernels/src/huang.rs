@@ -404,6 +404,31 @@ mod tests {
     }
 
     #[test]
+    fn fast_executor_matches_sim_bitwise() {
+        // Huang's grouped design combines multi-group rows through the
+        // commit phase; both backends must land on identical bits.
+        let csr = skewed_graph(9);
+        let f = 32;
+        let mut rng = StdRng::seed_from_u64(10);
+        let xf: Vec<f32> = (0..csr.num_cols() * f).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let xh = f32_slice_to_half(&xf);
+        let fast = dev().fast();
+        let (sim_f, _) = spmm_float(&dev(), &csr, EdgeWeightsF32::Ones, &xf, f);
+        let (fast_f, _) = spmm_float(&fast, &csr, EdgeWeightsF32::Ones, &xf, f);
+        assert_eq!(
+            sim_f.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+            fast_f.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+        );
+        let (sim_h, _) = spmm_half2(&dev(), &csr, EdgeWeights::Ones, &xh, f);
+        let (fast_h, fast_s) = spmm_half2(&fast, &csr, EdgeWeights::Ones, &xh, f);
+        assert_eq!(
+            sim_h.iter().map(|h| h.to_bits()).collect::<Vec<u16>>(),
+            fast_h.iter().map(|h| h.to_bits()).collect::<Vec<u16>>()
+        );
+        assert_eq!(fast_s.cycles, 0.0);
+    }
+
+    #[test]
     fn float_matches_reference() {
         let csr = skewed_graph(2);
         let f = 16;

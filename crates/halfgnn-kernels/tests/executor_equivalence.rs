@@ -1,0 +1,128 @@
+//! Executor-equivalence properties: for arbitrary random CSR graphs and
+//! feature widths, the real-threads fast backend (`FastExecutor`) must
+//! produce **bit-identical** Half outputs to the cost-model backend
+//! (`SimExecutor`) for SpMMv, SpMMve, SDDMM, and the edge-softmax chain —
+//! and the fast backend must be stable across 1, 2, and N worker threads.
+//!
+//! This is the determinism contract of the execution layer: functional
+//! work is identical on both backends, per-CTA results commit in CTA
+//! order, and the thread pool returns results in input order, so no
+//! scheduling choice can leak into the numerics.
+//!
+//! CI runs this suite under both `HALFGNN_THREADS=1` and
+//! `HALFGNN_THREADS=4`, which the auto-sized (`threads: 0`) runs pick up.
+
+use halfgnn_graph::{Csr, VertexId};
+use halfgnn_half::slice::f32_slice_to_half;
+use halfgnn_half::Half;
+use halfgnn_kernels::common::{EdgeWeights, Reduce, ScalePlacement, VectorWidth};
+use halfgnn_kernels::{edge_ops, halfgnn_sddmm, halfgnn_spmm};
+use halfgnn_sim::{DeviceConfig, ExecMode};
+use proptest::prelude::*;
+
+/// Arbitrary graph + padded feature length + half features (|x| ≤ 1).
+fn arb_case() -> impl Strategy<Value = (Csr, usize, Vec<Half>, Vec<Half>)> {
+    (3usize..40, 1usize..5)
+        .prop_flat_map(|(n, fpow)| {
+            let f = 8 << (fpow % 3); // 8, 16, 32
+            let edge = (0..n as VertexId, 0..n as VertexId);
+            (
+                Just(n),
+                Just(f),
+                prop::collection::vec(edge, 0..120),
+                prop::collection::vec(-1.0f32..1.0, n * f),
+            )
+        })
+        .prop_map(|(n, f, edges, feats)| {
+            let csr = Csr::from_edges(n, n, &edges).symmetrized_with_self_loops();
+            let x = f32_slice_to_half(&feats);
+            let w: Vec<Half> =
+                (0..csr.nnz()).map(|i| Half::from_f32(((i % 17) as f32 - 8.0) / 8.0)).collect();
+            (csr, f, x, w)
+        })
+}
+
+fn bits(v: &[Half]) -> Vec<u16> {
+    v.iter().map(|h| h.to_bits()).collect()
+}
+
+/// Sim device plus the fast variants the properties sweep: pinned 1 and 2
+/// workers, and auto-sized (0 → `HALFGNN_THREADS` / available cores).
+fn devices() -> (DeviceConfig, Vec<DeviceConfig>) {
+    let sim = DeviceConfig::a100_like();
+    let fasts = [1usize, 2, 0]
+        .iter()
+        .map(|&t| DeviceConfig::a100_like().with_exec(ExecMode::fast_with_threads(t)))
+        .collect();
+    (sim, fasts)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn spmmv_and_spmmve_are_bit_identical_across_backends((csr, f, x, w) in arb_case()) {
+        let (sim, fasts) = devices();
+        let coo = csr.to_coo();
+        let cfg = halfgnn_spmm::SpmmConfig { scaling: ScalePlacement::None, ..Default::default() };
+        for weights in [EdgeWeights::Ones, EdgeWeights::Values(&w)] {
+            let (want, sim_stats) = halfgnn_spmm::spmm(&sim, &coo, weights, &x, f, None, &cfg);
+            prop_assert!(sim_stats.cycles > 0.0);
+            for fast in &fasts {
+                let (got, stats) = halfgnn_spmm::spmm(fast, &coo, weights, &x, f, None, &cfg);
+                prop_assert_eq!(bits(&want), bits(&got), "exec={:?}", fast.exec);
+                prop_assert_eq!(stats.cycles, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sddmm_is_bit_identical_across_backends_at_every_width((csr, f, x, _w) in arb_case()) {
+        let (sim, fasts) = devices();
+        let coo = csr.to_coo();
+        for width in [VectorWidth::Half2, VectorWidth::Half4, VectorWidth::Half8] {
+            let (want, _) = halfgnn_sddmm::sddmm(&sim, &coo, &x, &x, f, width);
+            for fast in &fasts {
+                let (got, _) = halfgnn_sddmm::sddmm(fast, &coo, &x, &x, f, width);
+                prop_assert_eq!(bits(&want), bits(&got), "{:?} exec={:?}", width, fast.exec);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_softmax_chain_is_bit_identical_across_backends((csr, _f, _x, w) in arb_case()) {
+        let (sim, fasts) = devices();
+        let coo = csr.to_coo();
+        let run = |dev: &DeviceConfig| {
+            let (m, _) = halfgnn_spmm::edge_reduce(dev, &coo, &w, Reduce::Max);
+            let (num, _) = edge_ops::sub_row_exp(dev, &coo, &w, &m, true);
+            let (z, _) = halfgnn_spmm::edge_reduce(dev, &coo, &num, Reduce::Sum);
+            let (alpha, _) = edge_ops::div_row(dev, &coo, &num, &z);
+            alpha
+        };
+        let want = run(&sim);
+        for fast in &fasts {
+            prop_assert_eq!(bits(&want), bits(&run(fast)), "exec={:?}", fast.exec);
+        }
+    }
+
+    #[test]
+    fn fast_backend_is_stable_across_thread_counts((csr, f, x, w) in arb_case()) {
+        // Determinism of the fast path itself: 1, 2, and auto-N workers
+        // must agree bit-for-bit (commit-in-CTA-order contract).
+        let (_, fasts) = devices();
+        let coo = csr.to_coo();
+        let cfg = halfgnn_spmm::SpmmConfig { scaling: ScalePlacement::None, ..Default::default() };
+        let runs: Vec<Vec<u16>> = fasts
+            .iter()
+            .map(|d| {
+                let (y, _) =
+                    halfgnn_spmm::spmm(d, &coo, EdgeWeights::Values(&w), &x, f, None, &cfg);
+                bits(&y)
+            })
+            .collect();
+        for r in &runs[1..] {
+            prop_assert_eq!(&runs[0], r);
+        }
+    }
+}

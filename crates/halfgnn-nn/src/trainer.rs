@@ -11,6 +11,7 @@ use halfgnn_graph::datasets::LoadedDataset;
 use halfgnn_half::overflow;
 use halfgnn_half::slice::{f32_slice_to_half, pad_feature_len};
 use halfgnn_sim::DeviceConfig;
+pub use halfgnn_sim::ExecMode;
 use halfgnn_tensor::{MemoryTracker, Ops};
 
 /// Training configuration.
@@ -34,6 +35,13 @@ pub struct TrainConfig {
     pub gcn_norm: crate::models::GcnNorm,
     /// Static loss scale for the half backward pass (1.0 = off).
     pub loss_scale: f32,
+    /// Execution backend for the run's kernels. [`ExecMode::Sim`]
+    /// (default) models cost: `epoch_time_us` is analytic cycles and
+    /// overflow provenance is exact. [`ExecMode::Fast`] runs CTAs on real
+    /// OS threads with charging compiled out: `epoch_time_us` becomes
+    /// measured wall-clock and kernel-level overflow provenance is not
+    /// recorded (worker threads don't share the recorder's thread-local).
+    pub exec: ExecMode,
 }
 
 impl Default for TrainConfig {
@@ -48,6 +56,7 @@ impl Default for TrainConfig {
             gin_lambda: crate::gin::GIN_LAMBDA,
             gcn_norm: crate::models::GcnNorm::Right,
             loss_scale: 1.0,
+            exec: ExecMode::Sim,
         }
     }
 }
@@ -63,7 +72,9 @@ pub struct TrainReport {
     pub test_accuracy: f32,
     /// First epoch whose loss was NaN (the DGL-half failure of Fig. 1c).
     pub nan_epoch: Option<usize>,
-    /// Modeled time of one training epoch in microseconds.
+    /// Time of one training epoch in microseconds: modeled (analytic
+    /// cycles) under [`ExecMode::Sim`], measured wall-clock under
+    /// [`ExecMode::Fast`].
     pub epoch_time_us: f64,
     /// Peak modeled device memory in bytes (Fig. 6).
     pub peak_memory_bytes: u64,
@@ -101,8 +112,10 @@ pub fn train(data: &LoadedDataset, cfg: &TrainConfig) -> TrainReport {
     train_on(&DeviceConfig::a100_like(), data, cfg)
 }
 
-/// Train on an explicit device.
+/// Train on an explicit device. The config's [`TrainConfig::exec`] selects
+/// the execution backend, overriding whatever mode `dev` carries.
 pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> TrainReport {
+    let dev = &dev.clone().with_exec(cfg.exec);
     let g = PreparedGraph::new(&data.adj);
     let f_in = data.spec.feat;
     let is_half = cfg.precision.is_half();
@@ -453,6 +466,29 @@ mod tests {
         let r = train(&data, &quick_cfg(ModelKind::Gcn, PrecisionMode::Float, 2));
         assert!(r.first_overflow().is_none());
         assert_eq!(r.overflow_per_epoch[0].conversions, 0);
+    }
+
+    #[test]
+    fn fast_exec_reproduces_sim_training_bit_for_bit() {
+        // The executor contract end-to-end: a whole training run — SpMM,
+        // SDDMM, edge ops, matmuls, Adam — must produce identical losses
+        // and accuracy whether kernels run under the cost model or on real
+        // threads, at any thread count.
+        let data = Dataset::cora().load(42);
+        let base = quick_cfg(ModelKind::Gcn, PrecisionMode::HalfGnn, 4);
+        let sim = train(&data, &base);
+        for threads in [1, 2, 0] {
+            let fast =
+                train(&data, &TrainConfig { exec: ExecMode::fast_with_threads(threads), ..base });
+            assert_eq!(
+                sim.losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+                fast.losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+            assert_eq!(sim.final_train_accuracy, fast.final_train_accuracy);
+            // Fast epochs report measured wall-clock, not modeled time.
+            assert!(fast.epoch_time_us > 0.0);
+        }
     }
 
     #[test]

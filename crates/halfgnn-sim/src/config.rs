@@ -4,6 +4,8 @@
 //! where the paper measured them on an A100 (see EXPERIMENTS.md); absolute
 //! cycle counts are a model, not a promise.
 
+use crate::exec::ExecMode;
+
 /// Per-action costs in cycles (per warp instruction unless noted).
 #[derive(Clone, Debug)]
 pub struct CostModel {
@@ -99,6 +101,10 @@ pub struct DeviceConfig {
     pub sector_bytes: u64,
     /// Per-action costs.
     pub cost: CostModel,
+    /// Execution backend for launches on this device: cost-model
+    /// simulation (default) or the real-threads fast path. The mode rides
+    /// the device handle so kernel signatures stay execution-agnostic.
+    pub exec: ExecMode,
 }
 
 impl DeviceConfig {
@@ -114,6 +120,7 @@ impl DeviceConfig {
             dram_bytes_per_cycle: 1100.0,
             sector_bytes: 32,
             cost: CostModel::default(),
+            exec: ExecMode::Sim,
         }
     }
 
@@ -129,7 +136,21 @@ impl DeviceConfig {
             dram_bytes_per_cycle: 64.0,
             sector_bytes: 32,
             cost: CostModel::default(),
+            exec: ExecMode::Sim,
         }
+    }
+
+    /// The same device with a different execution backend.
+    pub fn with_exec(mut self, exec: ExecMode) -> DeviceConfig {
+        self.exec = exec;
+        self
+    }
+
+    /// The same device on the real-threads fast path with auto-sized
+    /// workers: charging becomes a no-op and launch stats report measured
+    /// wall-clock instead of modeled cycles.
+    pub fn fast(self) -> DeviceConfig {
+        self.with_exec(ExecMode::fast())
     }
 
     /// Concurrent CTA slots across the device (one scheduling "wave").

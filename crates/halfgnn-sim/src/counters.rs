@@ -189,6 +189,26 @@ impl KernelStats {
         }
     }
 
+    /// Stats for a wall-clock-measured run (the fast execution backend):
+    /// no modeled cycles, no counters, `time_us` is elapsed real time.
+    pub fn wallclock(
+        name: &str,
+        num_ctas: usize,
+        warps_per_cta: usize,
+        elapsed: std::time::Duration,
+    ) -> KernelStats {
+        KernelStats {
+            name: name.to_string(),
+            num_ctas,
+            warps_per_cta,
+            totals: WarpCounters::default(),
+            cycles: 0.0,
+            time_us: elapsed.as_secs_f64() * 1e6,
+            mem_bw_utilization: 0.0,
+            sm_utilization: 0.0,
+        }
+    }
+
     /// Total DRAM bytes moved.
     pub fn dram_bytes(&self) -> u64 {
         self.totals.sectors() * 32
@@ -196,14 +216,15 @@ impl KernelStats {
 
     /// Combine two kernel stats sequentially (e.g. main + follow-up
     /// kernel): times add, counters merge, utilization is re-averaged by
-    /// time weight.
+    /// time weight. Wall-clock stats (zero modeled cycles on both sides)
+    /// compose without producing NaN weights.
     pub fn then(&self, next: &KernelStats) -> KernelStats {
         let mut totals = self.totals.clone();
         totals.merge(&next.totals);
         let cycles = self.cycles + next.cycles;
         let time_us = self.time_us + next.time_us;
-        let w0 = self.cycles / cycles;
-        let w1 = next.cycles / cycles;
+        let (w0, w1) =
+            if cycles > 0.0 { (self.cycles / cycles, next.cycles / cycles) } else { (0.0, 0.0) };
         KernelStats {
             name: format!("{}+{}", self.name, next.name),
             num_ctas: self.num_ctas + next.num_ctas,
@@ -328,5 +349,17 @@ mod tests {
         assert!((c.cycles - a.cycles - b.cycles).abs() < 1e-9);
         assert_eq!(c.totals.sectors_loaded, 30);
         assert_eq!(c.name, "a+b");
+    }
+
+    #[test]
+    fn wallclock_stats_compose_without_nan() {
+        let a = KernelStats::wallclock("a", 4, 2, std::time::Duration::from_micros(30));
+        let b = KernelStats::wallclock("b", 4, 2, std::time::Duration::from_micros(70));
+        assert_eq!(a.cycles, 0.0);
+        assert!((a.time_us - 30.0).abs() < 1e-9);
+        let c = a.then(&b);
+        assert!((c.time_us - 100.0).abs() < 1e-9);
+        assert!(c.mem_bw_utilization == 0.0 && c.sm_utilization == 0.0);
+        assert!(!c.mem_bw_utilization.is_nan() && !c.sm_utilization.is_nan());
     }
 }

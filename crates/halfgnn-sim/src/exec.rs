@@ -1,0 +1,265 @@
+//! Execution backends: *what* a kernel computes vs. *how* it is executed
+//! and measured.
+//!
+//! Every kernel in this workspace is a closure over a [`Cta`]; the closure
+//! does the functional work (ordinary Rust over slices) and *reports* its
+//! hardware-visible actions through charging calls. That report is only
+//! needed when the run's purpose is measurement. This module splits the
+//! two concerns behind the [`Executor`] trait:
+//!
+//! * [`SimExecutor`] — the cost-model path. CTAs run sequentially on the
+//!   caller's thread with live counters, exactly as the simulator always
+//!   has: per-warp counters feed the analytical timing model and the
+//!   NCU-style utilization numbers. Sequential execution is load-bearing,
+//!   not an implementation shortcut — overflow provenance
+//!   (`halfgnn-half::overflow`) records through thread-local state on the
+//!   caller's thread, and byte-for-byte reproducibility of modeled cycles
+//!   requires a fixed reduction order.
+//! * [`FastExecutor`] — the throughput path. CTAs are distributed across
+//!   real OS threads (the `vendor/rayon` scoped pool) with **dead**
+//!   counters: every charging call early-returns, and lazily-constructed
+//!   charging arguments (gather address iterators, feature-row walks) are
+//!   never consumed. The returned [`KernelStats`] carries measured
+//!   wall-clock in `time_us` and zero modeled cycles.
+//!
+//! Both executors observe the same determinism contract: per-CTA results
+//! are returned in CTA order, so `WriteList` commits — and therefore all
+//! Half outputs — are bit-identical between backends and across thread
+//! counts.
+
+use crate::config::DeviceConfig;
+use crate::counters::KernelStats;
+use crate::launch::{Cta, LaunchParams};
+
+/// How kernel launches on a device execute: under the cost model, or at
+/// full multi-core throughput.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Cost-model simulation: sequential CTAs, live counters, modeled
+    /// cycles. The default, and the mode every figure/oracle test uses.
+    #[default]
+    Sim,
+    /// Real-threads fast path: CTAs on OS threads, charging compiled to
+    /// no-ops, wall-clock stats. `threads == 0` means auto-size from
+    /// `HALFGNN_THREADS` / `available_parallelism()`.
+    Fast {
+        /// Worker threads; 0 = auto.
+        threads: usize,
+    },
+}
+
+impl ExecMode {
+    /// Fast mode with auto-sized threads.
+    pub fn fast() -> ExecMode {
+        ExecMode::Fast { threads: 0 }
+    }
+
+    /// Fast mode pinned to exactly `threads` workers (useful for
+    /// determinism tests and 1-thread baselines).
+    pub fn fast_with_threads(threads: usize) -> ExecMode {
+        ExecMode::Fast { threads }
+    }
+
+    /// True for either fast variant.
+    pub fn is_fast(&self) -> bool {
+        matches!(self, ExecMode::Fast { .. })
+    }
+}
+
+/// An execution backend: runs a kernel closure over a CTA grid and decides
+/// how (and whether) the run is measured.
+///
+/// The `run` method is generic over the kernel closure, so the trait is not
+/// object-safe; [`crate::launch::launch`] dispatches over the concrete
+/// executors by matching [`DeviceConfig::exec`].
+pub trait Executor {
+    /// The device this executor launches onto.
+    fn dev(&self) -> &DeviceConfig;
+
+    /// Whether charging calls on this backend record anything. When false,
+    /// kernels may skip building charging arguments entirely.
+    fn counters_live(&self) -> bool;
+
+    /// Execute `kernel` once per CTA, returning per-CTA results **in CTA
+    /// order** plus this backend's notion of launch statistics.
+    fn run<R, F>(&self, name: &str, params: LaunchParams, kernel: F) -> (Vec<R>, KernelStats)
+    where
+        R: Send,
+        F: Fn(&mut Cta) -> R + Sync;
+}
+
+/// The cost-model backend: sequential CTAs with live counters and
+/// analytical timing. Behavior-preserving refactor of the original
+/// `launch` body — modeled counters and cycles are byte-for-byte what the
+/// pre-refactor simulator produced.
+pub struct SimExecutor<'d> {
+    dev: &'d DeviceConfig,
+}
+
+impl<'d> SimExecutor<'d> {
+    /// Cost-model executor for `dev`.
+    pub fn new(dev: &'d DeviceConfig) -> SimExecutor<'d> {
+        SimExecutor { dev }
+    }
+}
+
+impl Executor for SimExecutor<'_> {
+    fn dev(&self) -> &DeviceConfig {
+        self.dev
+    }
+
+    fn counters_live(&self) -> bool {
+        true
+    }
+
+    fn run<R, F>(&self, name: &str, params: LaunchParams, kernel: F) -> (Vec<R>, KernelStats)
+    where
+        R: Send,
+        F: Fn(&mut Cta) -> R + Sync,
+    {
+        let dev = self.dev;
+        let mut results = Vec::with_capacity(params.num_ctas);
+        let mut cta_times = Vec::with_capacity(params.num_ctas);
+        let mut totals = crate::counters::WarpCounters::default();
+        let mut busy_sum = 0.0;
+        let mut total_sum = 0.0;
+        for cta_id in 0..params.num_ctas {
+            let mut cta = Cta::new(cta_id, dev, params.warps_per_cta, true);
+            results.push(kernel(&mut cta));
+            let m = cta.measure();
+            cta_times.push(m.cycles);
+            totals.merge(&m.merged);
+            busy_sum += m.busy;
+            total_sum += m.total;
+        }
+        let stats = KernelStats::from_ctas(
+            name,
+            dev,
+            params.warps_per_cta,
+            &cta_times,
+            totals,
+            busy_sum,
+            total_sum,
+        );
+        (results, stats)
+    }
+}
+
+/// The throughput backend: CTAs on real OS threads, dead counters,
+/// wall-clock stats. Results stay in CTA order (the pool sorts by input
+/// index), so outputs are bit-identical to [`SimExecutor`] for any thread
+/// count.
+pub struct FastExecutor<'d> {
+    dev: &'d DeviceConfig,
+    threads: usize,
+}
+
+impl<'d> FastExecutor<'d> {
+    /// Fast executor for `dev` with `threads` workers (0 = auto).
+    pub fn new(dev: &'d DeviceConfig, threads: usize) -> FastExecutor<'d> {
+        FastExecutor { dev, threads }
+    }
+
+    /// The resolved worker count this executor will use.
+    pub fn threads(&self) -> usize {
+        if self.threads == 0 {
+            rayon::pool::default_threads()
+        } else {
+            self.threads
+        }
+    }
+}
+
+impl Executor for FastExecutor<'_> {
+    fn dev(&self) -> &DeviceConfig {
+        self.dev
+    }
+
+    fn counters_live(&self) -> bool {
+        false
+    }
+
+    fn run<R, F>(&self, name: &str, params: LaunchParams, kernel: F) -> (Vec<R>, KernelStats)
+    where
+        R: Send,
+        F: Fn(&mut Cta) -> R + Sync,
+    {
+        let dev = self.dev;
+        let start = std::time::Instant::now();
+        let cta_ids: Vec<usize> = (0..params.num_ctas).collect();
+        let results = rayon::pool::parallel_map(cta_ids, self.threads, |_, cta_id| {
+            let mut cta = Cta::new(cta_id, dev, params.warps_per_cta, false);
+            kernel(&mut cta)
+        });
+        let stats =
+            KernelStats::wallclock(name, params.num_ctas, params.warps_per_cta, start.elapsed());
+        (results, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_mode_defaults_to_sim() {
+        assert_eq!(ExecMode::default(), ExecMode::Sim);
+        assert!(!ExecMode::Sim.is_fast());
+        assert!(ExecMode::fast().is_fast());
+        assert_eq!(ExecMode::fast_with_threads(3), ExecMode::Fast { threads: 3 });
+    }
+
+    #[test]
+    fn sim_executor_counters_are_live() {
+        let dev = DeviceConfig::tiny();
+        let exec = SimExecutor::new(&dev);
+        assert!(exec.counters_live());
+        let (r, s) = exec.run("k", LaunchParams { num_ctas: 3, warps_per_cta: 1 }, |cta| {
+            cta.warp(0).float_ops(10);
+            cta.id
+        });
+        assert_eq!(r, vec![0, 1, 2]);
+        assert_eq!(s.totals.float_ops, 30);
+        assert!(s.cycles > 0.0);
+    }
+
+    #[test]
+    fn fast_executor_counters_are_dead() {
+        let dev = DeviceConfig::tiny();
+        let exec = FastExecutor::new(&dev, 2);
+        assert!(!exec.counters_live());
+        let (r, s) = exec.run("k", LaunchParams { num_ctas: 5, warps_per_cta: 1 }, |cta| {
+            cta.warp(0).float_ops(10);
+            cta.warp(0).load_contiguous(0, 32, 4);
+            cta.id * 2
+        });
+        assert_eq!(r, vec![0, 2, 4, 6, 8]);
+        assert_eq!(s.totals.float_ops, 0);
+        assert_eq!(s.totals.load_instrs, 0);
+        assert_eq!(s.cycles, 0.0);
+        assert!(s.time_us >= 0.0);
+    }
+
+    #[test]
+    fn fast_executor_results_match_sim_for_any_thread_count() {
+        let dev = DeviceConfig::tiny();
+        let params = LaunchParams { num_ctas: 37, warps_per_cta: 2 };
+        let kernel = |cta: &mut Cta| {
+            let mut w = cta.warp(0);
+            w.half2_ops(4);
+            cta.id * cta.id
+        };
+        let (want, _) = SimExecutor::new(&dev).run("k", params, kernel);
+        for threads in [1, 2, 0] {
+            let (got, _) = FastExecutor::new(&dev, threads).run("k", params, kernel);
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fast_executor_resolves_auto_threads() {
+        let dev = DeviceConfig::tiny();
+        assert!(FastExecutor::new(&dev, 0).threads() >= 1);
+        assert_eq!(FastExecutor::new(&dev, 5).threads(), 5);
+    }
+}

@@ -1,16 +1,17 @@
-//! Grid launch: execute a kernel closure once per CTA (rayon-parallel),
-//! merge counters, and produce [`KernelStats`].
+//! Grid launch: execute a kernel closure once per CTA and produce
+//! [`KernelStats`] through the execution backend selected on the device
+//! ([`crate::exec`]).
 //!
 //! The kernel closure receives a [`Cta`] for cost charging and returns an
 //! arbitrary per-CTA value (typically a write list); the caller commits
 //! those sequentially in CTA order, which keeps results deterministic and
 //! lets conflicting-write protocols (staging buffer + follow-up kernel) be
-//! expressed safely.
+//! expressed safely — on every backend and at every thread count.
 
 use crate::config::DeviceConfig;
 use crate::counters::{KernelStats, WarpCounters};
+use crate::exec::{ExecMode, Executor, FastExecutor, SimExecutor};
 use crate::warp::WarpCtx;
-use rayon::prelude::*;
 
 /// Grid geometry of a launch.
 #[derive(Clone, Copy, Debug)]
@@ -29,11 +30,30 @@ pub struct Cta<'d> {
     dev: &'d DeviceConfig,
     warp_counters: Vec<WarpCounters>,
     scratch: Vec<u64>,
+    /// Whether charging records anything. `false` on the fast path: every
+    /// charging call early-returns and lazy charging arguments are never
+    /// consumed.
+    live: bool,
+}
+
+/// One CTA's contribution to [`KernelStats`], extracted after the kernel
+/// closure ran (cost-model backend only).
+pub(crate) struct CtaMeasure {
+    pub(crate) cycles: f64,
+    pub(crate) merged: WarpCounters,
+    pub(crate) busy: f64,
+    pub(crate) total: f64,
 }
 
 impl<'d> Cta<'d> {
-    fn new(id: usize, dev: &'d DeviceConfig, warps: usize) -> Cta<'d> {
-        Cta { id, dev, warp_counters: vec![WarpCounters::default(); warps], scratch: Vec::new() }
+    pub(crate) fn new(id: usize, dev: &'d DeviceConfig, warps: usize, live: bool) -> Cta<'d> {
+        Cta {
+            id,
+            dev,
+            warp_counters: vec![WarpCounters::default(); warps],
+            scratch: Vec::new(),
+            live,
+        }
     }
 
     /// Number of warps in this CTA.
@@ -41,19 +61,41 @@ impl<'d> Cta<'d> {
         self.warp_counters.len()
     }
 
+    /// Whether charging on this CTA records anything (true under the
+    /// cost-model backend, false on the fast path). Kernels may use this
+    /// to skip building expensive charging inputs.
+    pub fn counters_live(&self) -> bool {
+        self.live
+    }
+
     /// Charging handle for warp `w`.
     pub fn warp(&mut self, w: usize) -> WarpCtx<'_> {
-        WarpCtx::new(&mut self.warp_counters[w], self.dev, &mut self.scratch)
+        WarpCtx::new(&mut self.warp_counters[w], self.dev, &mut self.scratch, self.live)
     }
 
     /// CTA-wide `__syncthreads()`: every warp pays the barrier.
     pub fn barrier(&mut self) {
+        if !self.live {
+            return;
+        }
         for c in &mut self.warp_counters {
             c.barriers += 1;
         }
-        // The sync cost itself lands on the critical path via warp 0 (any
-        // single warp suffices since CTA time is the max over warps).
-        self.warp_counters[0].atomic_conflict_cycles += self.dev.cost.cta_barrier;
+        // The sync cost lands on the critical-path warp — the one with the
+        // most cycles so far. CTA time is the max over warps, so charging a
+        // fixed warp (the old behavior: always warp 0) made the barrier
+        // vanish from the modeled duration whenever warp 0 was not the
+        // slowest.
+        let mut crit = 0;
+        let mut crit_cycles = f64::NEG_INFINITY;
+        for (i, w) in self.warp_counters.iter().enumerate() {
+            let c = w.warp_cycles(self.dev);
+            if c > crit_cycles {
+                crit_cycles = c;
+                crit = i;
+            }
+        }
+        self.warp_counters[crit].atomic_conflict_cycles += self.dev.cost.cta_barrier;
     }
 
     /// Modeled CTA duration: slowest warp (warps run concurrently on the
@@ -61,10 +103,28 @@ impl<'d> Cta<'d> {
     fn cta_cycles(&self) -> f64 {
         self.warp_counters.iter().map(|w| w.warp_cycles(self.dev)).fold(0.0f64, f64::max)
     }
+
+    /// Extract this CTA's timing and counter contribution. Field order and
+    /// arithmetic match the pre-refactor `launch` body exactly, keeping
+    /// modeled numbers byte-for-byte stable.
+    pub(crate) fn measure(&self) -> CtaMeasure {
+        let cycles = self.cta_cycles() * self.dev.cost.occupancy_stretch;
+        let mut merged = WarpCounters::default();
+        let mut busy = 0.0;
+        let mut total = 0.0;
+        for w in &self.warp_counters {
+            merged.merge(w);
+            busy += w.warp_busy_cycles(self.dev);
+            total += w.warp_cycles(self.dev);
+        }
+        CtaMeasure { cycles, merged, busy, total }
+    }
 }
 
-/// Launch `kernel` over `params.num_ctas` CTAs. Returns the per-CTA results
-/// in CTA order plus the aggregated stats.
+/// Launch `kernel` over `params.num_ctas` CTAs on the backend selected by
+/// [`DeviceConfig::exec`]. Returns the per-CTA results in CTA order plus
+/// the backend's stats: modeled cycles under [`ExecMode::Sim`], measured
+/// wall-clock (zero cycles) under [`ExecMode::Fast`].
 pub fn launch<R, F>(
     dev: &DeviceConfig,
     name: &str,
@@ -75,46 +135,10 @@ where
     R: Send,
     F: Fn(&mut Cta) -> R + Sync,
 {
-    let per_cta: Vec<(R, f64, WarpCounters, f64, f64)> = (0..params.num_ctas)
-        .into_par_iter()
-        .map(|cta_id| {
-            let mut cta = Cta::new(cta_id, dev, params.warps_per_cta);
-            let r = kernel(&mut cta);
-            let cycles = cta.cta_cycles() * dev.cost.occupancy_stretch;
-            let mut merged = WarpCounters::default();
-            let mut busy = 0.0;
-            let mut total = 0.0;
-            for w in &cta.warp_counters {
-                merged.merge(w);
-                busy += w.warp_busy_cycles(dev);
-                total += w.warp_cycles(dev);
-            }
-            (r, cycles, merged, busy, total)
-        })
-        .collect();
-
-    let mut results = Vec::with_capacity(per_cta.len());
-    let mut cta_times = Vec::with_capacity(per_cta.len());
-    let mut totals = WarpCounters::default();
-    let mut busy_sum = 0.0;
-    let mut total_sum = 0.0;
-    for (r, cycles, counters, busy, total) in per_cta {
-        results.push(r);
-        cta_times.push(cycles);
-        totals.merge(&counters);
-        busy_sum += busy;
-        total_sum += total;
+    match dev.exec {
+        ExecMode::Sim => SimExecutor::new(dev).run(name, params, kernel),
+        ExecMode::Fast { threads } => FastExecutor::new(dev, threads).run(name, params, kernel),
     }
-    let stats = KernelStats::from_ctas(
-        name,
-        dev,
-        params.warps_per_cta,
-        &cta_times,
-        totals,
-        busy_sum,
-        total_sum,
-    );
-    (results, stats)
 }
 
 /// A deferred write set: `(start, values)` range-assignments plus
@@ -305,5 +329,45 @@ mod tests {
             cta.barrier();
         });
         assert_eq!(s.totals.barriers, 4);
+    }
+
+    #[test]
+    fn barrier_cost_lands_on_critical_path_warp() {
+        // Two-warp skewed CTA: warp 0 does 100 float ops, warp 1 does 1000.
+        // The barrier's 20 cycles must extend the slowest warp (warp 1),
+        // not warp 0 where it would disappear under the max.
+        let dev = DeviceConfig::tiny();
+        let (_, s) = launch(&dev, "k", LaunchParams { num_ctas: 1, warps_per_cta: 2 }, |cta| {
+            cta.warp(0).float_ops(100);
+            cta.warp(1).float_ops(1000);
+            cta.barrier();
+        });
+        // Critical path: 1000 float cycles + 20 barrier cycles, stretched
+        // by occupancy (x2), plus fixed launch overhead (1500).
+        let expect =
+            (1000.0 + dev.cost.cta_barrier) * dev.cost.occupancy_stretch + dev.cost.launch_overhead;
+        assert!((s.cycles - expect).abs() < 1e-9, "got {} want {expect}", s.cycles);
+        // The old warp-0 attribution would have modeled 3500 cycles here.
+        assert!((s.cycles - 3540.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_mode_launch_matches_sim_results_with_dead_counters() {
+        let sim_dev = DeviceConfig::tiny();
+        let params = LaunchParams { num_ctas: 9, warps_per_cta: 2 };
+        let kernel = |cta: &mut Cta| {
+            let mut w = cta.warp(0);
+            w.load_contiguous(0, 32, 4);
+            w.float_ops(8);
+            cta.barrier();
+            cta.id + 1
+        };
+        let (sim_r, sim_s) = launch(&sim_dev, "k", params, kernel);
+        let fast_dev = DeviceConfig::tiny().with_exec(ExecMode::fast_with_threads(3));
+        let (fast_r, fast_s) = launch(&fast_dev, "k", params, kernel);
+        assert_eq!(sim_r, fast_r);
+        assert!(sim_s.cycles > 0.0);
+        assert_eq!(fast_s.cycles, 0.0, "fast path reports wall-clock only");
+        assert_eq!(fast_s.totals, WarpCounters::default(), "charging is a no-op");
     }
 }

@@ -2,12 +2,19 @@
 //!
 //! The paper's kernels target an NVIDIA A100; this crate is the
 //! substitution that lets them run and be *measured* on a CPU-only host.
-//! Kernels execute functionally as ordinary Rust (parallelized over CTAs
-//! with rayon) while reporting their hardware-visible actions — global
-//! loads/stores, arithmetic by precision path, shuffle rounds, shared
-//! memory traffic, atomics — to a per-warp counter set. An analytical
-//! timing model turns the counters into modeled cycles and the NCU-style
-//! utilization percentages that Figs. 10-11 of the paper report.
+//! Kernels execute functionally as ordinary Rust while reporting their
+//! hardware-visible actions — global loads/stores, arithmetic by precision
+//! path, shuffle rounds, shared memory traffic, atomics — to a per-warp
+//! counter set. An analytical timing model turns the counters into modeled
+//! cycles and the NCU-style utilization percentages that Figs. 10-11 of
+//! the paper report.
+//!
+//! Execution and measurement are separated behind the [`exec::Executor`]
+//! trait: [`exec::SimExecutor`] runs CTAs sequentially with live counters
+//! (the cost-model path above), while [`exec::FastExecutor`] distributes
+//! CTAs across real OS threads with charging compiled to no-ops and
+//! reports measured wall-clock instead of modeled cycles. Select per
+//! device via [`config::DeviceConfig::exec`] ([`exec::ExecMode`]).
 //!
 //! What the model captures (because the paper's claims rest on it):
 //!
@@ -33,11 +40,13 @@
 
 pub mod config;
 pub mod counters;
+pub mod exec;
 pub mod launch;
 pub mod memory;
 pub mod warp;
 
 pub use config::{CostModel, DeviceConfig};
 pub use counters::{KernelStats, WarpCounters};
+pub use exec::{ExecMode, Executor, FastExecutor, SimExecutor};
 pub use launch::{launch, Cta, LaunchParams};
 pub use warp::{AtomicKind, WarpCtx};

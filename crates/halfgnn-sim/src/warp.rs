@@ -20,10 +20,16 @@ pub enum AtomicKind {
 }
 
 /// Charging handle for one warp.
+///
+/// When the CTA runs on the fast backend ([`crate::exec::FastExecutor`]),
+/// `live` is false and every charging method returns before touching its
+/// arguments — lazily-built address iterators are never consumed, so
+/// charging costs nothing beyond the branch.
 pub struct WarpCtx<'a> {
     counters: &'a mut WarpCounters,
     dev: &'a DeviceConfig,
     scratch: &'a mut Vec<u64>,
+    live: bool,
 }
 
 impl<'a> WarpCtx<'a> {
@@ -31,8 +37,9 @@ impl<'a> WarpCtx<'a> {
         counters: &'a mut WarpCounters,
         dev: &'a DeviceConfig,
         scratch: &'a mut Vec<u64>,
+        live: bool,
     ) -> WarpCtx<'a> {
-        WarpCtx { counters, dev, scratch }
+        WarpCtx { counters, dev, scratch, live }
     }
 
     /// The device this warp runs on.
@@ -44,6 +51,9 @@ impl<'a> WarpCtx<'a> {
     /// functional output. Pure telemetry: feeds
     /// [`WarpCounters::nonfinite_values`] and costs no modeled cycles.
     pub fn nonfinite_values(&mut self, n: u64) {
+        if !self.live {
+            return;
+        }
         self.counters.nonfinite_values += n;
     }
 
@@ -52,6 +62,9 @@ impl<'a> WarpCtx<'a> {
     /// instructions, sector-exact traffic. This is the feature-parallel
     /// pattern (§2.1.3).
     pub fn load_contiguous(&mut self, base: u64, count: usize, elem_bytes: usize) {
+        if !self.live {
+            return;
+        }
         if count == 0 {
             return;
         }
@@ -65,6 +78,9 @@ impl<'a> WarpCtx<'a> {
     /// Gathered load at arbitrary per-thread addresses (e.g. the naive
     /// repeated NZE fetch HalfGNN's phase-1 load replaces).
     pub fn load_gather(&mut self, addrs: impl IntoIterator<Item = u64>, elem_bytes: usize) {
+        if !self.live {
+            return;
+        }
         let mut n = 0u64;
         let sector_bytes = self.dev.sector_bytes;
         self.scratch.clear();
@@ -88,6 +104,9 @@ impl<'a> WarpCtx<'a> {
 
     /// All threads read the same address (broadcast: one sector).
     pub fn load_broadcast(&mut self, addr: u64, elem_bytes: usize) {
+        if !self.live {
+            return;
+        }
         self.counters.load_instrs += 1;
         self.counters.sectors_loaded +=
             sectors_contiguous(addr, elem_bytes as u64, self.dev.sector_bytes);
@@ -96,6 +115,9 @@ impl<'a> WarpCtx<'a> {
 
     /// Coalesced store of `count` contiguous elements.
     pub fn store_contiguous(&mut self, base: u64, count: usize, elem_bytes: usize) {
+        if !self.live {
+            return;
+        }
         if count == 0 {
             return;
         }
@@ -107,6 +129,9 @@ impl<'a> WarpCtx<'a> {
 
     /// Scattered store at arbitrary addresses.
     pub fn store_gather(&mut self, addrs: impl IntoIterator<Item = u64>, elem_bytes: usize) {
+        if !self.live {
+            return;
+        }
         let mut collected = std::mem::take(self.scratch);
         let n = {
             let it = addrs.into_iter();
@@ -139,6 +164,9 @@ impl<'a> WarpCtx<'a> {
         row_bytes: usize,
         elem_bytes: usize,
     ) {
+        if !self.live {
+            return;
+        }
         let mut rows = 0u64;
         for b in bases {
             rows += 1;
@@ -156,34 +184,52 @@ impl<'a> WarpCtx<'a> {
 
     /// `n` warp float instructions.
     pub fn float_ops(&mut self, n: u64) {
+        if !self.live {
+            return;
+        }
         self.counters.float_ops += n;
     }
 
     /// `n` warp half-intrinsic instructions (Fig. 3b).
     pub fn half_ops(&mut self, n: u64) {
+        if !self.live {
+            return;
+        }
         self.counters.half_ops += n;
     }
 
     /// `n` warp half2 instructions (Fig. 3c: two values per lane-op).
     pub fn half2_ops(&mut self, n: u64) {
+        if !self.live {
+            return;
+        }
         self.counters.half2_ops += n;
     }
 
     /// `n` h2f/f2h conversion instructions (the Fig. 3a tax and the
     /// mixed-precision data-conversion tax of §3.1.2).
     pub fn convert_ops(&mut self, n: u64) {
+        if !self.live {
+            return;
+        }
         self.counters.convert_ops += n;
     }
 
     /// `rounds` of warp shuffle (inter-thread communication). Each round is
     /// an implicit memory barrier — the §5.1.1 observation.
     pub fn shuffle_rounds(&mut self, rounds: u64) {
+        if !self.live {
+            return;
+        }
         self.counters.shuffles += rounds;
         self.counters.barriers += rounds;
     }
 
     /// `n` shared-memory access instructions.
     pub fn smem_accesses(&mut self, n: u64) {
+        if !self.live {
+            return;
+        }
         self.counters.smem_accesses += n;
     }
 
@@ -191,6 +237,9 @@ impl<'a> WarpCtx<'a> {
     /// `avg_conflict` is the expected number of other atomics contending
     /// for the same address (≥ 0): conflicting atomics serialize.
     pub fn atomic_add(&mut self, kind: AtomicKind, count: u64, avg_conflict: f64) {
+        if !self.live {
+            return;
+        }
         let (base, conflict) = match kind {
             AtomicKind::F32 => {
                 self.counters.atomics_f32 += count;
@@ -216,6 +265,9 @@ impl<'a> WarpCtx<'a> {
     /// Explicit barrier not tied to a shuffle (e.g. after a cooperative
     /// shared-memory fill).
     pub fn barrier(&mut self) {
+        if !self.live {
+            return;
+        }
         self.counters.barriers += 1;
     }
 }
@@ -235,7 +287,7 @@ mod tests {
         let dev = DeviceConfig::a100_like();
         let mut c = WarpCounters::default();
         let mut scratch = Vec::new();
-        let mut w = WarpCtx::new(&mut c, &dev, &mut scratch);
+        let mut w = WarpCtx::new(&mut c, &dev, &mut scratch, true);
         f(&mut w);
         c
     }
@@ -311,6 +363,29 @@ mod tests {
         let dev = DeviceConfig::a100_like();
         // Contention multiplies cost up to the CAS saturation cap.
         assert!(contended.warp_cycles(&dev) > 3.0 * free.warp_cycles(&dev));
+    }
+
+    #[test]
+    fn dead_ctx_charges_nothing_and_skips_lazy_args() {
+        let dev = DeviceConfig::a100_like();
+        let mut c = WarpCounters::default();
+        let mut scratch = Vec::new();
+        let mut w = WarpCtx::new(&mut c, &dev, &mut scratch, false);
+        let mut consumed = false;
+        w.load_gather(
+            (0..4u64).map(|a| {
+                consumed = true;
+                a * 64
+            }),
+            2,
+        );
+        w.load_contiguous(0, 32, 4);
+        w.half2_ops(100);
+        w.atomic_add(AtomicKind::F16, 10, 8.0);
+        w.barrier();
+        drop(w);
+        assert!(!consumed, "dead charging must not consume lazy address iterators");
+        assert_eq!(c, WarpCounters::default());
     }
 
     #[test]

@@ -5,6 +5,13 @@
 //! records every kernel's [`KernelStats`] (sparse kernels from
 //! `halfgnn-kernels` report into the same log via [`Ops::record`]), counts
 //! tensor-level dtype conversions (the §3.1.2 tax), and sums modeled time.
+//!
+//! The log's meaning follows the device's execution backend
+//! (`DeviceConfig::exec`): under `ExecMode::Sim` every entry carries
+//! modeled cycles and `total_time_us` is analytic; under `ExecMode::Fast`
+//! entries carry zero cycles and measured wall-clock, so `total_time_us`
+//! sums real elapsed time. Functional results are bit-identical either
+//! way.
 
 use halfgnn_half::slice::{f32_slice_to_half, half_slice_to_f32};
 use halfgnn_half::Half;
@@ -470,7 +477,9 @@ impl<'d> Ops<'d> {
     }
 }
 
-/// Serial-deterministic, rayon-parallel matmul with transpose flags.
+/// Rayon-parallel matmul with transpose flags. Deterministic at any thread
+/// count: each worker owns disjoint output rows and the per-row reduction
+/// order is fixed, so results are bit-identical to a serial run.
 fn matmul(a: &[f32], ta: bool, b: &[f32], tb: bool, m: usize, k: usize, n: usize) -> Vec<f32> {
     let get_a = |i: usize, l: usize| if ta { a[l * m + i] } else { a[i * k + l] };
     let get_b = |l: usize, j: usize| if tb { b[j * k + l] } else { b[l * n + j] };

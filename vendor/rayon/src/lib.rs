@@ -1,62 +1,145 @@
 //! Offline stand-in for `rayon`: the parallel-iterator entry points this
 //! workspace uses (`into_par_iter`, `par_iter`, `par_iter_mut`,
-//! `par_chunks_mut`) mapped onto ordinary sequential iterators.
+//! `par_chunks_mut`) backed by a real scoped-thread work pool.
 //!
 //! The build environment has no crates.io access, so the workspace vendors
-//! this shim instead of the real dependency. Callers already rely only on
-//! rayon semantics that sequential execution satisfies (deterministic
-//! per-element work, order-insensitive side effects), so the swap changes
-//! wall-clock parallelism, never results. The `launch` layer in
-//! `halfgnn-sim` commits per-CTA results in CTA order either way.
+//! this crate instead of the real dependency. Unlike the original
+//! sequential shim, work now actually fans out across OS threads (see
+//! [`pool`]), sized by `std::thread::available_parallelism()` with a
+//! `HALFGNN_THREADS` env override. The adapter layer is intentionally
+//! tiny — materialize items into a `Vec`, run the terminal operation
+//! through [`pool::parallel_map`] — but it preserves the two properties
+//! callers rely on: results come back in input order, and per-item work is
+//! deterministic. The `launch` layer in `halfgnn-sim` commits per-CTA
+//! results in CTA order either way.
+
+pub mod pool;
 
 pub mod prelude {
     pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
-/// `into_par_iter()` for anything iterable; yields the std iterator, so all
-/// downstream adapters (`map`, `enumerate`, `for_each`, `collect`, …) are the
-/// std ones.
-pub trait IntoParallelIterator {
-    type Iter: Iterator<Item = Self::Item>;
-    type Item;
-    fn into_par_iter(self) -> Self::Iter;
+/// A materialized parallel iterator: items are collected up front, then the
+/// terminal operation (`for_each`, `map().collect()`) fans out on the pool.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
 }
 
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Iter = I::IntoIter;
+impl<T: Send> ParIter<T> {
+    /// Lazily attach a per-item transform; runs in parallel at `collect`.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Pair every item with its input index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Run `f` over all items on the pool. Side effects must be
+    /// order-insensitive (rayon's own contract).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        pool::parallel_map(self.items, 0, |_, x| f(x));
+    }
+
+    /// Collect the (already materialized) items in input order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the iterator holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// A parallel iterator with a pending `map`; the transform runs on the pool
+/// at the terminal operation, results delivered in input order.
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Apply the transform to every item in parallel and collect results in
+    /// input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let f = self.f;
+        pool::parallel_map(self.items, 0, |_, x| f(x)).into_iter().collect()
+    }
+
+    /// Apply the transform to every item in parallel, discarding results.
+    pub fn for_each<R>(self, g: impl Fn(R) + Sync)
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let f = self.f;
+        pool::parallel_map(self.items, 0, |_, x| g(f(x)));
+    }
+}
+
+/// `into_par_iter()` for anything iterable with `Send` items.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<I> IntoParallelIterator for I
+where
+    I: IntoIterator,
+    I::Item: Send,
+{
     type Item = I::Item;
-    fn into_par_iter(self) -> Self::Iter {
-        self.into_iter()
+    fn into_par_iter(self) -> ParIter<I::Item> {
+        ParIter { items: self.into_iter().collect() }
     }
 }
 
 /// Shared-slice entry points.
-pub trait ParallelSlice<T> {
-    fn par_iter(&self) -> std::slice::Iter<'_, T>;
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<&T>;
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
 }
 
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> std::slice::Iter<'_, T> {
-        self.iter()
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter { items: self.iter().collect() }
     }
-    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
-        self.chunks(chunk_size)
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        ParIter { items: self.chunks(chunk_size).collect() }
     }
 }
 
 /// Mutable-slice entry points.
-pub trait ParallelSliceMut<T> {
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
-        self.iter_mut()
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter { items: self.iter_mut().collect() }
     }
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-        self.chunks_mut(chunk_size)
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        ParIter { items: self.chunks_mut(chunk_size).collect() }
     }
 }
 
@@ -71,6 +154,13 @@ mod tests {
     }
 
     #[test]
+    fn large_map_preserves_order_under_parallelism() {
+        let v: Vec<usize> = (0..10_000).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i + 1));
+    }
+
+    #[test]
     fn par_chunks_mut_enumerated() {
         let mut buf = vec![0u32; 6];
         buf.par_chunks_mut(2).enumerate().for_each(|(i, chunk)| {
@@ -79,5 +169,19 @@ mod tests {
             }
         });
         assert_eq!(buf, vec![0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_every_item() {
+        let mut buf: Vec<u64> = (0..257).collect();
+        buf.par_iter_mut().for_each(|x| *x *= 2);
+        assert!(buf.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn par_iter_reads_shared_slice() {
+        let buf: Vec<u64> = (0..100).collect();
+        let doubled: Vec<u64> = buf.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled[99], 198);
     }
 }

@@ -1,0 +1,137 @@
+//! The scoped-thread work pool behind every parallel entry point.
+//!
+//! Design ("work-stealing-lite"): the input is dealt into contiguous
+//! chunks of roughly `items / (threads * CHUNKS_PER_THREAD)` elements, the
+//! chunks go into a shared LIFO queue, and each of `threads` scoped OS
+//! threads (`std::thread::scope`) pops chunks until the queue drains. Slow
+//! chunks therefore self-balance across workers without per-item locking,
+//! which is what skewed CTA grids (power-law graphs) need.
+//!
+//! Determinism contract: every result carries its input index and the
+//! caller receives results sorted back into input order, so the output is
+//! identical for any thread count — including 1, where the pool degrades
+//! to a plain sequential loop with no threads spawned.
+
+use std::sync::{Mutex, OnceLock};
+
+/// Oversubscription factor: chunks per worker thread. More chunks balance
+/// skew better; fewer chunks lock the queue less.
+const CHUNKS_PER_THREAD: usize = 4;
+
+/// Worker-thread count for pool entry points that do not pin one:
+/// `HALFGNN_THREADS` if set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`], with a single-thread fallback
+/// when neither is available. Cached for the process lifetime.
+pub fn default_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        match std::env::var("HALFGNN_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        }
+    })
+}
+
+/// Apply `f` to every item on up to `threads` worker threads (0 = use
+/// [`default_threads`]), returning results in input order. `f` also
+/// receives the item's input index. Panics in `f` propagate to the caller
+/// when the scope joins.
+pub fn parallel_map<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = if threads == 0 { default_threads() } else { threads };
+    let threads = threads.min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        // Single-thread fallback, doubling as the small-input path.
+        return items.into_iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    // Deal into contiguous chunks; reverse so popping walks in input order.
+    let chunk = n.div_ceil(threads * CHUNKS_PER_THREAD).max(1);
+    let mut chunks: Vec<Vec<(usize, T)>> = Vec::with_capacity(n.div_ceil(chunk));
+    let mut it = items.into_iter().enumerate();
+    loop {
+        let c: Vec<(usize, T)> = it.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    chunks.reverse();
+
+    let queue = Mutex::new(chunks);
+    let out = Mutex::new(Vec::<(usize, R)>::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let next = queue.lock().expect("pool queue poisoned").pop();
+                    let Some(chunk) = next else { break };
+                    for (i, x) in chunk {
+                        local.push((i, f(i, x)));
+                    }
+                }
+                out.lock().expect("pool output poisoned").append(&mut local);
+            });
+        }
+    });
+
+    let mut out = out.into_inner().expect("pool output poisoned");
+    debug_assert_eq!(out.len(), n, "every item maps to exactly one result");
+    out.sort_unstable_by_key(|&(i, _)| i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order_for_any_thread_count() {
+        let items: Vec<usize> = (0..1000).collect();
+        let want: Vec<usize> = items.iter().map(|i| i * 3).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = parallel_map(items.clone(), threads, |_, x| x * 3);
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let got: Vec<usize> = parallel_map(Vec::<usize>::new(), 4, |_, x| x);
+        assert!(got.is_empty());
+        let got = parallel_map(vec![7usize], 4, |i, x| x + i);
+        assert_eq!(got, vec![7]);
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let got = parallel_map(vec![10, 20, 30, 40], 2, |i, x| (i, x));
+        assert_eq!(got, vec![(0, 10), (1, 20), (2, 30), (3, 40)]);
+    }
+
+    #[test]
+    fn skewed_work_still_completes() {
+        // One heavy item among many light ones: chunk self-scheduling must
+        // not deadlock or drop results.
+        let got = parallel_map((0..64usize).collect(), 4, |_, x| {
+            if x == 0 {
+                (0..10_000u64).sum::<u64>()
+            } else {
+                x as u64
+            }
+        });
+        assert_eq!(got[0], 49_995_000);
+        assert_eq!(got[63], 63);
+    }
+
+    #[test]
+    fn default_threads_is_at_least_one() {
+        assert!(default_threads() >= 1);
+    }
+}
