@@ -63,8 +63,9 @@ fn bench_model(model: ModelKind, name: &'static str) -> Row {
 
     let sim = train_on(&dev, &data, &cfg);
     let sim_wall = wall_us(&dev, &data, &cfg);
-    let fast1 = wall_us(&dev, &data, &TrainConfig { exec: ExecMode::fast_with_threads(1), ..cfg });
-    let fast_auto = wall_us(&dev, &data, &TrainConfig { exec: ExecMode::fast(), ..cfg });
+    let fast1 =
+        wall_us(&dev, &data, &TrainConfig { exec: ExecMode::fast_with_threads(1), ..cfg.clone() });
+    let fast_auto = wall_us(&dev, &data, &TrainConfig { exec: ExecMode::fast(), ..cfg.clone() });
 
     Row {
         model: name,

@@ -22,10 +22,11 @@ pub fn discretize(quick: bool) -> Table {
         let data = ds.load(SEED);
         for model in [ModelKind::Gcn, ModelKind::Gin] {
             let base = TrainConfig { model, epochs, ..TrainConfig::default() };
-            let disc = train(&data, &TrainConfig { precision: PrecisionMode::HalfGnn, ..base });
+            let disc =
+                train(&data, &TrainConfig { precision: PrecisionMode::HalfGnn, ..base.clone() });
             let post = train(
                 &data,
-                &TrainConfig { precision: PrecisionMode::HalfGnnNoDiscretize, ..base },
+                &TrainConfig { precision: PrecisionMode::HalfGnnNoDiscretize, ..base.clone() },
             );
             t.row(vec![
                 data.spec.name.to_string(),

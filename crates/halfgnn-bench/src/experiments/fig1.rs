@@ -91,8 +91,9 @@ pub fn fig1c(quick: bool) -> Table {
         let data = ds.load(SEED);
         for model in [ModelKind::Gcn, ModelKind::Gin] {
             let base = TrainConfig { model, epochs, ..TrainConfig::default() };
-            let f = train(&data, &TrainConfig { precision: PrecisionMode::Float, ..base });
-            let h = train(&data, &TrainConfig { precision: PrecisionMode::HalfNaive, ..base });
+            let f = train(&data, &TrainConfig { precision: PrecisionMode::Float, ..base.clone() });
+            let h =
+                train(&data, &TrainConfig { precision: PrecisionMode::HalfNaive, ..base.clone() });
             t.row(vec![
                 data.spec.name.to_string(),
                 format!("{model:?}"),

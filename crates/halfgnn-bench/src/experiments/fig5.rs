@@ -31,8 +31,9 @@ pub fn run(quick: bool) -> Table {
         let epochs = epochs_for(data.spec.id, quick);
         for model in [ModelKind::Gcn, ModelKind::Gat, ModelKind::Gin] {
             let base = TrainConfig { model, epochs, ..TrainConfig::default() };
-            let f = train(&data, &TrainConfig { precision: PrecisionMode::Float, ..base });
-            let h = train(&data, &TrainConfig { precision: PrecisionMode::HalfGnn, ..base });
+            let f = train(&data, &TrainConfig { precision: PrecisionMode::Float, ..base.clone() });
+            let h =
+                train(&data, &TrainConfig { precision: PrecisionMode::HalfGnn, ..base.clone() });
             let delta = h.final_train_accuracy - f.final_train_accuracy;
             max_drop = max_drop.max(-delta);
             t.row(vec![

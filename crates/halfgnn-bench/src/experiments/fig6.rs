@@ -18,12 +18,12 @@ pub fn run(quick: bool) -> Table {
             let base = TrainConfig { model, ..TrainConfig::default() };
             let f = model_memory(
                 &data,
-                &TrainConfig { precision: PrecisionMode::Float, ..base },
+                &TrainConfig { precision: PrecisionMode::Float, ..base.clone() },
                 data.spec.classes,
             );
             let h = model_memory(
                 &data,
-                &TrainConfig { precision: PrecisionMode::HalfGnn, ..base },
+                &TrainConfig { precision: PrecisionMode::HalfGnn, ..base.clone() },
                 data.spec.classes.div_ceil(2) * 2,
             );
             let ratio = f.peak() as f64 / h.peak() as f64;

@@ -18,12 +18,14 @@ pub fn measure(quick: bool) -> EpochTimes {
         let data = ds.load(SEED);
         for model in [ModelKind::Gcn, ModelKind::Gat, ModelKind::Gin] {
             let base = TrainConfig { model, epochs: 1, ..TrainConfig::default() };
-            let tf = train(&data, &TrainConfig { precision: PrecisionMode::Float, ..base })
+            let tf = train(&data, &TrainConfig { precision: PrecisionMode::Float, ..base.clone() })
                 .epoch_time_us;
-            let tn = train(&data, &TrainConfig { precision: PrecisionMode::HalfNaive, ..base })
-                .epoch_time_us;
-            let th = train(&data, &TrainConfig { precision: PrecisionMode::HalfGnn, ..base })
-                .epoch_time_us;
+            let tn =
+                train(&data, &TrainConfig { precision: PrecisionMode::HalfNaive, ..base.clone() })
+                    .epoch_time_us;
+            let th =
+                train(&data, &TrainConfig { precision: PrecisionMode::HalfGnn, ..base.clone() })
+                    .epoch_time_us;
             rows.push((data.spec.name.to_string(), model, tf, tn, th));
         }
     }

@@ -20,6 +20,15 @@ pub struct DegreeStats {
     pub gini: f64,
     /// Fraction of all edges owned by the top 1 % of rows.
     pub top1pct_edge_share: f64,
+    /// Coefficient of variation (population std-dev / mean): 0 for a
+    /// regular graph, ≈1 for Erdős–Rényi-like, ≫1 for power laws. The
+    /// kernel autotuner buckets graphs on this to decide which candidate
+    /// plans (atomic writes, vertex-parallel layouts) are worth trying.
+    pub cv: f64,
+    /// Max/mean degree ratio: how far the worst hub outruns the typical
+    /// row — the overflow-risk and warp-imbalance axis the CV misses when
+    /// a single extreme hub hides inside an otherwise flat distribution.
+    pub max_mean_skew: f64,
 }
 
 /// Compute [`DegreeStats`] for a CSR graph.
@@ -33,6 +42,8 @@ pub fn degree_stats(csr: &Csr) -> DegreeStats {
             median: 0,
             gini: 0.0,
             top1pct_edge_share: 0.0,
+            cv: 0.0,
+            max_mean_skew: 0.0,
         };
     }
     degs.sort_unstable();
@@ -49,6 +60,9 @@ pub fn degree_stats(csr: &Csr) -> DegreeStats {
     };
     let top = (n / 100).max(1);
     let top_edges: u64 = degs[n - top..].iter().map(|&d| d as u64).sum();
+    let variance =
+        degs.iter().map(|&d| (d as f64 - mean) * (d as f64 - mean)).sum::<f64>() / n as f64;
+    let cv = if mean > 0.0 { variance.sqrt() / mean } else { 0.0 };
     DegreeStats {
         min: degs[0],
         max: degs[n - 1],
@@ -56,6 +70,8 @@ pub fn degree_stats(csr: &Csr) -> DegreeStats {
         median: degs[n / 2],
         gini,
         top1pct_edge_share: if total == 0 { 0.0 } else { top_edges as f64 / total as f64 },
+        cv,
+        max_mean_skew: if mean > 0.0 { degs[n - 1] as f64 / mean } else { 0.0 },
     }
 }
 
@@ -104,5 +120,61 @@ mod tests {
         let s = degree_stats(&csr);
         assert_eq!(s.max, 0);
         assert_eq!(s.gini, 0.0);
+        assert_eq!(s.cv, 0.0);
+        assert_eq!(s.max_mean_skew, 0.0);
+    }
+
+    #[test]
+    fn regular_graph_has_zero_cv_and_unit_skew() {
+        let n = 50u32;
+        let edges: Vec<(u32, u32)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        let csr = Csr::from_edges(n as usize, n as usize, &edges).symmetrized_with_self_loops();
+        let s = degree_stats(&csr);
+        assert!(s.cv < 1e-9, "cv {}", s.cv);
+        assert!((s.max_mean_skew - 1.0).abs() < 1e-9, "skew {}", s.max_mean_skew);
+    }
+
+    #[test]
+    fn cv_orders_the_synthetic_generators() {
+        // Grid < Erdős–Rényi < preferential attachment: each generator
+        // family lands in a distinct CV regime, which is what makes CV a
+        // usable bucketing axis for kernel plans.
+        let grid = Csr::from_edges(900, 900, &gen::grid2d(30, 30)).symmetrized_with_self_loops();
+        let er = Csr::from_edges(2_000, 2_000, &gen::erdos_renyi(2_000, 10_000, 3))
+            .symmetrized_with_self_loops();
+        let pl = Csr::from_edges(2_000, 2_000, &gen::preferential_attachment(2_000, 5, 3))
+            .symmetrized_with_self_loops();
+        let (sg, se, sp) = (degree_stats(&grid), degree_stats(&er), degree_stats(&pl));
+        assert!(sg.cv < se.cv, "grid {} vs er {}", sg.cv, se.cv);
+        assert!(se.cv * 1.5 < sp.cv, "er {} vs powerlaw {}", se.cv, sp.cv);
+        assert!(sp.cv > 0.8, "powerlaw cv {}", sp.cv);
+    }
+
+    #[test]
+    fn skew_isolates_a_single_hub_the_cv_smooths_over() {
+        // One 500-degree hub over a 2000-vertex near-regular background:
+        // the max/mean ratio explodes while the CV stays moderate.
+        let n = 2_000u32;
+        let mut edges: Vec<(u32, u32)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
+        edges.extend((1..=500u32).map(|v| (0, v * 3 % n)));
+        let csr = Csr::from_edges(n as usize, n as usize, &edges).symmetrized_with_self_loops();
+        let s = degree_stats(&csr);
+        assert!(s.max_mean_skew > 20.0, "skew {}", s.max_mean_skew);
+        assert!(s.cv < 5.0, "cv {}", s.cv);
+    }
+
+    #[test]
+    fn star_graph_cv_matches_closed_form() {
+        // Star on n vertices (after sym + self loops): hub degree n,
+        // leaves degree 2. Verify against the directly computed formula.
+        let n = 100u32;
+        let edges: Vec<(u32, u32)> = (1..n).map(|v| (0, v)).collect();
+        let csr = Csr::from_edges(n as usize, n as usize, &edges).symmetrized_with_self_loops();
+        let s = degree_stats(&csr);
+        let degs: Vec<f64> = csr.degrees().iter().map(|&d| d as f64).collect();
+        let mean = degs.iter().sum::<f64>() / degs.len() as f64;
+        let var = degs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / degs.len() as f64;
+        assert!((s.cv - var.sqrt() / mean).abs() < 1e-12);
+        assert!((s.max_mean_skew - n as f64 / mean).abs() < 1e-12);
     }
 }

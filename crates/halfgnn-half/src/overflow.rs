@@ -145,6 +145,26 @@ pub fn is_active() -> bool {
     ACTIVE.with(|a| a.get())
 }
 
+/// Run `f` inside its own nested tracking window and return its output
+/// together with the conversions *it alone* performed.
+///
+/// Any outer window is suspended for the duration and resumed untouched
+/// afterwards — its counters never see `f`'s conversions. This is what
+/// lets the kernel autotuner evaluate (and deliberately overflow)
+/// candidate plans in the middle of a training epoch without polluting
+/// that epoch's provenance summary. Without the `provenance` feature the
+/// returned summary is empty, like [`take`].
+pub fn isolated<T>(f: impl FnOnce() -> T) -> (T, Summary) {
+    let outer_active = ACTIVE.with(|a| a.get());
+    let outer_window = WINDOW.with(|w| std::mem::take(&mut *w.borrow_mut()));
+    begin();
+    let out = f();
+    let summary = take();
+    WINDOW.with(|w| *w.borrow_mut() = outer_window);
+    ACTIVE.with(|a| a.set(outer_active));
+    (out, summary)
+}
+
 /// RAII guard popping its site label (and anything pushed above it) on drop.
 pub struct SiteGuard {
     depth: usize,
@@ -290,6 +310,34 @@ mod tests {
         }
         let s = take();
         assert_eq!(s.first.unwrap().site, "gcn.layer1.aggregate/cusparse_f16_spmmv");
+    }
+
+    #[test]
+    fn isolated_window_shields_the_outer_one() {
+        begin();
+        let _ = Half::from_f32(2.0); // outer: 1 clean conversion
+        let (v, inner) = isolated(|| {
+            let _ = Half::from_f32(1e9); // inner overflow, invisible outside
+            Half::from_f32(3.0)
+        });
+        let _ = Half::from_f32(4.0); // outer window must still be recording
+        let outer = take();
+        assert_eq!(v.to_f32(), 3.0);
+        assert_eq!(inner.conversions, 2);
+        assert_eq!(inner.overflows, 1);
+        assert_eq!(outer.conversions, 2);
+        assert!(outer.is_clean(), "inner overflow leaked into the outer window");
+    }
+
+    #[test]
+    fn isolated_without_an_outer_window_leaves_recording_off() {
+        let (_, inner) = isolated(|| Half::from_f32(1e9));
+        assert_eq!(inner.overflows, 1);
+        assert!(!is_active());
+        let _ = Half::from_f32(1e9); // not recorded anywhere
+        begin();
+        let s = take();
+        assert_eq!(s.conversions, 0);
     }
 
     #[test]

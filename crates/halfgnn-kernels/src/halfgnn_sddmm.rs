@@ -20,6 +20,35 @@ use halfgnn_sim::launch::{launch, LaunchParams};
 use halfgnn_sim::memory::AddrSpace;
 use halfgnn_sim::{DeviceConfig, KernelStats};
 
+/// Tunable SDDMM knobs: the data-load vector width (Fig. 12) and whether
+/// sub-warps pack multiple edges into one warp (§4.1). Both are plan
+/// dimensions the autotuner searches; `sub_warps: false` is the prior-work
+/// layout (one edge per warp, idle lanes, a full 5-round shuffle tree) and
+/// exists so the tuner can *measure* what sub-warping buys. The functional
+/// result is identical either way — only the modeled cost differs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SddmmConfig {
+    /// Data-load vector type.
+    pub width: VectorWidth,
+    /// Pack `32 / threads_per_edge` edges per warp (the paper's design).
+    pub sub_warps: bool,
+}
+
+impl SddmmConfig {
+    /// The paper's default for feature length `f`: the widest vector type
+    /// the (padded) feature length supports, with sub-warps on.
+    pub fn widest_for(f: usize) -> SddmmConfig {
+        let width = if f.is_multiple_of(8) {
+            VectorWidth::Half8
+        } else if f.is_multiple_of(4) {
+            VectorWidth::Half4
+        } else {
+            VectorWidth::Half2
+        };
+        SddmmConfig { width, sub_warps: true }
+    }
+}
+
 /// `out[e] ← dot(U[row(e)], V[col(e)])` in half precision.
 ///
 /// `width` selects the data-load vector type (Fig. 12 compares them);
@@ -33,6 +62,20 @@ pub fn sddmm(
     f: usize,
     width: VectorWidth,
 ) -> (Vec<Half>, KernelStats) {
+    sddmm_with_config(dev, coo, u, v, f, &SddmmConfig { width, sub_warps: true })
+}
+
+/// [`sddmm`] with every plan knob explicit — the entry point the autotuner
+/// dispatches through.
+pub fn sddmm_with_config(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    u: &[Half],
+    v: &[Half],
+    f: usize,
+    cfg: &SddmmConfig,
+) -> (Vec<Half>, KernelStats) {
+    let width = cfg.width;
     let _site = halfgnn_half::overflow::site("halfgnn_sddmm");
     assert_eq!(u.len(), coo.num_rows() * f, "U shape mismatch");
     assert_eq!(v.len(), coo.num_cols() * f, "V shape mismatch");
@@ -57,9 +100,15 @@ pub fn sddmm(
     let out_base = space.alloc(nnz, 2);
 
     // Threads cooperating on one edge, and shuffle rounds to combine them.
+    // Without sub-warps each edge occupies the whole warp: the reduction
+    // tree must synchronize all 32 lanes (5 rounds) and only one edge's
+    // group is in flight per warp — the cost the §4.1 design removes.
     let threads_per_edge = (f / width.lanes()).clamp(1, 32);
-    let sub_warps = 32 / threads_per_edge.max(1);
-    let shuffle_rounds = threads_per_edge.next_power_of_two().trailing_zeros() as u64;
+    let (sub_warps, shuffle_rounds) = if cfg.sub_warps {
+        (32 / threads_per_edge.max(1), threads_per_edge.next_power_of_two().trailing_zeros() as u64)
+    } else {
+        (1, 32u64.trailing_zeros() as u64)
+    };
 
     let (cta_outs, stats) = launch(
         dev,
@@ -278,6 +327,42 @@ mod tests {
         let (_, s2) = sddmm(&dev(), &g, &u, &v, f, VectorWidth::Half2);
         assert_eq!(s8.totals.shuffles, 2);
         assert_eq!(s2.totals.shuffles, 4);
+    }
+
+    #[test]
+    fn widest_config_matches_the_model_layer_rule() {
+        assert_eq!(SddmmConfig::widest_for(64).width, VectorWidth::Half8);
+        assert_eq!(SddmmConfig::widest_for(12).width, VectorWidth::Half4);
+        assert_eq!(SddmmConfig::widest_for(6).width, VectorWidth::Half2);
+        assert!(SddmmConfig::widest_for(64).sub_warps);
+    }
+
+    #[test]
+    fn disabling_sub_warps_costs_shuffles_but_changes_no_values() {
+        // One edge per warp → a full 32-lane shuffle tree per edge and no
+        // edge packing: strictly more modeled work, bit-identical output.
+        let g = random_graph(100, 400, 30);
+        let f = 32;
+        let u = random_halves(g.num_rows() * f, 0.5, 31);
+        let v = random_halves(g.num_cols() * f, 0.5, 32);
+        let (a, sa) = sddmm(&dev(), &g, &u, &v, f, VectorWidth::Half8);
+        let (b, sb) = sddmm_with_config(
+            &dev(),
+            &g,
+            &u,
+            &v,
+            f,
+            &SddmmConfig { width: VectorWidth::Half8, sub_warps: false },
+        );
+        let bits = |e: &[Half]| e.iter().map(|h| h.to_bits()).collect::<Vec<u16>>();
+        assert_eq!(bits(&a), bits(&b));
+        assert!(
+            sb.totals.shuffles > sa.totals.shuffles,
+            "{} vs {}",
+            sb.totals.shuffles,
+            sa.totals.shuffles
+        );
+        assert!(sb.cycles > sa.cycles, "{} vs {}", sb.cycles, sa.cycles);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 use crate::gcn::StepOutput;
 use crate::graphdata::PreparedGraph;
 use crate::models::{
-    edge_reduce_f32, edge_reduce_half, sddmm_f32, sddmm_half, spmmve_f32, spmmve_half,
+    edge_reduce_f32, edge_reduce_half, sddmm_f32, sddmm_half, spmmve_f32, spmmve_half, Dispatch,
     PrecisionMode,
 };
 use crate::params::{GatGrads, GatParams};
@@ -173,10 +173,10 @@ fn layer_forward_half(
     a_dst: &[Half],
     f_in: usize,
     f_out: usize,
-    mode: PrecisionMode,
+    d: Dispatch<'_>,
 ) -> LayerStateHalf {
     let n = g.n();
-    let shadow = mode != PrecisionMode::HalfNaive;
+    let shadow = d.mode != PrecisionMode::HalfNaive;
     let z = ops.gemm_half(x, false, w, false, n, f_in, f_out);
     let s_src = ops.gemm_half(&z, false, a_src, false, n, f_out, 1);
     let s_dst = ops.gemm_half(&z, false, a_dst, false, n, f_out, 1);
@@ -195,7 +195,7 @@ fn layer_forward_half(
     let zs = edge_reduce_half(ops, g, &en, Reduce::Sum);
     let (alpha, st) = edge_ops::div_row(ops.dev, &g.coo, &en, &zs);
     ops.record(st);
-    let out = spmmve_half(ops, g, &alpha, &z, f_out, mode);
+    let out = spmmve_half(ops, g, &alpha, &z, f_out, d);
     LayerStateHalf { z, e, alpha, out }
 }
 
@@ -211,12 +211,12 @@ fn layer_backward_half(
     dh: &[Half],
     f_in: usize,
     f_out: usize,
-    mode: PrecisionMode,
+    d: Dispatch<'_>,
 ) -> (Vec<Half>, Vec<Half>, Vec<Half>, Vec<Half>) {
     let n = g.n();
     let alpha_t = g.permute_to_transpose(&state.alpha);
-    let dz_agg = spmmve_half(ops, g, &alpha_t, dh, f_out, mode);
-    let dalpha = sddmm_half(ops, g, dh, &state.z, f_out, mode);
+    let dz_agg = spmmve_half(ops, g, &alpha_t, dh, f_out, d);
+    let dalpha = sddmm_half(ops, g, dh, &state.z, f_out, d);
     let (prod, st) = edge_ops::mul(ops.dev, &g.coo, &state.alpha, &dalpha);
     ops.record(st);
     let t = edge_reduce_half(ops, g, &prod, Reduce::Sum);
@@ -247,7 +247,7 @@ pub fn step_half(
     x: &[Half],
     labels: &[u32],
     mask: &[bool],
-    mode: PrecisionMode,
+    d: Dispatch<'_>,
 ) -> StepOutput<GatGrads> {
     let (f_in, h, c) = (p.f_in, p.hidden, p.classes);
     let w1h = ops.to_half(&p.w1);
@@ -258,11 +258,11 @@ pub fn step_half(
     let a_dst2h = ops.to_half(&p.a_dst2);
 
     let layer1 = halfgnn_half::overflow::site("gat.layer1");
-    let l1 = layer_forward_half(ops, g, x, &w1h, &a_src1h, &a_dst1h, f_in, h, mode);
+    let l1 = layer_forward_half(ops, g, x, &w1h, &a_src1h, &a_dst1h, f_in, h, d);
     let h1 = ops.relu_half(&l1.out);
     drop(layer1);
     let layer2 = halfgnn_half::overflow::site("gat.layer2");
-    let l2 = layer_forward_half(ops, g, &h1, &w2h, &a_src2h, &a_dst2h, h, c, mode);
+    let l2 = layer_forward_half(ops, g, &h1, &w2h, &a_src2h, &a_dst2h, h, c, d);
     drop(layer2);
 
     let logits = ops.to_f32(&l2.out);
@@ -278,12 +278,12 @@ pub fn step_half(
 
     let bwd2 = halfgnn_half::overflow::site("gat.layer2.backward");
     let (dh1, dw2h, da_src2h, da_dst2h) =
-        layer_backward_half(ops, g, &l2, &h1, &w2h, &a_src2h, &a_dst2h, &dout, h, c, mode);
+        layer_backward_half(ops, g, &l2, &h1, &w2h, &a_src2h, &a_dst2h, &dout, h, c, d);
     drop(bwd2);
     let _bwd1 = halfgnn_half::overflow::site("gat.layer1.backward");
     let dl1 = ops.relu_grad_half(&l1.out, &dh1);
     let (_, dw1h, da_src1h, da_dst1h) =
-        layer_backward_half(ops, g, &l1, x, &w1h, &a_src1h, &a_dst1h, &dl1, f_in, h, mode);
+        layer_backward_half(ops, g, &l1, x, &w1h, &a_src1h, &a_dst1h, &dl1, f_in, h, d);
 
     let mut grads = GatGrads {
         w1: ops.to_f32(&dw1h),
@@ -478,7 +478,7 @@ pub fn step_half_multihead(
     x: &[Half],
     labels: &[u32],
     mask: &[bool],
-    mode: PrecisionMode,
+    dsp: Dispatch<'_>,
 ) -> StepOutput<MultiHeadGatGrads> {
     let n = g.n();
     let (f_in, d, c) = (p.f_in, p.head_dim(), p.classes);
@@ -494,7 +494,7 @@ pub fn step_half_multihead(
 
     // ---- Layer 1 heads + concat + ReLU.
     let states: Vec<LayerStateHalf> = (0..p.heads)
-        .map(|h| layer_forward_half(ops, g, x, &w1h[h], &asrc1h[h], &adst1h[h], f_in, d, mode))
+        .map(|h| layer_forward_half(ops, g, x, &w1h[h], &asrc1h[h], &adst1h[h], f_in, d, dsp))
         .collect();
     let mut cat = vec![Half::ZERO; n * p.hidden];
     for (h, st) in states.iter().enumerate() {
@@ -506,7 +506,7 @@ pub fn step_half_multihead(
     let h1 = ops.relu_half(&cat);
 
     // ---- Layer 2 + loss.
-    let l2 = layer_forward_half(ops, g, &h1, &w2h, &asrc2h, &adst2h, p.hidden, c, mode);
+    let l2 = layer_forward_half(ops, g, &h1, &w2h, &asrc2h, &adst2h, p.hidden, c, dsp);
     let logits = ops.to_f32(&l2.out);
     let (loss, mut dlogits, correct) = ops.softmax_xent_f32(&logits, labels, mask, c);
     let loss_scale = ops.loss_scale;
@@ -519,7 +519,7 @@ pub fn step_half_multihead(
 
     // ---- Backward.
     let (dh1, dw2h, dasrc2h, dadst2h) =
-        layer_backward_half(ops, g, &l2, &h1, &w2h, &asrc2h, &adst2h, &dout, p.hidden, c, mode);
+        layer_backward_half(ops, g, &l2, &h1, &w2h, &asrc2h, &adst2h, &dout, p.hidden, c, dsp);
     let dcat = ops.relu_grad_half(&cat, &dh1);
     let mut grads = MultiHeadGatGrads {
         w1: Vec::with_capacity(p.heads),
@@ -536,7 +536,7 @@ pub fn step_half_multihead(
                 .copy_from_slice(&dcat[v * p.hidden + h * d..v * p.hidden + (h + 1) * d]);
         }
         let (_, dw, dasrc, dadst) = layer_backward_half(
-            ops, g, &states[h], x, &w1h[h], &asrc1h[h], &adst1h[h], &dh, f_in, d, mode,
+            ops, g, &states[h], x, &w1h[h], &asrc1h[h], &adst1h[h], &dh, f_in, d, dsp,
         );
         grads.w1.push(ops.to_f32(&dw));
         grads.a_src1.push(ops.to_f32(&dasrc));
@@ -676,7 +676,15 @@ mod tests {
         let xh: Vec<Half> = x.iter().map(|&v| Half::from_f32(v)).collect();
         let mut ops = Ops::new(&dev);
         let f = step_f32_multihead(&mut ops, &g, &p, &x, &labels, &mask);
-        let h = step_half_multihead(&mut ops, &g, &p, &xh, &labels, &mask, PrecisionMode::HalfGnn);
+        let h = step_half_multihead(
+            &mut ops,
+            &g,
+            &p,
+            &xh,
+            &labels,
+            &mask,
+            PrecisionMode::HalfGnn.into(),
+        );
         assert!((f.loss - h.loss).abs() < 0.1, "{} vs {}", f.loss, h.loss);
         assert!(h.loss.is_finite());
         // Gradient direction agreement on head 0's projection.
@@ -705,7 +713,7 @@ mod tests {
         let xh: Vec<Half> = x.iter().map(|&v| Half::from_f32(v)).collect();
         let mut ops = Ops::new(&dev);
         let f = step_f32(&mut ops, &g, &p, &x, &labels, &mask);
-        let hh = step_half(&mut ops, &g, &p, &xh, &labels, &mask, PrecisionMode::HalfGnn);
+        let hh = step_half(&mut ops, &g, &p, &xh, &labels, &mask, PrecisionMode::HalfGnn.into());
         assert!((f.loss - hh.loss).abs() < 0.08, "{} vs {}", f.loss, hh.loss);
         assert!(hh.loss.is_finite());
     }
@@ -717,9 +725,9 @@ mod tests {
         let p = GatParams::new(8, 6, 2, 11);
         let xh: Vec<Half> = x.iter().map(|&v| Half::from_f32(v)).collect();
         let mut shadow_ops = Ops::new(&dev);
-        step_half(&mut shadow_ops, &g, &p, &xh, &labels, &mask, PrecisionMode::HalfGnn);
+        step_half(&mut shadow_ops, &g, &p, &xh, &labels, &mask, PrecisionMode::HalfGnn.into());
         let mut amp_ops = Ops::new(&dev);
-        step_half(&mut amp_ops, &g, &p, &xh, &labels, &mask, PrecisionMode::HalfNaive);
+        step_half(&mut amp_ops, &g, &p, &xh, &labels, &mask, PrecisionMode::HalfNaive.into());
         assert!(
             amp_ops.converted_elems > shadow_ops.converted_elems,
             "AMP {} should convert more than shadow {}",

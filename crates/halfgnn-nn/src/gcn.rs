@@ -12,7 +12,7 @@
 
 use crate::graphdata::PreparedGraph;
 use crate::models::{
-    gcn_agg_backward_f32, gcn_agg_backward_half, gcn_agg_f32, gcn_agg_half, GcnNorm, PrecisionMode,
+    gcn_agg_backward_f32, gcn_agg_backward_half, gcn_agg_f32, gcn_agg_half, Dispatch, GcnNorm,
 };
 use crate::params::{TwoLayerGrads, TwoLayerParams};
 use halfgnn_tensor::Ops;
@@ -109,7 +109,7 @@ pub fn step_f32_norm(
 }
 
 /// One mixed-precision training step: half state tensors through the
-/// kernels `mode` selects, f32 master weights and loss.
+/// kernels the dispatch's mode selects, f32 master weights and loss.
 pub fn step_half(
     ops: &mut Ops,
     g: &PreparedGraph,
@@ -117,9 +117,9 @@ pub fn step_half(
     x: &[halfgnn_half::Half],
     labels: &[u32],
     mask: &[bool],
-    mode: PrecisionMode,
+    d: Dispatch<'_>,
 ) -> StepOutput<TwoLayerGrads> {
-    step_half_norm(ops, g, p, x, labels, mask, mode, GcnNorm::Right)
+    step_half_norm(ops, g, p, x, labels, mask, d, GcnNorm::Right)
 }
 
 /// [`step_half`] with an explicit degree-norm placement.
@@ -131,7 +131,7 @@ pub fn step_half_norm(
     x: &[halfgnn_half::Half],
     labels: &[u32],
     mask: &[bool],
-    mode: PrecisionMode,
+    d: Dispatch<'_>,
     norm: GcnNorm,
 ) -> StepOutput<TwoLayerGrads> {
     let n = g.n();
@@ -148,14 +148,14 @@ pub fn step_half_norm(
     // ---- Forward (all state tensors half; DGL-style layer-1 dispatch).
     let layer1 = halfgnn_half::overflow::site("gcn.layer1");
     let (lin_in, a1) = if aggregate_first {
-        let ax = gcn_agg_half(ops, g, x, f_in, norm, mode);
+        let ax = gcn_agg_half(ops, g, x, f_in, norm, d);
         let z1 = ops.gemm_half(&ax, false, &w1h, false, n, f_in, h);
         let a1 = ops.bias_add_half(&z1, &b1h);
         (ax, a1)
     } else {
         let z1 = ops.gemm_half(x, false, &w1h, false, n, f_in, h);
         let z1 = ops.bias_add_half(&z1, &b1h);
-        let a1 = gcn_agg_half(ops, g, &z1, h, norm, mode);
+        let a1 = gcn_agg_half(ops, g, &z1, h, norm, d);
         (x.to_vec(), a1)
     };
     drop(layer1);
@@ -163,7 +163,7 @@ pub fn step_half_norm(
     let h1 = ops.relu_half(&a1);
     let z2 = ops.gemm_half(&h1, false, &w2h, false, n, h, c);
     let z2 = ops.bias_add_half(&z2, &b2h);
-    let out = gcn_agg_half(ops, g, &z2, c, norm, mode);
+    let out = gcn_agg_half(ops, g, &z2, c, norm, d);
     drop(layer2);
 
     // AMP promotes the loss to float (charged conversion).
@@ -182,7 +182,7 @@ pub fn step_half_norm(
     // ---- Backward in half.
     let _bwd = halfgnn_half::overflow::site("gcn.backward");
     let dout = ops.to_half(&dlogits);
-    let dz2 = gcn_agg_backward_half(ops, g, &dout, c, norm, mode);
+    let dz2 = gcn_agg_backward_half(ops, g, &dout, c, norm, d);
     let dw2h = ops.gemm_half(&h1, true, &dz2, false, h, n, c);
     let db2 = ops.colsum_half(&dz2, c);
     let dh1 = ops.gemm_half(&dz2, false, &w2h, true, n, c, h);
@@ -192,7 +192,7 @@ pub fn step_half_norm(
         let db1 = ops.colsum_half(&da1, h);
         (dw1h, db1)
     } else {
-        let dz1 = gcn_agg_backward_half(ops, g, &da1, h, norm, mode);
+        let dz1 = gcn_agg_backward_half(ops, g, &da1, h, norm, d);
         let dw1h = ops.gemm_half(&lin_in, true, &dz1, false, f_in, n, h);
         let db1 = ops.colsum_half(&dz1, h);
         (dw1h, db1)
@@ -219,6 +219,7 @@ pub fn step_half_norm(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::models::PrecisionMode;
     use halfgnn_graph::gen;
     use halfgnn_graph::Csr;
     use halfgnn_sim::DeviceConfig;
@@ -340,7 +341,7 @@ mod tests {
             &x,
             4,
             GcnNorm::Left,
-            PrecisionMode::HalfNaive,
+            PrecisionMode::HalfNaive.into(),
         );
         assert!(y_left.iter().all(|v| v.is_finite()), "left-norm forward must be safe");
         let y_right = crate::models::gcn_agg_half(
@@ -349,7 +350,7 @@ mod tests {
             &x,
             4,
             GcnNorm::Right,
-            PrecisionMode::HalfNaive,
+            PrecisionMode::HalfNaive.into(),
         );
         assert!(y_right[0].is_infinite(), "right-norm forward overflows on the hub");
         // ... but the left-norm *adjoint* (sum then scale) overflows:
@@ -359,7 +360,7 @@ mod tests {
             &x,
             4,
             GcnNorm::Left,
-            PrecisionMode::HalfNaive,
+            PrecisionMode::HalfNaive.into(),
         );
         assert!(d_left[0].is_infinite(), "left-norm backward overflows (§3.1.3)");
         // ... and HalfGNN's discretized kernels are safe on both sides.
@@ -369,7 +370,7 @@ mod tests {
             &x,
             4,
             GcnNorm::Left,
-            PrecisionMode::HalfGnn,
+            PrecisionMode::HalfGnn.into(),
         );
         assert!(d_ours.iter().all(|v| v.is_finite()));
     }
@@ -383,7 +384,7 @@ mod tests {
             x.iter().map(|&v| halfgnn_half::Half::from_f32(v)).collect();
         let mut ops = Ops::new(&dev);
         let f = step_f32(&mut ops, &g, &p, &x, &labels, &mask);
-        let hstep = step_half(&mut ops, &g, &p, &xh, &labels, &mask, PrecisionMode::HalfGnn);
+        let hstep = step_half(&mut ops, &g, &p, &xh, &labels, &mask, PrecisionMode::HalfGnn.into());
         assert!((f.loss - hstep.loss).abs() < 0.05, "{} vs {}", f.loss, hstep.loss);
         // Gradient direction agreement (cosine similarity) on W1.
         let dot: f32 = f.grads.w1.iter().zip(&hstep.grads.w1).map(|(a, b)| a * b).sum();

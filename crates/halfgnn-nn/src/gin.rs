@@ -15,7 +15,9 @@
 
 use crate::gcn::StepOutput;
 use crate::graphdata::PreparedGraph;
-use crate::models::{spmm_mean_f32, spmm_mean_half, spmm_sum_f32, spmm_sum_half, PrecisionMode};
+use crate::models::{
+    spmm_mean_f32, spmm_mean_half, spmm_sum_f32, spmm_sum_half, Dispatch, PrecisionMode,
+};
 use crate::params::{TwoLayerGrads, TwoLayerParams};
 use halfgnn_half::Half;
 use halfgnn_tensor::Ops;
@@ -82,9 +84,9 @@ pub fn step_half(
     x: &[Half],
     labels: &[u32],
     mask: &[bool],
-    mode: PrecisionMode,
+    d: Dispatch<'_>,
 ) -> StepOutput<TwoLayerGrads> {
-    step_half_lambda(ops, g, p, x, labels, mask, mode, GIN_LAMBDA)
+    step_half_lambda(ops, g, p, x, labels, mask, d, GIN_LAMBDA)
 }
 
 /// [`step_half`] with an explicit λ (the §5.2.2 ablation sweeps it).
@@ -96,13 +98,13 @@ pub fn step_half_lambda(
     x: &[Half],
     labels: &[u32],
     mask: &[bool],
-    mode: PrecisionMode,
+    d: Dispatch<'_>,
     lambda: f32,
 ) -> StepOutput<TwoLayerGrads> {
     let n = g.n();
     let (f_in, h, c) = (p.f_in, p.hidden, p.classes);
     let one_eps = Half::from_f32(1.0 + GIN_EPS);
-    let protected = matches!(mode, PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize);
+    let protected = matches!(d.mode, PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize);
     let agg_scale = if protected { Half::from_f32(lambda) } else { Half::ONE };
 
     let w1h = ops.to_half(&p.w1);
@@ -114,7 +116,7 @@ pub fn step_half_lambda(
     // kernel applies the degree norm post-reduction, so hub rows have
     // already overflowed by the time it runs.
     let aggregate =
-        |ops: &mut Ops, g: &PreparedGraph, t: &[Half], f: usize| spmm_mean_half(ops, g, t, f, mode);
+        |ops: &mut Ops, g: &PreparedGraph, t: &[Half], f: usize| spmm_mean_half(ops, g, t, f, d);
 
     // ---- Forward.
     let layer1 = halfgnn_half::overflow::site("gin.layer1");
@@ -152,7 +154,7 @@ pub fn step_half_lambda(
     // Adjoint of the aggregation: mean's adjoint is row-scale-then-sum;
     // sum's adjoint is a plain sum.
     let scaled2 = ops.row_scale_half(&dcomb2, &g.mean_scale_h, h);
-    let back2 = spmm_sum_half(ops, g, &scaled2, h, mode);
+    let back2 = spmm_sum_half(ops, g, &scaled2, h, d);
     let dh1 = ops.scale_add_half(one_eps, &dcomb2, agg_scale, &back2);
     let dz1 = ops.relu_grad_half(&z1, &dh1);
     let dw1h = ops.gemm_half(&comb1, true, &dz1, false, f_in, n, h);
@@ -248,10 +250,11 @@ mod tests {
         let p = TwoLayerParams::new(4, 6, 2, 3);
 
         let mut ops = Ops::new(&dev);
-        let naive = step_half(&mut ops, &g, &p, &xh, &labels, &mask, PrecisionMode::HalfNaive);
+        let naive =
+            step_half(&mut ops, &g, &p, &xh, &labels, &mask, PrecisionMode::HalfNaive.into());
         assert!(naive.loss.is_nan(), "naive GIN should NaN, got {}", naive.loss);
 
-        let ours = step_half(&mut ops, &g, &p, &xh, &labels, &mask, PrecisionMode::HalfGnn);
+        let ours = step_half(&mut ops, &g, &p, &xh, &labels, &mask, PrecisionMode::HalfGnn.into());
         assert!(ours.loss.is_finite(), "HalfGNN GIN must stay finite, got {}", ours.loss);
     }
 }

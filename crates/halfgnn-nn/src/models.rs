@@ -4,10 +4,13 @@
 use crate::graphdata::PreparedGraph;
 use halfgnn_half::Half;
 use halfgnn_kernels::baseline::cusparse::{self, EdgeWeightsF32};
-use halfgnn_kernels::common::{EdgeWeights, Reduce, ScalePlacement, VectorWidth, WriteStrategy};
-use halfgnn_kernels::halfgnn_spmm::{self, SpmmConfig};
+use halfgnn_kernels::common::{EdgeWeights, Reduce, ScalePlacement};
+use halfgnn_kernels::halfgnn_sddmm::SddmmConfig;
+use halfgnn_kernels::halfgnn_spmm;
 use halfgnn_kernels::{baseline::dgl_sddmm, halfgnn_sddmm};
+use halfgnn_sim::KernelStats;
 use halfgnn_tensor::Ops;
+use halfgnn_tune::{SpmmPlan, SpmmVariant, Tuner};
 
 /// Which GNN architecture to train.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,17 +47,49 @@ impl PrecisionMode {
         !matches!(self, PrecisionMode::Float)
     }
 
-    /// HalfGNN SpMM configuration for this mode (half modes only).
-    fn spmm_config(self) -> SpmmConfig {
+    /// Scaling placement of this mode's HalfGNN SpMM when the aggregation
+    /// carries a per-row scale (half modes only). This is a *correctness*
+    /// property of the mode — never a tuning knob.
+    fn scaling(self) -> ScalePlacement {
         match self {
-            PrecisionMode::HalfGnn => SpmmConfig::default(),
-            PrecisionMode::HalfGnnNoDiscretize => SpmmConfig {
-                scaling: ScalePlacement::PostReduction,
-                writes: WriteStrategy::Staged,
-                ..Default::default()
-            },
-            _ => unreachable!("spmm_config is only for HalfGNN modes"),
+            PrecisionMode::HalfGnn => ScalePlacement::Discretized,
+            PrecisionMode::HalfGnnNoDiscretize => ScalePlacement::PostReduction,
+            _ => unreachable!("scaling placement is only for HalfGNN modes"),
         }
+    }
+}
+
+/// How a training run dispatches its sparse kernels: the precision mode
+/// (which kernel *system* runs) plus an optional autotuner (which *plan*
+/// each HalfGNN kernel runs with). With no tuner attached every dispatch
+/// uses the untuned default plan, bit-for-bit identical to pre-tuner
+/// behavior; baseline (`HalfNaive`/`Float`) kernels never consult the
+/// tuner at all.
+#[derive(Clone, Copy)]
+pub struct Dispatch<'t> {
+    /// Kernel system / numerics.
+    pub mode: PrecisionMode,
+    /// Kernel-plan autotuner, when `TrainConfig::tuning` is not `Off`.
+    pub tuner: Option<&'t Tuner>,
+}
+
+impl Dispatch<'static> {
+    /// Dispatch with default plans only (`tuning: Off`).
+    pub fn untuned(mode: PrecisionMode) -> Dispatch<'static> {
+        Dispatch { mode, tuner: None }
+    }
+}
+
+impl<'t> Dispatch<'t> {
+    /// Dispatch through a tuner (`tuning: Auto` / `Cached`).
+    pub fn tuned(mode: PrecisionMode, tuner: &'t Tuner) -> Dispatch<'t> {
+        Dispatch { mode, tuner: Some(tuner) }
+    }
+}
+
+impl<'t> From<PrecisionMode> for Dispatch<'t> {
+    fn from(mode: PrecisionMode) -> Dispatch<'t> {
+        Dispatch { mode, tuner: None }
     }
 }
 
@@ -137,17 +172,17 @@ pub fn gcn_agg_half(
     x: &[Half],
     f: usize,
     norm: GcnNorm,
-    mode: PrecisionMode,
+    d: Dispatch<'_>,
 ) -> Vec<Half> {
     match norm {
-        GcnNorm::Right => spmm_mean_half(ops, g, x, f, mode),
+        GcnNorm::Right => spmm_mean_half(ops, g, x, f, d),
         GcnNorm::Left => {
             let scaled = ops.row_scale_half(x, &g.mean_scale_h, f);
-            spmm_sum_half(ops, g, &scaled, f, mode)
+            spmm_sum_half(ops, g, &scaled, f, d)
         }
         GcnNorm::Both => {
             let scaled = ops.row_scale_half(x, &g.inv_sqrt_scale_h, f);
-            scaled_spmm_half(ops, g, &scaled, f, &g.inv_sqrt_scale_h, mode)
+            scaled_spmm_half(ops, g, &scaled, f, &g.inv_sqrt_scale_h, d)
         }
     }
 }
@@ -162,17 +197,51 @@ pub fn gcn_agg_backward_half(
     dy: &[Half],
     f: usize,
     norm: GcnNorm,
-    mode: PrecisionMode,
+    d: Dispatch<'_>,
 ) -> Vec<Half> {
     match norm {
         GcnNorm::Right => {
             let scaled = ops.row_scale_half(dy, &g.mean_scale_h, f);
-            spmm_sum_half(ops, g, &scaled, f, mode)
+            spmm_sum_half(ops, g, &scaled, f, d)
         }
         // D⁻¹Â δy is exactly a mean aggregation of δy: the naive path runs
         // sum-then-post-scale (overflow), HalfGNN discretizes it.
-        GcnNorm::Left => spmm_mean_half(ops, g, dy, f, mode),
-        GcnNorm::Both => gcn_agg_half(ops, g, dy, f, GcnNorm::Both, mode),
+        GcnNorm::Left => spmm_mean_half(ops, g, dy, f, d),
+        GcnNorm::Both => gcn_agg_half(ops, g, dy, f, GcnNorm::Both, d),
+    }
+}
+
+/// The single HalfGNN SpMM plan-resolution point: every SpMMv/SpMMve
+/// dispatch in every model funnels through here. `scaling` is decided by
+/// the caller (mode + aggregation semantics); the *plan* — write
+/// strategy, tile geometry, edge- vs vertex-parallel skeleton — comes
+/// from the tuner when one is attached and is the untuned default
+/// otherwise, keeping `tuning: Off` runs bit-identical to the pre-tuner
+/// trainer.
+#[allow(clippy::too_many_arguments)]
+fn halfgnn_spmm_planned(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    w: EdgeWeights<'_>,
+    x: &[Half],
+    f: usize,
+    row_scale: Option<&[Half]>,
+    scaling: ScalePlacement,
+    d: Dispatch<'_>,
+) -> (Vec<Half>, KernelStats) {
+    let plan = match d.tuner {
+        Some(t) => t.spmm_plan(&g.csr, f, !w.is_ones(), scaling),
+        None => SpmmPlan::default(),
+    };
+    match plan.variant {
+        SpmmVariant::EdgeParallel => {
+            halfgnn_spmm::spmm(ops.dev, &g.coo, w, x, f, row_scale, &plan.to_spmm_config(scaling))
+        }
+        // The canonical COO edge order equals CSR order, so edge-weight
+        // tensors remain valid under the vertex-parallel skeleton.
+        SpmmVariant::VertexParallel => {
+            halfgnn_spmm::spmm_vertex_parallel(ops.dev, &g.csr, w, x, f, row_scale, scaling)
+        }
     }
 }
 
@@ -184,21 +253,15 @@ fn scaled_spmm_half(
     x: &[Half],
     f: usize,
     scale: &[Half],
-    mode: PrecisionMode,
+    d: Dispatch<'_>,
 ) -> Vec<Half> {
-    let (y, stats) = match mode {
+    let (y, stats) = match d.mode {
         PrecisionMode::HalfNaive => {
             cusparse::spmm_half(ops.dev, &g.coo, EdgeWeights::Ones, x, f, Some(scale))
         }
-        PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => halfgnn_spmm::spmm(
-            ops.dev,
-            &g.coo,
-            EdgeWeights::Ones,
-            x,
-            f,
-            Some(scale),
-            &mode.spmm_config(),
-        ),
+        PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => {
+            halfgnn_spmm_planned(ops, g, EdgeWeights::Ones, x, f, Some(scale), d.mode.scaling(), d)
+        }
         PrecisionMode::Float => unreachable!("float path uses gcn_agg_f32"),
     };
     ops.record(stats);
@@ -211,20 +274,21 @@ pub fn spmm_mean_half(
     g: &PreparedGraph,
     x: &[Half],
     f: usize,
-    mode: PrecisionMode,
+    d: Dispatch<'_>,
 ) -> Vec<Half> {
-    let (y, stats) = match mode {
+    let (y, stats) = match d.mode {
         PrecisionMode::HalfNaive => {
             cusparse::spmm_half(ops.dev, &g.coo, EdgeWeights::Ones, x, f, Some(&g.mean_scale_h))
         }
-        PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => halfgnn_spmm::spmm(
-            ops.dev,
-            &g.coo,
+        PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => halfgnn_spmm_planned(
+            ops,
+            g,
             EdgeWeights::Ones,
             x,
             f,
             Some(&g.mean_scale_h),
-            &mode.spmm_config(),
+            d.mode.scaling(),
+            d,
         ),
         PrecisionMode::Float => unreachable!("float path uses spmm_mean_f32"),
     };
@@ -238,21 +302,15 @@ pub fn spmm_sum_half(
     g: &PreparedGraph,
     x: &[Half],
     f: usize,
-    mode: PrecisionMode,
+    d: Dispatch<'_>,
 ) -> Vec<Half> {
-    let (y, stats) = match mode {
+    let (y, stats) = match d.mode {
         PrecisionMode::HalfNaive => {
             cusparse::spmm_half(ops.dev, &g.coo, EdgeWeights::Ones, x, f, None)
         }
-        PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => halfgnn_spmm::spmm(
-            ops.dev,
-            &g.coo,
-            EdgeWeights::Ones,
-            x,
-            f,
-            None,
-            &SpmmConfig { scaling: ScalePlacement::None, ..mode.spmm_config() },
-        ),
+        PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => {
+            halfgnn_spmm_planned(ops, g, EdgeWeights::Ones, x, f, None, ScalePlacement::None, d)
+        }
         PrecisionMode::Float => unreachable!("float path uses spmm_sum_f32"),
     };
     ops.record(stats);
@@ -267,20 +325,21 @@ pub fn spmmve_half(
     w: &[Half],
     x: &[Half],
     f: usize,
-    mode: PrecisionMode,
+    d: Dispatch<'_>,
 ) -> Vec<Half> {
-    let (y, stats) = match mode {
+    let (y, stats) = match d.mode {
         PrecisionMode::HalfNaive => {
             cusparse::spmm_half(ops.dev, &g.coo, EdgeWeights::Values(w), x, f, None)
         }
-        PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => halfgnn_spmm::spmm(
-            ops.dev,
-            &g.coo,
+        PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => halfgnn_spmm_planned(
+            ops,
+            g,
             EdgeWeights::Values(w),
             x,
             f,
             None,
-            &SpmmConfig { scaling: ScalePlacement::None, ..mode.spmm_config() },
+            ScalePlacement::None,
+            d,
         ),
         PrecisionMode::Float => unreachable!("float path uses spmmve_f32"),
     };
@@ -288,27 +347,26 @@ pub fn spmmve_half(
     y
 }
 
-/// Half SDDMM dispatch: DGL's naive kernel or HalfGNN's half8 design.
+/// Half SDDMM dispatch: DGL's naive kernel or HalfGNN's vector-width
+/// design, with the plan resolved by the tuner when one is attached and
+/// by [`SddmmConfig::widest_for`] (the paper's widest-legal-width rule)
+/// otherwise.
 pub fn sddmm_half(
     ops: &mut Ops,
     g: &PreparedGraph,
     u: &[Half],
     v: &[Half],
     f: usize,
-    mode: PrecisionMode,
+    d: Dispatch<'_>,
 ) -> Vec<Half> {
-    let (y, stats) = match mode {
+    let (y, stats) = match d.mode {
         PrecisionMode::HalfNaive => dgl_sddmm::sddmm_half(ops.dev, &g.coo, u, v, f),
         PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => {
-            // Widest vector the (padded) feature length supports.
-            let width = if f.is_multiple_of(8) {
-                VectorWidth::Half8
-            } else if f.is_multiple_of(4) {
-                VectorWidth::Half4
-            } else {
-                VectorWidth::Half2
+            let cfg = match d.tuner {
+                Some(t) => t.sddmm_plan(&g.csr, f).to_sddmm_config(),
+                None => SddmmConfig::widest_for(f),
             };
-            halfgnn_sddmm::sddmm(ops.dev, &g.coo, u, v, f, width)
+            halfgnn_sddmm::sddmm_with_config(ops.dev, &g.coo, u, v, f, &cfg)
         }
         PrecisionMode::Float => unreachable!("float path uses sddmm_f32"),
     };
@@ -380,7 +438,7 @@ mod tests {
             [PrecisionMode::HalfNaive, PrecisionMode::HalfGnn, PrecisionMode::HalfGnnNoDiscretize]
         {
             let mut ops = Ops::new(&dev);
-            let y = spmm_mean_half(&mut ops, &g, &x, 4, mode);
+            let y = spmm_mean_half(&mut ops, &g, &x, 4, mode.into());
             assert_eq!(y.len(), g.n() * 4);
             // Mean of constant 0.5 is 0.5 whatever the kernel.
             assert!((y[0].to_f32() - 0.5).abs() < 0.01, "{mode:?}: {}", y[0]);
@@ -396,7 +454,7 @@ mod tests {
         let xh: Vec<Half> = xf.iter().map(|&v| Half::from_f32(v)).collect();
         let mut ops = Ops::new(&dev);
         let yf = spmm_sum_f32(&mut ops, &g, &xf, 4);
-        let yh = spmm_sum_half(&mut ops, &g, &xh, 4, PrecisionMode::HalfGnn);
+        let yh = spmm_sum_half(&mut ops, &g, &xh, 4, PrecisionMode::HalfGnn.into());
         for (a, b) in yf.iter().zip(&yh) {
             assert!((a - b.to_f32()).abs() < 0.05, "{a} vs {b}");
         }

@@ -10,7 +10,7 @@
 
 use crate::gcn::StepOutput;
 use crate::graphdata::PreparedGraph;
-use crate::models::{spmm_mean_f32, spmm_mean_half, spmm_sum_f32, spmm_sum_half, PrecisionMode};
+use crate::models::{spmm_mean_f32, spmm_mean_half, spmm_sum_f32, spmm_sum_half, Dispatch};
 use crate::params::glorot;
 use halfgnn_half::Half;
 use halfgnn_tensor::Ops;
@@ -187,7 +187,7 @@ pub fn step_half(
     x: &[Half],
     labels: &[u32],
     mask: &[bool],
-    mode: PrecisionMode,
+    d: Dispatch<'_>,
 ) -> StepOutput<SageGrads> {
     let n = g.n();
     let (f_in, h, c) = (p.f_in, p.hidden, p.classes);
@@ -202,7 +202,7 @@ pub fn step_half(
 
     // ---- Forward.
     let layer1 = halfgnn_half::overflow::site("sage.layer1");
-    let m1 = spmm_mean_half(ops, g, x, f_in, mode);
+    let m1 = spmm_mean_half(ops, g, x, f_in, d);
     let zs1 = ops.gemm_half(x, false, &w_self1, false, n, f_in, h);
     let zn1 = ops.gemm_half(&m1, false, &w_neigh1, false, n, f_in, h);
     let z1 = ops.scale_add_half(one, &zs1, one, &zn1);
@@ -210,7 +210,7 @@ pub fn step_half(
     let h1 = ops.relu_half(&z1);
     drop(layer1);
     let layer2 = halfgnn_half::overflow::site("sage.layer2");
-    let m2 = spmm_mean_half(ops, g, &h1, h, mode);
+    let m2 = spmm_mean_half(ops, g, &h1, h, d);
     let zs2 = ops.gemm_half(&h1, false, &w_self2, false, n, h, c);
     let zn2 = ops.gemm_half(&m2, false, &w_neigh2, false, n, h, c);
     let z2 = ops.scale_add_half(one, &zs2, one, &zn2);
@@ -235,7 +235,7 @@ pub fn step_half(
     let dh_self = ops.gemm_half(&dout, false, &w_self2, true, n, c, h);
     let dm2 = ops.gemm_half(&dout, false, &w_neigh2, true, n, c, h);
     let scaled = ops.row_scale_half(&dm2, &g.mean_scale_h, h);
-    let dh_neigh = spmm_sum_half(ops, g, &scaled, h, mode);
+    let dh_neigh = spmm_sum_half(ops, g, &scaled, h, d);
     let dh1 = ops.scale_add_half(one, &dh_self, one, &dh_neigh);
     let dz1 = ops.relu_grad_half(&z1, &dh1);
     let dw_self1h = ops.gemm_half(x, true, &dz1, false, f_in, n, h);
@@ -267,6 +267,7 @@ pub fn step_half(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::models::PrecisionMode;
     use halfgnn_graph::gen;
     use halfgnn_graph::Csr;
     use halfgnn_sim::DeviceConfig;
@@ -331,7 +332,7 @@ mod tests {
         let xh: Vec<Half> = x.iter().map(|&v| Half::from_f32(v)).collect();
         let mut ops = Ops::new(&dev);
         let f = step_f32(&mut ops, &g, &p, &x, &labels, &mask);
-        let h = step_half(&mut ops, &g, &p, &xh, &labels, &mask, PrecisionMode::HalfGnn);
+        let h = step_half(&mut ops, &g, &p, &xh, &labels, &mask, PrecisionMode::HalfGnn.into());
         assert!((f.loss - h.loss).abs() < 0.05, "{} vs {}", f.loss, h.loss);
     }
 
@@ -348,9 +349,10 @@ mod tests {
         let mask = vec![true; n];
         let p = SageParams::new(4, 6, 2, 3);
         let mut ops = Ops::new(&dev);
-        let naive = step_half(&mut ops, &g, &p, &xh, &labels, &mask, PrecisionMode::HalfNaive);
+        let naive =
+            step_half(&mut ops, &g, &p, &xh, &labels, &mask, PrecisionMode::HalfNaive.into());
         assert!(naive.loss.is_nan(), "SAGE naive-half should NaN, got {}", naive.loss);
-        let ours = step_half(&mut ops, &g, &p, &xh, &labels, &mask, PrecisionMode::HalfGnn);
+        let ours = step_half(&mut ops, &g, &p, &xh, &labels, &mask, PrecisionMode::HalfGnn.into());
         assert!(ours.loss.is_finite());
     }
 

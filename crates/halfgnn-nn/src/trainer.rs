@@ -3,6 +3,7 @@
 
 use crate::adam::Adam;
 use crate::graphdata::PreparedGraph;
+use crate::models::Dispatch;
 pub use crate::models::{ModelKind, PrecisionMode};
 use crate::params::{GatParams, TwoLayerParams};
 use crate::sage::SageParams;
@@ -13,9 +14,29 @@ use halfgnn_half::slice::{f32_slice_to_half, pad_feature_len};
 use halfgnn_sim::DeviceConfig;
 pub use halfgnn_sim::ExecMode;
 use halfgnn_tensor::{MemoryTracker, Ops};
+use halfgnn_tune::{Tuner, TunerCounters};
+
+/// Kernel autotuning policy for a training run (§ DESIGN.md 10).
+///
+/// `Off` dispatches every HalfGNN kernel with the static default plan —
+/// bit-for-bit the pre-tuner behaviour. `Auto` consults an in-memory
+/// [`Tuner`] that evaluates candidate plans under the cost model the
+/// first time each (op, graph-shape, dtype) key appears. `Cached` does
+/// the same but loads/saves the plan cache at the given JSON path, so a
+/// second run skips evaluation entirely.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum Tuning {
+    /// Static default kernel plans (exactly the untuned dispatch).
+    #[default]
+    Off,
+    /// Tune on first use; plans live only for this process.
+    Auto,
+    /// Tune on first use and persist plans to this JSON file.
+    Cached(String),
+}
 
 /// Training configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct TrainConfig {
     /// Architecture.
     pub model: ModelKind,
@@ -42,6 +63,11 @@ pub struct TrainConfig {
     /// measured wall-clock and kernel-level overflow provenance is not
     /// recorded (worker threads don't share the recorder's thread-local).
     pub exec: ExecMode,
+    /// Kernel autotuning policy. [`Tuning::Off`] keeps the static default
+    /// plans; `Auto`/`Cached` route SpMM/SDDMM dispatch through the
+    /// cost-model tuner (plans are modeled-cycles argmins vetted against
+    /// the f64 oracle, so losses stay within oracle tolerance).
+    pub tuning: Tuning,
 }
 
 impl Default for TrainConfig {
@@ -57,6 +83,7 @@ impl Default for TrainConfig {
             gcn_norm: crate::models::GcnNorm::Right,
             loss_scale: 1.0,
             exec: ExecMode::Sim,
+            tuning: Tuning::Off,
         }
     }
 }
@@ -94,6 +121,10 @@ pub struct TrainReport {
     /// overflowed first* when a half run NaNs (Fig. 1c). Clean summaries
     /// when `halfgnn-half/provenance` is off or the run is float.
     pub overflow_per_epoch: Vec<overflow::Summary>,
+    /// Plan-cache counters when the run tuned ([`Tuning::Auto`]/`Cached`):
+    /// hits, misses, and candidate evaluations across the whole run. `None`
+    /// under [`Tuning::Off`].
+    pub tuning_counters: Option<TunerCounters>,
 }
 
 impl TrainReport {
@@ -157,6 +188,22 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
 
     let mut overflow_per_epoch: Vec<overflow::Summary> = Vec::with_capacity(cfg.epochs);
 
+    // One tuner for the whole run: plans are per (op, graph-shape, dtype)
+    // key, so epoch 0 pays any evaluation cost and later epochs hit the
+    // in-memory cache. The tuner always evaluates under `ExecMode::Sim`
+    // regardless of `cfg.exec` — plans are modeled-cycles argmins either
+    // way, and its oracle checks run inside `overflow::isolated` so they
+    // never pollute this run's per-epoch provenance windows.
+    let tuner = match &cfg.tuning {
+        Tuning::Off => None,
+        Tuning::Auto => Some(Tuner::auto(dev)),
+        Tuning::Cached(path) => Some(Tuner::cached(dev, path.as_str())),
+    };
+    let dispatch = match &tuner {
+        Some(t) => Dispatch::tuned(cfg.precision, t),
+        None => Dispatch::untuned(cfg.precision),
+    };
+
     for epoch in 0..cfg.epochs {
         let mut ops = Ops::new(dev);
         ops.loss_scale = cfg.loss_scale;
@@ -173,7 +220,7 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
                         &xh,
                         labels,
                         train_mask,
-                        cfg.precision,
+                        dispatch,
                         cfg.gcn_norm,
                     )
                 } else {
@@ -190,7 +237,7 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
                         &xh,
                         labels,
                         train_mask,
-                        cfg.precision,
+                        dispatch,
                         cfg.gin_lambda,
                     )
                 } else {
@@ -200,7 +247,7 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
             }
             (P::Gat(p), _) => {
                 let out = if is_half {
-                    gat::step_half(&mut ops, &g, p, &xh, labels, train_mask, cfg.precision)
+                    gat::step_half(&mut ops, &g, p, &xh, labels, train_mask, dispatch)
                 } else {
                     gat::step_f32(&mut ops, &g, p, &x, labels, train_mask)
                 };
@@ -208,7 +255,7 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
             }
             (P::Sage(p), _) => {
                 let out = if is_half {
-                    sage::step_half(&mut ops, &g, p, &xh, labels, train_mask, cfg.precision)
+                    sage::step_half(&mut ops, &g, p, &xh, labels, train_mask, dispatch)
                 } else {
                     sage::step_f32(&mut ops, &g, p, &x, labels, train_mask)
                 };
@@ -286,6 +333,7 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
         kernels_per_epoch: kernels,
         kernel_breakdown: breakdown,
         overflow_per_epoch,
+        tuning_counters: tuner.as_ref().map(Tuner::counters),
     }
 }
 
@@ -478,8 +526,10 @@ mod tests {
         let base = quick_cfg(ModelKind::Gcn, PrecisionMode::HalfGnn, 4);
         let sim = train(&data, &base);
         for threads in [1, 2, 0] {
-            let fast =
-                train(&data, &TrainConfig { exec: ExecMode::fast_with_threads(threads), ..base });
+            let fast = train(
+                &data,
+                &TrainConfig { exec: ExecMode::fast_with_threads(threads), ..base.clone() },
+            );
             assert_eq!(
                 sim.losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
                 fast.losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
@@ -516,7 +566,7 @@ mod loss_scale_tests {
             ..TrainConfig::default()
         };
         let unscaled = train(&data, &base);
-        let scaled = train(&data, &TrainConfig { loss_scale: 128.0, ..base });
+        let scaled = train(&data, &TrainConfig { loss_scale: 128.0, ..base.clone() });
         assert!(unscaled.nan_epoch.is_none() && scaled.nan_epoch.is_none());
         // Same trajectory within FP16 rounding of the scaled backward.
         for (a, b) in unscaled.losses.iter().zip(&scaled.losses) {
@@ -540,7 +590,7 @@ mod loss_scale_tests {
             ..TrainConfig::default()
         };
         let unscaled = train(&data, &base);
-        let scaled = train(&data, &TrainConfig { loss_scale: 1024.0, ..base });
+        let scaled = train(&data, &TrainConfig { loss_scale: 1024.0, ..base.clone() });
         assert!(scaled.nan_epoch.is_none(), "scale 1024 must not overflow the backward");
         let drop_unscaled = unscaled.losses[0] - unscaled.losses.last().unwrap();
         let drop_scaled = scaled.losses[0] - scaled.losses.last().unwrap();

@@ -1,0 +1,400 @@
+//! The plan cache: tuned winners, in memory and on disk.
+//!
+//! Tuning costs a handful of simulated kernel launches per dispatch
+//! shape; the cache makes that a one-time cost per *(graph family, layer
+//! shape)*. The on-disk form is a tiny flat JSON document — keys are
+//! [`KernelKey::encode`] strings, values are [`KernelPlan::encode`]
+//! strings — written and parsed by hand because the workspace vendors no
+//! serde. A `BTreeMap` keeps serialization deterministic: the same plans
+//! always produce byte-identical files, so cache files diff cleanly and
+//! tests can compare them directly.
+//!
+//! Robustness contract: a missing, truncated, or wrong-version file — or
+//! any individual unparseable entry — degrades to cache misses, never to
+//! a panic. An unknown key is a miss; the dispatch falls back to the
+//! untuned default plan.
+
+use crate::key::KernelKey;
+use crate::plan::KernelPlan;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Current on-disk format version.
+const VERSION: u32 = 1;
+
+/// Hit/miss/evaluation counters for one cache lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups answered from the map.
+    pub hits: u64,
+    /// Lookups that found nothing (each triggers a tuning run or a
+    /// default-plan fallback).
+    pub misses: u64,
+    /// Candidate kernel evaluations performed to fill misses.
+    pub evaluations: u64,
+}
+
+/// In-memory plan map plus counters and JSON persistence.
+#[derive(Clone, Debug, Default)]
+pub struct PlanCache {
+    plans: BTreeMap<String, KernelPlan>,
+    counters: CacheCounters,
+}
+
+impl PlanCache {
+    /// Empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True when no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Record `n` candidate evaluations (bumped by the tuner).
+    pub fn record_evaluations(&mut self, n: u64) {
+        self.counters.evaluations += n;
+    }
+
+    /// Look up a plan, bumping the hit/miss counters.
+    pub fn get(&mut self, key: &KernelKey) -> Option<KernelPlan> {
+        match self.plans.get(&key.encode()) {
+            Some(&p) => {
+                self.counters.hits += 1;
+                Some(p)
+            }
+            None => {
+                self.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek without touching the counters.
+    pub fn peek(&self, key: &KernelKey) -> Option<KernelPlan> {
+        self.plans.get(&key.encode()).copied()
+    }
+
+    /// Insert (or replace) a plan.
+    pub fn insert(&mut self, key: &KernelKey, plan: KernelPlan) {
+        self.plans.insert(key.encode(), plan);
+    }
+
+    /// Serialize to the on-disk JSON form. Deterministic: plans are
+    /// emitted in `BTreeMap` (lexicographic key) order.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n  \"version\": ");
+        s.push_str(&VERSION.to_string());
+        s.push_str(",\n  \"plans\": {");
+        for (i, (k, p)) in self.plans.iter().enumerate() {
+            s.push_str(if i == 0 { "\n" } else { ",\n" });
+            s.push_str("    \"");
+            s.push_str(k);
+            s.push_str("\": \"");
+            s.push_str(&p.encode());
+            s.push('"');
+        }
+        if !self.plans.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("}\n}\n");
+        s
+    }
+
+    /// Parse the on-disk JSON form. Returns an empty cache on a version
+    /// mismatch and silently skips entries that fail to decode — stale
+    /// caches degrade to misses, never to panics. Counters start at zero.
+    pub fn from_json(text: &str) -> PlanCache {
+        let mut cache = PlanCache::new();
+        let mut p = JsonParser::new(text);
+        let Some(top) = p.object() else { return cache };
+        match top.iter().find(|(k, _)| k == "version") {
+            Some((_, JsonValue::Number(v))) if *v == VERSION as i64 => {}
+            _ => return cache,
+        }
+        if let Some((_, JsonValue::Object(plans))) = top.into_iter().find(|(k, _)| k == "plans") {
+            for (k, v) in plans {
+                let JsonValue::String(enc) = v else { continue };
+                if KernelKey::decode(&k).is_none() {
+                    continue;
+                }
+                if let Some(plan) = KernelPlan::decode(&enc) {
+                    cache.plans.insert(k, plan);
+                }
+            }
+        }
+        cache
+    }
+
+    /// Write the cache to `path` (atomically via a sibling temp file).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Load a cache from `path`; a missing or unreadable file yields an
+    /// empty cache.
+    pub fn load(path: &Path) -> PlanCache {
+        match std::fs::read_to_string(path) {
+            Ok(text) => PlanCache::from_json(&text),
+            Err(_) => PlanCache::new(),
+        }
+    }
+}
+
+/// The subset of JSON the cache file uses: objects of string → (string |
+/// number | object). Anything outside that subset parses to `None`, which
+/// the caller treats as an empty cache.
+enum JsonValue {
+    String(String),
+    Number(i64),
+    Object(Vec<(String, JsonValue)>),
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> JsonParser<'a> {
+        JsonParser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        self.skip_ws();
+        if self.pos < self.bytes.len() && self.bytes[self.pos] == c {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Option<String> {
+        if !self.eat(b'"') {
+            return None;
+        }
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'"' => {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos]).ok()?.to_string();
+                    self.pos += 1;
+                    return Some(s);
+                }
+                // The cache never writes escapes; reject rather than
+                // mis-parse a file that uses them.
+                b'\\' => return None,
+                _ => self.pos += 1,
+            }
+        }
+        None
+    }
+
+    fn number(&mut self) -> Option<i64> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos]).ok()?.parse().ok()
+    }
+
+    fn value(&mut self) -> Option<JsonValue> {
+        match self.peek()? {
+            b'"' => Some(JsonValue::String(self.string()?)),
+            b'{' => Some(JsonValue::Object(self.object()?)),
+            b'-' | b'0'..=b'9' => Some(JsonValue::Number(self.number()?)),
+            _ => None,
+        }
+    }
+
+    fn object(&mut self) -> Option<Vec<(String, JsonValue)>> {
+        if !self.eat(b'{') {
+            return None;
+        }
+        let mut out = Vec::new();
+        if self.eat(b'}') {
+            return Some(out);
+        }
+        loop {
+            let key = self.string()?;
+            if !self.eat(b':') {
+                return None;
+            }
+            out.push((key, self.value()?));
+            if self.eat(b'}') {
+                return Some(out);
+            }
+            if !self.eat(b',') {
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::{Dtype, OpKind};
+    use crate::plan::{SddmmPlan, SpmmPlan, SpmmVariant};
+    use halfgnn_graph::metrics::DegreeStats;
+    use halfgnn_kernels::common::{ScalePlacement, VectorWidth, WriteStrategy};
+
+    fn key(op: OpKind, f: usize) -> KernelKey {
+        let stats = DegreeStats {
+            min: 1,
+            max: 40,
+            mean: 8.0,
+            median: 8,
+            gini: 0.2,
+            top1pct_edge_share: 0.05,
+            cv: 0.5,
+            max_mean_skew: 5.0,
+        };
+        KernelKey::for_graph(
+            op,
+            Dtype::Half,
+            f,
+            10_000,
+            80_000,
+            &stats,
+            ScalePlacement::Discretized,
+        )
+    }
+
+    fn sample_cache() -> PlanCache {
+        let mut c = PlanCache::new();
+        c.insert(
+            &key(OpKind::SpmmV, 64),
+            KernelPlan::Spmm(SpmmPlan {
+                variant: SpmmVariant::EdgeParallel,
+                writes: WriteStrategy::Staged,
+                edges_per_warp: 128,
+                warps_per_cta: 2,
+            }),
+        );
+        c.insert(
+            &key(OpKind::Sddmm, 64),
+            KernelPlan::Sddmm(SddmmPlan { width: VectorWidth::Half8, sub_warps: true }),
+        );
+        c.insert(&key(OpKind::SpmmVe, 8), KernelPlan::Spmm(SpmmPlan::default()));
+        c
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_plan() {
+        let c = sample_cache();
+        let parsed = PlanCache::from_json(&c.to_json());
+        assert_eq!(parsed.len(), c.len());
+        for op in [OpKind::SpmmV, OpKind::Sddmm] {
+            assert_eq!(parsed.peek(&key(op, 64)), c.peek(&key(op, 64)));
+        }
+        assert_eq!(parsed.peek(&key(OpKind::SpmmVe, 8)), c.peek(&key(OpKind::SpmmVe, 8)));
+    }
+
+    #[test]
+    fn serialization_is_deterministic_regardless_of_insert_order() {
+        let a = sample_cache().to_json();
+        // Same plans, reversed insertion order.
+        let mut c = PlanCache::new();
+        c.insert(&key(OpKind::SpmmVe, 8), KernelPlan::Spmm(SpmmPlan::default()));
+        c.insert(
+            &key(OpKind::Sddmm, 64),
+            KernelPlan::Sddmm(SddmmPlan { width: VectorWidth::Half8, sub_warps: true }),
+        );
+        c.insert(
+            &key(OpKind::SpmmV, 64),
+            KernelPlan::Spmm(SpmmPlan {
+                variant: SpmmVariant::EdgeParallel,
+                writes: WriteStrategy::Staged,
+                edges_per_warp: 128,
+                warps_per_cta: 2,
+            }),
+        );
+        assert_eq!(a, c.to_json());
+        // And round-tripping the text reproduces it byte-for-byte.
+        assert_eq!(PlanCache::from_json(&a).to_json(), a);
+    }
+
+    #[test]
+    fn unknown_key_is_a_counted_miss() {
+        let mut c = sample_cache();
+        assert_eq!(c.get(&key(OpKind::SpmmV, 999)), None);
+        assert!(c.get(&key(OpKind::SpmmV, 64)).is_some());
+        assert_eq!(c.counters().misses, 1);
+        assert_eq!(c.counters().hits, 1);
+    }
+
+    #[test]
+    fn garbage_and_wrong_versions_degrade_to_empty() {
+        for text in [
+            "",
+            "not json",
+            "[1,2,3]",
+            "{\"version\": 99, \"plans\": {}}",
+            "{\"version\": 1, \"plans\": ",
+            "{\"plans\": {\"a\": \"b\"}}",
+        ] {
+            let c = PlanCache::from_json(text);
+            assert!(c.is_empty(), "{text:?} yielded {} plans", c.len());
+        }
+    }
+
+    #[test]
+    fn unparseable_entries_are_skipped_not_fatal() {
+        let good = key(OpKind::SpmmV, 64).encode();
+        let text = format!(
+            "{{\"version\": 1, \"plans\": {{\n  \"{good}\": \"spmm:edge:staged:64:4\",\n  \
+             \"bogus-key\": \"spmm:edge:staged:64:4\",\n  \
+             \"{good2}\": \"warp9:banana\"\n}}}}",
+            good2 = key(OpKind::Sddmm, 64).encode()
+        );
+        let c = PlanCache::from_json(&text);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.peek(&key(OpKind::SpmmV, 64)), Some(KernelPlan::Spmm(SpmmPlan::default())));
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_a_file() {
+        let dir = std::env::temp_dir().join("halfgnn-tune-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plans.json");
+        let c = sample_cache();
+        c.save(&path).unwrap();
+        let loaded = PlanCache::load(&path);
+        assert_eq!(loaded.to_json(), c.to_json());
+        // Missing file → empty cache, no error.
+        assert!(PlanCache::load(&dir.join("missing.json")).is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

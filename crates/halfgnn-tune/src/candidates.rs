@@ -1,0 +1,160 @@
+//! Candidate enumeration: the pruned plan space the tuner evaluates.
+//!
+//! Exhaustive search over every knob cross-product would evaluate dozens
+//! of kernels per dispatch shape; the degree statistics let us discard
+//! whole regions that the paper's measurements already rule out:
+//!
+//! * **Atomic writes** lose badly once hub rows concentrate conflicting
+//!   updates (Fig. 13) — only tried when the max/mean degree skew is mild.
+//! * **Vertex-parallel** layouts starve under load imbalance (§5.4) —
+//!   only tried on near-regular or ER-like distributions.
+//! * **SDDMM widths** narrower than the widest legal one only win when
+//!   sub-warp packing is off, so the enumeration keeps every legal width
+//!   but both packing modes only for the widest.
+//!
+//! The untuned default is always candidate #0, so the tuner can never do
+//! worse than "no tuner" on modeled cycles.
+
+use crate::key::CvBucket;
+use crate::plan::{SddmmPlan, SpmmPlan, SpmmVariant};
+use halfgnn_graph::metrics::DegreeStats;
+use halfgnn_kernels::common::{VectorWidth, WriteStrategy};
+
+/// Above this max/mean degree skew, atomic writes are not worth evaluating
+/// (hub rows serialize the conflicting updates).
+const ATOMIC_SKEW_LIMIT: f64 = 4.0;
+
+/// SpMM plans worth evaluating for a graph with these degree statistics.
+/// The default plan is always first.
+pub fn spmm_candidates(stats: &DegreeStats) -> Vec<SpmmPlan> {
+    let mut out = vec![SpmmPlan::default()];
+    let cv = CvBucket::of(stats.cv);
+
+    let mut push = |p: SpmmPlan| {
+        if !out.contains(&p) {
+            out.push(p);
+        }
+    };
+
+    for &edges_per_warp in &[32usize, 64, 128] {
+        for &warps_per_cta in &[2usize, 4, 8] {
+            push(SpmmPlan {
+                variant: SpmmVariant::EdgeParallel,
+                writes: WriteStrategy::Staged,
+                edges_per_warp,
+                warps_per_cta,
+            });
+            if stats.max_mean_skew <= ATOMIC_SKEW_LIMIT {
+                push(SpmmPlan {
+                    variant: SpmmVariant::EdgeParallel,
+                    writes: WriteStrategy::Atomic,
+                    edges_per_warp,
+                    warps_per_cta,
+                });
+            }
+        }
+    }
+
+    if cv != CvBucket::Skewed {
+        // The vertex-parallel skeleton has fixed internal geometry; its
+        // tiling knobs are inert, so one candidate covers it.
+        push(SpmmPlan {
+            variant: SpmmVariant::VertexParallel,
+            writes: WriteStrategy::Staged,
+            edges_per_warp: 64,
+            warps_per_cta: 4,
+        });
+    }
+    out
+}
+
+/// SDDMM plans legal for feature width `f`. The default (widest width,
+/// sub-warps on) is always first.
+pub fn sddmm_candidates(f: usize) -> Vec<SddmmPlan> {
+    let mut out = vec![SddmmPlan::default_for(f)];
+    let mut push = |p: SddmmPlan| {
+        if !out.contains(&p) {
+            out.push(p);
+        }
+    };
+    for width in [VectorWidth::Half8, VectorWidth::Half4, VectorWidth::Half2] {
+        if f.is_multiple_of(width.lanes()) {
+            push(SddmmPlan { width, sub_warps: true });
+        }
+    }
+    // One unpacked candidate at the widest legal width: on tiny edge
+    // counts, skipping sub-warp packing trades shuffles for occupancy.
+    push(SddmmPlan { sub_warps: false, ..SddmmPlan::default_for(f) });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(cv: f64, skew: f64) -> DegreeStats {
+        DegreeStats {
+            min: 1,
+            max: 100,
+            mean: 10.0,
+            median: 10,
+            gini: 0.2,
+            top1pct_edge_share: 0.05,
+            cv,
+            max_mean_skew: skew,
+        }
+    }
+
+    #[test]
+    fn default_plan_is_always_first() {
+        for s in [stats(0.1, 1.2), stats(0.6, 3.0), stats(2.5, 80.0)] {
+            assert_eq!(spmm_candidates(&s)[0], SpmmPlan::default());
+        }
+        for f in [8, 64, 256] {
+            assert_eq!(sddmm_candidates(f)[0], SddmmPlan::default_for(f));
+        }
+    }
+
+    #[test]
+    fn skewed_graphs_never_try_atomics_or_vertex_parallel() {
+        let cands = spmm_candidates(&stats(2.5, 80.0));
+        assert!(cands.iter().all(|p| p.writes == WriteStrategy::Staged), "{cands:?}");
+        assert!(cands.iter().all(|p| p.variant == SpmmVariant::EdgeParallel), "{cands:?}");
+    }
+
+    #[test]
+    fn regular_graphs_try_the_full_space() {
+        let cands = spmm_candidates(&stats(0.1, 1.2));
+        assert!(cands.iter().any(|p| p.writes == WriteStrategy::Atomic));
+        assert!(cands.iter().any(|p| p.variant == SpmmVariant::VertexParallel));
+        // 9 staged + 9 atomic + 1 vertex-parallel, minus the default dup.
+        assert_eq!(cands.len(), 19);
+    }
+
+    #[test]
+    fn candidate_lists_are_duplicate_free() {
+        for s in [stats(0.1, 1.2), stats(0.6, 3.0), stats(2.5, 80.0)] {
+            let c = spmm_candidates(&s);
+            for (i, a) in c.iter().enumerate() {
+                assert!(!c[i + 1..].contains(a), "dup {a:?}");
+            }
+        }
+        for f in [6, 8, 12, 64] {
+            let c = sddmm_candidates(f);
+            for (i, a) in c.iter().enumerate() {
+                assert!(!c[i + 1..].contains(a), "dup {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sddmm_candidates_respect_width_legality() {
+        for f in [6usize, 8, 12, 64, 256] {
+            for p in sddmm_candidates(f) {
+                assert_eq!(f % p.width.lanes(), 0, "f={f} width={:?}", p.width);
+            }
+        }
+        // f=6 admits only half2 (+ the unpacked default).
+        assert!(sddmm_candidates(6).iter().all(|p| p.width == VectorWidth::Half2));
+    }
+}

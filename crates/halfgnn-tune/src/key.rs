@@ -1,0 +1,310 @@
+//! Cache keys: which dispatches are "the same kernel" for tuning purposes.
+//!
+//! A plan tuned on one graph transfers to another when the *shape* of the
+//! work matches — the op, the feature width, and the coarse geometry of
+//! the sparsity pattern. The key therefore buckets rows, nnz and average
+//! degree logarithmically (a 1.9× size change rarely flips the winning
+//! tile geometry; a 100× change often does) and buckets the degree
+//! coefficient of variation into the three regimes that actually change
+//! kernel behavior (§3.1.3, Fig. 9): regular, Erdős–Rényi-like, and
+//! power-law.
+
+use halfgnn_graph::metrics::DegreeStats;
+use halfgnn_kernels::common::ScalePlacement;
+use std::fmt;
+
+/// Which kernel family a dispatch belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OpKind {
+    /// SpMM with implicit unit weights (GCN/GIN/SAGE aggregation).
+    SpmmV,
+    /// SpMM with explicit per-edge weights (GAT's attention aggregation).
+    SpmmVe,
+    /// Sampled dense-dense matmul (GAT attention scores).
+    Sddmm,
+}
+
+impl OpKind {
+    fn tag(self) -> &'static str {
+        match self {
+            OpKind::SpmmV => "spmmv",
+            OpKind::SpmmVe => "spmmve",
+            OpKind::Sddmm => "sddmm",
+        }
+    }
+
+    fn from_tag(s: &str) -> Option<OpKind> {
+        Some(match s {
+            "spmmv" => OpKind::SpmmV,
+            "spmmve" => OpKind::SpmmVe,
+            "sddmm" => OpKind::Sddmm,
+            _ => return None,
+        })
+    }
+}
+
+/// Element dtype of the dispatch (future-proofing: today every tuned
+/// kernel is half).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Dtype {
+    /// IEEE binary16.
+    Half,
+    /// IEEE binary32 (baseline kernels; not tuned yet).
+    Float,
+}
+
+impl Dtype {
+    fn tag(self) -> &'static str {
+        match self {
+            Dtype::Half => "f16",
+            Dtype::Float => "f32",
+        }
+    }
+
+    fn from_tag(s: &str) -> Option<Dtype> {
+        Some(match s {
+            "f16" => Dtype::Half,
+            "f32" => Dtype::Float,
+            _ => return None,
+        })
+    }
+}
+
+/// Degree-CV regime of the graph (computed from [`DegreeStats::cv`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CvBucket {
+    /// CV < 0.3: near-regular (grids, road networks).
+    Regular,
+    /// 0.3 ≤ CV < 1.0: Erdős–Rényi-like.
+    Uniform,
+    /// CV ≥ 1.0: power-law / hub-dominated.
+    Skewed,
+}
+
+impl CvBucket {
+    /// Bucket a raw CV value.
+    pub fn of(cv: f64) -> CvBucket {
+        if cv < 0.3 {
+            CvBucket::Regular
+        } else if cv < 1.0 {
+            CvBucket::Uniform
+        } else {
+            CvBucket::Skewed
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            CvBucket::Regular => "reg",
+            CvBucket::Uniform => "uni",
+            CvBucket::Skewed => "skew",
+        }
+    }
+
+    fn from_tag(s: &str) -> Option<CvBucket> {
+        Some(match s {
+            "reg" => CvBucket::Regular,
+            "uni" => CvBucket::Uniform,
+            "skew" => CvBucket::Skewed,
+            _ => return None,
+        })
+    }
+}
+
+/// Floor of log2, with 0 mapping to bucket 0.
+fn log2_bucket(v: usize) -> u32 {
+    if v == 0 {
+        0
+    } else {
+        usize::BITS - 1 - v.leading_zeros()
+    }
+}
+
+/// The tuning-cache key for one kernel dispatch shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelKey {
+    /// Kernel family.
+    pub op: OpKind,
+    /// Element dtype.
+    pub dtype: Dtype,
+    /// Exact feature width — vector-width legality (`f % 8 == 0` for
+    /// half8) depends on the exact value, so it is never bucketed.
+    pub f: usize,
+    /// ⌊log2(rows)⌋.
+    pub rows_bucket: u32,
+    /// ⌊log2(nnz)⌋.
+    pub nnz_bucket: u32,
+    /// ⌊log2(mean degree)⌋.
+    pub avg_deg_bucket: u32,
+    /// Degree-CV regime.
+    pub cv: CvBucket,
+    /// Scaling placement the dispatch will run with — overflow legality of
+    /// a plan depends on it, so plans must not cross placements.
+    pub scaling: ScalePlacement,
+}
+
+impl KernelKey {
+    /// Build the key for a dispatch over a graph with `rows` vertices and
+    /// `nnz` edges whose degree distribution is `stats`.
+    pub fn for_graph(
+        op: OpKind,
+        dtype: Dtype,
+        f: usize,
+        rows: usize,
+        nnz: usize,
+        stats: &DegreeStats,
+        scaling: ScalePlacement,
+    ) -> KernelKey {
+        KernelKey {
+            op,
+            dtype,
+            f,
+            rows_bucket: log2_bucket(rows),
+            nnz_bucket: log2_bucket(nnz),
+            avg_deg_bucket: log2_bucket(stats.mean as usize),
+            cv: CvBucket::of(stats.cv),
+            scaling,
+        }
+    }
+
+    fn scaling_tag(self) -> &'static str {
+        match self.scaling {
+            ScalePlacement::None => "none",
+            ScalePlacement::PostReduction => "post",
+            ScalePlacement::PreReduction => "pre",
+            ScalePlacement::Discretized => "disc",
+        }
+    }
+
+    /// Stable wire form (the JSON key in the plan cache).
+    pub fn encode(&self) -> String {
+        format!(
+            "{}/{}/f{}/r{}/z{}/d{}/{}/{}",
+            self.op.tag(),
+            self.dtype.tag(),
+            self.f,
+            self.rows_bucket,
+            self.nnz_bucket,
+            self.avg_deg_bucket,
+            self.cv.tag(),
+            self.scaling_tag()
+        )
+    }
+
+    /// Parse the wire form back; `None` on anything malformed.
+    pub fn decode(s: &str) -> Option<KernelKey> {
+        let parts: Vec<&str> = s.split('/').collect();
+        if parts.len() != 8 {
+            return None;
+        }
+        let num = |p: &str, prefix: char| -> Option<u64> { p.strip_prefix(prefix)?.parse().ok() };
+        Some(KernelKey {
+            op: OpKind::from_tag(parts[0])?,
+            dtype: Dtype::from_tag(parts[1])?,
+            f: num(parts[2], 'f')? as usize,
+            rows_bucket: num(parts[3], 'r')? as u32,
+            nnz_bucket: num(parts[4], 'z')? as u32,
+            avg_deg_bucket: num(parts[5], 'd')? as u32,
+            cv: CvBucket::from_tag(parts[6])?,
+            scaling: match parts[7] {
+                "none" => ScalePlacement::None,
+                "post" => ScalePlacement::PostReduction,
+                "pre" => ScalePlacement::PreReduction,
+                "disc" => ScalePlacement::Discretized,
+                _ => return None,
+            },
+        })
+    }
+}
+
+impl fmt::Display for KernelKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halfgnn_graph::{gen, Csr};
+
+    #[test]
+    fn log2_buckets() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 0);
+        assert_eq!(log2_bucket(2), 1);
+        assert_eq!(log2_bucket(3), 1);
+        assert_eq!(log2_bucket(1024), 10);
+        assert_eq!(log2_bucket(2047), 10);
+        assert_eq!(log2_bucket(2048), 11);
+    }
+
+    #[test]
+    fn cv_buckets_split_the_generator_families() {
+        assert_eq!(CvBucket::of(0.0), CvBucket::Regular);
+        assert_eq!(CvBucket::of(0.29), CvBucket::Regular);
+        assert_eq!(CvBucket::of(0.5), CvBucket::Uniform);
+        assert_eq!(CvBucket::of(1.0), CvBucket::Skewed);
+        assert_eq!(CvBucket::of(7.3), CvBucket::Skewed);
+    }
+
+    #[test]
+    fn key_wire_form_round_trips() {
+        let csr = Csr::from_edges(2_000, 2_000, &gen::preferential_attachment(2_000, 5, 1))
+            .symmetrized_with_self_loops();
+        let stats = halfgnn_graph::metrics::degree_stats(&csr);
+        for (op, scaling) in [
+            (OpKind::SpmmV, ScalePlacement::Discretized),
+            (OpKind::SpmmVe, ScalePlacement::None),
+            (OpKind::Sddmm, ScalePlacement::None),
+        ] {
+            let k = KernelKey::for_graph(
+                op,
+                Dtype::Half,
+                64,
+                csr.num_rows(),
+                csr.nnz(),
+                &stats,
+                scaling,
+            );
+            assert_eq!(KernelKey::decode(&k.encode()), Some(k), "{k}");
+        }
+    }
+
+    #[test]
+    fn similar_graphs_share_a_key_and_dissimilar_ones_do_not() {
+        let mk = |n: usize, m: usize, seed: u64| {
+            let csr =
+                Csr::from_edges(n, n, &gen::erdos_renyi(n, m, seed)).symmetrized_with_self_loops();
+            let stats = halfgnn_graph::metrics::degree_stats(&csr);
+            KernelKey::for_graph(
+                OpKind::SpmmV,
+                Dtype::Half,
+                64,
+                csr.num_rows(),
+                csr.nnz(),
+                &stats,
+                ScalePlacement::Discretized,
+            )
+        };
+        // Two seeds of the same generator land in the same bucket...
+        assert_eq!(mk(2_000, 10_000, 1), mk(2_000, 10_000, 2));
+        // ...but a 16× larger graph does not.
+        assert_ne!(mk(32_000, 160_000, 1), mk(2_000, 10_000, 1));
+    }
+
+    #[test]
+    fn malformed_keys_decode_to_none() {
+        for bad in [
+            "",
+            "spmmv/f16/f64/r10/z13/d3/uni",
+            "spmmv/f16/f64/r10/z13/d3/uni/disc/extra",
+            "conv/f16/f64/r10/z13/d3/uni/disc",
+            "spmmv/f16/x64/r10/z13/d3/uni/disc",
+            "spmmv/f16/f64/r10/z13/d3/wild/disc",
+            "spmmv/f16/f64/r10/z13/d3/uni/sometimes",
+        ] {
+            assert_eq!(KernelKey::decode(bad), None, "{bad:?}");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! `halfgnn-tune` — cost-model-driven kernel autotuner with a persistent
+//! plan cache.
+//!
+//! The paper's performance story is a sequence of per-kernel configuration
+//! choices — half2 vs half4/half8 data loads (Fig. 12), sub-warp packing,
+//! the discretized-reduction batch size, staged vs atomic writes (§5.2.3),
+//! edge- vs vertex-parallel layouts (§5.4) — and the winning combination
+//! depends on the graph's degree distribution and the feature width, not
+//! just the op. The model layers used to hard-code one default per call
+//! site; this crate searches the space instead:
+//!
+//! * [`key::KernelKey`] buckets *(op, graph shape, feature dim, dtype)*
+//!   into a cache key, so one tuning run serves every layer, epoch and
+//!   process that dispatches an equivalent kernel;
+//! * [`plan::KernelPlan`] is the knob assignment a dispatch executes —
+//!   [`plan::SpmmPlan`] (write strategy, tile geometry = discretized
+//!   reduction batch, edge/vertex variant) or [`plan::SddmmPlan`]
+//!   (vector width, sub-warp packing);
+//! * [`candidates`] enumerates plans worth evaluating, pruned by the
+//!   graph's degree statistics (no atomics under hub skew, no
+//!   vertex-parallel on high-CV graphs);
+//! * [`tuner::Tuner`] evaluates each candidate on the real graph — or a
+//!   degree-stratified sample above an nnz threshold — under
+//!   `ExecMode::Sim`, rejects any plan whose output leaves the f64
+//!   oracle's tolerance band or records overflow provenance, and keeps
+//!   the argmin of modeled cycles;
+//! * [`cache::PlanCache`] remembers winners in memory and in a JSON file
+//!   (`.halfgnn-plans.json` by default), with hit/miss/evaluation
+//!   counters, so the tuning cost is paid once per (graph, layer shape).
+//!
+//! The trainer exposes all of this as `TrainConfig::tuning`:
+//! `Off` (bit-exact defaults), `Auto` (tune in memory), or
+//! `Cached(path)` (tune once, persist, reuse across runs).
+
+pub mod cache;
+pub mod candidates;
+pub mod key;
+pub mod plan;
+pub mod sample;
+pub mod tuner;
+
+pub use cache::PlanCache;
+pub use key::{CvBucket, Dtype, KernelKey, OpKind};
+pub use plan::{KernelPlan, SddmmPlan, SpmmPlan, SpmmVariant};
+pub use tuner::{Rejection, Tuner, TunerCounters};

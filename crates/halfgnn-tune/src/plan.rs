@@ -1,0 +1,233 @@
+//! Kernel plans: the knob assignment a dispatch executes.
+//!
+//! A plan is the *output* of tuning and the *payload* of the cache. It
+//! deliberately excludes anything the model layer must control for
+//! correctness — most importantly [`ScalePlacement`], which belongs to the
+//! precision mode (a tuner must never silently trade overflow safety for
+//! speed). What remains are the pure performance knobs of §4–§5:
+//! write strategy, edge-tile geometry (which *is* the discretized
+//! reduction batch of §5.2.2), the edge- vs vertex-parallel layout choice,
+//! and SDDMM's vector width + sub-warp packing.
+
+use halfgnn_kernels::common::{ScalePlacement, Tiling, VectorWidth, WriteStrategy};
+use halfgnn_kernels::halfgnn_sddmm::SddmmConfig;
+use halfgnn_kernels::halfgnn_spmm::SpmmConfig;
+
+/// Which SpMM skeleton executes the aggregation (§5.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpmmVariant {
+    /// Row-sorted COO, warps own edge tiles — load-balanced under skew.
+    EdgeParallel,
+    /// CSR, warps own vertex groups — cheaper bookkeeping on flat degree
+    /// distributions, pathological on power laws.
+    VertexParallel,
+}
+
+/// Tuned SpMM knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpmmPlan {
+    /// Edge- or vertex-parallel skeleton.
+    pub variant: SpmmVariant,
+    /// Conflict-write resolution (edge-parallel only; ignored by the
+    /// vertex-parallel skeleton, which never conflicts).
+    pub writes: WriteStrategy,
+    /// Edges per warp tile — also the discretized reduction batch size.
+    pub edges_per_warp: usize,
+    /// Warps per CTA.
+    pub warps_per_cta: usize,
+}
+
+impl Default for SpmmPlan {
+    /// The paper's design point, byte-identical to [`SpmmConfig::default`].
+    fn default() -> SpmmPlan {
+        let d = SpmmConfig::default();
+        SpmmPlan {
+            variant: SpmmVariant::EdgeParallel,
+            writes: d.writes,
+            edges_per_warp: d.tiling.edges_per_warp,
+            warps_per_cta: d.tiling.warps_per_cta,
+        }
+    }
+}
+
+impl SpmmPlan {
+    /// Materialize the kernel config, grafting on the caller's scaling
+    /// placement (a correctness decision the plan never owns).
+    pub fn to_spmm_config(&self, scaling: ScalePlacement) -> SpmmConfig {
+        SpmmConfig {
+            scaling,
+            writes: self.writes,
+            tiling: Tiling {
+                edges_per_warp: self.edges_per_warp,
+                warps_per_cta: self.warps_per_cta,
+            },
+        }
+    }
+}
+
+/// Tuned SDDMM knobs, mirroring [`SddmmConfig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SddmmPlan {
+    /// Data-load vector width (§5.1, Fig. 12).
+    pub width: VectorWidth,
+    /// Pack multiple edges per warp when `f/lanes < 32` (§4.1).
+    pub sub_warps: bool,
+}
+
+impl SddmmPlan {
+    /// The untuned default for feature width `f`: the model layers' old
+    /// hard-coded widest-width rule.
+    pub fn default_for(f: usize) -> SddmmPlan {
+        let c = SddmmConfig::widest_for(f);
+        SddmmPlan { width: c.width, sub_warps: c.sub_warps }
+    }
+
+    /// Materialize the kernel config.
+    pub fn to_sddmm_config(&self) -> SddmmConfig {
+        SddmmConfig { width: self.width, sub_warps: self.sub_warps }
+    }
+}
+
+/// A cached plan for one [`crate::key::KernelKey`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelPlan {
+    /// SpMM (SpMMv / SpMMve) plan.
+    Spmm(SpmmPlan),
+    /// SDDMM plan.
+    Sddmm(SddmmPlan),
+}
+
+impl KernelPlan {
+    /// Compact, stable wire form (the JSON value in the plan cache).
+    pub fn encode(&self) -> String {
+        match self {
+            KernelPlan::Spmm(p) => {
+                let v = match p.variant {
+                    SpmmVariant::EdgeParallel => "edge",
+                    SpmmVariant::VertexParallel => "vertex",
+                };
+                let w = match p.writes {
+                    WriteStrategy::Atomic => "atomic",
+                    WriteStrategy::Staged => "staged",
+                };
+                format!("spmm:{v}:{w}:{}:{}", p.edges_per_warp, p.warps_per_cta)
+            }
+            KernelPlan::Sddmm(p) => {
+                let w = match p.width {
+                    VectorWidth::Half1 => "half1",
+                    VectorWidth::Half2 => "half2",
+                    VectorWidth::Half4 => "half4",
+                    VectorWidth::Half8 => "half8",
+                };
+                format!("sddmm:{w}:{}", if p.sub_warps { "sub" } else { "nosub" })
+            }
+        }
+    }
+
+    /// Parse the wire form back; `None` on anything malformed (a cache
+    /// written by a different version degrades to a miss, never a panic).
+    pub fn decode(s: &str) -> Option<KernelPlan> {
+        let mut it = s.split(':');
+        match it.next()? {
+            "spmm" => {
+                let variant = match it.next()? {
+                    "edge" => SpmmVariant::EdgeParallel,
+                    "vertex" => SpmmVariant::VertexParallel,
+                    _ => return None,
+                };
+                let writes = match it.next()? {
+                    "atomic" => WriteStrategy::Atomic,
+                    "staged" => WriteStrategy::Staged,
+                    _ => return None,
+                };
+                let edges_per_warp: usize = it.next()?.parse().ok()?;
+                let warps_per_cta: usize = it.next()?.parse().ok()?;
+                if it.next().is_some() || edges_per_warp == 0 || warps_per_cta == 0 {
+                    return None;
+                }
+                Some(KernelPlan::Spmm(SpmmPlan { variant, writes, edges_per_warp, warps_per_cta }))
+            }
+            "sddmm" => {
+                let width = match it.next()? {
+                    "half1" => VectorWidth::Half1,
+                    "half2" => VectorWidth::Half2,
+                    "half4" => VectorWidth::Half4,
+                    "half8" => VectorWidth::Half8,
+                    _ => return None,
+                };
+                let sub_warps = match it.next()? {
+                    "sub" => true,
+                    "nosub" => false,
+                    _ => return None,
+                };
+                if it.next().is_some() {
+                    return None;
+                }
+                Some(KernelPlan::Sddmm(SddmmPlan { width, sub_warps }))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spmm_plan_matches_the_kernel_default() {
+        let p = SpmmPlan::default();
+        let c = p.to_spmm_config(ScalePlacement::Discretized);
+        let d = SpmmConfig::default();
+        assert_eq!(c.scaling, d.scaling);
+        assert_eq!(c.writes, d.writes);
+        assert_eq!(c.tiling.edges_per_warp, d.tiling.edges_per_warp);
+        assert_eq!(c.tiling.warps_per_cta, d.tiling.warps_per_cta);
+        assert_eq!(p.variant, SpmmVariant::EdgeParallel);
+    }
+
+    #[test]
+    fn default_sddmm_plan_matches_the_widest_rule() {
+        for f in [8usize, 12, 6, 64, 256] {
+            let p = SddmmPlan::default_for(f);
+            let c = SddmmConfig::widest_for(f);
+            assert_eq!(p.width, c.width, "f={f}");
+            assert_eq!(p.sub_warps, c.sub_warps, "f={f}");
+        }
+    }
+
+    #[test]
+    fn plan_wire_form_round_trips() {
+        let plans = [
+            KernelPlan::Spmm(SpmmPlan::default()),
+            KernelPlan::Spmm(SpmmPlan {
+                variant: SpmmVariant::VertexParallel,
+                writes: WriteStrategy::Atomic,
+                edges_per_warp: 128,
+                warps_per_cta: 8,
+            }),
+            KernelPlan::Sddmm(SddmmPlan { width: VectorWidth::Half8, sub_warps: true }),
+            KernelPlan::Sddmm(SddmmPlan { width: VectorWidth::Half1, sub_warps: false }),
+        ];
+        for p in plans {
+            assert_eq!(KernelPlan::decode(&p.encode()), Some(p), "{}", p.encode());
+        }
+    }
+
+    #[test]
+    fn malformed_wire_forms_decode_to_none() {
+        for bad in [
+            "",
+            "spmm",
+            "spmm:edge:staged:64",
+            "spmm:edge:staged:0:4",
+            "spmm:edge:staged:64:4:extra",
+            "spmm:diagonal:staged:64:4",
+            "sddmm:half3:sub",
+            "sddmm:half8:maybe",
+            "conv2d:3x3",
+        ] {
+            assert_eq!(KernelPlan::decode(bad), None, "{bad:?}");
+        }
+    }
+}

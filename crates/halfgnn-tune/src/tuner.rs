@@ -1,0 +1,458 @@
+//! The tuner: evaluate candidate plans under the cost model, keep the
+//! fastest one that is *provably safe* on this graph.
+//!
+//! Safety is not a heuristic here — every candidate actually runs (in
+//! `ExecMode::Sim`, on the real graph or a degree-stratified sample) and
+//! must pass two gates before its modeled cycles are even considered:
+//!
+//! 1. the differential-testing oracle: the candidate's output must sit
+//!    inside the f64 reference's tolerance band with zero non-finite
+//!    elements ([`oracle::DivergenceReport`]), and
+//! 2. the overflow-provenance recorder: the evaluation runs inside
+//!    [`overflow::isolated`], and any recorded `f32 → half` overflow
+//!    rejects the plan (with the `provenance` feature off this gate is
+//!    inert and the oracle's non-finite check still stands).
+//!
+//! Among survivors the argmin of modeled cycles wins; if *nothing*
+//! survives (e.g. the caller insists on `ScalePlacement::None` over a hub
+//! graph) the untuned default plan is returned and cached, so a dispatch
+//! is never left without a config. Winners land in the [`PlanCache`].
+
+use crate::cache::PlanCache;
+use crate::candidates;
+use crate::key::{Dtype, KernelKey, OpKind};
+use crate::plan::{KernelPlan, SddmmPlan, SpmmPlan, SpmmVariant};
+use crate::sample::stratified_sample;
+use halfgnn_graph::metrics::degree_stats;
+use halfgnn_graph::{Coo, Csr};
+use halfgnn_half::slice::f32_slice_to_half;
+use halfgnn_half::{overflow, Half};
+use halfgnn_kernels::common::{row_scales_mean, EdgeWeights, ScalePlacement};
+use halfgnn_kernels::halfgnn_sddmm::sddmm_with_config;
+use halfgnn_kernels::oracle::{self, Layout, Tolerance};
+use halfgnn_kernels::reference;
+use halfgnn_sim::{DeviceConfig, ExecMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::path::PathBuf;
+
+pub use crate::cache::CacheCounters as TunerCounters;
+
+/// Why a candidate plan was rejected.
+#[derive(Clone, Debug)]
+pub enum Rejection {
+    /// The oracle found out-of-tolerance or non-finite output elements.
+    Divergence(String),
+    /// The provenance recorder saw `f32 → half` overflow during the run.
+    Overflow(String),
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::Divergence(s) => write!(f, "oracle divergence: {s}"),
+            Rejection::Overflow(s) => write!(f, "overflow recorded: {s}"),
+        }
+    }
+}
+
+/// Default nnz above which candidates are evaluated on a stratified
+/// sample instead of the full graph.
+const SAMPLE_THRESHOLD_NNZ: usize = 150_000;
+
+/// Cost-model-driven kernel autotuner.
+pub struct Tuner {
+    dev: DeviceConfig,
+    cache: RefCell<PlanCache>,
+    cache_path: Option<PathBuf>,
+    sample_threshold: usize,
+    tol: Tolerance,
+    seed: u64,
+}
+
+impl Tuner {
+    /// In-memory tuner (the `tuning: Auto` mode): plans live for this
+    /// process only.
+    pub fn auto(dev: &DeviceConfig) -> Tuner {
+        Tuner {
+            // Candidate evaluation needs modeled cycles, so the tuner's
+            // device always simulates — even when training itself runs in
+            // fast mode.
+            dev: dev.clone().with_exec(ExecMode::Sim),
+            cache: RefCell::new(PlanCache::new()),
+            cache_path: None,
+            sample_threshold: SAMPLE_THRESHOLD_NNZ,
+            tol: Tolerance::half_default(),
+            seed: 0x7A1F,
+        }
+    }
+
+    /// Persistent tuner (the `tuning: Cached(path)` mode): loads `path`
+    /// if it exists and rewrites it after every newly tuned plan.
+    pub fn cached(dev: &DeviceConfig, path: impl Into<PathBuf>) -> Tuner {
+        let path = path.into();
+        let mut t = Tuner::auto(dev);
+        t.cache = RefCell::new(PlanCache::load(&path));
+        t.cache_path = Some(path);
+        t
+    }
+
+    /// Override the sampling threshold (tests use tiny values to force
+    /// the sampling path).
+    pub fn with_sample_threshold(mut self, nnz: usize) -> Tuner {
+        self.sample_threshold = nnz;
+        self
+    }
+
+    /// Override the evaluation seed.
+    pub fn with_seed(mut self, seed: u64) -> Tuner {
+        self.seed = seed;
+        self
+    }
+
+    /// Hit/miss/evaluation counters.
+    pub fn counters(&self) -> TunerCounters {
+        self.cache.borrow().counters()
+    }
+
+    /// Number of cached plans.
+    pub fn cache_len(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    /// Serialized cache (for reporting).
+    pub fn cache_json(&self) -> String {
+        self.cache.borrow().to_json()
+    }
+
+    // -----------------------------------------------------------------
+    // Plan resolution: the entry points dispatch sites call.
+    // -----------------------------------------------------------------
+
+    /// Resolve the SpMM plan for aggregating `f`-wide features over this
+    /// graph. `weighted` distinguishes SpMMve (GAT) from SpMMv; `scaling`
+    /// is the caller's correctness-mandated placement and is preserved
+    /// verbatim in whatever plan wins.
+    pub fn spmm_plan(
+        &self,
+        csr: &Csr,
+        f: usize,
+        weighted: bool,
+        scaling: ScalePlacement,
+    ) -> SpmmPlan {
+        let stats = degree_stats(csr);
+        let op = if weighted { OpKind::SpmmVe } else { OpKind::SpmmV };
+        let key =
+            KernelKey::for_graph(op, Dtype::Half, f, csr.num_rows(), csr.nnz(), &stats, scaling);
+        if let Some(KernelPlan::Spmm(p)) = self.cache.borrow_mut().get(&key) {
+            return p;
+        }
+        let eval = EvalGraph::build(self, csr);
+        let mut best = SpmmPlan::default();
+        let mut best_cycles = f64::INFINITY;
+        let cands = candidates::spmm_candidates(&stats);
+        let evals = cands.len() as u64;
+        for plan in cands {
+            if let Ok(cycles) = self.vet_spmm_on(&eval, f, weighted, scaling, &plan) {
+                if cycles < best_cycles {
+                    best_cycles = cycles;
+                    best = plan;
+                }
+            }
+        }
+        self.commit(&key, KernelPlan::Spmm(best), evals);
+        best
+    }
+
+    /// Resolve the SDDMM plan for `f`-wide features over this graph.
+    pub fn sddmm_plan(&self, csr: &Csr, f: usize) -> SddmmPlan {
+        let stats = degree_stats(csr);
+        let key = KernelKey::for_graph(
+            OpKind::Sddmm,
+            Dtype::Half,
+            f,
+            csr.num_rows(),
+            csr.nnz(),
+            &stats,
+            ScalePlacement::None,
+        );
+        if let Some(KernelPlan::Sddmm(p)) = self.cache.borrow_mut().get(&key) {
+            return p;
+        }
+        let eval = EvalGraph::build(self, csr);
+        let mut best = SddmmPlan::default_for(f);
+        let mut best_cycles = f64::INFINITY;
+        let cands = candidates::sddmm_candidates(f);
+        let evals = cands.len() as u64;
+        for plan in cands {
+            if let Ok(cycles) = self.vet_sddmm_on(&eval, f, &plan) {
+                if cycles < best_cycles {
+                    best_cycles = cycles;
+                    best = plan;
+                }
+            }
+        }
+        self.commit(&key, KernelPlan::Sddmm(best), evals);
+        best
+    }
+
+    fn commit(&self, key: &KernelKey, plan: KernelPlan, evals: u64) {
+        let mut cache = self.cache.borrow_mut();
+        cache.insert(key, plan);
+        cache.record_evaluations(evals);
+        if let Some(path) = &self.cache_path {
+            // Persistence is best-effort: an unwritable path costs the
+            // next process a re-tune, not this one a crash.
+            let _ = cache.save(path);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Candidate vetting: run, compare, gate, cost.
+    // -----------------------------------------------------------------
+
+    /// Evaluate one SpMM candidate on (a sample of) `csr`: run it under
+    /// the oracle inside an isolated overflow window and return its
+    /// modeled cycles, or the reason it is unsafe. Public so tests can
+    /// probe the guard directly.
+    pub fn vet_spmm(
+        &self,
+        csr: &Csr,
+        f: usize,
+        weighted: bool,
+        scaling: ScalePlacement,
+        plan: &SpmmPlan,
+    ) -> Result<f64, Rejection> {
+        self.vet_spmm_on(&EvalGraph::build(self, csr), f, weighted, scaling, plan)
+    }
+
+    fn vet_spmm_on(
+        &self,
+        eval: &EvalGraph,
+        f: usize,
+        weighted: bool,
+        scaling: ScalePlacement,
+        plan: &SpmmPlan,
+    ) -> Result<f64, Rejection> {
+        let x = eval.features(self.seed ^ 1, eval.coo.num_cols() * f);
+        let weights = weighted.then(|| eval.features(self.seed ^ 2, eval.coo.nnz()));
+        let w = match &weights {
+            Some(vals) => EdgeWeights::Values(vals),
+            None => EdgeWeights::Ones,
+        };
+        let row_scale =
+            (scaling != ScalePlacement::None).then(|| row_scales_mean(&eval.coo.degrees()));
+        let ((_, stats, report), summary) = overflow::isolated(|| match plan.variant {
+            SpmmVariant::EdgeParallel => oracle::check_spmm(
+                &self.dev,
+                &eval.coo,
+                w,
+                &x,
+                f,
+                row_scale.as_deref(),
+                &plan.to_spmm_config(scaling),
+                self.tol,
+            ),
+            SpmmVariant::VertexParallel => oracle::check_spmm_vertex_parallel(
+                &self.dev,
+                &eval.csr,
+                w,
+                &x,
+                f,
+                row_scale.as_deref(),
+                scaling,
+                self.tol,
+            ),
+        });
+        gate(&report, &summary)?;
+        Ok(stats.cycles)
+    }
+
+    /// Evaluate one SDDMM candidate; see [`Tuner::vet_spmm`].
+    pub fn vet_sddmm(&self, csr: &Csr, f: usize, plan: &SddmmPlan) -> Result<f64, Rejection> {
+        self.vet_sddmm_on(&EvalGraph::build(self, csr), f, plan)
+    }
+
+    fn vet_sddmm_on(&self, eval: &EvalGraph, f: usize, plan: &SddmmPlan) -> Result<f64, Rejection> {
+        let u = eval.features(self.seed ^ 3, eval.coo.num_rows() * f);
+        let v = eval.features(self.seed ^ 4, eval.coo.num_cols() * f);
+        let ((got, stats), summary) = overflow::isolated(|| {
+            sddmm_with_config(&self.dev, &eval.coo, &u, &v, f, &plan.to_sddmm_config())
+        });
+        let want = reference::sddmm_f64(
+            &eval.coo,
+            &reference::half_to_f64(&u),
+            &reference::half_to_f64(&v),
+            f,
+        );
+        let degrees = eval.coo.degrees();
+        let report = oracle::compare_half(
+            "tuner_sddmm",
+            &got,
+            &want,
+            &Layout::PerEdge { rows: eval.coo.rows(), degrees: &degrees },
+            self.tol,
+        );
+        gate(&report, &summary)?;
+        Ok(stats.cycles)
+    }
+}
+
+/// Oracle + provenance gate shared by both vetting paths.
+fn gate(report: &oracle::DivergenceReport, summary: &overflow::Summary) -> Result<(), Rejection> {
+    if !report.is_ok() || report.nonfinite_got > 0 {
+        return Err(Rejection::Divergence(format!("{report}")));
+    }
+    if !summary.is_clean() {
+        return Err(Rejection::Overflow(match &summary.first {
+            Some(e) => format!("{e}"),
+            None => format!("{} non-finite conversions", summary.nonfinite()),
+        }));
+    }
+    Ok(())
+}
+
+/// The graph candidates are evaluated on: the full graph below the
+/// sampling threshold, otherwise a degree-stratified sample. Built once
+/// per tuning run and shared by every candidate so comparisons are
+/// apples-to-apples.
+struct EvalGraph {
+    coo: Coo,
+    csr: Csr,
+}
+
+impl EvalGraph {
+    fn build(t: &Tuner, csr: &Csr) -> EvalGraph {
+        let coo = stratified_sample(csr, t.sample_threshold, t.seed);
+        let csr = Csr::from_coo(&coo);
+        EvalGraph { coo, csr }
+    }
+
+    /// Seeded synthetic inputs, strictly positive so degree-proportional
+    /// sums cannot cancel — a plan that would overflow on adversarial
+    /// real data overflows here too, instead of hiding behind symmetric
+    /// noise.
+    fn features(&self, seed: u64, len: usize) -> Vec<Half> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        f32_slice_to_half(&(0..len).map(|_| rng.gen_range(0.1f32..1.0)).collect::<Vec<_>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halfgnn_graph::gen;
+    use halfgnn_kernels::common::WriteStrategy;
+
+    fn dev() -> DeviceConfig {
+        DeviceConfig::tiny()
+    }
+
+    fn er_graph() -> Csr {
+        Csr::from_edges(300, 300, &gen::erdos_renyi(300, 1_800, 11)).symmetrized_with_self_loops()
+    }
+
+    fn star_graph() -> Csr {
+        // One hub whose unscaled positive-feature sum is guaranteed past
+        // HALF_MAX: degree ~150k times a mean feature of 0.55 ≈ 8.2e4 >
+        // 65504. Fast even under Sim because f stays tiny.
+        let edges: Vec<(u32, u32)> = (1..150_000u32).map(|c| (0, c)).collect();
+        Csr::from_edges(150_000, 150_000, &edges)
+    }
+
+    #[test]
+    fn default_plan_vets_clean_on_a_normal_graph() {
+        let t = Tuner::auto(&dev());
+        let cycles = t
+            .vet_spmm(&er_graph(), 8, false, ScalePlacement::Discretized, &SpmmPlan::default())
+            .expect("default plan must pass its own oracle");
+        assert!(cycles > 0.0);
+    }
+
+    #[test]
+    fn unscaled_hub_aggregation_is_rejected_by_the_guard() {
+        // Satellite (c): an overflow-prone plan — atomic writes with
+        // scaling disabled on a high-degree graph — must be rejected.
+        let t = Tuner::auto(&dev()).with_sample_threshold(usize::MAX);
+        let plan = SpmmPlan { writes: WriteStrategy::Atomic, ..SpmmPlan::default() };
+        let err = t
+            .vet_spmm(&star_graph(), 2, false, ScalePlacement::None, &plan)
+            .expect_err("summing 150k positive halves must overflow");
+        match err {
+            Rejection::Divergence(msg) => assert!(msg.contains("NON-FINITE"), "{msg}"),
+            Rejection::Overflow(_) => {} // provenance feature path
+        }
+        // The same graph under discretized scaling is safe.
+        t.vet_spmm(&star_graph(), 2, false, ScalePlacement::Discretized, &SpmmPlan::default())
+            .expect("discretized scaling keeps the hub finite");
+    }
+
+    #[test]
+    fn tuned_plan_is_cached_and_reused() {
+        let t = Tuner::auto(&dev());
+        let g = er_graph();
+        let p1 = t.spmm_plan(&g, 8, false, ScalePlacement::Discretized);
+        let c1 = t.counters();
+        assert_eq!(c1.misses, 1);
+        assert_eq!(c1.hits, 0);
+        assert!(c1.evaluations > 1, "must have tried more than the default");
+        let p2 = t.spmm_plan(&g, 8, false, ScalePlacement::Discretized);
+        assert_eq!(p1, p2);
+        let c2 = t.counters();
+        assert_eq!(c2.hits, 1);
+        assert_eq!(c2.evaluations, c1.evaluations, "a hit evaluates nothing");
+    }
+
+    #[test]
+    fn sddmm_tuning_picks_a_legal_plan_and_caches_it() {
+        let t = Tuner::auto(&dev());
+        let g = er_graph();
+        let p = t.sddmm_plan(&g, 12);
+        assert_eq!(12 % p.width.lanes(), 0);
+        assert_eq!(t.sddmm_plan(&g, 12), p);
+        assert_eq!(t.counters().hits, 1);
+    }
+
+    #[test]
+    fn tuned_spmm_never_loses_to_the_default_on_modeled_cycles() {
+        let t = Tuner::auto(&dev());
+        for (name, csr) in [
+            ("er", er_graph()),
+            (
+                "powerlaw",
+                Csr::from_edges(400, 400, &gen::preferential_attachment(400, 6, 5))
+                    .symmetrized_with_self_loops(),
+            ),
+        ] {
+            let plan = t.spmm_plan(&csr, 16, false, ScalePlacement::Discretized);
+            let tuned = t
+                .vet_spmm(&csr, 16, false, ScalePlacement::Discretized, &plan)
+                .expect("winner must be safe");
+            let default = t
+                .vet_spmm(&csr, 16, false, ScalePlacement::Discretized, &SpmmPlan::default())
+                .expect("default must be safe");
+            assert!(tuned <= default, "{name}: tuned {tuned} > default {default}");
+        }
+    }
+
+    #[test]
+    fn cached_mode_persists_across_tuner_instances() {
+        let dir = std::env::temp_dir().join("halfgnn-tune-tuner-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plans.json");
+        std::fs::remove_file(&path).ok();
+        let g = er_graph();
+
+        let t1 = Tuner::cached(&dev(), &path);
+        let p1 = t1.spmm_plan(&g, 8, false, ScalePlacement::Discretized);
+        assert!(path.exists());
+
+        let t2 = Tuner::cached(&dev(), &path);
+        let p2 = t2.spmm_plan(&g, 8, false, ScalePlacement::Discretized);
+        assert_eq!(p1, p2);
+        let c = t2.counters();
+        assert_eq!((c.hits, c.misses, c.evaluations), (1, 0, 0), "t2 must not re-tune");
+        std::fs::remove_file(&path).ok();
+    }
+}

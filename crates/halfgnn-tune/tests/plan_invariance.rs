@@ -1,0 +1,107 @@
+//! Property-based guarantees of the plan space (satellite c).
+//!
+//! Plans carry only performance knobs — write strategy, tiling geometry,
+//! parallelization variant, vector width — never correctness parameters,
+//! so every candidate the enumerator can emit must produce output inside
+//! the oracle's tolerance band of the f64 reference on *any* graph. If a
+//! knob ever leaks into numerics beyond that band, these properties catch
+//! it before the tuner ships the plan.
+
+use halfgnn_graph::metrics::degree_stats;
+use halfgnn_graph::{Csr, VertexId};
+use halfgnn_kernels::common::ScalePlacement;
+use halfgnn_sim::DeviceConfig;
+use halfgnn_tune::{candidates, KernelPlan, SddmmPlan, SpmmPlan, Tuner};
+use proptest::prelude::*;
+
+/// Arbitrary connected-ish graph + padded feature length.
+fn arb_graph() -> impl Strategy<Value = (Csr, usize)> {
+    (4usize..40, 0usize..3)
+        .prop_flat_map(|(n, fpow)| {
+            let edge = (0..n as VertexId, 0..n as VertexId);
+            (Just(n), Just(4 << fpow), prop::collection::vec(edge, 0..150))
+        })
+        .prop_map(|(n, f, edges)| (Csr::from_edges(n, n, &edges).symmetrized_with_self_loops(), f))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_spmm_candidate_is_oracle_clean_under_discretized_scaling(
+        (csr, f) in arb_graph()
+    ) {
+        let t = Tuner::auto(&DeviceConfig::tiny());
+        let stats = degree_stats(&csr);
+        for plan in candidates::spmm_candidates(&stats) {
+            let vetted = t.vet_spmm(&csr, f, false, ScalePlacement::Discretized, &plan);
+            prop_assert!(
+                vetted.is_ok(),
+                "plan {} rejected on a benign graph: {}",
+                KernelPlan::Spmm(plan).encode(),
+                vetted.unwrap_err()
+            );
+        }
+    }
+
+    #[test]
+    fn every_weighted_spmm_candidate_is_oracle_clean(
+        (csr, f) in arb_graph()
+    ) {
+        // SpMMve (GAT's aggregation): edge weights multiply in, still a
+        // pure perf space under post-reduction scaling.
+        let t = Tuner::auto(&DeviceConfig::tiny());
+        let stats = degree_stats(&csr);
+        for plan in candidates::spmm_candidates(&stats) {
+            let vetted = t.vet_spmm(&csr, f, true, ScalePlacement::PostReduction, &plan);
+            prop_assert!(
+                vetted.is_ok(),
+                "plan {} rejected: {}",
+                KernelPlan::Spmm(plan).encode(),
+                vetted.unwrap_err()
+            );
+        }
+    }
+
+    #[test]
+    fn every_sddmm_candidate_is_oracle_clean((csr, f) in arb_graph()) {
+        let t = Tuner::auto(&DeviceConfig::tiny());
+        for plan in candidates::sddmm_candidates(f) {
+            prop_assert_eq!(f % plan.width.lanes(), 0, "illegal width enumerated");
+            let vetted = t.vet_sddmm(&csr, f, &plan);
+            prop_assert!(
+                vetted.is_ok(),
+                "plan {} rejected: {}",
+                KernelPlan::Sddmm(plan).encode(),
+                vetted.unwrap_err()
+            );
+        }
+    }
+
+    #[test]
+    fn winning_plans_survive_an_encode_decode_round_trip(
+        (csr, f) in arb_graph()
+    ) {
+        // Whatever the tuner picks must persist losslessly: the cache file
+        // stores `encode()` strings and a later process trusts `decode()`.
+        let t = Tuner::auto(&DeviceConfig::tiny());
+        let spmm = t.spmm_plan(&csr, f, false, ScalePlacement::Discretized);
+        let sddmm = t.sddmm_plan(&csr, f);
+        let s = KernelPlan::Spmm(spmm).encode();
+        prop_assert_eq!(KernelPlan::decode(&s), Some(KernelPlan::Spmm(spmm)), "{}", s);
+        let d = KernelPlan::Sddmm(sddmm).encode();
+        prop_assert_eq!(KernelPlan::decode(&d), Some(KernelPlan::Sddmm(sddmm)), "{}", d);
+    }
+}
+
+#[test]
+fn default_plans_are_always_enumerated_first() {
+    // The argmin can therefore never lose to the default: the default's
+    // cycles are the bar every other candidate has to beat.
+    let csr = Csr::from_edges(50, 50, &[(0, 1), (1, 2), (2, 3)]).symmetrized_with_self_loops();
+    let stats = degree_stats(&csr);
+    assert_eq!(candidates::spmm_candidates(&stats)[0], SpmmPlan::default());
+    for f in [2, 4, 8, 64] {
+        assert_eq!(candidates::sddmm_candidates(f)[0], SddmmPlan::default_for(f));
+    }
+}

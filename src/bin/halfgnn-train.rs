@@ -8,14 +8,15 @@
 
 use halfgnn::graph::datasets::Dataset;
 use halfgnn::nn::models::GcnNorm;
-use halfgnn::nn::trainer::{train, ModelKind, PrecisionMode, TrainConfig};
+use halfgnn::nn::trainer::{train, ModelKind, PrecisionMode, TrainConfig, Tuning};
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
         "usage: halfgnn-train --dataset <id|name> [--model gcn|gat|gin|sage] \
          [--precision float|halfnaive|halfgnn|nodiscretize] [--epochs N] \
-         [--lr F] [--hidden N] [--seed N] [--norm right|left|both] [--gin-lambda F] [--loss-scale F]"
+         [--lr F] [--hidden N] [--seed N] [--norm right|left|both] [--gin-lambda F] \
+         [--loss-scale F] [--tuning off|auto|cached:<path>]"
     );
     exit(2)
 }
@@ -71,6 +72,19 @@ fn main() {
             "--seed" => cfg.seed = val().parse().unwrap_or_else(|_| usage()),
             "--gin-lambda" => cfg.gin_lambda = val().parse().unwrap_or_else(|_| usage()),
             "--loss-scale" => cfg.loss_scale = val().parse().unwrap_or_else(|_| usage()),
+            "--tuning" => {
+                cfg.tuning = match val() {
+                    "off" => Tuning::Off,
+                    "auto" => Tuning::Auto,
+                    v => match v.strip_prefix("cached:") {
+                        Some(path) if !path.is_empty() => Tuning::Cached(path.to_string()),
+                        _ => {
+                            eprintln!("unknown tuning policy {v}");
+                            usage()
+                        }
+                    },
+                }
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -110,6 +124,12 @@ fn main() {
         "conversions    : {} kernels, {} elements/epoch",
         report.conversions_per_epoch, report.converted_elems_per_epoch
     );
+    if let Some(c) = report.tuning_counters {
+        println!(
+            "plan cache     : {} hits, {} misses, {} candidate evaluations",
+            c.hits, c.misses, c.evaluations
+        );
+    }
     println!("\nper-kernel breakdown (one epoch):");
     for (name, launches, us) in report.kernel_breakdown.iter().take(12) {
         println!("  {name:<42} x{launches:<3} {us:>10.1} us");

@@ -14,6 +14,7 @@
 //! * [`sim`] — the SIMT cost-model simulator (warps, coalescer, timing)
 //! * [`kernels`] — SpMM/SDDMM: HalfGNN kernels and every baseline
 //! * [`tensor`] — dense tensors, AMP autocast policy, shadow APIs
+//! * [`tune`] — cost-model kernel autotuner with a persistent plan cache
 //! * [`nn`] — GCN/GAT/GIN models and the mixed-precision trainer
 //!
 //! ## Quickstart
@@ -40,3 +41,4 @@ pub use halfgnn_kernels as kernels;
 pub use halfgnn_nn as nn;
 pub use halfgnn_sim as sim;
 pub use halfgnn_tensor as tensor;
+pub use halfgnn_tune as tune;
