@@ -125,7 +125,7 @@ pub fn count_nonfinite<T: FiniteCheck>(vals: &[T]) -> u64 {
 /// Edge-tile geometry for edge-parallel kernels: the discretization unit of
 /// §5.2. Defaults follow §4.1.1 ("at least 64 edges must be allocated to
 /// each warp").
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Tiling {
     /// Edges assigned to each warp.
     pub edges_per_warp: usize,

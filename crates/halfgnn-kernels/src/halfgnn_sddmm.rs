@@ -32,6 +32,12 @@ pub struct SddmmConfig {
     pub width: VectorWidth,
     /// Pack `32 / threads_per_edge` edges per warp (the paper's design).
     pub sub_warps: bool,
+    /// Edge-tile geometry. Used to be hard-coded to the default, which
+    /// collapsed the tuner's SDDMM search to width/packing alone — at
+    /// large `f` those tie, so tuning bought nothing (the BENCH_pr3
+    /// dead-end). Geometry changes the CTA count and wave occupancy, so
+    /// it is cost-distinguishable where widths are not.
+    pub tiling: Tiling,
 }
 
 impl SddmmConfig {
@@ -45,7 +51,7 @@ impl SddmmConfig {
         } else {
             VectorWidth::Half2
         };
-        SddmmConfig { width, sub_warps: true }
+        SddmmConfig { width, sub_warps: true, tiling: Tiling::default() }
     }
 }
 
@@ -62,7 +68,14 @@ pub fn sddmm(
     f: usize,
     width: VectorWidth,
 ) -> (Vec<Half>, KernelStats) {
-    sddmm_with_config(dev, coo, u, v, f, &SddmmConfig { width, sub_warps: true })
+    sddmm_with_config(
+        dev,
+        coo,
+        u,
+        v,
+        f,
+        &SddmmConfig { width, sub_warps: true, tiling: Tiling::default() },
+    )
 }
 
 /// [`sddmm`] with every plan knob explicit — the entry point the autotuner
@@ -87,7 +100,7 @@ pub fn sddmm_with_config(
     );
 
     let nnz = coo.nnz();
-    let tiling = Tiling::default();
+    let tiling = cfg.tiling;
     let num_ctas = tiling.num_ctas(nnz);
     let rows = coo.rows();
     let cols = coo.cols();
@@ -352,7 +365,7 @@ mod tests {
             &u,
             &v,
             f,
-            &SddmmConfig { width: VectorWidth::Half8, sub_warps: false },
+            &SddmmConfig { sub_warps: false, ..SddmmConfig::widest_for(f) },
         );
         let bits = |e: &[Half]| e.iter().map(|h| h.to_bits()).collect::<Vec<u16>>();
         assert_eq!(bits(&a), bits(&b));
@@ -363,6 +376,24 @@ mod tests {
             sa.totals.shuffles
         );
         assert!(sb.cycles > sa.cycles, "{} vs {}", sb.cycles, sa.cycles);
+    }
+
+    #[test]
+    fn tiling_geometry_changes_cost_but_not_values() {
+        // The knob the tuner gained in PR 4: geometry moves modeled cost
+        // (CTA count, wave occupancy) while the output stays bit-identical.
+        let g = random_graph(1_500, 20_000, 40);
+        let f = 64;
+        let u = random_halves(g.num_rows() * f, 0.5, 41);
+        let v = random_halves(g.num_cols() * f, 0.5, 42);
+        let small_dev = DeviceConfig::tiny();
+        let base = SddmmConfig::widest_for(f);
+        let wide = SddmmConfig { tiling: Tiling { edges_per_warp: 128, warps_per_cta: 8 }, ..base };
+        let (a, sa) = sddmm_with_config(&small_dev, &g, &u, &v, f, &base);
+        let (b, sb) = sddmm_with_config(&small_dev, &g, &u, &v, f, &wide);
+        let bits = |e: &[Half]| e.iter().map(|h| h.to_bits()).collect::<Vec<u16>>();
+        assert_eq!(bits(&a), bits(&b));
+        assert_ne!(sa.cycles, sb.cycles, "geometry must move modeled cost");
     }
 
     #[test]

@@ -28,6 +28,7 @@
 pub mod baseline;
 pub mod common;
 pub mod edge_ops;
+pub mod fused;
 pub mod halfgnn_sddmm;
 pub mod halfgnn_spmm;
 pub mod huang;

@@ -25,7 +25,7 @@
 use crate::baseline::cusparse::EdgeWeightsF32;
 use crate::common::{EdgeWeights, Reduce, ScalePlacement, VectorWidth};
 use crate::halfgnn_spmm::SpmmConfig;
-use crate::{baseline, edge_ops, halfgnn_sddmm, halfgnn_spmm, huang, reference};
+use crate::{baseline, edge_ops, fused, halfgnn_sddmm, halfgnn_spmm, huang, reference};
 use halfgnn_graph::{Coo, Csr};
 use halfgnn_half::Half;
 use halfgnn_sim::{DeviceConfig, KernelStats};
@@ -760,6 +760,115 @@ pub fn check_leakyrelu_grad(
     (got, stats, report)
 }
 
+/// Fold several per-buffer reports into one, so a fused kernel with
+/// multiple outputs still yields a single report. Counts are summed;
+/// `first` is the first failing buffer's first divergence and `worst` the
+/// largest error across all buffers.
+fn combine_reports(kernel: &'static str, parts: Vec<DivergenceReport>) -> DivergenceReport {
+    let tol = parts[0].tol;
+    let mut out = DivergenceReport {
+        kernel,
+        checked: 0,
+        mismatches: 0,
+        first: None,
+        worst: None,
+        nonfinite_got: 0,
+        nonfinite_ref: 0,
+        tol,
+    };
+    for p in parts {
+        out.checked += p.checked;
+        out.mismatches += p.mismatches;
+        out.nonfinite_got += p.nonfinite_got;
+        out.nonfinite_ref += p.nonfinite_ref;
+        if out.first.is_none() {
+            out.first = p.first;
+        }
+        let worse = match (&out.worst, &p.worst) {
+            (_, None) => false,
+            (None, Some(_)) => true,
+            (Some(cur), Some(new)) => {
+                (new.abs_err > cur.abs_err && !cur.abs_err.is_nan())
+                    || (new.abs_err.is_nan() && !cur.abs_err.is_nan())
+            }
+        };
+        if worse {
+            out.worst = p.worst;
+        }
+    }
+    out
+}
+
+/// Oracle for [`fused::fused_attn_forward`]: checks all three outputs
+/// (`e`, `α`, aggregated `out`) against the composed unfused f64 chain
+/// `src_dst_add_leakyrelu → edge_reduce(Max) → sub_row_exp →
+/// edge_reduce(Sum) → div_row → spmm`.
+#[allow(clippy::too_many_arguments)] // mirrors the kernel signature + tol
+pub fn check_fused_attn_forward(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    s_row: &[Half],
+    s_col: &[Half],
+    slope: f32,
+    z: &[Half],
+    f: usize,
+    tol: Tolerance,
+) -> (fused::FusedAttnForward, KernelStats, DivergenceReport) {
+    let (got, stats) = fused::fused_attn_forward(dev, coo, s_row, s_col, slope, z, f);
+    let sr = reference::half_to_f64(s_row);
+    let sc = reference::half_to_f64(s_col);
+    let e_want = reference::src_dst_add_leakyrelu_f64(coo, &sr, &sc, slope as f64);
+    let m = reference::edge_reduce_f64(coo, &e_want, Reduce::Max);
+    let num = reference::sub_row_exp_f64(coo, &e_want, &m);
+    let zsum = reference::edge_reduce_f64(coo, &num, Reduce::Sum);
+    let alpha_want = reference::div_row_f64(coo, &num, &zsum);
+    let out_want = spmm_ref_f64(coo, &alpha_want, &reference::half_to_f64(z), f, None);
+    let degrees = coo.degrees();
+    let edge_layout = Layout::PerEdge { rows: coo.rows(), degrees: &degrees };
+    let r_e = compare_half("fused_attn.e", &got.e, &e_want, &edge_layout, tol);
+    let r_a = compare_half("fused_attn.alpha", &got.alpha, &alpha_want, &edge_layout, tol);
+    let r_o = compare_half(
+        "fused_attn.out",
+        &got.out,
+        &out_want,
+        &Layout::RowMajor { f, degrees: &degrees },
+        tol,
+    );
+    let report = combine_reports("fused_attn_forward", vec![r_e, r_a, r_o]);
+    (got, stats, report)
+}
+
+/// Oracle for [`fused::fused_softmax_grad`]: the f64 reference composes
+/// the unfused backward chain `edge_mul → edge_reduce(Sum) →
+/// softmax_grad → leakyrelu_grad`.
+pub fn check_fused_softmax_grad(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    alpha: &[Half],
+    dalpha: &[Half],
+    e: &[Half],
+    slope: f32,
+    tol: Tolerance,
+) -> (Vec<Half>, KernelStats, DivergenceReport) {
+    let (got, stats) = fused::fused_softmax_grad(dev, coo, alpha, dalpha, e, slope);
+    let a = reference::half_to_f64(alpha);
+    let da = reference::half_to_f64(dalpha);
+    let ef = reference::half_to_f64(e);
+    let prod = reference::edge_mul_f64(&a, &da);
+    let t = reference::edge_reduce_f64(coo, &prod, Reduce::Sum);
+    let soft = reference::softmax_grad_f64(coo, &a, &da, &t);
+    let want = reference::leakyrelu_grad_f64(&ef, &soft, slope as f64);
+    let degrees = coo.degrees();
+    let report = compare_half(
+        "fused_softmax_grad",
+        &got,
+        &want,
+        &Layout::PerEdge { rows: coo.rows(), degrees: &degrees },
+        tol,
+    );
+    (got, stats, report)
+}
+
 /// Oracle for [`edge_ops::edge_reduce_f32`].
 pub fn check_edge_reduce_f32(
     dev: &DeviceConfig,
@@ -975,6 +1084,10 @@ mod tests {
         let t = random_halves(g.num_rows(), 0.3, 13);
         check_softmax_grad(&d, &g, &wh, &wh, &t, tol_h).2.assert_ok();
         check_leakyrelu_grad(&d, &g, &wh, &wh, 0.1, tol_h).2.assert_ok();
+        let zf = random_halves(g.num_cols() * f, 0.3, 14);
+        let (fwd, _, r) = check_fused_attn_forward(&d, &g, &row_h, &row_h, 0.2, &zf, f, tol_h);
+        r.assert_ok();
+        check_fused_softmax_grad(&d, &g, &fwd.alpha, &wh, &fwd.e, 0.2, tol_h).2.assert_ok();
         check_edge_reduce_f32(&d, &g, &wf, Reduce::Sum, tol_f).2.assert_ok();
         check_edge_reduce_f32(&d, &g, &wf, Reduce::Max, tol_f).2.assert_ok();
     }

@@ -2,14 +2,14 @@
 //! on arbitrary random graphs and features, and the design invariants
 //! (non-atomic staging, discretized overflow safety) hold universally.
 
-use halfgnn_graph::{Csr, VertexId};
+use halfgnn_graph::{Coo, Csr, VertexId};
 use halfgnn_half::slice::f32_slice_to_half;
-use halfgnn_half::Half;
+use halfgnn_half::{overflow, Half};
 use halfgnn_kernels::baseline::cusparse::{self, EdgeWeightsF32};
 use halfgnn_kernels::baseline::dgl_sddmm;
 use halfgnn_kernels::common::{EdgeWeights, Reduce, ScalePlacement, VectorWidth};
 use halfgnn_kernels::reference;
-use halfgnn_kernels::{halfgnn_sddmm, halfgnn_spmm, huang};
+use halfgnn_kernels::{edge_ops, fused, halfgnn_sddmm, halfgnn_spmm, huang};
 use halfgnn_sim::DeviceConfig;
 use proptest::prelude::*;
 
@@ -35,8 +35,99 @@ fn arb_case() -> impl Strategy<Value = (Csr, usize, Vec<Half>, Vec<Half>)> {
         })
 }
 
+/// Arbitrary attention case: unsymmetrized graph (so empty rows occur
+/// naturally), even feature width, raw attention scores. `all_negative`
+/// forces every score below zero — the case where a zero-identity bug in
+/// the fused running-max/softmax would surface immediately.
+fn arb_attn_case() -> impl Strategy<Value = (Coo, usize, Vec<Half>, Vec<Half>, Vec<Half>)> {
+    (3usize..32, 0usize..3)
+        .prop_flat_map(|(n, fpow)| {
+            let f = 2 << fpow; // 2, 4, 8
+            let edge = (0..n as VertexId, 0..n as VertexId);
+            (
+                Just(n),
+                Just(f),
+                prop::collection::vec(edge, 0..100),
+                prop::collection::vec(-3.0f32..3.0, n),
+                prop::collection::vec(-3.0f32..3.0, n),
+                prop::collection::vec(-1.0f32..1.0, n * f),
+                0usize..2, // vendored proptest has no bool strategy
+            )
+        })
+        .prop_map(|(n, f, edges, sr, sc, z, neg)| {
+            let all_negative = neg == 1;
+            let coo = Csr::from_edges(n, n, &edges).to_coo();
+            let scores = |v: Vec<f32>| -> Vec<Half> {
+                let v: Vec<f32> =
+                    v.into_iter().map(|s| if all_negative { -s.abs() - 0.5 } else { s }).collect();
+                f32_slice_to_half(&v)
+            };
+            (coo, f, scores(sr), scores(sc), f32_slice_to_half(&z))
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fused_attention_matches_the_unfused_chain(
+        (coo, f, s_row, s_col, z) in arb_attn_case()
+    ) {
+        // The fused SDDMM → edge-softmax → SpMM pass is a pure
+        // cost/traffic optimisation: for ANY graph (empty rows included)
+        // and ANY scores (all-negative included) it must land inside the
+        // `reference::close` band of the five-kernel chain, with zero
+        // overflow-provenance events from its internal exp/div path.
+        let dev = DeviceConfig::a100_like();
+        let slope = 0.2;
+        let ((fwd, _), fsum) = overflow::isolated(|| {
+            fused::fused_attn_forward(&dev, &coo, &s_row, &s_col, slope, &z, f)
+        });
+        prop_assert!(fsum.is_clean(), "{} forward overflow events", fsum.nonfinite());
+
+        let (e, _) = edge_ops::src_dst_add_leakyrelu(&dev, &coo, &s_row, &s_col, slope);
+        let (m, _) = halfgnn_spmm::edge_reduce(&dev, &coo, &e, Reduce::Max);
+        let (num, _) = edge_ops::sub_row_exp(&dev, &coo, &e, &m, true);
+        let (zs, _) = halfgnn_spmm::edge_reduce(&dev, &coo, &num, Reduce::Sum);
+        let (alpha, _) = edge_ops::div_row(&dev, &coo, &num, &zs);
+        let cfg = halfgnn_spmm::SpmmConfig { scaling: ScalePlacement::None, ..Default::default() };
+        let (y, _) = halfgnn_spmm::spmm(&dev, &coo, EdgeWeights::Values(&alpha), &z, f, None, &cfg);
+
+        // The raw-score path is arithmetically identical: bit equality.
+        for (i, (a, b)) in fwd.e.iter().zip(&e).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "e[{}]", i);
+        }
+        for (i, (a, b)) in fwd.alpha.iter().zip(&alpha).enumerate() {
+            prop_assert!(
+                reference::close(a.to_f64(), b.to_f64(), 2e-2, 2e-2),
+                "alpha[{}]: fused {} vs unfused {}", i, a, b
+            );
+        }
+        for (i, (a, b)) in fwd.out.iter().zip(&y).enumerate() {
+            prop_assert!(
+                reference::close(a.to_f64(), b.to_f64(), 3e-2, 3e-2),
+                "out[{}]: fused {} vs unfused {}", i, a, b
+            );
+        }
+
+        // Backward: fused softmax-grad vs the four-kernel chain.
+        let dalpha: Vec<Half> =
+            (0..coo.nnz()).map(|i| Half::from_f32(((i % 17) as f32 - 8.0) / 8.0)).collect();
+        let ((de_f, _), bsum) = overflow::isolated(|| {
+            fused::fused_softmax_grad(&dev, &coo, &fwd.alpha, &dalpha, &fwd.e, slope)
+        });
+        prop_assert!(bsum.is_clean(), "{} backward overflow events", bsum.nonfinite());
+        let (prod, _) = edge_ops::mul(&dev, &coo, &alpha, &dalpha);
+        let (t, _) = halfgnn_spmm::edge_reduce(&dev, &coo, &prod, Reduce::Sum);
+        let (de_soft, _) = edge_ops::softmax_grad(&dev, &coo, &alpha, &dalpha, &t);
+        let (de_u, _) = edge_ops::leakyrelu_grad(&dev, &coo, &e, &de_soft, slope);
+        for (i, (a, b)) in de_f.iter().zip(&de_u).enumerate() {
+            prop_assert!(
+                reference::close(a.to_f64(), b.to_f64(), 2e-2, 2e-2),
+                "de[{}]: fused {} vs unfused {}", i, a, b
+            );
+        }
+    }
 
     #[test]
     fn halfgnn_spmm_matches_reference((csr, f, x, w) in arb_case()) {

@@ -29,7 +29,7 @@ use crate::models::{
 use crate::params::{GatGrads, GatParams};
 use halfgnn_half::Half;
 use halfgnn_kernels::common::Reduce;
-use halfgnn_kernels::edge_ops;
+use halfgnn_kernels::{edge_ops, fused};
 use halfgnn_tensor::Ops;
 
 /// LeakyReLU slope for attention logits (the GAT paper's 0.2).
@@ -180,6 +180,15 @@ fn layer_forward_half(
     let z = ops.gemm_half(x, false, w, false, n, f_in, f_out);
     let s_src = ops.gemm_half(&z, false, a_src, false, n, f_out, 1);
     let s_dst = ops.gemm_half(&z, false, a_dst, false, n, f_out, 1);
+    if d.attn_fused(g, f_out) {
+        // One pass over the edges: scores, running row-max, shadow exp,
+        // row-sum, normalize, aggregate. The kernel's own provenance site
+        // nests under the ambient layer site ("gat.layerN/fused_attn").
+        let (fwd, st) =
+            fused::fused_attn_forward(ops.dev, &g.coo, &s_dst, &s_src, ATTN_SLOPE, &z, f_out);
+        ops.record(st);
+        return LayerStateHalf { z, e: fwd.e, alpha: fwd.alpha, out: fwd.out };
+    }
     let (e, st) = edge_ops::src_dst_add_leakyrelu(ops.dev, &g.coo, &s_dst, &s_src, ATTN_SLOPE);
     ops.record(st);
     let m = edge_reduce_half(ops, g, &e, Reduce::Max);
@@ -217,13 +226,23 @@ fn layer_backward_half(
     let alpha_t = g.permute_to_transpose(&state.alpha);
     let dz_agg = spmmve_half(ops, g, &alpha_t, dh, f_out, d);
     let dalpha = sddmm_half(ops, g, dh, &state.z, f_out, d);
-    let (prod, st) = edge_ops::mul(ops.dev, &g.coo, &state.alpha, &dalpha);
-    ops.record(st);
-    let t = edge_reduce_half(ops, g, &prod, Reduce::Sum);
-    let (de_soft, st) = edge_ops::softmax_grad(ops.dev, &g.coo, &state.alpha, &dalpha, &t);
-    ops.record(st);
-    let (de, st) = edge_ops::leakyrelu_grad(ops.dev, &g.coo, &state.e, &de_soft, ATTN_SLOPE);
-    ops.record(st);
+    let de = if d.attn_fused(g, f_out) {
+        // Fused edge-softmax backward: t stays register-resident, one
+        // kernel instead of mul → reduce → softmax_grad → leakyrelu_grad.
+        let (de, st) =
+            fused::fused_softmax_grad(ops.dev, &g.coo, &state.alpha, &dalpha, &state.e, ATTN_SLOPE);
+        ops.record(st);
+        de
+    } else {
+        let (prod, st) = edge_ops::mul(ops.dev, &g.coo, &state.alpha, &dalpha);
+        ops.record(st);
+        let t = edge_reduce_half(ops, g, &prod, Reduce::Sum);
+        let (de_soft, st) = edge_ops::softmax_grad(ops.dev, &g.coo, &state.alpha, &dalpha, &t);
+        ops.record(st);
+        let (de, st) = edge_ops::leakyrelu_grad(ops.dev, &g.coo, &state.e, &de_soft, ATTN_SLOPE);
+        ops.record(st);
+        de
+    };
     let ds_dst = edge_reduce_half(ops, g, &de, Reduce::Sum);
     let de_t = g.permute_to_transpose(&de);
     let ds_src = edge_reduce_half(ops, g, &de_t, Reduce::Sum);
@@ -716,6 +735,40 @@ mod tests {
         let hh = step_half(&mut ops, &g, &p, &xh, &labels, &mask, PrecisionMode::HalfGnn.into());
         assert!((f.loss - hh.loss).abs() < 0.08, "{} vs {}", f.loss, hh.loss);
         assert!(hh.loss.is_finite());
+    }
+
+    #[test]
+    fn fused_dispatch_tracks_unfused_and_launches_fewer_kernels() {
+        let dev = DeviceConfig::a100_like();
+        let (g, x, labels, mask) = toy();
+        let p = GatParams::new(8, 6, 2, 11);
+        let xh: Vec<Half> = x.iter().map(|&v| Half::from_f32(v)).collect();
+        let mut unfused_ops = Ops::new(&dev);
+        let a =
+            step_half(&mut unfused_ops, &g, &p, &xh, &labels, &mask, PrecisionMode::HalfGnn.into());
+        let mut fused_ops = Ops::new(&dev);
+        let d = Dispatch::untuned(PrecisionMode::HalfGnn).with_fusion(true);
+        let b = step_half(&mut fused_ops, &g, &p, &xh, &labels, &mask, d);
+        assert!((a.loss - b.loss).abs() < 0.05, "{} vs {}", a.loss, b.loss);
+        assert!(b.loss.is_finite());
+        assert!(
+            fused_ops.kernel_count() < unfused_ops.kernel_count(),
+            "fused {} launches must undercut unfused {}",
+            fused_ops.kernel_count(),
+            unfused_ops.kernel_count()
+        );
+    }
+
+    #[test]
+    fn baseline_mode_never_fuses() {
+        let (g, ..) = toy();
+        let d = Dispatch::untuned(PrecisionMode::HalfNaive).with_fusion(true);
+        assert!(!d.attn_fused(&g, 6), "HalfNaive must stay on the DGL chain");
+        let d = Dispatch::untuned(PrecisionMode::HalfGnn);
+        assert!(!d.attn_fused(&g, 6), "untuned, unforced dispatch must stay unfused");
+        let d = Dispatch::untuned(PrecisionMode::HalfGnn).with_fusion(true);
+        assert!(!d.attn_fused(&g, 7), "odd f cannot run the half2-padded fused kernel");
+        assert!(d.attn_fused(&g, 6));
     }
 
     #[test]

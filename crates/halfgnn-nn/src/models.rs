@@ -71,25 +71,56 @@ pub struct Dispatch<'t> {
     pub mode: PrecisionMode,
     /// Kernel-plan autotuner, when `TrainConfig::tuning` is not `Off`.
     pub tuner: Option<&'t Tuner>,
+    /// Force the fused attention pipeline on (`--fusion`). When false the
+    /// fused kernels remain reachable only through tuner selection, so an
+    /// untuned dispatch stays bit-for-bit on the unfused chain.
+    pub fusion: bool,
 }
 
 impl Dispatch<'static> {
     /// Dispatch with default plans only (`tuning: Off`).
     pub fn untuned(mode: PrecisionMode) -> Dispatch<'static> {
-        Dispatch { mode, tuner: None }
+        Dispatch { mode, tuner: None, fusion: false }
     }
 }
 
 impl<'t> Dispatch<'t> {
     /// Dispatch through a tuner (`tuning: Auto` / `Cached`).
     pub fn tuned(mode: PrecisionMode, tuner: &'t Tuner) -> Dispatch<'t> {
-        Dispatch { mode, tuner: Some(tuner) }
+        Dispatch { mode, tuner: Some(tuner), fusion: false }
+    }
+
+    /// Explicitly force (or forbid forcing) the fused attention pipeline.
+    pub fn with_fusion(mut self, fusion: bool) -> Dispatch<'t> {
+        self.fusion = fusion;
+        self
+    }
+
+    /// Whether GAT's attention chain runs the fused single-pass kernels
+    /// for `f`-wide features over this graph. Explicit `fusion` config
+    /// wins; otherwise the tuner decides per graph shape; with neither,
+    /// the unfused five-kernel chain (bit-for-bit pre-fusion behavior).
+    /// Baseline modes and odd `f` (the fused kernel is half2-padded)
+    /// never fuse.
+    pub fn attn_fused(&self, g: &PreparedGraph, f: usize) -> bool {
+        let halfgnn =
+            matches!(self.mode, PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize);
+        if !halfgnn || !f.is_multiple_of(2) {
+            return false;
+        }
+        if self.fusion {
+            return true;
+        }
+        match self.tuner {
+            Some(t) => t.attn_plan(&g.csr, f).fused,
+            None => false,
+        }
     }
 }
 
 impl<'t> From<PrecisionMode> for Dispatch<'t> {
     fn from(mode: PrecisionMode) -> Dispatch<'t> {
-        Dispatch { mode, tuner: None }
+        Dispatch { mode, tuner: None, fusion: false }
     }
 }
 

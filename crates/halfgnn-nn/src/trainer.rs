@@ -68,6 +68,13 @@ pub struct TrainConfig {
     /// cost-model tuner (plans are modeled-cycles argmins vetted against
     /// the f64 oracle, so losses stay within oracle tolerance).
     pub tuning: Tuning,
+    /// Force the fused GAT attention pipeline (§ DESIGN.md 11) on every
+    /// eligible layer. `false` (default) leaves the choice to the tuner
+    /// (`Auto`/`Cached` runs) or keeps the unfused five-kernel chain
+    /// (`Off` runs) — so `Tuning::Off` without this flag stays bit-for-bit
+    /// the pre-fusion behaviour. Only HalfGnn-family GAT layers with even
+    /// feature width can fuse; the flag is a no-op elsewhere.
+    pub fusion: bool,
 }
 
 impl Default for TrainConfig {
@@ -84,6 +91,7 @@ impl Default for TrainConfig {
             loss_scale: 1.0,
             exec: ExecMode::Sim,
             tuning: Tuning::Off,
+            fusion: false,
         }
     }
 }
@@ -111,10 +119,15 @@ pub struct TrainReport {
     pub converted_elems_per_epoch: u64,
     /// Kernel launches per epoch.
     pub kernels_per_epoch: usize,
-    /// Per-kernel time breakdown of one epoch: `(name, launches, total us)`
-    /// sorted by time descending — the profile a Nsight Systems trace
-    /// would show.
-    pub kernel_breakdown: Vec<(String, usize, f64)>,
+    /// Modeled DRAM traffic of one epoch in bytes (read + write sectors
+    /// × 32 B). Fused kernels never charge sectors for the intermediates
+    /// they eliminate, so this is where fusion's memory-traffic savings
+    /// show up. Zero under [`ExecMode::Fast`] (charging is compiled out).
+    pub dram_bytes_per_epoch: u64,
+    /// Per-kernel breakdown of one epoch:
+    /// `(name, launches, total us, total DRAM bytes)` sorted by time
+    /// descending — the profile a Nsight Systems trace would show.
+    pub kernel_breakdown: Vec<(String, usize, f64, u64)>,
     /// Overflow-provenance summary for each epoch: every `f32 → half`
     /// conversion of the step is tracked, and the first non-finite one
     /// carries its site path (layer + kernel), answering *which tensor
@@ -164,7 +177,8 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
     let mut conversions = 0u64;
     let mut converted = 0u64;
     let mut kernels = 0usize;
-    let mut breakdown: Vec<(String, usize, f64)> = Vec::new();
+    let mut dram_bytes = 0u64;
+    let mut breakdown: Vec<(String, usize, f64, u64)> = Vec::new();
     let mut last_logits: Vec<f32> = Vec::new();
 
     // Parameter storage + optimizer, per architecture.
@@ -202,7 +216,8 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
     let dispatch = match &tuner {
         Some(t) => Dispatch::tuned(cfg.precision, t),
         None => Dispatch::untuned(cfg.precision),
-    };
+    }
+    .with_fusion(cfg.fusion);
 
     for epoch in 0..cfg.epochs {
         let mut ops = Ops::new(dev);
@@ -295,6 +310,7 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
             conversions = ops.tensor_conversions;
             converted = ops.converted_elems;
             kernels = ops.kernel_count();
+            dram_bytes = ops.log.iter().map(halfgnn_sim::KernelStats::dram_bytes).sum();
             breakdown = kernel_breakdown(&ops);
         }
 
@@ -331,6 +347,7 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
         conversions_per_epoch: conversions,
         converted_elems_per_epoch: converted,
         kernels_per_epoch: kernels,
+        dram_bytes_per_epoch: dram_bytes,
         kernel_breakdown: breakdown,
         overflow_per_epoch,
         tuning_counters: tuner.as_ref().map(Tuner::counters),
@@ -338,17 +355,19 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
 }
 
 /// Aggregate an epoch's kernel log by kernel name, sorted by total time.
-fn kernel_breakdown(ops: &Ops) -> Vec<(String, usize, f64)> {
-    let mut agg: std::collections::BTreeMap<&str, (usize, f64)> = std::collections::BTreeMap::new();
+fn kernel_breakdown(ops: &Ops) -> Vec<(String, usize, f64, u64)> {
+    let mut agg: std::collections::BTreeMap<&str, (usize, f64, u64)> =
+        std::collections::BTreeMap::new();
     for s in &ops.log {
         // Composite stats ("a+b") are named by their phases; aggregate on
         // the full composite name.
-        let e = agg.entry(s.name.as_str()).or_insert((0, 0.0));
+        let e = agg.entry(s.name.as_str()).or_insert((0, 0.0, 0));
         e.0 += 1;
         e.1 += s.time_us;
+        e.2 += s.dram_bytes();
     }
-    let mut out: Vec<(String, usize, f64)> =
-        agg.into_iter().map(|(k, (n, t))| (k.to_string(), n, t)).collect();
+    let mut out: Vec<(String, usize, f64, u64)> =
+        agg.into_iter().map(|(k, (n, t, b))| (k.to_string(), n, t, b)).collect();
     out.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
     out
 }
@@ -539,6 +558,34 @@ mod tests {
             // Fast epochs report measured wall-clock, not modeled time.
             assert!(fast.epoch_time_us > 0.0);
         }
+    }
+
+    #[test]
+    fn fused_gat_training_saves_dram_and_tracks_the_unfused_losses() {
+        let data = Dataset::cora().load(42);
+        let base = quick_cfg(ModelKind::Gat, PrecisionMode::HalfGnn, 5);
+        let unfused = train(&data, &base);
+        let fused = train(&data, &TrainConfig { fusion: true, ..base.clone() });
+        // Fusion eliminates intermediate round-trips: fewer launches and
+        // strictly less modeled DRAM traffic, with no overflow events.
+        assert!(unfused.dram_bytes_per_epoch > 0);
+        assert!(
+            fused.dram_bytes_per_epoch < unfused.dram_bytes_per_epoch,
+            "fused {} vs unfused {}",
+            fused.dram_bytes_per_epoch,
+            unfused.dram_bytes_per_epoch
+        );
+        assert!(fused.kernels_per_epoch < unfused.kernels_per_epoch);
+        assert!(fused.nan_epoch.is_none());
+        assert!(fused.overflow_per_epoch.iter().all(overflow::Summary::is_clean));
+        // Same optimization trajectory within half rounding of the
+        // re-associated fused reductions.
+        for (a, b) in unfused.losses.iter().zip(&fused.losses) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+        // The breakdown's per-kernel bytes must account for the total.
+        let sum: u64 = fused.kernel_breakdown.iter().map(|(_, _, _, b)| b).sum();
+        assert_eq!(sum, fused.dram_bytes_per_epoch);
     }
 
     #[test]

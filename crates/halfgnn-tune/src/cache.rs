@@ -305,7 +305,12 @@ mod tests {
         );
         c.insert(
             &key(OpKind::Sddmm, 64),
-            KernelPlan::Sddmm(SddmmPlan { width: VectorWidth::Half8, sub_warps: true }),
+            KernelPlan::Sddmm(SddmmPlan {
+                width: VectorWidth::Half8,
+                sub_warps: true,
+                edges_per_warp: 64,
+                warps_per_cta: 4,
+            }),
         );
         c.insert(&key(OpKind::SpmmVe, 8), KernelPlan::Spmm(SpmmPlan::default()));
         c
@@ -330,7 +335,12 @@ mod tests {
         c.insert(&key(OpKind::SpmmVe, 8), KernelPlan::Spmm(SpmmPlan::default()));
         c.insert(
             &key(OpKind::Sddmm, 64),
-            KernelPlan::Sddmm(SddmmPlan { width: VectorWidth::Half8, sub_warps: true }),
+            KernelPlan::Sddmm(SddmmPlan {
+                width: VectorWidth::Half8,
+                sub_warps: true,
+                edges_per_warp: 64,
+                warps_per_cta: 4,
+            }),
         );
         c.insert(
             &key(OpKind::SpmmV, 64),

@@ -16,7 +16,7 @@
 //! worse than "no tuner" on modeled cycles.
 
 use crate::key::CvBucket;
-use crate::plan::{SddmmPlan, SpmmPlan, SpmmVariant};
+use crate::plan::{AttnPlan, SddmmPlan, SpmmPlan, SpmmVariant};
 use halfgnn_graph::metrics::DegreeStats;
 use halfgnn_kernels::common::{VectorWidth, WriteStrategy};
 
@@ -69,23 +69,47 @@ pub fn spmm_candidates(stats: &DegreeStats) -> Vec<SpmmPlan> {
 }
 
 /// SDDMM plans legal for feature width `f`. The default (widest width,
-/// sub-warps on) is always first.
+/// sub-warps on, default tile geometry) is always first.
+///
+/// PR 3's enumeration varied only `width` × `sub_warps`, and on every
+/// benchmark config the widest sub-warp plan was already optimal — the
+/// tuner could never improve on the default (BENCH_pr3: speedup 1.000
+/// across the board). Tile geometry is the knob that actually moves
+/// modeled cost (it changes CTA wave occupancy and per-warp load counts),
+/// so the space now crosses the widest width with the same geometry grid
+/// the SpMM enumeration uses.
 pub fn sddmm_candidates(f: usize) -> Vec<SddmmPlan> {
-    let mut out = vec![SddmmPlan::default_for(f)];
+    let default = SddmmPlan::default_for(f);
+    let mut out = vec![default];
     let mut push = |p: SddmmPlan| {
         if !out.contains(&p) {
             out.push(p);
         }
     };
+    for &edges_per_warp in &[32usize, 64, 128] {
+        for &warps_per_cta in &[2usize, 4, 8] {
+            push(SddmmPlan { edges_per_warp, warps_per_cta, ..default });
+        }
+    }
     for width in [VectorWidth::Half8, VectorWidth::Half4, VectorWidth::Half2] {
         if f.is_multiple_of(width.lanes()) {
-            push(SddmmPlan { width, sub_warps: true });
+            push(SddmmPlan { width, sub_warps: true, ..default });
         }
     }
     // One unpacked candidate at the widest legal width: on tiny edge
     // counts, skipping sub-warp packing trades shuffles for occupancy.
-    push(SddmmPlan { sub_warps: false, ..SddmmPlan::default_for(f) });
+    push(SddmmPlan { sub_warps: false, ..default });
     out
+}
+
+/// Attention-pipeline plans: the unfused five-kernel chain (the default,
+/// and the only bit-compatible-with-PR-3 choice) and the fused single-pass
+/// kernel. Both are always evaluated — which one wins depends on the
+/// graph's row-length distribution (fused warps own whole rows, so hub
+/// rows serialize them) and on `f` (large `f` makes the per-edge
+/// feature-row gather dominate both designs).
+pub fn attn_candidates() -> Vec<AttnPlan> {
+    vec![AttnPlan { fused: false }, AttnPlan { fused: true }]
 }
 
 #[cfg(test)]
@@ -113,6 +137,28 @@ mod tests {
         for f in [8, 64, 256] {
             assert_eq!(sddmm_candidates(f)[0], SddmmPlan::default_for(f));
         }
+        assert_eq!(attn_candidates()[0], AttnPlan::default());
+    }
+
+    #[test]
+    fn sddmm_candidates_vary_tile_geometry() {
+        // The PR 3 dead-end fix: the enumeration must reach plans that
+        // differ from the default in geometry, not just width/packing.
+        let cands = sddmm_candidates(64);
+        let d = SddmmPlan::default_for(64);
+        assert!(
+            cands.iter().any(|p| (p.edges_per_warp, p.warps_per_cta)
+                != (d.edges_per_warp, d.warps_per_cta)),
+            "{cands:?}"
+        );
+        assert!(cands.len() > 4, "{cands:?}");
+    }
+
+    #[test]
+    fn attn_candidates_cover_both_pipelines() {
+        let c = attn_candidates();
+        assert!(c.iter().any(|p| p.fused));
+        assert!(c.iter().any(|p| !p.fused));
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub enum OpKind {
     SpmmVe,
     /// Sampled dense-dense matmul (GAT attention scores).
     Sddmm,
+    /// The GAT attention chain (scores → softmax → aggregation): tuned as
+    /// one op because its fused/unfused choice spans all five kernels.
+    Attn,
 }
 
 impl OpKind {
@@ -30,6 +33,7 @@ impl OpKind {
             OpKind::SpmmV => "spmmv",
             OpKind::SpmmVe => "spmmve",
             OpKind::Sddmm => "sddmm",
+            OpKind::Attn => "attn",
         }
     }
 
@@ -38,6 +42,7 @@ impl OpKind {
             "spmmv" => OpKind::SpmmV,
             "spmmve" => OpKind::SpmmVe,
             "sddmm" => OpKind::Sddmm,
+            "attn" => OpKind::Attn,
             _ => return None,
         })
     }
@@ -257,6 +262,7 @@ mod tests {
             (OpKind::SpmmV, ScalePlacement::Discretized),
             (OpKind::SpmmVe, ScalePlacement::None),
             (OpKind::Sddmm, ScalePlacement::None),
+            (OpKind::Attn, ScalePlacement::None),
         ] {
             let k = KernelKey::for_graph(
                 op,

@@ -14,8 +14,9 @@
 //!   process that dispatches an equivalent kernel;
 //! * [`plan::KernelPlan`] is the knob assignment a dispatch executes —
 //!   [`plan::SpmmPlan`] (write strategy, tile geometry = discretized
-//!   reduction batch, edge/vertex variant) or [`plan::SddmmPlan`]
-//!   (vector width, sub-warp packing);
+//!   reduction batch, edge/vertex variant), [`plan::SddmmPlan`]
+//!   (vector width, sub-warp packing, tile geometry), or
+//!   [`plan::AttnPlan`] (fused vs. unfused GAT attention pipeline);
 //! * [`candidates`] enumerates plans worth evaluating, pruned by the
 //!   graph's degree statistics (no atomics under hub skew, no
 //!   vertex-parallel on high-CV graphs);
@@ -41,5 +42,5 @@ pub mod tuner;
 
 pub use cache::PlanCache;
 pub use key::{CvBucket, Dtype, KernelKey, OpKind};
-pub use plan::{KernelPlan, SddmmPlan, SpmmPlan, SpmmVariant};
+pub use plan::{AttnPlan, KernelPlan, SddmmPlan, SpmmPlan, SpmmVariant};
 pub use tuner::{Rejection, Tuner, TunerCounters};

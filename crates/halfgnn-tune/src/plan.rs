@@ -72,20 +72,46 @@ pub struct SddmmPlan {
     pub width: VectorWidth,
     /// Pack multiple edges per warp when `f/lanes < 32` (§4.1).
     pub sub_warps: bool,
+    /// Edges per warp tile.
+    pub edges_per_warp: usize,
+    /// Warps per CTA.
+    pub warps_per_cta: usize,
 }
 
 impl SddmmPlan {
     /// The untuned default for feature width `f`: the model layers' old
-    /// hard-coded widest-width rule.
+    /// hard-coded widest-width rule at the default tile geometry.
     pub fn default_for(f: usize) -> SddmmPlan {
         let c = SddmmConfig::widest_for(f);
-        SddmmPlan { width: c.width, sub_warps: c.sub_warps }
+        SddmmPlan {
+            width: c.width,
+            sub_warps: c.sub_warps,
+            edges_per_warp: c.tiling.edges_per_warp,
+            warps_per_cta: c.tiling.warps_per_cta,
+        }
     }
 
     /// Materialize the kernel config.
     pub fn to_sddmm_config(&self) -> SddmmConfig {
-        SddmmConfig { width: self.width, sub_warps: self.sub_warps }
+        SddmmConfig {
+            width: self.width,
+            sub_warps: self.sub_warps,
+            tiling: Tiling {
+                edges_per_warp: self.edges_per_warp,
+                warps_per_cta: self.warps_per_cta,
+            },
+        }
     }
+}
+
+/// Tuned attention-pipeline knob: whether GAT's score → softmax →
+/// aggregation chain runs as the fused single-pass kernel or the unfused
+/// five-kernel sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct AttnPlan {
+    /// Run [`halfgnn_kernels::fused`] instead of the unfused chain. Off by
+    /// default: untuned dispatches must stay bit-for-bit on the old path.
+    pub fused: bool,
 }
 
 /// A cached plan for one [`crate::key::KernelKey`].
@@ -95,6 +121,8 @@ pub enum KernelPlan {
     Spmm(SpmmPlan),
     /// SDDMM plan.
     Sddmm(SddmmPlan),
+    /// GAT attention-chain plan (fused vs. unfused).
+    Attn(AttnPlan),
 }
 
 impl KernelPlan {
@@ -119,7 +147,15 @@ impl KernelPlan {
                     VectorWidth::Half4 => "half4",
                     VectorWidth::Half8 => "half8",
                 };
-                format!("sddmm:{w}:{}", if p.sub_warps { "sub" } else { "nosub" })
+                format!(
+                    "sddmm:{w}:{}:{}:{}",
+                    if p.sub_warps { "sub" } else { "nosub" },
+                    p.edges_per_warp,
+                    p.warps_per_cta
+                )
+            }
+            KernelPlan::Attn(p) => {
+                format!("attn:{}", if p.fused { "fused" } else { "unfused" })
             }
         }
     }
@@ -160,10 +196,28 @@ impl KernelPlan {
                     "nosub" => false,
                     _ => return None,
                 };
+                let edges_per_warp: usize = it.next()?.parse().ok()?;
+                let warps_per_cta: usize = it.next()?.parse().ok()?;
+                if it.next().is_some() || edges_per_warp == 0 || warps_per_cta == 0 {
+                    return None;
+                }
+                Some(KernelPlan::Sddmm(SddmmPlan {
+                    width,
+                    sub_warps,
+                    edges_per_warp,
+                    warps_per_cta,
+                }))
+            }
+            "attn" => {
+                let fused = match it.next()? {
+                    "fused" => true,
+                    "unfused" => false,
+                    _ => return None,
+                };
                 if it.next().is_some() {
                     return None;
                 }
-                Some(KernelPlan::Sddmm(SddmmPlan { width, sub_warps }))
+                Some(KernelPlan::Attn(AttnPlan { fused }))
             }
             _ => None,
         }
@@ -193,7 +247,13 @@ mod tests {
             let c = SddmmConfig::widest_for(f);
             assert_eq!(p.width, c.width, "f={f}");
             assert_eq!(p.sub_warps, c.sub_warps, "f={f}");
+            assert_eq!(p.to_sddmm_config().tiling, c.tiling, "f={f}");
         }
+    }
+
+    #[test]
+    fn default_attn_plan_is_unfused() {
+        assert!(!AttnPlan::default().fused);
     }
 
     #[test]
@@ -206,8 +266,20 @@ mod tests {
                 edges_per_warp: 128,
                 warps_per_cta: 8,
             }),
-            KernelPlan::Sddmm(SddmmPlan { width: VectorWidth::Half8, sub_warps: true }),
-            KernelPlan::Sddmm(SddmmPlan { width: VectorWidth::Half1, sub_warps: false }),
+            KernelPlan::Sddmm(SddmmPlan {
+                width: VectorWidth::Half8,
+                sub_warps: true,
+                edges_per_warp: 64,
+                warps_per_cta: 4,
+            }),
+            KernelPlan::Sddmm(SddmmPlan {
+                width: VectorWidth::Half1,
+                sub_warps: false,
+                edges_per_warp: 128,
+                warps_per_cta: 2,
+            }),
+            KernelPlan::Attn(AttnPlan { fused: true }),
+            KernelPlan::Attn(AttnPlan { fused: false }),
         ];
         for p in plans {
             assert_eq!(KernelPlan::decode(&p.encode()), Some(p), "{}", p.encode());
@@ -223,8 +295,14 @@ mod tests {
             "spmm:edge:staged:0:4",
             "spmm:edge:staged:64:4:extra",
             "spmm:diagonal:staged:64:4",
-            "sddmm:half3:sub",
-            "sddmm:half8:maybe",
+            "sddmm:half3:sub:64:4",
+            "sddmm:half8:maybe:64:4",
+            "sddmm:half8:sub", // pre-geometry wire form degrades to a miss
+            "sddmm:half8:sub:0:4",
+            "sddmm:half8:sub:64:4:extra",
+            "attn",
+            "attn:maybe",
+            "attn:fused:extra",
             "conv2d:3x3",
         ] {
             assert_eq!(KernelPlan::decode(bad), None, "{bad:?}");

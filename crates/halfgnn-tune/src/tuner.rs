@@ -21,16 +21,18 @@
 use crate::cache::PlanCache;
 use crate::candidates;
 use crate::key::{Dtype, KernelKey, OpKind};
-use crate::plan::{KernelPlan, SddmmPlan, SpmmPlan, SpmmVariant};
+use crate::plan::{AttnPlan, KernelPlan, SddmmPlan, SpmmPlan, SpmmVariant};
 use crate::sample::stratified_sample;
 use halfgnn_graph::metrics::degree_stats;
 use halfgnn_graph::{Coo, Csr};
 use halfgnn_half::slice::f32_slice_to_half;
 use halfgnn_half::{overflow, Half};
-use halfgnn_kernels::common::{row_scales_mean, EdgeWeights, ScalePlacement};
+use halfgnn_kernels::common::{row_scales_mean, EdgeWeights, Reduce, ScalePlacement};
 use halfgnn_kernels::halfgnn_sddmm::sddmm_with_config;
+use halfgnn_kernels::halfgnn_spmm::SpmmConfig;
 use halfgnn_kernels::oracle::{self, Layout, Tolerance};
 use halfgnn_kernels::reference;
+use halfgnn_kernels::{edge_ops, halfgnn_spmm};
 use halfgnn_sim::{DeviceConfig, ExecMode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -60,6 +62,10 @@ impl std::fmt::Display for Rejection {
 /// Default nnz above which candidates are evaluated on a stratified
 /// sample instead of the full graph.
 const SAMPLE_THRESHOLD_NNZ: usize = 150_000;
+
+/// LeakyReLU slope GAT's attention uses; attention-chain candidates are
+/// vetted with the same nonlinearity the dispatch will run.
+const ATTN_SLOPE: f32 = 0.2;
 
 /// Cost-model-driven kernel autotuner.
 pub struct Tuner {
@@ -197,6 +203,44 @@ impl Tuner {
         best
     }
 
+    /// Resolve the attention-pipeline plan (fused vs. unfused chain) for
+    /// `f`-wide features over this graph. Odd `f` always resolves to
+    /// unfused without tuning — the fused kernel requires half2-padded
+    /// features.
+    pub fn attn_plan(&self, csr: &Csr, f: usize) -> AttnPlan {
+        if !f.is_multiple_of(2) {
+            return AttnPlan::default();
+        }
+        let stats = degree_stats(csr);
+        let key = KernelKey::for_graph(
+            OpKind::Attn,
+            Dtype::Half,
+            f,
+            csr.num_rows(),
+            csr.nnz(),
+            &stats,
+            ScalePlacement::None,
+        );
+        if let Some(KernelPlan::Attn(p)) = self.cache.borrow_mut().get(&key) {
+            return p;
+        }
+        let eval = EvalGraph::build(self, csr);
+        let mut best = AttnPlan::default();
+        let mut best_cycles = f64::INFINITY;
+        let cands = candidates::attn_candidates();
+        let evals = cands.len() as u64;
+        for plan in cands {
+            if let Ok(cycles) = self.vet_attn_on(&eval, f, &plan) {
+                if cycles < best_cycles {
+                    best_cycles = cycles;
+                    best = plan;
+                }
+            }
+        }
+        self.commit(&key, KernelPlan::Attn(best), evals);
+        best
+    }
+
     fn commit(&self, key: &KernelKey, plan: KernelPlan, evals: u64) {
         let mut cache = self.cache.borrow_mut();
         cache.insert(key, plan);
@@ -292,6 +336,66 @@ impl Tuner {
             &got,
             &want,
             &Layout::PerEdge { rows: eval.coo.rows(), degrees: &degrees },
+            self.tol,
+        );
+        gate(&report, &summary)?;
+        Ok(stats.cycles)
+    }
+
+    /// Evaluate one attention-chain candidate; see [`Tuner::vet_spmm`].
+    pub fn vet_attn(&self, csr: &Csr, f: usize, plan: &AttnPlan) -> Result<f64, Rejection> {
+        self.vet_attn_on(&EvalGraph::build(self, csr), f, plan)
+    }
+
+    fn vet_attn_on(&self, eval: &EvalGraph, f: usize, plan: &AttnPlan) -> Result<f64, Rejection> {
+        let s_row = eval.features(self.seed ^ 5, eval.coo.num_rows());
+        let s_col = eval.features(self.seed ^ 6, eval.coo.num_cols());
+        let z = eval.features(self.seed ^ 7, eval.coo.num_cols() * f);
+        if plan.fused {
+            let ((_, stats, report), summary) = overflow::isolated(|| {
+                oracle::check_fused_attn_forward(
+                    &self.dev, &eval.coo, &s_row, &s_col, ATTN_SLOPE, &z, f, self.tol,
+                )
+            });
+            gate(&report, &summary)?;
+            return Ok(stats.cycles);
+        }
+        // The unfused candidate is the five-kernel chain GAT runs today;
+        // its cost is the sequential composition of every launch.
+        let ((out, stats), summary) = overflow::isolated(|| {
+            let dev = &self.dev;
+            let coo = &eval.coo;
+            let (e, s1) = edge_ops::src_dst_add_leakyrelu(dev, coo, &s_row, &s_col, ATTN_SLOPE);
+            let (m, s2) = halfgnn_spmm::edge_reduce(dev, coo, &e, Reduce::Max);
+            let (num, s3) = edge_ops::sub_row_exp(dev, coo, &e, &m, true);
+            let (zs, s4) = halfgnn_spmm::edge_reduce(dev, coo, &num, Reduce::Sum);
+            let (alpha, s5) = edge_ops::div_row(dev, coo, &num, &zs);
+            let cfg = SpmmConfig { scaling: ScalePlacement::None, ..SpmmConfig::default() };
+            let (out, s6) =
+                halfgnn_spmm::spmm(dev, coo, EdgeWeights::Values(&alpha), &z, f, None, &cfg);
+            (out, s1.then(&s2).then(&s3).then(&s4).then(&s5).then(&s6))
+        });
+        let sr = reference::half_to_f64(&s_row);
+        let sc = reference::half_to_f64(&s_col);
+        let e_f64 = reference::src_dst_add_leakyrelu_f64(&eval.coo, &sr, &sc, ATTN_SLOPE as f64);
+        let m_f64 = reference::edge_reduce_f64(&eval.coo, &e_f64, Reduce::Max);
+        let num_f64 = reference::sub_row_exp_f64(&eval.coo, &e_f64, &m_f64);
+        let zs_f64 = reference::edge_reduce_f64(&eval.coo, &num_f64, Reduce::Sum);
+        let alpha_f64 = reference::div_row_f64(&eval.coo, &num_f64, &zs_f64);
+        let mut want = vec![0f64; eval.coo.num_rows() * f];
+        let z_f64 = reference::half_to_f64(&z);
+        for (ei, &a) in alpha_f64.iter().enumerate() {
+            let (r, c) = eval.coo.edge(ei);
+            for k in 0..f {
+                want[r as usize * f + k] += a * z_f64[c as usize * f + k];
+            }
+        }
+        let degrees = eval.coo.degrees();
+        let report = oracle::compare_half(
+            "tuner_attn_unfused",
+            &out,
+            &want,
+            &Layout::RowMajor { f, degrees: &degrees },
             self.tol,
         );
         gate(&report, &summary)?;
@@ -434,6 +538,64 @@ mod tests {
                 .expect("default must be safe");
             assert!(tuned <= default, "{name}: tuned {tuned} > default {default}");
         }
+    }
+
+    #[test]
+    fn sddmm_candidates_are_cost_distinguishable() {
+        // Satellite: BENCH_pr3 showed speedup 1.000 on every config
+        // because all candidates modeled identical cycles. With tile
+        // geometry in the plan space, at least one graph/f combination
+        // must produce candidates with different modeled costs.
+        let t = Tuner::auto(&dev());
+        let mut distinguishable = false;
+        for (csr, f) in [(er_graph(), 64usize), (er_graph(), 8)] {
+            let cycles: Vec<f64> = candidates::sddmm_candidates(f)
+                .iter()
+                .filter_map(|p| t.vet_sddmm(&csr, f, p).ok())
+                .collect();
+            assert!(!cycles.is_empty());
+            if cycles.iter().any(|&c| c != cycles[0]) {
+                distinguishable = true;
+            }
+        }
+        assert!(distinguishable, "every SDDMM candidate still models identical cycles");
+    }
+
+    #[test]
+    fn attn_tuning_picks_fused_where_it_wins_and_caches_it() {
+        let t = Tuner::auto(&dev());
+        let g = er_graph();
+        // At small f the fused pass eliminates the edge-buffer round
+        // trips that dominate; the tuner must notice.
+        let fused = t.vet_attn(&g, 8, &AttnPlan { fused: true }).expect("fused must vet clean");
+        let unfused = t.vet_attn(&g, 8, &AttnPlan { fused: false }).expect("unfused must vet");
+        assert!(fused < unfused, "fused {fused} >= unfused {unfused}");
+        let p = t.attn_plan(&g, 8);
+        assert!(p.fused, "tuner must pick the cheaper fused plan");
+        assert_eq!(t.attn_plan(&g, 8), p);
+        assert_eq!(t.counters().hits, 1);
+        // Odd f cannot run the fused kernel: resolves unfused, untuned.
+        assert!(!t.attn_plan(&g, 7).fused);
+    }
+
+    #[test]
+    fn attn_plan_round_trips_through_a_cache_file() {
+        let dir = std::env::temp_dir().join("halfgnn-tune-attn-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plans.json");
+        std::fs::remove_file(&path).ok();
+        let g = er_graph();
+
+        let t1 = Tuner::cached(&dev(), &path);
+        let p1 = t1.attn_plan(&g, 8);
+        assert!(path.exists());
+
+        let t2 = Tuner::cached(&dev(), &path);
+        let p2 = t2.attn_plan(&g, 8);
+        assert_eq!(p1, p2);
+        let c = t2.counters();
+        assert_eq!((c.hits, c.misses, c.evaluations), (1, 0, 0), "t2 must not re-tune");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -16,7 +16,7 @@ fn usage() -> ! {
         "usage: halfgnn-train --dataset <id|name> [--model gcn|gat|gin|sage] \
          [--precision float|halfnaive|halfgnn|nodiscretize] [--epochs N] \
          [--lr F] [--hidden N] [--seed N] [--norm right|left|both] [--gin-lambda F] \
-         [--loss-scale F] [--tuning off|auto|cached:<path>]"
+         [--loss-scale F] [--tuning off|auto|cached:<path>] [--fusion]"
     );
     exit(2)
 }
@@ -85,6 +85,7 @@ fn main() {
                     },
                 }
             }
+            "--fusion" => cfg.fusion = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -121,6 +122,10 @@ fn main() {
     println!("peak memory    : {:.1} MiB (modeled)", report.peak_memory_bytes as f64 / 1048576.0);
     println!("kernels/epoch  : {}", report.kernels_per_epoch);
     println!(
+        "dram traffic   : {:.1} MiB/epoch (modeled)",
+        report.dram_bytes_per_epoch as f64 / 1048576.0
+    );
+    println!(
         "conversions    : {} kernels, {} elements/epoch",
         report.conversions_per_epoch, report.converted_elems_per_epoch
     );
@@ -131,8 +136,11 @@ fn main() {
         );
     }
     println!("\nper-kernel breakdown (one epoch):");
-    for (name, launches, us) in report.kernel_breakdown.iter().take(12) {
-        println!("  {name:<42} x{launches:<3} {us:>10.1} us");
+    for (name, launches, us, bytes) in report.kernel_breakdown.iter().take(12) {
+        println!(
+            "  {name:<42} x{launches:<3} {us:>10.1} us {:>9.2} MiB",
+            *bytes as f64 / 1048576.0
+        );
     }
     if let Some(e) = report.nan_epoch {
         println!("loss became NaN at epoch {e} (FP16 overflow -> NaN, see DESIGN.md)");
