@@ -18,9 +18,8 @@ fn bench_sddmm(c: &mut Criterion) {
     let mut group = c.benchmark_group("sddmm_f64feat_amazon");
     group.sample_size(10);
     for width in [VectorWidth::Half2, VectorWidth::Half4, VectorWidth::Half8] {
-        group.bench_function(format!("halfgnn_{width:?}"), |b| {
-            b.iter(|| sddmm(&dev, &data.coo, &u, &v, f, width))
-        });
+        let name = format!("halfgnn_{width:?}");
+        group.bench_function(&name, |b| b.iter(|| sddmm(&dev, &data.coo, &u, &v, f, width)));
     }
     group.bench_function("dgl_half", |b| {
         b.iter(|| dgl_sddmm::sddmm_half(&dev, &data.coo, &u, &v, f))

@@ -1,0 +1,209 @@
+//! `bench_pr5` — sharded multi-device training under the FP16-aware
+//! communication cost model.
+//!
+//! One sweep on a modeled A100 cluster with NVLink-like links: GCN
+//! training on a low-skew SBM (Citeseer stand-in, even class count so
+//! half and float move identical row sets) and the power-law Hollywood09
+//! stand-in, at shard counts 1/2/4/8, float vs. HalfGNN, ring vs.
+//! crossbar. Every row reports the epoch's metered interconnect traffic
+//! (halo feature exchanges + gradient all-reduces), the busiest-link
+//! comms time, and the run's overflow-event count.
+//!
+//! Hard gates, asserted not observed:
+//!
+//! * float sharded losses are bit-for-bit the `shards = 1` run at every
+//!   shard count and topology (the shard-equivalence property);
+//! * FP16 halo traffic is half of FP32's at every sharded config (the
+//!   headline — 2 bytes/element on the same rows);
+//! * zero overflow-provenance events anywhere in the sweep (the f16-wire
+//!   all-reduce's discretized bucket scaling is overflow-free by
+//!   construction).
+//!
+//! Emits `BENCH_pr5.json` in the current directory; run from the repo
+//! root.
+
+use halfgnn_graph::datasets::Dataset;
+use halfgnn_nn::trainer::{
+    train_on, ModelKind, PartitionStrategy, PrecisionMode, Topology, TrainConfig,
+};
+use halfgnn_sim::DeviceConfig;
+
+struct Row {
+    graph: &'static str,
+    precision: PrecisionMode,
+    shards: usize,
+    topology: Topology,
+    comms_bytes: u64,
+    halo_bytes: u64,
+    allreduce_bytes: u64,
+    comms_time_us: f64,
+    epoch_time_us: f64,
+    test_accuracy: f32,
+    overflow_events: u64,
+    losses_bits: Vec<u32>,
+}
+
+fn precision_tag(p: PrecisionMode) -> &'static str {
+    match p {
+        PrecisionMode::Float => "float",
+        PrecisionMode::HalfGnn => "halfgnn",
+        PrecisionMode::HalfNaive => "halfnaive",
+        PrecisionMode::HalfGnnNoDiscretize => "nodiscretize",
+    }
+}
+
+fn main() {
+    let dev = DeviceConfig::a100_like();
+    let graphs = [
+        ("sbm_low_skew", Dataset::citeseer().load(42)),
+        ("powerlaw", Dataset::hollywood09().load(42)),
+    ];
+    let mut rows: Vec<Row> = Vec::new();
+
+    for (graph, data) in &graphs {
+        for precision in [PrecisionMode::Float, PrecisionMode::HalfGnn] {
+            for shards in [1usize, 2, 4, 8] {
+                for topology in [Topology::Ring, Topology::AllToAll] {
+                    if shards == 1 && topology == Topology::AllToAll {
+                        continue; // one device has no interconnect to vary
+                    }
+                    let cfg = TrainConfig {
+                        model: ModelKind::Gcn,
+                        precision,
+                        epochs: 2,
+                        hidden: 64,
+                        shards,
+                        topology,
+                        // Equal-edge boundaries keep the hub shard of the
+                        // power-law graph from owning most of the work.
+                        partition: PartitionStrategy::DegreeBalanced,
+                        ..TrainConfig::default()
+                    };
+                    let r = train_on(&dev, data, &cfg);
+                    rows.push(Row {
+                        graph,
+                        precision,
+                        shards,
+                        topology,
+                        comms_bytes: r.comms_bytes_per_epoch,
+                        halo_bytes: r.comms_halo_bytes_per_epoch,
+                        allreduce_bytes: r.comms_allreduce_bytes_per_epoch,
+                        comms_time_us: r.comms_time_us_per_epoch,
+                        epoch_time_us: r.epoch_time_us,
+                        test_accuracy: r.test_accuracy,
+                        overflow_events: r.overflow_per_epoch.iter().map(|s| s.nonfinite()).sum(),
+                        losses_bits: r.losses.iter().map(|l| l.to_bits()).collect(),
+                    });
+                }
+            }
+        }
+    }
+
+    // Gate 1: float sharded trajectories are bitwise the single-device run.
+    for (graph, _) in &graphs {
+        let single = rows
+            .iter()
+            .find(|r| r.graph == *graph && r.precision == PrecisionMode::Float && r.shards == 1)
+            .expect("single-device float row");
+        for r in rows
+            .iter()
+            .filter(|r| r.graph == *graph && r.precision == PrecisionMode::Float && r.shards > 1)
+        {
+            assert_eq!(
+                single.losses_bits, r.losses_bits,
+                "{graph}: float shards={} {:?} diverged from single-device",
+                r.shards, r.topology
+            );
+        }
+    }
+
+    // Gate 2: FP16 halo traffic is half of FP32's at every sharded config.
+    let mut halo_ratios: Vec<f64> = Vec::new();
+    for r in rows.iter().filter(|r| r.precision == PrecisionMode::HalfGnn && r.shards > 1) {
+        let float_row = rows
+            .iter()
+            .find(|f| {
+                f.graph == r.graph
+                    && f.precision == PrecisionMode::Float
+                    && f.shards == r.shards
+                    && f.topology == r.topology
+            })
+            .expect("matching float row");
+        let ratio = float_row.halo_bytes as f64 / r.halo_bytes as f64;
+        assert!(
+            (1.8..=2.2).contains(&ratio),
+            "{} shards={} {:?}: fp32/fp16 halo ratio {ratio:.3} (float {} vs half {})",
+            r.graph,
+            r.shards,
+            r.topology,
+            float_row.halo_bytes,
+            r.halo_bytes
+        );
+        assert!(
+            r.comms_time_us < float_row.comms_time_us,
+            "half comms must be faster than float at the same shard count"
+        );
+        halo_ratios.push(ratio);
+    }
+
+    // Gate 3: the whole sweep is overflow-free.
+    let total_overflow: u64 = rows.iter().map(|r| r.overflow_events).sum();
+    assert_eq!(total_overflow, 0, "sharded training must record zero overflow events");
+
+    let min_ratio = halo_ratios.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_ratio = halo_ratios.iter().copied().fold(0.0f64, f64::max);
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"pr5_sharded_training\",\n");
+    json.push_str("  \"device\": \"a100_like x N, nvlink_like links (modeled)\",\n");
+    json.push_str("  \"model\": \"gcn\",\n");
+    json.push_str("  \"float_sharded_bitwise_equal\": true,\n");
+    json.push_str(&format!(
+        "  \"fp32_over_fp16_halo_ratio_min\": {min_ratio:.4},\n  \
+         \"fp32_over_fp16_halo_ratio_max\": {max_ratio:.4},\n"
+    ));
+    json.push_str(&format!("  \"total_overflow_events\": {total_overflow},\n"));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"graph\": \"{}\", \"precision\": \"{}\", \"shards\": {}, \
+             \"topology\": \"{}\", \"comms_bytes\": {}, \"halo_bytes\": {}, \
+             \"allreduce_bytes\": {}, \"comms_time_us\": {:.1}, \
+             \"epoch_time_us\": {:.1}, \"test_accuracy\": {:.4}, \
+             \"overflow_events\": {}}}{}\n",
+            r.graph,
+            precision_tag(r.precision),
+            r.shards,
+            r.topology.tag(),
+            r.comms_bytes,
+            r.halo_bytes,
+            r.allreduce_bytes,
+            r.comms_time_us,
+            r.epoch_time_us,
+            r.test_accuracy,
+            r.overflow_events,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_pr5.json", &json).expect("write BENCH_pr5.json");
+    print!("{json}");
+    for r in &rows {
+        eprintln!(
+            "[bench_pr5] {:>12} {:<8} s={} {:<8} comms {:>8.2} MiB \
+             (halo {:>7.2}, allreduce {:>7.2}) in {:>8.1} us",
+            r.graph,
+            precision_tag(r.precision),
+            r.shards,
+            r.topology.tag(),
+            r.comms_bytes as f64 / 1048576.0,
+            r.halo_bytes as f64 / 1048576.0,
+            r.allreduce_bytes as f64 / 1048576.0,
+            r.comms_time_us,
+        );
+    }
+    eprintln!(
+        "[bench_pr5] headline: fp32/fp16 halo byte ratio in [{min_ratio:.3}, {max_ratio:.3}] \
+         across every sharded config; float sharded bitwise-equal; {total_overflow} overflow"
+    );
+}

@@ -16,9 +16,11 @@ pub mod features;
 pub mod gen;
 pub mod io;
 pub mod metrics;
+pub mod partition;
 
 pub use coo::Coo;
 pub use csr::Csr;
+pub use partition::{partition, PartitionStrategy, Shard, ShardPlan};
 
 /// Vertex identifier. 32 bits covers every dataset in this reproduction and
 /// halves index-array traffic versus `usize`, matching GPU practice.

@@ -1,0 +1,398 @@
+//! Deterministic 1D vertex partitioning for sharded training (CAGNET-style).
+//!
+//! A shard owns a *contiguous* range of destination rows. Contiguity is
+//! load-bearing, not a simplification: the canonical COO is row-sorted, so
+//! a shard's edges are exactly the contiguous slice
+//! `csr.offsets()[r0] .. csr.offsets()[r1]` of the global edge arrays.
+//! Sharded kernels can therefore run the *global* edge tiling clamped to
+//! that window, which reproduces the single-device per-row segmentation —
+//! and hence bit-identical f16/f32 reductions (see DESIGN.md §12).
+//!
+//! Two boundary strategies:
+//!
+//! * [`PartitionStrategy::Contiguous`] — equal row counts (`⌊k·n/S⌋`
+//!   boundaries). Degenerate on hub graphs: one shard can own most edges.
+//! * [`PartitionStrategy::DegreeBalanced`] — boundaries placed where the
+//!   cumulative edge count crosses `k·nnz/S`, equalizing per-shard edge
+//!   work (the quantity SpMM cost actually scales with).
+//!
+//! Each shard also carries the *halo*: the sorted set of global column ids
+//! its edges reference outside its owned range — the feature rows another
+//! device must send it before a local aggregation, and the payload the
+//! interconnect cost model charges per layer. `local_to_global` is the
+//! sorted merge of below-range halo, owned rows, and above-range halo, so
+//! the induced local CSR keeps columns sorted *and* preserves the global
+//! per-row neighbor order (local ids are a monotone renaming).
+
+use crate::{Coo, Csr, VertexId};
+
+/// How shard boundaries are chosen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Equal vertex counts per shard.
+    Contiguous,
+    /// Equal edge counts per shard (boundaries at cumulative-degree
+    /// crossings), the right balance for SpMM-bound work on skewed graphs.
+    DegreeBalanced,
+}
+
+impl PartitionStrategy {
+    /// CLI tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            PartitionStrategy::Contiguous => "contiguous",
+            PartitionStrategy::DegreeBalanced => "balanced",
+        }
+    }
+
+    /// Parse a CLI tag.
+    pub fn parse(s: &str) -> Option<PartitionStrategy> {
+        match s {
+            "contiguous" => Some(PartitionStrategy::Contiguous),
+            "balanced" => Some(PartitionStrategy::DegreeBalanced),
+            _ => None,
+        }
+    }
+}
+
+/// One shard of a [`ShardPlan`]: an owned row range, its edge window in the
+/// canonical global edge order, the halo it must receive, and the induced
+/// local CSR over remapped ids.
+#[derive(Clone, Debug)]
+pub struct Shard {
+    /// This shard's index.
+    pub index: usize,
+    /// Owned destination rows `[r0, r1)`. May be empty (`r0 == r1`) when
+    /// there are more shards than rows.
+    pub row_range: (usize, usize),
+    /// The shard's edges as a window `[e0, e1)` into the canonical global
+    /// COO/CSR edge arrays (`e0 = offsets[r0]`, `e1 = offsets[r1]`).
+    pub edge_range: (usize, usize),
+    /// Sorted global ids of non-owned vertices referenced by the shard's
+    /// edges — the feature rows a halo exchange must deliver.
+    pub halo: Vec<VertexId>,
+    /// Sorted union of `halo` and the owned range: `local_to_global[l]` is
+    /// the global id of local vertex `l`. Monotone, so local column order
+    /// equals global column order within every row.
+    pub local_to_global: Vec<VertexId>,
+    /// The shard's rows over local column ids: `row_range.1 - row_range.0`
+    /// rows × `local_to_global.len()` columns.
+    pub local_csr: Csr,
+}
+
+impl Shard {
+    /// Number of owned rows.
+    pub fn num_rows(&self) -> usize {
+        self.row_range.1 - self.row_range.0
+    }
+
+    /// Number of owned edges.
+    pub fn num_edges(&self) -> usize {
+        self.edge_range.1 - self.edge_range.0
+    }
+
+    /// Map a global vertex id to this shard's local id, if referenced.
+    pub fn local_of(&self, global: VertexId) -> Option<usize> {
+        self.local_to_global.binary_search(&global).ok()
+    }
+}
+
+/// A complete 1D partition of a graph.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// Total vertex count of the partitioned graph.
+    pub num_rows: usize,
+    /// Total edge count of the partitioned graph.
+    pub nnz: usize,
+    /// Boundary strategy the plan was built with.
+    pub strategy: PartitionStrategy,
+    /// The shards, in row order.
+    pub shards: Vec<Shard>,
+}
+
+impl ShardPlan {
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard owns global row `v`.
+    pub fn owner_of(&self, v: usize) -> usize {
+        debug_assert!(v < self.num_rows);
+        // Boundaries are sorted: the owner is the last shard whose range
+        // starts at or before `v` and actually contains it (empty shards
+        // share a boundary and own nothing).
+        self.shards
+            .iter()
+            .position(|s| s.row_range.0 <= v && v < s.row_range.1)
+            .expect("every row is owned by exactly one shard")
+    }
+
+    /// Largest per-shard edge count (the balance figure of merit).
+    pub fn max_shard_edges(&self) -> usize {
+        self.shards.iter().map(Shard::num_edges).max().unwrap_or(0)
+    }
+
+    /// Total halo rows across shards (the per-layer comms volume driver).
+    pub fn total_halo_rows(&self) -> usize {
+        self.shards.iter().map(|s| s.halo.len()).sum()
+    }
+
+    /// For shard `dst`, how many halo rows each source shard must send it:
+    /// sorted `(src_shard, rows)` pairs, omitting zero counts.
+    pub fn halo_sources(&self, dst: usize) -> Vec<(usize, usize)> {
+        let mut counts = vec![0usize; self.num_shards()];
+        for &g in &self.shards[dst].halo {
+            counts[self.owner_of(g as usize)] += 1;
+        }
+        counts.into_iter().enumerate().filter(|&(_, c)| c > 0).collect()
+    }
+}
+
+/// Row boundaries for `num_shards` shards: `num_shards + 1` non-decreasing
+/// cut points starting at 0 and ending at `num_rows`.
+fn boundaries(csr: &Csr, num_shards: usize, strategy: PartitionStrategy) -> Vec<usize> {
+    let n = csr.num_rows();
+    let nnz = csr.nnz();
+    let mut cuts = Vec::with_capacity(num_shards + 1);
+    cuts.push(0);
+    for k in 1..num_shards {
+        let cut = match strategy {
+            PartitionStrategy::Contiguous => k * n / num_shards,
+            PartitionStrategy::DegreeBalanced => {
+                if nnz == 0 {
+                    k * n / num_shards
+                } else {
+                    // First row whose cumulative edge count reaches k/S of
+                    // the total: offsets is sorted, so this is a
+                    // partition_point over `offsets[r] * S < k * nnz`.
+                    let (k128, s128) = (k as u128, num_shards as u128);
+                    csr.offsets()
+                        .partition_point(|&o| (o as u128) * s128 < k128 * nnz as u128)
+                        .min(n)
+                }
+            }
+        };
+        // Boundaries must be non-decreasing even when a hub row swallows
+        // several targets at once.
+        cuts.push(cut.max(*cuts.last().unwrap()));
+    }
+    cuts.push(n);
+    cuts
+}
+
+/// Partition a graph into `num_shards` contiguous row shards. Deterministic:
+/// the same graph, shard count and strategy always yield the same plan.
+pub fn partition(csr: &Csr, num_shards: usize, strategy: PartitionStrategy) -> ShardPlan {
+    assert!(num_shards > 0, "need at least one shard");
+    let cuts = boundaries(csr, num_shards, strategy);
+    let off = csr.offsets();
+    let cols = csr.cols();
+
+    let shards = (0..num_shards)
+        .map(|s| {
+            let (r0, r1) = (cuts[s], cuts[s + 1]);
+            let (e0, e1) = (off[r0], off[r1]);
+
+            // Halo: sorted dedup of out-of-range columns in the window.
+            let mut halo: Vec<VertexId> = cols[e0..e1]
+                .iter()
+                .copied()
+                .filter(|&c| (c as usize) < r0 || (c as usize) >= r1)
+                .collect();
+            halo.sort_unstable();
+            halo.dedup();
+
+            // local_to_global = halo-below ++ owned ++ halo-above (all
+            // sorted, pairwise disjoint): a monotone renaming.
+            let below = halo.partition_point(|&c| (c as usize) < r0);
+            let mut local_to_global = Vec::with_capacity(halo.len() + (r1 - r0));
+            local_to_global.extend_from_slice(&halo[..below]);
+            local_to_global.extend((r0 as VertexId)..(r1 as VertexId));
+            local_to_global.extend_from_slice(&halo[below..]);
+            debug_assert!(local_to_global.windows(2).all(|w| w[0] < w[1]));
+
+            // Induced local CSR: owned rows, columns renamed through the
+            // monotone map (per-row neighbor order is preserved).
+            let mut local_edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(e1 - e0);
+            for r in r0..r1 {
+                for &c in &cols[off[r]..off[r + 1]] {
+                    let lc = local_to_global
+                        .binary_search(&c)
+                        .expect("every referenced column is in local_to_global");
+                    local_edges.push(((r - r0) as VertexId, lc as VertexId));
+                }
+            }
+            let local_csr = Csr::from_edges(r1 - r0, local_to_global.len(), &local_edges);
+
+            Shard {
+                index: s,
+                row_range: (r0, r1),
+                edge_range: (e0, e1),
+                halo,
+                local_to_global,
+                local_csr,
+            }
+        })
+        .collect();
+
+    ShardPlan { num_rows: csr.num_rows(), nnz: csr.nnz(), strategy, shards }
+}
+
+/// Reconstruct the global rows covered by a shard's local CSR — the
+/// validation inverse used by tests: expanding every shard must reproduce
+/// the global CSR exactly.
+pub fn expand_shard(shard: &Shard) -> Vec<(VertexId, VertexId)> {
+    let (r0, _) = shard.row_range;
+    (0..shard.local_csr.num_rows())
+        .flat_map(|lr| {
+            shard
+                .local_csr
+                .row(lr as VertexId)
+                .iter()
+                .map(move |&lc| ((r0 + lr) as VertexId, shard.local_to_global[lc as usize]))
+        })
+        .collect()
+}
+
+/// Convenience for kernels: the shard's edge window applied to a canonical
+/// global COO must select exactly the shard's local edges.
+pub fn window_matches_coo(shard: &Shard, coo: &Coo) -> bool {
+    let (e0, e1) = shard.edge_range;
+    let expanded = expand_shard(shard);
+    if expanded.len() != e1 - e0 {
+        return false;
+    }
+    (e0..e1).all(|ei| coo.edge(ei) == expanded[ei - e0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain6() -> Csr {
+        Csr::from_edges(6, 6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+            .symmetrized_with_self_loops()
+    }
+
+    fn star(n: usize) -> Csr {
+        let edges: Vec<(VertexId, VertexId)> = (1..n as VertexId).map(|v| (0, v)).collect();
+        Csr::from_edges(n, n, &edges).symmetrized_with_self_loops()
+    }
+
+    #[test]
+    fn shards_cover_all_rows_and_edges() {
+        let g = chain6();
+        for strategy in [PartitionStrategy::Contiguous, PartitionStrategy::DegreeBalanced] {
+            for s in [1, 2, 3, 4] {
+                let plan = partition(&g, s, strategy);
+                assert_eq!(plan.num_shards(), s);
+                assert_eq!(plan.shards[0].row_range.0, 0);
+                assert_eq!(plan.shards[s - 1].row_range.1, g.num_rows());
+                let rows: usize = plan.shards.iter().map(Shard::num_rows).sum();
+                let edges: usize = plan.shards.iter().map(Shard::num_edges).sum();
+                assert_eq!(rows, g.num_rows());
+                assert_eq!(edges, g.nnz());
+                // Ranges are contiguous and ordered.
+                for w in plan.shards.windows(2) {
+                    assert_eq!(w[0].row_range.1, w[1].row_range.0);
+                    assert_eq!(w[0].edge_range.1, w[1].edge_range.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn local_csrs_expand_back_to_the_global_graph() {
+        let g = chain6();
+        let coo = g.to_coo();
+        for strategy in [PartitionStrategy::Contiguous, PartitionStrategy::DegreeBalanced] {
+            let plan = partition(&g, 3, strategy);
+            let mut all: Vec<(VertexId, VertexId)> = Vec::new();
+            for shard in &plan.shards {
+                assert!(window_matches_coo(shard, &coo), "shard {}", shard.index);
+                all.extend(expand_shard(shard));
+            }
+            let global: Vec<(VertexId, VertexId)> = (0..coo.nnz()).map(|e| coo.edge(e)).collect();
+            assert_eq!(all, global);
+        }
+    }
+
+    #[test]
+    fn halos_are_exactly_the_out_of_range_neighbors() {
+        let g = chain6();
+        let plan = partition(&g, 2, PartitionStrategy::Contiguous);
+        // Shard 0 owns rows 0..3; row 2's neighbor 3 is the only halo.
+        assert_eq!(plan.shards[0].row_range, (0, 3));
+        assert_eq!(plan.shards[0].halo, vec![3]);
+        // Shard 1 owns rows 3..6; row 3's neighbor 2 is the only halo.
+        assert_eq!(plan.shards[1].halo, vec![2]);
+        assert_eq!(plan.halo_sources(0), vec![(1, 1)]);
+        assert_eq!(plan.halo_sources(1), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn degree_balanced_beats_contiguous_on_a_star() {
+        let g = star(64);
+        let cont = partition(&g, 4, PartitionStrategy::Contiguous);
+        let bal = partition(&g, 4, PartitionStrategy::DegreeBalanced);
+        assert!(
+            bal.max_shard_edges() <= cont.max_shard_edges(),
+            "balanced {} vs contiguous {}",
+            bal.max_shard_edges(),
+            cont.max_shard_edges()
+        );
+        // The hub row (degree 64) dominates: the balanced plan isolates it.
+        assert!(bal.max_shard_edges() < g.nnz());
+    }
+
+    #[test]
+    fn more_shards_than_rows_yields_empty_shards() {
+        let g = Csr::from_edges(2, 2, &[(0, 1)]).symmetrized_with_self_loops();
+        let plan = partition(&g, 4, PartitionStrategy::Contiguous);
+        assert_eq!(plan.num_shards(), 4);
+        let nonempty: Vec<usize> =
+            plan.shards.iter().filter(|s| s.num_rows() > 0).map(|s| s.index).collect();
+        let rows: usize = plan.shards.iter().map(Shard::num_rows).sum();
+        assert_eq!(rows, 2);
+        assert!(!nonempty.is_empty());
+        for s in &plan.shards {
+            if s.num_rows() == 0 {
+                assert!(s.halo.is_empty());
+                assert_eq!(s.num_edges(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn owner_lookup_is_total() {
+        let g = chain6();
+        for strategy in [PartitionStrategy::Contiguous, PartitionStrategy::DegreeBalanced] {
+            let plan = partition(&g, 4, strategy);
+            for v in 0..g.num_rows() {
+                let o = plan.owner_of(v);
+                let (r0, r1) = plan.shards[o].row_range;
+                assert!(r0 <= v && v < r1);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_degree_rows_partition_cleanly() {
+        // Isolated vertices (rows with no edges at all).
+        let g = Csr::from_edges(8, 8, &[(0, 1), (1, 0)]);
+        let plan = partition(&g, 3, PartitionStrategy::DegreeBalanced);
+        let rows: usize = plan.shards.iter().map(Shard::num_rows).sum();
+        assert_eq!(rows, 8);
+        let edges: usize = plan.shards.iter().map(Shard::num_edges).sum();
+        assert_eq!(edges, 2);
+    }
+
+    #[test]
+    fn strategy_tags_round_trip() {
+        for s in [PartitionStrategy::Contiguous, PartitionStrategy::DegreeBalanced] {
+            assert_eq!(PartitionStrategy::parse(s.tag()), Some(s));
+        }
+        assert_eq!(PartitionStrategy::parse("random"), None);
+    }
+}

@@ -54,14 +54,35 @@ pub fn spmm_float(
     f: usize,
     row_scale: Option<&[f32]>,
 ) -> (Vec<f32>, KernelStats) {
+    spmm_float_window(dev, coo, w, x, f, row_scale, (0, coo.num_rows()))
+}
+
+/// [`spmm_float`] restricted to the global row window `[r0, r1)`: the
+/// per-shard launch of the distributed float path. Global edge tiling
+/// clamped to the window keeps per-row segment cuts — and therefore f32
+/// summation order — identical to the full run, so window rows are
+/// bit-identical. Rows outside the window are zero.
+pub fn spmm_float_window(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    w: EdgeWeightsF32,
+    x: &[f32],
+    f: usize,
+    row_scale: Option<&[f32]>,
+    row_window: (usize, usize),
+) -> (Vec<f32>, KernelStats) {
     assert_eq!(x.len(), coo.num_cols() * f, "X shape mismatch");
+    let (r0, r1) = row_window;
+    assert!(r0 <= r1 && r1 <= coo.num_rows(), "bad row window {row_window:?}");
     let nnz = coo.nnz();
     let num_rows = coo.num_rows();
     let tiling = Tiling::default();
-    let num_ctas = tiling.num_ctas(nnz);
     let rows = coo.rows();
     let cols = coo.cols();
     let row_offsets = row_offsets_of(coo);
+    let (e0, e1) = (row_offsets[r0], row_offsets[r1]);
+    let (cta_lo, cta_hi) = tiling.cta_range(e0, e1);
+    let num_ctas = cta_hi - cta_lo;
 
     let mut space = AddrSpace::new();
     let rows_base = space.alloc(nnz, 4);
@@ -77,7 +98,7 @@ pub fn spmm_float(
         |cta| {
             let mut writes: WriteList<f32> = WriteList::new();
             for wi in 0..tiling.warps_per_cta {
-                let (s, e) = tiling.warp_range(cta.id, wi, nnz);
+                let (s, e) = tiling.warp_range_in(cta.id + cta_lo, wi, e0, e1);
                 if s >= e {
                     continue;
                 }
@@ -137,7 +158,7 @@ pub fn spmm_float(
     let mut y = vec![0f32; num_rows * f];
     commit_all(cta_outs, &mut y);
     if let Some(scale) = row_scale {
-        for r in 0..num_rows {
+        for r in r0..r1 {
             for v in &mut y[r * f..(r + 1) * f] {
                 *v *= scale[r];
             }
@@ -157,7 +178,23 @@ pub fn spmm_half(
     f: usize,
     row_scale: Option<&[Half]>,
 ) -> (Vec<Half>, KernelStats) {
+    spmm_half_window(dev, coo, w, x, f, row_scale, (0, coo.num_rows()))
+}
+
+/// [`spmm_half`] restricted to the global row window `[r0, r1)`; see
+/// [`spmm_float_window`] for the tiling-alignment contract.
+pub fn spmm_half_window(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    w: EdgeWeights,
+    x: &[Half],
+    f: usize,
+    row_scale: Option<&[Half]>,
+    row_window: (usize, usize),
+) -> (Vec<Half>, KernelStats) {
     assert_eq!(x.len(), coo.num_cols() * f, "X shape mismatch");
+    let (r0, r1) = row_window;
+    assert!(r0 <= r1 && r1 <= coo.num_rows(), "bad row window {row_window:?}");
     let _site = halfgnn_half::overflow::site(if w.is_ones() {
         "cusparse_f16_spmmv"
     } else {
@@ -166,10 +203,12 @@ pub fn spmm_half(
     let nnz = coo.nnz();
     let num_rows = coo.num_rows();
     let tiling = Tiling::default();
-    let num_ctas = tiling.num_ctas(nnz);
     let rows = coo.rows();
     let cols = coo.cols();
     let row_offsets = row_offsets_of(coo);
+    let (e0, e1) = (row_offsets[r0], row_offsets[r1]);
+    let (cta_lo, cta_hi) = tiling.cta_range(e0, e1);
+    let num_ctas = cta_hi - cta_lo;
 
     let mut space = AddrSpace::new();
     let rows_base = space.alloc(nnz, 4);
@@ -185,7 +224,7 @@ pub fn spmm_half(
         |cta| {
             let mut writes: WriteList<Half> = WriteList::new();
             for wi in 0..tiling.warps_per_cta {
-                let (s, e) = tiling.warp_range(cta.id, wi, nnz);
+                let (s, e) = tiling.warp_range_in(cta.id + cta_lo, wi, e0, e1);
                 if s >= e {
                     continue;
                 }
@@ -254,7 +293,7 @@ pub fn spmm_half(
     let mut y = vec![Half::ZERO; num_rows * f];
     commit_all(cta_outs, &mut y);
     if let Some(scale) = row_scale {
-        for r in 0..num_rows {
+        for r in r0..r1 {
             let sc = scale[r];
             for v in &mut y[r * f..(r + 1) * f] {
                 *v = *v * sc; // post-reduction: INF stays INF
@@ -368,6 +407,48 @@ mod tests {
         let x = vec![4.0f32, 8.0];
         let (y, _) = spmm_float(&dev(), &g, EdgeWeightsF32::Ones, &x, 1, Some(&[0.5, 1.0]));
         assert_eq!(y, vec![6.0, 0.0]);
+    }
+
+    #[test]
+    fn windowed_launches_are_bitwise_slices_of_the_full_run() {
+        // Float bit-identity is what the distributed float trainer relies
+        // on: the windowed launch must preserve f32 summation order.
+        let g = random_graph(170, 800, 51);
+        let f = 8;
+        let xf = random_f32(g.num_cols() * f, 1.0, 52);
+        let xh = f32_slice_to_half(&xf);
+        let scale_f: Vec<f32> = (0..g.num_rows()).map(|r| 1.0 / (r + 1) as f32).collect();
+        let n = g.num_rows();
+        let cuts = [0, 43, n / 2, n];
+
+        let (full_f, _) = spmm_float(&dev(), &g, EdgeWeightsF32::Ones, &xf, f, Some(&scale_f));
+        let (full_h, _) = spmm_half(&dev(), &g, EdgeWeights::Ones, &xh, f, None);
+        let mut pasted_f = vec![0f32; n * f];
+        let mut pasted_h = vec![Half::ZERO; n * f];
+        for win in cuts.windows(2) {
+            let (r0, r1) = (win[0], win[1]);
+            let (pf, _) = spmm_float_window(
+                &dev(),
+                &g,
+                EdgeWeightsF32::Ones,
+                &xf,
+                f,
+                Some(&scale_f),
+                (r0, r1),
+            );
+            assert!(pf[..r0 * f].iter().chain(&pf[r1 * f..]).all(|v| *v == 0.0));
+            pasted_f[r0 * f..r1 * f].copy_from_slice(&pf[r0 * f..r1 * f]);
+            let (ph, _) = spmm_half_window(&dev(), &g, EdgeWeights::Ones, &xh, f, None, (r0, r1));
+            pasted_h[r0 * f..r1 * f].copy_from_slice(&ph[r0 * f..r1 * f]);
+        }
+        assert_eq!(
+            full_f.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+            pasted_f.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+        );
+        assert_eq!(
+            full_h.iter().map(|h| h.to_bits()).collect::<Vec<u16>>(),
+            pasted_h.iter().map(|h| h.to_bits()).collect::<Vec<u16>>()
+        );
     }
 
     #[test]

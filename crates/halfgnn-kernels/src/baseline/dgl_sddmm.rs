@@ -14,7 +14,11 @@ use halfgnn_sim::launch::{launch, LaunchParams};
 use halfgnn_sim::memory::AddrSpace;
 use halfgnn_sim::{DeviceConfig, KernelStats};
 
-/// Shared structure of both DGL SDDMM variants.
+/// Shared structure of both DGL SDDMM variants. `edge_window` restricts
+/// the launch to a contiguous global edge slice (the distributed per-shard
+/// case) while keeping the global tiling, so window edges are bit-identical
+/// to the full run.
+#[allow(clippy::too_many_arguments)]
 fn dgl_sddmm_generic<R: Send + Default + Clone>(
     dev: &DeviceConfig,
     name: &str,
@@ -22,11 +26,15 @@ fn dgl_sddmm_generic<R: Send + Default + Clone>(
     f: usize,
     elem_bytes: usize,
     half_path: bool,
+    edge_window: (usize, usize),
     compute_edge: impl Fn(usize, u32, u32) -> R + Sync,
 ) -> (Vec<R>, KernelStats) {
     let nnz = coo.nnz();
+    let (e0, e1) = edge_window;
+    assert!(e0 <= e1 && e1 <= nnz, "bad edge window {edge_window:?}");
     let tiling = Tiling::default();
-    let num_ctas = tiling.num_ctas(nnz);
+    let (cta_lo, cta_hi) = tiling.cta_range(e0, e1);
+    let num_ctas = cta_hi - cta_lo;
     let rows = coo.rows();
     let cols = coo.cols();
 
@@ -45,7 +53,7 @@ fn dgl_sddmm_generic<R: Send + Default + Clone>(
         launch(dev, name, LaunchParams { num_ctas, warps_per_cta: tiling.warps_per_cta }, |cta| {
             let mut out: Vec<(usize, Vec<R>)> = Vec::new();
             for wi in 0..tiling.warps_per_cta {
-                let (s, e) = tiling.warp_range(cta.id, wi, nnz);
+                let (s, e) = tiling.warp_range_in(cta.id + cta_lo, wi, e0, e1);
                 if s >= e {
                     continue;
                 }
@@ -103,9 +111,23 @@ pub fn sddmm_float(
     v: &[f32],
     f: usize,
 ) -> (Vec<f32>, KernelStats) {
+    sddmm_float_window(dev, coo, u, v, f, (0, coo.nnz()))
+}
+
+/// [`sddmm_float`] restricted to the global edge window `[e0, e1)` (the
+/// per-shard distributed launch); window edges are bit-identical to the
+/// full run, edges outside are zero.
+pub fn sddmm_float_window(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    u: &[f32],
+    v: &[f32],
+    f: usize,
+    edge_window: (usize, usize),
+) -> (Vec<f32>, KernelStats) {
     assert_eq!(u.len(), coo.num_rows() * f, "U shape mismatch");
     assert_eq!(v.len(), coo.num_cols() * f, "V shape mismatch");
-    dgl_sddmm_generic::<f32>(dev, "dgl_f32_sddmm", coo, f, 4, false, |_, r, c| {
+    dgl_sddmm_generic::<f32>(dev, "dgl_f32_sddmm", coo, f, 4, false, edge_window, |_, r, c| {
         let ur = &u[r as usize * f..(r as usize + 1) * f];
         let vc = &v[c as usize * f..(c as usize + 1) * f];
         ur.iter().zip(vc).map(|(a, b)| a * b).sum()
@@ -122,10 +144,23 @@ pub fn sddmm_half(
     v: &[Half],
     f: usize,
 ) -> (Vec<Half>, KernelStats) {
+    sddmm_half_window(dev, coo, u, v, f, (0, coo.nnz()))
+}
+
+/// [`sddmm_half`] restricted to the global edge window `[e0, e1)`; see
+/// [`sddmm_float_window`].
+pub fn sddmm_half_window(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    u: &[Half],
+    v: &[Half],
+    f: usize,
+    edge_window: (usize, usize),
+) -> (Vec<Half>, KernelStats) {
     assert_eq!(u.len(), coo.num_rows() * f, "U shape mismatch");
     assert_eq!(v.len(), coo.num_cols() * f, "V shape mismatch");
     let _site = halfgnn_half::overflow::site("dgl_f16_sddmm");
-    dgl_sddmm_generic::<Half>(dev, "dgl_f16_sddmm", coo, f, 2, true, |_, r, c| {
+    dgl_sddmm_generic::<Half>(dev, "dgl_f16_sddmm", coo, f, 2, true, edge_window, |_, r, c| {
         let ur = &u[r as usize * f..(r as usize + 1) * f];
         let vc = &v[c as usize * f..(c as usize + 1) * f];
         let acc: f32 = ur.iter().zip(vc).map(|(a, b)| a.to_f32() * b.to_f32()).sum();

@@ -156,6 +156,28 @@ impl Tiling {
         let end = (start + self.edges_per_warp).min(nnz);
         (start.min(nnz), end)
     }
+
+    /// Global CTA-id range `[lo, hi)` covering the edge window `[e0, e1)`.
+    ///
+    /// Sharded launches keep *global* CTA coordinates so every warp sees
+    /// exactly the edge tile it would own in a single-device launch — this
+    /// is what makes a sharded run bit-identical to the unsharded one
+    /// (identical per-row segment cuts, identical commit order). The full
+    /// window `(0, nnz)` reproduces [`Tiling::num_ctas`] exactly.
+    pub fn cta_range(&self, e0: usize, e1: usize) -> (usize, usize) {
+        debug_assert!(e0 <= e1);
+        let lo = e0 / self.edges_per_cta();
+        let hi = e1.div_ceil(self.edges_per_cta()).max(lo + 1);
+        (lo, hi)
+    }
+
+    /// [`Tiling::warp_range`] clamped to the edge window `[e0, e1)`; `cta`
+    /// is a *global* CTA id (see [`Tiling::cta_range`]).
+    pub fn warp_range_in(&self, cta: usize, w: usize, e0: usize, e1: usize) -> (usize, usize) {
+        let start = cta * self.edges_per_cta() + w * self.edges_per_warp;
+        let end = (start + self.edges_per_warp).min(e1);
+        (start.clamp(e0, e1), end.clamp(e0, e1))
+    }
 }
 
 /// Convert per-row scale factors (e.g. 1/degree) to half precision once, as
@@ -206,6 +228,40 @@ mod tests {
             }
         }
         assert_eq!(covered, nnz);
+    }
+
+    #[test]
+    fn windowed_tiling_matches_global_tiling() {
+        let t = Tiling::default();
+        // Full window reproduces the unwindowed geometry exactly.
+        for nnz in [0usize, 1, 255, 256, 1000, 1025] {
+            assert_eq!(t.cta_range(0, nnz), (0, t.num_ctas(nnz)));
+            for cta in 0..t.num_ctas(nnz) {
+                for w in 0..t.warps_per_cta {
+                    assert_eq!(t.warp_range_in(cta, w, 0, nnz), t.warp_range(cta, w, nnz));
+                }
+            }
+        }
+        // A window's warp ranges are the global ranges clamped to it.
+        let (e0, e1) = (300usize, 700usize);
+        let (lo, hi) = t.cta_range(e0, e1);
+        assert_eq!((lo, hi), (1, 3));
+        let mut covered = e0;
+        for cta in lo..hi {
+            for w in 0..t.warps_per_cta {
+                let (s, e) = t.warp_range_in(cta, w, e0, e1);
+                let (gs, ge) = t.warp_range(cta, w, usize::MAX);
+                assert_eq!(s, gs.clamp(e0, e1));
+                assert_eq!(e, ge.clamp(e0, e1));
+                assert_eq!(s, covered.min(e1));
+                covered = e.max(covered);
+            }
+        }
+        assert_eq!(covered, e1);
+        // Empty window inside a larger edge list: one empty CTA.
+        let (lo, hi) = t.cta_range(512, 512);
+        assert_eq!(hi - lo, 1);
+        assert_eq!(t.warp_range_in(lo, 0, 512, 512), (512, 512));
     }
 
     #[test]

@@ -1,0 +1,363 @@
+//! Distributed-training kernels: halo gather and the FP16 gradient
+//! all-reduce with per-bucket discretized scaling.
+//!
+//! These are the two kernels the sharded trainer adds on top of the
+//! single-device pipeline:
+//!
+//! * **Halo gather** — pack the remote feature rows a shard's local SpMM
+//!   needs into a contiguous wire buffer. Packing is what makes an FP16
+//!   halo exchange move exactly `|halo| · f · 2` bytes — the 2× comms win
+//!   over FP32 that the interconnect ledger measures. Writes are
+//!   assign-only (each packed slot has exactly one owner), reusing the
+//!   §5.2.3 conflict-free write machinery: no atomics, and the
+//!   [`halfgnn_sim::launch::find_assign_overlap`] debug validation applies.
+//! * **FP16 all-reduce with discretized scaling** — the §5.2.2 idea moved
+//!   from the SpMM reduction to the gradient wire format. A plain FP16
+//!   all-reduce of `S` shard partials overflows exactly where hub-row
+//!   gradients live; scaling each `bucket`-sized chunk by a shared
+//!   power-of-two exponent chosen so `Σ_s |v_s| ≤ 1` makes the running
+//!   half sum overflow-free *by construction*, and the power-of-two
+//!   dequantization is exact.
+
+use crate::common::count_nonfinite;
+use halfgnn_graph::VertexId;
+use halfgnn_half::intrinsics::hadd;
+use halfgnn_half::{overflow, Half};
+use halfgnn_sim::launch::{commit_all, launch, LaunchParams, WriteList};
+use halfgnn_sim::memory::AddrSpace;
+use halfgnn_sim::{DeviceConfig, KernelStats};
+
+/// Rows a halo-gather warp packs per iteration.
+const ROWS_PER_WARP: usize = 8;
+const WARPS_PER_CTA: usize = 4;
+
+/// Gather the feature rows named by `halo` (global vertex ids) from the
+/// global tensor `x` (`num_vertices × f`, half) into a packed
+/// `|halo| × f` wire buffer.
+pub fn halo_gather_half(
+    dev: &DeviceConfig,
+    x: &[Half],
+    f: usize,
+    halo: &[VertexId],
+) -> (Vec<Half>, KernelStats) {
+    assert!(x.len().is_multiple_of(f.max(1)), "X shape mismatch");
+    let n = halo.len();
+    let rows_per_cta = ROWS_PER_WARP * WARPS_PER_CTA;
+    let num_ctas = n.div_ceil(rows_per_cta).max(1);
+
+    let mut space = AddrSpace::new();
+    let idx_base = space.alloc(n, 4);
+    let x_base = space.alloc(x.len(), 2);
+    let out_base = space.alloc(n * f, 2);
+
+    let (cta_outs, stats) = launch(
+        dev,
+        "halo_gather_f16",
+        LaunchParams { num_ctas, warps_per_cta: WARPS_PER_CTA },
+        |cta| {
+            let mut writes: WriteList<Half> = WriteList::new();
+            for wi in 0..WARPS_PER_CTA {
+                let lo = (cta.id * WARPS_PER_CTA + wi) * ROWS_PER_WARP;
+                let hi = (lo + ROWS_PER_WARP).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                let mut warp = cta.warp(wi);
+                warp.load_contiguous(idx_base + lo as u64 * 4, hi - lo, 4);
+                // Scattered source rows, half2-cast loads.
+                warp.load_feature_rows(
+                    (lo..hi).map(|i| x_base + halo[i] as u64 * (f as u64 * 2)),
+                    f * 2,
+                    4,
+                );
+                // Packed destination: fully coalesced stores.
+                warp.store_contiguous(out_base + (lo * f) as u64 * 2, (hi - lo) * f / 2, 4);
+                for (i, &src_row) in halo.iter().enumerate().take(hi).skip(lo) {
+                    let src = src_row as usize * f;
+                    let vals = x[src..src + f].to_vec();
+                    warp.nonfinite_values(count_nonfinite(&vals));
+                    writes.assign(i * f, vals);
+                }
+            }
+            writes
+        },
+    );
+
+    let mut out = vec![Half::ZERO; n * f];
+    commit_all(cta_outs, &mut out);
+    (out, stats)
+}
+
+/// [`halo_gather_half`] for the float pipeline: same structure, 4-byte
+/// elements — the wire payload the FP16 exchange halves.
+pub fn halo_gather_f32(
+    dev: &DeviceConfig,
+    x: &[f32],
+    f: usize,
+    halo: &[VertexId],
+) -> (Vec<f32>, KernelStats) {
+    assert!(x.len().is_multiple_of(f.max(1)), "X shape mismatch");
+    let n = halo.len();
+    let rows_per_cta = ROWS_PER_WARP * WARPS_PER_CTA;
+    let num_ctas = n.div_ceil(rows_per_cta).max(1);
+
+    let mut space = AddrSpace::new();
+    let idx_base = space.alloc(n, 4);
+    let x_base = space.alloc(x.len(), 4);
+    let out_base = space.alloc(n * f, 4);
+
+    let (cta_outs, stats) = launch(
+        dev,
+        "halo_gather_f32",
+        LaunchParams { num_ctas, warps_per_cta: WARPS_PER_CTA },
+        |cta| {
+            let mut writes: WriteList<f32> = WriteList::new();
+            for wi in 0..WARPS_PER_CTA {
+                let lo = (cta.id * WARPS_PER_CTA + wi) * ROWS_PER_WARP;
+                let hi = (lo + ROWS_PER_WARP).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                let mut warp = cta.warp(wi);
+                warp.load_contiguous(idx_base + lo as u64 * 4, hi - lo, 4);
+                warp.load_feature_rows(
+                    (lo..hi).map(|i| x_base + halo[i] as u64 * (f as u64 * 4)),
+                    f * 4,
+                    4,
+                );
+                warp.store_contiguous(out_base + (lo * f) as u64 * 4, (hi - lo) * f, 4);
+                for (i, &src_row) in halo.iter().enumerate().take(hi).skip(lo) {
+                    let src = src_row as usize * f;
+                    writes.assign(i * f, x[src..src + f].to_vec());
+                }
+            }
+            writes
+        },
+    );
+
+    let mut out = vec![0f32; n * f];
+    commit_all(cta_outs, &mut out);
+    (out, stats)
+}
+
+/// Per-bucket shared exponent: the smallest `e` with
+/// `max_s |v_s| · num_shards ≤ 2^e`, so every quantized term is at most
+/// `1/num_shards` in magnitude and the running FP16 sum stays ≤ 1.
+fn bucket_exponent(max_abs: f32, num_shards: usize) -> i32 {
+    if max_abs == 0.0 || !max_abs.is_finite() {
+        return 0;
+    }
+    let bound = max_abs as f64 * num_shards as f64;
+    let mut e = bound.log2().ceil() as i32;
+    // log2/ceil rounding guard: enforce the bound exactly.
+    while bound > (2.0f64).powi(e) {
+        e += 1;
+    }
+    e
+}
+
+/// FP16 all-reduce of `S = partials.len()` shard gradient vectors with
+/// per-bucket discretized scaling (§5.2.2 applied to the wire format).
+///
+/// For each `bucket`-sized chunk, all shards agree on the shared exponent
+/// of [`bucket_exponent`]; each shard quantizes `v · 2^-e` to half (a
+/// power-of-two scale — only the final f16 rounding loses bits), the wire
+/// sum accumulates in half in shard order (deterministic, and bounded by 1
+/// so it cannot overflow), and the result dequantizes by the exact
+/// power-of-two `2^e`. Returns the reduced f32 vector.
+pub fn allreduce_f16_discretized(
+    dev: &DeviceConfig,
+    partials: &[Vec<f32>],
+    bucket: usize,
+) -> (Vec<f32>, KernelStats) {
+    assert!(!partials.is_empty(), "need at least one shard partial");
+    assert!(bucket > 0, "bucket size must be positive");
+    let n = partials[0].len();
+    for p in partials {
+        assert_eq!(p.len(), n, "shard partial length mismatch");
+    }
+    let _site = overflow::site("allreduce_f16");
+    let num_shards = partials.len();
+
+    let mut space = AddrSpace::new();
+    let in_bases: Vec<u64> = partials.iter().map(|p| space.alloc(p.len(), 4)).collect();
+    let wire_base = space.alloc(n, 2);
+    let out_base = space.alloc(n, 4);
+
+    let buckets = n.div_ceil(bucket).max(1);
+    let num_ctas = buckets.div_ceil(WARPS_PER_CTA).max(1);
+
+    let (cta_outs, stats) = launch(
+        dev,
+        "allreduce_f16_disc",
+        LaunchParams { num_ctas, warps_per_cta: WARPS_PER_CTA },
+        |cta| {
+            let mut writes: WriteList<f32> = WriteList::new();
+            for wi in 0..WARPS_PER_CTA {
+                let bi = cta.id * WARPS_PER_CTA + wi;
+                if bi >= buckets {
+                    break;
+                }
+                let lo = bi * bucket;
+                let hi = (lo + bucket).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                let len = hi - lo;
+                let chunks = (len as u64).div_ceil(32);
+                let mut warp = cta.warp(wi);
+
+                // Exponent scan: every shard's chunk is read once in f32.
+                for base in &in_bases {
+                    warp.load_contiguous(base + lo as u64 * 4, len, 4);
+                }
+                warp.float_ops(num_shards as u64 * chunks); // |v| max scan
+                let max_abs = partials
+                    .iter()
+                    .flat_map(|p| p[lo..hi].iter())
+                    .fold(0f32, |m, v| m.max(v.abs()));
+                let e = bucket_exponent(max_abs, num_shards);
+                let down = (2.0f64).powi(-e) as f32;
+                let up = (2.0f64).powi(e) as f32;
+
+                // Quantize + accumulate on the f16 wire, shard order.
+                warp.convert_ops(num_shards as u64 * chunks); // f32→f16
+                warp.half_ops((num_shards as u64 - 1) * chunks); // wire adds
+                warp.store_contiguous(wire_base + lo as u64 * 2, len.div_ceil(2), 4);
+                let mut acc = vec![Half::ZERO; len];
+                for p in partials {
+                    for (a, &v) in acc.iter_mut().zip(&p[lo..hi]) {
+                        *a = hadd(*a, Half::from_f32(v * down));
+                    }
+                }
+                warp.nonfinite_values(count_nonfinite(&acc));
+
+                // Dequantize: exact power-of-two scale back to f32.
+                warp.convert_ops(chunks);
+                warp.store_contiguous(out_base + lo as u64 * 4, len, 4);
+                writes.assign(lo, acc.iter().map(|h| h.to_f32() * up).collect());
+            }
+            writes
+        },
+    );
+
+    let mut out = vec![0f32; n];
+    commit_all(cta_outs, &mut out);
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halfgnn_half::slice::f32_slice_to_half;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dev() -> DeviceConfig {
+        DeviceConfig::a100_like()
+    }
+
+    fn random_f32(n: usize, scale: f32, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-scale..scale)).collect()
+    }
+
+    #[test]
+    fn halo_gather_packs_the_named_rows() {
+        let f = 4;
+        let xf = random_f32(20 * f, 1.0, 1);
+        let xh = f32_slice_to_half(&xf);
+        let halo: Vec<u32> = vec![3, 7, 7, 19, 0];
+        let (gh, sh) = halo_gather_half(&dev(), &xh, f, &halo);
+        let (gf, _) = halo_gather_f32(&dev(), &xf, f, &halo);
+        for (i, &v) in halo.iter().enumerate() {
+            assert_eq!(&gh[i * f..(i + 1) * f], &xh[v as usize * f..(v as usize + 1) * f]);
+            assert_eq!(&gf[i * f..(i + 1) * f], &xf[v as usize * f..(v as usize + 1) * f]);
+        }
+        assert!(sh.cycles > 0.0);
+    }
+
+    #[test]
+    fn halo_gather_empty_is_fine() {
+        let (g, _) = halo_gather_half(&dev(), &f32_slice_to_half(&random_f32(8, 1.0, 2)), 2, &[]);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn halo_gather_fast_matches_sim_bitwise() {
+        let f = 8;
+        let x = f32_slice_to_half(&random_f32(100 * f, 1.0, 3));
+        let halo: Vec<u32> = (0..100).filter(|v| v % 3 == 0).collect();
+        let (sim, _) = halo_gather_half(&dev(), &x, f, &halo);
+        let (fast, fs) = halo_gather_half(&dev().fast(), &x, f, &halo);
+        assert_eq!(
+            sim.iter().map(|h| h.to_bits()).collect::<Vec<u16>>(),
+            fast.iter().map(|h| h.to_bits()).collect::<Vec<u16>>()
+        );
+        assert_eq!(fs.cycles, 0.0);
+    }
+
+    #[test]
+    fn bucket_exponent_bounds_the_scaled_sum() {
+        for (max, s) in [(1.0f32, 2usize), (100.0, 4), (65504.0, 8), (1e-6, 2), (0.75, 3)] {
+            let e = bucket_exponent(max, s);
+            assert!(max as f64 * s as f64 <= (2.0f64).powi(e), "max={max} s={s} e={e}");
+        }
+        assert_eq!(bucket_exponent(0.0, 4), 0);
+    }
+
+    #[test]
+    fn allreduce_matches_f64_sum_within_f16_rounding() {
+        let n = 500;
+        let shards: Vec<Vec<f32>> = (0..4).map(|s| random_f32(n, 2.0, 10 + s)).collect();
+        let (got, stats) = allreduce_f16_discretized(&dev(), &shards, 64);
+        for i in 0..n {
+            let want: f64 = shards.iter().map(|p| p[i] as f64).sum();
+            // One shared exponent per 64-bucket: a few half ulps of error
+            // at the bucket's max magnitude.
+            assert!(
+                (got[i] as f64 - want).abs() <= 0.05 + 0.01 * want.abs(),
+                "[{i}] got {} want {want}",
+                got[i]
+            );
+        }
+        assert!(stats.totals.convert_ops > 0, "quantization must be charged");
+    }
+
+    #[test]
+    fn allreduce_cannot_overflow_on_hub_gradients() {
+        // Each shard contributes near-f16-max values of one sign: a naive
+        // f16 wire sum would hit INF at the second shard. The discretized
+        // exponent keeps every partial sum ≤ 1 on the wire.
+        let n = 128;
+        let shards: Vec<Vec<f32>> = (0..8).map(|_| vec![60000.0f32; n]).collect();
+        let ((got, _), summary) =
+            overflow::isolated(|| allreduce_f16_discretized(&dev(), &shards, 64));
+        assert!(summary.is_clean(), "{} overflow events on the wire", summary.nonfinite());
+        for &v in &got {
+            assert!(v.is_finite());
+            assert!((v - 480000.0).abs() / 480000.0 < 1e-2, "got {v}");
+        }
+    }
+
+    #[test]
+    fn allreduce_single_shard_is_pure_quantization() {
+        let p = vec![random_f32(100, 4.0, 20)];
+        let (got, _) = allreduce_f16_discretized(&dev(), &p, 32);
+        for (g, v) in got.iter().zip(&p[0]) {
+            assert!((g - v).abs() <= 0.01 * v.abs().max(0.05), "{g} vs {v}");
+        }
+    }
+
+    #[test]
+    fn allreduce_fast_matches_sim_bitwise() {
+        let shards: Vec<Vec<f32>> = (0..4).map(|s| random_f32(300, 2.0, 30 + s)).collect();
+        let (sim, _) = allreduce_f16_discretized(&dev(), &shards, 64);
+        let (fast, fs) = allreduce_f16_discretized(&dev().fast(), &shards, 64);
+        assert_eq!(
+            sim.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+            fast.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+        );
+        assert_eq!(fs.cycles, 0.0);
+    }
+}

@@ -507,12 +507,31 @@ pub fn edge_reduce_f32(
     w: &[f32],
     op: crate::common::Reduce,
 ) -> (Vec<f32>, KernelStats) {
+    edge_reduce_f32_window(dev, coo, w, op, (0, coo.num_rows()))
+}
+
+/// [`edge_reduce_f32`] restricted to the global row window `[r0, r1)` with
+/// the same global-tiling alignment as
+/// [`crate::halfgnn_spmm::edge_reduce_window`]: window rows are
+/// bit-identical to the full run, rows outside hold the reduction identity.
+pub fn edge_reduce_f32_window(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    w: &[f32],
+    op: crate::common::Reduce,
+    row_window: (usize, usize),
+) -> (Vec<f32>, KernelStats) {
     use crate::common::{Reduce, Tiling};
     use halfgnn_sim::launch::{launch, LaunchParams};
     assert_eq!(w.len(), coo.nnz());
+    let (r0, r1) = row_window;
+    assert!(r0 <= r1 && r1 <= coo.num_rows(), "bad row window {row_window:?}");
     let nnz = coo.nnz();
     let tiling = Tiling::default();
-    let num_ctas = tiling.num_ctas(nnz);
+    let off = crate::halfgnn_spmm::row_offsets_of(coo);
+    let (e0, e1) = (off[r0], off[r1]);
+    let (cta_lo, cta_hi) = tiling.cta_range(e0, e1);
+    let num_ctas = cta_hi - cta_lo;
     let rows = coo.rows();
     let mut space = AddrSpace::new();
     let rows_base = space.alloc(nnz, 4);
@@ -533,7 +552,7 @@ pub fn edge_reduce_f32(
         |cta| {
             let mut partials: Vec<(u32, f32)> = Vec::new();
             for wi in 0..tiling.warps_per_cta {
-                let (s, e) = tiling.warp_range(cta.id, wi, nnz);
+                let (s, e) = tiling.warp_range_in(cta.id + cta_lo, wi, e0, e1);
                 if s >= e {
                     continue;
                 }
@@ -567,10 +586,9 @@ pub fn edge_reduce_f32(
         }
     }
     if op == crate::common::Reduce::Max {
-        let off = crate::halfgnn_spmm::row_offsets_of(coo);
-        for (r, v) in y.iter_mut().enumerate() {
+        for r in r0..r1 {
             if off[r] == off[r + 1] {
-                *v = 0.0;
+                y[r] = 0.0;
             }
         }
     }

@@ -57,10 +57,19 @@ pub struct FusedAttnForward {
 /// Greedy assignment of complete CSR rows to warps: each run holds ≥1 row
 /// and at most `budget` edges (a single row larger than the budget gets a
 /// run of its own — fused softmax cannot split a row).
+#[cfg(test)]
 fn row_runs(off: &[usize], budget: usize) -> Vec<(usize, usize)> {
-    let num_rows = off.len() - 1;
+    row_runs_in(off, budget, 0, off.len() - 1)
+}
+
+/// [`row_runs`] over the row window `[rw0, rw1)` only. Run grouping is a
+/// cost-model concern: every functional quantity in the fused kernels is
+/// per-row, so windowed runs produce bit-identical per-row outputs even
+/// though a shard boundary may cut a run the full launch would have formed.
+fn row_runs_in(off: &[usize], budget: usize, rw0: usize, rw1: usize) -> Vec<(usize, usize)> {
+    let num_rows = rw1;
     let mut runs = Vec::new();
-    let mut r = 0;
+    let mut r = rw0;
     while r < num_rows {
         let mut r_end = r + 1;
         let mut edges = off[r + 1] - off[r];
@@ -97,10 +106,30 @@ pub fn fused_attn_forward(
     z: &[Half],
     f: usize,
 ) -> (FusedAttnForward, KernelStats) {
+    fused_attn_forward_window(dev, coo, s_row, s_col, slope, z, f, (0, coo.num_rows()))
+}
+
+/// [`fused_attn_forward`] restricted to the global row window `[r0, r1)` —
+/// the per-shard distributed launch. All fused state is per-row, so window
+/// rows (and their `e`/`alpha` edge slices) are bit-identical to the full
+/// run; rows/edges outside the window are zero.
+#[allow(clippy::too_many_arguments)]
+pub fn fused_attn_forward_window(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    s_row: &[Half],
+    s_col: &[Half],
+    slope: f32,
+    z: &[Half],
+    f: usize,
+    row_window: (usize, usize),
+) -> (FusedAttnForward, KernelStats) {
     assert_eq!(s_row.len(), coo.num_rows(), "s_row length mismatch");
     assert_eq!(s_col.len(), coo.num_cols(), "s_col length mismatch");
     assert_eq!(z.len(), coo.num_cols() * f, "Z shape mismatch");
     assert!(f.is_multiple_of(2), "feature length must be half2-padded (got {f})");
+    let (rw0, rw1) = row_window;
+    assert!(rw0 <= rw1 && rw1 <= coo.num_rows(), "bad row window {row_window:?}");
     let _site = overflow::site("fused_attn");
 
     let nnz = coo.nnz();
@@ -108,7 +137,7 @@ pub fn fused_attn_forward(
     let cols = coo.cols();
     let off = row_offsets_of(coo);
     let tiling = Tiling::default();
-    let runs = row_runs(&off, tiling.edges_per_warp);
+    let runs = row_runs_in(&off, tiling.edges_per_warp, rw0, rw1);
     let num_ctas = runs.len().div_ceil(tiling.warps_per_cta).max(1);
     let slope_h = Half::from_f32(slope);
     let half2_lanes = (f / 2) as u64;
@@ -276,16 +305,32 @@ pub fn fused_softmax_grad(
     e: &[Half],
     slope: f32,
 ) -> (Vec<Half>, KernelStats) {
+    fused_softmax_grad_window(dev, coo, alpha, dalpha, e, slope, (0, coo.num_rows()))
+}
+
+/// [`fused_softmax_grad`] restricted to the global row window `[r0, r1)`;
+/// see [`fused_attn_forward_window`] for the per-row bit-identity contract.
+pub fn fused_softmax_grad_window(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    alpha: &[Half],
+    dalpha: &[Half],
+    e: &[Half],
+    slope: f32,
+    row_window: (usize, usize),
+) -> (Vec<Half>, KernelStats) {
     assert_eq!(alpha.len(), coo.nnz(), "alpha length mismatch");
     assert_eq!(dalpha.len(), coo.nnz(), "dalpha length mismatch");
     assert_eq!(e.len(), coo.nnz(), "e length mismatch");
+    let (rw0, rw1) = row_window;
+    assert!(rw0 <= rw1 && rw1 <= coo.num_rows(), "bad row window {row_window:?}");
     let _site = overflow::site("fused_softmax_grad");
 
     let nnz = coo.nnz();
     let num_rows = coo.num_rows();
     let off = row_offsets_of(coo);
     let tiling = Tiling::default();
-    let runs = row_runs(&off, tiling.edges_per_warp);
+    let runs = row_runs_in(&off, tiling.edges_per_warp, rw0, rw1);
     let num_ctas = runs.len().div_ceil(tiling.warps_per_cta).max(1);
     let slope_h = Half::from_f32(slope);
 

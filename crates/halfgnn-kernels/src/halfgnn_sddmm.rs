@@ -88,6 +88,24 @@ pub fn sddmm_with_config(
     f: usize,
     cfg: &SddmmConfig,
 ) -> (Vec<Half>, KernelStats) {
+    sddmm_window(dev, coo, u, v, f, cfg, (0, coo.nnz()))
+}
+
+/// [`sddmm_with_config`] restricted to the global edge window `[e0, e1)` —
+/// the per-shard launch of the distributed path (SDDMM output is per-edge,
+/// so shards hand their contiguous global edge slice straight in). The
+/// global tiling is clamped to the window, so window edges are
+/// bit-identical to the full run; edges outside the window are zero.
+#[allow(clippy::too_many_arguments)]
+pub fn sddmm_window(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    u: &[Half],
+    v: &[Half],
+    f: usize,
+    cfg: &SddmmConfig,
+    edge_window: (usize, usize),
+) -> (Vec<Half>, KernelStats) {
     let width = cfg.width;
     let _site = halfgnn_half::overflow::site("halfgnn_sddmm");
     assert_eq!(u.len(), coo.num_rows() * f, "U shape mismatch");
@@ -98,10 +116,13 @@ pub fn sddmm_with_config(
         "feature length {f} needs padding to a multiple of {}",
         width.lanes()
     );
+    let (e0, e1) = edge_window;
+    assert!(e0 <= e1 && e1 <= coo.nnz(), "bad edge window {edge_window:?}");
 
     let nnz = coo.nnz();
     let tiling = cfg.tiling;
-    let num_ctas = tiling.num_ctas(nnz);
+    let (cta_lo, cta_hi) = tiling.cta_range(e0, e1);
+    let num_ctas = cta_hi - cta_lo;
     let rows = coo.rows();
     let cols = coo.cols();
 
@@ -130,7 +151,7 @@ pub fn sddmm_with_config(
         |cta| {
             let mut out: Vec<(usize, Vec<Half>)> = Vec::new();
             for wi in 0..tiling.warps_per_cta {
-                let (s, e) = tiling.warp_range(cta.id, wi, nnz);
+                let (s, e) = tiling.warp_range_in(cta.id + cta_lo, wi, e0, e1);
                 if s >= e {
                     continue;
                 }

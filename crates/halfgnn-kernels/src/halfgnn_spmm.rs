@@ -85,23 +85,51 @@ pub fn spmm(
     row_scale: Option<&[Half]>,
     cfg: &SpmmConfig,
 ) -> (Vec<Half>, KernelStats) {
+    spmm_window(dev, coo, w, x, f, row_scale, cfg, (0, coo.num_rows()))
+}
+
+/// [`spmm`] restricted to the global row window `[r0, r1)` — the per-shard
+/// launch of the distributed path.
+///
+/// The kernel runs the *global* edge tiling clamped to the window's edge
+/// range (shard boundaries are row boundaries, so the window is a
+/// contiguous edge slice), which reproduces the exact per-row segment cuts
+/// and CTA commit order of the single-device launch: window outputs are
+/// bit-identical to the corresponding rows of the full run. Rows outside
+/// the window are zero; the full window `(0, num_rows)` is [`spmm`]
+/// itself, cost model included.
+#[allow(clippy::too_many_arguments)]
+pub fn spmm_window(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    w: EdgeWeights,
+    x: &[Half],
+    f: usize,
+    row_scale: Option<&[Half]>,
+    cfg: &SpmmConfig,
+    row_window: (usize, usize),
+) -> (Vec<Half>, KernelStats) {
     assert_eq!(x.len(), coo.num_cols() * f, "X shape mismatch");
     assert!(f.is_multiple_of(2), "feature length must be half2-padded (got {f})");
     if cfg.scaling != ScalePlacement::None {
         assert!(row_scale.is_some(), "scaling placement {:?} needs row_scale", cfg.scaling);
     }
+    let (r0, r1) = row_window;
+    assert!(r0 <= r1 && r1 <= coo.num_rows(), "bad row window {row_window:?}");
     let _site = overflow::site(if w.is_ones() { "halfgnn_spmmv" } else { "halfgnn_spmmve" });
 
     let nnz = coo.nnz();
     let num_rows = coo.num_rows();
     let tiling = cfg.tiling;
-    let num_ctas = tiling.num_ctas(nnz);
     let rows = coo.rows();
     let cols = coo.cols();
 
     // Row start/end offsets let a tile decide whether it holds a row fully
     // (the GPU kernel reads neighbours' cached row IDs for the same test).
     let row_offsets = row_offsets_of(coo);
+    let (e0, e1) = (row_offsets[r0], row_offsets[r1]);
+    let (cta_lo, cta_hi) = tiling.cta_range(e0, e1);
+    let num_ctas = cta_hi - cta_lo;
     // Degrees drive the atomic-conflict estimate in the Atomic strategy.
     let edges_per_warp = tiling.edges_per_warp;
 
@@ -132,7 +160,7 @@ pub fn spmm(
             let mut boundary: Vec<StagedEntry> = Vec::new();
 
             for wi in 0..tiling.warps_per_cta {
-                let (s, e) = tiling.warp_range(cta.id, wi, nnz);
+                let (s, e) = tiling.warp_range_in(cta.id + cta_lo, wi, e0, e1);
                 if s >= e {
                     continue;
                 }
@@ -276,8 +304,9 @@ pub fn spmm(
                         _ => merged.push(entry),
                     }
                 }
-                let (cta_s, _) = tiling.warp_range(cta_id, 0, nnz);
-                let cta_e = tiling.warp_range(cta_id, tiling.warps_per_cta - 1, nnz).1;
+                let (cta_s, _) = tiling.warp_range_in(cta_id + cta_lo, 0, e0, e1);
+                let cta_e =
+                    tiling.warp_range_in(cta_id + cta_lo, tiling.warps_per_cta - 1, e0, e1).1;
                 for m in merged {
                     let fully_inside = row_offsets[m.row as usize] >= cta_s
                         && row_offsets[m.row as usize + 1] <= cta_e;
@@ -366,13 +395,14 @@ pub fn spmm(
     // elementwise kernel over Y, after overflow has already happened.
     if cfg.scaling == ScalePlacement::PostReduction {
         let scale = row_scale.expect("checked above");
+        let win_elems = (r1 - r0) * f;
         let (_, post_stats) = launch(
             dev,
             "spmm_postscale",
-            LaunchParams { num_ctas: (num_rows * f).div_ceil(4096).max(1), warps_per_cta: 4 },
+            LaunchParams { num_ctas: win_elems.div_ceil(4096).max(1), warps_per_cta: 4 },
             |cta| {
-                let lo = cta.id * 4096;
-                let hi = (lo + 4096).min(num_rows * f);
+                let lo = r0 * f + cta.id * 4096;
+                let hi = (lo + 4096).min(r1 * f);
                 if lo >= hi {
                     return;
                 }
@@ -383,7 +413,7 @@ pub fn spmm(
                 warp.store_contiguous(y_base + lo as u64 * 2, n / 2, 4);
             },
         );
-        for r in 0..num_rows {
+        for r in r0..r1 {
             let sc = scale[r];
             for v in &mut y[r * f..(r + 1) * f] {
                 *v = hmul(*v, sc);
@@ -406,16 +436,34 @@ pub fn edge_reduce(
     w: &[Half],
     op: Reduce,
 ) -> (Vec<Half>, KernelStats) {
+    edge_reduce_window(dev, coo, w, op, (0, coo.num_rows()))
+}
+
+/// [`edge_reduce`] restricted to the global row window `[r0, r1)`, with the
+/// same global-tiling alignment as [`spmm_window`]: window rows are
+/// bit-identical to the full run; rows outside the window hold the
+/// reduction identity and must not be read.
+pub fn edge_reduce_window(
+    dev: &DeviceConfig,
+    coo: &Coo,
+    w: &[Half],
+    op: Reduce,
+    row_window: (usize, usize),
+) -> (Vec<Half>, KernelStats) {
     assert_eq!(w.len(), coo.nnz(), "edge tensor length mismatch");
+    let (r0, r1) = row_window;
+    assert!(r0 <= r1 && r1 <= coo.num_rows(), "bad row window {row_window:?}");
     let _site = overflow::site(match op {
         Reduce::Sum => "edge_reduce_sum",
         Reduce::Max => "edge_reduce_max",
     });
     let nnz = coo.nnz();
     let tiling = Tiling::default();
-    let num_ctas = tiling.num_ctas(nnz);
     let rows = coo.rows();
     let row_offsets = row_offsets_of(coo);
+    let (e0, e1) = (row_offsets[r0], row_offsets[r1]);
+    let (cta_lo, cta_hi) = tiling.cta_range(e0, e1);
+    let num_ctas = cta_hi - cta_lo;
 
     let mut space = AddrSpace::new();
     let rows_base = space.alloc(nnz, 4);
@@ -443,7 +491,7 @@ pub fn edge_reduce(
             // sequential commit (a scalar per boundary row — negligible).
             let mut partials: Vec<(u32, Half)> = Vec::new();
             for wi in 0..tiling.warps_per_cta {
-                let (s, e) = tiling.warp_range(cta.id, wi, nnz);
+                let (s, e) = tiling.warp_range_in(cta.id + cta_lo, wi, e0, e1);
                 if s >= e {
                     continue;
                 }
@@ -484,10 +532,11 @@ pub fn edge_reduce(
         }
     }
     if op == Reduce::Max {
-        // Empty rows: define as zero (matches the reference).
-        for (r, v) in y.iter_mut().enumerate() {
+        // Empty rows (within the window): define as zero (matches the
+        // reference).
+        for r in r0..r1 {
             if row_offsets[r] == row_offsets[r + 1] {
-                *v = Half::ZERO;
+                y[r] = Half::ZERO;
             }
         }
     }
@@ -512,11 +561,31 @@ pub fn spmm_vertex_parallel(
     row_scale: Option<&[Half]>,
     scaling: ScalePlacement,
 ) -> (Vec<Half>, KernelStats) {
+    spmm_vertex_parallel_window(dev, csr, w, x, f, row_scale, scaling, (0, csr.num_rows()))
+}
+
+/// [`spmm_vertex_parallel`] restricted to the global row window `[r0, r1)`:
+/// neighbor groups are generated only for window rows, in the same order
+/// and with the same ≤64-edge geometry as the full launch, so window rows
+/// are bit-identical to the full run (groups are per-row independent).
+#[allow(clippy::too_many_arguments)]
+pub fn spmm_vertex_parallel_window(
+    dev: &DeviceConfig,
+    csr: &halfgnn_graph::Csr,
+    w: EdgeWeights,
+    x: &[Half],
+    f: usize,
+    row_scale: Option<&[Half]>,
+    scaling: ScalePlacement,
+    row_window: (usize, usize),
+) -> (Vec<Half>, KernelStats) {
     assert_eq!(x.len(), csr.num_cols() * f, "X shape mismatch");
     assert!(f.is_multiple_of(2), "feature length must be half2-padded");
     if scaling != ScalePlacement::None {
         assert!(row_scale.is_some(), "scaling placement {scaling:?} needs row_scale");
     }
+    let (r0, r1) = row_window;
+    assert!(r0 <= r1 && r1 <= csr.num_rows(), "bad row window {row_window:?}");
     let _site = overflow::site(if w.is_ones() { "halfgnn_vp_spmmv" } else { "halfgnn_vp_spmmve" });
     const GROUP: usize = 64;
     const WARPS_PER_CTA: usize = 4;
@@ -524,7 +593,7 @@ pub fn spmm_vertex_parallel(
 
     // Neighbor groups: (row, offset, len), never crossing a row.
     let mut groups: Vec<(u32, usize, usize)> = Vec::new();
-    for r in 0..n {
+    for r in r0..r1 {
         let (start, end) = (csr.offsets()[r], csr.offsets()[r + 1]);
         let mut off = start;
         while off < end {
@@ -658,7 +727,7 @@ pub fn spmm_vertex_parallel(
     // Post-reduction scaling pass (ablation placement).
     if scaling == ScalePlacement::PostReduction {
         let scale = row_scale.expect("checked above");
-        for r in 0..n {
+        for r in r0..r1 {
             let sc = scale[r];
             for v in &mut y[r * f..(r + 1) * f] {
                 *v = hmul(*v, sc);
@@ -1070,6 +1139,84 @@ mod tests {
             se.cycles,
             sv.cycles
         );
+    }
+
+    #[test]
+    fn windowed_launches_are_bitwise_slices_of_the_full_run() {
+        // The distributed path's foundation: running the global tiling
+        // clamped to a row window reproduces the full run's window rows
+        // bit-for-bit, for every kernel that gets a `_window` variant.
+        let g = random_graph(180, 900, 41);
+        let csr = Csr::from_coo(&g);
+        let f = 8;
+        let x = random_halves(g.num_cols() * f, 1.0, 42);
+        let wvals = random_halves(g.nnz(), 1.0, 43);
+        let degrees = csr.degrees();
+        let scale = crate::common::row_scales_mean(&degrees);
+        let n = g.num_rows();
+        let cuts = [0, 61, 62, n / 2, n - 1, n];
+        let bits = |v: &[Half]| v.iter().map(|h| h.to_bits()).collect::<Vec<u16>>();
+
+        for cfg in [
+            SpmmConfig::default(),
+            SpmmConfig { scaling: ScalePlacement::PostReduction, ..Default::default() },
+            SpmmConfig { writes: WriteStrategy::Atomic, ..Default::default() },
+        ] {
+            let (full, _) =
+                spmm(&dev(), &g, EdgeWeights::Values(&wvals), &x, f, Some(&scale), &cfg);
+            let mut pasted = vec![Half::ZERO; n * f];
+            for win in cuts.windows(2) {
+                let (r0, r1) = (win[0], win[1]);
+                let (part, _) = spmm_window(
+                    &dev(),
+                    &g,
+                    EdgeWeights::Values(&wvals),
+                    &x,
+                    f,
+                    Some(&scale),
+                    &cfg,
+                    (r0, r1),
+                );
+                assert!(part[..r0 * f].iter().chain(&part[r1 * f..]).all(|h| h.is_zero()));
+                pasted[r0 * f..r1 * f].copy_from_slice(&part[r0 * f..r1 * f]);
+            }
+            assert_eq!(bits(&full), bits(&pasted), "spmm window mismatch ({cfg:?})");
+        }
+
+        for op in [Reduce::Sum, Reduce::Max] {
+            let (full, _) = edge_reduce(&dev(), &g, &wvals, op);
+            let mut pasted = vec![Half::ZERO; n];
+            for win in cuts.windows(2) {
+                let (part, _) = edge_reduce_window(&dev(), &g, &wvals, op, (win[0], win[1]));
+                pasted[win[0]..win[1]].copy_from_slice(&part[win[0]..win[1]]);
+            }
+            assert_eq!(bits(&full), bits(&pasted), "edge_reduce window mismatch ({op:?})");
+        }
+
+        let (full, _) = spmm_vertex_parallel(
+            &dev(),
+            &csr,
+            EdgeWeights::Ones,
+            &x,
+            f,
+            Some(&scale),
+            ScalePlacement::Discretized,
+        );
+        let mut pasted = vec![Half::ZERO; n * f];
+        for win in cuts.windows(2) {
+            let (part, _) = spmm_vertex_parallel_window(
+                &dev(),
+                &csr,
+                EdgeWeights::Ones,
+                &x,
+                f,
+                Some(&scale),
+                ScalePlacement::Discretized,
+                (win[0], win[1]),
+            );
+            pasted[win[0] * f..win[1] * f].copy_from_slice(&part[win[0] * f..win[1] * f]);
+        }
+        assert_eq!(bits(&full), bits(&pasted), "vertex-parallel window mismatch");
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 pub mod baseline;
 pub mod common;
+pub mod dist;
 pub mod edge_ops;
 pub mod fused;
 pub mod halfgnn_sddmm;

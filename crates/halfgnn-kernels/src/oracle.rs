@@ -25,7 +25,7 @@
 use crate::baseline::cusparse::EdgeWeightsF32;
 use crate::common::{EdgeWeights, Reduce, ScalePlacement, VectorWidth};
 use crate::halfgnn_spmm::SpmmConfig;
-use crate::{baseline, edge_ops, fused, halfgnn_sddmm, halfgnn_spmm, huang, reference};
+use crate::{baseline, dist, edge_ops, fused, halfgnn_sddmm, halfgnn_spmm, huang, reference};
 use halfgnn_graph::{Coo, Csr};
 use halfgnn_half::Half;
 use halfgnn_sim::{DeviceConfig, KernelStats};
@@ -885,6 +885,51 @@ pub fn check_edge_reduce_f32(
     (got, stats, report)
 }
 
+/// Oracle for [`dist::halo_gather_half`]: the reference is direct f64
+/// indexing of the named rows, so any tolerance violation is a packing
+/// bug, not rounding (the gather copies bits).
+pub fn check_halo_gather(
+    dev: &DeviceConfig,
+    x: &[Half],
+    f: usize,
+    halo: &[u32],
+    tol: Tolerance,
+) -> (Vec<Half>, KernelStats, DivergenceReport) {
+    let (got, stats) = dist::halo_gather_half(dev, x, f, halo);
+    let mut want = Vec::with_capacity(halo.len() * f);
+    for &v in halo {
+        want.extend(x[v as usize * f..(v as usize + 1) * f].iter().map(|h| h.to_f64()));
+    }
+    // Degree context is meaningless for a gather; every packed row reads 1.
+    let degrees = vec![1u32; halo.len()];
+    let report = compare_half(
+        "halo_gather_f16",
+        &got,
+        &want,
+        &Layout::RowMajor { f, degrees: &degrees },
+        tol,
+    );
+    (got, stats, report)
+}
+
+/// Oracle for [`dist::allreduce_f16_discretized`]: the reference is the
+/// exact f64 sum of the shard partials; divergence beyond the half band
+/// means the discretized exponent or the wire accumulation is wrong.
+pub fn check_allreduce_f16(
+    dev: &DeviceConfig,
+    partials: &[Vec<f32>],
+    bucket: usize,
+    tol: Tolerance,
+) -> (Vec<f32>, KernelStats, DivergenceReport) {
+    let (got, stats) = dist::allreduce_f16_discretized(dev, partials, bucket);
+    let n = partials.first().map_or(0, Vec::len);
+    let want: Vec<f64> = (0..n).map(|i| partials.iter().map(|p| p[i] as f64).sum()).collect();
+    let degrees = vec![partials.len() as u32; n];
+    let report =
+        compare_f32("allreduce_f16_disc", &got, &want, &Layout::PerRow { degrees: &degrees }, tol);
+    (got, stats, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1090,6 +1135,10 @@ mod tests {
         check_fused_softmax_grad(&d, &g, &fwd.alpha, &wh, &fwd.e, 0.2, tol_h).2.assert_ok();
         check_edge_reduce_f32(&d, &g, &wf, Reduce::Sum, tol_f).2.assert_ok();
         check_edge_reduce_f32(&d, &g, &wf, Reduce::Max, tol_f).2.assert_ok();
+        let halo: Vec<u32> = (0..g.num_cols() as u32).step_by(7).collect();
+        check_halo_gather(&d, &xh, f, &halo, tol_h).2.assert_ok();
+        let partials: Vec<Vec<f32>> = (0..3).map(|_| wf.clone()).collect();
+        check_allreduce_f16(&d, &partials, 64, tol_h).2.assert_ok();
     }
 
     #[test]

@@ -16,6 +16,7 @@ use halfgnn_graph::{Csr, VertexId};
 use halfgnn_half::slice::f32_slice_to_half;
 use halfgnn_half::Half;
 use halfgnn_kernels::common::{EdgeWeights, Reduce, ScalePlacement, VectorWidth};
+use halfgnn_kernels::halfgnn_sddmm::SddmmConfig;
 use halfgnn_kernels::{edge_ops, halfgnn_sddmm, halfgnn_spmm};
 use halfgnn_sim::{DeviceConfig, ExecMode};
 use proptest::prelude::*;
@@ -103,6 +104,57 @@ proptest! {
         let want = run(&sim);
         for fast in &fasts {
             prop_assert_eq!(bits(&want), bits(&run(fast)), "exec={:?}", fast.exec);
+        }
+    }
+
+    #[test]
+    fn windowed_kernels_are_bit_identical_across_backends((csr, f, x, w) in arb_case()) {
+        // The sharded path runs these per-shard windows on whatever
+        // backend the device is configured with, so the determinism
+        // contract must hold window-by-window, not just for full
+        // launches: every window must agree bit-for-bit between Sim and
+        // Fast at 1/2/auto workers, and (window ⊂ full) must be a bitwise
+        // slice on both backends.
+        let (sim, fasts) = devices();
+        let coo = csr.to_coo();
+        let n = coo.num_rows();
+        let nnz = coo.nnz();
+        let cfg = halfgnn_spmm::SpmmConfig { scaling: ScalePlacement::None, ..Default::default() };
+        let (full, _) = halfgnn_spmm::spmm(&sim, &coo, EdgeWeights::Values(&w), &x, f, None, &cfg);
+
+        let row_cuts = [0, n / 3, 2 * n / 3, n];
+        for win in row_cuts.windows(2) {
+            let rw = (win[0], win[1]);
+            let (want_spmm, _) = halfgnn_spmm::spmm_window(
+                &sim, &coo, EdgeWeights::Values(&w), &x, f, None, &cfg, rw,
+            );
+            let (want_red, _) =
+                halfgnn_spmm::edge_reduce_window(&sim, &coo, &w, Reduce::Max, rw);
+            prop_assert_eq!(
+                &bits(&want_spmm)[rw.0 * f..rw.1 * f],
+                &bits(&full)[rw.0 * f..rw.1 * f],
+                "window {:?} is not a slice of the full launch", rw
+            );
+            for fast in &fasts {
+                let (got_spmm, _) = halfgnn_spmm::spmm_window(
+                    fast, &coo, EdgeWeights::Values(&w), &x, f, None, &cfg, rw,
+                );
+                prop_assert_eq!(bits(&want_spmm), bits(&got_spmm), "spmm {:?} {:?}", rw, fast.exec);
+                let (got_red, _) =
+                    halfgnn_spmm::edge_reduce_window(fast, &coo, &w, Reduce::Max, rw);
+                prop_assert_eq!(bits(&want_red), bits(&got_red), "reduce {:?} {:?}", rw, fast.exec);
+            }
+        }
+
+        let sddmm_cfg = SddmmConfig::widest_for(f);
+        let edge_cuts = [0, nnz / 3, 2 * nnz / 3, nnz];
+        for win in edge_cuts.windows(2) {
+            let ew = (win[0], win[1]);
+            let (want, _) = halfgnn_sddmm::sddmm_window(&sim, &coo, &x, &x, f, &sddmm_cfg, ew);
+            for fast in &fasts {
+                let (got, _) = halfgnn_sddmm::sddmm_window(fast, &coo, &x, &x, f, &sddmm_cfg, ew);
+                prop_assert_eq!(bits(&want), bits(&got), "sddmm {:?} {:?}", ew, fast.exec);
+            }
         }
     }
 

@@ -1,0 +1,203 @@
+//! Sharded-training context: the partition plan, the interconnect cost
+//! model, and the comms ledger, bundled so the dispatch layer can charge
+//! every halo exchange and gradient all-reduce of a step.
+//!
+//! The execution model is 1D vertex sharding (DESIGN.md §12): every device
+//! owns a contiguous global row range and runs the *global* kernel tiling
+//! clamped to its window, so sharded outputs are bitwise slices of the
+//! single-device run. Communication is therefore the only thing that
+//! changes with the shard count — and it is exactly what this context
+//! meters: per-layer halo feature exchanges (2 bytes/element in half
+//! modes, 4 in float — the FP16 comms win) and per-step gradient
+//! all-reduces (f16 wire with discretized per-bucket scaling in half
+//! modes, f32 wire in float).
+
+use halfgnn_graph::partition::{partition, PartitionStrategy, Shard, ShardPlan};
+use halfgnn_graph::Csr;
+use halfgnn_half::Half;
+use halfgnn_kernels::dist as dist_kernels;
+use halfgnn_sim::interconnect::{CommsLedger, Interconnect, Topology, TrafficClass};
+use halfgnn_tensor::Ops;
+use std::cell::RefCell;
+
+/// Gradient all-reduce bucket size (elements sharing one discretized
+/// exponent on the f16 wire). 64 matches the kernel tests and keeps the
+/// shared exponent local enough that small gradients aren't crushed by a
+/// distant hub gradient in the same bucket.
+pub const ALLREDUCE_BUCKET: usize = 64;
+
+/// Everything the dispatch layer needs to run and cost one step of
+/// sharded training.
+pub struct DistCtx {
+    /// The 1D vertex partition.
+    pub plan: ShardPlan,
+    /// Link latency/bandwidth + topology.
+    pub interconnect: Interconnect,
+    /// Accumulated comms charges (reset per epoch by the trainer).
+    pub ledger: RefCell<CommsLedger>,
+}
+
+impl DistCtx {
+    /// Partition `csr` over `shards` simulated devices.
+    pub fn new(
+        csr: &Csr,
+        shards: usize,
+        strategy: PartitionStrategy,
+        topology: Topology,
+    ) -> DistCtx {
+        DistCtx {
+            plan: partition(csr, shards, strategy),
+            interconnect: Interconnect::nvlink_like(shards, topology),
+            ledger: RefCell::new(CommsLedger::new()),
+        }
+    }
+
+    /// Number of simulated devices.
+    pub fn num_shards(&self) -> usize {
+        self.plan.num_shards()
+    }
+
+    /// Drop the ledger's accumulated charges (per-epoch reuse).
+    pub fn reset_epoch(&self) {
+        self.ledger.borrow_mut().reset();
+    }
+
+    /// Snapshot of the accumulated comms charges.
+    pub fn snapshot(&self) -> CommsLedger {
+        self.ledger.borrow().clone()
+    }
+
+    /// Charge `shard`'s halo feature exchange: each owner shard sends its
+    /// share of the halo rows as one `rows · f · elem_bytes` message.
+    fn charge_halo(&self, shard: &Shard, f: usize, elem_bytes: usize) {
+        let mut ledger = self.ledger.borrow_mut();
+        for (src, rows) in self.plan.halo_sources(shard.index) {
+            ledger.message(
+                &self.interconnect,
+                TrafficClass::Halo,
+                src,
+                shard.index,
+                (rows * f * elem_bytes) as u64,
+            );
+        }
+    }
+
+    /// Run `shard`'s half halo gather (pack the remote rows it needs into
+    /// the wire buffer) and charge the exchange. Returns the wire buffer.
+    pub fn exchange_halo_half(
+        &self,
+        ops: &mut Ops,
+        x: &[Half],
+        f: usize,
+        shard: &Shard,
+    ) -> Vec<Half> {
+        let (wire, stats) = dist_kernels::halo_gather_half(ops.dev, x, f, &shard.halo);
+        ops.record(stats);
+        self.charge_halo(shard, f, 2);
+        wire
+    }
+
+    /// [`Self::exchange_halo_half`] for the float pipeline: same rows,
+    /// twice the bytes on every link.
+    pub fn exchange_halo_f32(&self, ops: &mut Ops, x: &[f32], f: usize, shard: &Shard) -> Vec<f32> {
+        let (wire, stats) = dist_kernels::halo_gather_f32(ops.dev, x, f, &shard.halo);
+        ops.record(stats);
+        self.charge_halo(shard, f, 4);
+        wire
+    }
+
+    /// All-reduce per-shard half gradient partials over the f16 wire with
+    /// discretized per-bucket scaling, charging the topology's all-reduce
+    /// traffic. Returns the reduced gradient in half (the mode's gradient
+    /// dtype); the power-of-two dequantization means no overflow events by
+    /// construction, whatever the hub gradients look like.
+    pub fn allreduce_grad_half(&self, ops: &mut Ops, partials: &[Vec<Half>]) -> Vec<Half> {
+        let f32_partials: Vec<Vec<f32>> = partials.iter().map(|p| ops.to_f32(p)).collect();
+        let reduced = self.allreduce_f32_on_f16_wire(ops, &f32_partials);
+        ops.to_half(&reduced)
+    }
+
+    /// [`Self::allreduce_grad_half`] for f32-valued partials (bias
+    /// gradients are accumulated in f32): the wire is still half — each
+    /// shard's contribution is quantized to f16 under the bucket's shared
+    /// discretized exponent — so the traffic charge is 2 bytes/element.
+    pub fn allreduce_f32_on_f16_wire(&self, ops: &mut Ops, partials: &[Vec<f32>]) -> Vec<f32> {
+        let (reduced, stats) =
+            dist_kernels::allreduce_f16_discretized(ops.dev, partials, ALLREDUCE_BUCKET);
+        ops.record(stats);
+        let n = reduced.len();
+        self.ledger.borrow_mut().all_reduce(&self.interconnect, (n * 2) as u64);
+        reduced
+    }
+
+    /// Charge (only) the float gradient all-reduce: the functional value
+    /// is the exact global reduction the single-device step already
+    /// computed, so float sharded training stays bit-identical; the f32
+    /// wire moves twice the bytes of the half path.
+    pub fn charge_allreduce_f32(&self, elems: usize) {
+        self.ledger.borrow_mut().all_reduce(&self.interconnect, (elems * 4) as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halfgnn_half::slice::f32_slice_to_half;
+    use halfgnn_sim::DeviceConfig;
+
+    fn ctx(shards: usize, topology: Topology) -> DistCtx {
+        let csr = Csr::from_edges(8, 8, &[(0, 5), (1, 6), (2, 7), (5, 0), (6, 1), (7, 2)])
+            .symmetrized_with_self_loops();
+        DistCtx::new(&csr, shards, PartitionStrategy::Contiguous, topology)
+    }
+
+    #[test]
+    fn halo_exchange_charges_half_the_bytes_in_half() {
+        let dev = DeviceConfig::a100_like();
+        let c = ctx(2, Topology::Ring);
+        let f = 4;
+        let xf: Vec<f32> = (0..8 * f).map(|i| i as f32 * 0.1).collect();
+        let xh = f32_slice_to_half(&xf);
+        let mut ops = Ops::new(&dev);
+        for s in &c.plan.shards {
+            c.exchange_halo_half(&mut ops, &xh, f, s);
+        }
+        let half_bytes = c.snapshot().halo_bytes;
+        c.reset_epoch();
+        for s in &c.plan.shards {
+            c.exchange_halo_f32(&mut ops, &xf, f, s);
+        }
+        let float_bytes = c.snapshot().halo_bytes;
+        assert!(half_bytes > 0);
+        assert_eq!(float_bytes, 2 * half_bytes);
+    }
+
+    #[test]
+    fn allreduce_reduces_and_charges() {
+        let dev = DeviceConfig::a100_like();
+        let c = ctx(4, Topology::AllToAll);
+        let mut ops = Ops::new(&dev);
+        let partials: Vec<Vec<Half>> =
+            (0..4).map(|s| f32_slice_to_half(&vec![0.25 * (s + 1) as f32; 100])).collect();
+        let got = c.allreduce_grad_half(&mut ops, &partials);
+        for v in &got {
+            assert!((v.to_f32() - 2.5).abs() < 0.05, "{v}");
+        }
+        assert!(c.snapshot().allreduce_bytes > 0);
+    }
+
+    #[test]
+    fn single_shard_has_no_traffic() {
+        let dev = DeviceConfig::a100_like();
+        let c = ctx(1, Topology::Ring);
+        let f = 2;
+        let xh = f32_slice_to_half(&vec![1.0; 8 * f]);
+        let mut ops = Ops::new(&dev);
+        for s in &c.plan.shards {
+            assert!(s.halo.is_empty(), "one shard owns everything");
+            c.exchange_halo_half(&mut ops, &xh, f, s);
+        }
+        c.charge_allreduce_f32(100);
+        assert_eq!(c.snapshot().total_bytes(), 0);
+    }
+}

@@ -23,13 +23,13 @@
 use crate::gcn::StepOutput;
 use crate::graphdata::PreparedGraph;
 use crate::models::{
-    edge_reduce_f32, edge_reduce_half, sddmm_f32, sddmm_half, spmmve_f32, spmmve_half, Dispatch,
-    PrecisionMode,
+    edge_reduce_f32, edge_reduce_half, fused_attn_forward, fused_softmax_grad, grad_gemm_f32,
+    grad_gemm_half, sddmm_f32, sddmm_half, spmmve_f32, spmmve_half, Dispatch, PrecisionMode,
 };
 use crate::params::{GatGrads, GatParams};
 use halfgnn_half::Half;
 use halfgnn_kernels::common::Reduce;
-use halfgnn_kernels::{edge_ops, fused};
+use halfgnn_kernels::edge_ops;
 use halfgnn_tensor::Ops;
 
 /// LeakyReLU slope for attention logits (the GAT paper's 0.2).
@@ -53,6 +53,7 @@ fn layer_forward_f32(
     a_dst: &[f32],
     f_in: usize,
     f_out: usize,
+    d: Dispatch<'_>,
 ) -> LayerStateF32 {
     let n = g.n();
     let z = ops.gemm_f32(x, false, w, false, n, f_in, f_out);
@@ -60,13 +61,13 @@ fn layer_forward_f32(
     let s_dst = ops.gemm_f32(&z, false, a_dst, false, n, f_out, 1);
     let (e, st) = edge_ops::src_dst_add_leakyrelu_f32(ops.dev, &g.coo, &s_dst, &s_src, ATTN_SLOPE);
     ops.record(st);
-    let m = edge_reduce_f32(ops, g, &e, Reduce::Max);
+    let m = edge_reduce_f32(ops, g, &e, Reduce::Max, d);
     let (en, st) = edge_ops::sub_row_exp_f32(ops.dev, &g.coo, &e, &m);
     ops.record(st);
-    let zs = edge_reduce_f32(ops, g, &en, Reduce::Sum);
+    let zs = edge_reduce_f32(ops, g, &en, Reduce::Sum, d);
     let (alpha, st) = edge_ops::div_row_f32(ops.dev, &g.coo, &en, &zs);
     ops.record(st);
-    let out = spmmve_f32(ops, g, &alpha, &z, f_out);
+    let out = spmmve_f32(ops, g, &alpha, &z, f_out, d);
     LayerStateF32 { z, e, alpha, out }
 }
 
@@ -83,17 +84,18 @@ fn layer_backward_f32(
     dh: &[f32],
     f_in: usize,
     f_out: usize,
+    d: Dispatch<'_>,
 ) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
     let n = g.n();
     // Aggregation adjoint: δz += Σ_i α_ij δh_i (SpMMve on Âᵀ with permuted α).
     let alpha_t = g.permute_to_transpose(&state.alpha);
-    let dz_agg = spmmve_f32(ops, g, &alpha_t, dh, f_out);
+    let dz_agg = spmmve_f32(ops, g, &alpha_t, dh, f_out, d);
     // δα_ij = dot(δh_i, z_j): the SDDMM of §2.1.2.
-    let dalpha = sddmm_f32(ops, g, dh, &state.z, f_out);
+    let dalpha = sddmm_f32(ops, g, dh, &state.z, f_out, d);
     // Edge-softmax backward.
     let (prod, st) = edge_ops::mul_f32(ops.dev, &g.coo, &state.alpha, &dalpha);
     ops.record(st);
-    let t = edge_reduce_f32(ops, g, &prod, Reduce::Sum);
+    let t = edge_reduce_f32(ops, g, &prod, Reduce::Sum, d);
     let (de_soft, st) = edge_ops::softmax_grad_f32(ops.dev, &g.coo, &state.alpha, &dalpha, &t);
     ops.record(st);
     // LeakyReLU gate: sign(post) == sign(pre) for slope > 0, so the saved
@@ -101,19 +103,20 @@ fn layer_backward_f32(
     let (de, st) = edge_ops::leakyrelu_grad_f32(ops.dev, &g.coo, &state.e, &de_soft, ATTN_SLOPE);
     ops.record(st);
     // δs_dst[i] = Σ_j δe_ij ; δs_src[j] = Σ_i δe_ij (reduce on Âᵀ).
-    let ds_dst = edge_reduce_f32(ops, g, &de, Reduce::Sum);
+    let ds_dst = edge_reduce_f32(ops, g, &de, Reduce::Sum, d);
     let de_t = g.permute_to_transpose(&de);
-    let ds_src = edge_reduce_f32(ops, g, &de_t, Reduce::Sum);
+    let ds_src = edge_reduce_f32(ops, g, &de_t, Reduce::Sum, d);
     // δz = δz_agg + δs_dst ⊗ a_dst + δs_src ⊗ a_src.
     let outer_dst = ops.gemm_f32(&ds_dst, false, a_dst, true, n, 1, f_out);
     let outer_src = ops.gemm_f32(&ds_src, false, a_src, true, n, 1, f_out);
     let mut dz = dz_agg;
     let tmp = ops.scale_add_f32(1.0, &dz, 1.0, &outer_dst);
     dz = ops.scale_add_f32(1.0, &tmp, 1.0, &outer_src);
-    // Parameter and input gradients.
-    let da_dst = ops.gemm_f32(&state.z, true, &ds_dst, false, f_out, n, 1);
-    let da_src = ops.gemm_f32(&state.z, true, &ds_src, false, f_out, n, 1);
-    let dw = ops.gemm_f32(x, true, &dz, false, f_in, n, f_out);
+    // Parameter and input gradients (vertex contractions → all-reduced
+    // when sharded).
+    let da_dst = grad_gemm_f32(ops, &state.z, &ds_dst, f_out, n, 1, d);
+    let da_src = grad_gemm_f32(ops, &state.z, &ds_src, f_out, n, 1, d);
+    let dw = grad_gemm_f32(ops, x, &dz, f_in, n, f_out, d);
     let dx = ops.gemm_f32(&dz, false, w, true, n, f_out, f_in);
     (dx, dw, da_src, da_dst)
 }
@@ -127,18 +130,32 @@ pub fn step_f32(
     labels: &[u32],
     mask: &[bool],
 ) -> StepOutput<GatGrads> {
+    step_f32_dist(ops, g, p, x, labels, mask, Dispatch::untuned(PrecisionMode::Float))
+}
+
+/// [`step_f32`] with an explicit dispatch (the float path only consults
+/// its `dist` context).
+pub fn step_f32_dist(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    p: &GatParams,
+    x: &[f32],
+    labels: &[u32],
+    mask: &[bool],
+    d: Dispatch<'_>,
+) -> StepOutput<GatGrads> {
     let (f_in, h, c) = (p.f_in, p.hidden, p.classes);
-    let l1 = layer_forward_f32(ops, g, x, &p.w1, &p.a_src1, &p.a_dst1, f_in, h);
+    let l1 = layer_forward_f32(ops, g, x, &p.w1, &p.a_src1, &p.a_dst1, f_in, h, d);
     let h1 = ops.relu_f32(&l1.out);
-    let l2 = layer_forward_f32(ops, g, &h1, &p.w2, &p.a_src2, &p.a_dst2, h, c);
+    let l2 = layer_forward_f32(ops, g, &h1, &p.w2, &p.a_src2, &p.a_dst2, h, c, d);
     let logits = l2.out.clone();
     let (loss, dlogits, correct) = ops.softmax_xent_f32(&logits, labels, mask, c);
 
     let (dh1, dw2, da_src2, da_dst2) =
-        layer_backward_f32(ops, g, &l2, &h1, &p.w2, &p.a_src2, &p.a_dst2, &dlogits, h, c);
+        layer_backward_f32(ops, g, &l2, &h1, &p.w2, &p.a_src2, &p.a_dst2, &dlogits, h, c, d);
     let dl1 = ops.relu_grad_f32(&l1.out, &dh1);
     let (_, dw1, da_src1, da_dst1) =
-        layer_backward_f32(ops, g, &l1, x, &p.w1, &p.a_src1, &p.a_dst1, &dl1, f_in, h);
+        layer_backward_f32(ops, g, &l1, x, &p.w1, &p.a_src1, &p.a_dst1, &dl1, f_in, h, d);
 
     StepOutput {
         loss,
@@ -184,14 +201,12 @@ fn layer_forward_half(
         // One pass over the edges: scores, running row-max, shadow exp,
         // row-sum, normalize, aggregate. The kernel's own provenance site
         // nests under the ambient layer site ("gat.layerN/fused_attn").
-        let (fwd, st) =
-            fused::fused_attn_forward(ops.dev, &g.coo, &s_dst, &s_src, ATTN_SLOPE, &z, f_out);
-        ops.record(st);
+        let fwd = fused_attn_forward(ops, g, &s_dst, &s_src, ATTN_SLOPE, &z, f_out, d);
         return LayerStateHalf { z, e: fwd.e, alpha: fwd.alpha, out: fwd.out };
     }
     let (e, st) = edge_ops::src_dst_add_leakyrelu(ops.dev, &g.coo, &s_dst, &s_src, ATTN_SLOPE);
     ops.record(st);
-    let m = edge_reduce_half(ops, g, &e, Reduce::Max);
+    let m = edge_reduce_half(ops, g, &e, Reduce::Max, d);
     // §3.1.2 / §5.3: AMP promotes exp to float with a tensor round trip;
     // the shadow API stays in half because e − m ≤ 0.
     let (en, st) = edge_ops::sub_row_exp(ops.dev, &g.coo, &e, &m, shadow);
@@ -201,7 +216,7 @@ fn layer_forward_half(
         ops.tensor_conversions += 2;
         ops.converted_elems += 2 * g.nnz() as u64;
     }
-    let zs = edge_reduce_half(ops, g, &en, Reduce::Sum);
+    let zs = edge_reduce_half(ops, g, &en, Reduce::Sum, d);
     let (alpha, st) = edge_ops::div_row(ops.dev, &g.coo, &en, &zs);
     ops.record(st);
     let out = spmmve_half(ops, g, &alpha, &z, f_out, d);
@@ -229,31 +244,28 @@ fn layer_backward_half(
     let de = if d.attn_fused(g, f_out) {
         // Fused edge-softmax backward: t stays register-resident, one
         // kernel instead of mul → reduce → softmax_grad → leakyrelu_grad.
-        let (de, st) =
-            fused::fused_softmax_grad(ops.dev, &g.coo, &state.alpha, &dalpha, &state.e, ATTN_SLOPE);
-        ops.record(st);
-        de
+        fused_softmax_grad(ops, g, &state.alpha, &dalpha, &state.e, ATTN_SLOPE, d)
     } else {
         let (prod, st) = edge_ops::mul(ops.dev, &g.coo, &state.alpha, &dalpha);
         ops.record(st);
-        let t = edge_reduce_half(ops, g, &prod, Reduce::Sum);
+        let t = edge_reduce_half(ops, g, &prod, Reduce::Sum, d);
         let (de_soft, st) = edge_ops::softmax_grad(ops.dev, &g.coo, &state.alpha, &dalpha, &t);
         ops.record(st);
         let (de, st) = edge_ops::leakyrelu_grad(ops.dev, &g.coo, &state.e, &de_soft, ATTN_SLOPE);
         ops.record(st);
         de
     };
-    let ds_dst = edge_reduce_half(ops, g, &de, Reduce::Sum);
+    let ds_dst = edge_reduce_half(ops, g, &de, Reduce::Sum, d);
     let de_t = g.permute_to_transpose(&de);
-    let ds_src = edge_reduce_half(ops, g, &de_t, Reduce::Sum);
+    let ds_src = edge_reduce_half(ops, g, &de_t, Reduce::Sum, d);
     let outer_dst = ops.gemm_half(&ds_dst, false, a_dst, true, n, 1, f_out);
     let outer_src = ops.gemm_half(&ds_src, false, a_src, true, n, 1, f_out);
     let one = Half::ONE;
     let tmp = ops.scale_add_half(one, &dz_agg, one, &outer_dst);
     let dz = ops.scale_add_half(one, &tmp, one, &outer_src);
-    let da_dst = ops.gemm_half(&state.z, true, &ds_dst, false, f_out, n, 1);
-    let da_src = ops.gemm_half(&state.z, true, &ds_src, false, f_out, n, 1);
-    let dw = ops.gemm_half(x, true, &dz, false, f_in, n, f_out);
+    let da_dst = grad_gemm_half(ops, &state.z, &ds_dst, f_out, n, 1, d);
+    let da_src = grad_gemm_half(ops, &state.z, &ds_src, f_out, n, 1, d);
+    let dw = grad_gemm_half(ops, x, &dz, f_in, n, f_out, d);
     let dx = ops.gemm_half(&dz, false, w, true, n, f_out, f_in);
     (dx, dw, da_src, da_dst)
 }
@@ -441,23 +453,25 @@ pub fn step_f32_multihead(
 ) -> StepOutput<MultiHeadGatGrads> {
     let n = g.n();
     let (f_in, d, c) = (p.f_in, p.head_dim(), p.classes);
+    let fd32 = Dispatch::untuned(PrecisionMode::Float);
 
     // ---- Layer 1: independent heads, then concat + ReLU.
     let states: Vec<LayerStateF32> = (0..p.heads)
-        .map(|h| layer_forward_f32(ops, g, x, &p.w1[h], &p.a_src1[h], &p.a_dst1[h], f_in, d))
+        .map(|h| layer_forward_f32(ops, g, x, &p.w1[h], &p.a_src1[h], &p.a_dst1[h], f_in, d, fd32))
         .collect();
     let head_outs: Vec<Vec<f32>> = states.iter().map(|s| s.out.clone()).collect();
     let cat = concat_heads(&head_outs, n, d);
     let h1 = ops.relu_f32(&cat);
 
     // ---- Layer 2: single head over the concatenated features.
-    let l2 = layer_forward_f32(ops, g, &h1, &p.w2, &p.a_src2, &p.a_dst2, p.hidden, c);
+    let l2 = layer_forward_f32(ops, g, &h1, &p.w2, &p.a_src2, &p.a_dst2, p.hidden, c, fd32);
     let logits = l2.out.clone();
     let (loss, dlogits, correct) = ops.softmax_xent_f32(&logits, labels, mask, c);
 
     // ---- Backward.
-    let (dh1, dw2, da_src2, da_dst2) =
-        layer_backward_f32(ops, g, &l2, &h1, &p.w2, &p.a_src2, &p.a_dst2, &dlogits, p.hidden, c);
+    let (dh1, dw2, da_src2, da_dst2) = layer_backward_f32(
+        ops, g, &l2, &h1, &p.w2, &p.a_src2, &p.a_dst2, &dlogits, p.hidden, c, fd32,
+    );
     let dcat = ops.relu_grad_f32(&cat, &dh1);
     let per_head = split_heads(&dcat, n, p.heads, d);
     let mut grads = MultiHeadGatGrads {
@@ -480,6 +494,7 @@ pub fn step_f32_multihead(
             &per_head[h],
             f_in,
             d,
+            fd32,
         );
         grads.w1.push(dw);
         grads.a_src1.push(dasrc);

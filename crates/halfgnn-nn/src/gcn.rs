@@ -12,7 +12,8 @@
 
 use crate::graphdata::PreparedGraph;
 use crate::models::{
-    gcn_agg_backward_f32, gcn_agg_backward_half, gcn_agg_f32, gcn_agg_half, Dispatch, GcnNorm,
+    gcn_agg_backward_f32, gcn_agg_backward_half, gcn_agg_f32, gcn_agg_half, grad_colsum_f32,
+    grad_colsum_half, grad_gemm_f32, grad_gemm_half, Dispatch, GcnNorm, PrecisionMode,
 };
 use crate::params::{TwoLayerGrads, TwoLayerParams};
 use halfgnn_tensor::Ops;
@@ -45,10 +46,21 @@ pub fn step_f32(
     labels: &[u32],
     mask: &[bool],
 ) -> StepOutput<TwoLayerGrads> {
-    step_f32_norm(ops, g, p, x, labels, mask, GcnNorm::Right)
+    step_f32_norm(
+        ops,
+        g,
+        p,
+        x,
+        labels,
+        mask,
+        Dispatch::untuned(PrecisionMode::Float),
+        GcnNorm::Right,
+    )
 }
 
-/// [`step_f32`] with an explicit degree-norm placement (§3.1.3 ablations).
+/// [`step_f32`] with an explicit degree-norm placement (§3.1.3 ablations)
+/// and dispatch (the float path only consults its `dist` context).
+#[allow(clippy::too_many_arguments)]
 pub fn step_f32_norm(
     ops: &mut Ops,
     g: &PreparedGraph,
@@ -56,6 +68,7 @@ pub fn step_f32_norm(
     x: &[f32],
     labels: &[u32],
     mask: &[bool],
+    d: Dispatch<'_>,
     norm: GcnNorm,
 ) -> StepOutput<TwoLayerGrads> {
     let n = g.n();
@@ -65,38 +78,38 @@ pub fn step_f32_norm(
     // ---- Forward.
     // `lin_in` is whatever feeds layer 1's GeMM: X or Â·X.
     let (lin_in, a1) = if aggregate_first {
-        let ax = gcn_agg_f32(ops, g, x, f_in, norm);
+        let ax = gcn_agg_f32(ops, g, x, f_in, norm, d);
         let z1 = ops.gemm_f32(&ax, false, &p.w1, false, n, f_in, h);
         let a1 = ops.bias_add_f32(&z1, &p.b1);
         (ax, a1)
     } else {
         let z1 = ops.gemm_f32(x, false, &p.w1, false, n, f_in, h);
         let z1 = ops.bias_add_f32(&z1, &p.b1);
-        let a1 = gcn_agg_f32(ops, g, &z1, h, norm);
+        let a1 = gcn_agg_f32(ops, g, &z1, h, norm, d);
         (x.to_vec(), a1)
     };
     let h1 = ops.relu_f32(&a1);
     let z2 = ops.gemm_f32(&h1, false, &p.w2, false, n, h, c);
     let z2 = ops.bias_add_f32(&z2, &p.b2);
-    let logits = gcn_agg_f32(ops, g, &z2, c, norm);
+    let logits = gcn_agg_f32(ops, g, &z2, c, norm, d);
 
     let (loss, dlogits, correct) = ops.softmax_xent_f32(&logits, labels, mask, c);
 
     // ---- Backward.
-    let dz2 = gcn_agg_backward_f32(ops, g, &dlogits, c, norm);
-    let dw2 = ops.gemm_f32(&h1, true, &dz2, false, h, n, c);
-    let db2 = ops.colsum_f32(&dz2, c);
+    let dz2 = gcn_agg_backward_f32(ops, g, &dlogits, c, norm, d);
+    let dw2 = grad_gemm_f32(ops, &h1, &dz2, h, n, c, d);
+    let db2 = grad_colsum_f32(ops, &dz2, c, d);
     let dh1 = ops.gemm_f32(&dz2, false, &p.w2, true, n, c, h);
     let da1 = ops.relu_grad_f32(&a1, &dh1);
     let (dw1, db1) = if aggregate_first {
         // a1 = agg(X)W + b: the SpMM is upstream of the GeMM, so δW = agg(X)ᵀ δa1.
-        let dw1 = ops.gemm_f32(&lin_in, true, &da1, false, f_in, n, h);
-        let db1 = ops.colsum_f32(&da1, h);
+        let dw1 = grad_gemm_f32(ops, &lin_in, &da1, f_in, n, h, d);
+        let db1 = grad_colsum_f32(ops, &da1, h, d);
         (dw1, db1)
     } else {
-        let dz1 = gcn_agg_backward_f32(ops, g, &da1, h, norm);
-        let dw1 = ops.gemm_f32(&lin_in, true, &dz1, false, f_in, n, h);
-        let db1 = ops.colsum_f32(&dz1, h);
+        let dz1 = gcn_agg_backward_f32(ops, g, &da1, h, norm, d);
+        let dw1 = grad_gemm_f32(ops, &lin_in, &dz1, f_in, n, h, d);
+        let db1 = grad_colsum_f32(ops, &dz1, h, d);
         (dw1, db1)
     };
 
@@ -183,18 +196,18 @@ pub fn step_half_norm(
     let _bwd = halfgnn_half::overflow::site("gcn.backward");
     let dout = ops.to_half(&dlogits);
     let dz2 = gcn_agg_backward_half(ops, g, &dout, c, norm, d);
-    let dw2h = ops.gemm_half(&h1, true, &dz2, false, h, n, c);
-    let db2 = ops.colsum_half(&dz2, c);
+    let dw2h = grad_gemm_half(ops, &h1, &dz2, h, n, c, d);
+    let db2 = grad_colsum_half(ops, &dz2, c, d);
     let dh1 = ops.gemm_half(&dz2, false, &w2h, true, n, c, h);
     let da1 = ops.relu_grad_half(&a1, &dh1);
     let (dw1h, db1) = if aggregate_first {
-        let dw1h = ops.gemm_half(&lin_in, true, &da1, false, f_in, n, h);
-        let db1 = ops.colsum_half(&da1, h);
+        let dw1h = grad_gemm_half(ops, &lin_in, &da1, f_in, n, h, d);
+        let db1 = grad_colsum_half(ops, &da1, h, d);
         (dw1h, db1)
     } else {
         let dz1 = gcn_agg_backward_half(ops, g, &da1, h, norm, d);
-        let dw1h = ops.gemm_half(&lin_in, true, &dz1, false, f_in, n, h);
-        let db1 = ops.colsum_half(&dz1, h);
+        let dw1h = grad_gemm_half(ops, &lin_in, &dz1, f_in, n, h, d);
+        let db1 = grad_colsum_half(ops, &dz1, h, d);
         (dw1h, db1)
     };
 
@@ -280,15 +293,16 @@ mod tests {
         let (g, x, labels, mask) = toy();
         let mut p = TwoLayerParams::new(8, 6, 2, 3);
         let eps = 1e-3;
+        let fd32 = Dispatch::untuned(PrecisionMode::Float);
         for norm in [GcnNorm::Right, GcnNorm::Left, GcnNorm::Both] {
             let mut ops = Ops::new(&dev);
-            let out = step_f32_norm(&mut ops, &g, &p, &x, &labels, &mask, norm);
+            let out = step_f32_norm(&mut ops, &g, &p, &x, &labels, &mask, fd32, norm);
             let idx = 5;
             let orig = p.w1[idx];
             p.w1[idx] = orig + eps;
-            let lp = step_f32_norm(&mut ops, &g, &p, &x, &labels, &mask, norm).loss;
+            let lp = step_f32_norm(&mut ops, &g, &p, &x, &labels, &mask, fd32, norm).loss;
             p.w1[idx] = orig - eps;
-            let lm = step_f32_norm(&mut ops, &g, &p, &x, &labels, &mask, norm).loss;
+            let lm = step_f32_norm(&mut ops, &g, &p, &x, &labels, &mask, fd32, norm).loss;
             p.w1[idx] = orig;
             let fd = (lp - lm) / (2.0 * eps);
             assert!(
@@ -312,9 +326,10 @@ mod tests {
         let g = PreparedGraph::new(&csr);
         let x: Vec<f32> = (0..n as usize * 4).map(|i| (i % 13) as f32 * 0.25 - 1.5).collect();
         let mut ops = Ops::new(&dev);
-        let r = crate::models::gcn_agg_f32(&mut ops, &g, &x, 4, GcnNorm::Right);
-        let l = crate::models::gcn_agg_f32(&mut ops, &g, &x, 4, GcnNorm::Left);
-        let b = crate::models::gcn_agg_f32(&mut ops, &g, &x, 4, GcnNorm::Both);
+        let fd32 = Dispatch::untuned(PrecisionMode::Float);
+        let r = crate::models::gcn_agg_f32(&mut ops, &g, &x, 4, GcnNorm::Right, fd32);
+        let l = crate::models::gcn_agg_f32(&mut ops, &g, &x, 4, GcnNorm::Left, fd32);
+        let b = crate::models::gcn_agg_f32(&mut ops, &g, &x, 4, GcnNorm::Both, fd32);
         for i in 0..r.len() {
             assert!((r[i] - l[i]).abs() < 1e-4, "right vs left at {i}");
             assert!((r[i] - b[i]).abs() < 1e-4, "right vs both at {i}");

@@ -16,7 +16,8 @@
 use crate::gcn::StepOutput;
 use crate::graphdata::PreparedGraph;
 use crate::models::{
-    spmm_mean_f32, spmm_mean_half, spmm_sum_f32, spmm_sum_half, Dispatch, PrecisionMode,
+    grad_colsum_f32, grad_colsum_half, grad_gemm_f32, grad_gemm_half, spmm_mean_f32,
+    spmm_mean_half, spmm_sum_f32, spmm_sum_half, Dispatch, PrecisionMode,
 };
 use crate::params::{TwoLayerGrads, TwoLayerParams};
 use halfgnn_half::Half;
@@ -38,17 +39,32 @@ pub fn step_f32(
     labels: &[u32],
     mask: &[bool],
 ) -> StepOutput<TwoLayerGrads> {
+    step_f32_dist(ops, g, p, x, labels, mask, Dispatch::untuned(PrecisionMode::Float))
+}
+
+/// [`step_f32`] with an explicit dispatch (the sharded trainer threads a
+/// [`crate::dist::DistCtx`] through it).
+#[allow(clippy::too_many_arguments)]
+pub fn step_f32_dist(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    p: &TwoLayerParams,
+    x: &[f32],
+    labels: &[u32],
+    mask: &[bool],
+    d: Dispatch<'_>,
+) -> StepOutput<TwoLayerGrads> {
     let n = g.n();
     let (f_in, h, c) = (p.f_in, p.hidden, p.classes);
     let one_eps = 1.0 + GIN_EPS;
 
     // ---- Forward.
-    let agg1 = spmm_mean_f32(ops, g, x, f_in);
+    let agg1 = spmm_mean_f32(ops, g, x, f_in, d);
     let comb1 = ops.scale_add_f32(one_eps, x, 1.0, &agg1);
     let z1 = ops.gemm_f32(&comb1, false, &p.w1, false, n, f_in, h);
     let z1 = ops.bias_add_f32(&z1, &p.b1);
     let h1 = ops.relu_f32(&z1);
-    let agg2 = spmm_mean_f32(ops, g, &h1, h);
+    let agg2 = spmm_mean_f32(ops, g, &h1, h, d);
     let comb2 = ops.scale_add_f32(one_eps, &h1, 1.0, &agg2);
     let z2 = ops.gemm_f32(&comb2, false, &p.w2, false, n, h, c);
     let logits = ops.bias_add_f32(&z2, &p.b2);
@@ -56,16 +72,16 @@ pub fn step_f32(
     let (loss, dlogits, correct) = ops.softmax_xent_f32(&logits, labels, mask, c);
 
     // ---- Backward.
-    let dw2 = ops.gemm_f32(&comb2, true, &dlogits, false, h, n, c);
-    let db2 = ops.colsum_f32(&dlogits, c);
+    let dw2 = grad_gemm_f32(ops, &comb2, &dlogits, h, n, c, d);
+    let db2 = grad_colsum_f32(ops, &dlogits, c, d);
     let dcomb2 = ops.gemm_f32(&dlogits, false, &p.w2, true, n, c, h);
     // comb2 = (1+ε)h1 + mean(h1)  ⇒  δh1 = (1+ε)δcomb2 + Âᵀ(δcomb2/deg).
     let scaled2 = ops.row_scale_f32(&dcomb2, &g.mean_scale_f, h);
-    let back2 = spmm_sum_f32(ops, g, &scaled2, h);
+    let back2 = spmm_sum_f32(ops, g, &scaled2, h, d);
     let dh1 = ops.scale_add_f32(one_eps, &dcomb2, 1.0, &back2);
     let dz1 = ops.relu_grad_f32(&z1, &dh1);
-    let dw1 = ops.gemm_f32(&comb1, true, &dz1, false, f_in, n, h);
-    let db1 = ops.colsum_f32(&dz1, h);
+    let dw1 = grad_gemm_f32(ops, &comb1, &dz1, f_in, n, h, d);
+    let db1 = grad_colsum_f32(ops, &dz1, h, d);
 
     StepOutput {
         loss,
@@ -148,8 +164,8 @@ pub fn step_half_lambda(
     // ---- Backward.
     let _bwd = halfgnn_half::overflow::site("gin.backward");
     let dout = ops.to_half(&dlogits);
-    let dw2h = ops.gemm_half(&comb2, true, &dout, false, h, n, c);
-    let db2 = ops.colsum_half(&dout, c);
+    let dw2h = grad_gemm_half(ops, &comb2, &dout, h, n, c, d);
+    let db2 = grad_colsum_half(ops, &dout, c, d);
     let dcomb2 = ops.gemm_half(&dout, false, &w2h, true, n, c, h);
     // Adjoint of the aggregation: mean's adjoint is row-scale-then-sum;
     // sum's adjoint is a plain sum.
@@ -157,8 +173,8 @@ pub fn step_half_lambda(
     let back2 = spmm_sum_half(ops, g, &scaled2, h, d);
     let dh1 = ops.scale_add_half(one_eps, &dcomb2, agg_scale, &back2);
     let dz1 = ops.relu_grad_half(&z1, &dh1);
-    let dw1h = ops.gemm_half(&comb1, true, &dz1, false, f_in, n, h);
-    let db1 = ops.colsum_half(&dz1, h);
+    let dw1h = grad_gemm_half(ops, &comb1, &dz1, f_in, n, h, d);
+    let db1 = grad_colsum_half(ops, &dz1, h, d);
 
     let mut dw1 = ops.to_f32(&dw1h);
     let mut dw2 = ops.to_f32(&dw2h);

@@ -16,6 +16,7 @@
 //! | `HalfGnnNoDiscretize` | HalfGNN with post-reduction scaling | HalfGNN half8 | shadow | the §6.1.1 ablation |
 
 pub mod adam;
+pub mod dist;
 pub mod gat;
 pub mod gcn;
 pub mod gin;

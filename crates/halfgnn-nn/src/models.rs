@@ -1,13 +1,29 @@
 //! Model and precision-mode selection, plus the kernel dispatch layer that
 //! routes a model's sparse operations to the right system's kernels.
+//!
+//! When a [`DistCtx`] is attached the dispatch layer also *shards* every
+//! sparse operation: each simulated device runs the global kernel tiling
+//! clamped to its row (or edge) window, after a metered halo exchange of
+//! the remote operand rows, and the per-shard outputs are pasted back into
+//! the global tensor. Because windowed launches are bitwise slices of the
+//! full launch (see `halfgnn-kernels`), sharded float training is
+//! bit-identical to single-device training; sharded half training differs
+//! only where the gradient all-reduce genuinely re-quantizes on the f16
+//! wire. Per-edge elementwise kernels (LeakyReLU, shadow-exp, row-div,
+//! softmax-grad, …) are replicated on every device and never dispatched
+//! through a window: their operands already ride along with the feature
+//! halos, so they contribute zero additional communication.
 
+use crate::dist::DistCtx;
 use crate::graphdata::PreparedGraph;
+use halfgnn_graph::partition::Shard;
 use halfgnn_half::Half;
 use halfgnn_kernels::baseline::cusparse::{self, EdgeWeightsF32};
 use halfgnn_kernels::common::{EdgeWeights, Reduce, ScalePlacement};
+use halfgnn_kernels::fused::{self, FusedAttnForward};
 use halfgnn_kernels::halfgnn_sddmm::SddmmConfig;
 use halfgnn_kernels::halfgnn_spmm;
-use halfgnn_kernels::{baseline::dgl_sddmm, halfgnn_sddmm};
+use halfgnn_kernels::{baseline::dgl_sddmm, edge_ops, halfgnn_sddmm};
 use halfgnn_sim::KernelStats;
 use halfgnn_tensor::Ops;
 use halfgnn_tune::{SpmmPlan, SpmmVariant, Tuner};
@@ -61,10 +77,12 @@ impl PrecisionMode {
 
 /// How a training run dispatches its sparse kernels: the precision mode
 /// (which kernel *system* runs) plus an optional autotuner (which *plan*
-/// each HalfGNN kernel runs with). With no tuner attached every dispatch
-/// uses the untuned default plan, bit-for-bit identical to pre-tuner
-/// behavior; baseline (`HalfNaive`/`Float`) kernels never consult the
-/// tuner at all.
+/// each HalfGNN kernel runs with) plus an optional sharded-execution
+/// context (how many simulated devices run it, and over which
+/// interconnect). With no tuner attached every dispatch uses the untuned
+/// default plan; with no `dist` attached every dispatch is one
+/// single-device launch — both bit-for-bit identical to the simpler
+/// trainer they generalize.
 #[derive(Clone, Copy)]
 pub struct Dispatch<'t> {
     /// Kernel system / numerics.
@@ -75,24 +93,33 @@ pub struct Dispatch<'t> {
     /// fused kernels remain reachable only through tuner selection, so an
     /// untuned dispatch stays bit-for-bit on the unfused chain.
     pub fusion: bool,
+    /// Sharded-execution context, when `TrainConfig::shards > 1`. `None`
+    /// runs single-device launches — bit-for-bit the pre-sharding trainer.
+    pub dist: Option<&'t DistCtx>,
 }
 
 impl Dispatch<'static> {
     /// Dispatch with default plans only (`tuning: Off`).
     pub fn untuned(mode: PrecisionMode) -> Dispatch<'static> {
-        Dispatch { mode, tuner: None, fusion: false }
+        Dispatch { mode, tuner: None, fusion: false, dist: None }
     }
 }
 
 impl<'t> Dispatch<'t> {
     /// Dispatch through a tuner (`tuning: Auto` / `Cached`).
     pub fn tuned(mode: PrecisionMode, tuner: &'t Tuner) -> Dispatch<'t> {
-        Dispatch { mode, tuner: Some(tuner), fusion: false }
+        Dispatch { mode, tuner: Some(tuner), fusion: false, dist: None }
     }
 
     /// Explicitly force (or forbid forcing) the fused attention pipeline.
     pub fn with_fusion(mut self, fusion: bool) -> Dispatch<'t> {
         self.fusion = fusion;
+        self
+    }
+
+    /// Attach (or detach) a sharded-execution context.
+    pub fn with_dist(mut self, dist: Option<&'t DistCtx>) -> Dispatch<'t> {
+        self.dist = dist;
         self
     }
 
@@ -120,7 +147,7 @@ impl<'t> Dispatch<'t> {
 
 impl<'t> From<PrecisionMode> for Dispatch<'t> {
     fn from(mode: PrecisionMode) -> Dispatch<'t> {
-        Dispatch { mode, tuner: None, fusion: false }
+        Dispatch { mode, tuner: None, fusion: false, dist: None }
     }
 }
 
@@ -139,6 +166,48 @@ pub enum GcnNorm {
 }
 
 // ---------------------------------------------------------------------
+// Sharded paste loops. Row-parallel kernels produce global-sized outputs
+// that are bitwise slices of the full launch inside the shard's row
+// window; edge-level kernels likewise inside the shard's edge window
+// (shards own contiguous row ranges, so their edge ranges are exactly the
+// CSR slices of those rows). Pasting every shard's window therefore
+// reassembles the single-device output exactly.
+// ---------------------------------------------------------------------
+
+fn sharded_rows<T: Copy>(
+    ops: &mut Ops,
+    ctx: &DistCtx,
+    n: usize,
+    f: usize,
+    zero: T,
+    mut run: impl FnMut(&mut Ops, &Shard) -> Vec<T>,
+) -> Vec<T> {
+    let mut out = vec![zero; n * f];
+    for shard in &ctx.plan.shards {
+        let y = run(ops, shard);
+        let (r0, r1) = shard.row_range;
+        out[r0 * f..r1 * f].copy_from_slice(&y[r0 * f..r1 * f]);
+    }
+    out
+}
+
+fn sharded_edges<T: Copy>(
+    ops: &mut Ops,
+    ctx: &DistCtx,
+    nnz: usize,
+    zero: T,
+    mut run: impl FnMut(&mut Ops, &Shard) -> Vec<T>,
+) -> Vec<T> {
+    let mut out = vec![zero; nnz];
+    for shard in &ctx.plan.shards {
+        let y = run(ops, shard);
+        let (e0, e1) = shard.edge_range;
+        out[e0..e1].copy_from_slice(&y[e0..e1]);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
 // Sparse-kernel dispatch. Every call records its stats into `ops`.
 // ---------------------------------------------------------------------
 
@@ -149,25 +218,25 @@ pub fn gcn_agg_f32(
     x: &[f32],
     f: usize,
     norm: GcnNorm,
+    d: Dispatch<'_>,
 ) -> Vec<f32> {
     match norm {
-        GcnNorm::Right => spmm_mean_f32(ops, g, x, f),
+        GcnNorm::Right => spmm_mean_f32(ops, g, x, f, d),
         GcnNorm::Left => {
             let scaled = ops.row_scale_f32(x, &g.mean_scale_f, f);
-            spmm_sum_f32(ops, g, &scaled, f)
+            spmm_sum_f32(ops, g, &scaled, f, d)
         }
         GcnNorm::Both => {
             let scaled = ops.row_scale_f32(x, &g.inv_sqrt_scale_f, f);
-            let (y, stats) = halfgnn_kernels::baseline::cusparse::spmm_float(
-                ops.dev,
-                &g.coo,
+            spmm_f32_dispatch(
+                ops,
+                g,
                 EdgeWeightsF32::Ones,
                 &scaled,
                 f,
                 Some(&g.inv_sqrt_scale_f),
-            );
-            ops.record(stats);
-            y
+                d,
+            )
         }
     }
 }
@@ -179,20 +248,21 @@ pub fn gcn_agg_backward_f32(
     dy: &[f32],
     f: usize,
     norm: GcnNorm,
+    d: Dispatch<'_>,
 ) -> Vec<f32> {
     match norm {
         // (D⁻¹Â)ᵀ = Â D⁻¹: scale first, then sum.
         GcnNorm::Right => {
             let scaled = ops.row_scale_f32(dy, &g.mean_scale_f, f);
-            spmm_sum_f32(ops, g, &scaled, f)
+            spmm_sum_f32(ops, g, &scaled, f, d)
         }
         // (ÂD⁻¹)ᵀ = D⁻¹Â: sum first, then scale — the §3.1.3 backward trap.
         GcnNorm::Left => {
-            let summed = spmm_sum_f32(ops, g, dy, f);
+            let summed = spmm_sum_f32(ops, g, dy, f, d);
             ops.row_scale_f32(&summed, &g.mean_scale_f, f)
         }
         // D^-1/2 Â D^-1/2 is self-adjoint.
-        GcnNorm::Both => gcn_agg_f32(ops, g, dy, f, GcnNorm::Both),
+        GcnNorm::Both => gcn_agg_f32(ops, g, dy, f, GcnNorm::Both, d),
     }
 }
 
@@ -213,7 +283,7 @@ pub fn gcn_agg_half(
         }
         GcnNorm::Both => {
             let scaled = ops.row_scale_half(x, &g.inv_sqrt_scale_h, f);
-            scaled_spmm_half(ops, g, &scaled, f, &g.inv_sqrt_scale_h, d)
+            spmm_half_dispatch(ops, g, EdgeWeights::Ones, &scaled, f, Some(&g.inv_sqrt_scale_h), d)
         }
     }
 }
@@ -248,7 +318,7 @@ pub fn gcn_agg_backward_half(
 /// strategy, tile geometry, edge- vs vertex-parallel skeleton — comes
 /// from the tuner when one is attached and is the untuned default
 /// otherwise, keeping `tuning: Off` runs bit-identical to the pre-tuner
-/// trainer.
+/// trainer. `win` clamps the launch to a shard's global row window.
 #[allow(clippy::too_many_arguments)]
 fn halfgnn_spmm_planned(
     ops: &mut Ops,
@@ -259,44 +329,110 @@ fn halfgnn_spmm_planned(
     row_scale: Option<&[Half]>,
     scaling: ScalePlacement,
     d: Dispatch<'_>,
+    win: (usize, usize),
 ) -> (Vec<Half>, KernelStats) {
     let plan = match d.tuner {
         Some(t) => t.spmm_plan(&g.csr, f, !w.is_ones(), scaling),
         None => SpmmPlan::default(),
     };
     match plan.variant {
-        SpmmVariant::EdgeParallel => {
-            halfgnn_spmm::spmm(ops.dev, &g.coo, w, x, f, row_scale, &plan.to_spmm_config(scaling))
-        }
+        SpmmVariant::EdgeParallel => halfgnn_spmm::spmm_window(
+            ops.dev,
+            &g.coo,
+            w,
+            x,
+            f,
+            row_scale,
+            &plan.to_spmm_config(scaling),
+            win,
+        ),
         // The canonical COO edge order equals CSR order, so edge-weight
         // tensors remain valid under the vertex-parallel skeleton.
-        SpmmVariant::VertexParallel => {
-            halfgnn_spmm::spmm_vertex_parallel(ops.dev, &g.csr, w, x, f, row_scale, scaling)
-        }
+        SpmmVariant::VertexParallel => halfgnn_spmm::spmm_vertex_parallel_window(
+            ops.dev, &g.csr, w, x, f, row_scale, scaling, win,
+        ),
     }
 }
 
-/// Half SpMMv with an arbitrary per-row output scale (the `both` norm's
-/// √degree factor), routed through the mode's kernel.
-fn scaled_spmm_half(
+/// One windowed half SpMM launch under the mode's kernel system.
+#[allow(clippy::too_many_arguments)]
+fn spmm_half_window(
     ops: &mut Ops,
     g: &PreparedGraph,
+    w: EdgeWeights<'_>,
     x: &[Half],
     f: usize,
-    scale: &[Half],
+    row_scale: Option<&[Half]>,
     d: Dispatch<'_>,
-) -> Vec<Half> {
-    let (y, stats) = match d.mode {
+    win: (usize, usize),
+) -> (Vec<Half>, KernelStats) {
+    match d.mode {
         PrecisionMode::HalfNaive => {
-            cusparse::spmm_half(ops.dev, &g.coo, EdgeWeights::Ones, x, f, Some(scale))
+            cusparse::spmm_half_window(ops.dev, &g.coo, w, x, f, row_scale, win)
         }
         PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => {
-            halfgnn_spmm_planned(ops, g, EdgeWeights::Ones, x, f, Some(scale), d.mode.scaling(), d)
+            // A per-row scale means mean-style aggregation: its placement
+            // is the mode's correctness property. A plain sum never
+            // scales.
+            let scaling = if row_scale.is_some() { d.mode.scaling() } else { ScalePlacement::None };
+            halfgnn_spmm_planned(ops, g, w, x, f, row_scale, scaling, d, win)
         }
-        PrecisionMode::Float => unreachable!("float path uses gcn_agg_f32"),
-    };
-    ops.record(stats);
-    y
+        PrecisionMode::Float => unreachable!("float path uses the f32 dispatch"),
+    }
+}
+
+/// Half SpMM dispatch: one full-window launch, or — with a [`DistCtx`]
+/// attached — per-shard halo exchange + windowed launch + paste.
+fn spmm_half_dispatch(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    w: EdgeWeights<'_>,
+    x: &[Half],
+    f: usize,
+    row_scale: Option<&[Half]>,
+    d: Dispatch<'_>,
+) -> Vec<Half> {
+    match d.dist {
+        None => {
+            let (y, stats) = spmm_half_window(ops, g, w, x, f, row_scale, d, (0, g.n()));
+            ops.record(stats);
+            y
+        }
+        Some(ctx) => sharded_rows(ops, ctx, g.n(), f, Half::ZERO, |ops, shard| {
+            ctx.exchange_halo_half(ops, x, f, shard);
+            let (y, stats) = spmm_half_window(ops, g, w, x, f, row_scale, d, shard.row_range);
+            ops.record(stats);
+            y
+        }),
+    }
+}
+
+/// Float SpMM dispatch (cuSPARSE kernel), sharded like
+/// [`spmm_half_dispatch`] but with 4-byte halo elements.
+fn spmm_f32_dispatch(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    w: EdgeWeightsF32<'_>,
+    x: &[f32],
+    f: usize,
+    row_scale: Option<&[f32]>,
+    d: Dispatch<'_>,
+) -> Vec<f32> {
+    match d.dist {
+        None => {
+            let (y, stats) =
+                cusparse::spmm_float_window(ops.dev, &g.coo, w, x, f, row_scale, (0, g.n()));
+            ops.record(stats);
+            y
+        }
+        Some(ctx) => sharded_rows(ops, ctx, g.n(), f, 0.0f32, |ops, shard| {
+            ctx.exchange_halo_f32(ops, x, f, shard);
+            let (y, stats) =
+                cusparse::spmm_float_window(ops.dev, &g.coo, w, x, f, row_scale, shard.row_range);
+            ops.record(stats);
+            y
+        }),
+    }
 }
 
 /// Half SpMMv with mean (right degree-norm) aggregation.
@@ -307,24 +443,7 @@ pub fn spmm_mean_half(
     f: usize,
     d: Dispatch<'_>,
 ) -> Vec<Half> {
-    let (y, stats) = match d.mode {
-        PrecisionMode::HalfNaive => {
-            cusparse::spmm_half(ops.dev, &g.coo, EdgeWeights::Ones, x, f, Some(&g.mean_scale_h))
-        }
-        PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => halfgnn_spmm_planned(
-            ops,
-            g,
-            EdgeWeights::Ones,
-            x,
-            f,
-            Some(&g.mean_scale_h),
-            d.mode.scaling(),
-            d,
-        ),
-        PrecisionMode::Float => unreachable!("float path uses spmm_mean_f32"),
-    };
-    ops.record(stats);
-    y
+    spmm_half_dispatch(ops, g, EdgeWeights::Ones, x, f, Some(&g.mean_scale_h), d)
 }
 
 /// Half SpMMv, plain sum (GIN's default aggregation; backward passes).
@@ -335,17 +454,7 @@ pub fn spmm_sum_half(
     f: usize,
     d: Dispatch<'_>,
 ) -> Vec<Half> {
-    let (y, stats) = match d.mode {
-        PrecisionMode::HalfNaive => {
-            cusparse::spmm_half(ops.dev, &g.coo, EdgeWeights::Ones, x, f, None)
-        }
-        PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => {
-            halfgnn_spmm_planned(ops, g, EdgeWeights::Ones, x, f, None, ScalePlacement::None, d)
-        }
-        PrecisionMode::Float => unreachable!("float path uses spmm_sum_f32"),
-    };
-    ops.record(stats);
-    y
+    spmm_half_dispatch(ops, g, EdgeWeights::Ones, x, f, None, d)
 }
 
 /// Half SpMMve (weighted sum — GAT's attention aggregation; the attention
@@ -358,30 +467,37 @@ pub fn spmmve_half(
     f: usize,
     d: Dispatch<'_>,
 ) -> Vec<Half> {
-    let (y, stats) = match d.mode {
-        PrecisionMode::HalfNaive => {
-            cusparse::spmm_half(ops.dev, &g.coo, EdgeWeights::Values(w), x, f, None)
+    spmm_half_dispatch(ops, g, EdgeWeights::Values(w), x, f, None, d)
+}
+
+/// One windowed half SDDMM launch under the mode's kernel system.
+fn sddmm_half_window(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    u: &[Half],
+    v: &[Half],
+    f: usize,
+    d: Dispatch<'_>,
+    win: (usize, usize),
+) -> (Vec<Half>, KernelStats) {
+    match d.mode {
+        PrecisionMode::HalfNaive => dgl_sddmm::sddmm_half_window(ops.dev, &g.coo, u, v, f, win),
+        PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => {
+            let cfg = match d.tuner {
+                Some(t) => t.sddmm_plan(&g.csr, f).to_sddmm_config(),
+                None => SddmmConfig::widest_for(f),
+            };
+            halfgnn_sddmm::sddmm_window(ops.dev, &g.coo, u, v, f, &cfg, win)
         }
-        PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => halfgnn_spmm_planned(
-            ops,
-            g,
-            EdgeWeights::Values(w),
-            x,
-            f,
-            None,
-            ScalePlacement::None,
-            d,
-        ),
-        PrecisionMode::Float => unreachable!("float path uses spmmve_f32"),
-    };
-    ops.record(stats);
-    y
+        PrecisionMode::Float => unreachable!("float path uses sddmm_f32"),
+    }
 }
 
 /// Half SDDMM dispatch: DGL's naive kernel or HalfGNN's vector-width
 /// design, with the plan resolved by the tuner when one is attached and
 /// by [`SddmmConfig::widest_for`] (the paper's widest-legal-width rule)
-/// otherwise.
+/// otherwise. `u` is row-indexed (shard-local); `v` is column-indexed, so
+/// sharded runs halo-exchange it before each per-shard edge window.
 pub fn sddmm_half(
     ops: &mut Ops,
     g: &PreparedGraph,
@@ -390,68 +506,314 @@ pub fn sddmm_half(
     f: usize,
     d: Dispatch<'_>,
 ) -> Vec<Half> {
-    let (y, stats) = match d.mode {
-        PrecisionMode::HalfNaive => dgl_sddmm::sddmm_half(ops.dev, &g.coo, u, v, f),
-        PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => {
-            let cfg = match d.tuner {
-                Some(t) => t.sddmm_plan(&g.csr, f).to_sddmm_config(),
-                None => SddmmConfig::widest_for(f),
-            };
-            halfgnn_sddmm::sddmm_with_config(ops.dev, &g.coo, u, v, f, &cfg)
+    match d.dist {
+        None => {
+            let (y, stats) = sddmm_half_window(ops, g, u, v, f, d, (0, g.nnz()));
+            ops.record(stats);
+            y
         }
-        PrecisionMode::Float => unreachable!("float path uses sddmm_f32"),
-    };
-    ops.record(stats);
-    y
+        Some(ctx) => sharded_edges(ops, ctx, g.nnz(), Half::ZERO, |ops, shard| {
+            ctx.exchange_halo_half(ops, v, f, shard);
+            let (y, stats) = sddmm_half_window(ops, g, u, v, f, d, shard.edge_range);
+            ops.record(stats);
+            y
+        }),
+    }
 }
 
-/// Half per-row edge reduce (softmax max/denominator).
-pub fn edge_reduce_half(ops: &mut Ops, g: &PreparedGraph, w: &[Half], op: Reduce) -> Vec<Half> {
-    let (y, stats) = halfgnn_spmm::edge_reduce(ops.dev, &g.coo, w, op);
-    ops.record(stats);
-    y
+/// Half per-row edge reduce (softmax max/denominator). Edge weights are
+/// edge-partitioned with the rows that own them, so sharded runs need no
+/// halo — only the windowed launch and the row paste.
+pub fn edge_reduce_half(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    w: &[Half],
+    op: Reduce,
+    d: Dispatch<'_>,
+) -> Vec<Half> {
+    match d.dist {
+        None => {
+            let (y, stats) = halfgnn_spmm::edge_reduce(ops.dev, &g.coo, w, op);
+            ops.record(stats);
+            y
+        }
+        Some(ctx) => sharded_rows(ops, ctx, g.n(), 1, Half::ZERO, |ops, shard| {
+            let (y, stats) =
+                halfgnn_spmm::edge_reduce_window(ops.dev, &g.coo, w, op, shard.row_range);
+            ops.record(stats);
+            y
+        }),
+    }
+}
+
+/// Fused attention forward dispatch (SDDMM + edge-softmax + SpMM in one
+/// pass). Sharded runs halo-exchange `z` once for the whole fused pass —
+/// the fusion win carries over to the wire: one exchange instead of the
+/// unfused chain's two (SDDMM + SpMMve).
+#[allow(clippy::too_many_arguments)]
+pub fn fused_attn_forward(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    s_dst: &[Half],
+    s_src: &[Half],
+    slope: f32,
+    z: &[Half],
+    f: usize,
+    d: Dispatch<'_>,
+) -> FusedAttnForward {
+    match d.dist {
+        None => {
+            let (y, stats) = fused::fused_attn_forward(ops.dev, &g.coo, s_dst, s_src, slope, z, f);
+            ops.record(stats);
+            y
+        }
+        Some(ctx) => {
+            let mut acc = FusedAttnForward {
+                e: vec![Half::ZERO; g.nnz()],
+                alpha: vec![Half::ZERO; g.nnz()],
+                out: vec![Half::ZERO; g.n() * f],
+            };
+            for shard in &ctx.plan.shards {
+                ctx.exchange_halo_half(ops, z, f, shard);
+                let (y, stats) = fused::fused_attn_forward_window(
+                    ops.dev,
+                    &g.coo,
+                    s_dst,
+                    s_src,
+                    slope,
+                    z,
+                    f,
+                    shard.row_range,
+                );
+                ops.record(stats);
+                let (r0, r1) = shard.row_range;
+                let (e0, e1) = shard.edge_range;
+                acc.e[e0..e1].copy_from_slice(&y.e[e0..e1]);
+                acc.alpha[e0..e1].copy_from_slice(&y.alpha[e0..e1]);
+                acc.out[r0 * f..r1 * f].copy_from_slice(&y.out[r0 * f..r1 * f]);
+            }
+            acc
+        }
+    }
+}
+
+/// Fused softmax-backward dispatch. All operands are edge tensors (local
+/// to the shard that owns the rows), so sharded runs are windowed launches
+/// with zero communication.
+pub fn fused_softmax_grad(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    alpha: &[Half],
+    dalpha: &[Half],
+    e: &[Half],
+    slope: f32,
+    d: Dispatch<'_>,
+) -> Vec<Half> {
+    match d.dist {
+        None => {
+            let (y, stats) = fused::fused_softmax_grad(ops.dev, &g.coo, alpha, dalpha, e, slope);
+            ops.record(stats);
+            y
+        }
+        Some(ctx) => sharded_edges(ops, ctx, g.nnz(), Half::ZERO, |ops, shard| {
+            let (y, stats) = fused::fused_softmax_grad_window(
+                ops.dev,
+                &g.coo,
+                alpha,
+                dalpha,
+                e,
+                slope,
+                shard.row_range,
+            );
+            ops.record(stats);
+            y
+        }),
+    }
 }
 
 /// Float SpMMv with mean aggregation (cuSPARSE + post scale, as DGL does).
-pub fn spmm_mean_f32(ops: &mut Ops, g: &PreparedGraph, x: &[f32], f: usize) -> Vec<f32> {
-    let (y, stats) =
-        cusparse::spmm_float(ops.dev, &g.coo, EdgeWeightsF32::Ones, x, f, Some(&g.mean_scale_f));
-    ops.record(stats);
-    y
+pub fn spmm_mean_f32(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    x: &[f32],
+    f: usize,
+    d: Dispatch<'_>,
+) -> Vec<f32> {
+    spmm_f32_dispatch(ops, g, EdgeWeightsF32::Ones, x, f, Some(&g.mean_scale_f), d)
 }
 
 /// Float SpMMv, plain sum.
-pub fn spmm_sum_f32(ops: &mut Ops, g: &PreparedGraph, x: &[f32], f: usize) -> Vec<f32> {
-    let (y, stats) = cusparse::spmm_float(ops.dev, &g.coo, EdgeWeightsF32::Ones, x, f, None);
-    ops.record(stats);
-    y
+pub fn spmm_sum_f32(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    x: &[f32],
+    f: usize,
+    d: Dispatch<'_>,
+) -> Vec<f32> {
+    spmm_f32_dispatch(ops, g, EdgeWeightsF32::Ones, x, f, None, d)
 }
 
 /// Float SpMMve.
-pub fn spmmve_f32(ops: &mut Ops, g: &PreparedGraph, w: &[f32], x: &[f32], f: usize) -> Vec<f32> {
-    let (y, stats) = cusparse::spmm_float(ops.dev, &g.coo, EdgeWeightsF32::Values(w), x, f, None);
-    ops.record(stats);
+pub fn spmmve_f32(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    w: &[f32],
+    x: &[f32],
+    f: usize,
+    d: Dispatch<'_>,
+) -> Vec<f32> {
+    spmm_f32_dispatch(ops, g, EdgeWeightsF32::Values(w), x, f, None, d)
+}
+
+/// Float SDDMM (DGL's). `v` is column-indexed → halo-exchanged when
+/// sharded.
+pub fn sddmm_f32(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    u: &[f32],
+    v: &[f32],
+    f: usize,
+    d: Dispatch<'_>,
+) -> Vec<f32> {
+    match d.dist {
+        None => {
+            let (y, stats) = dgl_sddmm::sddmm_float(ops.dev, &g.coo, u, v, f);
+            ops.record(stats);
+            y
+        }
+        Some(ctx) => sharded_edges(ops, ctx, g.nnz(), 0.0f32, |ops, shard| {
+            ctx.exchange_halo_f32(ops, v, f, shard);
+            let (y, stats) =
+                dgl_sddmm::sddmm_float_window(ops.dev, &g.coo, u, v, f, shard.edge_range);
+            ops.record(stats);
+            y
+        }),
+    }
+}
+
+/// Float edge reduce (no halo, like [`edge_reduce_half`]).
+pub fn edge_reduce_f32(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    w: &[f32],
+    op: Reduce,
+    d: Dispatch<'_>,
+) -> Vec<f32> {
+    match d.dist {
+        None => {
+            let (y, stats) = edge_ops::edge_reduce_f32(ops.dev, &g.coo, w, op);
+            ops.record(stats);
+            y
+        }
+        Some(ctx) => sharded_rows(ops, ctx, g.n(), 1, 0.0f32, |ops, shard| {
+            let (y, stats) =
+                edge_ops::edge_reduce_f32_window(ops.dev, &g.coo, w, op, shard.row_range);
+            ops.record(stats);
+            y
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Gradient reductions. Weight gradients contract activations over the
+// vertex dimension, so a sharded device only ever holds the row slice it
+// owns: the full gradient is the all-reduce of per-shard partials. Half
+// modes move the partials over the f16 wire with discretized per-bucket
+// scaling (overflow-free by construction); float mode's reduction is the
+// exact global GEMM the single-device step computes, so only the f32 wire
+// cost is charged and sharded float training stays bit-identical.
+// ---------------------------------------------------------------------
+
+/// Vertex-contracted gradient GEMM `AᵀB` with `A: n×m`, `B: n×c` (both
+/// row-major over vertices), producing the `m×c` weight gradient.
+pub fn grad_gemm_half(
+    ops: &mut Ops,
+    a: &[Half],
+    b: &[Half],
+    m: usize,
+    n: usize,
+    c: usize,
+    d: Dispatch<'_>,
+) -> Vec<Half> {
+    match d.dist {
+        None => ops.gemm_half(a, true, b, false, m, n, c),
+        Some(ctx) => {
+            let partials: Vec<Vec<Half>> = ctx
+                .plan
+                .shards
+                .iter()
+                .map(|s| {
+                    let (r0, r1) = s.row_range;
+                    ops.gemm_half(
+                        &a[r0 * m..r1 * m],
+                        true,
+                        &b[r0 * c..r1 * c],
+                        false,
+                        m,
+                        r1 - r0,
+                        c,
+                    )
+                })
+                .collect();
+            ctx.allreduce_grad_half(ops, &partials)
+        }
+    }
+}
+
+/// Vertex-contracted gradient GEMM `AᵀB` in float. The value is the exact
+/// global contraction; only the all-reduce wire traffic is charged.
+pub fn grad_gemm_f32(
+    ops: &mut Ops,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    n: usize,
+    c: usize,
+    d: Dispatch<'_>,
+) -> Vec<f32> {
+    let y = ops.gemm_f32(a, true, b, false, m, n, c);
+    if let Some(ctx) = d.dist {
+        ctx.charge_allreduce_f32(y.len());
+    }
     y
 }
 
-/// Float SDDMM (DGL's).
-pub fn sddmm_f32(ops: &mut Ops, g: &PreparedGraph, u: &[f32], v: &[f32], f: usize) -> Vec<f32> {
-    let (y, stats) = dgl_sddmm::sddmm_float(ops.dev, &g.coo, u, v, f);
-    ops.record(stats);
-    y
+/// Bias gradient (column sum over vertices) in half, all-reduced over the
+/// f16 wire when sharded.
+pub fn grad_colsum_half(ops: &mut Ops, x: &[Half], c: usize, d: Dispatch<'_>) -> Vec<f32> {
+    match d.dist {
+        None => ops.colsum_half(x, c),
+        Some(ctx) => {
+            let partials: Vec<Vec<f32>> = ctx
+                .plan
+                .shards
+                .iter()
+                .map(|s| {
+                    let (r0, r1) = s.row_range;
+                    ops.colsum_half(&x[r0 * c..r1 * c], c)
+                })
+                .collect();
+            ctx.allreduce_f32_on_f16_wire(ops, &partials)
+        }
+    }
 }
 
-/// Float edge reduce.
-pub fn edge_reduce_f32(ops: &mut Ops, g: &PreparedGraph, w: &[f32], op: Reduce) -> Vec<f32> {
-    let (y, stats) = halfgnn_kernels::edge_ops::edge_reduce_f32(ops.dev, &g.coo, w, op);
-    ops.record(stats);
+/// Bias gradient (column sum over vertices) in float; exact value, wire
+/// cost charged when sharded.
+pub fn grad_colsum_f32(ops: &mut Ops, x: &[f32], c: usize, d: Dispatch<'_>) -> Vec<f32> {
+    let y = ops.colsum_f32(x, c);
+    if let Some(ctx) = d.dist {
+        ctx.charge_allreduce_f32(y.len());
+    }
     y
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use halfgnn_graph::partition::PartitionStrategy;
     use halfgnn_graph::Csr;
+    use halfgnn_sim::interconnect::Topology;
     use halfgnn_sim::DeviceConfig;
 
     fn prep() -> PreparedGraph {
@@ -484,7 +846,7 @@ mod tests {
         let xf: Vec<f32> = (0..g.n() * 4).map(|i| (i % 7) as f32 * 0.25 - 0.75).collect();
         let xh: Vec<Half> = xf.iter().map(|&v| Half::from_f32(v)).collect();
         let mut ops = Ops::new(&dev);
-        let yf = spmm_sum_f32(&mut ops, &g, &xf, 4);
+        let yf = spmm_sum_f32(&mut ops, &g, &xf, 4, Dispatch::untuned(PrecisionMode::Float));
         let yh = spmm_sum_half(&mut ops, &g, &xh, 4, PrecisionMode::HalfGnn.into());
         for (a, b) in yf.iter().zip(&yh) {
             assert!((a - b.to_f32()).abs() < 0.05, "{a} vs {b}");
@@ -496,5 +858,86 @@ mod tests {
         assert!(!PrecisionMode::Float.is_half());
         assert!(PrecisionMode::HalfNaive.is_half());
         assert!(PrecisionMode::HalfGnn.is_half());
+    }
+
+    #[test]
+    fn sharded_dispatch_is_bitwise_for_every_kernel_family() {
+        // Every sharded sparse dispatch must paste back the exact bits of
+        // the single-device launch (the tentpole's core invariant — the
+        // full-blown harness lives in tests/shard_equivalence.rs).
+        let dev = DeviceConfig::a100_like();
+        let g = prep();
+        let n = g.n();
+        let f = 4;
+        let xh: Vec<Half> =
+            (0..n * f).map(|i| Half::from_f32((i % 5) as f32 * 0.3 - 0.6)).collect();
+        let xf: Vec<f32> = xh.iter().map(|h| h.to_f32()).collect();
+        let wh: Vec<Half> = (0..g.nnz()).map(|i| Half::from_f32((i % 3) as f32 * 0.25)).collect();
+        let wf: Vec<f32> = wh.iter().map(|h| h.to_f32()).collect();
+        let ctx = DistCtx::new(&g.csr, 3, PartitionStrategy::Contiguous, Topology::Ring);
+
+        let mut ops = Ops::new(&dev);
+        let single = Dispatch::untuned(PrecisionMode::HalfGnn);
+        let shard = single.with_dist(Some(&ctx));
+        assert_eq!(
+            spmm_mean_half(&mut ops, &g, &xh, f, single),
+            spmm_mean_half(&mut ops, &g, &xh, f, shard)
+        );
+        assert_eq!(
+            spmmve_half(&mut ops, &g, &wh, &xh, f, single),
+            spmmve_half(&mut ops, &g, &wh, &xh, f, shard)
+        );
+        assert_eq!(
+            sddmm_half(&mut ops, &g, &xh, &xh, f, single),
+            sddmm_half(&mut ops, &g, &xh, &xh, f, shard)
+        );
+        assert_eq!(
+            edge_reduce_half(&mut ops, &g, &wh, Reduce::Max, single),
+            edge_reduce_half(&mut ops, &g, &wh, Reduce::Max, shard)
+        );
+
+        let fsingle = Dispatch::untuned(PrecisionMode::Float);
+        let fshard = fsingle.with_dist(Some(&ctx));
+        assert_eq!(
+            spmm_sum_f32(&mut ops, &g, &xf, f, fsingle),
+            spmm_sum_f32(&mut ops, &g, &xf, f, fshard)
+        );
+        assert_eq!(
+            sddmm_f32(&mut ops, &g, &xf, &xf, f, fsingle),
+            sddmm_f32(&mut ops, &g, &xf, &xf, f, fshard)
+        );
+        assert_eq!(
+            edge_reduce_f32(&mut ops, &g, &wf, Reduce::Sum, fsingle),
+            edge_reduce_f32(&mut ops, &g, &wf, Reduce::Sum, fshard)
+        );
+        // Float grad reductions are the exact global contraction.
+        assert_eq!(
+            grad_gemm_f32(&mut ops, &xf, &xf, f, n, f, fsingle),
+            grad_gemm_f32(&mut ops, &xf, &xf, f, n, f, fshard)
+        );
+        // And the dispatch actually metered traffic.
+        assert!(ctx.snapshot().total_bytes() > 0);
+    }
+
+    #[test]
+    fn sharded_fused_attention_is_bitwise() {
+        let dev = DeviceConfig::a100_like();
+        let g = prep();
+        let n = g.n();
+        let f = 4;
+        let z: Vec<Half> = (0..n * f).map(|i| Half::from_f32((i % 7) as f32 * 0.2 - 0.5)).collect();
+        let s: Vec<Half> = (0..n).map(|i| Half::from_f32(i as f32 * 0.1)).collect();
+        let ctx = DistCtx::new(&g.csr, 2, PartitionStrategy::DegreeBalanced, Topology::AllToAll);
+        let mut ops = Ops::new(&dev);
+        let single = Dispatch::untuned(PrecisionMode::HalfGnn);
+        let shard = single.with_dist(Some(&ctx));
+        let a = fused_attn_forward(&mut ops, &g, &s, &s, 0.2, &z, f, single);
+        let b = fused_attn_forward(&mut ops, &g, &s, &s, 0.2, &z, f, shard);
+        assert_eq!(a.e, b.e);
+        assert_eq!(a.alpha, b.alpha);
+        assert_eq!(a.out, b.out);
+        let ga = fused_softmax_grad(&mut ops, &g, &a.alpha, &a.e, &a.e, 0.2, single);
+        let gb = fused_softmax_grad(&mut ops, &g, &a.alpha, &a.e, &a.e, 0.2, shard);
+        assert_eq!(ga, gb);
     }
 }

@@ -10,7 +10,10 @@
 
 use crate::gcn::StepOutput;
 use crate::graphdata::PreparedGraph;
-use crate::models::{spmm_mean_f32, spmm_mean_half, spmm_sum_f32, spmm_sum_half, Dispatch};
+use crate::models::{
+    grad_colsum_f32, grad_colsum_half, grad_gemm_f32, grad_gemm_half, spmm_mean_f32,
+    spmm_mean_half, spmm_sum_f32, spmm_sum_half, Dispatch, PrecisionMode,
+};
 use crate::params::glorot;
 use halfgnn_half::Half;
 use halfgnn_tensor::Ops;
@@ -131,17 +134,32 @@ pub fn step_f32(
     labels: &[u32],
     mask: &[bool],
 ) -> StepOutput<SageGrads> {
+    step_f32_dist(ops, g, p, x, labels, mask, Dispatch::untuned(PrecisionMode::Float))
+}
+
+/// [`step_f32`] with an explicit dispatch (the sharded trainer threads a
+/// [`crate::dist::DistCtx`] through it).
+#[allow(clippy::too_many_arguments)]
+pub fn step_f32_dist(
+    ops: &mut Ops,
+    g: &PreparedGraph,
+    p: &SageParams,
+    x: &[f32],
+    labels: &[u32],
+    mask: &[bool],
+    d: Dispatch<'_>,
+) -> StepOutput<SageGrads> {
     let n = g.n();
     let (f_in, h, c) = (p.f_in, p.hidden, p.classes);
 
     // ---- Forward.
-    let m1 = spmm_mean_f32(ops, g, x, f_in);
+    let m1 = spmm_mean_f32(ops, g, x, f_in, d);
     let zs1 = ops.gemm_f32(x, false, &p.w_self1, false, n, f_in, h);
     let zn1 = ops.gemm_f32(&m1, false, &p.w_neigh1, false, n, f_in, h);
     let z1 = ops.scale_add_f32(1.0, &zs1, 1.0, &zn1);
     let z1 = ops.bias_add_f32(&z1, &p.b1);
     let h1 = ops.relu_f32(&z1);
-    let m2 = spmm_mean_f32(ops, g, &h1, h);
+    let m2 = spmm_mean_f32(ops, g, &h1, h, d);
     let zs2 = ops.gemm_f32(&h1, false, &p.w_self2, false, n, h, c);
     let zn2 = ops.gemm_f32(&m2, false, &p.w_neigh2, false, n, h, c);
     let z2 = ops.scale_add_f32(1.0, &zs2, 1.0, &zn2);
@@ -150,19 +168,19 @@ pub fn step_f32(
     let (loss, dlogits, correct) = ops.softmax_xent_f32(&logits, labels, mask, c);
 
     // ---- Backward.
-    let dw_self2 = ops.gemm_f32(&h1, true, &dlogits, false, h, n, c);
-    let dw_neigh2 = ops.gemm_f32(&m2, true, &dlogits, false, h, n, c);
-    let db2 = ops.colsum_f32(&dlogits, c);
+    let dw_self2 = grad_gemm_f32(ops, &h1, &dlogits, h, n, c, d);
+    let dw_neigh2 = grad_gemm_f32(ops, &m2, &dlogits, h, n, c, d);
+    let db2 = grad_colsum_f32(ops, &dlogits, c, d);
     // δh1 = δz2 W_self2ᵀ + meanᵀ(δz2) W_neigh2ᵀ  (mean adjoint: scale+sum).
     let dh_self = ops.gemm_f32(&dlogits, false, &p.w_self2, true, n, c, h);
     let dm2 = ops.gemm_f32(&dlogits, false, &p.w_neigh2, true, n, c, h);
     let scaled = ops.row_scale_f32(&dm2, &g.mean_scale_f, h);
-    let dh_neigh = spmm_sum_f32(ops, g, &scaled, h);
+    let dh_neigh = spmm_sum_f32(ops, g, &scaled, h, d);
     let dh1 = ops.scale_add_f32(1.0, &dh_self, 1.0, &dh_neigh);
     let dz1 = ops.relu_grad_f32(&z1, &dh1);
-    let dw_self1 = ops.gemm_f32(x, true, &dz1, false, f_in, n, h);
-    let dw_neigh1 = ops.gemm_f32(&m1, true, &dz1, false, f_in, n, h);
-    let db1 = ops.colsum_f32(&dz1, h);
+    let dw_self1 = grad_gemm_f32(ops, x, &dz1, f_in, n, h, d);
+    let dw_neigh1 = grad_gemm_f32(ops, &m1, &dz1, f_in, n, h, d);
+    let db1 = grad_colsum_f32(ops, &dz1, h, d);
 
     StepOutput {
         loss,
@@ -229,18 +247,18 @@ pub fn step_half(
     // ---- Backward.
     let _bwd = halfgnn_half::overflow::site("sage.backward");
     let dout = ops.to_half(&dlogits);
-    let dw_self2h = ops.gemm_half(&h1, true, &dout, false, h, n, c);
-    let dw_neigh2h = ops.gemm_half(&m2, true, &dout, false, h, n, c);
-    let db2 = ops.colsum_half(&dout, c);
+    let dw_self2h = grad_gemm_half(ops, &h1, &dout, h, n, c, d);
+    let dw_neigh2h = grad_gemm_half(ops, &m2, &dout, h, n, c, d);
+    let db2 = grad_colsum_half(ops, &dout, c, d);
     let dh_self = ops.gemm_half(&dout, false, &w_self2, true, n, c, h);
     let dm2 = ops.gemm_half(&dout, false, &w_neigh2, true, n, c, h);
     let scaled = ops.row_scale_half(&dm2, &g.mean_scale_h, h);
     let dh_neigh = spmm_sum_half(ops, g, &scaled, h, d);
     let dh1 = ops.scale_add_half(one, &dh_self, one, &dh_neigh);
     let dz1 = ops.relu_grad_half(&z1, &dh1);
-    let dw_self1h = ops.gemm_half(x, true, &dz1, false, f_in, n, h);
-    let dw_neigh1h = ops.gemm_half(&m1, true, &dz1, false, f_in, n, h);
-    let db1 = ops.colsum_half(&dz1, h);
+    let dw_self1h = grad_gemm_half(ops, x, &dz1, f_in, n, h, d);
+    let dw_neigh1h = grad_gemm_half(ops, &m1, &dz1, f_in, n, h, d);
+    let db1 = grad_colsum_half(ops, &dz1, h, d);
 
     let mut grads = SageGrads {
         w_self1: ops.to_f32(&dw_self1h),

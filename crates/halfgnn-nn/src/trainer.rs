@@ -2,6 +2,7 @@
 //! modeled time, NaN detection, and analytic memory accounting.
 
 use crate::adam::Adam;
+use crate::dist::DistCtx;
 use crate::graphdata::PreparedGraph;
 use crate::models::Dispatch;
 pub use crate::models::{ModelKind, PrecisionMode};
@@ -9,8 +10,11 @@ use crate::params::{GatParams, TwoLayerParams};
 use crate::sage::SageParams;
 use crate::{gat, gcn, gin, sage};
 use halfgnn_graph::datasets::LoadedDataset;
+pub use halfgnn_graph::partition::PartitionStrategy;
 use halfgnn_half::overflow;
 use halfgnn_half::slice::{f32_slice_to_half, pad_feature_len};
+use halfgnn_sim::interconnect::LinkStat;
+pub use halfgnn_sim::interconnect::Topology;
 use halfgnn_sim::DeviceConfig;
 pub use halfgnn_sim::ExecMode;
 use halfgnn_tensor::{MemoryTracker, Ops};
@@ -75,6 +79,17 @@ pub struct TrainConfig {
     /// the pre-fusion behaviour. Only HalfGnn-family GAT layers with even
     /// feature width can fuse; the flag is a no-op elsewhere.
     pub fusion: bool,
+    /// Simulated devices for sharded training (§ DESIGN.md 12). `1`
+    /// (default) is the single-device path, bit-for-bit the pre-sharding
+    /// behaviour. With `shards > 1` every sparse op runs as per-shard
+    /// windowed launches with halo exchanges, and gradients all-reduce
+    /// (f16 wire in half modes, f32 in float) — all metered into the
+    /// report's comms fields.
+    pub shards: usize,
+    /// Interconnect wiring between the shards (ignored when `shards == 1`).
+    pub topology: Topology,
+    /// How vertices are assigned to shards (ignored when `shards == 1`).
+    pub partition: PartitionStrategy,
 }
 
 impl Default for TrainConfig {
@@ -92,6 +107,9 @@ impl Default for TrainConfig {
             exec: ExecMode::Sim,
             tuning: Tuning::Off,
             fusion: false,
+            shards: 1,
+            topology: Topology::Ring,
+            partition: PartitionStrategy::Contiguous,
         }
     }
 }
@@ -138,6 +156,19 @@ pub struct TrainReport {
     /// hits, misses, and candidate evaluations across the whole run. `None`
     /// under [`Tuning::Off`].
     pub tuning_counters: Option<TunerCounters>,
+    /// Interconnect bytes moved by one epoch (halo + all-reduce, relay
+    /// hops counted per link). Zero when `shards == 1`.
+    pub comms_bytes_per_epoch: u64,
+    /// Halo-exchange payload bytes of one epoch (2 B/element in half
+    /// modes, 4 B in float — the FP16 comms win `BENCH_pr5` measures).
+    pub comms_halo_bytes_per_epoch: u64,
+    /// Gradient all-reduce bytes of one epoch.
+    pub comms_allreduce_bytes_per_epoch: u64,
+    /// Modeled communication time of one epoch in microseconds (busiest
+    /// link; links transfer concurrently).
+    pub comms_time_us_per_epoch: f64,
+    /// Per-directed-link traffic of one epoch, sorted by `(from, to)`.
+    pub link_breakdown: Vec<((usize, usize), LinkStat)>,
 }
 
 impl TrainReport {
@@ -210,16 +241,26 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
     // never pollute this run's per-epoch provenance windows.
     let tuner = match &cfg.tuning {
         Tuning::Off => None,
-        Tuning::Auto => Some(Tuner::auto(dev)),
-        Tuning::Cached(path) => Some(Tuner::cached(dev, path.as_str())),
+        Tuning::Auto => Some(Tuner::auto(dev).with_shards(cfg.shards)),
+        Tuning::Cached(path) => Some(Tuner::cached(dev, path.as_str()).with_shards(cfg.shards)),
     };
+    // Sharded execution context: partition Â (the graph the kernels run
+    // on) and meter every halo exchange / all-reduce against the chosen
+    // interconnect. `shards == 1` keeps the single-device dispatch path.
+    let dist =
+        (cfg.shards > 1).then(|| DistCtx::new(&g.csr, cfg.shards, cfg.partition, cfg.topology));
     let dispatch = match &tuner {
         Some(t) => Dispatch::tuned(cfg.precision, t),
         None => Dispatch::untuned(cfg.precision),
     }
-    .with_fusion(cfg.fusion);
+    .with_fusion(cfg.fusion)
+    .with_dist(dist.as_ref());
 
+    let mut comms = halfgnn_sim::interconnect::CommsLedger::new();
     for epoch in 0..cfg.epochs {
+        if let Some(ctx) = &dist {
+            ctx.reset_epoch();
+        }
         let mut ops = Ops::new(dev);
         ops.loss_scale = cfg.loss_scale;
         // Track every f32→half conversion of this epoch's step; the first
@@ -239,7 +280,16 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
                         cfg.gcn_norm,
                     )
                 } else {
-                    gcn::step_f32_norm(&mut ops, &g, p, &x, labels, train_mask, cfg.gcn_norm)
+                    gcn::step_f32_norm(
+                        &mut ops,
+                        &g,
+                        p,
+                        &x,
+                        labels,
+                        train_mask,
+                        dispatch,
+                        cfg.gcn_norm,
+                    )
                 };
                 (out.loss, out.correct, out.grads.flat(), out.logits)
             }
@@ -256,7 +306,7 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
                         cfg.gin_lambda,
                     )
                 } else {
-                    gin::step_f32(&mut ops, &g, p, &x, labels, train_mask)
+                    gin::step_f32_dist(&mut ops, &g, p, &x, labels, train_mask, dispatch)
                 };
                 (out.loss, out.correct, out.grads.flat(), out.logits)
             }
@@ -264,7 +314,7 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
                 let out = if is_half {
                     gat::step_half(&mut ops, &g, p, &xh, labels, train_mask, dispatch)
                 } else {
-                    gat::step_f32(&mut ops, &g, p, &x, labels, train_mask)
+                    gat::step_f32_dist(&mut ops, &g, p, &x, labels, train_mask, dispatch)
                 };
                 (out.loss, out.correct, out.grads.flat(), out.logits)
             }
@@ -272,7 +322,7 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
                 let out = if is_half {
                     sage::step_half(&mut ops, &g, p, &xh, labels, train_mask, dispatch)
                 } else {
-                    sage::step_f32(&mut ops, &g, p, &x, labels, train_mask)
+                    sage::step_f32_dist(&mut ops, &g, p, &x, labels, train_mask, dispatch)
                 };
                 (out.loss, out.correct, out.grads.flat(), out.logits)
             }
@@ -312,6 +362,9 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
             kernels = ops.kernel_count();
             dram_bytes = ops.log.iter().map(halfgnn_sim::KernelStats::dram_bytes).sum();
             breakdown = kernel_breakdown(&ops);
+            if let Some(ctx) = &dist {
+                comms = ctx.snapshot();
+            }
         }
 
         // Master update in f32 (NaN gradients propagate, as in real DGL).
@@ -351,6 +404,11 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
         kernel_breakdown: breakdown,
         overflow_per_epoch,
         tuning_counters: tuner.as_ref().map(Tuner::counters),
+        comms_bytes_per_epoch: comms.total_bytes(),
+        comms_halo_bytes_per_epoch: comms.halo_bytes,
+        comms_allreduce_bytes_per_epoch: comms.allreduce_bytes,
+        comms_time_us_per_epoch: comms.total_time_us(),
+        link_breakdown: comms.link_stats(),
     }
 }
 
@@ -586,6 +644,108 @@ mod tests {
         // The breakdown's per-kernel bytes must account for the total.
         let sum: u64 = fused.kernel_breakdown.iter().map(|(_, _, _, b)| b).sum();
         assert_eq!(sum, fused.dram_bytes_per_epoch);
+    }
+
+    #[test]
+    fn sharded_float_training_is_bit_identical_and_meters_comms() {
+        // The tentpole's correctness anchor at the trainer level: float
+        // sharded runs paste bitwise slices of the single-device kernels
+        // and all-reduce exactly (ledger charges only), so every loss of
+        // every epoch must be bit-for-bit the shards=1 run — only the
+        // comms fields change.
+        let data = Dataset::cora().load(42);
+        let base = quick_cfg(ModelKind::Gcn, PrecisionMode::Float, 5);
+        let single = train(&data, &base);
+        assert_eq!(single.comms_bytes_per_epoch, 0, "one device has no interconnect");
+        for shards in [2usize, 4] {
+            for topology in [Topology::Ring, Topology::AllToAll] {
+                let sharded = train(&data, &TrainConfig { shards, topology, ..base.clone() });
+                assert_eq!(
+                    single.losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+                    sharded.losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+                    "shards={shards} {topology:?}"
+                );
+                assert_eq!(single.final_train_accuracy, sharded.final_train_accuracy);
+                assert!(sharded.comms_halo_bytes_per_epoch > 0);
+                assert!(sharded.comms_allreduce_bytes_per_epoch > 0);
+                assert!(sharded.comms_time_us_per_epoch > 0.0);
+                assert!(!sharded.link_breakdown.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_half_runs_move_half_the_halo_bytes_of_float() {
+        // The headline BENCH_pr5 property end-to-end: identical row sets
+        // cross the interconnect, at 2 B/element instead of 4. Citeseer's
+        // even class count keeps the half pipeline's feature widths equal
+        // to float's, so the halo ratio is exactly 2.
+        let data = Dataset::citeseer().load(7);
+        let mk = |precision| TrainConfig { shards: 4, ..quick_cfg(ModelKind::Gcn, precision, 3) };
+        let f = train(&data, &mk(PrecisionMode::Float));
+        let h = train(&data, &mk(PrecisionMode::HalfGnn));
+        assert!(h.nan_epoch.is_none());
+        assert!(h.overflow_per_epoch.iter().all(overflow::Summary::is_clean));
+        assert!(h.comms_halo_bytes_per_epoch > 0);
+        assert_eq!(
+            2 * h.comms_halo_bytes_per_epoch,
+            f.comms_halo_bytes_per_epoch,
+            "half halo traffic must be exactly half of float's"
+        );
+        assert!(
+            2 * h.comms_allreduce_bytes_per_epoch <= f.comms_allreduce_bytes_per_epoch + 1024,
+            "f16-wire all-reduce must move about half the bytes: half {} vs float {}",
+            h.comms_allreduce_bytes_per_epoch,
+            f.comms_allreduce_bytes_per_epoch
+        );
+        assert!(h.comms_time_us_per_epoch < f.comms_time_us_per_epoch);
+    }
+
+    #[test]
+    fn sharded_fast_exec_reproduces_sharded_sim_bit_for_bit() {
+        // Executor contract × sharding: per-shard windowed launches, halo
+        // gathers, and the discretized f16 all-reduce must be thread-count
+        // invariant, so a sharded run under real OS threads reproduces the
+        // sharded cost-model run exactly.
+        let data = Dataset::cora().load(42);
+        let base = TrainConfig {
+            shards: 2,
+            partition: PartitionStrategy::DegreeBalanced,
+            ..quick_cfg(ModelKind::Gcn, PrecisionMode::HalfGnn, 4)
+        };
+        let sim = train(&data, &base);
+        assert!(sim.nan_epoch.is_none());
+        for threads in [1, 4] {
+            let fast = train(
+                &data,
+                &TrainConfig { exec: ExecMode::fast_with_threads(threads), ..base.clone() },
+            );
+            assert_eq!(
+                sim.losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+                fast.losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+            assert_eq!(sim.final_train_accuracy, fast.final_train_accuracy);
+        }
+    }
+
+    #[test]
+    fn every_model_trains_sharded_without_overflow() {
+        // All four architectures must survive the sharded half dispatch:
+        // finite losses, zero overflow events, and nonzero metered comms.
+        let data = Dataset::cora().load(42);
+        for model in [ModelKind::Gcn, ModelKind::Gin, ModelKind::Gat, ModelKind::Sage] {
+            let r = train(
+                &data,
+                &TrainConfig { shards: 3, ..quick_cfg(model, PrecisionMode::HalfGnn, 3) },
+            );
+            assert!(r.nan_epoch.is_none(), "{model:?} NaNed sharded");
+            assert!(
+                r.overflow_per_epoch.iter().all(overflow::Summary::is_clean),
+                "{model:?} overflowed sharded"
+            );
+            assert!(r.comms_bytes_per_epoch > 0, "{model:?} metered no comms");
+        }
     }
 
     #[test]

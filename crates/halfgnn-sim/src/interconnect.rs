@@ -1,0 +1,331 @@
+//! Multi-device interconnect cost model: N simulated devices joined by
+//! point-to-point links, each charging a fixed per-message latency plus
+//! `bytes / bandwidth` serialization time.
+//!
+//! Two topologies (the ones multi-GPU GNN systems actually ship):
+//!
+//! * [`Topology::Ring`] — device `i` links to `i±1 (mod N)`. Messages to a
+//!   non-neighbor relay hop-by-hop along the shorter arc (forward on a
+//!   tie); all-reduce is the standard 2(N−1)-step ring (reduce-scatter +
+//!   all-gather), moving `2·(N−1)/N · payload` per directed link.
+//! * [`Topology::AllToAll`] — a full crossbar (NVSwitch-like): every pair
+//!   is one hop; all-reduce is direct reduce-scatter + all-gather, each
+//!   ordered pair carrying `2 · payload/N`.
+//!
+//! The model is precision-aware only through the payload byte counts the
+//! caller charges: FP16 feature rows and gradients are half the bytes of
+//! FP32, which is exactly the headline `BENCH_pr5` measures. Every charge
+//! lands in a [`CommsLedger`] keeping per-link byte/message/time totals
+//! (the per-link breakdown `TrainReport` surfaces) plus halo vs.
+//! all-reduce class totals.
+
+use std::collections::BTreeMap;
+
+/// Interconnect wiring between the simulated devices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// Bidirectional ring: device `i` ↔ `i±1 (mod N)`.
+    Ring,
+    /// Full crossbar: every ordered pair is a direct link.
+    AllToAll,
+}
+
+impl Topology {
+    /// CLI tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Topology::Ring => "ring",
+            Topology::AllToAll => "alltoall",
+        }
+    }
+
+    /// Parse a CLI tag.
+    pub fn parse(s: &str) -> Option<Topology> {
+        match s {
+            "ring" => Some(Topology::Ring),
+            "alltoall" | "all-to-all" => Some(Topology::AllToAll),
+            _ => None,
+        }
+    }
+}
+
+/// The interconnect joining `devices` simulated devices: topology plus
+/// per-link latency and bandwidth (identical links, full duplex — each
+/// direction is its own link).
+#[derive(Clone, Copy, Debug)]
+pub struct Interconnect {
+    /// Wiring.
+    pub topology: Topology,
+    /// Number of devices.
+    pub devices: usize,
+    /// Fixed per-message link latency in microseconds.
+    pub link_latency_us: f64,
+    /// Link bandwidth in bytes per microsecond (per direction).
+    pub link_bytes_per_us: f64,
+}
+
+impl Interconnect {
+    /// NVLink3-like links: 25 GB/s per direction, ~1.75 µs message setup.
+    pub fn nvlink_like(devices: usize, topology: Topology) -> Interconnect {
+        assert!(devices > 0, "need at least one device");
+        Interconnect { topology, devices, link_latency_us: 1.75, link_bytes_per_us: 25_000.0 }
+    }
+
+    /// Time for one message of `bytes` over one link.
+    pub fn link_time_us(&self, bytes: u64) -> f64 {
+        self.link_latency_us + bytes as f64 / self.link_bytes_per_us
+    }
+
+    /// The hop path from `src` to `dst` as directed `(from, to)` links.
+    /// Ring: shorter arc, forward on a tie. Crossbar: one direct hop.
+    pub fn route(&self, src: usize, dst: usize) -> Vec<(usize, usize)> {
+        assert!(src < self.devices && dst < self.devices, "device out of range");
+        if src == dst {
+            return Vec::new();
+        }
+        match self.topology {
+            Topology::AllToAll => vec![(src, dst)],
+            Topology::Ring => {
+                let n = self.devices;
+                let fwd = (dst + n - src) % n;
+                let bwd = (src + n - dst) % n;
+                let (step, hops) = if fwd <= bwd { (1, fwd) } else { (n - 1, bwd) };
+                let mut path = Vec::with_capacity(hops);
+                let mut at = src;
+                for _ in 0..hops {
+                    let next = (at + step) % n;
+                    path.push((at, next));
+                    at = next;
+                }
+                path
+            }
+        }
+    }
+}
+
+/// What a charge was for — the ledger keeps class totals so reports can
+/// separate forward halo traffic from gradient synchronization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrafficClass {
+    /// Feature-row halo exchange before a local sparse op.
+    Halo,
+    /// Gradient all-reduce after the backward pass.
+    AllReduce,
+}
+
+/// Accumulated traffic over one directed link.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LinkStat {
+    /// Bytes carried.
+    pub bytes: u64,
+    /// Messages carried.
+    pub messages: u64,
+    /// Serialized link-busy time in microseconds (latency + bytes/BW per
+    /// message).
+    pub time_us: f64,
+}
+
+/// Per-link and per-class accounting of every interconnect charge.
+#[derive(Clone, Debug, Default)]
+pub struct CommsLedger {
+    links: BTreeMap<(usize, usize), LinkStat>,
+    /// Total bytes charged as halo exchange.
+    pub halo_bytes: u64,
+    /// Total bytes charged as gradient all-reduce.
+    pub allreduce_bytes: u64,
+}
+
+impl CommsLedger {
+    /// Fresh, empty ledger.
+    pub fn new() -> CommsLedger {
+        CommsLedger::default()
+    }
+
+    /// Drop all accumulated charges (per-epoch reuse).
+    pub fn reset(&mut self) {
+        self.links.clear();
+        self.halo_bytes = 0;
+        self.allreduce_bytes = 0;
+    }
+
+    fn charge_link(&mut self, ic: &Interconnect, from: usize, to: usize, bytes: u64) {
+        let stat = self.links.entry((from, to)).or_default();
+        stat.bytes += bytes;
+        stat.messages += 1;
+        stat.time_us += ic.link_time_us(bytes);
+    }
+
+    /// Charge one `src → dst` message of `bytes`, routed hop-by-hop.
+    pub fn message(
+        &mut self,
+        ic: &Interconnect,
+        class: TrafficClass,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+    ) {
+        let hops = ic.route(src, dst);
+        for (from, to) in hops {
+            self.charge_link(ic, from, to, bytes);
+        }
+        if src != dst {
+            match class {
+                TrafficClass::Halo => self.halo_bytes += bytes,
+                TrafficClass::AllReduce => self.allreduce_bytes += bytes,
+            }
+        }
+    }
+
+    /// Charge an all-reduce of `payload` bytes across all devices.
+    ///
+    /// Ring: 2(N−1) steps; each step every device sends one `payload/N`
+    /// chunk forward, so each directed forward link carries
+    /// `2(N−1)·⌈payload/N⌉` in total. Crossbar: direct reduce-scatter +
+    /// all-gather, every ordered pair carrying `2·⌈payload/N⌉`.
+    pub fn all_reduce(&mut self, ic: &Interconnect, payload: u64) {
+        let n = ic.devices;
+        if n <= 1 || payload == 0 {
+            return;
+        }
+        let chunk = payload.div_ceil(n as u64);
+        match ic.topology {
+            Topology::Ring => {
+                for step in 0..2 * (n - 1) {
+                    let _ = step;
+                    for d in 0..n {
+                        self.charge_link(ic, d, (d + 1) % n, chunk);
+                        self.allreduce_bytes += chunk;
+                    }
+                }
+            }
+            Topology::AllToAll => {
+                for src in 0..n {
+                    for dst in 0..n {
+                        if src != dst {
+                            for _phase in 0..2 {
+                                self.charge_link(ic, src, dst, chunk);
+                                self.allreduce_bytes += chunk;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total bytes over all links (relay hops count once per link).
+    pub fn total_bytes(&self) -> u64 {
+        self.links.values().map(|s| s.bytes).sum()
+    }
+
+    /// Modeled communication time: links transfer concurrently, so the
+    /// epoch's comms time is the busiest link's serialized time.
+    pub fn total_time_us(&self) -> f64 {
+        self.links.values().map(|s| s.time_us).fold(0.0, f64::max)
+    }
+
+    /// Per-link breakdown, sorted by `(from, to)`.
+    pub fn link_stats(&self) -> Vec<((usize, usize), LinkStat)> {
+        self.links.iter().map(|(&k, v)| (k, v.clone())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_tags_round_trip() {
+        for t in [Topology::Ring, Topology::AllToAll] {
+            assert_eq!(Topology::parse(t.tag()), Some(t));
+        }
+        assert_eq!(Topology::parse("torus"), None);
+    }
+
+    #[test]
+    fn ring_routes_take_the_shorter_arc() {
+        let ic = Interconnect::nvlink_like(4, Topology::Ring);
+        assert_eq!(ic.route(0, 1), vec![(0, 1)]);
+        assert_eq!(ic.route(0, 3), vec![(0, 3)]); // backward: 1 hop, not 3
+        assert_eq!(ic.route(0, 2), vec![(0, 1), (1, 2)]); // tie → forward
+        assert_eq!(ic.route(3, 1), vec![(3, 0), (0, 1)]);
+        assert!(ic.route(2, 2).is_empty());
+    }
+
+    #[test]
+    fn crossbar_routes_are_single_hop() {
+        let ic = Interconnect::nvlink_like(8, Topology::AllToAll);
+        for s in 0..8 {
+            for d in 0..8 {
+                let r = ic.route(s, d);
+                assert_eq!(r.len(), usize::from(s != d));
+            }
+        }
+    }
+
+    #[test]
+    fn message_charges_every_hop() {
+        let ic = Interconnect::nvlink_like(4, Topology::Ring);
+        let mut l = CommsLedger::new();
+        l.message(&ic, TrafficClass::Halo, 0, 2, 1000);
+        assert_eq!(l.total_bytes(), 2000, "two hops carry the same bytes");
+        assert_eq!(l.halo_bytes, 1000, "class total counts the payload once");
+        let links = l.link_stats();
+        assert_eq!(links.len(), 2);
+        let t = ic.link_time_us(1000);
+        assert!((l.total_time_us() - t).abs() < 1e-12, "hops overlap per-link");
+    }
+
+    #[test]
+    fn ring_allreduce_volume_matches_the_closed_form() {
+        let ic = Interconnect::nvlink_like(4, Topology::Ring);
+        let mut l = CommsLedger::new();
+        let payload = 4000u64;
+        l.all_reduce(&ic, payload);
+        // 2(N-1) steps × N links × payload/N bytes.
+        assert_eq!(l.total_bytes(), 2 * 3 * 4 * 1000);
+        assert_eq!(l.allreduce_bytes, 2 * 3 * 4 * 1000);
+        // Every forward link saw 2(N-1) messages of payload/N.
+        for ((from, to), s) in l.link_stats() {
+            assert_eq!((to + 4 - from) % 4, 1, "ring all-reduce is forward-only");
+            assert_eq!(s.messages, 6);
+            assert_eq!(s.bytes, 6000);
+        }
+    }
+
+    #[test]
+    fn crossbar_allreduce_volume_matches_the_closed_form() {
+        let ic = Interconnect::nvlink_like(4, Topology::AllToAll);
+        let mut l = CommsLedger::new();
+        l.all_reduce(&ic, 4000);
+        // N(N-1) ordered pairs × 2 phases × payload/N.
+        assert_eq!(l.total_bytes(), 4 * 3 * 2 * 1000);
+    }
+
+    #[test]
+    fn single_device_needs_no_comms() {
+        let ic = Interconnect::nvlink_like(1, Topology::Ring);
+        let mut l = CommsLedger::new();
+        l.all_reduce(&ic, 1 << 20);
+        l.message(&ic, TrafficClass::Halo, 0, 0, 1 << 20);
+        assert_eq!(l.total_bytes(), 0);
+        assert_eq!(l.halo_bytes, 0);
+    }
+
+    #[test]
+    fn fp16_payloads_halve_fp32_comms() {
+        // The headline property, at the cost-model level: same row counts,
+        // half the element width, half the bytes.
+        for topo in [Topology::Ring, Topology::AllToAll] {
+            let ic = Interconnect::nvlink_like(4, topo);
+            let (mut h, mut f) = (CommsLedger::new(), CommsLedger::new());
+            for (src, dst, rows) in [(0, 1, 37u64), (2, 0, 11), (3, 1, 5)] {
+                h.message(&ic, TrafficClass::Halo, src, dst, rows * 64 * 2);
+                f.message(&ic, TrafficClass::Halo, src, dst, rows * 64 * 4);
+            }
+            h.all_reduce(&ic, 10_000 * 2);
+            f.all_reduce(&ic, 10_000 * 4);
+            assert_eq!(2 * h.total_bytes(), f.total_bytes(), "{topo:?}");
+        }
+    }
+}

@@ -41,6 +41,7 @@
 pub mod config;
 pub mod counters;
 pub mod exec;
+pub mod interconnect;
 pub mod launch;
 pub mod memory;
 pub mod warp;
@@ -48,5 +49,6 @@ pub mod warp;
 pub use config::{CostModel, DeviceConfig};
 pub use counters::{KernelStats, WarpCounters};
 pub use exec::{ExecMode, Executor, FastExecutor, SimExecutor};
+pub use interconnect::{CommsLedger, Interconnect, LinkStat, Topology, TrafficClass};
 pub use launch::{launch, Cta, LaunchParams};
 pub use warp::{AtomicKind, WarpCtx};

@@ -146,6 +146,10 @@ pub struct KernelKey {
     /// Scaling placement the dispatch will run with — overflow legality of
     /// a plan depends on it, so plans must not cross placements.
     pub scaling: ScalePlacement,
+    /// Shard count the dispatch will run under. Exact, not bucketed: the
+    /// per-shard row windows change the work geometry every launch sees,
+    /// so a plan tuned single-device must not leak into an 8-way run.
+    pub shards: usize,
 }
 
 impl KernelKey {
@@ -169,7 +173,14 @@ impl KernelKey {
             avg_deg_bucket: log2_bucket(stats.mean as usize),
             cv: CvBucket::of(stats.cv),
             scaling,
+            shards: 1,
         }
+    }
+
+    /// Key the plan to a shard count (single-device keys stay `s1`).
+    pub fn with_shards(mut self, shards: usize) -> KernelKey {
+        self.shards = shards.max(1);
+        self
     }
 
     fn scaling_tag(self) -> &'static str {
@@ -184,7 +195,7 @@ impl KernelKey {
     /// Stable wire form (the JSON key in the plan cache).
     pub fn encode(&self) -> String {
         format!(
-            "{}/{}/f{}/r{}/z{}/d{}/{}/{}",
+            "{}/{}/f{}/r{}/z{}/d{}/{}/{}/s{}",
             self.op.tag(),
             self.dtype.tag(),
             self.f,
@@ -192,17 +203,30 @@ impl KernelKey {
             self.nnz_bucket,
             self.avg_deg_bucket,
             self.cv.tag(),
-            self.scaling_tag()
+            self.scaling_tag(),
+            self.shards
         )
     }
 
-    /// Parse the wire form back; `None` on anything malformed.
+    /// Parse the wire form back; `None` on anything malformed. Legacy
+    /// 8-part keys (written before sharding existed) decode with
+    /// `shards = 1` — exactly the dispatch they were tuned under.
     pub fn decode(s: &str) -> Option<KernelKey> {
         let parts: Vec<&str> = s.split('/').collect();
-        if parts.len() != 8 {
+        if parts.len() != 8 && parts.len() != 9 {
             return None;
         }
         let num = |p: &str, prefix: char| -> Option<u64> { p.strip_prefix(prefix)?.parse().ok() };
+        let shards = match parts.get(8) {
+            Some(p) => {
+                let n = num(p, 's')? as usize;
+                if n == 0 {
+                    return None;
+                }
+                n
+            }
+            None => 1,
+        };
         Some(KernelKey {
             op: OpKind::from_tag(parts[0])?,
             dtype: Dtype::from_tag(parts[1])?,
@@ -218,6 +242,7 @@ impl KernelKey {
                 "disc" => ScalePlacement::Discretized,
                 _ => return None,
             },
+            shards,
         })
     }
 }
@@ -305,12 +330,90 @@ mod tests {
             "",
             "spmmv/f16/f64/r10/z13/d3/uni",
             "spmmv/f16/f64/r10/z13/d3/uni/disc/extra",
+            "spmmv/f16/f64/r10/z13/d3/uni/disc/s2/more",
             "conv/f16/f64/r10/z13/d3/uni/disc",
             "spmmv/f16/x64/r10/z13/d3/uni/disc",
             "spmmv/f16/f64/r10/z13/d3/wild/disc",
             "spmmv/f16/f64/r10/z13/d3/uni/sometimes",
+            "spmmv/f16/f64/r10/z13/d3/uni/disc/x2",
+            "spmmv/f16/f64/r10/z13/d3/uni/disc/s0",
+            "spmmv/f16/f64/r10/z13/d3/uni/disc/sten",
         ] {
             assert_eq!(KernelKey::decode(bad), None, "{bad:?}");
         }
+    }
+
+    #[test]
+    fn sharded_keys_round_trip_and_legacy_keys_decode_as_single_device() {
+        let csr = Csr::from_edges(500, 500, &gen::erdos_renyi(500, 2_500, 3))
+            .symmetrized_with_self_loops();
+        let stats = halfgnn_graph::metrics::degree_stats(&csr);
+        let base = KernelKey::for_graph(
+            OpKind::SpmmV,
+            Dtype::Half,
+            32,
+            csr.num_rows(),
+            csr.nnz(),
+            &stats,
+            ScalePlacement::Discretized,
+        );
+        assert_eq!(base.shards, 1, "for_graph defaults to single-device");
+        for shards in [1usize, 2, 4, 8] {
+            let k = base.with_shards(shards);
+            assert!(k.encode().ends_with(&format!("/s{shards}")));
+            assert_eq!(KernelKey::decode(&k.encode()), Some(k), "{k}");
+        }
+        // Keys differing only in shard count must not alias a cache slot.
+        assert_ne!(base.with_shards(2), base.with_shards(4));
+        // A pre-sharding cache entry is a single-device plan.
+        let legacy = "spmmv/f16/f64/r10/z13/d3/uni/disc";
+        let k = KernelKey::decode(legacy).expect("legacy 8-part keys stay decodable");
+        assert_eq!(k.shards, 1);
+        assert_eq!(k, KernelKey::decode(&k.encode()).unwrap(), "re-encode normalizes to /s1");
+    }
+
+    #[test]
+    fn bucket_boundaries_split_keys_exactly_at_powers_of_two_and_cv_edges() {
+        // The transfer rule: same bucket ⇒ same plan. These are the exact
+        // edges where that rule flips, pinned value-by-value.
+        let stats = |mean: f64, cv: f64| DegreeStats {
+            min: 1,
+            max: 32,
+            mean,
+            median: 8,
+            gini: 0.2,
+            top1pct_edge_share: 0.05,
+            cv,
+            max_mean_skew: 4.0,
+        };
+        let key = |rows: usize, nnz: usize, s: &DegreeStats| {
+            KernelKey::for_graph(
+                OpKind::SpmmV,
+                Dtype::Half,
+                64,
+                rows,
+                nnz,
+                s,
+                ScalePlacement::Discretized,
+            )
+        };
+        let s = stats(8.0, 0.5);
+        // rows: 1023 → bucket 9, 1024 → bucket 10, 2047 still 10.
+        assert_ne!(key(1023, 4096, &s), key(1024, 4096, &s));
+        assert_eq!(key(1024, 4096, &s), key(2047, 4096, &s));
+        assert_ne!(key(2047, 4096, &s), key(2048, 4096, &s));
+        // nnz boundary behaves identically.
+        assert_ne!(key(1024, 8191, &s), key(1024, 8192, &s));
+        assert_eq!(key(1024, 8192, &s), key(1024, 16_383, &s));
+        // avg-degree boundary: mean 15.9 floors to bucket 3, 16.0 to 4.
+        assert_ne!(key(1024, 4096, &stats(15.9, 0.5)), key(1024, 4096, &stats(16.0, 0.5)));
+        assert_eq!(key(1024, 4096, &stats(16.0, 0.5)), key(1024, 4096, &stats(31.9, 0.5)));
+        // CV regime edges: 0.3 is the first Uniform, 1.0 the first Skewed.
+        assert_eq!(CvBucket::of(0.299_999), CvBucket::Regular);
+        assert_eq!(CvBucket::of(0.3), CvBucket::Uniform);
+        assert_eq!(CvBucket::of(0.999_999), CvBucket::Uniform);
+        assert_eq!(CvBucket::of(1.0), CvBucket::Skewed);
+        assert_ne!(key(1024, 4096, &stats(8.0, 0.299_999)), key(1024, 4096, &stats(8.0, 0.3)));
+        assert_ne!(key(1024, 4096, &stats(8.0, 0.999_999)), key(1024, 4096, &stats(8.0, 1.0)));
     }
 }

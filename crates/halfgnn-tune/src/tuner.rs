@@ -75,6 +75,7 @@ pub struct Tuner {
     sample_threshold: usize,
     tol: Tolerance,
     seed: u64,
+    shards: usize,
 }
 
 impl Tuner {
@@ -91,6 +92,7 @@ impl Tuner {
             sample_threshold: SAMPLE_THRESHOLD_NNZ,
             tol: Tolerance::half_default(),
             seed: 0x7A1F,
+            shards: 1,
         }
     }
 
@@ -114,6 +116,14 @@ impl Tuner {
     /// Override the evaluation seed.
     pub fn with_seed(mut self, seed: u64) -> Tuner {
         self.seed = seed;
+        self
+    }
+
+    /// Key every resolved plan to a shard count, so plans tuned for the
+    /// single-device dispatch never transfer to a sharded run's windowed
+    /// launches (or vice versa).
+    pub fn with_shards(mut self, shards: usize) -> Tuner {
+        self.shards = shards.max(1);
         self
     }
 
@@ -150,7 +160,8 @@ impl Tuner {
         let stats = degree_stats(csr);
         let op = if weighted { OpKind::SpmmVe } else { OpKind::SpmmV };
         let key =
-            KernelKey::for_graph(op, Dtype::Half, f, csr.num_rows(), csr.nnz(), &stats, scaling);
+            KernelKey::for_graph(op, Dtype::Half, f, csr.num_rows(), csr.nnz(), &stats, scaling)
+                .with_shards(self.shards);
         if let Some(KernelPlan::Spmm(p)) = self.cache.borrow_mut().get(&key) {
             return p;
         }
@@ -182,7 +193,8 @@ impl Tuner {
             csr.nnz(),
             &stats,
             ScalePlacement::None,
-        );
+        )
+        .with_shards(self.shards);
         if let Some(KernelPlan::Sddmm(p)) = self.cache.borrow_mut().get(&key) {
             return p;
         }
@@ -220,7 +232,8 @@ impl Tuner {
             csr.nnz(),
             &stats,
             ScalePlacement::None,
-        );
+        )
+        .with_shards(self.shards);
         if let Some(KernelPlan::Attn(p)) = self.cache.borrow_mut().get(&key) {
             return p;
         }
@@ -506,6 +519,22 @@ mod tests {
         let c2 = t.counters();
         assert_eq!(c2.hits, 1);
         assert_eq!(c2.evaluations, c1.evaluations, "a hit evaluates nothing");
+    }
+
+    #[test]
+    fn shard_counts_get_their_own_cache_slots() {
+        let g = er_graph();
+        let t1 = Tuner::auto(&dev());
+        let t4 = Tuner::auto(&dev()).with_shards(4);
+        t1.spmm_plan(&g, 8, false, ScalePlacement::Discretized);
+        t4.spmm_plan(&g, 8, false, ScalePlacement::Discretized);
+        // Both tuned from scratch: the s4 key must not hit the s1 slot.
+        assert_eq!(t1.counters().misses, 1);
+        assert_eq!(t4.counters().misses, 1);
+        assert!(t4.counters().evaluations > 0, "sharded key must re-tune, not alias");
+        // Same tuner, same shard count: second resolve is a hit.
+        t4.spmm_plan(&g, 8, false, ScalePlacement::Discretized);
+        assert_eq!(t4.counters().hits, 1);
     }
 
     #[test]

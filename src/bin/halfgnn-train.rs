@@ -7,8 +7,9 @@
 //! ```
 
 use halfgnn::graph::datasets::Dataset;
+use halfgnn::graph::partition::PartitionStrategy;
 use halfgnn::nn::models::GcnNorm;
-use halfgnn::nn::trainer::{train, ModelKind, PrecisionMode, TrainConfig, Tuning};
+use halfgnn::nn::trainer::{train, ModelKind, PrecisionMode, Topology, TrainConfig, Tuning};
 use std::process::exit;
 
 fn usage() -> ! {
@@ -16,7 +17,8 @@ fn usage() -> ! {
         "usage: halfgnn-train --dataset <id|name> [--model gcn|gat|gin|sage] \
          [--precision float|halfnaive|halfgnn|nodiscretize] [--epochs N] \
          [--lr F] [--hidden N] [--seed N] [--norm right|left|both] [--gin-lambda F] \
-         [--loss-scale F] [--tuning off|auto|cached:<path>] [--fusion]"
+         [--loss-scale F] [--tuning off|auto|cached:<path>] [--fusion] \
+         [--shards N] [--topology ring|alltoall] [--partition contiguous|balanced]"
     );
     exit(2)
 }
@@ -86,6 +88,25 @@ fn main() {
                 }
             }
             "--fusion" => cfg.fusion = true,
+            "--shards" => {
+                cfg.shards = val().parse().unwrap_or_else(|_| usage());
+                if cfg.shards == 0 {
+                    eprintln!("--shards must be at least 1");
+                    usage()
+                }
+            }
+            "--topology" => {
+                cfg.topology = Topology::parse(val()).unwrap_or_else(|| {
+                    eprintln!("unknown topology (want ring|alltoall)");
+                    usage()
+                })
+            }
+            "--partition" => {
+                cfg.partition = PartitionStrategy::parse(val()).unwrap_or_else(|| {
+                    eprintln!("unknown partition strategy (want contiguous|balanced)");
+                    usage()
+                })
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -134,6 +155,26 @@ fn main() {
             "plan cache     : {} hits, {} misses, {} candidate evaluations",
             c.hits, c.misses, c.evaluations
         );
+    }
+    if cfg.shards > 1 {
+        println!(
+            "comms/epoch    : {:.2} MiB total ({:.2} MiB halo, {:.2} MiB all-reduce), \
+             {:.1} us on {} shards ({})",
+            report.comms_bytes_per_epoch as f64 / 1048576.0,
+            report.comms_halo_bytes_per_epoch as f64 / 1048576.0,
+            report.comms_allreduce_bytes_per_epoch as f64 / 1048576.0,
+            report.comms_time_us_per_epoch,
+            cfg.shards,
+            cfg.topology.tag()
+        );
+        for ((from, to), s) in report.link_breakdown.iter().take(8) {
+            println!(
+                "  link {from}->{to}: {:.2} MiB in {} messages ({:.1} us)",
+                s.bytes as f64 / 1048576.0,
+                s.messages,
+                s.time_us
+            );
+        }
     }
     println!("\nper-kernel breakdown (one epoch):");
     for (name, launches, us, bytes) in report.kernel_breakdown.iter().take(12) {

@@ -1,0 +1,319 @@
+//! Shard-equivalence harness: the tentpole's correctness proof.
+//!
+//! Sharded execution is a *cost* transformation, not a numeric one: each
+//! simulated device runs the global kernel tiling clamped to its row (or
+//! edge) window and the outputs are pasted back, so for ANY graph — hub
+//! graphs, graphs with zero-degree vertices, more shards than rows (empty
+//! partitions) — the sharded run must reproduce the single-device run.
+//!
+//! Exactly two spots are allowed to deviate, and only in half precision:
+//! the gradient all-reduce re-quantizes per-shard partials on the f16
+//! wire, and the bias colsum rides the same wire. Everything else —
+//! every sparse kernel family, the float training step's loss, logits and
+//! gradients, the half step's loss and logits — is asserted **bitwise**.
+//! The two wire-quantized reductions are held to [`reference::close`].
+
+use halfgnn::graph::partition::PartitionStrategy;
+use halfgnn::graph::{Csr, VertexId};
+use halfgnn::half::slice::f32_slice_to_half;
+use halfgnn::half::Half;
+use halfgnn::kernels::common::Reduce;
+use halfgnn::kernels::reference;
+use halfgnn::nn::dist::DistCtx;
+use halfgnn::nn::gcn;
+use halfgnn::nn::graphdata::PreparedGraph;
+use halfgnn::nn::models::{
+    edge_reduce_f32, edge_reduce_half, grad_colsum_f32, grad_colsum_half, grad_gemm_f32,
+    grad_gemm_half, sddmm_f32, sddmm_half, spmm_mean_f32, spmm_mean_half, spmm_sum_f32,
+    spmm_sum_half, spmmve_f32, spmmve_half, Dispatch, GcnNorm, PrecisionMode,
+};
+use halfgnn::nn::params::TwoLayerParams;
+use halfgnn::sim::interconnect::Topology;
+use halfgnn::sim::DeviceConfig;
+use halfgnn::tensor::Ops;
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn strategies() -> [PartitionStrategy; 2] {
+    [PartitionStrategy::Contiguous, PartitionStrategy::DegreeBalanced]
+}
+
+/// Arbitrary symmetrized graph + feature width + f32 features.
+///
+/// `hub == 1` wires vertex 0 to every other vertex, so DegreeBalanced
+/// partitions squeeze the non-hub shards down to a handful of rows. The
+/// edge list may leave vertices untouched (zero-degree before the added
+/// self loop), and `n` as small as 2 with 4 shards forces empty
+/// partitions.
+fn arb_graph() -> impl Strategy<Value = (Csr, usize, Vec<f32>)> {
+    (2usize..24, 1usize..4, 0usize..2)
+        .prop_flat_map(|(n, fhalf, hub)| {
+            let f = 2 * fhalf; // half kernels need half2-padded widths
+            let edge = (0..n as VertexId, 0..n as VertexId);
+            (
+                Just(n),
+                Just(f),
+                Just(hub),
+                prop::collection::vec(edge, 0..64),
+                prop::collection::vec(-1.0f32..1.0, n * f),
+            )
+        })
+        .prop_map(|(n, f, hub, mut edges, feats)| {
+            if hub == 1 {
+                for v in 1..n as VertexId {
+                    edges.push((0, v));
+                }
+            }
+            let csr = Csr::from_edges(n, n, &edges).symmetrized_with_self_loops();
+            (csr, f, feats)
+        })
+}
+
+/// Deterministic labels/mask for the step-level properties: every class
+/// appears, and vertex 0 is always masked in so the loss is never empty.
+fn labels_and_mask(n: usize, classes: usize) -> (Vec<u32>, Vec<bool>) {
+    let labels: Vec<u32> = (0..n).map(|i| (i % classes) as u32).collect();
+    let mask: Vec<bool> = (0..n).map(|i| i == 0 || i % 3 != 1).collect();
+    (labels, mask)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every sparse dispatch family pastes back the exact bits of the
+    /// single-device launch, at every shard count, under both partition
+    /// strategies. Float gradient reductions are exact; half gradient
+    /// reductions land inside the `reference::close` band of the global
+    /// contraction (the f16 wire is the only permitted deviation).
+    #[test]
+    fn sharded_dispatch_is_equivalent_on_arbitrary_graphs(
+        (csr, f, feats) in arb_graph()
+    ) {
+        let dev = DeviceConfig::a100_like();
+        let g = PreparedGraph::new(&csr);
+        let n = g.n();
+        let xf = feats;
+        let xh = f32_slice_to_half(&xf);
+        let wh: Vec<Half> =
+            (0..g.nnz()).map(|i| Half::from_f32(((i % 13) as f32 - 6.0) / 8.0)).collect();
+        let wf: Vec<f32> = wh.iter().map(|h| h.to_f32()).collect();
+
+        let mut ops = Ops::new(&dev);
+        let h1 = Dispatch::untuned(PrecisionMode::HalfGnn);
+        let f1 = Dispatch::untuned(PrecisionMode::Float);
+
+        // Single-device ground truth, once per case.
+        let want_mean_h = spmm_mean_half(&mut ops, &g, &xh, f, h1);
+        let want_sum_h = spmm_sum_half(&mut ops, &g, &xh, f, h1);
+        let want_ve_h = spmmve_half(&mut ops, &g, &wh, &xh, f, h1);
+        let want_sddmm_h = sddmm_half(&mut ops, &g, &xh, &xh, f, h1);
+        let want_max_h = edge_reduce_half(&mut ops, &g, &wh, Reduce::Max, h1);
+        let want_gemm_h = grad_gemm_half(&mut ops, &xh, &xh, f, n, f, h1);
+        let want_colsum_h = grad_colsum_half(&mut ops, &xh, f, h1);
+        let want_mean_f = spmm_mean_f32(&mut ops, &g, &xf, f, f1);
+        let want_sum_f = spmm_sum_f32(&mut ops, &g, &xf, f, f1);
+        let want_ve_f = spmmve_f32(&mut ops, &g, &wf, &xf, f, f1);
+        let want_sddmm_f = sddmm_f32(&mut ops, &g, &xf, &xf, f, f1);
+        let want_sum_ef = edge_reduce_f32(&mut ops, &g, &wf, Reduce::Sum, f1);
+        let want_gemm_f = grad_gemm_f32(&mut ops, &xf, &xf, f, n, f, f1);
+        let want_colsum_f = grad_colsum_f32(&mut ops, &xf, f, f1);
+
+        for shards in SHARD_COUNTS {
+            for strategy in strategies() {
+                let ctx = DistCtx::new(&g.csr, shards, strategy, Topology::Ring);
+                let hd = h1.with_dist(Some(&ctx));
+                let fd = f1.with_dist(Some(&ctx));
+
+                prop_assert_eq!(&spmm_mean_half(&mut ops, &g, &xh, f, hd), &want_mean_h);
+                prop_assert_eq!(&spmm_sum_half(&mut ops, &g, &xh, f, hd), &want_sum_h);
+                prop_assert_eq!(&spmmve_half(&mut ops, &g, &wh, &xh, f, hd), &want_ve_h);
+                prop_assert_eq!(&sddmm_half(&mut ops, &g, &xh, &xh, f, hd), &want_sddmm_h);
+                prop_assert_eq!(
+                    &edge_reduce_half(&mut ops, &g, &wh, Reduce::Max, hd),
+                    &want_max_h
+                );
+                prop_assert_eq!(&spmm_mean_f32(&mut ops, &g, &xf, f, fd), &want_mean_f);
+                prop_assert_eq!(&spmm_sum_f32(&mut ops, &g, &xf, f, fd), &want_sum_f);
+                prop_assert_eq!(&spmmve_f32(&mut ops, &g, &wf, &xf, f, fd), &want_ve_f);
+                prop_assert_eq!(&sddmm_f32(&mut ops, &g, &xf, &xf, f, fd), &want_sddmm_f);
+                prop_assert_eq!(
+                    &edge_reduce_f32(&mut ops, &g, &wf, Reduce::Sum, fd),
+                    &want_sum_ef
+                );
+                // Float gradient reductions: the exact global contraction.
+                prop_assert_eq!(&grad_gemm_f32(&mut ops, &xf, &xf, f, n, f, fd), &want_gemm_f);
+                prop_assert_eq!(&grad_colsum_f32(&mut ops, &xf, f, fd), &want_colsum_f);
+
+                // Half gradient reductions: re-quantized on the f16 wire,
+                // so close rather than bitwise.
+                let got_gemm = grad_gemm_half(&mut ops, &xh, &xh, f, n, f, hd);
+                for (got, want) in got_gemm.iter().zip(&want_gemm_h) {
+                    prop_assert!(
+                        reference::close(got.to_f64(), want.to_f64(), 0.05, 0.05),
+                        "grad_gemm_half: {got} vs {want} (shards={shards}, {strategy:?})"
+                    );
+                }
+                let got_colsum = grad_colsum_half(&mut ops, &xh, f, hd);
+                for (got, want) in got_colsum.iter().zip(&want_colsum_h) {
+                    prop_assert!(
+                        reference::close(*got as f64, *want as f64, 0.05, 0.05),
+                        "grad_colsum_half: {got} vs {want} (shards={shards}, {strategy:?})"
+                    );
+                }
+
+                // A multi-shard run must have metered wire traffic.
+                if shards > 1 {
+                    prop_assert!(ctx.snapshot().total_bytes() > 0);
+                }
+            }
+        }
+    }
+
+    /// The float GCN training step is bit-identical under sharding: same
+    /// loss bits, same logits, same gradients, whatever the graph, shard
+    /// count, partition strategy or topology.
+    #[test]
+    fn sharded_float_gcn_step_is_bit_identical(
+        (csr, f, feats) in arb_graph()
+    ) {
+        let dev = DeviceConfig::a100_like();
+        let g = PreparedGraph::new(&csr);
+        let classes = 3;
+        let (labels, mask) = labels_and_mask(g.n(), classes);
+        let p = TwoLayerParams::new(f, 4, classes, 7);
+        let d1 = Dispatch::untuned(PrecisionMode::Float);
+
+        let mut ops = Ops::new(&dev);
+        let want = gcn::step_f32_norm(&mut ops, &g, &p, &feats, &labels, &mask, d1, GcnNorm::Right);
+
+        for shards in SHARD_COUNTS {
+            for strategy in strategies() {
+                for topology in [Topology::Ring, Topology::AllToAll] {
+                    let ctx = DistCtx::new(&g.csr, shards, strategy, topology);
+                    let d = d1.with_dist(Some(&ctx));
+                    let got = gcn::step_f32_norm(
+                        &mut ops, &g, &p, &feats, &labels, &mask, d, GcnNorm::Right,
+                    );
+                    prop_assert_eq!(got.loss.to_bits(), want.loss.to_bits());
+                    prop_assert_eq!(&got.logits, &want.logits);
+                    prop_assert_eq!(&got.grads.flat(), &want.grads.flat());
+                }
+            }
+        }
+    }
+
+    /// The half GCN step under sharding: the forward pass (loss, logits)
+    /// is still bitwise — windowed kernels paste exact slices — and only
+    /// the wire-reduced weight/bias gradients move, within the
+    /// `reference::close` band.
+    #[test]
+    fn sharded_half_gcn_step_is_bitwise_forward_and_close_backward(
+        (csr, f, feats) in arb_graph()
+    ) {
+        let dev = DeviceConfig::a100_like();
+        let g = PreparedGraph::new(&csr);
+        let classes = 4; // even: the half path pads odd class counts
+        let (labels, mask) = labels_and_mask(g.n(), classes);
+        let p = TwoLayerParams::new(f, 4, classes, 11);
+        let xh = f32_slice_to_half(&feats);
+        let d1 = Dispatch::untuned(PrecisionMode::HalfGnn);
+
+        let mut ops = Ops::new(&dev);
+        let want = gcn::step_half_norm(&mut ops, &g, &p, &xh, &labels, &mask, d1, GcnNorm::Right);
+
+        for shards in SHARD_COUNTS {
+            for strategy in strategies() {
+                let ctx = DistCtx::new(&g.csr, shards, strategy, Topology::Ring);
+                let d = d1.with_dist(Some(&ctx));
+                let got =
+                    gcn::step_half_norm(&mut ops, &g, &p, &xh, &labels, &mask, d, GcnNorm::Right);
+                prop_assert_eq!(got.loss.to_bits(), want.loss.to_bits());
+                prop_assert_eq!(&got.logits, &want.logits);
+                for (got, want) in got.grads.flat().iter().zip(want.grads.flat()) {
+                    prop_assert!(
+                        reference::close(*got as f64, want as f64, 0.05, 0.05),
+                        "half grads: {got} vs {want} (shards={shards}, {strategy:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The headline cost property holds pointwise, not just end-to-end:
+    /// on the same graph, same shard plan, same feature width, a half
+    /// halo exchange moves exactly half the bytes of the float one.
+    #[test]
+    fn half_halo_traffic_is_exactly_half_of_float(
+        (csr, f, feats) in arb_graph()
+    ) {
+        let dev = DeviceConfig::a100_like();
+        let g = PreparedGraph::new(&csr);
+        let xh = f32_slice_to_half(&feats);
+        let mut ops = Ops::new(&dev);
+
+        for shards in [2usize, 4] {
+            for strategy in strategies() {
+                let ctx_h = DistCtx::new(&g.csr, shards, strategy, Topology::Ring);
+                let ctx_f = DistCtx::new(&g.csr, shards, strategy, Topology::Ring);
+                let dh = Dispatch::untuned(PrecisionMode::HalfGnn).with_dist(Some(&ctx_h));
+                let df = Dispatch::untuned(PrecisionMode::Float).with_dist(Some(&ctx_f));
+                spmm_sum_half(&mut ops, &g, &xh, f, dh);
+                spmm_sum_f32(&mut ops, &g, &feats, f, df);
+                let (h, fl) = (ctx_h.snapshot(), ctx_f.snapshot());
+                prop_assert_eq!(2 * h.halo_bytes, fl.halo_bytes);
+                // And the modeled wire time strictly improves whenever
+                // any halo actually crossed a link.
+                if fl.halo_bytes > 0 {
+                    prop_assert!(h.total_time_us() < fl.total_time_us());
+                }
+            }
+        }
+    }
+}
+
+/// More shards than vertices: partitions past the vertex count are empty,
+/// and the dispatch layer must skip them without emitting traffic for
+/// them — while still matching the single-device bits.
+#[test]
+fn empty_partitions_are_harmless() {
+    let dev = DeviceConfig::a100_like();
+    let csr = Csr::from_edges(3, 3, &[(0, 1), (1, 2)]).symmetrized_with_self_loops();
+    let g = PreparedGraph::new(&csr);
+    let f = 4;
+    let xh: Vec<Half> = (0..g.n() * f).map(|i| Half::from_f32((i % 5) as f32 * 0.2)).collect();
+    let mut ops = Ops::new(&dev);
+    let single = Dispatch::untuned(PrecisionMode::HalfGnn);
+    let want = spmm_sum_half(&mut ops, &g, &xh, f, single);
+    for strategy in strategies() {
+        let ctx = DistCtx::new(&g.csr, 4, strategy, Topology::Ring);
+        assert_eq!(ctx.num_shards(), 4);
+        let got = spmm_sum_half(&mut ops, &g, &xh, f, single.with_dist(Some(&ctx)));
+        assert_eq!(got, want, "{strategy:?}");
+    }
+}
+
+/// A pure star graph under DegreeBalanced partitioning: the hub shard owns
+/// almost every edge and the leaf shards almost none, the most lopsided
+/// plan the partitioner can produce. Equivalence must not depend on
+/// balance.
+#[test]
+fn star_graph_is_bitwise_under_degree_balanced_sharding() {
+    let dev = DeviceConfig::a100_like();
+    let n: usize = 33;
+    let edges: Vec<(VertexId, VertexId)> = (1..n as VertexId).map(|v| (0, v)).collect();
+    let csr = Csr::from_edges(n, n, &edges).symmetrized_with_self_loops();
+    let g = PreparedGraph::new(&csr);
+    let f = 8;
+    let xh: Vec<Half> = (0..n * f).map(|i| Half::from_f32(((i % 9) as f32 - 4.0) * 0.1)).collect();
+    let mut ops = Ops::new(&dev);
+    let single = Dispatch::untuned(PrecisionMode::HalfGnn);
+    let want_spmm = spmm_mean_half(&mut ops, &g, &xh, f, single);
+    let want_sddmm = sddmm_half(&mut ops, &g, &xh, &xh, f, single);
+    for shards in [2usize, 4, 8] {
+        let ctx = DistCtx::new(&g.csr, shards, PartitionStrategy::DegreeBalanced, Topology::Ring);
+        let d = single.with_dist(Some(&ctx));
+        assert_eq!(spmm_mean_half(&mut ops, &g, &xh, f, d), want_spmm, "shards={shards}");
+        assert_eq!(sddmm_half(&mut ops, &g, &xh, &xh, f, d), want_sddmm, "shards={shards}");
+    }
+}
