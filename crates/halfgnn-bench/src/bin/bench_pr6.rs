@@ -1,0 +1,215 @@
+//! `bench_pr6` — epoch capture/replay with arena-planned buffers.
+//!
+//! One sweep on the modeled A100: GCN and GAT on a low-skew SBM
+//! (Citeseer stand-in) and the power-law Hollywood09 stand-in, float vs.
+//! HalfGNN, every run with `replay: true`. Epoch 0 captures the kernel
+//! sequence; epochs 1+ replay pre-resolved plans with launch overhead
+//! stripped, and the captured graph's buffer lifetimes are packed into
+//! arena slabs.
+//!
+//! Hard gates, asserted not observed:
+//!
+//! * replay is bit-identical: every loss of the `replay: true` run equals
+//!   the eager run's bits at every config;
+//! * the modeled-cycle win is real: every replayed epoch is strictly
+//!   cheaper than its capture epoch;
+//! * the memory headline: an eager FP32 baseline (no lifetime reuse — one
+//!   live slab per intermediate, what an allocator without the captured
+//!   graph must hold) over HalfGNN's arena-planned peak is >= 2.0 at
+//!   every config. The decomposition is reported alongside: the
+//!   precision-only component (planned float / planned half, ~1.9x — the
+//!   f32 softmax/cross-entropy tail is shared by both pipelines) and the
+//!   reuse-only component (eager / planned within one precision, >= 2.0,
+//!   landing near the paper's 2.67x footprint ratio).
+//!
+//! Emits `BENCH_pr6.json` in the current directory; run from the repo
+//! root.
+
+use halfgnn_exec::ReplaySummary;
+use halfgnn_graph::datasets::Dataset;
+use halfgnn_nn::trainer::{train_on, ModelKind, PrecisionMode, TrainConfig};
+use halfgnn_sim::DeviceConfig;
+
+struct Row {
+    graph: &'static str,
+    model: ModelKind,
+    precision: PrecisionMode,
+    summary: ReplaySummary,
+    capture_epoch_us: f64,
+    replay_epoch_us: f64,
+    test_accuracy: f32,
+}
+
+fn precision_tag(p: PrecisionMode) -> &'static str {
+    match p {
+        PrecisionMode::Float => "float",
+        PrecisionMode::HalfGnn => "halfgnn",
+        PrecisionMode::HalfNaive => "halfnaive",
+        PrecisionMode::HalfGnnNoDiscretize => "nodiscretize",
+    }
+}
+
+fn model_tag(m: ModelKind) -> &'static str {
+    match m {
+        ModelKind::Gcn => "gcn",
+        ModelKind::Gat => "gat",
+        ModelKind::Gin => "gin",
+        ModelKind::Sage => "sage",
+    }
+}
+
+fn main() {
+    let dev = DeviceConfig::a100_like();
+    let graphs = [
+        ("sbm_low_skew", Dataset::citeseer().load(42)),
+        ("powerlaw", Dataset::hollywood09().load(42)),
+    ];
+    let mut rows: Vec<Row> = Vec::new();
+
+    for (graph, data) in &graphs {
+        for model in [ModelKind::Gcn, ModelKind::Gat] {
+            for precision in [PrecisionMode::Float, PrecisionMode::HalfGnn] {
+                let base = TrainConfig {
+                    model,
+                    precision,
+                    epochs: 3,
+                    hidden: 64,
+                    ..TrainConfig::default()
+                };
+                let eager = train_on(&dev, data, &base);
+                let replayed = train_on(&dev, data, &TrainConfig { replay: true, ..base });
+
+                // Gate 1: capture/replay moves no bits.
+                assert_eq!(
+                    eager.losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+                    replayed.losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+                    "{graph}/{model:?}/{precision:?}: replay diverged from eager"
+                );
+
+                // Gate 2: every replayed epoch is modeled strictly cheaper
+                // than its capture epoch.
+                assert!(
+                    replayed.replay_epoch_time_us > 0.0
+                        && replayed.replay_epoch_time_us < replayed.epoch_time_us,
+                    "{graph}/{model:?}/{precision:?}: replay epoch {} us vs capture {} us",
+                    replayed.replay_epoch_time_us,
+                    replayed.epoch_time_us
+                );
+
+                let summary = replayed.replay.expect("replay run reports a summary");
+                assert!(summary.saved_cycles > 0.0, "no launch overhead stripped");
+                rows.push(Row {
+                    graph,
+                    model,
+                    precision,
+                    summary,
+                    capture_epoch_us: replayed.epoch_time_us,
+                    replay_epoch_us: replayed.replay_epoch_time_us,
+                    test_accuracy: replayed.test_accuracy,
+                });
+            }
+        }
+    }
+
+    // Gate 3: the memory headline and its decomposition, per config.
+    let mut headline_min = f64::INFINITY;
+    let mut headline_max = 0.0f64;
+    let mut precision_only_min = f64::INFINITY;
+    let mut reuse_min = f64::INFINITY;
+    for (graph, _) in &graphs {
+        for model in [ModelKind::Gcn, ModelKind::Gat] {
+            let find = |p: PrecisionMode| {
+                rows.iter()
+                    .find(|r| r.graph == *graph && r.model == model && r.precision == p)
+                    .expect("row")
+            };
+            let f = find(PrecisionMode::Float);
+            let h = find(PrecisionMode::HalfGnn);
+            let headline = f.summary.eager_bytes as f64 / h.summary.peak_bytes as f64;
+            assert!(
+                headline >= 2.0,
+                "{graph}/{model:?}: eager-float / planned-half peak ratio {headline:.2} < 2.0 \
+                 (float eager {} vs half peak {})",
+                f.summary.eager_bytes,
+                h.summary.peak_bytes
+            );
+            let precision_only = f.summary.peak_bytes as f64 / h.summary.peak_bytes as f64;
+            assert!(
+                precision_only >= 1.8,
+                "{graph}/{model:?}: planned float/half ratio {precision_only:.2} < 1.8"
+            );
+            for r in [f, h] {
+                let reuse = r.summary.eager_bytes as f64 / r.summary.peak_bytes as f64;
+                assert!(
+                    reuse >= 2.0,
+                    "{graph}/{model:?}/{:?}: arena reuse factor {reuse:.2} < 2.0",
+                    r.precision
+                );
+                reuse_min = reuse_min.min(reuse);
+            }
+            headline_min = headline_min.min(headline);
+            headline_max = headline_max.max(headline);
+            precision_only_min = precision_only_min.min(precision_only);
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"pr6_capture_replay\",\n");
+    json.push_str("  \"device\": \"a100_like (modeled)\",\n");
+    json.push_str("  \"replay_bitwise_equal\": true,\n");
+    json.push_str(&format!(
+        "  \"float_eager_over_half_planned_peak_ratio_min\": {headline_min:.4},\n  \
+         \"float_eager_over_half_planned_peak_ratio_max\": {headline_max:.4},\n  \
+         \"planned_float_over_half_peak_ratio_min\": {precision_only_min:.4},\n  \
+         \"arena_reuse_factor_min\": {reuse_min:.4},\n"
+    ));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let s = &r.summary;
+        json.push_str(&format!(
+            "    {{\"graph\": \"{}\", \"model\": \"{}\", \"precision\": \"{}\", \
+             \"nodes\": {}, \"plans\": {}, \"buffers\": {}, \
+             \"peak_bytes\": {}, \"eager_bytes\": {}, \"external_bytes\": {}, \
+             \"saved_cycles_per_epoch\": {:.0}, \"capture_epoch_us\": {:.1}, \
+             \"replay_epoch_us\": {:.1}, \"test_accuracy\": {:.4}}}{}\n",
+            r.graph,
+            model_tag(r.model),
+            precision_tag(r.precision),
+            s.nodes,
+            s.plans,
+            s.buffers,
+            s.peak_bytes,
+            s.eager_bytes,
+            s.external_bytes,
+            s.saved_cycles,
+            r.capture_epoch_us,
+            r.replay_epoch_us,
+            r.test_accuracy,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_pr6.json", &json).expect("write BENCH_pr6.json");
+    print!("{json}");
+    for r in &rows {
+        let s = &r.summary;
+        eprintln!(
+            "[bench_pr6] {:>12} {:<4} {:<8} {:>3} nodes  peak {:>6.2} MiB \
+             (eager {:>6.2}) capture {:>8.1} us -> replay {:>8.1} us",
+            r.graph,
+            model_tag(r.model),
+            precision_tag(r.precision),
+            s.nodes,
+            s.peak_bytes as f64 / 1048576.0,
+            s.eager_bytes as f64 / 1048576.0,
+            r.capture_epoch_us,
+            r.replay_epoch_us,
+        );
+    }
+    eprintln!(
+        "[bench_pr6] headline: eager-float/planned-half peak ratio in \
+         [{headline_min:.2}, {headline_max:.2}]; precision-only component >= \
+         {precision_only_min:.2}; arena reuse factor >= {reuse_min:.2}; replay bitwise-equal"
+    );
+}

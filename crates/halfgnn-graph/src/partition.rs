@@ -75,6 +75,11 @@ pub struct Shard {
     /// the global id of local vertex `l`. Monotone, so local column order
     /// equals global column order within every row.
     pub local_to_global: Vec<VertexId>,
+    /// How many halo rows each source shard must send this one: sorted
+    /// `(src_shard, rows)` pairs, omitting zero counts. Precomputed at
+    /// partition time — the halo-exchange loop reads it every layer of
+    /// every epoch.
+    pub halo_sources: Vec<(usize, usize)>,
     /// The shard's rows over local column ids: `row_range.1 - row_range.0`
     /// rows × `local_to_global.len()` columns.
     pub local_csr: Csr,
@@ -139,13 +144,11 @@ impl ShardPlan {
     }
 
     /// For shard `dst`, how many halo rows each source shard must send it:
-    /// sorted `(src_shard, rows)` pairs, omitting zero counts.
-    pub fn halo_sources(&self, dst: usize) -> Vec<(usize, usize)> {
-        let mut counts = vec![0usize; self.num_shards()];
-        for &g in &self.shards[dst].halo {
-            counts[self.owner_of(g as usize)] += 1;
-        }
-        counts.into_iter().enumerate().filter(|&(_, c)| c > 0).collect()
+    /// sorted `(src_shard, rows)` pairs, omitting zero counts. Precomputed
+    /// by [`partition`]; this is a plain slice borrow, safe to call in the
+    /// per-epoch halo-exchange loop.
+    pub fn halo_sources(&self, dst: usize) -> &[(usize, usize)] {
+        &self.shards[dst].halo_sources
     }
 }
 
@@ -225,12 +228,25 @@ pub fn partition(csr: &Csr, num_shards: usize, strategy: PartitionStrategy) -> S
             }
             let local_csr = Csr::from_edges(r1 - r0, local_to_global.len(), &local_edges);
 
+            // Halo rows per source shard: the halo is sorted, so each
+            // owner's share is one contiguous run delimited by its cuts.
+            // Empty shards ([cuts[k], cuts[k+1]) empty) contribute nothing,
+            // exactly as the owner-scan attribution did.
+            let halo_sources = (0..num_shards)
+                .filter_map(|src| {
+                    let lo = halo.partition_point(|&c| (c as usize) < cuts[src]);
+                    let hi = halo.partition_point(|&c| (c as usize) < cuts[src + 1]);
+                    (hi > lo).then_some((src, hi - lo))
+                })
+                .collect();
+
             Shard {
                 index: s,
                 row_range: (r0, r1),
                 edge_range: (e0, e1),
                 halo,
                 local_to_global,
+                halo_sources,
                 local_csr,
             }
         })
@@ -386,6 +402,31 @@ mod tests {
         assert_eq!(rows, 8);
         let edges: usize = plan.shards.iter().map(Shard::num_edges).sum();
         assert_eq!(edges, 2);
+    }
+
+    #[test]
+    fn precomputed_halo_sources_match_owner_scan() {
+        // Regression for the per-call recompute this replaced: the
+        // partition-time `halo_sources` must equal the old owner-by-owner
+        // count for every shard, on skewed and empty-shard plans alike.
+        for g in
+            [chain6(), star(17), Csr::from_edges(2, 2, &[(0, 1)]).symmetrized_with_self_loops()]
+        {
+            for strategy in [PartitionStrategy::Contiguous, PartitionStrategy::DegreeBalanced] {
+                for s in [1usize, 2, 3, 4, 6] {
+                    let plan = partition(&g, s, strategy);
+                    for dst in 0..s {
+                        let mut counts = vec![0usize; s];
+                        for &v in &plan.shards[dst].halo {
+                            counts[plan.owner_of(v as usize)] += 1;
+                        }
+                        let want: Vec<(usize, usize)> =
+                            counts.into_iter().enumerate().filter(|&(_, c)| c > 0).collect();
+                        assert_eq!(plan.halo_sources(dst), want, "{strategy:?} s={s} dst={dst}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

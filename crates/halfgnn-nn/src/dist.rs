@@ -12,6 +12,7 @@
 //! all-reduces (f16 wire with discretized per-bucket scaling in half
 //! modes, f32 wire in float).
 
+use halfgnn_exec::buf_ref;
 use halfgnn_graph::partition::{partition, PartitionStrategy, Shard, ShardPlan};
 use halfgnn_graph::Csr;
 use halfgnn_half::Half;
@@ -71,7 +72,7 @@ impl DistCtx {
     /// share of the halo rows as one `rows · f · elem_bytes` message.
     fn charge_halo(&self, shard: &Shard, f: usize, elem_bytes: usize) {
         let mut ledger = self.ledger.borrow_mut();
-        for (src, rows) in self.plan.halo_sources(shard.index) {
+        for &(src, rows) in self.plan.halo_sources(shard.index) {
             ledger.message(
                 &self.interconnect,
                 TrafficClass::Halo,
@@ -93,6 +94,9 @@ impl DistCtx {
     ) -> Vec<Half> {
         let (wire, stats) = dist_kernels::halo_gather_half(ops.dev, x, f, &shard.halo);
         ops.record(stats);
+        if let Some(ctx) = ops.exec {
+            ctx.record_node("halo_gather_half", &[buf_ref(x)], &[buf_ref(&wire)], None);
+        }
         self.charge_halo(shard, f, 2);
         wire
     }
@@ -102,6 +106,9 @@ impl DistCtx {
     pub fn exchange_halo_f32(&self, ops: &mut Ops, x: &[f32], f: usize, shard: &Shard) -> Vec<f32> {
         let (wire, stats) = dist_kernels::halo_gather_f32(ops.dev, x, f, &shard.halo);
         ops.record(stats);
+        if let Some(ctx) = ops.exec {
+            ctx.record_node("halo_gather_f32", &[buf_ref(x)], &[buf_ref(&wire)], None);
+        }
         self.charge_halo(shard, f, 4);
         wire
     }

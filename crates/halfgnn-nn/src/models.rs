@@ -16,16 +16,17 @@
 
 use crate::dist::DistCtx;
 use crate::graphdata::PreparedGraph;
+use halfgnn_exec::{buf_ref, BufRef, ExecCtx};
 use halfgnn_graph::partition::Shard;
 use halfgnn_half::Half;
 use halfgnn_kernels::baseline::cusparse::{self, EdgeWeightsF32};
 use halfgnn_kernels::common::{EdgeWeights, Reduce, ScalePlacement};
 use halfgnn_kernels::fused::{self, FusedAttnForward};
-use halfgnn_kernels::halfgnn_sddmm::SddmmConfig;
 use halfgnn_kernels::halfgnn_spmm;
 use halfgnn_kernels::{baseline::dgl_sddmm, edge_ops, halfgnn_sddmm};
 use halfgnn_sim::KernelStats;
 use halfgnn_tensor::Ops;
+use halfgnn_tune::plan::{AttnPlan, KernelPlan, SddmmPlan};
 use halfgnn_tune::{SpmmPlan, SpmmVariant, Tuner};
 
 /// Which GNN architecture to train.
@@ -96,19 +97,24 @@ pub struct Dispatch<'t> {
     /// Sharded-execution context, when `TrainConfig::shards > 1`. `None`
     /// runs single-device launches — bit-for-bit the pre-sharding trainer.
     pub dist: Option<&'t DistCtx>,
+    /// Capture/replay context (`--replay`). While capturing, every plan
+    /// resolution and kernel launch records into the execution graph;
+    /// while replaying, plans come back from the captured stream with zero
+    /// tuner lookups.
+    pub exec: Option<&'t ExecCtx>,
 }
 
 impl Dispatch<'static> {
     /// Dispatch with default plans only (`tuning: Off`).
     pub fn untuned(mode: PrecisionMode) -> Dispatch<'static> {
-        Dispatch { mode, tuner: None, fusion: false, dist: None }
+        Dispatch { mode, tuner: None, fusion: false, dist: None, exec: None }
     }
 }
 
 impl<'t> Dispatch<'t> {
     /// Dispatch through a tuner (`tuning: Auto` / `Cached`).
     pub fn tuned(mode: PrecisionMode, tuner: &'t Tuner) -> Dispatch<'t> {
-        Dispatch { mode, tuner: Some(tuner), fusion: false, dist: None }
+        Dispatch { mode, tuner: Some(tuner), fusion: false, dist: None, exec: None }
     }
 
     /// Explicitly force (or forbid forcing) the fused attention pipeline.
@@ -123,6 +129,26 @@ impl<'t> Dispatch<'t> {
         self
     }
 
+    /// Attach (or detach) a capture/replay context.
+    pub fn with_exec(mut self, exec: Option<&'t ExecCtx>) -> Dispatch<'t> {
+        self.exec = exec;
+        self
+    }
+
+    /// Capture hook: record a sparse-kernel launch into the execution
+    /// graph (no-op without a context or after it is sealed).
+    fn capture_node(
+        &self,
+        op: &'static str,
+        inputs: &[BufRef],
+        outputs: &[BufRef],
+        win: Option<(usize, usize)>,
+    ) {
+        if let Some(ctx) = self.exec {
+            ctx.record_node(op, inputs, outputs, win);
+        }
+    }
+
     /// Whether GAT's attention chain runs the fused single-pass kernels
     /// for `f`-wide features over this graph. Explicit `fusion` config
     /// wins; otherwise the tuner decides per graph shape; with neither,
@@ -135,19 +161,32 @@ impl<'t> Dispatch<'t> {
         if !halfgnn || !f.is_multiple_of(2) {
             return false;
         }
-        if self.fusion {
-            return true;
+        // Replay pulls the captured decision; capture records whatever the
+        // eager resolution below decides. Both sit after the early returns
+        // so the plan stream pairs up launch-for-launch across epochs.
+        if let Some(ctx) = self.exec {
+            if ctx.is_replaying() {
+                return ctx.next_attn_plan().fused;
+            }
         }
-        match self.tuner {
-            Some(t) => t.attn_plan(&g.csr, f).fused,
-            None => false,
+        let fused = if self.fusion {
+            true
+        } else {
+            match self.tuner {
+                Some(t) => t.attn_plan(&g.csr, f).fused,
+                None => false,
+            }
+        };
+        if let Some(ctx) = self.exec {
+            ctx.record_plan(KernelPlan::Attn(AttnPlan { fused }));
         }
+        fused
     }
 }
 
 impl<'t> From<PrecisionMode> for Dispatch<'t> {
     fn from(mode: PrecisionMode) -> Dispatch<'t> {
-        Dispatch { mode, tuner: None, fusion: false, dist: None }
+        Dispatch { mode, tuner: None, fusion: false, dist: None, exec: None }
     }
 }
 
@@ -331,9 +370,18 @@ fn halfgnn_spmm_planned(
     d: Dispatch<'_>,
     win: (usize, usize),
 ) -> (Vec<Half>, KernelStats) {
-    let plan = match d.tuner {
-        Some(t) => t.spmm_plan(&g.csr, f, !w.is_ones(), scaling),
-        None => SpmmPlan::default(),
+    let plan = match d.exec {
+        Some(ctx) if ctx.is_replaying() => ctx.next_spmm_plan(),
+        exec => {
+            let plan = match d.tuner {
+                Some(t) => t.spmm_plan(&g.csr, f, !w.is_ones(), scaling),
+                None => SpmmPlan::default(),
+            };
+            if let Some(ctx) = exec {
+                ctx.record_plan(KernelPlan::Spmm(plan));
+            }
+            plan
+        }
     };
     match plan.variant {
         SpmmVariant::EdgeParallel => halfgnn_spmm::spmm_window(
@@ -392,16 +440,25 @@ fn spmm_half_dispatch(
     row_scale: Option<&[Half]>,
     d: Dispatch<'_>,
 ) -> Vec<Half> {
+    let mut ins = vec![buf_ref(x)];
+    if let EdgeWeights::Values(wv) = w {
+        ins.push(buf_ref(wv));
+    }
+    if let Some(rs) = row_scale {
+        ins.push(buf_ref(rs));
+    }
     match d.dist {
         None => {
             let (y, stats) = spmm_half_window(ops, g, w, x, f, row_scale, d, (0, g.n()));
             ops.record(stats);
+            d.capture_node("spmm_half", &ins, &[buf_ref(&y)], None);
             y
         }
         Some(ctx) => sharded_rows(ops, ctx, g.n(), f, Half::ZERO, |ops, shard| {
             ctx.exchange_halo_half(ops, x, f, shard);
             let (y, stats) = spmm_half_window(ops, g, w, x, f, row_scale, d, shard.row_range);
             ops.record(stats);
+            d.capture_node("spmm_half", &ins, &[buf_ref(&y)], Some(shard.row_range));
             y
         }),
     }
@@ -418,11 +475,19 @@ fn spmm_f32_dispatch(
     row_scale: Option<&[f32]>,
     d: Dispatch<'_>,
 ) -> Vec<f32> {
+    let mut ins = vec![buf_ref(x)];
+    if let EdgeWeightsF32::Values(wv) = w {
+        ins.push(buf_ref(wv));
+    }
+    if let Some(rs) = row_scale {
+        ins.push(buf_ref(rs));
+    }
     match d.dist {
         None => {
             let (y, stats) =
                 cusparse::spmm_float_window(ops.dev, &g.coo, w, x, f, row_scale, (0, g.n()));
             ops.record(stats);
+            d.capture_node("spmm_f32", &ins, &[buf_ref(&y)], None);
             y
         }
         Some(ctx) => sharded_rows(ops, ctx, g.n(), f, 0.0f32, |ops, shard| {
@@ -430,6 +495,7 @@ fn spmm_f32_dispatch(
             let (y, stats) =
                 cusparse::spmm_float_window(ops.dev, &g.coo, w, x, f, row_scale, shard.row_range);
             ops.record(stats);
+            d.capture_node("spmm_f32", &ins, &[buf_ref(&y)], Some(shard.row_range));
             y
         }),
     }
@@ -483,11 +549,22 @@ fn sddmm_half_window(
     match d.mode {
         PrecisionMode::HalfNaive => dgl_sddmm::sddmm_half_window(ops.dev, &g.coo, u, v, f, win),
         PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => {
-            let cfg = match d.tuner {
-                Some(t) => t.sddmm_plan(&g.csr, f).to_sddmm_config(),
-                None => SddmmConfig::widest_for(f),
+            let plan = match d.exec {
+                Some(ctx) if ctx.is_replaying() => ctx.next_sddmm_plan(),
+                exec => {
+                    // `default_for` round-trips `widest_for` exactly, so
+                    // the captured plan replays bit-identically.
+                    let plan = match d.tuner {
+                        Some(t) => t.sddmm_plan(&g.csr, f),
+                        None => SddmmPlan::default_for(f),
+                    };
+                    if let Some(ctx) = exec {
+                        ctx.record_plan(KernelPlan::Sddmm(plan));
+                    }
+                    plan
+                }
             };
-            halfgnn_sddmm::sddmm_window(ops.dev, &g.coo, u, v, f, &cfg, win)
+            halfgnn_sddmm::sddmm_window(ops.dev, &g.coo, u, v, f, &plan.to_sddmm_config(), win)
         }
         PrecisionMode::Float => unreachable!("float path uses sddmm_f32"),
     }
@@ -510,12 +587,19 @@ pub fn sddmm_half(
         None => {
             let (y, stats) = sddmm_half_window(ops, g, u, v, f, d, (0, g.nnz()));
             ops.record(stats);
+            d.capture_node("sddmm_half", &[buf_ref(u), buf_ref(v)], &[buf_ref(&y)], None);
             y
         }
         Some(ctx) => sharded_edges(ops, ctx, g.nnz(), Half::ZERO, |ops, shard| {
             ctx.exchange_halo_half(ops, v, f, shard);
             let (y, stats) = sddmm_half_window(ops, g, u, v, f, d, shard.edge_range);
             ops.record(stats);
+            d.capture_node(
+                "sddmm_half",
+                &[buf_ref(u), buf_ref(v)],
+                &[buf_ref(&y)],
+                Some(shard.edge_range),
+            );
             y
         }),
     }
@@ -535,12 +619,19 @@ pub fn edge_reduce_half(
         None => {
             let (y, stats) = halfgnn_spmm::edge_reduce(ops.dev, &g.coo, w, op);
             ops.record(stats);
+            d.capture_node("edge_reduce_half", &[buf_ref(w)], &[buf_ref(&y)], None);
             y
         }
         Some(ctx) => sharded_rows(ops, ctx, g.n(), 1, Half::ZERO, |ops, shard| {
             let (y, stats) =
                 halfgnn_spmm::edge_reduce_window(ops.dev, &g.coo, w, op, shard.row_range);
             ops.record(stats);
+            d.capture_node(
+                "edge_reduce_half",
+                &[buf_ref(w)],
+                &[buf_ref(&y)],
+                Some(shard.row_range),
+            );
             y
         }),
     }
@@ -561,10 +652,17 @@ pub fn fused_attn_forward(
     f: usize,
     d: Dispatch<'_>,
 ) -> FusedAttnForward {
+    let ins = [buf_ref(s_dst), buf_ref(s_src), buf_ref(z)];
     match d.dist {
         None => {
             let (y, stats) = fused::fused_attn_forward(ops.dev, &g.coo, s_dst, s_src, slope, z, f);
             ops.record(stats);
+            d.capture_node(
+                "fused_attn_forward",
+                &ins,
+                &[buf_ref(&y.e), buf_ref(&y.alpha), buf_ref(&y.out)],
+                None,
+            );
             y
         }
         Some(ctx) => {
@@ -586,6 +684,12 @@ pub fn fused_attn_forward(
                     shard.row_range,
                 );
                 ops.record(stats);
+                d.capture_node(
+                    "fused_attn_forward",
+                    &ins,
+                    &[buf_ref(&y.e), buf_ref(&y.alpha), buf_ref(&y.out)],
+                    Some(shard.row_range),
+                );
                 let (r0, r1) = shard.row_range;
                 let (e0, e1) = shard.edge_range;
                 acc.e[e0..e1].copy_from_slice(&y.e[e0..e1]);
@@ -609,10 +713,12 @@ pub fn fused_softmax_grad(
     slope: f32,
     d: Dispatch<'_>,
 ) -> Vec<Half> {
+    let ins = [buf_ref(alpha), buf_ref(dalpha), buf_ref(e)];
     match d.dist {
         None => {
             let (y, stats) = fused::fused_softmax_grad(ops.dev, &g.coo, alpha, dalpha, e, slope);
             ops.record(stats);
+            d.capture_node("fused_softmax_grad", &ins, &[buf_ref(&y)], None);
             y
         }
         Some(ctx) => sharded_edges(ops, ctx, g.nnz(), Half::ZERO, |ops, shard| {
@@ -626,6 +732,7 @@ pub fn fused_softmax_grad(
                 shard.row_range,
             );
             ops.record(stats);
+            d.capture_node("fused_softmax_grad", &ins, &[buf_ref(&y)], Some(shard.row_range));
             y
         }),
     }
@@ -679,6 +786,7 @@ pub fn sddmm_f32(
         None => {
             let (y, stats) = dgl_sddmm::sddmm_float(ops.dev, &g.coo, u, v, f);
             ops.record(stats);
+            d.capture_node("sddmm_f32", &[buf_ref(u), buf_ref(v)], &[buf_ref(&y)], None);
             y
         }
         Some(ctx) => sharded_edges(ops, ctx, g.nnz(), 0.0f32, |ops, shard| {
@@ -686,6 +794,12 @@ pub fn sddmm_f32(
             let (y, stats) =
                 dgl_sddmm::sddmm_float_window(ops.dev, &g.coo, u, v, f, shard.edge_range);
             ops.record(stats);
+            d.capture_node(
+                "sddmm_f32",
+                &[buf_ref(u), buf_ref(v)],
+                &[buf_ref(&y)],
+                Some(shard.edge_range),
+            );
             y
         }),
     }
@@ -703,12 +817,14 @@ pub fn edge_reduce_f32(
         None => {
             let (y, stats) = edge_ops::edge_reduce_f32(ops.dev, &g.coo, w, op);
             ops.record(stats);
+            d.capture_node("edge_reduce_f32", &[buf_ref(w)], &[buf_ref(&y)], None);
             y
         }
         Some(ctx) => sharded_rows(ops, ctx, g.n(), 1, 0.0f32, |ops, shard| {
             let (y, stats) =
                 edge_ops::edge_reduce_f32_window(ops.dev, &g.coo, w, op, shard.row_range);
             ops.record(stats);
+            d.capture_node("edge_reduce_f32", &[buf_ref(w)], &[buf_ref(&y)], Some(shard.row_range));
             y
         }),
     }

@@ -9,6 +9,8 @@ pub use crate::models::{ModelKind, PrecisionMode};
 use crate::params::{GatParams, TwoLayerParams};
 use crate::sage::SageParams;
 use crate::{gat, gcn, gin, sage};
+use halfgnn_exec::ExecCtx;
+pub use halfgnn_exec::ReplaySummary;
 use halfgnn_graph::datasets::LoadedDataset;
 pub use halfgnn_graph::partition::PartitionStrategy;
 use halfgnn_half::overflow;
@@ -90,6 +92,12 @@ pub struct TrainConfig {
     pub topology: Topology,
     /// How vertices are assigned to shards (ignored when `shards == 1`).
     pub partition: PartitionStrategy,
+    /// Capture epoch 0 into an execution graph and replay it for every
+    /// later epoch (`--replay`, DESIGN.md §13) — the CUDA-graph analog.
+    /// Replay epochs resolve zero kernel plans (no tuner-cache lookups)
+    /// and pay launch overhead only once, at capture; functional results
+    /// are bit-identical to eager execution.
+    pub replay: bool,
 }
 
 impl Default for TrainConfig {
@@ -110,6 +118,7 @@ impl Default for TrainConfig {
             shards: 1,
             topology: Topology::Ring,
             partition: PartitionStrategy::Contiguous,
+            replay: false,
         }
     }
 }
@@ -169,6 +178,16 @@ pub struct TrainReport {
     pub comms_time_us_per_epoch: f64,
     /// Per-directed-link traffic of one epoch, sorted by `(from, to)`.
     pub link_breakdown: Vec<((usize, usize), LinkStat)>,
+    /// Captured-graph summary when the run replayed (`TrainConfig::replay`):
+    /// launches and buffers per epoch, the arena-planned `peak_bytes` for
+    /// intermediates (vs the eager no-reuse baseline), and the modeled
+    /// cycles saved per replay epoch by stripped launch overhead. `None`
+    /// on eager runs.
+    pub replay: Option<ReplaySummary>,
+    /// Time of one *replayed* epoch in microseconds (first replay epoch;
+    /// same semantics as `epoch_time_us`). Zero on eager runs and on
+    /// single-epoch runs that never replayed.
+    pub replay_epoch_time_us: f64,
 }
 
 impl TrainReport {
@@ -211,6 +230,7 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
     let mut dram_bytes = 0u64;
     let mut breakdown: Vec<(String, usize, f64, u64)> = Vec::new();
     let mut last_logits: Vec<f32> = Vec::new();
+    let mut replay_epoch_time_us = 0.0;
 
     // Parameter storage + optimizer, per architecture.
     enum P {
@@ -249,19 +269,27 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
     // interconnect. `shards == 1` keeps the single-device dispatch path.
     let dist =
         (cfg.shards > 1).then(|| DistCtx::new(&g.csr, cfg.shards, cfg.partition, cfg.topology));
+    // Capture/replay context (`--replay`): epoch 0 records every plan
+    // resolution and kernel launch; `seal()` freezes the graph and every
+    // later epoch replays it — no tuner lookups, launch overhead stripped.
+    let exec_ctx = cfg.replay.then(ExecCtx::capturing);
     let dispatch = match &tuner {
         Some(t) => Dispatch::tuned(cfg.precision, t),
         None => Dispatch::untuned(cfg.precision),
     }
     .with_fusion(cfg.fusion)
-    .with_dist(dist.as_ref());
+    .with_dist(dist.as_ref())
+    .with_exec(exec_ctx.as_ref());
 
     let mut comms = halfgnn_sim::interconnect::CommsLedger::new();
     for epoch in 0..cfg.epochs {
         if let Some(ctx) = &dist {
             ctx.reset_epoch();
         }
-        let mut ops = Ops::new(dev);
+        if let Some(ctx) = &exec_ctx {
+            ctx.begin_epoch();
+        }
+        let mut ops = Ops::new(dev).with_exec(exec_ctx.as_ref());
         ops.loss_scale = cfg.loss_scale;
         // Track every f32→half conversion of this epoch's step; the first
         // non-finite one is recorded with its layer/kernel site path.
@@ -366,6 +394,19 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
                 comms = ctx.snapshot();
             }
         }
+        if let Some(ctx) = &exec_ctx {
+            if epoch == 0 {
+                // Capture complete: freeze the graph, replay from here on.
+                ctx.seal();
+            } else {
+                // A replayed epoch must consume exactly the captured plan
+                // stream — anything else is a silent divergence.
+                ctx.end_epoch();
+                if epoch == 1 {
+                    replay_epoch_time_us = ops.total_time_us();
+                }
+            }
+        }
 
         // Master update in f32 (NaN gradients propagate, as in real DGL).
         match &mut params {
@@ -409,6 +450,15 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
         comms_allreduce_bytes_per_epoch: comms.allreduce_bytes,
         comms_time_us_per_epoch: comms.total_time_us(),
         link_breakdown: comms.link_stats(),
+        replay: exec_ctx.as_ref().map(|ctx| {
+            let mut s = ctx.summary();
+            // Per-epoch figure: total stripped cycles over the replay
+            // epochs that actually ran.
+            let replays = cfg.epochs.saturating_sub(1).max(1) as f64;
+            s.saved_cycles /= replays;
+            s
+        }),
+        replay_epoch_time_us,
     }
 }
 
@@ -755,6 +805,134 @@ mod tests {
         let r = train(&data, &quick_cfg(ModelKind::Gcn, PrecisionMode::HalfGnn, 10));
         assert!(r.nan_epoch.is_none());
         assert!(r.final_train_accuracy > 0.4);
+    }
+
+    fn bits(losses: &[f32]) -> Vec<u32> {
+        losses.iter().map(|l| l.to_bits()).collect()
+    }
+
+    #[test]
+    fn replay_is_bit_identical_to_eager_for_every_model() {
+        // The tentpole contract: epoch 0 captures, every later epoch
+        // replays pre-resolved plans with launch overhead stripped — and
+        // the losses stay bit-for-bit the eager run's for all four
+        // architectures in both precisions.
+        let data = Dataset::cora().load(42);
+        for model in [ModelKind::Gcn, ModelKind::Gin, ModelKind::Gat, ModelKind::Sage] {
+            for precision in [PrecisionMode::Float, PrecisionMode::HalfGnn] {
+                let base = quick_cfg(model, precision, 4);
+                let eager = train(&data, &base);
+                assert!(eager.replay.is_none(), "eager runs must not report a replay summary");
+                let replay = train(&data, &TrainConfig { replay: true, ..base });
+                assert_eq!(
+                    bits(&eager.losses),
+                    bits(&replay.losses),
+                    "{model:?} {precision:?} replay diverged"
+                );
+                assert_eq!(eager.final_train_accuracy, replay.final_train_accuracy);
+                let s = replay.replay.expect("replay runs must report a summary");
+                assert!(s.nodes > 0 && s.buffers > 0, "{model:?} captured an empty graph");
+                assert!(
+                    s.saved_cycles > 0.0,
+                    "{model:?} {precision:?} replay stripped no launch overhead"
+                );
+                assert!(
+                    s.peak_bytes > 0 && s.peak_bytes <= s.eager_bytes,
+                    "{model:?} arena peak {} vs eager {}",
+                    s.peak_bytes,
+                    s.eager_bytes
+                );
+                // Replayed epochs are modeled strictly cheaper than the
+                // capture epoch: same kernels minus the launch charges.
+                assert!(
+                    replay.replay_epoch_time_us > 0.0
+                        && replay.replay_epoch_time_us < replay.epoch_time_us,
+                    "{model:?} {precision:?} replay epoch {} vs capture epoch {}",
+                    replay.replay_epoch_time_us,
+                    replay.epoch_time_us
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replay_arena_plans_smaller_buffers_in_half() {
+        // The arena's peak over the half pipeline's 2 B/element buffers
+        // must come in well under the float pipeline's.
+        let data = Dataset::cora().load(42);
+        let mk =
+            |precision| TrainConfig { replay: true, ..quick_cfg(ModelKind::Gcn, precision, 2) };
+        let f = train(&data, &mk(PrecisionMode::Float)).replay.unwrap();
+        let h = train(&data, &mk(PrecisionMode::HalfGnn)).replay.unwrap();
+        let ratio = f.peak_bytes as f64 / h.peak_bytes as f64;
+        assert!(
+            ratio > 1.5,
+            "arena peak ratio {ratio:.2} (float {} half {})",
+            f.peak_bytes,
+            h.peak_bytes
+        );
+        // Reuse must actually bite: the plan packs strictly tighter than
+        // one-slab-per-buffer for both precisions.
+        assert!(f.peak_bytes < f.eager_bytes);
+        assert!(h.peak_bytes < h.eager_bytes);
+    }
+
+    #[test]
+    fn replay_matches_eager_sharded_and_under_fast_exec() {
+        // Replay × shards × real threads: plans are captured and consumed
+        // per shard window, so sharded replay — under the cost model and
+        // under real OS threads at any count — must reproduce the eager
+        // sharded run exactly.
+        let data = Dataset::cora().load(42);
+        for shards in [1usize, 4] {
+            let base =
+                TrainConfig { shards, ..quick_cfg(ModelKind::Gcn, PrecisionMode::HalfGnn, 4) };
+            let eager = train(&data, &base);
+            let sim = train(&data, &TrainConfig { replay: true, ..base.clone() });
+            assert_eq!(bits(&eager.losses), bits(&sim.losses), "sim shards={shards}");
+            for threads in [1, 4] {
+                let fast = train(
+                    &data,
+                    &TrainConfig {
+                        replay: true,
+                        exec: ExecMode::fast_with_threads(threads),
+                        ..base.clone()
+                    },
+                );
+                assert_eq!(
+                    bits(&eager.losses),
+                    bits(&fast.losses),
+                    "fast shards={shards} threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replay_freezes_tuner_lookups_after_capture() {
+        // Replay epochs resolve zero kernel plans, so the tuner is
+        // consulted only during the capture epoch: an eager tuned run
+        // looks up the same keys every epoch, a replay run exactly once.
+        let data = Dataset::cora().load(42);
+        let epochs = 5;
+        let base = TrainConfig {
+            tuning: Tuning::Auto,
+            ..quick_cfg(ModelKind::Gcn, PrecisionMode::HalfGnn, epochs)
+        };
+        let eager = train(&data, &base);
+        let replay = train(&data, &TrainConfig { replay: true, ..base });
+        assert_eq!(bits(&eager.losses), bits(&replay.losses), "tuned replay diverged");
+        let e = eager.tuning_counters.unwrap();
+        let r = replay.tuning_counters.unwrap();
+        // Same first epoch ⇒ same misses and evaluations; after that the
+        // replay run never touches the cache again.
+        assert_eq!(e.misses, r.misses);
+        assert_eq!(e.evaluations, r.evaluations);
+        assert_eq!(
+            e.hits + e.misses,
+            epochs as u64 * (r.hits + r.misses),
+            "eager {e:?} vs replay {r:?}"
+        );
     }
 }
 

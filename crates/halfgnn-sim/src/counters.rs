@@ -136,6 +136,10 @@ pub struct KernelStats {
     pub mem_bw_utilization: f64,
     /// Compute issue-slot occupancy as % (NCU "SM throughput").
     pub sm_utilization: f64,
+    /// Launch-overhead charges folded into `cycles`: 1 per kernel, summed
+    /// by [`Self::then`]. Replay strips exactly this many (the CUDA-graph
+    /// effect) via [`Self::without_launch_overhead`].
+    pub launches: usize,
 }
 
 impl KernelStats {
@@ -186,6 +190,7 @@ impl KernelStats {
             time_us,
             mem_bw_utilization,
             sm_utilization,
+            launches: 1,
         }
     }
 
@@ -206,7 +211,32 @@ impl KernelStats {
             time_us: elapsed.as_secs_f64() * 1e6,
             mem_bw_utilization: 0.0,
             sm_utilization: 0.0,
+            launches: 1,
         }
+    }
+
+    /// Replay accounting (the CUDA-graph effect): strip the per-launch
+    /// overhead folded into `cycles` — once per composed launch — and
+    /// return the adjusted stats plus the modeled cycles saved. Wall-clock
+    /// stats carry no modeled cycles and pass through unchanged (the fast
+    /// backend's replay win is the skipped dispatch/tuner work, not
+    /// modeled time).
+    pub fn without_launch_overhead(&self, dev: &DeviceConfig) -> (KernelStats, f64) {
+        if self.cycles <= 0.0 || self.launches == 0 {
+            return (self.clone(), 0.0);
+        }
+        let saved = (dev.cost.launch_overhead * self.launches as f64).min(self.cycles);
+        let mut out = self.clone();
+        out.cycles = self.cycles - saved;
+        out.time_us = dev.cycles_to_us(out.cycles);
+        out.launches = 0;
+        let total_bytes = (self.totals.sectors() * dev.sector_bytes) as f64;
+        out.mem_bw_utilization = if out.cycles > 0.0 {
+            (100.0 * (total_bytes / out.cycles) / dev.dram_bytes_per_cycle).min(100.0)
+        } else {
+            0.0
+        };
+        (out, saved)
     }
 
     /// Total DRAM bytes moved.
@@ -234,6 +264,7 @@ impl KernelStats {
             time_us,
             mem_bw_utilization: self.mem_bw_utilization * w0 + next.mem_bw_utilization * w1,
             sm_utilization: self.sm_utilization * w0 + next.sm_utilization * w1,
+            launches: self.launches + next.launches,
         }
     }
 }
@@ -349,6 +380,38 @@ mod tests {
         assert!((c.cycles - a.cycles - b.cycles).abs() < 1e-9);
         assert_eq!(c.totals.sectors_loaded, 30);
         assert_eq!(c.name, "a+b");
+    }
+
+    #[test]
+    fn launch_overhead_strips_once_per_composed_launch() {
+        let d = dev();
+        let mk = |name: &str| {
+            KernelStats::from_ctas(
+                name,
+                &d,
+                1,
+                &[500.0],
+                WarpCounters { sectors_loaded: 10, ..Default::default() },
+                0.0,
+                0.0,
+            )
+        };
+        let pair = mk("a").then(&mk("b"));
+        assert_eq!(pair.launches, 2);
+        let (stripped, saved) = pair.without_launch_overhead(&d);
+        assert!((saved - 2.0 * d.cost.launch_overhead).abs() < 1e-9);
+        assert!((stripped.cycles - (pair.cycles - saved)).abs() < 1e-9);
+        assert!((stripped.time_us - d.cycles_to_us(stripped.cycles)).abs() < 1e-12);
+        assert_eq!(stripped.launches, 0);
+        // Idempotent once stripped.
+        let (again, zero) = stripped.without_launch_overhead(&d);
+        assert_eq!(zero, 0.0);
+        assert_eq!(again.cycles, stripped.cycles);
+        // Wall-clock stats pass through untouched.
+        let w = KernelStats::wallclock("w", 1, 1, std::time::Duration::from_micros(5));
+        let (w2, ws) = w.without_launch_overhead(&d);
+        assert_eq!(ws, 0.0);
+        assert!((w2.time_us - w.time_us).abs() < 1e-12);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! sums real elapsed time. Functional results are bit-identical either
 //! way.
 
+use halfgnn_exec::{buf_ref, BufRef, ExecCtx};
 use halfgnn_half::slice::{f32_slice_to_half, half_slice_to_f32};
 use halfgnn_half::Half;
 use halfgnn_sim::launch::{launch, LaunchParams};
@@ -33,6 +34,10 @@ pub struct Ops<'d> {
     /// et al.): the loss gradient is multiplied by this before the f2h
     /// cast and weight gradients divide it back out at the master update.
     pub loss_scale: f32,
+    /// Capture/replay context. While capturing, dense kernels record
+    /// themselves into the execution graph; while replaying, [`Ops::record`]
+    /// strips the per-launch overhead the capture epoch already charged.
+    pub exec: Option<&'d ExecCtx>,
 }
 
 /// Elements each CTA covers in elementwise kernels.
@@ -41,12 +46,43 @@ const EW_CTA_ELEMS: usize = 8192;
 impl<'d> Ops<'d> {
     /// New context on `dev`.
     pub fn new(dev: &'d DeviceConfig) -> Ops<'d> {
-        Ops { dev, log: Vec::new(), tensor_conversions: 0, converted_elems: 0, loss_scale: 1.0 }
+        Ops {
+            dev,
+            log: Vec::new(),
+            tensor_conversions: 0,
+            converted_elems: 0,
+            loss_scale: 1.0,
+            exec: None,
+        }
+    }
+
+    /// Attach a capture/replay context.
+    pub fn with_exec(mut self, exec: Option<&'d ExecCtx>) -> Ops<'d> {
+        self.exec = exec;
+        self
     }
 
     /// Record an externally produced kernel's stats (sparse kernels).
+    /// During a replay epoch the per-launch overhead was already charged
+    /// at capture, so it is stripped here — the CUDA-graph effect.
     pub fn record(&mut self, stats: KernelStats) {
+        let stats = match self.exec {
+            Some(ctx) if ctx.is_replaying() => {
+                let (stripped, saved) = stats.without_launch_overhead(self.dev);
+                ctx.add_saved_cycles(saved);
+                stripped
+            }
+            _ => stats,
+        };
         self.log.push(stats);
+    }
+
+    /// Capture hook: record a dense-kernel launch into the execution
+    /// graph (no-op without a capturing context).
+    fn trace(&self, op: &'static str, inputs: &[BufRef], outputs: &[BufRef]) {
+        if let Some(ctx) = self.exec {
+            ctx.record_node(op, inputs, outputs, None);
+        }
     }
 
     /// Total modeled cycles across all logged kernels.
@@ -120,7 +156,7 @@ impl<'d> Ops<'d> {
                     }
                 }
             });
-        self.log.push(stats);
+        self.record(stats);
     }
 
     /// Divide a gradient tensor by the loss scale (no-op at scale 1).
@@ -128,6 +164,7 @@ impl<'d> Ops<'d> {
         if self.loss_scale != 1.0 {
             let inv = 1.0 / self.loss_scale;
             self.charge_elementwise("unscale_grad", g.len(), 4, 1, 1, 1, false);
+            self.trace("unscale_grad", &[buf_ref(g)], &[buf_ref(g)]);
             for v in g.iter_mut() {
                 *v *= inv;
             }
@@ -139,7 +176,9 @@ impl<'d> Ops<'d> {
         self.tensor_conversions += 1;
         self.converted_elems += x.len() as u64;
         self.charge_elementwise("f2h_convert", x.len(), 4, 1, 1, 1, false);
-        f32_slice_to_half(x)
+        let out = f32_slice_to_half(x);
+        self.trace("f2h_convert", &[buf_ref(x)], &[buf_ref(&out)]);
+        out
     }
 
     /// Convert a half tensor to float (charged conversion kernel).
@@ -147,7 +186,9 @@ impl<'d> Ops<'d> {
         self.tensor_conversions += 1;
         self.converted_elems += x.len() as u64;
         self.charge_elementwise("h2f_convert", x.len(), 4, 1, 1, 1, false);
-        half_slice_to_f32(x)
+        let out = half_slice_to_f32(x);
+        self.trace("h2f_convert", &[buf_ref(x)], &[buf_ref(&out)]);
+        out
     }
 
     /// `C[m×n] ← op(A)[m×k] · op(B)[k×n]` in f32. `ta`/`tb` transpose the
@@ -166,7 +207,9 @@ impl<'d> Ops<'d> {
         assert_eq!(a.len(), m * k, "A shape");
         assert_eq!(b.len(), k * n, "B shape");
         self.charge_gemm("gemm_f32", m, k, n, 4, 1.0);
-        matmul(a, ta, b, tb, m, k, n)
+        let out = matmul(a, ta, b, tb, m, k, n);
+        self.trace("gemm_f32", &[buf_ref(a), buf_ref(b)], &[buf_ref(&out)]);
+        out
     }
 
     /// Half GeMM as PyTorch AMP runs it: tensor cores, f32 accumulation,
@@ -187,7 +230,9 @@ impl<'d> Ops<'d> {
         self.charge_gemm("gemm_f16_tc", m, k, n, 2, 4.0);
         let af = half_slice_to_f32(a);
         let bf = half_slice_to_f32(b);
-        f32_slice_to_half(&matmul(&af, ta, &bf, tb, m, k, n))
+        let out = f32_slice_to_half(&matmul(&af, ta, &bf, tb, m, k, n));
+        self.trace("gemm_f16_tc", &[buf_ref(a), buf_ref(b)], &[buf_ref(&out)]);
+        out
     }
 
     /// GeMM cost: 64×64 output tiles, `mnk` MACs at `speedup`× float
@@ -223,26 +268,35 @@ impl<'d> Ops<'d> {
                     warp.store_contiguous((cta_id * 31) as u64, 16 * 64, elem_bytes);
                 }
             });
-        self.log.push(stats);
+        self.record(stats);
     }
 
     /// ReLU in f32. NaN propagates (as in PyTorch): an overflowed
     /// activation must not silently launder back to zero.
     pub fn relu_f32(&mut self, x: &[f32]) -> Vec<f32> {
         self.charge_elementwise("relu_f32", x.len(), 4, 1, 1, 1, false);
-        x.iter().map(|&v| if v.is_nan() || v > 0.0 { v } else { 0.0 }).collect()
+        let out: Vec<f32> =
+            x.iter().map(|&v| if v.is_nan() || v > 0.0 { v } else { 0.0 }).collect();
+        self.trace("relu_f32", &[buf_ref(x)], &[buf_ref(&out)]);
+        out
     }
 
     /// ReLU in half (dtype-preserving under AMP). NaN propagates.
     pub fn relu_half(&mut self, x: &[Half]) -> Vec<Half> {
         self.charge_elementwise("relu_f16", x.len(), 2, 1, 1, 1, true);
-        x.iter().map(|&v| if v.is_nan() || v.to_f32() > 0.0 { v } else { Half::ZERO }).collect()
+        let out: Vec<Half> = x
+            .iter()
+            .map(|&v| if v.is_nan() || v.to_f32() > 0.0 { v } else { Half::ZERO })
+            .collect();
+        self.trace("relu_f16", &[buf_ref(x)], &[buf_ref(&out)]);
+        out
     }
 
     /// ReLU backward: `δx = δy · 1[x > 0]` (NaN inputs propagate NaN).
     pub fn relu_grad_f32(&mut self, x: &[f32], dy: &[f32]) -> Vec<f32> {
         self.charge_elementwise("relu_grad_f32", x.len(), 4, 2, 1, 1, false);
-        x.iter()
+        let out: Vec<f32> = x
+            .iter()
             .zip(dy)
             .map(|(&v, &g)| {
                 if v.is_nan() {
@@ -253,13 +307,16 @@ impl<'d> Ops<'d> {
                     0.0
                 }
             })
-            .collect()
+            .collect();
+        self.trace("relu_grad_f32", &[buf_ref(x), buf_ref(dy)], &[buf_ref(&out)]);
+        out
     }
 
     /// ReLU backward in half (NaN inputs propagate NaN).
     pub fn relu_grad_half(&mut self, x: &[Half], dy: &[Half]) -> Vec<Half> {
         self.charge_elementwise("relu_grad_f16", x.len(), 2, 2, 1, 1, true);
-        x.iter()
+        let out: Vec<Half> = x
+            .iter()
             .zip(dy)
             .map(|(&v, &g)| {
                 if v.is_nan() {
@@ -270,21 +327,31 @@ impl<'d> Ops<'d> {
                     Half::ZERO
                 }
             })
-            .collect()
+            .collect();
+        self.trace("relu_grad_f16", &[buf_ref(x), buf_ref(dy)], &[buf_ref(&out)]);
+        out
     }
 
     /// Row-broadcast bias add in f32 (`x: m×n`, `bias: n`).
     pub fn bias_add_f32(&mut self, x: &[f32], bias: &[f32]) -> Vec<f32> {
         let n = bias.len();
         self.charge_elementwise("bias_f32", x.len(), 4, 2, 1, 1, false);
-        x.iter().enumerate().map(|(i, &v)| v + bias[i % n]).collect()
+        let out: Vec<f32> = x.iter().enumerate().map(|(i, &v)| v + bias[i % n]).collect();
+        self.trace("bias_f32", &[buf_ref(x), buf_ref(bias)], &[buf_ref(&out)]);
+        out
     }
 
     /// Row-broadcast bias add in half.
     pub fn bias_add_half(&mut self, x: &[Half], bias: &[Half]) -> Vec<Half> {
         let n = bias.len();
         self.charge_elementwise("bias_f16", x.len(), 2, 2, 1, 1, true);
-        x.iter().enumerate().map(|(i, &v)| halfgnn_half::intrinsics::hadd(v, bias[i % n])).collect()
+        let out: Vec<Half> = x
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| halfgnn_half::intrinsics::hadd(v, bias[i % n]))
+            .collect();
+        self.trace("bias_f16", &[buf_ref(x), buf_ref(bias)], &[buf_ref(&out)]);
+        out
     }
 
     /// `out ← a·x + b·y` in half (GIN's Eq. 4 aggregation combine).
@@ -292,14 +359,19 @@ impl<'d> Ops<'d> {
         assert_eq!(x.len(), y.len());
         self.charge_elementwise("scale_add_f16", x.len(), 2, 2, 1, 2, true);
         use halfgnn_half::intrinsics::{hadd, hmul};
-        x.iter().zip(y).map(|(&xv, &yv)| hadd(hmul(a, xv), hmul(b, yv))).collect()
+        let out: Vec<Half> =
+            x.iter().zip(y).map(|(&xv, &yv)| hadd(hmul(a, xv), hmul(b, yv))).collect();
+        self.trace("scale_add_f16", &[buf_ref(x), buf_ref(y)], &[buf_ref(&out)]);
+        out
     }
 
     /// `out ← a·x + b·y` in f32.
     pub fn scale_add_f32(&mut self, a: f32, x: &[f32], b: f32, y: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), y.len());
         self.charge_elementwise("scale_add_f32", x.len(), 4, 2, 1, 2, false);
-        x.iter().zip(y).map(|(&xv, &yv)| a * xv + b * yv).collect()
+        let out: Vec<f32> = x.iter().zip(y).map(|(&xv, &yv)| a * xv + b * yv).collect();
+        self.trace("scale_add_f32", &[buf_ref(x), buf_ref(y)], &[buf_ref(&out)]);
+        out
     }
 
     /// Scale each row of an `n×f` f32 tensor by `scale[row]` (degree-norm
@@ -307,17 +379,22 @@ impl<'d> Ops<'d> {
     pub fn row_scale_f32(&mut self, x: &[f32], scale: &[f32], f: usize) -> Vec<f32> {
         assert_eq!(x.len(), scale.len() * f);
         self.charge_elementwise("row_scale_f32", x.len(), 4, 1, 1, 1, false);
-        x.iter().enumerate().map(|(i, &v)| v * scale[i / f]).collect()
+        let out: Vec<f32> = x.iter().enumerate().map(|(i, &v)| v * scale[i / f]).collect();
+        self.trace("row_scale_f32", &[buf_ref(x), buf_ref(scale)], &[buf_ref(&out)]);
+        out
     }
 
     /// Row scaling in half.
     pub fn row_scale_half(&mut self, x: &[Half], scale: &[Half], f: usize) -> Vec<Half> {
         assert_eq!(x.len(), scale.len() * f);
         self.charge_elementwise("row_scale_f16", x.len(), 2, 1, 1, 1, true);
-        x.iter()
+        let out: Vec<Half> = x
+            .iter()
             .enumerate()
             .map(|(i, &v)| halfgnn_half::intrinsics::hmul(v, scale[i / f]))
-            .collect()
+            .collect();
+        self.trace("row_scale_f16", &[buf_ref(x), buf_ref(scale)], &[buf_ref(&out)]);
+        out
     }
 
     /// Column sums of an `m×n` f32 tensor (bias gradients). Promoted to
@@ -331,6 +408,7 @@ impl<'d> Ops<'d> {
                 *o += v;
             }
         }
+        self.trace("colsum_f32", &[buf_ref(x)], &[buf_ref(&out)]);
         out
     }
 
@@ -346,6 +424,7 @@ impl<'d> Ops<'d> {
                 *o += v.to_f32();
             }
         }
+        self.trace("colsum_f16_promoted", &[buf_ref(x)], &[buf_ref(&out)]);
         out
     }
 
@@ -370,6 +449,7 @@ impl<'d> Ops<'d> {
                 *o = hdiv(*o, z);
             }
         }
+        self.trace("shadow_softmax_f16", &[buf_ref(x)], &[buf_ref(&out)]);
         out
     }
 
@@ -392,6 +472,7 @@ impl<'d> Ops<'d> {
                 *o /= z;
             }
         }
+        self.trace("softmax_f32", &[buf_ref(&xf)], &[buf_ref(&out)]);
         self.to_half(&out)
     }
 
@@ -446,6 +527,7 @@ impl<'d> Ops<'d> {
         for g in grad.iter_mut() {
             *g /= count as f32;
         }
+        self.trace("softmax_xent_f32", &[buf_ref(logits)], &[buf_ref(&grad)]);
         ((loss / count as f64) as f32, grad, correct)
     }
 

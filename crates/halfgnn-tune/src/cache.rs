@@ -140,8 +140,11 @@ impl PlanCache {
     }
 
     /// Write the cache to `path` (atomically via a sibling temp file).
+    /// The temp name embeds the pid so two processes saving the same
+    /// cache path can't interleave writes into one temp file — the last
+    /// rename wins and both outcomes are complete, valid files.
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        let tmp = path.with_extension("tmp");
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
         std::fs::write(&tmp, self.to_json())?;
         std::fs::rename(&tmp, path)
     }
@@ -392,6 +395,48 @@ mod tests {
         let c = PlanCache::from_json(&text);
         assert_eq!(c.len(), 1);
         assert_eq!(c.peek(&key(OpKind::SpmmV, 64)), Some(KernelPlan::Spmm(SpmmPlan::default())));
+    }
+
+    #[test]
+    fn every_torn_prefix_of_a_cache_file_degrades_to_misses() {
+        // A crash (or a reader racing a non-atomic writer) can leave any
+        // byte prefix of the file on disk. Every one of them must parse
+        // without panicking, and whatever survives must be plans the full
+        // file also contains — truncation can only lose entries, never
+        // invent or corrupt them.
+        let full = sample_cache();
+        let text = full.to_json();
+        for i in 0..=text.len() {
+            let torn = PlanCache::from_json(&text[..i]);
+            assert!(torn.len() <= full.len(), "prefix {i} grew the cache");
+            for op in [OpKind::SpmmV, OpKind::Sddmm] {
+                let k = key(op, 64);
+                if let Some(plan) = torn.peek(&k) {
+                    assert_eq!(Some(plan), full.peek(&k), "prefix {i} corrupted {op:?}");
+                }
+            }
+        }
+        // Only the complete file recovers everything.
+        assert_eq!(PlanCache::from_json(&text).len(), full.len());
+    }
+
+    #[test]
+    fn torn_file_on_disk_loads_as_misses_and_is_repaired_by_save() {
+        let dir = std::env::temp_dir().join("halfgnn-tune-torn-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plans.json");
+        let full = sample_cache();
+        let text = full.to_json();
+        // Simulate a crash mid-write: half the file.
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let mut torn = PlanCache::load(&path);
+        assert!(torn.is_empty(), "torn file must degrade to an empty cache");
+        assert_eq!(torn.get(&key(OpKind::SpmmV, 64)), None);
+        assert_eq!(torn.counters().misses, 1, "torn entries are counted misses");
+        // A fresh save overwrites the torn file atomically and fully.
+        full.save(&path).unwrap();
+        assert_eq!(PlanCache::load(&path).to_json(), text);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

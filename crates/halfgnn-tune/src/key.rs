@@ -270,6 +270,80 @@ mod tests {
     }
 
     #[test]
+    fn log2_bucket_is_exact_at_every_power_of_two_boundary() {
+        // The transfer rule flips exactly at powers of two: 2^k−1 sits in
+        // bucket k−1, and 2^k / 2^k+1 both sit in bucket k. Sweep every
+        // representable k so an off-by-one in the leading_zeros arithmetic
+        // can't hide at any scale.
+        for k in 1..usize::BITS {
+            let p = 1usize << k;
+            assert_eq!(log2_bucket(p - 1), k - 1, "2^{k}-1");
+            assert_eq!(log2_bucket(p), k, "2^{k}");
+            if let Some(above) = p.checked_add(1) {
+                assert_eq!(log2_bucket(above), k, "2^{k}+1");
+            }
+        }
+    }
+
+    #[test]
+    fn wire_form_splits_and_merges_keys_exactly_at_bucket_boundaries() {
+        // encode() must separate 2^k−1 from 2^k (different cache slots)
+        // and collapse 2^k with 2^k+1 (same slot) — for rows and nnz — and
+        // the legacy 8-part form must keep decoding those buckets as
+        // single-device keys.
+        let stats = DegreeStats {
+            min: 1,
+            max: 32,
+            mean: 8.0,
+            median: 8,
+            gini: 0.2,
+            top1pct_edge_share: 0.05,
+            cv: 0.5,
+            max_mean_skew: 4.0,
+        };
+        let key = |rows: usize, nnz: usize| {
+            KernelKey::for_graph(
+                OpKind::SpmmV,
+                Dtype::Half,
+                64,
+                rows,
+                nnz,
+                &stats,
+                ScalePlacement::Discretized,
+            )
+        };
+        for k in [4u32, 10, 16, 20] {
+            let p = 1usize << k;
+            // rows boundary triplet.
+            assert_ne!(key(p - 1, 4 * p).encode(), key(p, 4 * p).encode(), "rows 2^{k}");
+            assert_eq!(key(p, 4 * p).encode(), key(p + 1, 4 * p).encode(), "rows 2^{k}+1");
+            assert!(key(p, 4 * p).encode().contains(&format!("/r{k}/")), "rows bucket tag");
+            // nnz boundary triplet.
+            assert_ne!(key(1024, p - 1).encode(), key(1024, p).encode(), "nnz 2^{k}");
+            assert_eq!(key(1024, p).encode(), key(1024, p + 1).encode(), "nnz 2^{k}+1");
+            // Every boundary key round-trips through the wire form...
+            for rows in [p - 1, p, p + 1] {
+                let b = key(rows, 4 * p);
+                assert_eq!(KernelKey::decode(&b.encode()), Some(b), "{b}");
+                // ...and its legacy 8-part spelling (strip "/s1") still
+                // decodes to the same single-device key.
+                let enc = b.encode();
+                let legacy = enc.strip_suffix("/s1").expect("for_graph keys end in /s1");
+                assert_eq!(KernelKey::decode(legacy), Some(b), "legacy {legacy}");
+            }
+        }
+        // Shard counts are exact (never bucketed): a power-of-two triplet
+        // of shard counts yields three distinct keys that all round-trip.
+        let base = key(1024, 8192);
+        for shards in [7usize, 8, 9] {
+            let k = base.with_shards(shards);
+            assert_eq!(KernelKey::decode(&k.encode()), Some(k), "{k}");
+        }
+        assert_ne!(base.with_shards(7).encode(), base.with_shards(8).encode());
+        assert_ne!(base.with_shards(8).encode(), base.with_shards(9).encode());
+    }
+
+    #[test]
     fn cv_buckets_split_the_generator_families() {
         assert_eq!(CvBucket::of(0.0), CvBucket::Regular);
         assert_eq!(CvBucket::of(0.29), CvBucket::Regular);

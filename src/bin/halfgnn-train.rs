@@ -18,7 +18,8 @@ fn usage() -> ! {
          [--precision float|halfnaive|halfgnn|nodiscretize] [--epochs N] \
          [--lr F] [--hidden N] [--seed N] [--norm right|left|both] [--gin-lambda F] \
          [--loss-scale F] [--tuning off|auto|cached:<path>] [--fusion] \
-         [--shards N] [--topology ring|alltoall] [--partition contiguous|balanced]"
+         [--shards N] [--topology ring|alltoall] [--partition contiguous|balanced] \
+         [--replay]"
     );
     exit(2)
 }
@@ -88,6 +89,7 @@ fn main() {
                 }
             }
             "--fusion" => cfg.fusion = true,
+            "--replay" => cfg.replay = true,
             "--shards" => {
                 cfg.shards = val().parse().unwrap_or_else(|_| usage());
                 if cfg.shards == 0 {
@@ -150,6 +152,24 @@ fn main() {
         "conversions    : {} kernels, {} elements/epoch",
         report.conversions_per_epoch, report.converted_elems_per_epoch
     );
+    if let Some(s) = report.replay {
+        println!(
+            "replay graph   : {} nodes over {} buffers ({} plans captured)",
+            s.nodes, s.buffers, s.plans
+        );
+        println!(
+            "replay epoch   : {:.1} us (modeled; {:.0} launch-overhead cycles \
+             stripped per epoch)",
+            report.replay_epoch_time_us, s.saved_cycles
+        );
+        println!(
+            "arena plan     : {:.2} MiB peak vs {:.2} MiB unplanned \
+             (+{:.2} MiB external)",
+            s.peak_bytes as f64 / 1048576.0,
+            s.eager_bytes as f64 / 1048576.0,
+            s.external_bytes as f64 / 1048576.0
+        );
+    }
     if let Some(c) = report.tuning_counters {
         println!(
             "plan cache     : {} hits, {} misses, {} candidate evaluations",

@@ -1,0 +1,75 @@
+//! CLI argument validation for `halfgnn-train`: every unknown value must
+//! be rejected with exit code 2 and a message naming the bad flag —
+//! never silently fall back to a default and train the wrong thing.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_halfgnn-train"))
+        .args(args)
+        .output()
+        .expect("spawn halfgnn-train")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn unknown_partition_strategy_is_rejected_with_a_clear_error() {
+    let out = run(&["--dataset", "cora", "--shards", "2", "--partition", "zigzag"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("unknown partition strategy"), "error must name the problem, got: {err}");
+    assert!(err.contains("contiguous|balanced"), "error must list the valid values: {err}");
+}
+
+#[test]
+fn unknown_topology_is_rejected_with_a_clear_error() {
+    let out = run(&["--dataset", "cora", "--shards", "2", "--topology", "torus"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("unknown topology"), "error must name the problem, got: {err}");
+    assert!(err.contains("ring|alltoall"), "error must list the valid values: {err}");
+}
+
+#[test]
+fn unknown_flags_models_and_zero_shards_are_rejected() {
+    for (args, needle) in [
+        (vec!["--dataset", "cora", "--frobnicate"], "unknown flag"),
+        (vec!["--dataset", "cora", "--model", "transformer"], "unknown model"),
+        (vec!["--dataset", "cora", "--precision", "f64"], "unknown precision"),
+        (vec!["--dataset", "cora", "--shards", "0"], "--shards must be at least 1"),
+        (vec!["--dataset", "cora", "--tuning", "maybe"], "unknown tuning policy"),
+    ] {
+        let out = run(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(stderr(&out).contains(needle), "{args:?} missing {needle:?}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn usage_lists_the_replay_flag() {
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--replay"), "usage must document --replay: {}", stderr(&out));
+}
+
+#[test]
+fn replay_flag_trains_and_reports_the_captured_graph() {
+    let out = run(&[
+        "--dataset",
+        "cora",
+        "--model",
+        "gcn",
+        "--precision",
+        "halfgnn",
+        "--epochs",
+        "3",
+        "--replay",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("replay graph"), "missing replay summary: {stdout}");
+    assert!(stdout.contains("arena plan"), "missing arena line: {stdout}");
+}

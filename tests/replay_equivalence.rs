@@ -1,0 +1,192 @@
+//! Replay-equivalence harness: capture/replay is a *cost* transformation,
+//! not a numeric one.
+//!
+//! Epoch 0 of a `replay: true` run records every kernel launch and plan
+//! resolution; later epochs re-run the frozen graph with pre-resolved
+//! plans and launch overhead stripped. None of that may move a bit: for
+//! ANY graph — hub graphs, zero-degree vertices, more shards than rows —
+//! every loss of every epoch must be bit-for-bit the eager run's, in both
+//! precisions, at any shard count, under the cost model and under real OS
+//! threads (CI pins `HALFGNN_THREADS` to 1 and 4 for this suite).
+
+use halfgnn::graph::datasets::{DatasetSpec, GenKind, LoadedDataset};
+use halfgnn::graph::features::Split;
+use halfgnn::graph::{Csr, VertexId};
+use halfgnn::nn::trainer::{train, ExecMode, ModelKind, PrecisionMode, TrainConfig, Tuning};
+use proptest::prelude::*;
+
+/// A spec for a hand-built graph: only `feat` and `classes` are read by
+/// the trainer; the generator fields are never used.
+fn spec_for(n: usize, f: usize, classes: usize) -> DatasetSpec {
+    DatasetSpec {
+        id: "T0",
+        name: "replay-prop",
+        paper_vertices: 0,
+        paper_edges: 0,
+        paper_feat: f,
+        classes,
+        labeled: true,
+        vertices: n,
+        feat: f,
+        feat_signal: 1.0,
+        feat_noise: 0.0,
+        feat_nonneg: false,
+        count_scale: 0.0,
+        gen: GenKind::Grid { width: 1, height: 1 },
+    }
+}
+
+/// Wrap an arbitrary symmetrized graph + features into a trainable
+/// dataset: round-robin labels, every-other-vertex train mask (vertex 0
+/// always in so the loss is never empty), the rest as test.
+fn dataset_for(csr: Csr, f: usize, features: Vec<f32>) -> LoadedDataset {
+    let n = csr.num_rows();
+    let classes = 2;
+    let labels: Vec<u32> = (0..n).map(|i| (i % classes) as u32).collect();
+    let train: Vec<bool> = (0..n).map(|i| i == 0 || i % 3 != 1).collect();
+    let test: Vec<bool> = train.iter().map(|t| !t).collect();
+    let coo = csr.to_coo();
+    LoadedDataset {
+        spec: spec_for(n, f, classes),
+        adj: csr,
+        coo,
+        features,
+        labels,
+        split: Split { train: train.clone(), val: vec![false; n], test },
+    }
+}
+
+/// The same graph family `shard_equivalence.rs` uses: tiny symmetrized
+/// graphs with optional hub vertex, half2-padded feature widths, possibly
+/// zero-degree vertices before the added self loop.
+fn arb_graph() -> impl Strategy<Value = (Csr, usize, Vec<f32>)> {
+    (2usize..24, 1usize..4, 0usize..2)
+        .prop_flat_map(|(n, fhalf, hub)| {
+            let f = 2 * fhalf;
+            let edge = (0..n as VertexId, 0..n as VertexId);
+            (
+                Just(n),
+                Just(f),
+                Just(hub),
+                prop::collection::vec(edge, 0..64),
+                prop::collection::vec(-1.0f32..1.0, n * f),
+            )
+        })
+        .prop_map(|(n, f, hub, mut edges, feats)| {
+            if hub == 1 {
+                for v in 1..n as VertexId {
+                    edges.push((0, v));
+                }
+            }
+            let csr = Csr::from_edges(n, n, &edges).symmetrized_with_self_loops();
+            (csr, f, feats)
+        })
+}
+
+fn bits(losses: &[f32]) -> Vec<u32> {
+    losses.iter().map(|l| l.to_bits()).collect()
+}
+
+fn cfg(precision: PrecisionMode, shards: usize) -> TrainConfig {
+    TrainConfig {
+        model: ModelKind::Gcn,
+        precision,
+        epochs: 3,
+        hidden: 4,
+        lr: 0.02,
+        seed: 5,
+        shards,
+        ..TrainConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Replay reproduces eager training bit-for-bit on arbitrary graphs:
+    /// both precisions, shards {1, 4}, under the cost model and under the
+    /// thread-pool executor at the CI-pinned `HALFGNN_THREADS`.
+    #[test]
+    fn replay_losses_are_bit_identical_on_arbitrary_graphs(
+        (csr, f, feats) in arb_graph()
+    ) {
+        let data = dataset_for(csr, f, feats);
+        for precision in [PrecisionMode::Float, PrecisionMode::HalfGnn] {
+            for shards in [1usize, 4] {
+                let base = cfg(precision, shards);
+                let eager = train(&data, &base);
+                let replay = train(&data, &TrainConfig { replay: true, ..base.clone() });
+                prop_assert_eq!(
+                    bits(&eager.losses),
+                    bits(&replay.losses),
+                    "{:?} shards={} replay diverged", precision, shards
+                );
+                prop_assert_eq!(eager.final_train_accuracy, replay.final_train_accuracy);
+                let s = replay.replay.expect("replay run must report a summary");
+                prop_assert!(s.nodes > 0 && s.peak_bytes <= s.eager_bytes);
+                // Only the half pipeline resolves kernel plans; float
+                // kernels are plan-free and capture an empty plan stream.
+                if precision == PrecisionMode::HalfGnn {
+                    prop_assert!(s.plans > 0, "half capture resolved no plans");
+                }
+                // Fast exec (HALFGNN_THREADS-sized pool) over the same
+                // captured graph: still the eager bits.
+                let fast = train(
+                    &data,
+                    &TrainConfig {
+                        replay: true,
+                        exec: ExecMode::fast_with_threads(0),
+                        ..base.clone()
+                    },
+                );
+                prop_assert_eq!(
+                    bits(&eager.losses),
+                    bits(&fast.losses),
+                    "{:?} shards={} fast replay diverged", precision, shards
+                );
+            }
+        }
+    }
+
+    /// Replay under a tuner: pre-resolved tuned plans must replay the
+    /// tuned eager run exactly (plans are captured after tuning, so the
+    /// tuner's choice — not the default — is what replays).
+    #[test]
+    fn tuned_replay_matches_tuned_eager(
+        (csr, f, feats) in arb_graph()
+    ) {
+        let data = dataset_for(csr, f, feats);
+        let base = TrainConfig {
+            tuning: Tuning::Auto,
+            ..cfg(PrecisionMode::HalfGnn, 2)
+        };
+        let eager = train(&data, &base);
+        let replay = train(&data, &TrainConfig { replay: true, ..base });
+        prop_assert_eq!(bits(&eager.losses), bits(&replay.losses));
+    }
+}
+
+/// A pure star graph — the most lopsided capture the partitioner can
+/// produce — replayed sharded with the attention model, where the plan
+/// stream (SDDMM + attn fusion decisions) is at its densest.
+#[test]
+fn star_graph_gat_replay_is_bit_identical_sharded() {
+    let n: usize = 33;
+    let f = 4;
+    let edges: Vec<(VertexId, VertexId)> = (1..n as VertexId).map(|v| (0, v)).collect();
+    let csr = Csr::from_edges(n, n, &edges).symmetrized_with_self_loops();
+    let feats: Vec<f32> = (0..n * f).map(|i| ((i % 9) as f32 - 4.0) * 0.1).collect();
+    let data = dataset_for(csr, f, feats);
+    for fusion in [false, true] {
+        let base = TrainConfig {
+            model: ModelKind::Gat,
+            fusion,
+            shards: 4,
+            ..cfg(PrecisionMode::HalfGnn, 4)
+        };
+        let eager = train(&data, &base);
+        let replay = train(&data, &TrainConfig { replay: true, ..base });
+        assert_eq!(bits(&eager.losses), bits(&replay.losses), "fusion={fusion}");
+        assert!(replay.replay.unwrap().plans > 0);
+    }
+}
