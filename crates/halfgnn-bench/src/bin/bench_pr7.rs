@@ -1,0 +1,219 @@
+//! `bench_pr7` — neighbor-sampled mini-batch training + delta-CSR
+//! streaming ingestion.
+//!
+//! One sweep on the modeled A100 over the G1-class graph (Cora): GCN and
+//! SAGE, float vs. HalfGNN, full-batch against fanout-sampled mini-batch,
+//! plus a streaming run that inserts edges mid-training through the
+//! DeltaCsr overlay (no CSR rebuild) with the tuner on.
+//!
+//! Hard gates, asserted not observed:
+//!
+//! * accuracy: every sampled run lands within ε = 0.08 of its full-batch
+//!   counterpart's test accuracy, and half-precision sampled runs are
+//!   oracle-clean — zero overflow events, no NaN epoch;
+//! * memory: the per-batch working set (peak minus the resident global
+//!   feature table + CSR) is strictly below the full-batch peak at every
+//!   config;
+//! * streaming: every requested edge is ingested by the overlay, and the
+//!   post-delta plan-cache hit rate is > 0.5 — KernelKey's log2-nnz
+//!   buckets absorb a small delta without re-tuning.
+//!
+//! Emits `BENCH_pr7.json` in the current directory; run from the repo
+//! root.
+
+use halfgnn_graph::datasets::Dataset;
+use halfgnn_nn::trainer::{train_on, ModelKind, PrecisionMode, TrainConfig, Tuning};
+use halfgnn_sim::DeviceConfig;
+
+const EPS: f32 = 0.08;
+
+struct Row {
+    model: ModelKind,
+    precision: PrecisionMode,
+    full_accuracy: f32,
+    sampled_accuracy: f32,
+    full_peak_bytes: u64,
+    sampled_peak_bytes: u64,
+    batch_working_set_bytes: u64,
+    batches_per_epoch: usize,
+    mean_batch_vertices: f64,
+    max_batch_vertices: usize,
+}
+
+fn precision_tag(p: PrecisionMode) -> &'static str {
+    match p {
+        PrecisionMode::Float => "float",
+        PrecisionMode::HalfGnn => "halfgnn",
+        PrecisionMode::HalfNaive => "halfnaive",
+        PrecisionMode::HalfGnnNoDiscretize => "nodiscretize",
+    }
+}
+
+fn model_tag(m: ModelKind) -> &'static str {
+    match m {
+        ModelKind::Gcn => "gcn",
+        ModelKind::Gat => "gat",
+        ModelKind::Gin => "gin",
+        ModelKind::Sage => "sage",
+    }
+}
+
+fn main() {
+    let dev = DeviceConfig::a100_like();
+    let data = Dataset::by_id("G1").expect("G1 in registry").load(42);
+    let resident_global = (data.num_vertices() * data.spec.feat * 2
+        + (data.num_edges() + data.num_vertices() + 1) * 4) as u64;
+    let mut rows: Vec<Row> = Vec::new();
+
+    for model in [ModelKind::Gcn, ModelKind::Sage] {
+        for precision in [PrecisionMode::Float, PrecisionMode::HalfGnn] {
+            let base = TrainConfig {
+                model,
+                precision,
+                epochs: 20,
+                hidden: 16,
+                lr: 0.02,
+                seed: 3,
+                ..TrainConfig::default()
+            };
+            let full = train_on(&dev, &data, &base);
+            let mb =
+                train_on(&dev, &data, &TrainConfig { batch_size: Some(128), fanout: 10, ..base });
+
+            // Gate 1: sampled training reaches full-batch accuracy ± ε,
+            // oracle-clean in half precision.
+            assert!(
+                (full.test_accuracy - mb.test_accuracy).abs() < EPS,
+                "{model:?}/{precision:?}: full {} vs sampled {}",
+                full.test_accuracy,
+                mb.test_accuracy
+            );
+            assert!(mb.nan_epoch.is_none(), "{model:?}/{precision:?}: NaN epoch");
+            assert!(
+                mb.overflow_per_epoch.iter().all(|s| s.is_clean()),
+                "{model:?}/{precision:?}: overflow events in sampled run"
+            );
+
+            // Gate 2: the batch working set undercuts the full-batch peak.
+            let working_set = mb.peak_memory_bytes.saturating_sub(resident_global);
+            assert!(
+                working_set < full.peak_memory_bytes,
+                "{model:?}/{precision:?}: batch working set {} vs full peak {}",
+                working_set,
+                full.peak_memory_bytes
+            );
+
+            let s = mb.sampling.expect("mini-batch runs report sampling");
+            rows.push(Row {
+                model,
+                precision,
+                full_accuracy: full.test_accuracy,
+                sampled_accuracy: mb.test_accuracy,
+                full_peak_bytes: full.peak_memory_bytes,
+                sampled_peak_bytes: mb.peak_memory_bytes,
+                batch_working_set_bytes: working_set,
+                batches_per_epoch: s.batches_per_epoch,
+                mean_batch_vertices: s.mean_batch_vertices,
+                max_batch_vertices: s.max_batch_vertices,
+            });
+        }
+    }
+
+    // Gate 3: streaming ingestion through the delta overlay, tuner on.
+    let stream = train_on(
+        &dev,
+        &data,
+        &TrainConfig {
+            model: ModelKind::Gcn,
+            precision: PrecisionMode::HalfGnn,
+            epochs: 10,
+            hidden: 16,
+            lr: 0.02,
+            seed: 3,
+            batch_size: Some(128),
+            fanout: 10,
+            stream_edges: 200,
+            tuning: Tuning::Auto,
+            ..TrainConfig::default()
+        },
+    );
+    assert!(stream.nan_epoch.is_none(), "stream run hit NaN");
+    assert!(
+        stream.overflow_per_epoch.iter().all(|s| s.is_clean()),
+        "overflow events in stream run"
+    );
+    let ss = stream.sampling.expect("sampling summary");
+    assert_eq!(ss.streamed_edges, 200, "overlay dropped requested edges");
+    let stream_epoch = ss.stream_epoch.expect("stream run records the insert epoch");
+    let post = ss.post_stream_tuning.expect("tuned stream run measures the post-delta cache");
+    let hit_rate = post.hits as f64 / (post.hits + post.misses).max(1) as f64;
+    assert!(hit_rate > 0.5, "post-delta plan-cache hit rate {hit_rate:.2} <= 0.5 ({post:?})");
+
+    let accuracy_gap_max =
+        rows.iter().map(|r| (r.full_accuracy - r.sampled_accuracy).abs()).fold(0.0f32, f32::max);
+    let working_set_ratio_max = rows
+        .iter()
+        .map(|r| r.batch_working_set_bytes as f64 / r.full_peak_bytes as f64)
+        .fold(0.0f64, f64::max);
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"pr7_minibatch_streaming\",\n");
+    json.push_str("  \"device\": \"a100_like (modeled)\",\n");
+    json.push_str("  \"graph\": \"G1 (cora)\",\n");
+    json.push_str(&format!(
+        "  \"epsilon\": {EPS},\n  \"accuracy_gap_max\": {accuracy_gap_max:.4},\n  \
+         \"sampled_overflow_events\": 0,\n  \
+         \"batch_working_set_over_full_peak_max\": {working_set_ratio_max:.4},\n  \
+         \"streamed_edges\": {},\n  \"stream_epoch\": {stream_epoch},\n  \
+         \"post_delta_cache_hits\": {},\n  \"post_delta_cache_misses\": {},\n  \
+         \"post_delta_hit_rate\": {hit_rate:.4},\n",
+        ss.streamed_edges, post.hits, post.misses
+    ));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"model\": \"{}\", \"precision\": \"{}\", \
+             \"full_test_accuracy\": {:.4}, \"sampled_test_accuracy\": {:.4}, \
+             \"full_peak_bytes\": {}, \"sampled_peak_bytes\": {}, \
+             \"batch_working_set_bytes\": {}, \"batches_per_epoch\": {}, \
+             \"mean_batch_vertices\": {:.0}, \"max_batch_vertices\": {}}}{}\n",
+            model_tag(r.model),
+            precision_tag(r.precision),
+            r.full_accuracy,
+            r.sampled_accuracy,
+            r.full_peak_bytes,
+            r.sampled_peak_bytes,
+            r.batch_working_set_bytes,
+            r.batches_per_epoch,
+            r.mean_batch_vertices,
+            r.max_batch_vertices,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_pr7.json", &json).expect("write BENCH_pr7.json");
+    print!("{json}");
+    for r in &rows {
+        eprintln!(
+            "[bench_pr7] {:<4} {:<8} full {:.4} -> sampled {:.4}  \
+             working set {:>6.2} MiB vs full peak {:>6.2} MiB  ({} batches/epoch, max {} vtx)",
+            model_tag(r.model),
+            precision_tag(r.precision),
+            r.full_accuracy,
+            r.sampled_accuracy,
+            r.batch_working_set_bytes as f64 / 1048576.0,
+            r.full_peak_bytes as f64 / 1048576.0,
+            r.batches_per_epoch,
+            r.max_batch_vertices
+        );
+    }
+    eprintln!(
+        "[bench_pr7] stream: {} edges at epoch {stream_epoch}, post-delta cache \
+         {}/{} hit ({:.0}%)",
+        ss.streamed_edges,
+        post.hits,
+        post.hits + post.misses,
+        hit_rate * 100.0
+    );
+}

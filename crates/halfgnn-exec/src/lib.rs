@@ -37,6 +37,35 @@ use std::collections::HashMap;
 /// Identity of a captured buffer (index into [`ExecGraph::buffers`]).
 pub type BufId = usize;
 
+/// Why a capture request was refused up front instead of letting the
+/// replay stream diverge into the node/plan-mismatch panic later.
+///
+/// Capture assumes the epoch's kernel sequence is a fixed value. A
+/// configuration that breaks that assumption must be rejected *by name*
+/// at config-validation time — never discovered as a divergence panic
+/// mid-epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CaptureRefused {
+    /// Mini-batch training resamples a different subgraph every batch, so
+    /// no single captured kernel sequence replays: `--replay` is
+    /// incompatible with `--batch-size`.
+    MiniBatchSchedule,
+}
+
+impl std::fmt::Display for CaptureRefused {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CaptureRefused::MiniBatchSchedule => write!(
+                f,
+                "capture refused: mini-batch sampling (--batch-size) changes the kernel \
+                 sequence every batch, so an epoch cannot be captured for --replay"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CaptureRefused {}
+
 /// A buffer as seen at a kernel launch: raw address + byte length. Only
 /// used transiently during capture — the address is never dereferenced.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

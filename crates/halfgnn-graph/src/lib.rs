@@ -12,15 +12,19 @@
 pub mod coo;
 pub mod csr;
 pub mod datasets;
+pub mod delta;
 pub mod features;
 pub mod gen;
 pub mod io;
 pub mod metrics;
 pub mod partition;
+pub mod sample;
 
 pub use coo::Coo;
 pub use csr::Csr;
+pub use delta::DeltaCsr;
 pub use partition::{partition, PartitionStrategy, Shard, ShardPlan};
+pub use sample::{BatchSubgraph, NeighborAccess, NeighborSampler};
 
 /// Vertex identifier. 32 bits covers every dataset in this reproduction and
 /// halves index-array traffic versus `usize`, matching GPU practice.

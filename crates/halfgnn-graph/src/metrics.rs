@@ -33,7 +33,14 @@ pub struct DegreeStats {
 
 /// Compute [`DegreeStats`] for a CSR graph.
 pub fn degree_stats(csr: &Csr) -> DegreeStats {
-    let mut degs = csr.degrees();
+    degree_stats_from_degrees(csr.degrees())
+}
+
+/// Compute [`DegreeStats`] from a degree vector alone. This is what lets
+/// a [`crate::DeltaCsr`] refresh its metrics after streaming inserts
+/// without materializing the merged CSR: degrees are O(rows) to update,
+/// the column arrays are not.
+pub fn degree_stats_from_degrees(mut degs: Vec<u32>) -> DegreeStats {
     if degs.is_empty() {
         return DegreeStats {
             min: 0,

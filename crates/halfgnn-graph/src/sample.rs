@@ -1,0 +1,293 @@
+//! GraphSAGE-style fanout neighbor sampling: extract the k-hop
+//! receptive field of a seed batch into a small local CSR.
+//!
+//! Mini-batch training is where half precision pays twice — the batch
+//! subgraph's buffers are already small, and f16 halves them again — but
+//! only if sampling is *deterministic*: the Sim/Fast executors must see
+//! bit-identical batches regardless of worker-thread count, or the
+//! repo's equivalence contract dies at the data-loading step. Every
+//! random choice here is therefore keyed by `(seed, salt, hop, vertex)`
+//! through a counter-based splitmix64 stream: no shared RNG state, no
+//! dependence on traversal order or `HALFGNN_THREADS`.
+
+use crate::{Csr, DeltaCsr, VertexId};
+use std::collections::HashMap;
+
+/// Read-only neighborhood access, implemented by both the plain [`Csr`]
+/// and the streaming [`DeltaCsr`] overlay so the sampler works mid-stream
+/// without materializing a merged graph.
+pub trait NeighborAccess {
+    /// Number of vertices (rows).
+    fn num_rows(&self) -> usize;
+    /// Degree of vertex `v`.
+    fn degree(&self, v: VertexId) -> u32;
+    /// `i`-th neighbor of `v` in storage order, `i < degree(v)`.
+    fn neighbor(&self, v: VertexId, i: u32) -> VertexId;
+}
+
+impl NeighborAccess for Csr {
+    fn num_rows(&self) -> usize {
+        Csr::num_rows(self)
+    }
+    fn degree(&self, v: VertexId) -> u32 {
+        Csr::degree(self, v)
+    }
+    fn neighbor(&self, v: VertexId, i: u32) -> VertexId {
+        self.row(v)[i as usize]
+    }
+}
+
+impl NeighborAccess for DeltaCsr {
+    fn num_rows(&self) -> usize {
+        DeltaCsr::num_rows(self)
+    }
+    fn degree(&self, v: VertexId) -> u32 {
+        DeltaCsr::degree(self, v)
+    }
+    fn neighbor(&self, v: VertexId, i: u32) -> VertexId {
+        DeltaCsr::neighbor(self, v, i)
+    }
+}
+
+/// A sampled k-hop batch subgraph in local vertex ids.
+#[derive(Clone, Debug)]
+pub struct BatchSubgraph {
+    /// Local CSR over the batch's receptive field. Row `u` holds the
+    /// sampled in-neighborhood of local vertex `u` (messages flow
+    /// column → row), so every row degree is ≤ the sampler fanout.
+    pub csr: Csr,
+    /// Local → global vertex map; `global_ids[local]` is the original id.
+    /// Seeds occupy local ids `0..n_seeds` in seed order (deduplicated);
+    /// interior vertices follow in discovery order.
+    pub global_ids: Vec<VertexId>,
+    /// Number of seed vertices — the rows whose predictions/losses count.
+    pub n_seeds: usize,
+}
+
+impl BatchSubgraph {
+    /// Number of local vertices.
+    pub fn n(&self) -> usize {
+        self.global_ids.len()
+    }
+
+    /// Number of sampled edges.
+    pub fn nnz(&self) -> usize {
+        self.csr.nnz()
+    }
+}
+
+/// splitmix64: the standard 64-bit finalizer-style generator. Used as a
+/// counter-based (stateless) stream so sampling decisions depend only on
+/// their key, never on how many draws happened before them.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A per-vertex deterministic RNG stream keyed by `(seed, salt, hop, v)`.
+struct KeyedRng {
+    state: u64,
+}
+
+impl KeyedRng {
+    fn new(seed: u64, salt: u64, hop: u64, v: VertexId) -> KeyedRng {
+        // Chain the key words through splitmix64 so that nearby keys
+        // (consecutive vertices, consecutive hops) land far apart.
+        let mut s = splitmix64(seed ^ 0x5851_f42d_4c95_7f2d);
+        s = splitmix64(s ^ salt);
+        s = splitmix64(s ^ hop);
+        s = splitmix64(s ^ v as u64);
+        KeyedRng { state: s }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        splitmix64(self.state)
+    }
+
+    /// Uniform draw in `[0, bound)` via 128-bit multiply (no modulo bias
+    /// worth caring about at graph-degree bounds).
+    fn below(&mut self, bound: u32) -> u32 {
+        ((self.next() as u128 * bound as u128) >> 64) as u32
+    }
+}
+
+/// Deterministic, seedable GraphSAGE-style fanout sampler.
+#[derive(Clone, Copy, Debug)]
+pub struct NeighborSampler {
+    /// Max sampled in-neighbors per vertex per hop.
+    pub fanout: u32,
+    /// Receptive-field depth (2 matches the 2-layer models in this repo).
+    pub hops: usize,
+    /// Base seed; combined with a per-call `salt` (epoch/batch coords).
+    pub seed: u64,
+}
+
+impl NeighborSampler {
+    /// A sampler with the given fanout, hop count, and seed.
+    pub fn new(fanout: u32, hops: usize, seed: u64) -> NeighborSampler {
+        assert!(fanout > 0, "fanout must be at least 1");
+        assert!(hops > 0, "hops must be at least 1");
+        NeighborSampler { fanout, hops, seed }
+    }
+
+    /// Extract the sampled k-hop receptive field of `seeds`. `salt`
+    /// distinguishes calls that should draw different neighborhoods for
+    /// the same seeds (e.g. `epoch * batches + batch`); the same
+    /// `(sampler, seeds, salt)` triple is bitwise reproducible.
+    pub fn sample<G: NeighborAccess>(&self, g: &G, seeds: &[VertexId], salt: u64) -> BatchSubgraph {
+        let mut local_of: HashMap<VertexId, u32> = HashMap::new();
+        let mut global_ids: Vec<VertexId> = Vec::new();
+        for &s in seeds {
+            assert!((s as usize) < g.num_rows(), "seed {s} out of range");
+            local_of.entry(s).or_insert_with(|| {
+                global_ids.push(s);
+                global_ids.len() as u32 - 1
+            });
+        }
+        let n_seeds = global_ids.len();
+
+        let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+        // Vertices discovered at the previous hop, awaiting expansion.
+        let mut frontier: Vec<VertexId> = global_ids.clone();
+        for hop in 0..self.hops {
+            let mut next: Vec<VertexId> = Vec::new();
+            for &u in &frontier {
+                let lu = local_of[&u];
+                let deg = g.degree(u);
+                let k = self.fanout.min(deg);
+                let mut rng = KeyedRng::new(self.seed, salt, hop as u64, u);
+                // Partial Fisher–Yates over 0..deg, tracking only touched
+                // slots: O(fanout) time and space even for hub rows.
+                let mut swapped: HashMap<u32, u32> = HashMap::new();
+                for i in 0..k {
+                    let j = i + rng.below(deg - i);
+                    let pick = *swapped.get(&j).unwrap_or(&j);
+                    let at_i = *swapped.get(&i).unwrap_or(&i);
+                    swapped.insert(j, at_i);
+                    let w = g.neighbor(u, pick);
+                    let lw = *local_of.entry(w).or_insert_with(|| {
+                        global_ids.push(w);
+                        next.push(w);
+                        global_ids.len() as u32 - 1
+                    });
+                    edges.push((lu, lw));
+                }
+            }
+            frontier = next;
+        }
+        // Vertices first discovered at the last hop keep empty rows: they
+        // feed features upward but aggregate nothing themselves.
+        let n = global_ids.len();
+        BatchSubgraph { csr: Csr::from_edges(n, n, &edges), global_ids, n_seeds }
+    }
+
+    /// Deterministic batch schedule for one epoch: shuffle `train_ids`
+    /// with a Fisher–Yates keyed by `(seed, epoch)` and chunk into
+    /// batches of `batch_size` (last batch may be short). Independent of
+    /// thread count and prior draws by construction.
+    pub fn schedule(
+        &self,
+        train_ids: &[VertexId],
+        batch_size: usize,
+        epoch: u64,
+    ) -> Vec<Vec<VertexId>> {
+        assert!(batch_size > 0, "batch_size must be at least 1");
+        let mut ids = train_ids.to_vec();
+        let mut rng = KeyedRng::new(self.seed, 0x5ced_u64, epoch, u32::MAX);
+        for i in (1..ids.len()).rev() {
+            let j = rng.below(i as u32 + 1) as usize;
+            ids.swap(i, j);
+        }
+        ids.chunks(batch_size).map(|c| c.to_vec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn graph() -> Csr {
+        Csr::from_edges(200, 200, &gen::preferential_attachment(200, 4, 7))
+            .symmetrized_with_self_loops()
+    }
+
+    #[test]
+    fn row_degrees_respect_fanout_and_edges_map_back() {
+        let g = graph();
+        let s = NeighborSampler::new(3, 2, 42);
+        let sub = s.sample(&g, &[0, 5, 9], 0);
+        assert_eq!(sub.n_seeds, 3);
+        assert_eq!(&sub.global_ids[..3], &[0, 5, 9]);
+        for u in 0..sub.n() as VertexId {
+            assert!(sub.csr.degree(u) <= 3, "row {u} degree {}", sub.csr.degree(u));
+            for &w in sub.csr.row(u) {
+                let (gu, gw) = (sub.global_ids[u as usize], sub.global_ids[w as usize]);
+                assert!(g.row(gu).binary_search(&gw).is_ok(), "({gu},{gw}) not a global edge");
+            }
+        }
+    }
+
+    #[test]
+    fn same_key_is_bitwise_reproducible_and_salt_varies_it() {
+        let g = graph();
+        let s = NeighborSampler::new(4, 2, 7);
+        let a = s.sample(&g, &[1, 2, 3, 4], 11);
+        let b = s.sample(&g, &[1, 2, 3, 4], 11);
+        assert_eq!(a.csr, b.csr);
+        assert_eq!(a.global_ids, b.global_ids);
+        let c = s.sample(&g, &[1, 2, 3, 4], 12);
+        assert!(c.csr != a.csr || c.global_ids != a.global_ids, "salt must vary the draw");
+    }
+
+    #[test]
+    fn duplicate_and_zero_degree_seeds() {
+        let mut edges = gen::grid2d(4, 4);
+        edges.retain(|&(u, v)| u != 15 && v != 15); // isolate vertex 15
+        let g = Csr::from_edges(16, 16, &edges);
+        let s = NeighborSampler::new(2, 2, 0);
+        let sub = s.sample(&g, &[15, 15, 0], 0);
+        assert_eq!(sub.n_seeds, 2, "duplicate seeds collapse");
+        assert_eq!(sub.global_ids[0], 15);
+        assert_eq!(sub.csr.degree(0), 0, "isolated seed keeps an empty row");
+    }
+
+    #[test]
+    fn empty_seed_batch_yields_empty_subgraph() {
+        let g = graph();
+        let sub = NeighborSampler::new(3, 2, 1).sample(&g, &[], 0);
+        assert_eq!(sub.n(), 0);
+        assert_eq!(sub.nnz(), 0);
+        assert_eq!(sub.n_seeds, 0);
+    }
+
+    #[test]
+    fn schedule_partitions_the_train_set_deterministically() {
+        let ids: Vec<VertexId> = (0..103).collect();
+        let s = NeighborSampler::new(3, 2, 9);
+        let a = s.schedule(&ids, 16, 4);
+        let b = s.schedule(&ids, 16, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 7);
+        assert_eq!(a.last().unwrap().len(), 103 - 6 * 16);
+        let mut seen: Vec<VertexId> = a.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, ids, "schedule must be a permutation");
+        assert_ne!(a, s.schedule(&ids, 16, 5), "epochs reshuffle");
+    }
+
+    #[test]
+    fn sampler_reads_through_a_delta_overlay() {
+        let base = Csr::from_edges(6, 6, &[(0, 1), (1, 0)]);
+        let mut d = DeltaCsr::new(base);
+        d.insert_undirected(0, 5);
+        let sub = NeighborSampler::new(4, 1, 3).sample(&d, &[0], 0);
+        let mut nbrs: Vec<VertexId> =
+            sub.csr.row(0).iter().map(|&w| sub.global_ids[w as usize]).collect();
+        nbrs.sort_unstable();
+        assert_eq!(nbrs, vec![1, 5], "overlay edge must be sampleable");
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based invariants for the neighbor sampler and the delta-CSR
+//! overlay (DESIGN.md §14). CI runs this suite under `HALFGNN_THREADS=1`
+//! and `=4`: the sampler never reads that variable (every draw is keyed by
+//! `(seed, salt, hop, vertex)`), so the bitwise-reproducibility properties
+//! must hold at any thread count.
+
+use halfgnn_graph::{Csr, DeltaCsr, NeighborSampler, VertexId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_edges(
+    max_n: usize,
+    max_e: usize,
+) -> impl Strategy<Value = (usize, Vec<(VertexId, VertexId)>)> {
+    (2usize..max_n).prop_flat_map(move |n| {
+        let edge = (0..n as VertexId, 0..n as VertexId);
+        prop::collection::vec(edge, 0..max_e).prop_map(move |es| (n, es))
+    })
+}
+
+/// A graph plus seed vertices drawn from it, a fanout, and an RNG seed.
+fn arb_sample_case(
+) -> impl Strategy<Value = (usize, Vec<(VertexId, VertexId)>, Vec<VertexId>, u32, u64)> {
+    arb_edges(48, 192).prop_flat_map(|(n, edges)| {
+        (
+            Just(n),
+            Just(edges),
+            prop::collection::vec(0..n as VertexId, 1..8),
+            1u32..6,
+            0u64..u64::MAX,
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn sampled_subgraph_is_a_valid_induced_csr(
+        (n, edges, seeds, fanout, seed) in arb_sample_case()
+    ) {
+        let g = Csr::from_edges(n, n, &edges);
+        let sampler = NeighborSampler::new(fanout, 2, seed);
+        let sub = sampler.sample(&g, &seeds, 0);
+
+        // Square local CSR over exactly the discovered vertex set.
+        prop_assert_eq!(sub.csr.num_rows(), sub.n());
+        prop_assert_eq!(sub.csr.num_cols(), sub.n());
+        // Unique global ids, all in range, seeds first (deduplicated).
+        let uniq: HashSet<VertexId> = sub.global_ids.iter().copied().collect();
+        prop_assert_eq!(uniq.len(), sub.n(), "duplicate global ids");
+        prop_assert!(sub.global_ids.iter().all(|&v| (v as usize) < n));
+        let seed_set: HashSet<VertexId> = seeds.iter().copied().collect();
+        prop_assert_eq!(sub.n_seeds, seed_set.len());
+        prop_assert!(sub.global_ids[..sub.n_seeds].iter().all(|v| seed_set.contains(v)));
+        // Fanout bound + every local edge maps back to a global edge.
+        for u in 0..sub.n() as VertexId {
+            prop_assert!(sub.csr.degree(u) <= fanout, "row {} over fanout", u);
+            let gu = sub.global_ids[u as usize];
+            for &w in sub.csr.row(u) {
+                let gw = sub.global_ids[w as usize];
+                prop_assert!(
+                    g.row(gu).binary_search(&gw).is_ok(),
+                    "local edge ({},{}) -> ({},{}) missing from the global graph",
+                    u, w, gu, gw
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule_and_subgraph_bitwise(
+        (n, edges, seeds, fanout, seed) in arb_sample_case()
+    ) {
+        // Keyed RNG: identical inputs give bitwise-identical schedules and
+        // subgraphs on every call — the property that makes mini-batch
+        // runs reproducible across executors and HALFGNN_THREADS settings.
+        let g = Csr::from_edges(n, n, &edges);
+        let ids: Vec<VertexId> = (0..n as VertexId).collect();
+        let sampler = NeighborSampler::new(fanout, 2, seed);
+        prop_assert_eq!(sampler.schedule(&ids, 7, 3), sampler.schedule(&ids, 7, 3));
+        let a = sampler.sample(&g, &seeds, 9);
+        let b = sampler.sample(&g, &seeds, 9);
+        prop_assert_eq!(a.csr, b.csr);
+        prop_assert_eq!(a.global_ids, b.global_ids);
+        prop_assert_eq!(a.n_seeds, b.n_seeds);
+    }
+
+    #[test]
+    fn schedule_is_a_partition_of_the_train_ids(
+        n in 1usize..200, batch in 1usize..40, epoch in 0u64..50, seed in 0u64..u64::MAX
+    ) {
+        let ids: Vec<VertexId> = (0..n as VertexId).collect();
+        let sched = NeighborSampler::new(3, 2, seed).schedule(&ids, batch, epoch);
+        prop_assert_eq!(sched.len(), n.div_ceil(batch));
+        prop_assert!(sched[..sched.len() - 1].iter().all(|b| b.len() == batch));
+        let mut seen: Vec<VertexId> = sched.into_iter().flatten().collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, ids);
+    }
+
+    #[test]
+    fn zero_degree_seeds_keep_empty_rows(
+        (n, edges) in arb_edges(48, 64), seed in 0u64..u64::MAX
+    ) {
+        // Direct all edges away from vertex 0 so it has out-degree 0.
+        let edges: Vec<(VertexId, VertexId)> =
+            edges.into_iter().filter(|&(u, _)| u != 0).collect();
+        let g = Csr::from_edges(n, n, &edges);
+        let sub = NeighborSampler::new(4, 2, seed).sample(&g, &[0], 0);
+        prop_assert_eq!(sub.n_seeds, 1);
+        prop_assert_eq!(sub.csr.degree(0), 0);
+        prop_assert_eq!(sub.global_ids[0], 0);
+    }
+
+    #[test]
+    fn delta_overlay_matches_the_merged_rebuild(
+        (n, edges, extra) in arb_edges(32, 96).prop_flat_map(|(n, edges)| {
+            let pair = (0..n as VertexId, 0..n as VertexId);
+            (Just(n), Just(edges), prop::collection::vec(pair, 0..32))
+        })
+    ) {
+        // Row-by-row overlay reads (degree/neighbor/row_merged) must agree
+        // exactly with the full rebuild they let training avoid.
+        let base = Csr::from_edges(n, n, &edges);
+        let mut d = DeltaCsr::new(base.clone());
+        let mut all = edges.clone();
+        for (u, v) in extra {
+            d.insert_edge(u, v);
+            all.push((u, v));
+        }
+        let rebuilt = Csr::from_edges(n, n, &all);
+        prop_assert_eq!(d.nnz(), rebuilt.nnz());
+        for v in 0..n as VertexId {
+            prop_assert_eq!(d.degree(v), rebuilt.degree(v), "degree of {}", v);
+            prop_assert_eq!(d.row_merged(v), rebuilt.row(v).to_vec(), "row {}", v);
+            let mut via_neighbor: Vec<VertexId> =
+                (0..d.degree(v)).map(|i| d.neighbor(v, i)).collect();
+            via_neighbor.sort_unstable();
+            prop_assert_eq!(via_neighbor, rebuilt.row(v).to_vec());
+        }
+        prop_assert_eq!(d.merge(), rebuilt);
+        prop_assert_eq!(d.base(), &base, "base must never be rebuilt");
+    }
+}
+
+#[test]
+fn empty_seed_batch_is_a_valid_empty_subgraph() {
+    let g = Csr::from_edges(8, 8, &[(0, 1), (1, 0)]);
+    let sub = NeighborSampler::new(3, 2, 1).sample(&g, &[], 0);
+    assert_eq!(sub.n(), 0);
+    assert_eq!(sub.nnz(), 0);
+    assert_eq!(sub.csr.num_rows(), 0);
+}

@@ -21,7 +21,7 @@
 //! *not* collapsing while GCN/GIN do.
 
 use crate::gcn::StepOutput;
-use crate::graphdata::PreparedGraph;
+use crate::graphdata::GraphView;
 use crate::models::{
     edge_reduce_f32, edge_reduce_half, fused_attn_forward, fused_softmax_grad, grad_gemm_f32,
     grad_gemm_half, sddmm_f32, sddmm_half, spmmve_f32, spmmve_half, Dispatch, PrecisionMode,
@@ -46,7 +46,7 @@ struct LayerStateF32 {
 #[allow(clippy::too_many_arguments)]
 fn layer_forward_f32(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     x: &[f32],
     w: &[f32],
     a_src: &[f32],
@@ -75,7 +75,7 @@ fn layer_forward_f32(
 #[allow(clippy::too_many_arguments)]
 fn layer_backward_f32(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     state: &LayerStateF32,
     x: &[f32],
     w: &[f32],
@@ -124,7 +124,7 @@ fn layer_backward_f32(
 /// One f32 GAT training step.
 pub fn step_f32(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     p: &GatParams,
     x: &[f32],
     labels: &[u32],
@@ -137,7 +137,7 @@ pub fn step_f32(
 /// its `dist` context).
 pub fn step_f32_dist(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     p: &GatParams,
     x: &[f32],
     labels: &[u32],
@@ -183,7 +183,7 @@ struct LayerStateHalf {
 #[allow(clippy::too_many_arguments)]
 fn layer_forward_half(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     x: &[Half],
     w: &[Half],
     a_src: &[Half],
@@ -226,7 +226,7 @@ fn layer_forward_half(
 #[allow(clippy::too_many_arguments)]
 fn layer_backward_half(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     state: &LayerStateHalf,
     x: &[Half],
     w: &[Half],
@@ -273,7 +273,7 @@ fn layer_backward_half(
 /// One mixed-precision GAT training step.
 pub fn step_half(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     p: &GatParams,
     x: &[Half],
     labels: &[u32],
@@ -445,7 +445,7 @@ fn split_heads(full: &[f32], n: usize, heads: usize, d: usize) -> Vec<Vec<f32>> 
 /// One f32 multi-head GAT training step.
 pub fn step_f32_multihead(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     p: &MultiHeadGatParams,
     x: &[f32],
     labels: &[u32],
@@ -507,7 +507,7 @@ pub fn step_f32_multihead(
 /// master weights/loss).
 pub fn step_half_multihead(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     p: &MultiHeadGatParams,
     x: &[Half],
     labels: &[u32],
@@ -595,10 +595,10 @@ mod tests {
     use halfgnn_graph::Csr;
     use halfgnn_sim::DeviceConfig;
 
-    fn toy() -> (PreparedGraph, Vec<f32>, Vec<u32>, Vec<bool>) {
+    fn toy() -> (GraphView, Vec<f32>, Vec<u32>, Vec<bool>) {
         let (edges, labels) = gen::sbm(&[15, 15], 0.4, 0.03, 4);
         let csr = Csr::from_edges(30, 30, &edges).symmetrized_with_self_loops();
-        let g = PreparedGraph::new(&csr);
+        let g = GraphView::full(&csr);
         let x = halfgnn_graph::features::class_features(&labels, 2, 8, 1.0, 0.2, 7);
         (g, x, labels, vec![true; 30])
     }

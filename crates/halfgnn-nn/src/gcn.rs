@@ -10,7 +10,7 @@
 //! *before* the reduction, so the backward pass is overflow-safe under any
 //! kernel, exactly as §3.1.3 observes for right norm.
 
-use crate::graphdata::PreparedGraph;
+use crate::graphdata::GraphView;
 use crate::models::{
     gcn_agg_backward_f32, gcn_agg_backward_half, gcn_agg_f32, gcn_agg_half, grad_colsum_f32,
     grad_colsum_half, grad_gemm_f32, grad_gemm_half, Dispatch, GcnNorm, PrecisionMode,
@@ -40,7 +40,7 @@ pub struct StepOutput<G> {
 /// count-like datasets overflow FP16 (§3.1.3).
 pub fn step_f32(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     p: &TwoLayerParams,
     x: &[f32],
     labels: &[u32],
@@ -63,7 +63,7 @@ pub fn step_f32(
 #[allow(clippy::too_many_arguments)]
 pub fn step_f32_norm(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     p: &TwoLayerParams,
     x: &[f32],
     labels: &[u32],
@@ -125,7 +125,7 @@ pub fn step_f32_norm(
 /// kernels the dispatch's mode selects, f32 master weights and loss.
 pub fn step_half(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     p: &TwoLayerParams,
     x: &[halfgnn_half::Half],
     labels: &[u32],
@@ -139,7 +139,7 @@ pub fn step_half(
 #[allow(clippy::too_many_arguments)]
 pub fn step_half_norm(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     p: &TwoLayerParams,
     x: &[halfgnn_half::Half],
     labels: &[u32],
@@ -237,10 +237,10 @@ mod tests {
     use halfgnn_graph::Csr;
     use halfgnn_sim::DeviceConfig;
 
-    fn toy() -> (PreparedGraph, Vec<f32>, Vec<u32>, Vec<bool>) {
+    fn toy() -> (GraphView, Vec<f32>, Vec<u32>, Vec<bool>) {
         let (edges, labels) = gen::sbm(&[20, 20], 0.4, 0.02, 3);
         let csr = Csr::from_edges(40, 40, &edges).symmetrized_with_self_loops();
-        let g = PreparedGraph::new(&csr);
+        let g = GraphView::full(&csr);
         let x = halfgnn_graph::features::class_features(&labels, 2, 8, 1.0, 0.2, 5);
         let mask = vec![true; 40];
         (g, x, labels, mask)
@@ -323,7 +323,7 @@ mod tests {
         let edges: Vec<(u32, u32)> = (0..n).map(|v| (v, (v + 1) % n)).collect();
         let csr = halfgnn_graph::Csr::from_edges(n as usize, n as usize, &edges)
             .symmetrized_with_self_loops();
-        let g = PreparedGraph::new(&csr);
+        let g = GraphView::full(&csr);
         let x: Vec<f32> = (0..n as usize * 4).map(|i| (i % 13) as f32 * 0.25 - 1.5).collect();
         let mut ops = Ops::new(&dev);
         let fd32 = Dispatch::untuned(PrecisionMode::Float);
@@ -346,7 +346,7 @@ mod tests {
         edges.extend((1..deg).map(|v| (v, v + 1)));
         let csr = halfgnn_graph::Csr::from_edges(deg as usize + 1, deg as usize + 1, &edges)
             .symmetrized_with_self_loops();
-        let g = PreparedGraph::new(&csr);
+        let g = GraphView::full(&csr);
         let x: Vec<halfgnn_half::Half> =
             vec![halfgnn_half::Half::from_f32(100.0); (deg as usize + 1) * 4];
         let mut ops = Ops::new(&dev);

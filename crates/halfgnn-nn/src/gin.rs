@@ -14,7 +14,7 @@
 //!   (overflow-free) mean.
 
 use crate::gcn::StepOutput;
-use crate::graphdata::PreparedGraph;
+use crate::graphdata::GraphView;
 use crate::models::{
     grad_colsum_f32, grad_colsum_half, grad_gemm_f32, grad_gemm_half, spmm_mean_f32,
     spmm_mean_half, spmm_sum_f32, spmm_sum_half, Dispatch, PrecisionMode,
@@ -33,7 +33,7 @@ pub const GIN_EPS: f32 = 0.0;
 /// One f32 GIN step (DGL 'mean' reduction variant).
 pub fn step_f32(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     p: &TwoLayerParams,
     x: &[f32],
     labels: &[u32],
@@ -47,7 +47,7 @@ pub fn step_f32(
 #[allow(clippy::too_many_arguments)]
 pub fn step_f32_dist(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     p: &TwoLayerParams,
     x: &[f32],
     labels: &[u32],
@@ -95,7 +95,7 @@ pub fn step_f32_dist(
 /// overflowing DGL-mean variant; HalfGNN modes use Eq. 4.
 pub fn step_half(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     p: &TwoLayerParams,
     x: &[Half],
     labels: &[u32],
@@ -109,7 +109,7 @@ pub fn step_half(
 #[allow(clippy::too_many_arguments)]
 pub fn step_half_lambda(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     p: &TwoLayerParams,
     x: &[Half],
     labels: &[u32],
@@ -132,7 +132,7 @@ pub fn step_half_lambda(
     // kernel applies the degree norm post-reduction, so hub rows have
     // already overflowed by the time it runs.
     let aggregate =
-        |ops: &mut Ops, g: &PreparedGraph, t: &[Half], f: usize| spmm_mean_half(ops, g, t, f, d);
+        |ops: &mut Ops, g: &GraphView, t: &[Half], f: usize| spmm_mean_half(ops, g, t, f, d);
 
     // ---- Forward.
     let layer1 = halfgnn_half::overflow::site("gin.layer1");
@@ -200,10 +200,10 @@ mod tests {
     use halfgnn_graph::Csr;
     use halfgnn_sim::DeviceConfig;
 
-    fn toy() -> (PreparedGraph, Vec<f32>, Vec<u32>, Vec<bool>) {
+    fn toy() -> (GraphView, Vec<f32>, Vec<u32>, Vec<bool>) {
         let (edges, labels) = gen::sbm(&[20, 20], 0.4, 0.02, 9);
         let csr = Csr::from_edges(40, 40, &edges).symmetrized_with_self_loops();
-        let g = PreparedGraph::new(&csr);
+        let g = GraphView::full(&csr);
         let x = halfgnn_graph::features::class_features(&labels, 2, 8, 1.0, 0.2, 6);
         (g, x, labels, vec![true; 40])
     }
@@ -258,7 +258,7 @@ mod tests {
         let mut edges: Vec<(u32, u32)> = (1..n as u32).map(|c| (0, c)).collect();
         edges.extend((1..n as u32 - 1).map(|v| (v, v + 1)));
         let csr = Csr::from_edges(n, n, &edges).symmetrized_with_self_loops();
-        let g = PreparedGraph::new(&csr);
+        let g = GraphView::full(&csr);
         let x = vec![80.0f32; n * 4];
         let xh: Vec<Half> = x.iter().map(|&v| Half::from_f32(v)).collect();
         let labels = vec![0u32; n];

@@ -2,9 +2,10 @@
 //! tables in both precisions, and the transpose permutation backward
 //! passes use to reindex edge tensors.
 
-use halfgnn_graph::{Coo, Csr};
+use halfgnn_graph::{BatchSubgraph, Coo, Csr, VertexId};
 use halfgnn_half::Half;
 use halfgnn_kernels::common::{row_scales_inv_sqrt, row_scales_mean};
+use std::ops::Deref;
 
 /// Everything the model steps need about the graph, computed once.
 pub struct PreparedGraph {
@@ -68,6 +69,85 @@ impl PreparedGraph {
     }
 }
 
+/// Where a [`GraphView`] came from: the workspace-wide graph, or one
+/// sampled batch subgraph.
+#[derive(Clone, Debug)]
+pub enum ViewOrigin {
+    /// The full training graph (the paper's full-batch setting).
+    Full,
+    /// A neighbor-sampled batch subgraph in local ids.
+    Batch(BatchMeta),
+}
+
+/// Provenance of a batch subgraph: the id map back to the global graph
+/// plus the `(epoch, batch)` coordinates overflow events report.
+#[derive(Clone, Debug)]
+pub struct BatchMeta {
+    /// Local → global vertex map (seeds first).
+    pub global_ids: Vec<VertexId>,
+    /// Rows `0..n_seeds` are the batch's loss-bearing seed vertices.
+    pub n_seeds: usize,
+    /// Epoch the batch was sampled in.
+    pub epoch: usize,
+    /// Batch index within the epoch's schedule.
+    pub batch: usize,
+}
+
+/// The graph a model step runs on: a [`PreparedGraph`] plus its origin.
+///
+/// Models, `Dispatch`, and the trainer take `&GraphView` instead of the
+/// workspace-wide CSR, so the same step functions serve full-batch
+/// training and sampled mini-batches. `Deref` to [`PreparedGraph`] keeps
+/// kernel call sites (`g.csr`, `g.n()`, `g.mean_scale_h`) unchanged.
+pub struct GraphView {
+    prepared: PreparedGraph,
+    origin: ViewOrigin,
+}
+
+impl Deref for GraphView {
+    type Target = PreparedGraph;
+    fn deref(&self) -> &PreparedGraph {
+        &self.prepared
+    }
+}
+
+impl GraphView {
+    /// View of the full training graph (must already be symmetric Â).
+    pub fn full(csr: &Csr) -> GraphView {
+        GraphView { prepared: PreparedGraph::new(csr), origin: ViewOrigin::Full }
+    }
+
+    /// View of one sampled batch. The raw sampled CSR has fanout-bounded
+    /// in-rows but is *not* symmetric; the step functions assume Â = Âᵀ
+    /// (shared forward/backward structure), so the batch adjacency is
+    /// Â_B = sym(sample) + I over the batch's local vertex set.
+    pub fn batch(sub: &BatchSubgraph, epoch: usize, batch: usize) -> GraphView {
+        let adj = sub.csr.symmetrized_with_self_loops();
+        GraphView {
+            prepared: PreparedGraph::new(&adj),
+            origin: ViewOrigin::Batch(BatchMeta {
+                global_ids: sub.global_ids.clone(),
+                n_seeds: sub.n_seeds,
+                epoch,
+                batch,
+            }),
+        }
+    }
+
+    /// True when this view is a sampled batch subgraph.
+    pub fn is_batch(&self) -> bool {
+        matches!(self.origin, ViewOrigin::Batch(_))
+    }
+
+    /// Batch provenance, when this is a batch view.
+    pub fn meta(&self) -> Option<&BatchMeta> {
+        match &self.origin {
+            ViewOrigin::Full => None,
+            ViewOrigin::Batch(m) => Some(m),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +181,34 @@ mod tests {
     fn asymmetric_graph_rejected() {
         let csr = Csr::from_edges(3, 3, &[(0, 1)]);
         PreparedGraph::new(&csr);
+    }
+
+    #[test]
+    fn full_view_derefs_to_prepared_graph() {
+        let csr = Csr::from_edges(4, 4, &[(0, 1), (1, 2)]).symmetrized_with_self_loops();
+        let v = GraphView::full(&csr);
+        assert!(!v.is_batch());
+        assert!(v.meta().is_none());
+        assert_eq!(v.n(), 4);
+        assert_eq!(v.csr, csr);
+    }
+
+    #[test]
+    fn batch_view_symmetrizes_the_sampled_csr_and_keeps_provenance() {
+        // A raw sampled subgraph is directed (fanout-bounded rows).
+        let sub = BatchSubgraph {
+            csr: Csr::from_edges(3, 3, &[(0, 1), (0, 2), (1, 2)]),
+            global_ids: vec![7, 3, 9],
+            n_seeds: 2,
+        };
+        let v = GraphView::batch(&sub, 4, 1);
+        assert!(v.is_batch());
+        assert!(v.csr.is_symmetric(), "batch adjacency must be symmetric");
+        for u in 0..3u32 {
+            assert!(v.csr.row(u).contains(&u), "missing self loop at {u}");
+        }
+        let m = v.meta().unwrap();
+        assert_eq!(m.global_ids, vec![7, 3, 9]);
+        assert_eq!((m.n_seeds, m.epoch, m.batch), (2, 4, 1));
     }
 }

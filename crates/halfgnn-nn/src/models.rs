@@ -15,7 +15,7 @@
 //! halos, so they contribute zero additional communication.
 
 use crate::dist::DistCtx;
-use crate::graphdata::PreparedGraph;
+use crate::graphdata::GraphView;
 use halfgnn_exec::{buf_ref, BufRef, ExecCtx};
 use halfgnn_graph::partition::Shard;
 use halfgnn_half::Half;
@@ -155,7 +155,7 @@ impl<'t> Dispatch<'t> {
     /// the unfused five-kernel chain (bit-for-bit pre-fusion behavior).
     /// Baseline modes and odd `f` (the fused kernel is half2-padded)
     /// never fuse.
-    pub fn attn_fused(&self, g: &PreparedGraph, f: usize) -> bool {
+    pub fn attn_fused(&self, g: &GraphView, f: usize) -> bool {
         let halfgnn =
             matches!(self.mode, PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize);
         if !halfgnn || !f.is_multiple_of(2) {
@@ -253,7 +253,7 @@ fn sharded_edges<T: Copy>(
 /// f32 GCN aggregation under the chosen norm (Â is symmetric).
 pub fn gcn_agg_f32(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     x: &[f32],
     f: usize,
     norm: GcnNorm,
@@ -283,7 +283,7 @@ pub fn gcn_agg_f32(
 /// Adjoint of [`gcn_agg_f32`] on a symmetric Â.
 pub fn gcn_agg_backward_f32(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     dy: &[f32],
     f: usize,
     norm: GcnNorm,
@@ -308,7 +308,7 @@ pub fn gcn_agg_backward_f32(
 /// Half GCN aggregation under the chosen norm and kernel system.
 pub fn gcn_agg_half(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     x: &[Half],
     f: usize,
     norm: GcnNorm,
@@ -333,7 +333,7 @@ pub fn gcn_agg_half(
 /// HalfGNN's discretized mean is safe on both sides.
 pub fn gcn_agg_backward_half(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     dy: &[Half],
     f: usize,
     norm: GcnNorm,
@@ -361,7 +361,7 @@ pub fn gcn_agg_backward_half(
 #[allow(clippy::too_many_arguments)]
 fn halfgnn_spmm_planned(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     w: EdgeWeights<'_>,
     x: &[Half],
     f: usize,
@@ -406,7 +406,7 @@ fn halfgnn_spmm_planned(
 #[allow(clippy::too_many_arguments)]
 fn spmm_half_window(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     w: EdgeWeights<'_>,
     x: &[Half],
     f: usize,
@@ -433,7 +433,7 @@ fn spmm_half_window(
 /// attached — per-shard halo exchange + windowed launch + paste.
 fn spmm_half_dispatch(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     w: EdgeWeights<'_>,
     x: &[Half],
     f: usize,
@@ -468,7 +468,7 @@ fn spmm_half_dispatch(
 /// [`spmm_half_dispatch`] but with 4-byte halo elements.
 fn spmm_f32_dispatch(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     w: EdgeWeightsF32<'_>,
     x: &[f32],
     f: usize,
@@ -504,7 +504,7 @@ fn spmm_f32_dispatch(
 /// Half SpMMv with mean (right degree-norm) aggregation.
 pub fn spmm_mean_half(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     x: &[Half],
     f: usize,
     d: Dispatch<'_>,
@@ -515,7 +515,7 @@ pub fn spmm_mean_half(
 /// Half SpMMv, plain sum (GIN's default aggregation; backward passes).
 pub fn spmm_sum_half(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     x: &[Half],
     f: usize,
     d: Dispatch<'_>,
@@ -527,7 +527,7 @@ pub fn spmm_sum_half(
 /// weights are normalized, so no degree scaling is needed).
 pub fn spmmve_half(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     w: &[Half],
     x: &[Half],
     f: usize,
@@ -539,7 +539,7 @@ pub fn spmmve_half(
 /// One windowed half SDDMM launch under the mode's kernel system.
 fn sddmm_half_window(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     u: &[Half],
     v: &[Half],
     f: usize,
@@ -577,7 +577,7 @@ fn sddmm_half_window(
 /// sharded runs halo-exchange it before each per-shard edge window.
 pub fn sddmm_half(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     u: &[Half],
     v: &[Half],
     f: usize,
@@ -610,7 +610,7 @@ pub fn sddmm_half(
 /// halo — only the windowed launch and the row paste.
 pub fn edge_reduce_half(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     w: &[Half],
     op: Reduce,
     d: Dispatch<'_>,
@@ -644,7 +644,7 @@ pub fn edge_reduce_half(
 #[allow(clippy::too_many_arguments)]
 pub fn fused_attn_forward(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     s_dst: &[Half],
     s_src: &[Half],
     slope: f32,
@@ -706,7 +706,7 @@ pub fn fused_attn_forward(
 /// with zero communication.
 pub fn fused_softmax_grad(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     alpha: &[Half],
     dalpha: &[Half],
     e: &[Half],
@@ -741,7 +741,7 @@ pub fn fused_softmax_grad(
 /// Float SpMMv with mean aggregation (cuSPARSE + post scale, as DGL does).
 pub fn spmm_mean_f32(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     x: &[f32],
     f: usize,
     d: Dispatch<'_>,
@@ -752,7 +752,7 @@ pub fn spmm_mean_f32(
 /// Float SpMMv, plain sum.
 pub fn spmm_sum_f32(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     x: &[f32],
     f: usize,
     d: Dispatch<'_>,
@@ -763,7 +763,7 @@ pub fn spmm_sum_f32(
 /// Float SpMMve.
 pub fn spmmve_f32(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     w: &[f32],
     x: &[f32],
     f: usize,
@@ -776,7 +776,7 @@ pub fn spmmve_f32(
 /// sharded.
 pub fn sddmm_f32(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     u: &[f32],
     v: &[f32],
     f: usize,
@@ -808,7 +808,7 @@ pub fn sddmm_f32(
 /// Float edge reduce (no halo, like [`edge_reduce_half`]).
 pub fn edge_reduce_f32(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     w: &[f32],
     op: Reduce,
     d: Dispatch<'_>,
@@ -932,10 +932,10 @@ mod tests {
     use halfgnn_sim::interconnect::Topology;
     use halfgnn_sim::DeviceConfig;
 
-    fn prep() -> PreparedGraph {
+    fn prep() -> GraphView {
         let csr = Csr::from_edges(6, 6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
             .symmetrized_with_self_loops();
-        PreparedGraph::new(&csr)
+        GraphView::full(&csr)
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! does not.
 
 use crate::gcn::StepOutput;
-use crate::graphdata::PreparedGraph;
+use crate::graphdata::GraphView;
 use crate::models::{
     grad_colsum_f32, grad_colsum_half, grad_gemm_f32, grad_gemm_half, spmm_mean_f32,
     spmm_mean_half, spmm_sum_f32, spmm_sum_half, Dispatch, PrecisionMode,
@@ -128,7 +128,7 @@ impl SageGrads {
 /// One f32 GraphSAGE step.
 pub fn step_f32(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     p: &SageParams,
     x: &[f32],
     labels: &[u32],
@@ -142,7 +142,7 @@ pub fn step_f32(
 #[allow(clippy::too_many_arguments)]
 pub fn step_f32_dist(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     p: &SageParams,
     x: &[f32],
     labels: &[u32],
@@ -200,7 +200,7 @@ pub fn step_f32_dist(
 /// One mixed-precision GraphSAGE step under the chosen kernel system.
 pub fn step_half(
     ops: &mut Ops,
-    g: &PreparedGraph,
+    g: &GraphView,
     p: &SageParams,
     x: &[Half],
     labels: &[u32],
@@ -290,10 +290,10 @@ mod tests {
     use halfgnn_graph::Csr;
     use halfgnn_sim::DeviceConfig;
 
-    fn toy() -> (PreparedGraph, Vec<f32>, Vec<u32>, Vec<bool>) {
+    fn toy() -> (GraphView, Vec<f32>, Vec<u32>, Vec<bool>) {
         let (edges, labels) = gen::sbm(&[20, 20], 0.4, 0.02, 13);
         let csr = Csr::from_edges(40, 40, &edges).symmetrized_with_self_loops();
-        let g = PreparedGraph::new(&csr);
+        let g = GraphView::full(&csr);
         let x = halfgnn_graph::features::class_features(&labels, 2, 8, 1.0, 0.3, 14);
         (g, x, labels, vec![true; 40])
     }
@@ -361,7 +361,7 @@ mod tests {
         let mut edges: Vec<(u32, u32)> = (1..n as u32).map(|c| (0, c)).collect();
         edges.extend((1..n as u32 - 1).map(|v| (v, v + 1)));
         let csr = Csr::from_edges(n, n, &edges).symmetrized_with_self_loops();
-        let g = PreparedGraph::new(&csr);
+        let g = GraphView::full(&csr);
         let xh: Vec<Half> = vec![Half::from_f32(90.0); n * 4];
         let labels = vec![0u32; n];
         let mask = vec![true; n];

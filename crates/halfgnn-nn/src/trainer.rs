@@ -3,18 +3,20 @@
 
 use crate::adam::Adam;
 use crate::dist::DistCtx;
-use crate::graphdata::PreparedGraph;
+use crate::graphdata::GraphView;
 use crate::models::Dispatch;
 pub use crate::models::{ModelKind, PrecisionMode};
 use crate::params::{GatParams, TwoLayerParams};
 use crate::sage::SageParams;
 use crate::{gat, gcn, gin, sage};
 use halfgnn_exec::ExecCtx;
-pub use halfgnn_exec::ReplaySummary;
+pub use halfgnn_exec::{CaptureRefused, ReplaySummary};
 use halfgnn_graph::datasets::LoadedDataset;
 pub use halfgnn_graph::partition::PartitionStrategy;
+use halfgnn_graph::{DeltaCsr, NeighborSampler, VertexId};
 use halfgnn_half::overflow;
 use halfgnn_half::slice::{f32_slice_to_half, pad_feature_len};
+use halfgnn_half::Half;
 use halfgnn_sim::interconnect::LinkStat;
 pub use halfgnn_sim::interconnect::Topology;
 use halfgnn_sim::DeviceConfig;
@@ -98,6 +100,20 @@ pub struct TrainConfig {
     /// and pay launch overhead only once, at capture; functional results
     /// are bit-identical to eager execution.
     pub replay: bool,
+    /// Mini-batch seed count per step (`--batch-size`, DESIGN.md §14).
+    /// `None` (default) is the paper's full-batch setting; `Some(b)`
+    /// switches to neighbor-sampled mini-batch epochs: each batch trains
+    /// on the sampled receptive field of `b` seed vertices.
+    pub batch_size: Option<usize>,
+    /// Sampled in-neighbors per vertex per hop (`--fanout`). Ignored in
+    /// full-batch runs.
+    pub fanout: u32,
+    /// Streaming-ingestion exercise (`--stream-edges`): insert this many
+    /// random undirected edges through the [`DeltaCsr`] overlay halfway
+    /// through training, with no full CSR rebuild. Requires mini-batch
+    /// mode (the sampler reads through the overlay; the full-batch path's
+    /// graph tables are precomputed once).
+    pub stream_edges: usize,
 }
 
 impl Default for TrainConfig {
@@ -119,7 +135,79 @@ impl Default for TrainConfig {
             topology: Topology::Ring,
             partition: PartitionStrategy::Contiguous,
             replay: false,
+            batch_size: None,
+            fanout: 10,
+            stream_edges: 0,
         }
+    }
+}
+
+/// A configuration rejected before training starts, by name — the
+/// alternative is a mid-run panic with a stack trace instead of a cause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `--replay` with `--batch-size`: capture assumes a fixed epoch
+    /// kernel sequence, which mini-batch sampling breaks.
+    ReplayWithMiniBatch(CaptureRefused),
+    /// `--shards` > 1 with `--batch-size`: the partition plan is built
+    /// once for the full graph, not per batch subgraph.
+    ShardedMiniBatch,
+    /// `--stream-edges` without `--batch-size`: the full-batch path
+    /// precomputes its graph tables once and cannot ingest a delta.
+    StreamingNeedsMiniBatch,
+    /// `--batch-size 0` selects no seeds.
+    ZeroBatchSize,
+    /// `--fanout 0` samples no neighbors.
+    ZeroFanout,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ReplayWithMiniBatch(r) => {
+                write!(f, "--replay is incompatible with --batch-size ({r})")
+            }
+            ConfigError::ShardedMiniBatch => {
+                write!(f, "--shards > 1 is incompatible with --batch-size (the partition plan is per full graph, not per batch)")
+            }
+            ConfigError::StreamingNeedsMiniBatch => {
+                write!(f, "--stream-edges requires --batch-size (full-batch graph tables are precomputed once)")
+            }
+            ConfigError::ZeroBatchSize => write!(f, "--batch-size must be at least 1"),
+            ConfigError::ZeroFanout => write!(f, "--fanout must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl TrainConfig {
+    /// Reject configurations that cannot train, with a named reason.
+    /// [`train_on`] calls this and panics with the message; CLIs should
+    /// call it directly and exit with a usage error instead.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match self.batch_size {
+            Some(0) => return Err(ConfigError::ZeroBatchSize),
+            Some(_) => {
+                if self.replay {
+                    return Err(ConfigError::ReplayWithMiniBatch(
+                        CaptureRefused::MiniBatchSchedule,
+                    ));
+                }
+                if self.shards > 1 {
+                    return Err(ConfigError::ShardedMiniBatch);
+                }
+                if self.fanout == 0 {
+                    return Err(ConfigError::ZeroFanout);
+                }
+            }
+            None => {
+                if self.stream_edges > 0 {
+                    return Err(ConfigError::StreamingNeedsMiniBatch);
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -188,6 +276,36 @@ pub struct TrainReport {
     /// same semantics as `epoch_time_us`). Zero on eager runs and on
     /// single-epoch runs that never replayed.
     pub replay_epoch_time_us: f64,
+    /// Mini-batch sampling summary (`TrainConfig::batch_size`); `None`
+    /// on full-batch runs.
+    pub sampling: Option<SamplingSummary>,
+}
+
+/// What the neighbor sampler actually did during a mini-batch run.
+#[derive(Clone, Debug)]
+pub struct SamplingSummary {
+    /// Batches per epoch (`⌈|train| / batch_size⌉`).
+    pub batches_per_epoch: usize,
+    /// Mean sampled receptive-field size (vertices) across epoch 0.
+    pub mean_batch_vertices: f64,
+    /// Mean sampled subgraph edges (before symmetrization) across epoch 0.
+    pub mean_batch_edges: f64,
+    /// Largest receptive field of any batch in the run — the size the
+    /// peak-memory model is scaled to.
+    pub max_batch_vertices: usize,
+    /// Largest sampled edge count of any batch in the run.
+    pub max_batch_edges: usize,
+    /// Fanout the run sampled with.
+    pub fanout: u32,
+    /// Edges actually inserted through the [`DeltaCsr`] overlay (0 when
+    /// `stream_edges` was 0 or every drawn edge already existed).
+    pub streamed_edges: usize,
+    /// Epoch before which the stream was ingested, when it was.
+    pub stream_epoch: Option<usize>,
+    /// Tuner cache activity *after* the stream was ingested (hits vs
+    /// misses over post-delta batches) — the "re-tuning stays mostly
+    /// cache-hit" claim, measured. `None` without streaming or tuning.
+    pub post_stream_tuning: Option<TunerCounters>,
 }
 
 impl TrainReport {
@@ -209,8 +327,14 @@ pub fn train(data: &LoadedDataset, cfg: &TrainConfig) -> TrainReport {
 /// Train on an explicit device. The config's [`TrainConfig::exec`] selects
 /// the execution backend, overriding whatever mode `dev` carries.
 pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> TrainReport {
+    if let Err(e) = cfg.validate() {
+        panic!("invalid config: {e}");
+    }
+    if cfg.batch_size.is_some() {
+        return train_minibatch(dev, data, cfg);
+    }
     let dev = &dev.clone().with_exec(cfg.exec);
-    let g = PreparedGraph::new(&data.adj);
+    let g = GraphView::full(&data.adj);
     let f_in = data.spec.feat;
     let is_half = cfg.precision.is_half();
     // Feature padding (§4.1.2): half paths pad odd class counts.
@@ -233,23 +357,8 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
     let mut replay_epoch_time_us = 0.0;
 
     // Parameter storage + optimizer, per architecture.
-    enum P {
-        Two(TwoLayerParams),
-        Gat(GatParams),
-        Sage(SageParams),
-    }
-    let mut params = match cfg.model {
-        ModelKind::Gcn | ModelKind::Gin => {
-            P::Two(TwoLayerParams::new(f_in, cfg.hidden, classes, cfg.seed))
-        }
-        ModelKind::Gat => P::Gat(GatParams::new(f_in, cfg.hidden, classes, cfg.seed)),
-        ModelKind::Sage => P::Sage(SageParams::new(f_in, cfg.hidden, classes, cfg.seed)),
-    };
-    let mut opt = match &params {
-        P::Two(p) => Adam::new(p.num_params(), cfg.lr),
-        P::Gat(p) => Adam::new(p.num_params(), cfg.lr),
-        P::Sage(p) => Adam::new(p.num_params(), cfg.lr),
-    };
+    let mut params = ModelParams::new(cfg.model, f_in, cfg.hidden, classes, cfg.seed);
+    let mut opt = Adam::new(params.num_params(), cfg.lr);
 
     let mut overflow_per_epoch: Vec<overflow::Summary> = Vec::with_capacity(cfg.epochs);
 
@@ -294,68 +403,8 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
         // Track every f32→half conversion of this epoch's step; the first
         // non-finite one is recorded with its layer/kernel site path.
         overflow::begin();
-        let (loss, correct, grad_flat, logits) = match (&params, cfg.model) {
-            (P::Two(p), ModelKind::Gcn) => {
-                let out = if is_half {
-                    gcn::step_half_norm(
-                        &mut ops,
-                        &g,
-                        p,
-                        &xh,
-                        labels,
-                        train_mask,
-                        dispatch,
-                        cfg.gcn_norm,
-                    )
-                } else {
-                    gcn::step_f32_norm(
-                        &mut ops,
-                        &g,
-                        p,
-                        &x,
-                        labels,
-                        train_mask,
-                        dispatch,
-                        cfg.gcn_norm,
-                    )
-                };
-                (out.loss, out.correct, out.grads.flat(), out.logits)
-            }
-            (P::Two(p), ModelKind::Gin) => {
-                let out = if is_half {
-                    gin::step_half_lambda(
-                        &mut ops,
-                        &g,
-                        p,
-                        &xh,
-                        labels,
-                        train_mask,
-                        dispatch,
-                        cfg.gin_lambda,
-                    )
-                } else {
-                    gin::step_f32_dist(&mut ops, &g, p, &x, labels, train_mask, dispatch)
-                };
-                (out.loss, out.correct, out.grads.flat(), out.logits)
-            }
-            (P::Gat(p), _) => {
-                let out = if is_half {
-                    gat::step_half(&mut ops, &g, p, &xh, labels, train_mask, dispatch)
-                } else {
-                    gat::step_f32_dist(&mut ops, &g, p, &x, labels, train_mask, dispatch)
-                };
-                (out.loss, out.correct, out.grads.flat(), out.logits)
-            }
-            (P::Sage(p), _) => {
-                let out = if is_half {
-                    sage::step_half(&mut ops, &g, p, &xh, labels, train_mask, dispatch)
-                } else {
-                    sage::step_f32_dist(&mut ops, &g, p, &x, labels, train_mask, dispatch)
-                };
-                (out.loss, out.correct, out.grads.flat(), out.logits)
-            }
-            _ => unreachable!("parameter kind matches model kind"),
-        };
+        let (loss, correct, grad_flat, logits) =
+            run_step(&params, &mut ops, &g, &x, &xh, labels, train_mask, dispatch, cfg);
 
         let ofw = overflow::take();
         if let Some(ev) = &ofw.first {
@@ -389,7 +438,7 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
             converted = ops.converted_elems;
             kernels = ops.kernel_count();
             dram_bytes = ops.log.iter().map(halfgnn_sim::KernelStats::dram_bytes).sum();
-            breakdown = kernel_breakdown(&ops);
+            breakdown = kernel_breakdown(&ops.log);
             if let Some(ctx) = &dist {
                 comms = ctx.snapshot();
             }
@@ -409,23 +458,7 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
         }
 
         // Master update in f32 (NaN gradients propagate, as in real DGL).
-        match &mut params {
-            P::Two(p) => {
-                let mut flat = p.flat();
-                opt.step(&mut flat, &grad_flat);
-                p.set_flat(&flat);
-            }
-            P::Gat(p) => {
-                let mut flat = p.flat();
-                opt.step(&mut flat, &grad_flat);
-                p.set_flat(&flat);
-            }
-            P::Sage(p) => {
-                let mut flat = p.flat();
-                opt.step(&mut flat, &grad_flat);
-                p.set_flat(&flat);
-            }
-        }
+        params.adam_step(&mut opt, &grad_flat);
     }
 
     let final_train_accuracy = Ops::accuracy(&last_logits, labels, train_mask, classes);
@@ -459,14 +492,373 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
             s
         }),
         replay_epoch_time_us,
+        sampling: None,
+    }
+}
+
+/// Parameter storage per architecture — shared by the full-batch and
+/// mini-batch loops so both drive the exact same models and optimizer.
+enum ModelParams {
+    Two(TwoLayerParams),
+    Gat(GatParams),
+    Sage(SageParams),
+}
+
+impl ModelParams {
+    fn new(model: ModelKind, f_in: usize, hidden: usize, classes: usize, seed: u64) -> ModelParams {
+        match model {
+            ModelKind::Gcn | ModelKind::Gin => {
+                ModelParams::Two(TwoLayerParams::new(f_in, hidden, classes, seed))
+            }
+            ModelKind::Gat => ModelParams::Gat(GatParams::new(f_in, hidden, classes, seed)),
+            ModelKind::Sage => ModelParams::Sage(SageParams::new(f_in, hidden, classes, seed)),
+        }
+    }
+
+    fn num_params(&self) -> usize {
+        match self {
+            ModelParams::Two(p) => p.num_params(),
+            ModelParams::Gat(p) => p.num_params(),
+            ModelParams::Sage(p) => p.num_params(),
+        }
+    }
+
+    /// Adam update of the flattened master weights.
+    fn adam_step(&mut self, opt: &mut Adam, grad_flat: &[f32]) {
+        match self {
+            ModelParams::Two(p) => {
+                let mut flat = p.flat();
+                opt.step(&mut flat, grad_flat);
+                p.set_flat(&flat);
+            }
+            ModelParams::Gat(p) => {
+                let mut flat = p.flat();
+                opt.step(&mut flat, grad_flat);
+                p.set_flat(&flat);
+            }
+            ModelParams::Sage(p) => {
+                let mut flat = p.flat();
+                opt.step(&mut flat, grad_flat);
+                p.set_flat(&flat);
+            }
+        }
+    }
+}
+
+/// One forward+backward step of the configured model on `g` — the full
+/// graph or one batch subgraph; the step functions don't care, which is
+/// the point of [`GraphView`]. Returns `(loss, correct, grad_flat, logits)`.
+#[allow(clippy::too_many_arguments)]
+fn run_step(
+    params: &ModelParams,
+    ops: &mut Ops,
+    g: &GraphView,
+    x: &[f32],
+    xh: &[Half],
+    labels: &[u32],
+    mask: &[bool],
+    dispatch: Dispatch,
+    cfg: &TrainConfig,
+) -> (f32, usize, Vec<f32>, Vec<f32>) {
+    let is_half = cfg.precision.is_half();
+    match (params, cfg.model) {
+        (ModelParams::Two(p), ModelKind::Gcn) => {
+            let out = if is_half {
+                gcn::step_half_norm(ops, g, p, xh, labels, mask, dispatch, cfg.gcn_norm)
+            } else {
+                gcn::step_f32_norm(ops, g, p, x, labels, mask, dispatch, cfg.gcn_norm)
+            };
+            (out.loss, out.correct, out.grads.flat(), out.logits)
+        }
+        (ModelParams::Two(p), ModelKind::Gin) => {
+            let out = if is_half {
+                gin::step_half_lambda(ops, g, p, xh, labels, mask, dispatch, cfg.gin_lambda)
+            } else {
+                gin::step_f32_dist(ops, g, p, x, labels, mask, dispatch)
+            };
+            (out.loss, out.correct, out.grads.flat(), out.logits)
+        }
+        (ModelParams::Gat(p), _) => {
+            let out = if is_half {
+                gat::step_half(ops, g, p, xh, labels, mask, dispatch)
+            } else {
+                gat::step_f32_dist(ops, g, p, x, labels, mask, dispatch)
+            };
+            (out.loss, out.correct, out.grads.flat(), out.logits)
+        }
+        (ModelParams::Sage(p), _) => {
+            let out = if is_half {
+                sage::step_half(ops, g, p, xh, labels, mask, dispatch)
+            } else {
+                sage::step_f32_dist(ops, g, p, x, labels, mask, dispatch)
+            };
+            (out.loss, out.correct, out.grads.flat(), out.logits)
+        }
+        _ => unreachable!("parameter kind matches model kind"),
+    }
+}
+
+/// Neighbor-sampled mini-batch training (`TrainConfig::batch_size`,
+/// DESIGN.md §14). Each epoch shuffles the train set into seed batches
+/// with a deterministic schedule, samples every batch's k-hop receptive
+/// field through a [`DeltaCsr`] overlay (so `--stream-edges` ingests
+/// mid-run with no CSR rebuild), gathers the batch's feature and label
+/// rows, and steps the same models the full-batch loop drives — just on
+/// a batch-local [`GraphView`]. Final accuracies come from one
+/// full-graph forward with the trained weights, so they are directly
+/// comparable to a full-batch run's.
+fn train_minibatch(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> TrainReport {
+    let batch_size = cfg.batch_size.expect("mini-batch path needs a batch size");
+    let dev = &dev.clone().with_exec(cfg.exec);
+    let f_in = data.spec.feat;
+    let is_half = cfg.precision.is_half();
+    let classes = if is_half { pad_feature_len(data.spec.classes, 2) } else { data.spec.classes };
+
+    let x = data.features.clone();
+    let xh = if is_half { f32_slice_to_half(&x) } else { Vec::new() };
+    let labels = &data.labels;
+
+    // The training graph lives behind a delta overlay: streamed edges
+    // ingest in O(log deg) each, and the sampler reads straight through
+    // the overlay — the base CSR is never rebuilt mid-training.
+    let mut graph = DeltaCsr::new(data.adj.clone());
+    let sampler = NeighborSampler::new(cfg.fanout, 2, cfg.seed);
+    let train_ids: Vec<VertexId> = data
+        .split
+        .train
+        .iter()
+        .enumerate()
+        .filter_map(|(v, &t)| t.then_some(v as VertexId))
+        .collect();
+    assert!(!train_ids.is_empty(), "dataset has no training vertices");
+
+    let mut params = ModelParams::new(cfg.model, f_in, cfg.hidden, classes, cfg.seed);
+    let mut opt = Adam::new(params.num_params(), cfg.lr);
+    let tuner = match &cfg.tuning {
+        Tuning::Off => None,
+        Tuning::Auto => Some(Tuner::auto(dev)),
+        Tuning::Cached(path) => Some(Tuner::cached(dev, path.as_str())),
+    };
+    let dispatch = match &tuner {
+        Some(t) => Dispatch::tuned(cfg.precision, t),
+        None => Dispatch::untuned(cfg.precision),
+    }
+    .with_fusion(cfg.fusion);
+
+    let mut losses = Vec::with_capacity(cfg.epochs);
+    let mut overflow_per_epoch: Vec<overflow::Summary> = Vec::with_capacity(cfg.epochs);
+    let mut nan_epoch = None;
+    let mut logged_overflow = false;
+    let mut epoch_time_us = 0.0;
+    let mut conversions = 0u64;
+    let mut converted = 0u64;
+    let mut kernels = 0usize;
+    let mut epoch0_log: Vec<halfgnn_sim::KernelStats> = Vec::new();
+
+    // Sampling telemetry (epoch-0 means, run-wide maxima).
+    let mut batches_per_epoch = 0usize;
+    let mut ep0_vertices = 0usize;
+    let mut ep0_edges = 0usize;
+    let mut max_batch_vertices = 0usize;
+    let mut max_batch_edges = 0usize;
+    let mut max_view = (0usize, 0usize);
+
+    // Streaming: ingest halfway through so both regimes are exercised.
+    let stream_epoch = (cfg.stream_edges > 0).then_some(cfg.epochs / 2);
+    let mut streamed_edges = 0usize;
+    let mut counters_at_stream: Option<TunerCounters> = None;
+
+    for epoch in 0..cfg.epochs {
+        if stream_epoch == Some(epoch) {
+            streamed_edges = stream_random_edges(&mut graph, cfg.stream_edges, cfg.seed);
+            counters_at_stream = Some(tuner.as_ref().map(Tuner::counters).unwrap_or_default());
+        }
+        let schedule = sampler.schedule(&train_ids, batch_size, epoch as u64);
+        batches_per_epoch = schedule.len();
+        let mut epoch_loss = 0.0f64;
+        let mut epoch_seeds = 0usize;
+        let mut epoch_ofw = overflow::Summary::default();
+
+        for (b, seeds) in schedule.iter().enumerate() {
+            let salt = ((epoch as u64) << 32) | b as u64;
+            let sub = sampler.sample(&graph, seeds, salt);
+            let view = GraphView::batch(&sub, epoch, b);
+            max_batch_vertices = max_batch_vertices.max(sub.n());
+            max_batch_edges = max_batch_edges.max(sub.nnz());
+            max_view = (max_view.0.max(view.n()), max_view.1.max(view.nnz()));
+            if epoch == 0 {
+                ep0_vertices += sub.n();
+                ep0_edges += sub.nnz();
+            }
+
+            let mut ops = Ops::new(dev);
+            ops.loss_scale = cfg.loss_scale;
+            // Batch feature rows come out of the global matrix through a
+            // charged gather kernel; label/mask rows are host-side views.
+            let (xb, xbh) = if is_half {
+                (Vec::new(), ops.gather_rows_half(&xh, f_in, &sub.global_ids))
+            } else {
+                (ops.gather_rows_f32(&x, f_in, &sub.global_ids), Vec::new())
+            };
+            let labels_b: Vec<u32> =
+                sub.global_ids.iter().map(|&gid| labels[gid as usize]).collect();
+            let mask_b: Vec<bool> = (0..sub.n()).map(|i| i < sub.n_seeds).collect();
+
+            overflow::begin();
+            let (loss, _correct, grad_flat, _logits) =
+                run_step(&params, &mut ops, &view, &xb, &xbh, &labels_b, &mask_b, dispatch, cfg);
+            let ofw = overflow::take();
+            if let Some(ev) = ofw.first.as_ref().filter(|_| !logged_overflow) {
+                // Batch-level provenance: which batch of which epoch the
+                // run's first non-finite conversion happened in.
+                eprintln!(
+                    "[halfgnn-nn] {:?}/{:?}: epoch {epoch} batch {b}: first non-finite \
+                     conversion: {ev}",
+                    cfg.model, cfg.precision
+                );
+                logged_overflow = true;
+            }
+            merge_overflow(&mut epoch_ofw, ofw);
+
+            if loss.is_nan() && nan_epoch.is_none() {
+                nan_epoch = Some(epoch);
+            }
+            epoch_loss += loss as f64 * seeds.len() as f64;
+            epoch_seeds += seeds.len();
+            params.adam_step(&mut opt, &grad_flat);
+
+            if epoch == 0 {
+                epoch_time_us += ops.total_time_us();
+                conversions += ops.tensor_conversions;
+                converted += ops.converted_elems;
+                kernels += ops.kernel_count();
+                epoch0_log.extend(ops.log.iter().cloned());
+            }
+        }
+        losses.push((epoch_loss / epoch_seeds.max(1) as f64) as f32);
+        overflow_per_epoch.push(epoch_ofw);
+    }
+
+    // Post-stream tuner activity: the delta's cache-hit story, measured
+    // before the final full-graph evaluation adds unrelated keys.
+    let post_stream_tuning = match (&tuner, counters_at_stream) {
+        (Some(t), Some(at)) => {
+            let end = t.counters();
+            Some(TunerCounters {
+                hits: end.hits - at.hits,
+                misses: end.misses - at.misses,
+                evaluations: end.evaluations - at.evaluations,
+            })
+        }
+        _ => None,
+    };
+
+    // Final metrics: one full-graph forward with the trained weights,
+    // against the streamed graph if edges were ingested. This is the one
+    // place the overlay materializes — after training, for evaluation.
+    let eval_adj = if streamed_edges > 0 { graph.merge() } else { data.adj.clone() };
+    let g_full = GraphView::full(&eval_adj);
+    let mut eval_ops = Ops::new(dev);
+    eval_ops.loss_scale = cfg.loss_scale;
+    let (_, _, _, logits) = run_step(
+        &params,
+        &mut eval_ops,
+        &g_full,
+        &x,
+        &xh,
+        labels,
+        &data.split.train,
+        Dispatch::untuned(cfg.precision).with_fusion(cfg.fusion),
+        cfg,
+    );
+    let final_train_accuracy = Ops::accuracy(&logits, labels, &data.split.train, classes);
+    let test_accuracy = Ops::accuracy(&logits, labels, &data.split.test, classes);
+
+    TrainReport {
+        losses,
+        final_train_accuracy,
+        test_accuracy,
+        nan_epoch,
+        epoch_time_us,
+        peak_memory_bytes: model_memory_minibatch(data, cfg, classes, max_view.0, max_view.1)
+            .peak(),
+        conversions_per_epoch: conversions,
+        converted_elems_per_epoch: converted,
+        kernels_per_epoch: kernels,
+        dram_bytes_per_epoch: epoch0_log.iter().map(halfgnn_sim::KernelStats::dram_bytes).sum(),
+        kernel_breakdown: kernel_breakdown(&epoch0_log),
+        overflow_per_epoch,
+        tuning_counters: tuner.as_ref().map(Tuner::counters),
+        comms_bytes_per_epoch: 0,
+        comms_halo_bytes_per_epoch: 0,
+        comms_allreduce_bytes_per_epoch: 0,
+        comms_time_us_per_epoch: 0.0,
+        link_breakdown: Vec::new(),
+        replay: None,
+        replay_epoch_time_us: 0.0,
+        sampling: Some(SamplingSummary {
+            batches_per_epoch,
+            mean_batch_vertices: ep0_vertices as f64 / batches_per_epoch.max(1) as f64,
+            mean_batch_edges: ep0_edges as f64 / batches_per_epoch.max(1) as f64,
+            max_batch_vertices,
+            max_batch_edges,
+            fanout: cfg.fanout,
+            streamed_edges,
+            stream_epoch: (streamed_edges > 0).then(|| stream_epoch.unwrap()),
+            post_stream_tuning,
+        }),
+    }
+}
+
+/// Insert up to `count` deterministic random undirected edges through the
+/// overlay. Returns how many endpoint pairs were actually new.
+fn stream_random_edges(graph: &mut DeltaCsr, count: usize, seed: u64) -> usize {
+    fn splitmix64(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    let n = graph.num_rows() as u64;
+    if n < 2 {
+        return 0;
+    }
+    let mut inserted = 0;
+    let mut state = splitmix64(seed ^ 0x57ea_u64);
+    // Draw with a retry budget: duplicates of existing edges don't count.
+    for _ in 0..count * 8 {
+        if inserted == count {
+            break;
+        }
+        state = splitmix64(state);
+        let u = (state % n) as VertexId;
+        state = splitmix64(state);
+        let v = (state % n) as VertexId;
+        if u != v && graph.insert_undirected(u, v) > 0 {
+            inserted += 1;
+        }
+    }
+    inserted
+}
+
+/// Merge one batch's overflow window into the epoch summary, keeping the
+/// epoch's first event. (`overflow::Summary` lives in `halfgnn-half`,
+/// which this refactor leaves untouched — hence a free function.)
+fn merge_overflow(acc: &mut overflow::Summary, s: overflow::Summary) {
+    acc.conversions += s.conversions;
+    acc.overflows += s.overflows;
+    acc.inf_propagated += s.inf_propagated;
+    acc.nan_propagated += s.nan_propagated;
+    if acc.first.is_none() {
+        acc.first = s.first;
     }
 }
 
 /// Aggregate an epoch's kernel log by kernel name, sorted by total time.
-fn kernel_breakdown(ops: &Ops) -> Vec<(String, usize, f64, u64)> {
+fn kernel_breakdown(log: &[halfgnn_sim::KernelStats]) -> Vec<(String, usize, f64, u64)> {
     let mut agg: std::collections::BTreeMap<&str, (usize, f64, u64)> =
         std::collections::BTreeMap::new();
-    for s in &ops.log {
+    for s in log {
         // Composite stats ("a+b") are named by their phases; aggregate on
         // the full composite name.
         let e = agg.entry(s.name.as_str()).or_insert((0, 0.0, 0));
@@ -488,9 +880,37 @@ fn kernel_breakdown(ops: &Ops) -> Vec<(String, usize, f64, u64)> {
 /// overhead (GNNBench's finding the paper cites in §6.1.2) and the
 /// AMP-materialized float copies of promoted tensors.
 pub fn model_memory(data: &LoadedDataset, cfg: &TrainConfig, classes: usize) -> MemoryTracker {
-    let n = data.num_vertices();
-    let e = data.num_edges();
-    let f_in = data.spec.feat;
+    model_memory_shape(data.num_vertices(), data.num_edges(), data.spec.feat, cfg, classes)
+}
+
+/// Batch-scaled peak memory for mini-batch runs: the largest batch's
+/// working set (the full-batch model evaluated at the batch shape) plus
+/// the resident global feature matrix and graph structure the gathers
+/// read from.
+fn model_memory_minibatch(
+    data: &LoadedDataset,
+    cfg: &TrainConfig,
+    classes: usize,
+    batch_n: usize,
+    batch_e: usize,
+) -> MemoryTracker {
+    let mut m = model_memory_shape(batch_n, batch_e, data.spec.feat, cfg, classes);
+    let elem = if cfg.precision.is_half() { 2 } else { 4 };
+    m.alloc("global_features", data.num_vertices() * data.spec.feat, elem);
+    m.alloc("global_csr", data.num_edges() + data.num_vertices() + 1, 4);
+    m
+}
+
+/// [`model_memory`] evaluated at an explicit graph shape (`n` vertices,
+/// `e` edges) so the same accounting serves full graphs and batch
+/// subgraphs.
+fn model_memory_shape(
+    n: usize,
+    e: usize,
+    f_in: usize,
+    cfg: &TrainConfig,
+    classes: usize,
+) -> MemoryTracker {
     let h = cfg.hidden;
     let c = classes;
     let elem = if cfg.precision.is_half() { 2 } else { 4 };
@@ -933,6 +1353,155 @@ mod tests {
             epochs as u64 * (r.hits + r.misses),
             "eager {e:?} vs replay {r:?}"
         );
+    }
+}
+
+#[cfg(test)]
+mod minibatch_tests {
+    use super::*;
+    use halfgnn_graph::datasets::Dataset;
+
+    fn mb_cfg(precision: PrecisionMode, epochs: usize) -> TrainConfig {
+        TrainConfig {
+            model: ModelKind::Gcn,
+            precision,
+            epochs,
+            hidden: 16,
+            lr: 0.02,
+            seed: 1,
+            batch_size: Some(128),
+            fanout: 10,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn minibatch_reaches_full_batch_accuracy() {
+        // The acceptance criterion: sampled training lands within ε of the
+        // full-batch accuracies, in float and in half.
+        let data = Dataset::cora().load(42);
+        for precision in [PrecisionMode::Float, PrecisionMode::HalfGnn] {
+            let base = TrainConfig { batch_size: None, ..mb_cfg(precision, 20) };
+            let full = train(&data, &base);
+            let mb = train(&data, &mb_cfg(precision, 20));
+            assert!(mb.nan_epoch.is_none(), "{precision:?} NaNed");
+            assert!(
+                (full.final_train_accuracy - mb.final_train_accuracy).abs() < 0.08,
+                "{precision:?} train: full {} vs mini-batch {}",
+                full.final_train_accuracy,
+                mb.final_train_accuracy
+            );
+            assert!(
+                (full.test_accuracy - mb.test_accuracy).abs() < 0.08,
+                "{precision:?} test: full {} vs mini-batch {}",
+                full.test_accuracy,
+                mb.test_accuracy
+            );
+            let s = mb.sampling.expect("mini-batch runs report sampling");
+            assert_eq!(
+                s.batches_per_epoch,
+                data.split.train.iter().filter(|&&t| t).count().div_ceil(128)
+            );
+            assert!(s.max_batch_vertices > 0 && s.mean_batch_edges > 0.0);
+            assert!(full.sampling.is_none(), "full-batch runs must not report sampling");
+        }
+    }
+
+    #[test]
+    fn streaming_inserts_mid_training_stay_cache_hit() {
+        // The delta-CSR claim, measured: edges ingested halfway through
+        // training (no CSR rebuild — the overlay's base is untouched) and
+        // the tuner's per-batch-shape keys keep hitting after the delta.
+        let data = Dataset::cora().load(42);
+        let cfg = TrainConfig {
+            stream_edges: 200,
+            tuning: Tuning::Auto,
+            ..mb_cfg(PrecisionMode::HalfGnn, 8)
+        };
+        let r = train(&data, &cfg);
+        assert!(r.nan_epoch.is_none());
+        assert!(r.overflow_per_epoch.iter().all(overflow::Summary::is_clean));
+        let s = r.sampling.expect("sampling summary");
+        assert_eq!(s.streamed_edges, 200, "every drawn edge should be new on Cora");
+        assert_eq!(s.stream_epoch, Some(4));
+        let post = s.post_stream_tuning.expect("tuned streaming run measures post-delta cache");
+        let hit_rate = post.hits as f64 / (post.hits + post.misses).max(1) as f64;
+        assert!(
+            hit_rate > 0.5,
+            "post-delta tuner hit rate {hit_rate:.2} ({} hits, {} misses)",
+            post.hits,
+            post.misses
+        );
+    }
+
+    #[test]
+    fn minibatch_fast_exec_is_bit_identical_to_sim() {
+        // Sampling is keyed (order/thread independent) and the executor
+        // contract holds per batch, so the whole mini-batch run must be
+        // bitwise reproducible across backends and thread counts.
+        let data = Dataset::cora().load(42);
+        let base = mb_cfg(PrecisionMode::HalfGnn, 3);
+        let sim = train(&data, &base);
+        for threads in [1, 4] {
+            let fast = train(
+                &data,
+                &TrainConfig { exec: ExecMode::fast_with_threads(threads), ..base.clone() },
+            );
+            assert_eq!(
+                sim.losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+                fast.losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+            assert_eq!(sim.final_train_accuracy, fast.final_train_accuracy);
+        }
+    }
+
+    #[test]
+    fn every_model_trains_minibatch_half_cleanly() {
+        let data = Dataset::cora().load(42);
+        for model in [ModelKind::Gcn, ModelKind::Gin, ModelKind::Gat, ModelKind::Sage] {
+            let r = train(&data, &TrainConfig { model, ..mb_cfg(PrecisionMode::HalfGnn, 3) });
+            assert!(r.nan_epoch.is_none(), "{model:?} NaNed mini-batch");
+            assert!(
+                r.overflow_per_epoch.iter().all(overflow::Summary::is_clean),
+                "{model:?} overflowed mini-batch"
+            );
+            assert!(r.overflow_per_epoch[0].conversions > 0, "{model:?} recorder inactive");
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_by_name() {
+        let ok = TrainConfig::default();
+        assert_eq!(ok.validate(), Ok(()));
+        let cases: [(TrainConfig, ConfigError); 5] = [
+            (
+                TrainConfig { replay: true, batch_size: Some(64), ..ok.clone() },
+                ConfigError::ReplayWithMiniBatch(CaptureRefused::MiniBatchSchedule),
+            ),
+            (
+                TrainConfig { shards: 2, batch_size: Some(64), ..ok.clone() },
+                ConfigError::ShardedMiniBatch,
+            ),
+            (TrainConfig { stream_edges: 10, ..ok.clone() }, ConfigError::StreamingNeedsMiniBatch),
+            (TrainConfig { batch_size: Some(0), ..ok.clone() }, ConfigError::ZeroBatchSize),
+            (
+                TrainConfig { batch_size: Some(64), fanout: 0, ..ok.clone() },
+                ConfigError::ZeroFanout,
+            ),
+        ];
+        for (cfg, want) in cases {
+            assert_eq!(cfg.validate(), Err(want));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid config: --replay is incompatible with --batch-size")]
+    fn replay_with_batch_size_panics_with_the_named_error() {
+        // Never the ExecGraph divergence panic: the config is refused up
+        // front with the capture-refusal reason in the message.
+        let data = Dataset::cora().load(42);
+        train(&data, &TrainConfig { replay: true, ..mb_cfg(PrecisionMode::Float, 2) });
     }
 }
 

@@ -191,6 +191,32 @@ impl<'d> Ops<'d> {
         out
     }
 
+    /// Gather feature rows: `out[i, :] = x[ids[i], :]` with row width `f`.
+    /// The batch loader's kernel — pulls a subgraph's feature rows out of
+    /// the global feature matrix (one extra index read per element).
+    pub fn gather_rows_f32(&mut self, x: &[f32], f: usize, ids: &[u32]) -> Vec<f32> {
+        self.charge_elementwise("gather_rows_f32", ids.len() * f, 4, 2, 1, 1, false);
+        let mut out = Vec::with_capacity(ids.len() * f);
+        for &id in ids {
+            let r = id as usize * f;
+            out.extend_from_slice(&x[r..r + f]);
+        }
+        self.trace("gather_rows_f32", &[buf_ref(x)], &[buf_ref(&out)]);
+        out
+    }
+
+    /// [`Ops::gather_rows_f32`] for half tensors (half the bytes moved).
+    pub fn gather_rows_half(&mut self, x: &[Half], f: usize, ids: &[u32]) -> Vec<Half> {
+        self.charge_elementwise("gather_rows_f16", ids.len() * f, 2, 2, 1, 1, true);
+        let mut out = Vec::with_capacity(ids.len() * f);
+        for &id in ids {
+            let r = id as usize * f;
+            out.extend_from_slice(&x[r..r + f]);
+        }
+        self.trace("gather_rows_f16", &[buf_ref(x)], &[buf_ref(&out)]);
+        out
+    }
+
     /// `C[m×n] ← op(A)[m×k] · op(B)[k×n]` in f32. `ta`/`tb` transpose the
     /// stored operands (A is stored `m×k` or `k×m` accordingly).
     #[allow(clippy::too_many_arguments)]
@@ -608,6 +634,21 @@ mod tests {
         // Bᵀ stored.
         let bt = [5.0, 7.0, 6.0, 8.0];
         assert_eq!(matmul(&a, false, &bt, true, 2, 2, 2), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn gather_rows_picks_and_charges() {
+        let d = dev();
+        let mut ops = Ops::new(&d);
+        let x = [0.0, 1.0, 10.0, 11.0, 20.0, 21.0];
+        let out = ops.gather_rows_f32(&x, 2, &[2, 0, 2]);
+        assert_eq!(out, vec![20.0, 21.0, 0.0, 1.0, 20.0, 21.0]);
+        assert_eq!(ops.kernel_count(), 1, "gather must appear in the kernel log");
+        let xh = f32_slice_to_half(&x);
+        let outh = ops.gather_rows_half(&xh, 2, &[1]);
+        assert_eq!(half_slice_to_f32(&outh), vec![10.0, 11.0]);
+        let empty = ops.gather_rows_f32(&x, 2, &[]);
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Delta-CSR ↔ tuner interaction (DESIGN.md §14): degree metrics are
+//! recomputed lazily after streaming inserts (never served stale), a hub
+//! insertion flips the CV regime and therefore the cache key, and batch
+//! subgraphs whose shapes land in the same log2 buckets share one cached
+//! plan — the property that keeps mini-batch re-tuning mostly cache-hit.
+
+use halfgnn_graph::metrics::degree_stats;
+use halfgnn_graph::{gen, Csr, DeltaCsr, NeighborSampler, VertexId};
+use halfgnn_kernels::common::ScalePlacement;
+use halfgnn_sim::DeviceConfig;
+use halfgnn_tune::{CvBucket, Dtype, KernelKey, OpKind, Tuner};
+
+fn spmm_key(csr: &Csr) -> KernelKey {
+    KernelKey::for_graph(
+        OpKind::SpmmV,
+        Dtype::Half,
+        64,
+        csr.num_rows(),
+        csr.nnz(),
+        &degree_stats(csr),
+        ScalePlacement::Discretized,
+    )
+}
+
+#[test]
+fn hub_insert_through_the_delta_overlay_flips_the_cv_bucket() {
+    // Regression for stale lazy metrics: a 16×16 grid is near-regular, so
+    // its CV regime is Regular. Reading stats() BEFORE the inserts primes
+    // the lazy cache; if insert_edge failed to invalidate it, the hub
+    // below would keep serving the Regular bucket and the tuner would keep
+    // reusing a plan tuned for a skew-free graph.
+    let grid = Csr::from_edges(256, 256, &gen::grid2d(16, 16));
+    let mut d = DeltaCsr::new(grid);
+    let before = d.stats();
+    assert_eq!(CvBucket::of(before.cv), CvBucket::Regular, "grid cv {}", before.cv);
+
+    for v in 1..=200u32 {
+        d.insert_undirected(0, v as VertexId);
+    }
+
+    let after = d.stats();
+    assert!(after.cv > before.cv, "stats served stale after inserts");
+    assert_eq!(
+        CvBucket::of(after.cv),
+        CvBucket::Skewed,
+        "a 200-degree hub on a degree-4 lattice must read as skewed (cv {})",
+        after.cv
+    );
+    // Corner vertex: 2 grid edges + 200 inserts, minus the two inserts
+    // that duplicate existing grid edges (overlay dedups against base).
+    assert_eq!(after.max, 200, "hub degree after dedup");
+    // The flipped regime must reach the cache key: a plan tuned on the
+    // pre-hub graph is not offered for the post-hub one.
+    let merged = d.merge();
+    assert_ne!(spmm_key(d.base()).encode(), spmm_key(&merged).encode());
+    assert_eq!(spmm_key(&merged).cv, CvBucket::Skewed);
+}
+
+#[test]
+fn same_bucket_batch_subgraphs_share_one_cached_plan() {
+    // Two disjoint seed batches of the same size sampled with the same
+    // fanout produce subgraphs whose rows/nnz/degree land in the same log2
+    // buckets, so the second dispatch is a pure cache hit — no candidate
+    // re-evaluation per batch.
+    let g = Csr::from_edges(2_000, 2_000, &gen::erdos_renyi(2_000, 10_000, 1))
+        .symmetrized_with_self_loops();
+    let sampler = NeighborSampler::new(5, 2, 7);
+    let batch_a: Vec<VertexId> = (0..128).collect();
+    let batch_b: Vec<VertexId> = (1_000..1_128).collect();
+    let sub_a = sampler.sample(&g, &batch_a, 0).csr.symmetrized_with_self_loops();
+    let sub_b = sampler.sample(&g, &batch_b, 1).csr.symmetrized_with_self_loops();
+    assert_eq!(spmm_key(&sub_a), spmm_key(&sub_b), "batch shapes must share a bucket");
+
+    let t = Tuner::auto(&DeviceConfig::tiny());
+    let plan_a = t.spmm_plan(&sub_a, 64, false, ScalePlacement::Discretized);
+    assert_eq!(t.counters().misses, 1, "first batch shape tunes");
+    let plan_b = t.spmm_plan(&sub_b, 64, false, ScalePlacement::Discretized);
+    let c = t.counters();
+    assert_eq!(c.misses, 1, "second batch must not re-tune");
+    assert_eq!(c.hits, 1, "second batch must hit the cached plan");
+    assert_eq!(plan_a, plan_b);
+}
+
+#[test]
+fn small_delta_keeps_the_merged_graph_in_the_tuned_bucket() {
+    // The >50%-post-delta-hit-rate acceptance criterion, reduced to its
+    // mechanism: a stream of inserts far smaller than the nnz bucket width
+    // leaves rows/nnz/cv buckets unchanged, so the plan tuned before the
+    // delta is reused verbatim on the merged graph.
+    let g = Csr::from_edges(2_000, 2_000, &gen::erdos_renyi(2_000, 10_000, 2))
+        .symmetrized_with_self_loops();
+    let t = Tuner::auto(&DeviceConfig::tiny());
+    let before = t.spmm_plan(&g, 64, false, ScalePlacement::Discretized);
+    assert_eq!(t.counters().misses, 1);
+
+    let mut d = DeltaCsr::new(g);
+    let mut inserted = 0u32;
+    for i in 0..200u32 {
+        let (u, v) = (i * 7 % 2_000, (i * 13 + 5) % 2_000);
+        if u != v {
+            d.insert_undirected(u, v);
+            inserted += 1;
+        }
+    }
+    assert!(inserted > 0);
+    let merged = d.merge();
+    let after = t.spmm_plan(&merged, 64, false, ScalePlacement::Discretized);
+    let c = t.counters();
+    assert_eq!(c.misses, 1, "post-delta dispatch must not re-tune");
+    assert_eq!(c.hits, 1, "post-delta dispatch must be a cache hit");
+    assert_eq!(before, after);
+}

@@ -19,7 +19,7 @@ fn usage() -> ! {
          [--lr F] [--hidden N] [--seed N] [--norm right|left|both] [--gin-lambda F] \
          [--loss-scale F] [--tuning off|auto|cached:<path>] [--fusion] \
          [--shards N] [--topology ring|alltoall] [--partition contiguous|balanced] \
-         [--replay]"
+         [--replay] [--batch-size N] [--fanout N] [--stream-edges N]"
     );
     exit(2)
 }
@@ -109,6 +109,9 @@ fn main() {
                     usage()
                 })
             }
+            "--batch-size" => cfg.batch_size = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--fanout" => cfg.fanout = val().parse().unwrap_or_else(|_| usage()),
+            "--stream-edges" => cfg.stream_edges = val().parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -117,6 +120,10 @@ fn main() {
         }
     }
     let Some(dataset) = dataset else { usage() };
+    if let Err(e) = cfg.validate() {
+        eprintln!("config error: {e}");
+        exit(2);
+    }
 
     let data = dataset.load(42);
     eprintln!(
@@ -169,6 +176,29 @@ fn main() {
             s.eager_bytes as f64 / 1048576.0,
             s.external_bytes as f64 / 1048576.0
         );
+    }
+    if let Some(s) = &report.sampling {
+        println!(
+            "sampling       : {} batches/epoch (fanout {}), mean batch {:.0} vertices / \
+             {:.0} edges, max {} vertices",
+            s.batches_per_epoch,
+            s.fanout,
+            s.mean_batch_vertices,
+            s.mean_batch_edges,
+            s.max_batch_vertices
+        );
+        if let Some(ep) = s.stream_epoch {
+            println!(
+                "streamed edges : {} inserted before epoch {ep} (delta overlay, no rebuild)",
+                s.streamed_edges
+            );
+        }
+        if let Some(p) = s.post_stream_tuning {
+            println!(
+                "post-delta plan cache: {} hits, {} misses, {} evaluations",
+                p.hits, p.misses, p.evaluations
+            );
+        }
     }
     if let Some(c) = report.tuning_counters {
         println!(

@@ -49,6 +49,79 @@ fn unknown_flags_models_and_zero_shards_are_rejected() {
 }
 
 #[test]
+fn replay_with_batch_size_is_a_named_config_error_not_a_divergence_panic() {
+    // Capture assumes a fixed epoch kernel sequence; mini-batch sampling
+    // breaks that. The combination must die at config validation with a
+    // message naming both flags and the capture-refusal reason — never
+    // reach the ExecGraph replay machinery and panic on divergence.
+    let out = run(&["--dataset", "cora", "--epochs", "2", "--replay", "--batch-size", "64"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("config error"), "must be a config error: {err}");
+    assert!(
+        err.contains("--replay") && err.contains("--batch-size"),
+        "must name both flags: {err}"
+    );
+    assert!(err.contains("capture refused"), "must carry the capture-refusal reason: {err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+}
+
+#[test]
+fn batch_flag_misuses_are_rejected_with_named_errors() {
+    for (args, needle) in [
+        (vec!["--dataset", "cora", "--batch-size", "0"], "--batch-size must be at least 1"),
+        (vec!["--dataset", "cora", "--stream-edges", "50"], "--stream-edges requires --batch-size"),
+        (
+            vec!["--dataset", "cora", "--batch-size", "64", "--fanout", "0"],
+            "--fanout must be at least 1",
+        ),
+        (
+            vec!["--dataset", "cora", "--batch-size", "64", "--shards", "2"],
+            "--shards > 1 is incompatible with --batch-size",
+        ),
+    ] {
+        let out = run(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        assert!(stderr(&out).contains(needle), "{args:?} missing {needle:?}: {}", stderr(&out));
+    }
+}
+
+#[test]
+fn minibatch_training_runs_and_reports_sampling() {
+    let out = run(&[
+        "--dataset",
+        "cora",
+        "--model",
+        "gcn",
+        "--precision",
+        "halfgnn",
+        "--epochs",
+        "2",
+        "--batch-size",
+        "256",
+        "--fanout",
+        "5",
+        "--stream-edges",
+        "50",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("sampling"), "missing sampling summary: {stdout}");
+    assert!(stdout.contains("streamed edges"), "missing streaming line: {stdout}");
+    assert!(stdout.contains("batches/epoch"), "missing batch count: {stdout}");
+}
+
+#[test]
+fn usage_lists_the_batch_flags() {
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    for flag in ["--batch-size", "--fanout", "--stream-edges"] {
+        assert!(err.contains(flag), "usage must document {flag}: {err}");
+    }
+}
+
+#[test]
 fn usage_lists_the_replay_flag() {
     let out = run(&["--help"]);
     assert_eq!(out.status.code(), Some(2));

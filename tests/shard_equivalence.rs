@@ -21,7 +21,7 @@ use halfgnn::kernels::common::Reduce;
 use halfgnn::kernels::reference;
 use halfgnn::nn::dist::DistCtx;
 use halfgnn::nn::gcn;
-use halfgnn::nn::graphdata::PreparedGraph;
+use halfgnn::nn::graphdata::GraphView;
 use halfgnn::nn::models::{
     edge_reduce_f32, edge_reduce_half, grad_colsum_f32, grad_colsum_half, grad_gemm_f32,
     grad_gemm_half, sddmm_f32, sddmm_half, spmm_mean_f32, spmm_mean_half, spmm_sum_f32,
@@ -91,7 +91,7 @@ proptest! {
         (csr, f, feats) in arb_graph()
     ) {
         let dev = DeviceConfig::a100_like();
-        let g = PreparedGraph::new(&csr);
+        let g = GraphView::full(&csr);
         let n = g.n();
         let xf = feats;
         let xh = f32_slice_to_half(&xf);
@@ -178,7 +178,7 @@ proptest! {
         (csr, f, feats) in arb_graph()
     ) {
         let dev = DeviceConfig::a100_like();
-        let g = PreparedGraph::new(&csr);
+        let g = GraphView::full(&csr);
         let classes = 3;
         let (labels, mask) = labels_and_mask(g.n(), classes);
         let p = TwoLayerParams::new(f, 4, classes, 7);
@@ -212,7 +212,7 @@ proptest! {
         (csr, f, feats) in arb_graph()
     ) {
         let dev = DeviceConfig::a100_like();
-        let g = PreparedGraph::new(&csr);
+        let g = GraphView::full(&csr);
         let classes = 4; // even: the half path pads odd class counts
         let (labels, mask) = labels_and_mask(g.n(), classes);
         let p = TwoLayerParams::new(f, 4, classes, 11);
@@ -248,7 +248,7 @@ proptest! {
         (csr, f, feats) in arb_graph()
     ) {
         let dev = DeviceConfig::a100_like();
-        let g = PreparedGraph::new(&csr);
+        let g = GraphView::full(&csr);
         let xh = f32_slice_to_half(&feats);
         let mut ops = Ops::new(&dev);
 
@@ -279,7 +279,7 @@ proptest! {
 fn empty_partitions_are_harmless() {
     let dev = DeviceConfig::a100_like();
     let csr = Csr::from_edges(3, 3, &[(0, 1), (1, 2)]).symmetrized_with_self_loops();
-    let g = PreparedGraph::new(&csr);
+    let g = GraphView::full(&csr);
     let f = 4;
     let xh: Vec<Half> = (0..g.n() * f).map(|i| Half::from_f32((i % 5) as f32 * 0.2)).collect();
     let mut ops = Ops::new(&dev);
@@ -303,7 +303,7 @@ fn star_graph_is_bitwise_under_degree_balanced_sharding() {
     let n: usize = 33;
     let edges: Vec<(VertexId, VertexId)> = (1..n as VertexId).map(|v| (0, v)).collect();
     let csr = Csr::from_edges(n, n, &edges).symmetrized_with_self_loops();
-    let g = PreparedGraph::new(&csr);
+    let g = GraphView::full(&csr);
     let f = 8;
     let xh: Vec<Half> = (0..n * f).map(|i| Half::from_f32(((i % 9) as f32 - 4.0) * 0.1)).collect();
     let mut ops = Ops::new(&dev);
