@@ -1,0 +1,299 @@
+//! `bench_pr8` — forward-only serving: coalesced batching, embedding
+//! cache, modeled closed-loop latency.
+//!
+//! Trains a GCN on the G1-class graph (float and HalfGNN), snapshots the
+//! weights through the trainer's save path, and serves a synthetic
+//! request trace against 1/2/4-shard deployments.
+//!
+//! Hard gates, asserted not observed:
+//!
+//! * **bitwise coalescing** — a batched forward returns exactly the bits
+//!   each request gets served alone, in float and in half;
+//! * **cache headline** — at the same byte budget the f16 embedding cache
+//!   holds ≥ 1.9× the vertices of the f32 cache (exactly 2× by
+//!   construction);
+//! * **latency sanity** — p99 is finite and positive at every shard
+//!   count, and every request of the trace is answered.
+//!
+//! Emits `BENCH_pr8.json` in the current directory; run from the repo
+//! root.
+
+use halfgnn_graph::datasets::Dataset;
+use halfgnn_nn::models::GcnNorm;
+use halfgnn_nn::snapshot::ModelSnapshot;
+use halfgnn_nn::trainer::{train_on, ModelKind, PrecisionMode, TrainConfig};
+use halfgnn_serve::{CachePrecision, EmbeddingCache, ServeConfig, ServeEngine};
+use halfgnn_sim::{latency_stats, synth_trace, DeviceConfig, TraceConfig};
+
+const CACHE_RATIO_GATE: f64 = 1.9;
+
+struct LoopRow {
+    shards: usize,
+    throughput_rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    hit_rate: f64,
+    halo_mib: f64,
+    batches: u64,
+    max_batch_vertices: usize,
+}
+
+fn precision_tag(p: PrecisionMode) -> &'static str {
+    match p {
+        PrecisionMode::Float => "float",
+        PrecisionMode::HalfGnn => "halfgnn",
+        _ => unreachable!("bench serves float|halfgnn only"),
+    }
+}
+
+/// Train under `precision` and hand the weights off through the snapshot
+/// file, exactly as a production trainer → server pipeline would.
+fn trained_snapshot(
+    dev: &DeviceConfig,
+    data: &halfgnn_graph::datasets::LoadedDataset,
+    precision: PrecisionMode,
+) -> ModelSnapshot {
+    let tmp = std::env::temp_dir().join(format!(
+        "bench-pr8-{}-{}.snap",
+        precision_tag(precision),
+        std::process::id()
+    ));
+    let cfg = TrainConfig {
+        model: ModelKind::Gcn,
+        precision,
+        epochs: 20,
+        hidden: 16,
+        lr: 0.02,
+        seed: 3,
+        gcn_norm: GcnNorm::Right,
+        snapshot_path: Some(tmp.to_string_lossy().into_owned()),
+        ..TrainConfig::default()
+    };
+    let report = train_on(dev, data, &cfg);
+    assert!(report.nan_epoch.is_none(), "{precision:?} training hit NaN");
+    let snap = ModelSnapshot::load(&tmp).expect("trainer wrote a loadable snapshot");
+    std::fs::remove_file(&tmp).ok();
+    snap
+}
+
+fn bits_of(rows: &[Vec<f32>]) -> Vec<Vec<u32>> {
+    rows.iter().map(|r| r.iter().map(|v| v.to_bits()).collect()).collect()
+}
+
+fn main() {
+    let dev = DeviceConfig::a100_like();
+    let data = Dataset::by_id("G1").expect("G1 in registry").load(42);
+    let n = data.num_vertices();
+
+    let float_snap = trained_snapshot(&dev, &data, PrecisionMode::Float);
+    let half_snap = trained_snapshot(&dev, &data, PrecisionMode::HalfGnn);
+
+    // ---- Gate 1: coalesced batched forward == per-request forward, bitwise.
+    // A spread of requests across the graph, with duplicates.
+    let mut requests: Vec<u32> = (0..n as u32).step_by(97).collect();
+    requests.push(requests[3]);
+    requests.push(0);
+    let mut bitwise_values = 0usize;
+    for (precision, snap) in
+        [(PrecisionMode::Float, &float_snap), (PrecisionMode::HalfGnn, &half_snap)]
+    {
+        let cfg = ServeConfig { precision, ..ServeConfig::default() };
+        let mut batched = ServeEngine::from_snapshot(
+            &dev,
+            &data.adj,
+            &data.features,
+            data.spec.feat,
+            snap,
+            cfg.clone(),
+        )
+        .expect("engine");
+        let all = batched.embed(&requests);
+        let mut sequential =
+            ServeEngine::from_snapshot(&dev, &data.adj, &data.features, data.spec.feat, snap, cfg)
+                .expect("engine");
+        for (k, &v) in requests.iter().enumerate() {
+            let one = sequential.embed(&[v]);
+            assert_eq!(
+                bits_of(&all.outputs[k..k + 1]),
+                bits_of(&one.outputs[0..1]),
+                "{precision:?}: vertex {v} diverged under coalescing"
+            );
+            bitwise_values += all.outputs[k].len();
+        }
+        eprintln!(
+            "[bench_pr8] {}: {} requests coalesced into one {}-vertex subgraph, bitwise-equal \
+             to sequential",
+            precision_tag(precision),
+            requests.len(),
+            all.batch_vertices
+        );
+    }
+
+    // ---- Gate 2: the f16 cache fits >= 1.9x the vertices of f32.
+    let budget = 64 * 1024;
+    let width = float_snap.classes;
+    let cap_f16 = EmbeddingCache::new(budget, width, CachePrecision::F16).capacity();
+    let cap_f32 = EmbeddingCache::new(budget, width, CachePrecision::F32).capacity();
+    let cache_ratio = cap_f16 as f64 / cap_f32 as f64;
+    assert!(
+        cache_ratio >= CACHE_RATIO_GATE,
+        "f16/f32 cache capacity ratio {cache_ratio:.3} below gate {CACHE_RATIO_GATE}"
+    );
+    eprintln!(
+        "[bench_pr8] cache: {budget} B budget holds {cap_f16} f16 entries vs {cap_f32} f32 \
+         ({cache_ratio:.2}x)"
+    );
+
+    // ---- Gate 3: closed loop at 1/2/4 shards, p99 finite everywhere.
+    let trace = synth_trace(&TraceConfig {
+        seed: 11,
+        requests: 2000,
+        num_vertices: n,
+        mean_gap_us: 40.0,
+        hot_fraction: 0.8,
+        hot_vertices: 64,
+    });
+    let mut rows: Vec<LoopRow> = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let cfg = ServeConfig {
+            precision: PrecisionMode::HalfGnn,
+            shards,
+            cache_bytes: 32 * 1024,
+            cache_precision: CachePrecision::F16,
+            ..ServeConfig::default()
+        };
+        let mut engine = ServeEngine::from_snapshot(
+            &dev,
+            &data.adj,
+            &data.features,
+            data.spec.feat,
+            &half_snap,
+            cfg,
+        )
+        .expect("engine");
+        let timings = engine.serve_trace(&trace);
+        assert_eq!(timings.len(), trace.len(), "shards={shards}: dropped requests");
+        let span = timings
+            .iter()
+            .zip(&trace)
+            .map(|(t, r)| r.arrival_us + t.total_us())
+            .fold(0.0f64, f64::max)
+            - trace[0].arrival_us;
+        let stats = latency_stats(&timings, span);
+        assert!(
+            stats.p99_us.is_finite() && stats.p99_us > 0.0,
+            "shards={shards}: p99 {} not finite-positive",
+            stats.p99_us
+        );
+        assert!(stats.p50_us <= stats.p99_us, "shards={shards}: p50 above p99");
+        assert_eq!(
+            engine.stats.cache_hits + engine.stats.coalesced_requests,
+            engine.stats.requests,
+            "shards={shards}: requests lost between cache and batcher"
+        );
+        if shards > 1 {
+            assert!(engine.stats.halo_bytes > 0, "shards={shards}: no halo traffic charged");
+        }
+        rows.push(LoopRow {
+            shards,
+            throughput_rps: stats.throughput_rps,
+            p50_us: stats.p50_us,
+            p99_us: stats.p99_us,
+            hit_rate: stats.hit_rate(),
+            halo_mib: engine.stats.halo_bytes as f64 / 1048576.0,
+            batches: engine.stats.batches,
+            max_batch_vertices: engine.stats.max_batch_vertices,
+        });
+    }
+
+    // Forward-only footprint: the serving working set is a fraction of the
+    // training peak (no grad/optimizer/stash buffers on the path).
+    let train_report = train_on(
+        &dev,
+        &data,
+        &TrainConfig {
+            model: ModelKind::Gcn,
+            precision: PrecisionMode::Float,
+            epochs: 1,
+            hidden: 16,
+            lr: 0.02,
+            seed: 3,
+            gcn_norm: GcnNorm::Right,
+            ..TrainConfig::default()
+        },
+    );
+    let mut probe_engine = ServeEngine::from_snapshot(
+        &dev,
+        &data.adj,
+        &data.features,
+        data.spec.feat,
+        &float_snap,
+        ServeConfig::default(),
+    )
+    .expect("engine");
+    let probe: Vec<u32> = (0..8u32).collect();
+    let inf = probe_engine.inference_footprint(&probe);
+    let footprint_ratio = inf.peak_bytes as f64 / train_report.peak_memory_bytes as f64;
+    assert!(
+        footprint_ratio < 0.5,
+        "inference footprint {} is not a fraction of training peak {}",
+        inf.peak_bytes,
+        train_report.peak_memory_bytes
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"pr8_serving\",\n");
+    json.push_str("  \"device\": \"a100_like (modeled)\",\n");
+    json.push_str("  \"graph\": \"G1 (cora)\",\n");
+    json.push_str(&format!(
+        "  \"batched_equals_sequential_bitwise\": true,\n  \
+         \"bitwise_values_compared\": {bitwise_values},\n  \
+         \"cache_budget_bytes\": {budget},\n  \"cache_entries_f16\": {cap_f16},\n  \
+         \"cache_entries_f32\": {cap_f32},\n  \"cache_capacity_ratio\": {cache_ratio:.4},\n  \
+         \"cache_ratio_gate\": {CACHE_RATIO_GATE},\n  \
+         \"inference_peak_bytes\": {},\n  \"training_peak_bytes\": {},\n  \
+         \"inference_over_training_peak\": {footprint_ratio:.4},\n",
+        inf.peak_bytes, train_report.peak_memory_bytes
+    ));
+    json.push_str("  \"closed_loop\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {}, \"throughput_rps\": {:.1}, \"p50_us\": {:.2}, \
+             \"p99_us\": {:.2}, \"cache_hit_rate\": {:.4}, \"halo_mib\": {:.3}, \
+             \"batches\": {}, \"max_batch_vertices\": {}}}{}\n",
+            r.shards,
+            r.throughput_rps,
+            r.p50_us,
+            r.p99_us,
+            r.hit_rate,
+            r.halo_mib,
+            r.batches,
+            r.max_batch_vertices,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_pr8.json", &json).expect("write BENCH_pr8.json");
+    print!("{json}");
+    for r in &rows {
+        eprintln!(
+            "[bench_pr8] shards={}: {:>8.1} req/s  p50 {:>6.1} us  p99 {:>6.1} us  \
+             hits {:>5.1}%  halo {:>6.3} MiB  ({} batches, max {} vtx)",
+            r.shards,
+            r.throughput_rps,
+            r.p50_us,
+            r.p99_us,
+            100.0 * r.hit_rate,
+            r.halo_mib,
+            r.batches,
+            r.max_batch_vertices
+        );
+    }
+    eprintln!(
+        "[bench_pr8] inference footprint {:.2} MiB vs training peak {:.2} MiB ({:.1}%)",
+        inf.peak_bytes as f64 / 1048576.0,
+        train_report.peak_memory_bytes as f64 / 1048576.0,
+        100.0 * footprint_ratio
+    );
+}

@@ -50,6 +50,11 @@ pub enum CaptureRefused {
     /// no single captured kernel sequence replays: `--replay` is
     /// incompatible with `--batch-size`.
     MiniBatchSchedule,
+    /// Serving with a batch window above 1 coalesces a different request
+    /// set (hence a different subgraph shape) into every launch, so no
+    /// steady-state kernel sequence exists to capture: serve `--replay`
+    /// requires `--batch-window 1`.
+    DynamicBatchShape,
 }
 
 impl std::fmt::Display for CaptureRefused {
@@ -59,6 +64,12 @@ impl std::fmt::Display for CaptureRefused {
                 f,
                 "capture refused: mini-batch sampling (--batch-size) changes the kernel \
                  sequence every batch, so an epoch cannot be captured for --replay"
+            ),
+            CaptureRefused::DynamicBatchShape => write!(
+                f,
+                "capture refused: a serve batch window above 1 coalesces a different \
+                 request set (and subgraph shape) into every launch, so no steady-state \
+                 sequence can be captured for --replay; use --batch-window 1"
             ),
         }
     }

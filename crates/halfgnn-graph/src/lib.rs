@@ -18,12 +18,14 @@ pub mod gen;
 pub mod io;
 pub mod metrics;
 pub mod partition;
+pub mod reach;
 pub mod sample;
 
 pub use coo::Coo;
 pub use csr::Csr;
 pub use delta::DeltaCsr;
 pub use partition::{partition, PartitionStrategy, Shard, ShardPlan};
+pub use reach::{induced_subgraph, khop_ball};
 pub use sample::{BatchSubgraph, NeighborAccess, NeighborSampler};
 
 /// Vertex identifier. 32 bits covers every dataset in this reproduction and

@@ -1,0 +1,145 @@
+//! k-hop reachability over [`NeighborAccess`] graphs: the receptive-field
+//! and invalidation queries the serving path runs per request.
+//!
+//! Two operations, both deterministic (plain BFS, no sampling):
+//!
+//! * [`khop_ball`] — every vertex within `k` hops of a start set. On a
+//!   *symmetric* graph (the serving convention: [`crate::DeltaCsr`] fed
+//!   only undirected inserts) the out-ball equals the in-ball, so this is
+//!   also the **reverse** reachability set: the vertices whose k-hop
+//!   receptive field contains the start vertices. That duality is what the
+//!   embedding cache's invalidation leans on — after an edge insert
+//!   `(u, v)`, the stale entries are exactly the cached vertices within
+//!   `k-1` hops of `u` or `v` (their aggregation reads row `u` or `v`).
+//! * [`induced_subgraph`] — the subgraph induced on a sorted vertex set,
+//!   in local ids that preserve global order. Induction of a symmetric
+//!   graph is symmetric, and because local id order mirrors global id
+//!   order, each local row lists its neighbors in the same relative order
+//!   as the global row — the property that makes a coalesced batched
+//!   forward bitwise-equal to per-request forwards.
+
+use crate::sample::NeighborAccess;
+use crate::{Csr, VertexId};
+
+/// All vertices within `k` hops of `starts` (including the starts
+/// themselves), sorted ascending. Duplicate starts are harmless.
+pub fn khop_ball<G: NeighborAccess>(g: &G, starts: &[VertexId], k: usize) -> Vec<VertexId> {
+    let n = g.num_rows();
+    let mut seen = vec![false; n];
+    let mut frontier: Vec<VertexId> = Vec::new();
+    for &s in starts {
+        assert!((s as usize) < n, "start vertex {s} out of range");
+        if !seen[s as usize] {
+            seen[s as usize] = true;
+            frontier.push(s);
+        }
+    }
+    for _ in 0..k {
+        let mut next: Vec<VertexId> = Vec::new();
+        for &u in &frontier {
+            for i in 0..g.degree(u) {
+                let w = g.neighbor(u, i);
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    next.push(w);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    (0..n as VertexId).filter(|&v| seen[v as usize]).collect()
+}
+
+/// The subgraph induced on `vertices` (which must be sorted ascending and
+/// duplicate-free): local vertex `i` is `vertices[i]`, and local row `i`
+/// keeps exactly the global neighbors of `vertices[i]` that are themselves
+/// in the set, in global order.
+pub fn induced_subgraph<G: NeighborAccess>(g: &G, vertices: &[VertexId]) -> Csr {
+    debug_assert!(vertices.windows(2).all(|w| w[0] < w[1]), "vertex set must be sorted unique");
+    let n = vertices.len();
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    for (lu, &u) in vertices.iter().enumerate() {
+        for i in 0..g.degree(u) {
+            let w = g.neighbor(u, i);
+            if let Ok(lw) = vertices.binary_search(&w) {
+                edges.push((lu as VertexId, lw as VertexId));
+            }
+        }
+    }
+    Csr::from_edges(n, n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeltaCsr;
+
+    fn path_graph(n: usize) -> Csr {
+        let edges: Vec<(VertexId, VertexId)> = (0..n as VertexId - 1).map(|v| (v, v + 1)).collect();
+        Csr::from_edges(n, n, &edges).symmetrized_with_self_loops()
+    }
+
+    #[test]
+    fn ball_grows_one_hop_at_a_time_on_a_path() {
+        let g = path_graph(7);
+        assert_eq!(khop_ball(&g, &[3], 0), vec![3]);
+        assert_eq!(khop_ball(&g, &[3], 1), vec![2, 3, 4]);
+        assert_eq!(khop_ball(&g, &[3], 2), vec![1, 2, 3, 4, 5]);
+        assert_eq!(khop_ball(&g, &[3], 10), vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn ball_unions_multiple_starts_and_collapses_duplicates() {
+        let g = path_graph(9);
+        assert_eq!(khop_ball(&g, &[0, 8, 0], 1), vec![0, 1, 7, 8]);
+    }
+
+    #[test]
+    fn ball_reads_through_a_delta_overlay() {
+        let mut d = DeltaCsr::new(path_graph(8));
+        d.insert_undirected(0, 7);
+        assert_eq!(khop_ball(&d, &[0], 1), vec![0, 1, 7]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_only_interior_edges_and_symmetry() {
+        let g = path_graph(6);
+        let sub = induced_subgraph(&g, &[1, 2, 3]);
+        assert_eq!(sub.num_rows(), 3);
+        // Rows keep the self loop and the in-set path edges only.
+        assert_eq!(sub.row(0), &[0, 1]); // global 1: loop + edge to 2
+        assert_eq!(sub.row(1), &[0, 1, 2]); // global 2: 1, loop, 3
+        assert_eq!(sub.row(2), &[1, 2]); // global 3: 2, loop
+        assert!(sub.is_symmetric(), "induction of a symmetric graph is symmetric");
+    }
+
+    #[test]
+    fn induced_row_order_mirrors_global_order() {
+        // A star: global row of the hub lists leaves in ascending global
+        // id; any induced subset must preserve that relative order.
+        let n = 10u32;
+        let edges: Vec<(VertexId, VertexId)> = (1..n).map(|v| (0, v)).collect();
+        let g = Csr::from_edges(n as usize, n as usize, &edges).symmetrized_with_self_loops();
+        let sub = induced_subgraph(&g, &[0, 3, 7, 9]);
+        // Hub local row: loop, then leaves 3, 7, 9 as locals 1, 2, 3.
+        assert_eq!(sub.row(0), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn symmetric_ball_equals_reverse_reachability() {
+        // On a symmetric graph, w ∈ ball(u, k) ⇔ u ∈ ball(w, k).
+        let g = path_graph(10);
+        for k in 0..3usize {
+            for u in 0..10u32 {
+                let ball = khop_ball(&g, &[u], k);
+                for w in 0..10u32 {
+                    let reaches = khop_ball(&g, &[w], k).contains(&u);
+                    assert_eq!(ball.contains(&w), reaches, "u={u} w={w} k={k}");
+                }
+            }
+        }
+    }
+}

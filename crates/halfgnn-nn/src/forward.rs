@@ -1,0 +1,142 @@
+//! Forward-only GCN paths for the serving engine.
+//!
+//! These run *exactly* the forward half of [`crate::gcn::step_f32_norm`] /
+//! [`crate::gcn::step_half_norm`] — same kernel sequence, same DGL-style
+//! layer-1 dispatch, same overflow sites — and stop at the logits. No loss,
+//! no gradients, no optimizer state, so the arena planner sees only the
+//! inference working set. A unit test pins the logits bitwise against the
+//! training step's, which is what lets `halfgnn-serve` claim its batched
+//! outputs match what training-side evaluation would compute.
+
+use crate::graphdata::GraphView;
+use crate::models::{gcn_agg_f32, gcn_agg_half, Dispatch, GcnNorm};
+use crate::params::TwoLayerParams;
+use halfgnn_half::Half;
+use halfgnn_tensor::Ops;
+
+/// Forward-only f32 GCN: logits for every vertex of `g`, row-major
+/// `n × classes`.
+pub fn gcn_forward_f32(
+    ops: &mut Ops,
+    g: &GraphView,
+    p: &TwoLayerParams,
+    x: &[f32],
+    d: Dispatch<'_>,
+    norm: GcnNorm,
+) -> Vec<f32> {
+    let n = g.n();
+    let (f_in, h, c) = (p.f_in, p.hidden, p.classes);
+    let aggregate_first = f_in <= h;
+
+    let a1 = if aggregate_first {
+        let ax = gcn_agg_f32(ops, g, x, f_in, norm, d);
+        let z1 = ops.gemm_f32(&ax, false, &p.w1, false, n, f_in, h);
+        ops.bias_add_f32(&z1, &p.b1)
+    } else {
+        let z1 = ops.gemm_f32(x, false, &p.w1, false, n, f_in, h);
+        let z1 = ops.bias_add_f32(&z1, &p.b1);
+        gcn_agg_f32(ops, g, &z1, h, norm, d)
+    };
+    let h1 = ops.relu_f32(&a1);
+    let z2 = ops.gemm_f32(&h1, false, &p.w2, false, n, h, c);
+    let z2 = ops.bias_add_f32(&z2, &p.b2);
+    gcn_agg_f32(ops, g, &z2, c, norm, d)
+}
+
+/// Forward-only mixed-precision GCN: half state tensors through the
+/// dispatch's kernels, f32 master weights cast per call, logits promoted
+/// to f32 (the same charged conversion the training step pays).
+pub fn gcn_forward_half(
+    ops: &mut Ops,
+    g: &GraphView,
+    p: &TwoLayerParams,
+    x: &[Half],
+    d: Dispatch<'_>,
+    norm: GcnNorm,
+) -> Vec<f32> {
+    let n = g.n();
+    let (f_in, h, c) = (p.f_in, p.hidden, p.classes);
+
+    let w1h = ops.to_half(&p.w1);
+    let b1h = ops.to_half(&p.b1);
+    let w2h = ops.to_half(&p.w2);
+    let b2h = ops.to_half(&p.b2);
+
+    let aggregate_first = f_in <= h;
+
+    let layer1 = halfgnn_half::overflow::site("gcn.layer1");
+    let a1 = if aggregate_first {
+        let ax = gcn_agg_half(ops, g, x, f_in, norm, d);
+        let z1 = ops.gemm_half(&ax, false, &w1h, false, n, f_in, h);
+        ops.bias_add_half(&z1, &b1h)
+    } else {
+        let z1 = ops.gemm_half(x, false, &w1h, false, n, f_in, h);
+        let z1 = ops.bias_add_half(&z1, &b1h);
+        gcn_agg_half(ops, g, &z1, h, norm, d)
+    };
+    drop(layer1);
+    let layer2 = halfgnn_half::overflow::site("gcn.layer2");
+    let h1 = ops.relu_half(&a1);
+    let z2 = ops.gemm_half(&h1, false, &w2h, false, n, h, c);
+    let z2 = ops.bias_add_half(&z2, &b2h);
+    let out = gcn_agg_half(ops, g, &z2, c, norm, d);
+    drop(layer2);
+
+    ops.to_f32(&out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gcn::{step_f32_norm, step_half_norm};
+    use crate::models::PrecisionMode;
+    use halfgnn_graph::{gen, Csr};
+    use halfgnn_sim::DeviceConfig;
+
+    fn toy() -> (Csr, Vec<f32>, Vec<u32>, Vec<bool>) {
+        let (edges, labels) = gen::sbm(&[16, 16], 0.4, 0.03, 7);
+        let csr = Csr::from_edges(32, 32, &edges).symmetrized_with_self_loops();
+        let x = halfgnn_graph::features::class_features(&labels, 2, 8, 1.0, 0.2, 11);
+        let mask = vec![true; 32];
+        (csr, x, labels, mask)
+    }
+
+    #[test]
+    fn forward_only_logits_match_the_training_step_bitwise() {
+        let dev = DeviceConfig::a100_like();
+        let (csr, x, labels, mask) = toy();
+        let g = GraphView::full(&csr);
+        let p = TwoLayerParams::new(8, 6, 2, 1);
+        for norm in [GcnNorm::Right, GcnNorm::Left, GcnNorm::Both] {
+            let d = Dispatch::untuned(PrecisionMode::Float);
+            let mut ops = Ops::new(&dev);
+            let fwd = gcn_forward_f32(&mut ops, &g, &p, &x, d, norm);
+            let step = step_f32_norm(&mut ops, &g, &p, &x, &labels, &mask, d, norm);
+            assert_eq!(
+                fwd.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                step.logits.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{norm:?}: f32 forward diverged from the step"
+            );
+        }
+    }
+
+    #[test]
+    fn half_forward_only_logits_match_the_training_step_bitwise() {
+        let dev = DeviceConfig::a100_like();
+        let (csr, x, labels, mask) = toy();
+        let g = GraphView::full(&csr);
+        let p = TwoLayerParams::new(8, 6, 2, 1);
+        let xh: Vec<Half> = x.iter().map(|&v| Half::from_f32(v)).collect();
+        for mode in [PrecisionMode::HalfGnn, PrecisionMode::HalfNaive] {
+            let d = Dispatch::untuned(mode);
+            let mut ops = Ops::new(&dev);
+            let fwd = gcn_forward_half(&mut ops, &g, &p, &xh, d, GcnNorm::Right);
+            let step = step_half_norm(&mut ops, &g, &p, &xh, &labels, &mask, d, GcnNorm::Right);
+            assert_eq!(
+                fwd.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                step.logits.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{mode:?}: half forward diverged from the step"
+            );
+        }
+    }
+}

@@ -17,6 +17,7 @@
 
 pub mod adam;
 pub mod dist;
+pub mod forward;
 pub mod gat;
 pub mod gcn;
 pub mod gin;
@@ -24,4 +25,5 @@ pub mod graphdata;
 pub mod models;
 pub mod params;
 pub mod sage;
+pub mod snapshot;
 pub mod trainer;

@@ -23,7 +23,7 @@ use halfgnn_kernels::baseline::cusparse::{self, EdgeWeightsF32};
 use halfgnn_kernels::common::{EdgeWeights, Reduce, ScalePlacement};
 use halfgnn_kernels::fused::{self, FusedAttnForward};
 use halfgnn_kernels::halfgnn_spmm;
-use halfgnn_kernels::{baseline::dgl_sddmm, edge_ops, halfgnn_sddmm};
+use halfgnn_kernels::{baseline::dgl_sddmm, baseline::ge_spmm, edge_ops, halfgnn_sddmm};
 use halfgnn_sim::KernelStats;
 use halfgnn_tensor::Ops;
 use halfgnn_tune::plan::{AttnPlan, KernelPlan, SddmmPlan};
@@ -102,19 +102,35 @@ pub struct Dispatch<'t> {
     /// while replaying, plans come back from the captured stream with zero
     /// tuner lookups.
     pub exec: Option<&'t ExecCtx>,
+    /// Force every SpMM onto a specific skeleton, overriding both the
+    /// untuned default and the tuner's pick. Serving sets
+    /// `VertexParallel`: its neighbor groups never cross rows, so a row's
+    /// f32/f16 summation order depends only on that row — which is what
+    /// makes a coalesced batch bitwise-equal to serving each request
+    /// alone. The edge-parallel skeletons cut rows at warp-tile
+    /// boundaries derived from *global* edge offsets, so their partial
+    /// sums shift with batch composition.
+    pub force_spmm: Option<SpmmVariant>,
 }
 
 impl Dispatch<'static> {
     /// Dispatch with default plans only (`tuning: Off`).
     pub fn untuned(mode: PrecisionMode) -> Dispatch<'static> {
-        Dispatch { mode, tuner: None, fusion: false, dist: None, exec: None }
+        Dispatch { mode, tuner: None, fusion: false, dist: None, exec: None, force_spmm: None }
     }
 }
 
 impl<'t> Dispatch<'t> {
     /// Dispatch through a tuner (`tuning: Auto` / `Cached`).
     pub fn tuned(mode: PrecisionMode, tuner: &'t Tuner) -> Dispatch<'t> {
-        Dispatch { mode, tuner: Some(tuner), fusion: false, dist: None, exec: None }
+        Dispatch {
+            mode,
+            tuner: Some(tuner),
+            fusion: false,
+            dist: None,
+            exec: None,
+            force_spmm: None,
+        }
     }
 
     /// Explicitly force (or forbid forcing) the fused attention pipeline.
@@ -132,6 +148,13 @@ impl<'t> Dispatch<'t> {
     /// Attach (or detach) a capture/replay context.
     pub fn with_exec(mut self, exec: Option<&'t ExecCtx>) -> Dispatch<'t> {
         self.exec = exec;
+        self
+    }
+
+    /// Pin every SpMM to the per-row-independent vertex-parallel skeleton
+    /// (see [`Dispatch::force_spmm`]). `false` restores default routing.
+    pub fn with_vertex_parallel_spmm(mut self, on: bool) -> Dispatch<'t> {
+        self.force_spmm = on.then_some(SpmmVariant::VertexParallel);
         self
     }
 
@@ -186,7 +209,7 @@ impl<'t> Dispatch<'t> {
 
 impl<'t> From<PrecisionMode> for Dispatch<'t> {
     fn from(mode: PrecisionMode) -> Dispatch<'t> {
-        Dispatch { mode, tuner: None, fusion: false, dist: None, exec: None }
+        Dispatch { mode, tuner: None, fusion: false, dist: None, exec: None, force_spmm: None }
     }
 }
 
@@ -373,10 +396,15 @@ fn halfgnn_spmm_planned(
     let plan = match d.exec {
         Some(ctx) if ctx.is_replaying() => ctx.next_spmm_plan(),
         exec => {
-            let plan = match d.tuner {
+            let mut plan = match d.tuner {
                 Some(t) => t.spmm_plan(&g.csr, f, !w.is_ones(), scaling),
                 None => SpmmPlan::default(),
             };
+            // A forced skeleton overrides both default and tuned routing
+            // (and is recorded, so replay reproduces the forced variant).
+            if let Some(v) = d.force_spmm {
+                plan.variant = v;
+            }
             if let Some(ctx) = exec {
                 ctx.record_plan(KernelPlan::Spmm(plan));
             }
@@ -484,8 +512,26 @@ fn spmm_f32_dispatch(
     }
     match d.dist {
         None => {
-            let (y, stats) =
-                cusparse::spmm_float_window(ops.dev, &g.coo, w, x, f, row_scale, (0, g.n()));
+            // The forced vertex-parallel skeleton (serving) runs the
+            // GE-SpMM row-per-warp kernel: each row reduces its own
+            // neighbors in column order, so output bits are independent
+            // of which other rows share the launch. Degree norm becomes a
+            // post-reduction row scale, same placement as the cuSPARSE
+            // path. (Weighted SpMMve — GAT — keeps the edge-tiled kernel;
+            // serving only dispatches unweighted GCN aggregation.)
+            let (y, stats) = if d.force_spmm == Some(SpmmVariant::VertexParallel) && w.is_ones() {
+                let (mut y, stats) = ge_spmm::spmm_float(ops.dev, &g.csr, x, f);
+                if let Some(scale) = row_scale {
+                    for (r, &sc) in scale.iter().enumerate() {
+                        for v in &mut y[r * f..(r + 1) * f] {
+                            *v *= sc;
+                        }
+                    }
+                }
+                (y, stats)
+            } else {
+                cusparse::spmm_float_window(ops.dev, &g.coo, w, x, f, row_scale, (0, g.n()))
+            };
             ops.record(stats);
             d.capture_node("spmm_f32", &ins, &[buf_ref(&y)], None);
             y

@@ -12,6 +12,7 @@ pub fn glorot(rows: usize, cols: usize, rng: &mut StdRng) -> Vec<f32> {
 
 /// Two-layer model parameters shared by GCN and GIN: `W1 (f_in×h)`,
 /// `b1 (h)`, `W2 (h×c)`, `b2 (c)`.
+#[derive(Clone)]
 pub struct TwoLayerParams {
     /// Layer-1 weight.
     pub w1: Vec<f32>,

@@ -114,6 +114,10 @@ pub struct TrainConfig {
     /// mode (the sampler reads through the overlay; the full-batch path's
     /// graph tables are precomputed once).
     pub stream_edges: usize,
+    /// Write the trained f32 master weights to this path after the last
+    /// epoch (`--save-snapshot`), atomically and bit-exactly, in the
+    /// [`crate::snapshot::ModelSnapshot`] format `halfgnn-serve` loads.
+    pub snapshot_path: Option<String>,
 }
 
 impl Default for TrainConfig {
@@ -138,6 +142,7 @@ impl Default for TrainConfig {
             batch_size: None,
             fanout: 10,
             stream_edges: 0,
+            snapshot_path: None,
         }
     }
 }
@@ -159,6 +164,11 @@ pub enum ConfigError {
     ZeroBatchSize,
     /// `--fanout 0` samples no neighbors.
     ZeroFanout,
+    /// `--loss-scale` zero, negative, or non-finite: gradients would be
+    /// annihilated (or poisoned) before the unscale, silently.
+    BadLossScale,
+    /// `--save-snapshot` with an empty path.
+    EmptySnapshotPath,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -175,6 +185,12 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroBatchSize => write!(f, "--batch-size must be at least 1"),
             ConfigError::ZeroFanout => write!(f, "--fanout must be at least 1"),
+            ConfigError::BadLossScale => {
+                write!(f, "--loss-scale must be a positive, finite value")
+            }
+            ConfigError::EmptySnapshotPath => {
+                write!(f, "--save-snapshot requires a non-empty path")
+            }
         }
     }
 }
@@ -186,6 +202,12 @@ impl TrainConfig {
     /// [`train_on`] calls this and panics with the message; CLIs should
     /// call it directly and exit with a usage error instead.
     pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.loss_scale.is_finite() || self.loss_scale <= 0.0 {
+            return Err(ConfigError::BadLossScale);
+        }
+        if matches!(&self.snapshot_path, Some(p) if p.is_empty()) {
+            return Err(ConfigError::EmptySnapshotPath);
+        }
         match self.batch_size {
             Some(0) => return Err(ConfigError::ZeroBatchSize),
             Some(_) => {
@@ -463,6 +485,7 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
 
     let final_train_accuracy = Ops::accuracy(&last_logits, labels, train_mask, classes);
     let test_accuracy = Ops::accuracy(&last_logits, labels, &data.split.test, classes);
+    save_snapshot(cfg, f_in, classes, &params);
 
     TrainReport {
         losses,
@@ -520,6 +543,15 @@ impl ModelParams {
             ModelParams::Two(p) => p.num_params(),
             ModelParams::Gat(p) => p.num_params(),
             ModelParams::Sage(p) => p.num_params(),
+        }
+    }
+
+    /// Flattened f32 master weights (the snapshot payload).
+    fn flat(&self) -> Vec<f32> {
+        match self {
+            ModelParams::Two(p) => p.flat(),
+            ModelParams::Gat(p) => p.flat(),
+            ModelParams::Sage(p) => p.flat(),
         }
     }
 
@@ -773,6 +805,7 @@ fn train_minibatch(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) 
     );
     let final_train_accuracy = Ops::accuracy(&logits, labels, &data.split.train, classes);
     let test_accuracy = Ops::accuracy(&logits, labels, &data.split.test, classes);
+    save_snapshot(cfg, f_in, classes, &params);
 
     TrainReport {
         losses,
@@ -807,6 +840,23 @@ fn train_minibatch(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) 
             stream_epoch: (streamed_edges > 0).then(|| stream_epoch.unwrap()),
             post_stream_tuning,
         }),
+    }
+}
+
+/// Write the trained weights to `cfg.snapshot_path` when set. The save is
+/// atomic (tmp + rename); an I/O failure is reported, not fatal — the
+/// training result is still valid.
+fn save_snapshot(cfg: &TrainConfig, f_in: usize, classes: usize, params: &ModelParams) {
+    let Some(path) = &cfg.snapshot_path else { return };
+    let snap = crate::snapshot::ModelSnapshot::from_f32(
+        cfg.model,
+        f_in,
+        cfg.hidden,
+        classes,
+        &params.flat(),
+    );
+    if let Err(e) = snap.save(std::path::Path::new(path)) {
+        eprintln!("[halfgnn-nn] failed to save snapshot to {path}: {e}");
     }
 }
 

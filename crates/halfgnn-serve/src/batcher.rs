@@ -1,0 +1,115 @@
+//! Request coalescing: many concurrent embedding requests → one batched
+//! subgraph → one kernel launch per layer.
+//!
+//! The bitwise contract — a coalesced batch produces *exactly* the bits
+//! each request would get served alone — rests on two structural facts:
+//!
+//! 1. The batch runs on the **induced subgraph** of the union k-hop ball.
+//!    Every vertex's local row is its global row intersected with the
+//!    ball, so any vertex within `hops − ℓ` of a requested seed has a
+//!    *complete* row at layer ℓ — identical to the row it has in a
+//!    single-request extraction. Depth-`hops` frontier vertices have
+//!    truncated rows, but their layer values are never consumed by a
+//!    seed's logits (a depth-2 GCN reads layer-ℓ values only from
+//!    vertices within `2 − ℓ` hops of the seed).
+//! 2. Local ids are assigned in **ascending global-id order**. CSR sorts
+//!    each row by column id, so a row's reduction order is its neighbors'
+//!    global order — the same order no matter which other requests were
+//!    coalesced in. No reduction is reassociated by batching.
+//!
+//! Induction of a symmetric graph is symmetric, so the batch subgraph
+//! satisfies `GraphView::full`'s symmetry contract directly — no
+//! re-symmetrization (which would invent reverse edges into boundary
+//! rows and break fact 1).
+
+use halfgnn_graph::reach::{induced_subgraph, khop_ball};
+use halfgnn_graph::sample::NeighborAccess;
+use halfgnn_graph::{Csr, VertexId};
+
+/// One coalesced batch: the deduplicated request set and the induced
+/// k-hop subgraph that serves all of them at once.
+#[derive(Debug)]
+pub struct Batch {
+    /// Requested vertices, deduplicated, ascending.
+    pub unique: Vec<VertexId>,
+    /// Global ids of the subgraph's vertices, ascending — local id `i`
+    /// is `ball[i]`.
+    pub ball: Vec<VertexId>,
+    /// Induced subgraph on `ball`, in local ids.
+    pub csr: Csr,
+}
+
+impl Batch {
+    /// Local row of global vertex `v` (must be in the ball).
+    pub fn local_of(&self, v: VertexId) -> usize {
+        self.ball.binary_search(&v).expect("vertex in ball")
+    }
+
+    /// Subgraph vertex count.
+    pub fn n(&self) -> usize {
+        self.ball.len()
+    }
+
+    /// Subgraph edge count.
+    pub fn nnz(&self) -> usize {
+        self.csr.nnz()
+    }
+}
+
+/// Coalesce `requests` (duplicates welcome) into one batch: dedup, take
+/// the union `hops`-ball, induce. Fully deterministic.
+pub fn coalesce<G: NeighborAccess>(g: &G, requests: &[VertexId], hops: usize) -> Batch {
+    assert!(!requests.is_empty(), "a batch needs at least one request");
+    let mut unique = requests.to_vec();
+    unique.sort_unstable();
+    unique.dedup();
+    let ball = khop_ball(g, &unique, hops);
+    let csr = induced_subgraph(g, &ball);
+    Batch { unique, ball, csr }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Csr {
+        let edges: Vec<(VertexId, VertexId)> = (0..n as VertexId - 1).map(|v| (v, v + 1)).collect();
+        Csr::from_edges(n, n, &edges).symmetrized_with_self_loops()
+    }
+
+    #[test]
+    fn coalesce_dedups_and_unions_neighborhoods() {
+        let g = path(12);
+        let b = coalesce(&g, &[3, 9, 3], 2);
+        assert_eq!(b.unique, vec![3, 9]);
+        assert_eq!(b.ball, vec![1, 2, 3, 4, 5, 7, 8, 9, 10, 11]);
+        assert_eq!(b.local_of(3), 2);
+        assert_eq!(b.local_of(9), 7);
+        assert!(b.csr.is_symmetric());
+    }
+
+    #[test]
+    fn seed_rows_are_complete_in_the_induced_subgraph() {
+        let g = path(12);
+        let b = coalesce(&g, &[5], 2);
+        // Vertex 5's local row must list exactly its global neighbors.
+        let local = b.csr.row(b.local_of(5) as VertexId);
+        let global: Vec<VertexId> = local.iter().map(|&l| b.ball[l as usize]).collect();
+        assert_eq!(global, g.row(5).to_vec());
+        // And so must its depth-1 neighbors (their layer-1 values feed
+        // the seed's logits).
+        for v in [4u32, 6] {
+            let local = b.csr.row(b.local_of(v) as VertexId);
+            let global: Vec<VertexId> = local.iter().map(|&l| b.ball[l as usize]).collect();
+            assert_eq!(global, g.row(v).to_vec(), "depth-1 vertex {v}");
+        }
+    }
+
+    #[test]
+    fn overlapping_requests_share_one_subgraph() {
+        let g = path(12);
+        let b = coalesce(&g, &[5, 6], 2);
+        // Union ball of two adjacent seeds: 3..=8.
+        assert_eq!(b.ball, vec![3, 4, 5, 6, 7, 8]);
+    }
+}

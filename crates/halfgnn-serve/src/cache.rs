@@ -1,0 +1,280 @@
+//! The vertex-keyed LRU embedding cache.
+//!
+//! Entries are final-layer embeddings (logit rows). The byte budget buys
+//! `budget / (width × elem_bytes)` entries, so at the same budget an f16
+//! cache holds exactly 2× the vertices of an f32 cache — the serving-side
+//! restatement of the paper's memory headline. The price of f16 entries
+//! is one round-to-nearest-even quantization per insert: hits return the
+//! widened f16 values, which the latency model treats as equivalent (the
+//! argmax class is almost always preserved; exactness-sensitive callers
+//! use [`CachePrecision::F32`]).
+//!
+//! Eviction and iteration are fully deterministic: recency is a
+//! monotonic u64 tick and the LRU index is a `BTreeMap<tick, vertex>`,
+//! so the same request stream always evicts the same entries. The
+//! backing `HashMap` is never iterated.
+
+use halfgnn_half::slice::{f32_slice_to_half, half_slice_to_f32};
+use halfgnn_half::Half;
+use std::collections::{BTreeMap, HashMap};
+
+/// Entry storage precision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CachePrecision {
+    F16,
+    F32,
+}
+
+impl CachePrecision {
+    pub fn elem_bytes(self) -> usize {
+        match self {
+            CachePrecision::F16 => 2,
+            CachePrecision::F32 => 4,
+        }
+    }
+
+    /// CLI tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            CachePrecision::F16 => "f16",
+            CachePrecision::F32 => "f32",
+        }
+    }
+
+    /// Parse a CLI tag.
+    pub fn parse(s: &str) -> Option<CachePrecision> {
+        match s {
+            "f16" | "half" => Some(CachePrecision::F16),
+            "f32" | "float" => Some(CachePrecision::F32),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Entry {
+    F16(Vec<Half>),
+    F32(Vec<f32>),
+}
+
+/// Lifetime counters for one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    pub fn hit_rate(&self) -> f64 {
+        self.hits as f64 / (self.hits + self.misses).max(1) as f64
+    }
+}
+
+/// Deterministic vertex-keyed LRU cache of embedding rows.
+#[derive(Clone, Debug)]
+pub struct EmbeddingCache {
+    width: usize,
+    precision: CachePrecision,
+    capacity: usize,
+    entries: HashMap<u32, (u64, Entry)>,
+    lru: BTreeMap<u64, u32>,
+    tick: u64,
+    pub stats: CacheStats,
+}
+
+impl EmbeddingCache {
+    /// A cache holding rows of `width` elements within `budget_bytes` of
+    /// entry payload (budget counts payload bytes only, so the f16/f32
+    /// capacity ratio is exactly the element-size ratio). A budget below
+    /// one entry disables the cache: every lookup misses.
+    pub fn new(budget_bytes: usize, width: usize, precision: CachePrecision) -> EmbeddingCache {
+        let entry_bytes = width.max(1) * precision.elem_bytes();
+        EmbeddingCache {
+            width,
+            precision,
+            capacity: budget_bytes / entry_bytes,
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Entries the budget buys.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn precision(&self) -> CachePrecision {
+        self.precision
+    }
+
+    /// Is `v` currently cached? (No counter or recency effect.)
+    pub fn contains(&self, v: u32) -> bool {
+        self.entries.contains_key(&v)
+    }
+
+    /// Read without counting or touching recency (tests, introspection).
+    pub fn peek(&self, v: u32) -> Option<Vec<f32>> {
+        self.entries.get(&v).map(|(_, e)| match e {
+            Entry::F16(h) => half_slice_to_f32(h),
+            Entry::F32(x) => x.clone(),
+        })
+    }
+
+    /// Look up `v`, counting a hit or miss and refreshing recency on hit.
+    pub fn get(&mut self, v: u32) -> Option<Vec<f32>> {
+        let Some((tick, entry)) = self.entries.get_mut(&v) else {
+            self.stats.misses += 1;
+            return None;
+        };
+        self.stats.hits += 1;
+        let out = match entry {
+            Entry::F16(h) => half_slice_to_f32(h),
+            Entry::F32(x) => x.clone(),
+        };
+        self.lru.remove(tick);
+        self.tick += 1;
+        *tick = self.tick;
+        self.lru.insert(self.tick, v);
+        Some(out)
+    }
+
+    /// Insert (or refresh) `v`'s embedding, evicting least-recently-used
+    /// entries as needed. A zero-capacity cache ignores inserts.
+    pub fn insert(&mut self, v: u32, emb: &[f32]) {
+        assert_eq!(emb.len(), self.width, "embedding width mismatch");
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some((old_tick, _)) = self.entries.remove(&v) {
+            self.lru.remove(&old_tick);
+        }
+        while self.entries.len() >= self.capacity {
+            let (&oldest, &victim) = self.lru.iter().next().expect("lru tracks entries");
+            self.lru.remove(&oldest);
+            self.entries.remove(&victim);
+            self.stats.evictions += 1;
+        }
+        let entry = match self.precision {
+            CachePrecision::F16 => Entry::F16(f32_slice_to_half(emb)),
+            CachePrecision::F32 => Entry::F32(emb.to_vec()),
+        };
+        self.tick += 1;
+        self.entries.insert(v, (self.tick, entry));
+        self.lru.insert(self.tick, v);
+        self.stats.insertions += 1;
+    }
+
+    /// Drop every cached entry in `vertices`; returns how many were
+    /// present (each counted as an invalidation).
+    pub fn invalidate(&mut self, vertices: &[u32]) -> usize {
+        let mut dropped = 0;
+        for &v in vertices {
+            if let Some((tick, _)) = self.entries.remove(&v) {
+                self.lru.remove(&tick);
+                dropped += 1;
+            }
+        }
+        self.stats.invalidations += dropped as u64;
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emb(seed: u32, width: usize) -> Vec<f32> {
+        (0..width).map(|i| (seed as f32 + i as f32 * 0.25) * 0.125).collect()
+    }
+
+    #[test]
+    fn f16_fits_exactly_twice_the_entries_of_f32() {
+        let budget = 4096;
+        for width in [2usize, 7, 16] {
+            let h = EmbeddingCache::new(budget, width, CachePrecision::F16);
+            let f = EmbeddingCache::new(budget, width, CachePrecision::F32);
+            assert_eq!(h.capacity(), 2 * f.capacity(), "width {width}");
+            assert!(f.capacity() > 0);
+        }
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        // Capacity 3 (f32, width 2, 24 bytes).
+        let mut c = EmbeddingCache::new(24, 2, CachePrecision::F32);
+        assert_eq!(c.capacity(), 3);
+        for v in 0..3u32 {
+            c.insert(v, &emb(v, 2));
+        }
+        // Touch 0 so 1 becomes LRU, then insert 3.
+        assert!(c.get(0).is_some());
+        c.insert(3, &emb(3, 2));
+        assert!(c.contains(0) && c.contains(2) && c.contains(3));
+        assert!(!c.contains(1), "1 was least-recently-used");
+        assert_eq!(c.stats.evictions, 1);
+    }
+
+    #[test]
+    fn f32_entries_round_trip_bitwise_and_f16_entries_quantize() {
+        let e = vec![0.1f32, -3.75, 65504.0, 1.0e-4];
+        let mut f = EmbeddingCache::new(1024, 4, CachePrecision::F32);
+        f.insert(7, &e);
+        assert_eq!(
+            f.get(7).unwrap().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            e.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        let mut h = EmbeddingCache::new(1024, 4, CachePrecision::F16);
+        h.insert(7, &e);
+        let got = h.get(7).unwrap();
+        let want = half_slice_to_f32(&f32_slice_to_half(&e));
+        assert_eq!(got, want, "f16 hit returns the quantize-widen round trip");
+    }
+
+    #[test]
+    fn invalidate_drops_exactly_the_named_entries() {
+        let mut c = EmbeddingCache::new(1024, 2, CachePrecision::F32);
+        for v in 0..10u32 {
+            c.insert(v, &emb(v, 2));
+        }
+        assert_eq!(c.invalidate(&[2, 5, 100]), 2);
+        assert!(!c.contains(2) && !c.contains(5));
+        assert!(c.contains(3) && c.contains(9));
+        assert_eq!(c.stats.invalidations, 2);
+        // Re-inserting an invalidated vertex works and recency survives.
+        c.insert(2, &emb(2, 2));
+        assert!(c.contains(2));
+    }
+
+    #[test]
+    fn zero_budget_disables_the_cache() {
+        let mut c = EmbeddingCache::new(0, 4, CachePrecision::F16);
+        assert_eq!(c.capacity(), 0);
+        c.insert(1, &emb(1, 4));
+        assert!(c.get(1).is_none());
+        assert_eq!(c.stats.misses, 1);
+        assert_eq!(c.stats.insertions, 0);
+    }
+
+    #[test]
+    fn hit_rate_counts_only_get_traffic() {
+        let mut c = EmbeddingCache::new(1024, 2, CachePrecision::F32);
+        c.insert(1, &emb(1, 2));
+        assert!(c.get(1).is_some());
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!((c.stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

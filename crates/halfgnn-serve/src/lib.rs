@@ -1,0 +1,32 @@
+//! `halfgnn-serve`: forward-only GNN inference over trained half-precision
+//! models.
+//!
+//! Training (the rest of this workspace) ends in a weight snapshot; this
+//! crate is what consumes it. Four pieces:
+//!
+//! - [`batcher`] — coalesces concurrent embedding requests into one
+//!   induced k-hop subgraph per kernel launch, **bitwise-equal** to
+//!   serving each request alone (the module docs carry the proof shape).
+//! - [`cache`] — a deterministic vertex-keyed LRU of final embeddings;
+//!   at the same byte budget f16 entries fit exactly 2× the vertices of
+//!   f32, the paper's memory headline restated for serving.
+//! - [`engine`] — the closed loop: front-end cache, FIFO admission,
+//!   batched forward-only dispatch (no grad/optimizer/stash buffers),
+//!   remote-shard halo-fetch accounting, `DeltaCsr` edge ingestion with
+//!   sound k-hop cache invalidation, and steady-state capture/replay.
+//! - [`config`] — [`config::ServeConfig`] with the same die-at-config-time
+//!   validation discipline as training's `TrainConfig`.
+//!
+//! All timing is modeled (µs from the cost and interconnect models) —
+//! never wall clocks — so every number is bitwise reproducible at any
+//! thread count.
+
+pub mod batcher;
+pub mod cache;
+pub mod config;
+pub mod engine;
+
+pub use batcher::{coalesce, Batch};
+pub use cache::{CachePrecision, CacheStats, EmbeddingCache};
+pub use config::{ServeConfig, ServeConfigError, MODEL_DEPTH};
+pub use engine::{ServeEngine, ServeStats, ServedBatch, CACHE_LOOKUP_US};

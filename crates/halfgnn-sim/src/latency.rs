@@ -1,0 +1,218 @@
+//! Request-latency accounting for the serving path.
+//!
+//! Like everything else in this simulator, latency here is **modeled, not
+//! measured**: a request's latency is the sum of three modeled components
+//! — queueing delay behind the accelerator, remote-shard halo-fetch time
+//! from the [`crate::Interconnect`] link model, and kernel time from the
+//! cost model — so p50/p99 numbers are bitwise-reproducible across hosts
+//! and thread counts. No wall clocks anywhere.
+//!
+//! The synthetic trace generator follows the sampler's keyed counter-RNG
+//! discipline: every draw is a pure function of `(seed, request index)`
+//! through splitmix64, so the i-th request is the same no matter how the
+//! trace is consumed. Vertex choice is skewed — a configurable fraction of
+//! requests lands on a small hot set, which is what gives an LRU embedding
+//! cache something to hit.
+
+/// One inference request in a synthetic trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Vertex whose embedding is requested.
+    pub vertex: u32,
+    /// Modeled arrival time, µs from trace start. Non-decreasing in a
+    /// generated trace.
+    pub arrival_us: f64,
+}
+
+/// Parameters for [`synth_trace`].
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// RNG key; same seed ⇒ bitwise-identical trace.
+    pub seed: u64,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Vertex id space to draw from (the serving graph's vertex count).
+    pub num_vertices: usize,
+    /// Mean inter-arrival gap in µs (arrival rate = 1e6 / gap requests/s).
+    pub mean_gap_us: f64,
+    /// Fraction of requests directed at the hot set, in `[0, 1]`.
+    pub hot_fraction: f64,
+    /// Size of the hot set (vertices `0..hot_vertices` after keying).
+    pub hot_vertices: usize,
+}
+
+const SM64_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(SM64_GAMMA);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Keyed draw: a u64 that depends only on `(seed, idx, salt)`.
+fn draw(seed: u64, idx: u64, salt: u64) -> u64 {
+    splitmix64(splitmix64(splitmix64(seed) ^ idx) ^ salt)
+}
+
+/// Uniform f64 in `[0, 1)` from a keyed draw (53 mantissa bits).
+fn unit(seed: u64, idx: u64, salt: u64) -> f64 {
+    (draw(seed, idx, salt) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Generate a deterministic synthetic request trace. Arrivals are spaced
+/// by `mean_gap_us * (0.5 + u)` with `u` uniform in `[0, 1)` — mean gap
+/// exactly `mean_gap_us`, bounded jitter, strictly increasing times.
+pub fn synth_trace(cfg: &TraceConfig) -> Vec<Request> {
+    assert!(cfg.num_vertices > 0, "trace needs a non-empty vertex space");
+    let hot = cfg.hot_vertices.clamp(1, cfg.num_vertices);
+    let mut t = 0.0f64;
+    let mut out = Vec::with_capacity(cfg.requests);
+    for i in 0..cfg.requests as u64 {
+        t += cfg.mean_gap_us * (0.5 + unit(cfg.seed, i, 1));
+        let is_hot = unit(cfg.seed, i, 2) < cfg.hot_fraction;
+        let space = if is_hot { hot } else { cfg.num_vertices } as u64;
+        // Multiply-shift bound: unbiased enough for a synthetic workload
+        // and branch-free deterministic.
+        let v = ((draw(cfg.seed, i, 3) as u128 * space as u128) >> 64) as u32;
+        out.push(Request { vertex: v, arrival_us: t });
+    }
+    out
+}
+
+/// Modeled timing breakdown for one served request.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestTiming {
+    /// Time spent queued before its batch launched, µs.
+    pub queue_us: f64,
+    /// Remote-shard halo feature fetch time for its batch, µs.
+    pub fetch_us: f64,
+    /// Kernel time of its batch (or cache-lookup cost on a hit), µs.
+    pub kernel_us: f64,
+    /// Served from the embedding cache without touching the accelerator.
+    pub cache_hit: bool,
+}
+
+impl RequestTiming {
+    /// End-to-end modeled latency, µs.
+    pub fn total_us(&self) -> f64 {
+        self.queue_us + self.fetch_us + self.kernel_us
+    }
+}
+
+/// Aggregate latency statistics over a served trace.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyStats {
+    pub requests: usize,
+    pub cache_hits: usize,
+    pub p50_us: f64,
+    pub p99_us: f64,
+    pub max_us: f64,
+    pub mean_us: f64,
+    /// Modeled sustained throughput: requests per second over the span
+    /// from first arrival to last completion.
+    pub throughput_rps: f64,
+}
+
+impl LatencyStats {
+    pub fn hit_rate(&self) -> f64 {
+        self.cache_hits as f64 / self.requests.max(1) as f64
+    }
+}
+
+/// Nearest-rank percentile over sorted samples: the smallest sample with
+/// at least `q` of the mass at or below it.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Summarize per-request timings. `span_us` is the interval from first
+/// arrival to last completion (used for throughput); pass 0 for an empty
+/// trace.
+pub fn latency_stats(timings: &[RequestTiming], span_us: f64) -> LatencyStats {
+    let mut totals: Vec<f64> = timings.iter().map(|t| t.total_us()).collect();
+    totals.sort_by(f64::total_cmp);
+    let sum: f64 = totals.iter().sum();
+    let n = totals.len();
+    LatencyStats {
+        requests: n,
+        cache_hits: timings.iter().filter(|t| t.cache_hit).count(),
+        p50_us: percentile(&totals, 0.50),
+        p99_us: percentile(&totals, 0.99),
+        max_us: totals.last().copied().unwrap_or(0.0),
+        mean_us: if n == 0 { 0.0 } else { sum / n as f64 },
+        throughput_rps: if span_us > 0.0 { n as f64 * 1e6 / span_us } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TraceConfig {
+        TraceConfig {
+            seed: 9,
+            requests: 500,
+            num_vertices: 1000,
+            mean_gap_us: 40.0,
+            hot_fraction: 0.8,
+            hot_vertices: 25,
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_strictly_increasing() {
+        let a = synth_trace(&cfg());
+        let b = synth_trace(&cfg());
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].arrival_us < w[1].arrival_us));
+        assert!(a.iter().all(|r| (r.vertex as usize) < 1000));
+    }
+
+    #[test]
+    fn trace_mean_gap_is_close_to_requested() {
+        let t = synth_trace(&cfg());
+        let mean = t.last().unwrap().arrival_us / t.len() as f64;
+        assert!((mean - 40.0).abs() < 4.0, "mean gap {mean}");
+    }
+
+    #[test]
+    fn hot_fraction_skews_vertex_choice() {
+        let t = synth_trace(&cfg());
+        let hot = t.iter().filter(|r| r.vertex < 25).count();
+        // ~80% requested hot; uniform background adds a sliver.
+        assert!(hot as f64 > 0.7 * t.len() as f64, "hot draws {hot}/{}", t.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = synth_trace(&cfg());
+        let b = synth_trace(&TraceConfig { seed: 10, ..cfg() });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn percentiles_follow_nearest_rank() {
+        let timings: Vec<RequestTiming> = (1..=100)
+            .map(|i| RequestTiming { kernel_us: i as f64, ..Default::default() })
+            .collect();
+        let s = latency_stats(&timings, 100.0 * 1e6);
+        assert_eq!(s.p50_us, 50.0);
+        assert_eq!(s.p99_us, 99.0);
+        assert_eq!(s.max_us, 100.0);
+        assert!((s.mean_us - 50.5).abs() < 1e-12);
+        assert!((s.throughput_rps - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zeros() {
+        let s = latency_stats(&[], 0.0);
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.p99_us, 0.0);
+        assert_eq!(s.throughput_rps, 0.0);
+    }
+}

@@ -42,6 +42,7 @@ pub mod config;
 pub mod counters;
 pub mod exec;
 pub mod interconnect;
+pub mod latency;
 pub mod launch;
 pub mod memory;
 pub mod warp;
@@ -50,5 +51,6 @@ pub use config::{CostModel, DeviceConfig};
 pub use counters::{KernelStats, WarpCounters};
 pub use exec::{ExecMode, Executor, FastExecutor, SimExecutor};
 pub use interconnect::{CommsLedger, Interconnect, LinkStat, Topology, TrafficClass};
+pub use latency::{latency_stats, synth_trace, LatencyStats, Request, RequestTiming, TraceConfig};
 pub use launch::{launch, Cta, LaunchParams};
 pub use warp::{AtomicKind, WarpCtx};

@@ -35,6 +35,13 @@ pub struct CacheCounters {
     pub evaluations: u64,
 }
 
+impl CacheCounters {
+    /// Fraction of lookups answered from the map (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        self.hits as f64 / (self.hits + self.misses).max(1) as f64
+    }
+}
+
 /// In-memory plan map plus counters and JSON persistence.
 #[derive(Clone, Debug, Default)]
 pub struct PlanCache {

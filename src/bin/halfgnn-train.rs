@@ -19,7 +19,8 @@ fn usage() -> ! {
          [--lr F] [--hidden N] [--seed N] [--norm right|left|both] [--gin-lambda F] \
          [--loss-scale F] [--tuning off|auto|cached:<path>] [--fusion] \
          [--shards N] [--topology ring|alltoall] [--partition contiguous|balanced] \
-         [--replay] [--batch-size N] [--fanout N] [--stream-edges N]"
+         [--replay] [--batch-size N] [--fanout N] [--stream-edges N] \
+         [--save-snapshot PATH]"
     );
     exit(2)
 }
@@ -109,6 +110,7 @@ fn main() {
                     usage()
                 })
             }
+            "--save-snapshot" => cfg.snapshot_path = Some(val().to_string()),
             "--batch-size" => cfg.batch_size = Some(val().parse().unwrap_or_else(|_| usage())),
             "--fanout" => cfg.fanout = val().parse().unwrap_or_else(|_| usage()),
             "--stream-edges" => cfg.stream_edges = val().parse().unwrap_or_else(|_| usage()),
@@ -232,6 +234,9 @@ fn main() {
             "  {name:<42} x{launches:<3} {us:>10.1} us {:>9.2} MiB",
             *bytes as f64 / 1048576.0
         );
+    }
+    if let Some(p) = &cfg.snapshot_path {
+        println!("snapshot       : {p}");
     }
     if let Some(e) = report.nan_epoch {
         println!("loss became NaN at epoch {e} (FP16 overflow -> NaN, see DESIGN.md)");

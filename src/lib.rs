@@ -16,6 +16,8 @@
 //! * [`tensor`] — dense tensors, AMP autocast policy, shadow APIs
 //! * [`tune`] — cost-model kernel autotuner with a persistent plan cache
 //! * [`nn`] — GCN/GAT/GIN models and the mixed-precision trainer
+//! * [`serve`] — forward-only inference: request coalescing, embedding
+//!   cache, modeled serving latency
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@ pub use halfgnn_graph as graph;
 pub use halfgnn_half as half;
 pub use halfgnn_kernels as kernels;
 pub use halfgnn_nn as nn;
+pub use halfgnn_serve as serve;
 pub use halfgnn_sim as sim;
 pub use halfgnn_tensor as tensor;
 pub use halfgnn_tune as tune;

@@ -1,6 +1,7 @@
-//! CLI argument validation for `halfgnn-train`: every unknown value must
-//! be rejected with exit code 2 and a message naming the bad flag —
-//! never silently fall back to a default and train the wrong thing.
+//! CLI argument validation for `halfgnn-train` and `halfgnn-serve`: every
+//! unknown value must be rejected with exit code 2 and a message naming
+//! the bad flag — never silently fall back to a default and train (or
+//! serve) the wrong thing.
 
 use std::process::{Command, Output};
 
@@ -9,6 +10,13 @@ fn run(args: &[&str]) -> Output {
         .args(args)
         .output()
         .expect("spawn halfgnn-train")
+}
+
+fn run_serve(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_halfgnn-serve"))
+        .args(args)
+        .output()
+        .expect("spawn halfgnn-serve")
 }
 
 fn stderr(out: &Output) -> String {
@@ -126,6 +134,129 @@ fn usage_lists_the_replay_flag() {
     let out = run(&["--help"]);
     assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("--replay"), "usage must document --replay: {}", stderr(&out));
+}
+
+#[test]
+fn bad_loss_scale_is_a_named_config_error() {
+    for scale in ["0", "-2", "inf", "nan"] {
+        let out = run(&["--dataset", "cora", "--loss-scale", scale]);
+        assert_eq!(out.status.code(), Some(2), "--loss-scale {scale}: {}", stderr(&out));
+        let err = stderr(&out);
+        assert!(
+            err.contains("--loss-scale must be a positive, finite value"),
+            "--loss-scale {scale} missing named error: {err}"
+        );
+        assert!(!err.contains("panicked"), "--loss-scale {scale} must not panic: {err}");
+    }
+}
+
+#[test]
+fn save_snapshot_writes_a_loadable_file_and_is_in_usage() {
+    let out = run(&["--help"]);
+    assert!(stderr(&out).contains("--save-snapshot"), "usage must document --save-snapshot");
+
+    let path = std::env::temp_dir().join(format!("cli-args-snap-{}.snap", std::process::id()));
+    let path_s = path.to_string_lossy().into_owned();
+    let out =
+        run(&["--dataset", "cora", "--model", "gcn", "--epochs", "2", "--save-snapshot", &path_s]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("snapshot"), "missing snapshot line: {stdout}");
+    let text = std::fs::read_to_string(&path).expect("snapshot file exists");
+    assert!(text.starts_with("halfgnn-snapshot v1"), "bad snapshot header");
+    assert!(text.ends_with("end\n"), "snapshot not terminated");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn serve_rejects_illegal_configs_with_named_errors() {
+    for (args, needle) in [
+        (vec!["--dataset", "cora", "--hops", "0"], "--hops must be at least the model depth"),
+        (vec!["--dataset", "cora", "--hops", "1"], "--hops must be at least the model depth"),
+        (vec!["--dataset", "cora", "--batch-window", "0"], "--batch-window must be at least 1"),
+        (vec!["--dataset", "cora", "--shards", "0"], "--shards must be at least 1"),
+        (vec!["--dataset", "cora", "--precision", "halfnaive"], "training ablations"),
+        (vec!["--dataset", "cora", "--precision", "nodiscretize"], "training ablations"),
+        (
+            vec!["--dataset", "cora", "--replay", "--batch-window", "4"],
+            "--replay requires --batch-window 1",
+        ),
+        (vec!["--dataset", "cora", "--frobnicate"], "unknown flag"),
+        (vec!["--dataset", "cora", "--precision", "f64"], "unknown precision"),
+        (vec!["--dataset", "cora", "--cache-precision", "f8"], "unknown cache precision"),
+        (vec!["--dataset", "cora", "--topology", "torus"], "unknown topology"),
+        (vec!["--dataset", "cora", "--partition", "zigzag"], "unknown partition strategy"),
+    ] {
+        let out = run_serve(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {}", stderr(&out));
+        let err = stderr(&out);
+        assert!(err.contains(needle), "{args:?} missing {needle:?}: {err}");
+        assert!(!err.contains("panicked"), "{args:?} must not panic: {err}");
+    }
+}
+
+#[test]
+fn serve_replay_error_carries_the_capture_refusal_reason() {
+    let out = run_serve(&["--dataset", "cora", "--replay", "--batch-window", "4"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("config error"), "must be a config error: {err}");
+    assert!(err.contains("capture refused"), "must carry the refusal reason: {err}");
+}
+
+#[test]
+fn serve_missing_snapshot_file_is_a_clean_error() {
+    let out = run_serve(&["--dataset", "cora", "--snapshot", "/nonexistent/missing.snap"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("could not load snapshot"), "must name the failure: {err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+}
+
+#[test]
+fn serve_quick_train_closed_loop_reports_latency_and_cache() {
+    let out = run_serve(&[
+        "--dataset",
+        "cora",
+        "--epochs",
+        "2",
+        "--requests",
+        "120",
+        "--cache-kb",
+        "8",
+        "--shards",
+        "2",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    for line in ["throughput", "latency p99", "cache", "halo traffic", "inference plan"] {
+        assert!(stdout.contains(line), "missing {line:?} in serve output: {stdout}");
+    }
+}
+
+#[test]
+fn serve_consumes_a_trainer_written_snapshot() {
+    let path = std::env::temp_dir().join(format!("cli-args-handoff-{}.snap", std::process::id()));
+    let path_s = path.to_string_lossy().into_owned();
+    let out = run(&["--dataset", "cora", "--epochs", "2", "--save-snapshot", &path_s]);
+    assert_eq!(out.status.code(), Some(0), "train stderr: {}", stderr(&out));
+    let out = run_serve(&["--dataset", "cora", "--snapshot", &path_s, "--requests", "60"]);
+    assert_eq!(out.status.code(), Some(0), "serve stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("throughput"), "serve must report throughput: {stdout}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn serve_usage_lists_the_serving_flags() {
+    let out = run_serve(&["--help"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    for flag in
+        ["--snapshot", "--batch-window", "--cache-kb", "--cache-precision", "--hops", "--replay"]
+    {
+        assert!(err.contains(flag), "serve usage must document {flag}: {err}");
+    }
 }
 
 #[test]

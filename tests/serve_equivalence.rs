@@ -1,0 +1,223 @@
+//! Serving-equivalence harness: the coalescing tentpole's correctness
+//! proof, plus cache-invalidation soundness.
+//!
+//! Property 1 — **coalescing is bitwise-invisible**: for ANY symmetric
+//! graph (including zero-degree vertices and hub vertices), any request
+//! multiset, and both serving precisions, one batched forward returns
+//! exactly the bits each request gets when served alone. This is the
+//! contract that lets the batcher fuse concurrent requests into one
+//! kernel launch per layer without perturbing anyone's answer.
+//!
+//! Property 2 — **invalidation is sound**: after an edge insert through
+//! the delta overlay, every cached embedding whose fresh recomputation
+//! changed has been evicted, and every surviving entry is bitwise equal
+//! to its fresh value (f32 cache, so storage adds no quantization).
+
+use halfgnn::graph::{Csr, VertexId};
+use halfgnn::nn::models::PrecisionMode;
+use halfgnn::nn::params::TwoLayerParams;
+use halfgnn::serve::{CachePrecision, ServeConfig, ServeEngine};
+use halfgnn::sim::DeviceConfig;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Arbitrary symmetric graph (NO forced self loops, so zero-degree
+/// vertices survive), even feature width, features, a request multiset
+/// (duplicates welcome), and one candidate edge to insert.
+#[allow(clippy::type_complexity)]
+fn arb_serving_case(
+) -> impl Strategy<Value = (Csr, usize, Vec<f32>, Vec<VertexId>, (VertexId, VertexId))> {
+    (3usize..20, 1usize..4, 0usize..2)
+        .prop_flat_map(|(n, fhalf, hub)| {
+            let f = 2 * fhalf; // half serving needs half2-padded widths
+            let edge = (0..n as VertexId, 0..n as VertexId);
+            let req = 0..n as VertexId;
+            (
+                Just(n),
+                Just(f),
+                Just(hub),
+                prop::collection::vec(edge.clone(), 0..48),
+                prop::collection::vec(-1.0f32..1.0, n * f),
+                prop::collection::vec(req, 1..6),
+                edge,
+            )
+        })
+        .prop_map(|(n, f, hub, mut pairs, feats, requests, ins)| {
+            if hub == 1 {
+                for v in 1..n as VertexId {
+                    pairs.push((0, v));
+                }
+            }
+            // Symmetrize by hand (both directions, no self loops, no
+            // duplicates) so the graph satisfies GraphView's symmetry
+            // contract while keeping untouched vertices at degree zero.
+            let undirected: BTreeSet<(VertexId, VertexId)> = pairs
+                .into_iter()
+                .filter(|&(u, v)| u != v)
+                .map(|(u, v)| (u.min(v), u.max(v)))
+                .collect();
+            let edges: Vec<(VertexId, VertexId)> =
+                undirected.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect();
+            let csr = Csr::from_edges(n, n, &edges);
+            (csr, f, feats, requests, ins)
+        })
+}
+
+fn engine<'d>(
+    dev: &'d DeviceConfig,
+    csr: &Csr,
+    x: &[f32],
+    f: usize,
+    precision: PrecisionMode,
+    cfg: ServeConfig,
+) -> ServeEngine<'d> {
+    let params = TwoLayerParams::new(f, 4, 2, 7);
+    ServeEngine::new(dev, csr, x, f, params, ServeConfig { precision, ..cfg }).expect("engine")
+}
+
+fn bits(rows: &[Vec<f32>]) -> Vec<Vec<u32>> {
+    rows.iter().map(|r| r.iter().map(|v| v.to_bits()).collect()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// One coalesced batch == each request alone, bitwise, float and half.
+    #[test]
+    fn coalesced_forward_is_bitwise_equal_to_sequential(
+        (csr, f, x, requests, _ins) in arb_serving_case()
+    ) {
+        let dev = DeviceConfig::a100_like();
+        for precision in [PrecisionMode::Float, PrecisionMode::HalfGnn] {
+            let mut batched = engine(&dev, &csr, &x, f, precision, ServeConfig::default());
+            let all = batched.embed(&requests);
+            let mut sequential = engine(&dev, &csr, &x, f, precision, ServeConfig::default());
+            for (k, &v) in requests.iter().enumerate() {
+                let one = sequential.embed(&[v]);
+                prop_assert_eq!(
+                    bits(&all.outputs[k..k + 1]),
+                    bits(&one.outputs[0..1]),
+                    "{:?}: vertex {} diverged under coalescing (batch of {})",
+                    precision, v, requests.len()
+                );
+            }
+        }
+    }
+
+    /// After an edge insert, no cached embedding is stale: changed ones
+    /// are gone, surviving ones are bitwise-fresh.
+    #[test]
+    fn edge_insert_invalidation_is_sound(
+        (csr, f, x, _requests, (u, v)) in arb_serving_case()
+    ) {
+        let dev = DeviceConfig::a100_like();
+        let cfg = ServeConfig {
+            cache_bytes: 1 << 20,
+            cache_precision: CachePrecision::F32,
+            ..ServeConfig::default()
+        };
+        let mut e = engine(&dev, &csr, &x, f, PrecisionMode::Float, cfg);
+        let all: Vec<VertexId> = (0..csr.num_rows() as VertexId).collect();
+        let before = e.embed(&all);
+        for (&w, out) in all.iter().zip(&before.outputs) {
+            e.cache_mut().insert(w, out);
+        }
+        e.insert_edge(u, v); // may be a no-op if the edge existed
+        let after = e.embed(&all);
+        for (k, &w) in all.iter().enumerate() {
+            let changed = bits(&before.outputs[k..k + 1]) != bits(&after.outputs[k..k + 1]);
+            if changed {
+                prop_assert!(
+                    !e.cache().contains(w),
+                    "vertex {} changed after inserting ({}, {}) but survived in the cache",
+                    w, u, v
+                );
+            } else if let Some(cached) = e.cache().peek(w) {
+                prop_assert_eq!(
+                    bits(&[cached][..]),
+                    bits(&after.outputs[k..k + 1]),
+                    "vertex {} survived with stale bits", w
+                );
+            }
+        }
+    }
+}
+
+/// The forward-only path plans a working set that is a small fraction of
+/// a real training step's peak on the same dataset — no gradient,
+/// optimizer, or activation-stash buffers exist on the serving path.
+#[test]
+fn inference_footprint_is_a_fraction_of_training_peak() {
+    use halfgnn::graph::datasets::Dataset;
+    use halfgnn::nn::models::GcnNorm;
+    use halfgnn::nn::snapshot::ModelSnapshot;
+    use halfgnn::nn::trainer::{train_on, ModelKind, TrainConfig};
+
+    let dev = DeviceConfig::a100_like();
+    let data = Dataset::by_id("G1").expect("G1").load(42);
+    let tmp = std::env::temp_dir()
+        .join(format!("serve-equivalence-footprint-{}.snap", std::process::id()));
+    let report = train_on(
+        &dev,
+        &data,
+        &TrainConfig {
+            model: ModelKind::Gcn,
+            precision: PrecisionMode::Float,
+            epochs: 1,
+            hidden: 16,
+            gcn_norm: GcnNorm::Right,
+            snapshot_path: Some(tmp.to_string_lossy().into_owned()),
+            ..TrainConfig::default()
+        },
+    );
+    let snap = ModelSnapshot::load(&tmp).expect("trainer snapshot loads");
+    std::fs::remove_file(&tmp).ok();
+
+    let mut e = ServeEngine::from_snapshot(
+        &dev,
+        &data.adj,
+        &data.features,
+        data.spec.feat,
+        &snap,
+        ServeConfig::default(),
+    )
+    .expect("engine");
+    let probe: Vec<VertexId> = (0..8).collect();
+    let inf = e.inference_footprint(&probe);
+    assert!(inf.peak_bytes > 0);
+    assert!(
+        (inf.peak_bytes as f64) < 0.25 * report.peak_memory_bytes as f64,
+        "inference plan {} bytes vs training peak {} bytes",
+        inf.peak_bytes,
+        report.peak_memory_bytes
+    );
+}
+
+/// Steady-state capture/replay serves the same bits as eager execution,
+/// batch after batch (the PR6 replay contract, serving edition).
+#[test]
+fn serve_replay_matches_eager_bitwise() {
+    let edges: Vec<(VertexId, VertexId)> =
+        (0..11u32).flat_map(|i| [(i, i + 1), (i + 1, i)]).collect();
+    let csr = Csr::from_edges(12, 12, &edges);
+    let x: Vec<f32> = (0..12 * 4).map(|i| (i as f32 * 0.37).sin()).collect();
+    let dev = DeviceConfig::a100_like();
+    let params = TwoLayerParams::new(4, 4, 2, 5);
+    let mut replayed = ServeEngine::new(
+        &dev,
+        &csr,
+        &x,
+        4,
+        params.clone(),
+        ServeConfig { replay: true, batch_window: 1, ..ServeConfig::default() },
+    )
+    .expect("replay engine");
+    let mut eager =
+        ServeEngine::new(&dev, &csr, &x, 4, params, ServeConfig::default()).expect("eager engine");
+    for _ in 0..4 {
+        let a = replayed.embed(&[6]);
+        let b = eager.embed(&[6]);
+        assert_eq!(bits(&a.outputs), bits(&b.outputs));
+    }
+    assert_eq!(replayed.stats.replayed_batches, 3);
+}
