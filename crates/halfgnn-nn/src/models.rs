@@ -485,6 +485,7 @@ fn spmm_half_dispatch(
         Some(ctx) => sharded_rows(ops, ctx, g.n(), f, Half::ZERO, |ops, shard| {
             ctx.exchange_halo_half(ops, x, f, shard);
             let (y, stats) = spmm_half_window(ops, g, w, x, f, row_scale, d, shard.row_range);
+            ctx.log_compute(shard.index, stats.time_us);
             ops.record(stats);
             d.capture_node("spmm_half", &ins, &[buf_ref(&y)], Some(shard.row_range));
             y
@@ -540,6 +541,7 @@ fn spmm_f32_dispatch(
             ctx.exchange_halo_f32(ops, x, f, shard);
             let (y, stats) =
                 cusparse::spmm_float_window(ops.dev, &g.coo, w, x, f, row_scale, shard.row_range);
+            ctx.log_compute(shard.index, stats.time_us);
             ops.record(stats);
             d.capture_node("spmm_f32", &ins, &[buf_ref(&y)], Some(shard.row_range));
             y
@@ -639,6 +641,7 @@ pub fn sddmm_half(
         Some(ctx) => sharded_edges(ops, ctx, g.nnz(), Half::ZERO, |ops, shard| {
             ctx.exchange_halo_half(ops, v, f, shard);
             let (y, stats) = sddmm_half_window(ops, g, u, v, f, d, shard.edge_range);
+            ctx.log_compute(shard.index, stats.time_us);
             ops.record(stats);
             d.capture_node(
                 "sddmm_half",
@@ -671,6 +674,7 @@ pub fn edge_reduce_half(
         Some(ctx) => sharded_rows(ops, ctx, g.n(), 1, Half::ZERO, |ops, shard| {
             let (y, stats) =
                 halfgnn_spmm::edge_reduce_window(ops.dev, &g.coo, w, op, shard.row_range);
+            ctx.log_compute(shard.index, stats.time_us);
             ops.record(stats);
             d.capture_node(
                 "edge_reduce_half",
@@ -729,6 +733,7 @@ pub fn fused_attn_forward(
                     f,
                     shard.row_range,
                 );
+                ctx.log_compute(shard.index, stats.time_us);
                 ops.record(stats);
                 d.capture_node(
                     "fused_attn_forward",
@@ -777,6 +782,7 @@ pub fn fused_softmax_grad(
                 slope,
                 shard.row_range,
             );
+            ctx.log_compute(shard.index, stats.time_us);
             ops.record(stats);
             d.capture_node("fused_softmax_grad", &ins, &[buf_ref(&y)], Some(shard.row_range));
             y
@@ -839,6 +845,7 @@ pub fn sddmm_f32(
             ctx.exchange_halo_f32(ops, v, f, shard);
             let (y, stats) =
                 dgl_sddmm::sddmm_float_window(ops.dev, &g.coo, u, v, f, shard.edge_range);
+            ctx.log_compute(shard.index, stats.time_us);
             ops.record(stats);
             d.capture_node(
                 "sddmm_f32",
@@ -869,6 +876,7 @@ pub fn edge_reduce_f32(
         Some(ctx) => sharded_rows(ops, ctx, g.n(), 1, 0.0f32, |ops, shard| {
             let (y, stats) =
                 edge_ops::edge_reduce_f32_window(ops.dev, &g.coo, w, op, shard.row_range);
+            ctx.log_compute(shard.index, stats.time_us);
             ops.record(stats);
             d.capture_node("edge_reduce_f32", &[buf_ref(w)], &[buf_ref(&y)], Some(shard.row_range));
             y

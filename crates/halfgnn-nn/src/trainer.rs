@@ -94,6 +94,11 @@ pub struct TrainConfig {
     pub topology: Topology,
     /// How vertices are assigned to shards (ignored when `shards == 1`).
     pub partition: PartitionStrategy,
+    /// Replication factor override for the 1.5D partition
+    /// (`--replication`, DESIGN.md §16). `None` keeps the strategy's
+    /// built-in factor (`--partition 1p5d` defaults to c = 2); `Some(c)`
+    /// requires the 1.5D partition and a shard count divisible by `c`.
+    pub replication: Option<usize>,
     /// Capture epoch 0 into an execution graph and replay it for every
     /// later epoch (`--replay`, DESIGN.md §13) — the CUDA-graph analog.
     /// Replay epochs resolve zero kernel plans (no tuner-cache lookups)
@@ -138,6 +143,7 @@ impl Default for TrainConfig {
             shards: 1,
             topology: Topology::Ring,
             partition: PartitionStrategy::Contiguous,
+            replication: None,
             replay: false,
             batch_size: None,
             fanout: 10,
@@ -169,6 +175,14 @@ pub enum ConfigError {
     BadLossScale,
     /// `--save-snapshot` with an empty path.
     EmptySnapshotPath,
+    /// `--replication 0`: a replication group needs at least one member.
+    ZeroReplication,
+    /// `--replication` with a partition other than 1.5D: the factor has
+    /// no meaning for 1D strategies.
+    ReplicationRequiresOneP5D,
+    /// `--partition 1p5d` with a shard count the replication factor does
+    /// not divide: replication groups must tile the shards exactly.
+    ReplicationDoesNotDivideShards,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -191,6 +205,13 @@ impl std::fmt::Display for ConfigError {
             ConfigError::EmptySnapshotPath => {
                 write!(f, "--save-snapshot requires a non-empty path")
             }
+            ConfigError::ZeroReplication => write!(f, "--replication must be at least 1"),
+            ConfigError::ReplicationRequiresOneP5D => {
+                write!(f, "--replication requires --partition 1p5d")
+            }
+            ConfigError::ReplicationDoesNotDivideShards => {
+                write!(f, "--partition 1p5d requires --shards divisible by the replication factor")
+            }
         }
     }
 }
@@ -204,6 +225,18 @@ impl TrainConfig {
     pub fn validate(&self) -> Result<(), ConfigError> {
         if !self.loss_scale.is_finite() || self.loss_scale <= 0.0 {
             return Err(ConfigError::BadLossScale);
+        }
+        if let Some(c) = self.replication {
+            if c == 0 {
+                return Err(ConfigError::ZeroReplication);
+            }
+            if !matches!(self.partition, PartitionStrategy::OneP5D { .. }) {
+                return Err(ConfigError::ReplicationRequiresOneP5D);
+            }
+        }
+        if self.shards > 1 && !self.shards.is_multiple_of(self.effective_partition().replication())
+        {
+            return Err(ConfigError::ReplicationDoesNotDivideShards);
         }
         if matches!(&self.snapshot_path, Some(p) if p.is_empty()) {
             return Err(ConfigError::EmptySnapshotPath);
@@ -230,6 +263,15 @@ impl TrainConfig {
             }
         }
         Ok(())
+    }
+
+    /// The partition strategy the run actually trains with: the configured
+    /// strategy, with `--replication` folded into the 1.5D factor.
+    pub fn effective_partition(&self) -> PartitionStrategy {
+        match self.replication {
+            Some(c) => self.partition.with_replication(c),
+            None => self.partition,
+        }
     }
 }
 
@@ -288,6 +330,23 @@ pub struct TrainReport {
     pub comms_time_us_per_epoch: f64,
     /// Per-directed-link traffic of one epoch, sorted by `(from, to)`.
     pub link_breakdown: Vec<((usize, usize), LinkStat)>,
+    /// Epoch comm+compute time with every transfer serialized against its
+    /// device's kernels (busiest device; epoch 0, cold halo cache). Zero
+    /// when `shards == 1`.
+    pub comms_serialized_us: f64,
+    /// The same epoch under the double-buffered halo-prefetch model
+    /// (DESIGN.md §16): each halo transfer hides under the compute window
+    /// since the previous communication point; all-reduces are barriers.
+    /// Strictly below `comms_serialized_us` whenever a halo hides.
+    pub comms_overlapped_us: f64,
+    /// Cross-epoch halo-cache rows served locally during the *last* epoch
+    /// (steady state: static features hit from epoch 1 on). Zero when
+    /// `shards == 1`.
+    pub halo_cache_hits: u64,
+    /// Halo-cache rows fetched over the wire during the last epoch.
+    pub halo_cache_misses: u64,
+    /// Wire bytes the last epoch's cache hits avoided.
+    pub halo_cache_bytes_saved: u64,
     /// Captured-graph summary when the run replayed (`TrainConfig::replay`):
     /// launches and buffers per epoch, the arena-planned `peak_bytes` for
     /// intermediates (vs the eager no-reuse baseline), and the modeled
@@ -390,16 +449,18 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
     // regardless of `cfg.exec` — plans are modeled-cycles argmins either
     // way, and its oracle checks run inside `overflow::isolated` so they
     // never pollute this run's per-epoch provenance windows.
+    let partition = cfg.effective_partition();
     let tuner = match &cfg.tuning {
         Tuning::Off => None,
-        Tuning::Auto => Some(Tuner::auto(dev).with_shards(cfg.shards)),
-        Tuning::Cached(path) => Some(Tuner::cached(dev, path.as_str()).with_shards(cfg.shards)),
+        Tuning::Auto => Some(Tuner::auto(dev).with_shards(cfg.shards).with_partition(partition)),
+        Tuning::Cached(path) => Some(
+            Tuner::cached(dev, path.as_str()).with_shards(cfg.shards).with_partition(partition),
+        ),
     };
     // Sharded execution context: partition Â (the graph the kernels run
     // on) and meter every halo exchange / all-reduce against the chosen
     // interconnect. `shards == 1` keeps the single-device dispatch path.
-    let dist =
-        (cfg.shards > 1).then(|| DistCtx::new(&g.csr, cfg.shards, cfg.partition, cfg.topology));
+    let dist = (cfg.shards > 1).then(|| DistCtx::new(&g.csr, cfg.shards, partition, cfg.topology));
     // Capture/replay context (`--replay`): epoch 0 records every plan
     // resolution and kernel launch; `seal()` freezes the graph and every
     // later epoch replays it — no tuner lookups, launch overhead stripped.
@@ -413,6 +474,8 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
     .with_exec(exec_ctx.as_ref());
 
     let mut comms = halfgnn_sim::interconnect::CommsLedger::new();
+    let mut comms_serialized_us = 0.0;
+    let mut comms_overlapped_us = 0.0;
     for epoch in 0..cfg.epochs {
         if let Some(ctx) = &dist {
             ctx.reset_epoch();
@@ -463,6 +526,12 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
             breakdown = kernel_breakdown(&ops.log);
             if let Some(ctx) = &dist {
                 comms = ctx.snapshot();
+                // Epoch 0 is the cold-cache epoch: its event streams carry
+                // every halo transfer, so the serialized-vs-overlapped gap
+                // is the conservative (smallest) one.
+                let timeline = ctx.timeline();
+                comms_serialized_us = timeline.serialized_us();
+                comms_overlapped_us = timeline.overlapped_us();
             }
         }
         if let Some(ctx) = &exec_ctx {
@@ -486,6 +555,9 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
     let final_train_accuracy = Ops::accuracy(&last_logits, labels, train_mask, classes);
     let test_accuracy = Ops::accuracy(&last_logits, labels, &data.split.test, classes);
     save_snapshot(cfg, f_in, classes, &params);
+    // Last epoch's counters = the steady state: with static input
+    // features every post-warmup epoch serves its halo from the cache.
+    let halo_cache = dist.as_ref().map(DistCtx::halo_cache_stats).unwrap_or_default();
 
     TrainReport {
         losses,
@@ -506,6 +578,11 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
         comms_allreduce_bytes_per_epoch: comms.allreduce_bytes,
         comms_time_us_per_epoch: comms.total_time_us(),
         link_breakdown: comms.link_stats(),
+        comms_serialized_us,
+        comms_overlapped_us,
+        halo_cache_hits: halo_cache.hits,
+        halo_cache_misses: halo_cache.misses,
+        halo_cache_bytes_saved: halo_cache.bytes_saved,
         replay: exec_ctx.as_ref().map(|ctx| {
             let mut s = ctx.summary();
             // Per-epoch figure: total stripped cycles over the replay
@@ -827,6 +904,11 @@ fn train_minibatch(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) 
         comms_allreduce_bytes_per_epoch: 0,
         comms_time_us_per_epoch: 0.0,
         link_breakdown: Vec::new(),
+        comms_serialized_us: 0.0,
+        comms_overlapped_us: 0.0,
+        halo_cache_hits: 0,
+        halo_cache_misses: 0,
+        halo_cache_bytes_saved: 0,
         replay: None,
         replay_epoch_time_us: 0.0,
         sampling: Some(SamplingSummary {
@@ -1269,6 +1351,123 @@ mod tests {
     }
 
     #[test]
+    fn one5d_float_training_is_bit_identical_and_charges_less_halo() {
+        // The tentpole's trainer-level contract: the 1.5D partition runs
+        // the exact DegreeBalanced kernel windows (float losses bitwise
+        // the single-device run's) while the group-union wire charge
+        // strictly undercuts 1D's per-shard halo replication.
+        let data = Dataset::cora().load(42);
+        let base = quick_cfg(ModelKind::Gcn, PrecisionMode::Float, 4);
+        let single = train(&data, &base);
+        let balanced = train(
+            &data,
+            &TrainConfig {
+                shards: 4,
+                partition: PartitionStrategy::DegreeBalanced,
+                ..base.clone()
+            },
+        );
+        let one5d = train(
+            &data,
+            &TrainConfig {
+                shards: 4,
+                partition: PartitionStrategy::OneP5D { c: 2 },
+                ..base.clone()
+            },
+        );
+        assert_eq!(bits(&single.losses), bits(&one5d.losses), "1.5D float diverged");
+        assert_eq!(single.final_train_accuracy, one5d.final_train_accuracy);
+        assert!(one5d.comms_halo_bytes_per_epoch > 0);
+        assert!(
+            one5d.comms_halo_bytes_per_epoch < balanced.comms_halo_bytes_per_epoch,
+            "1.5D halo {} must undercut 1D's {}",
+            one5d.comms_halo_bytes_per_epoch,
+            balanced.comms_halo_bytes_per_epoch
+        );
+        // Same cuts ⇒ same all-reduce payloads.
+        assert_eq!(one5d.comms_allreduce_bytes_per_epoch, balanced.comms_allreduce_bytes_per_epoch);
+    }
+
+    #[test]
+    fn every_model_trains_on_the_one5d_partition() {
+        let data = Dataset::cora().load(42);
+        for model in [ModelKind::Gcn, ModelKind::Gin, ModelKind::Gat, ModelKind::Sage] {
+            let r = train(
+                &data,
+                &TrainConfig {
+                    shards: 4,
+                    partition: PartitionStrategy::OneP5D { c: 2 },
+                    ..quick_cfg(model, PrecisionMode::HalfGnn, 3)
+                },
+            );
+            assert!(r.nan_epoch.is_none(), "{model:?} NaNed on 1.5D");
+            assert!(
+                r.overflow_per_epoch.iter().all(overflow::Summary::is_clean),
+                "{model:?} overflowed on 1.5D"
+            );
+            assert!(r.comms_bytes_per_epoch > 0, "{model:?} metered no comms");
+        }
+    }
+
+    #[test]
+    fn overlap_beats_serialized_and_the_halo_cache_warms_up() {
+        // Satellite: the overlap model and cache counters surface in the
+        // report. Cache counters are read at the LAST epoch (steady state:
+        // Cora's input features are static, so every halo row hits), while
+        // the timeline snapshot is epoch 0 — the prefetch model must hide
+        // at least one halo under compute on every sharded config.
+        // Note shards 4 for 1.5D: at shards == c the single replication
+        // group owns every row, halo traffic is zero, and there is nothing
+        // left to hide (overlapped == serialized by construction).
+        let data = Dataset::cora().load(42);
+        for (shards, partition) in
+            [(2, PartitionStrategy::DegreeBalanced), (4, PartitionStrategy::OneP5D { c: 2 })]
+        {
+            let r = train(
+                &data,
+                &TrainConfig {
+                    shards,
+                    partition,
+                    ..quick_cfg(ModelKind::Gcn, PrecisionMode::HalfGnn, 3)
+                },
+            );
+            assert!(
+                r.comms_overlapped_us < r.comms_serialized_us,
+                "{partition:?}: overlapped {} must beat serialized {}",
+                r.comms_overlapped_us,
+                r.comms_serialized_us
+            );
+            // Steady state (last epoch): the static input-feature rows are
+            // served locally, while activation/gradient exchanges change
+            // every step and must keep paying wire bytes.
+            assert!(r.halo_cache_hits > 0, "{partition:?}: static features must hit");
+            assert!(r.halo_cache_misses > 0, "{partition:?}: changed rows must refetch");
+            assert!(r.halo_cache_bytes_saved > 0, "{partition:?}");
+        }
+        // Single-device runs have no interconnect and no cache.
+        let single = train(&data, &quick_cfg(ModelKind::Gcn, PrecisionMode::HalfGnn, 2));
+        assert_eq!(single.comms_serialized_us, 0.0);
+        assert_eq!((single.halo_cache_hits, single.halo_cache_misses), (0, 0));
+    }
+
+    #[test]
+    fn replay_is_bit_identical_under_the_one5d_partition() {
+        // Capture/replay × 1.5D: halo gathers always run (the cache only
+        // changes the ledger), so the captured kernel sequence replays
+        // bit-for-bit under the new partition too.
+        let data = Dataset::cora().load(42);
+        let base = TrainConfig {
+            shards: 4,
+            partition: PartitionStrategy::OneP5D { c: 2 },
+            ..quick_cfg(ModelKind::Gcn, PrecisionMode::HalfGnn, 4)
+        };
+        let eager = train(&data, &base);
+        let replay = train(&data, &TrainConfig { replay: true, ..base });
+        assert_eq!(bits(&eager.losses), bits(&replay.losses), "1.5D replay diverged");
+        assert!(replay.replay.is_some());
+    }
+
+    #[test]
     fn odd_class_count_is_padded_for_half() {
         // Cora has 7 classes; half paths pad to 8 and still train.
         let data = Dataset::cora().load(42);
@@ -1524,7 +1723,8 @@ mod minibatch_tests {
     fn invalid_configs_are_rejected_by_name() {
         let ok = TrainConfig::default();
         assert_eq!(ok.validate(), Ok(()));
-        let cases: [(TrainConfig, ConfigError); 5] = [
+        let one5d = PartitionStrategy::OneP5D { c: 2 };
+        let cases: [(TrainConfig, ConfigError); 8] = [
             (
                 TrainConfig { replay: true, batch_size: Some(64), ..ok.clone() },
                 ConfigError::ReplayWithMiniBatch(CaptureRefused::MiniBatchSchedule),
@@ -1539,10 +1739,30 @@ mod minibatch_tests {
                 TrainConfig { batch_size: Some(64), fanout: 0, ..ok.clone() },
                 ConfigError::ZeroFanout,
             ),
+            (
+                TrainConfig { partition: one5d, replication: Some(0), ..ok.clone() },
+                ConfigError::ZeroReplication,
+            ),
+            (
+                TrainConfig { shards: 4, replication: Some(2), ..ok.clone() },
+                ConfigError::ReplicationRequiresOneP5D,
+            ),
+            (
+                TrainConfig { shards: 3, partition: one5d, ..ok.clone() },
+                ConfigError::ReplicationDoesNotDivideShards,
+            ),
         ];
         for (cfg, want) in cases {
             assert_eq!(cfg.validate(), Err(want));
         }
+        // Legal 1.5D configs pass, and --replication folds into the
+        // strategy's factor.
+        let good = TrainConfig { shards: 4, partition: one5d, ..ok.clone() };
+        assert_eq!(good.validate(), Ok(()));
+        let overridden =
+            TrainConfig { shards: 4, partition: one5d, replication: Some(4), ..ok.clone() };
+        assert_eq!(overridden.validate(), Ok(()));
+        assert_eq!(overridden.effective_partition(), PartitionStrategy::OneP5D { c: 4 });
     }
 
     #[test]

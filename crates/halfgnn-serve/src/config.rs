@@ -88,6 +88,9 @@ pub enum ServeConfigError {
     SnapshotModelUnsupported,
     /// The snapshot's parameter count does not match its declared dims.
     SnapshotDimsMismatch,
+    /// `--partition 1p5d` with a shard count the replication factor does
+    /// not divide: replication groups must be whole.
+    ReplicationDoesNotDivideShards,
 }
 
 impl std::fmt::Display for ServeConfigError {
@@ -125,6 +128,9 @@ impl std::fmt::Display for ServeConfigError {
                 "snapshot parameter count does not match its declared dims (torn or \
                  mismatched file?)"
             ),
+            ServeConfigError::ReplicationDoesNotDivideShards => {
+                write!(f, "--partition 1p5d requires --shards divisible by the replication factor")
+            }
         }
     }
 }
@@ -150,6 +156,9 @@ impl ServeConfig {
             return Err(ServeConfigError::ReplayWithDynamicBatch(
                 CaptureRefused::DynamicBatchShape,
             ));
+        }
+        if self.shards > 1 && !self.shards.is_multiple_of(self.partition.replication()) {
+            return Err(ServeConfigError::ReplicationDoesNotDivideShards);
         }
         Ok(())
     }
@@ -184,6 +193,10 @@ mod tests {
                 ServeConfig { replay: true, batch_window: 4, ..base() },
                 ServeConfigError::ReplayWithDynamicBatch(CaptureRefused::DynamicBatchShape),
             ),
+            (
+                ServeConfig { shards: 3, partition: PartitionStrategy::OneP5D { c: 2 }, ..base() },
+                ServeConfigError::ReplicationDoesNotDivideShards,
+            ),
         ];
         for (cfg, want) in cases {
             assert_eq!(cfg.validate(), Err(want.clone()), "{cfg:?}");
@@ -193,6 +206,16 @@ mod tests {
         // Replay with window 1 is the legal capture shape.
         assert_eq!(
             ServeConfig { replay: true, batch_window: 1, ..ServeConfig::default() }.validate(),
+            Ok(())
+        );
+        // 1.5D with a divisible shard count serves fine.
+        assert_eq!(
+            ServeConfig {
+                shards: 4,
+                partition: PartitionStrategy::OneP5D { c: 2 },
+                ..ServeConfig::default()
+            }
+            .validate(),
             Ok(())
         );
     }

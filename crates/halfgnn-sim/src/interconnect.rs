@@ -52,7 +52,7 @@ impl Topology {
 /// The interconnect joining `devices` simulated devices: topology plus
 /// per-link latency and bandwidth (identical links, full duplex — each
 /// direction is its own link).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Interconnect {
     /// Wiring.
     pub topology: Topology,
@@ -62,13 +62,50 @@ pub struct Interconnect {
     pub link_latency_us: f64,
     /// Link bandwidth in bytes per microsecond (per direction).
     pub link_bytes_per_us: f64,
+    /// Hop paths, indexed `src * devices + dst`. Precomputed at
+    /// construction: `route` sits on the per-message hot path of every
+    /// halo exchange and all-reduce, and must not allocate.
+    routes: Vec<Vec<(usize, usize)>>,
+}
+
+/// The hop path from `src` to `dst` as directed `(from, to)` links.
+/// Ring: shorter arc, forward on a tie. Crossbar: one direct hop.
+fn compute_route(topology: Topology, n: usize, src: usize, dst: usize) -> Vec<(usize, usize)> {
+    if src == dst {
+        return Vec::new();
+    }
+    match topology {
+        Topology::AllToAll => vec![(src, dst)],
+        Topology::Ring => {
+            let fwd = (dst + n - src) % n;
+            let bwd = (src + n - dst) % n;
+            let (step, hops) = if fwd <= bwd { (1, fwd) } else { (n - 1, bwd) };
+            let mut path = Vec::with_capacity(hops);
+            let mut at = src;
+            for _ in 0..hops {
+                let next = (at + step) % n;
+                path.push((at, next));
+                at = next;
+            }
+            path
+        }
+    }
 }
 
 impl Interconnect {
     /// NVLink3-like links: 25 GB/s per direction, ~1.75 µs message setup.
     pub fn nvlink_like(devices: usize, topology: Topology) -> Interconnect {
         assert!(devices > 0, "need at least one device");
-        Interconnect { topology, devices, link_latency_us: 1.75, link_bytes_per_us: 25_000.0 }
+        let routes = (0..devices * devices)
+            .map(|i| compute_route(topology, devices, i / devices, i % devices))
+            .collect();
+        Interconnect {
+            topology,
+            devices,
+            link_latency_us: 1.75,
+            link_bytes_per_us: 25_000.0,
+            routes,
+        }
     }
 
     /// Time for one message of `bytes` over one link.
@@ -76,30 +113,11 @@ impl Interconnect {
         self.link_latency_us + bytes as f64 / self.link_bytes_per_us
     }
 
-    /// The hop path from `src` to `dst` as directed `(from, to)` links.
-    /// Ring: shorter arc, forward on a tie. Crossbar: one direct hop.
-    pub fn route(&self, src: usize, dst: usize) -> Vec<(usize, usize)> {
+    /// The hop path from `src` to `dst` as directed `(from, to)` links,
+    /// precomputed at construction (empty when `src == dst`).
+    pub fn route(&self, src: usize, dst: usize) -> &[(usize, usize)] {
         assert!(src < self.devices && dst < self.devices, "device out of range");
-        if src == dst {
-            return Vec::new();
-        }
-        match self.topology {
-            Topology::AllToAll => vec![(src, dst)],
-            Topology::Ring => {
-                let n = self.devices;
-                let fwd = (dst + n - src) % n;
-                let bwd = (src + n - dst) % n;
-                let (step, hops) = if fwd <= bwd { (1, fwd) } else { (n - 1, bwd) };
-                let mut path = Vec::with_capacity(hops);
-                let mut at = src;
-                for _ in 0..hops {
-                    let next = (at + step) % n;
-                    path.push((at, next));
-                    at = next;
-                }
-                path
-            }
-        }
+        &self.routes[src * self.devices + dst]
     }
 }
 
@@ -164,8 +182,7 @@ impl CommsLedger {
         dst: usize,
         bytes: u64,
     ) {
-        let hops = ic.route(src, dst);
-        for (from, to) in hops {
+        for &(from, to) in ic.route(src, dst) {
             self.charge_link(ic, from, to, bytes);
         }
         if src != dst {
@@ -176,16 +193,18 @@ impl CommsLedger {
         }
     }
 
-    /// Charge an all-reduce of `payload` bytes across all devices.
+    /// Charge an all-reduce of `payload` bytes across all devices, and
+    /// return the busiest-link time it added — the collective's modeled
+    /// duration, which [`OverlapTimeline`] logs as an `AllReduce` event.
     ///
     /// Ring: 2(N−1) steps; each step every device sends one `payload/N`
     /// chunk forward, so each directed forward link carries
     /// `2(N−1)·⌈payload/N⌉` in total. Crossbar: direct reduce-scatter +
     /// all-gather, every ordered pair carrying `2·⌈payload/N⌉`.
-    pub fn all_reduce(&mut self, ic: &Interconnect, payload: u64) {
+    pub fn all_reduce(&mut self, ic: &Interconnect, payload: u64) -> f64 {
         let n = ic.devices;
         if n <= 1 || payload == 0 {
-            return;
+            return 0.0;
         }
         let chunk = payload.div_ceil(n as u64);
         match ic.topology {
@@ -197,6 +216,7 @@ impl CommsLedger {
                         self.allreduce_bytes += chunk;
                     }
                 }
+                2.0 * (n - 1) as f64 * ic.link_time_us(chunk)
             }
             Topology::AllToAll => {
                 for src in 0..n {
@@ -209,6 +229,7 @@ impl CommsLedger {
                         }
                     }
                 }
+                2.0 * ic.link_time_us(chunk)
             }
         }
     }
@@ -227,6 +248,112 @@ impl CommsLedger {
     /// Per-link breakdown, sorted by `(from, to)`.
     pub fn link_stats(&self) -> Vec<((usize, usize), LinkStat)> {
         self.links.iter().map(|(&k, v)| (k, v.clone())).collect()
+    }
+}
+
+/// One entry in a device's per-epoch activity stream, in program order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CommEvent {
+    /// Modeled kernel time between communication points.
+    Compute(f64),
+    /// A halo exchange's wire time on this device (per-owner receives,
+    /// serialized).
+    Halo(f64),
+    /// This device's share of a gradient all-reduce. A barrier: the
+    /// optimizer step needs the reduced values, so nothing hides it.
+    AllReduce(f64),
+}
+
+impl CommEvent {
+    fn time_us(self) -> f64 {
+        match self {
+            CommEvent::Compute(t) | CommEvent::Halo(t) | CommEvent::AllReduce(t) => t,
+        }
+    }
+}
+
+/// Per-device event streams for one epoch, and the two epoch-time models
+/// computed over them (DESIGN.md §16).
+///
+/// * [`serialized_us`](Self::serialized_us) — every device runs compute
+///   and communication strictly in program order (today's conservative
+///   model).
+/// * [`overlapped_us`](Self::overlapped_us) — double-buffered halo
+///   prefetch: an exchange's wire time hides under the compute since the
+///   previous exchange, because its source values already exist when that
+///   compute starts. The epoch's first exchange has nothing to hide under
+///   and all-reduces are barriers, so the bound stays honest.
+///
+/// Both are *asserted* metrics: `overlapped_us <= serialized_us` always,
+/// strictly `<` whenever any non-first halo follows nonzero compute.
+#[derive(Clone, Debug, Default)]
+pub struct OverlapTimeline {
+    events: Vec<Vec<CommEvent>>,
+}
+
+impl OverlapTimeline {
+    /// Empty timeline over `devices` devices.
+    pub fn new(devices: usize) -> OverlapTimeline {
+        OverlapTimeline { events: vec![Vec::new(); devices] }
+    }
+
+    /// Drop all events (per-epoch reuse).
+    pub fn reset(&mut self) {
+        for evs in &mut self.events {
+            evs.clear();
+        }
+    }
+
+    /// Append an event to `device`'s stream.
+    pub fn log(&mut self, device: usize, ev: CommEvent) {
+        self.events[device].push(ev);
+    }
+
+    /// The events logged for `device`, in program order.
+    pub fn events(&self, device: usize) -> &[CommEvent] {
+        &self.events[device]
+    }
+
+    /// Epoch time with comms fully serialized against compute: the
+    /// slowest device's total stream.
+    pub fn serialized_us(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|evs| evs.iter().map(|ev| ev.time_us()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Epoch time under double-buffered halo prefetch: per device, total
+    /// compute plus only the *exposed* communication — each halo's time
+    /// less the compute accumulated since the previous communication
+    /// point, floored at zero. Max over devices.
+    pub fn overlapped_us(&self) -> f64 {
+        self.events
+            .iter()
+            .map(|evs| {
+                let mut total = 0.0f64;
+                let mut window = 0.0f64; // compute since the last comm point
+                let mut first_halo = true;
+                for ev in evs {
+                    match *ev {
+                        CommEvent::Compute(t) => {
+                            total += t;
+                            window += t;
+                        }
+                        CommEvent::Halo(t) => {
+                            total += if first_halo { t } else { (t - window).max(0.0) };
+                            first_halo = false;
+                            window = 0.0;
+                        }
+                        CommEvent::AllReduce(t) => {
+                            total += t;
+                            window = 0.0;
+                        }
+                    }
+                }
+                total
+            })
+            .fold(0.0, f64::max)
     }
 }
 
@@ -310,6 +437,63 @@ mod tests {
         l.message(&ic, TrafficClass::Halo, 0, 0, 1 << 20);
         assert_eq!(l.total_bytes(), 0);
         assert_eq!(l.halo_bytes, 0);
+    }
+
+    #[test]
+    fn allreduce_returns_its_busiest_link_time() {
+        for (topo, steps) in [(Topology::Ring, 6.0), (Topology::AllToAll, 2.0)] {
+            let ic = Interconnect::nvlink_like(4, topo);
+            let mut l = CommsLedger::new();
+            let t = l.all_reduce(&ic, 4000);
+            let want = steps * ic.link_time_us(1000);
+            assert!((t - want).abs() < 1e-9, "{topo:?}: {t} != {want}");
+            assert!((l.total_time_us() - want).abs() < 1e-9, "{topo:?} ledger agrees");
+        }
+        let ic = Interconnect::nvlink_like(1, Topology::Ring);
+        assert_eq!(CommsLedger::new().all_reduce(&ic, 4000), 0.0);
+    }
+
+    #[test]
+    fn overlap_hides_halo_time_under_preceding_compute() {
+        let mut t = OverlapTimeline::new(2);
+        // Device 0: halo(4) compute(10) halo(6) compute(10) allreduce(5).
+        t.log(0, CommEvent::Halo(4.0));
+        t.log(0, CommEvent::Compute(10.0));
+        t.log(0, CommEvent::Halo(6.0));
+        t.log(0, CommEvent::Compute(10.0));
+        t.log(0, CommEvent::AllReduce(5.0));
+        // Device 1 is idle apart from the barrier.
+        t.log(1, CommEvent::AllReduce(5.0));
+        assert!((t.serialized_us() - 35.0).abs() < 1e-12);
+        // The 6 µs halo hides entirely under the 10 µs window; the first
+        // halo (4 µs) and the barrier (5 µs) stay exposed.
+        assert!((t.overlapped_us() - 29.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_exposes_the_residual_when_the_window_is_short() {
+        let mut t = OverlapTimeline::new(1);
+        t.log(0, CommEvent::Halo(4.0));
+        t.log(0, CommEvent::Compute(2.0));
+        t.log(0, CommEvent::Halo(7.0)); // only 2 µs hides: 5 exposed
+        t.log(0, CommEvent::Compute(1.0));
+        assert!((t.serialized_us() - 14.0).abs() < 1e-12);
+        assert!((t.overlapped_us() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_never_beats_serialized_and_reset_clears() {
+        let mut t = OverlapTimeline::new(3);
+        for d in 0..3 {
+            t.log(d, CommEvent::Halo(1.0 + d as f64));
+            t.log(d, CommEvent::Compute(2.0 * d as f64));
+            t.log(d, CommEvent::Halo(3.0));
+        }
+        assert!(t.overlapped_us() <= t.serialized_us());
+        t.reset();
+        assert_eq!(t.serialized_us(), 0.0);
+        assert_eq!(t.overlapped_us(), 0.0);
+        assert!(t.events(0).is_empty());
     }
 
     #[test]

@@ -50,7 +50,9 @@ pub mod warp;
 pub use config::{CostModel, DeviceConfig};
 pub use counters::{KernelStats, WarpCounters};
 pub use exec::{ExecMode, Executor, FastExecutor, SimExecutor};
-pub use interconnect::{CommsLedger, Interconnect, LinkStat, Topology, TrafficClass};
+pub use interconnect::{
+    CommEvent, CommsLedger, Interconnect, LinkStat, OverlapTimeline, Topology, TrafficClass,
+};
 pub use latency::{latency_stats, synth_trace, LatencyStats, Request, RequestTiming, TraceConfig};
 pub use launch::{launch, Cta, LaunchParams};
 pub use warp::{AtomicKind, WarpCtx};

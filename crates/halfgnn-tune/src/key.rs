@@ -10,6 +10,7 @@
 //! power-law.
 
 use halfgnn_graph::metrics::DegreeStats;
+use halfgnn_graph::partition::PartitionStrategy;
 use halfgnn_kernels::common::ScalePlacement;
 use std::fmt;
 
@@ -150,6 +151,11 @@ pub struct KernelKey {
     /// per-shard row windows change the work geometry every launch sees,
     /// so a plan tuned single-device must not leak into an 8-way run.
     pub shards: usize,
+    /// Partition strategy the dispatch's row windows come from. Different
+    /// strategies cut the graph at different boundaries (Contiguous splits
+    /// rows evenly, DegreeBalanced/1.5D split edges evenly), so a plan
+    /// tuned under one set of windows must not alias another's slot.
+    pub partition: PartitionStrategy,
 }
 
 impl KernelKey {
@@ -174,12 +180,21 @@ impl KernelKey {
             cv: CvBucket::of(stats.cv),
             scaling,
             shards: 1,
+            partition: PartitionStrategy::Contiguous,
         }
     }
 
     /// Key the plan to a shard count (single-device keys stay `s1`).
     pub fn with_shards(mut self, shards: usize) -> KernelKey {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Key the plan to a partition strategy. Contiguous is the default and
+    /// encodes to the legacy 9-part wire form, so every pre-existing cache
+    /// entry keeps its slot.
+    pub fn with_partition(mut self, partition: PartitionStrategy) -> KernelKey {
+        self.partition = partition;
         self
     }
 
@@ -192,9 +207,19 @@ impl KernelKey {
         }
     }
 
+    /// Wire segment for a non-default partition (`None` for Contiguous so
+    /// default keys keep the legacy 9-part form).
+    fn partition_segment(&self) -> Option<String> {
+        match self.partition {
+            PartitionStrategy::Contiguous => None,
+            PartitionStrategy::DegreeBalanced => Some("pbalanced".to_string()),
+            PartitionStrategy::OneP5D { c } => Some(format!("p1p5dc{c}")),
+        }
+    }
+
     /// Stable wire form (the JSON key in the plan cache).
     pub fn encode(&self) -> String {
-        format!(
+        let mut s = format!(
             "{}/{}/f{}/r{}/z{}/d{}/{}/{}/s{}",
             self.op.tag(),
             self.dtype.tag(),
@@ -205,15 +230,22 @@ impl KernelKey {
             self.cv.tag(),
             self.scaling_tag(),
             self.shards
-        )
+        );
+        if let Some(seg) = self.partition_segment() {
+            s.push('/');
+            s.push_str(&seg);
+        }
+        s
     }
 
     /// Parse the wire form back; `None` on anything malformed. Legacy
     /// 8-part keys (written before sharding existed) decode with
-    /// `shards = 1` — exactly the dispatch they were tuned under.
+    /// `shards = 1`, and 9-part keys (written before the partition
+    /// dimension) decode as Contiguous — exactly the dispatch they were
+    /// tuned under.
     pub fn decode(s: &str) -> Option<KernelKey> {
         let parts: Vec<&str> = s.split('/').collect();
-        if parts.len() != 8 && parts.len() != 9 {
+        if !(8..=10).contains(&parts.len()) {
             return None;
         }
         let num = |p: &str, prefix: char| -> Option<u64> { p.strip_prefix(prefix)?.parse().ok() };
@@ -226,6 +258,17 @@ impl KernelKey {
                 n
             }
             None => 1,
+        };
+        let partition = match parts.get(9) {
+            None => PartitionStrategy::Contiguous,
+            Some(&"pbalanced") => PartitionStrategy::DegreeBalanced,
+            Some(p) => {
+                let c: usize = p.strip_prefix("p1p5dc")?.parse().ok()?;
+                if c == 0 {
+                    return None;
+                }
+                PartitionStrategy::OneP5D { c }
+            }
         };
         Some(KernelKey {
             op: OpKind::from_tag(parts[0])?,
@@ -243,6 +286,7 @@ impl KernelKey {
                 _ => return None,
             },
             shards,
+            partition,
         })
     }
 }
@@ -412,6 +456,10 @@ mod tests {
             "spmmv/f16/f64/r10/z13/d3/uni/disc/x2",
             "spmmv/f16/f64/r10/z13/d3/uni/disc/s0",
             "spmmv/f16/f64/r10/z13/d3/uni/disc/sten",
+            "spmmv/f16/f64/r10/z13/d3/uni/disc/s2/pcontiguous",
+            "spmmv/f16/f64/r10/z13/d3/uni/disc/s2/p1p5dc0",
+            "spmmv/f16/f64/r10/z13/d3/uni/disc/s2/p1p5dctwo",
+            "spmmv/f16/f64/r10/z13/d3/uni/disc/s2/pbalanced/extra",
         ] {
             assert_eq!(KernelKey::decode(bad), None, "{bad:?}");
         }
@@ -444,6 +492,54 @@ mod tests {
         let k = KernelKey::decode(legacy).expect("legacy 8-part keys stay decodable");
         assert_eq!(k.shards, 1);
         assert_eq!(k, KernelKey::decode(&k.encode()).unwrap(), "re-encode normalizes to /s1");
+    }
+
+    #[test]
+    fn partition_keys_round_trip_and_default_partition_stays_nine_part() {
+        use halfgnn_graph::partition::PartitionStrategy;
+        let stats = DegreeStats {
+            min: 1,
+            max: 32,
+            mean: 8.0,
+            median: 8,
+            gini: 0.2,
+            top1pct_edge_share: 0.05,
+            cv: 0.5,
+            max_mean_skew: 4.0,
+        };
+        let base = KernelKey::for_graph(
+            OpKind::SpmmV,
+            Dtype::Half,
+            64,
+            1024,
+            8192,
+            &stats,
+            ScalePlacement::Discretized,
+        )
+        .with_shards(4);
+        // The default (Contiguous) keeps the legacy 9-part wire form, so
+        // pre-existing cache entries keep their slots.
+        assert_eq!(base.partition, PartitionStrategy::Contiguous);
+        assert!(base.encode().ends_with("/s4"));
+        // Non-default partitions get their own slot and round-trip.
+        for p in [
+            PartitionStrategy::DegreeBalanced,
+            PartitionStrategy::OneP5D { c: 1 },
+            PartitionStrategy::OneP5D { c: 2 },
+        ] {
+            let k = base.with_partition(p);
+            assert_ne!(k.encode(), base.encode(), "{k}");
+            assert_eq!(KernelKey::decode(&k.encode()), Some(k), "{k}");
+        }
+        // Replication factors are distinct slots: c=1 and c=2 run the same
+        // windows today, but the key is the strategy, not its geometry.
+        assert_ne!(
+            base.with_partition(PartitionStrategy::OneP5D { c: 1 }).encode(),
+            base.with_partition(PartitionStrategy::OneP5D { c: 2 }).encode(),
+        );
+        // with_partition(Contiguous) re-normalizes to the 9-part form.
+        let k = base.with_partition(PartitionStrategy::DegreeBalanced);
+        assert_eq!(k.with_partition(PartitionStrategy::Contiguous).encode(), base.encode());
     }
 
     #[test]

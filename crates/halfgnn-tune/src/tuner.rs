@@ -24,6 +24,7 @@ use crate::key::{Dtype, KernelKey, OpKind};
 use crate::plan::{AttnPlan, KernelPlan, SddmmPlan, SpmmPlan, SpmmVariant};
 use crate::sample::stratified_sample;
 use halfgnn_graph::metrics::degree_stats;
+use halfgnn_graph::partition::PartitionStrategy;
 use halfgnn_graph::{Coo, Csr};
 use halfgnn_half::slice::f32_slice_to_half;
 use halfgnn_half::{overflow, Half};
@@ -76,6 +77,7 @@ pub struct Tuner {
     tol: Tolerance,
     seed: u64,
     shards: usize,
+    partition: PartitionStrategy,
 }
 
 impl Tuner {
@@ -93,6 +95,7 @@ impl Tuner {
             tol: Tolerance::half_default(),
             seed: 0x7A1F,
             shards: 1,
+            partition: PartitionStrategy::Contiguous,
         }
     }
 
@@ -124,6 +127,15 @@ impl Tuner {
     /// launches (or vice versa).
     pub fn with_shards(mut self, shards: usize) -> Tuner {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Key every resolved plan to a partition strategy: different
+    /// strategies cut different row windows, so their plans must not
+    /// share cache slots. Contiguous (the default) keys identically to
+    /// pre-partition-dimension caches.
+    pub fn with_partition(mut self, partition: PartitionStrategy) -> Tuner {
+        self.partition = partition;
         self
     }
 
@@ -161,7 +173,8 @@ impl Tuner {
         let op = if weighted { OpKind::SpmmVe } else { OpKind::SpmmV };
         let key =
             KernelKey::for_graph(op, Dtype::Half, f, csr.num_rows(), csr.nnz(), &stats, scaling)
-                .with_shards(self.shards);
+                .with_shards(self.shards)
+                .with_partition(self.partition);
         if let Some(KernelPlan::Spmm(p)) = self.cache.borrow_mut().get(&key) {
             return p;
         }
@@ -194,7 +207,8 @@ impl Tuner {
             &stats,
             ScalePlacement::None,
         )
-        .with_shards(self.shards);
+        .with_shards(self.shards)
+        .with_partition(self.partition);
         if let Some(KernelPlan::Sddmm(p)) = self.cache.borrow_mut().get(&key) {
             return p;
         }
@@ -233,7 +247,8 @@ impl Tuner {
             &stats,
             ScalePlacement::None,
         )
-        .with_shards(self.shards);
+        .with_shards(self.shards)
+        .with_partition(self.partition);
         if let Some(KernelPlan::Attn(p)) = self.cache.borrow_mut().get(&key) {
             return p;
         }

@@ -24,7 +24,7 @@ fn usage() -> ! {
         "usage: halfgnn-serve --dataset <id|name> [--snapshot PATH] \
          [--precision float|halfgnn] [--hops N] [--batch-window N] \
          [--cache-kb N] [--cache-precision f16|f32] [--shards N] \
-         [--topology ring|alltoall] [--partition contiguous|balanced] \
+         [--topology ring|alltoall] [--partition contiguous|balanced|1p5d] \
          [--replay] [--tuning] [--requests N] [--mean-gap-us F] \
          [--hot-fraction F] [--hot-vertices N] [--trace-seed N] \
          [--epochs N] [--hidden N] (quick-train when no --snapshot)"
@@ -88,7 +88,7 @@ fn main() {
             }
             "--partition" => {
                 cfg.partition = PartitionStrategy::parse(val()).unwrap_or_else(|| {
-                    eprintln!("unknown partition strategy (want contiguous|balanced)");
+                    eprintln!("unknown partition strategy (want contiguous|balanced|1p5d)");
                     usage()
                 })
             }

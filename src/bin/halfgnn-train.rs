@@ -18,7 +18,8 @@ fn usage() -> ! {
          [--precision float|halfnaive|halfgnn|nodiscretize] [--epochs N] \
          [--lr F] [--hidden N] [--seed N] [--norm right|left|both] [--gin-lambda F] \
          [--loss-scale F] [--tuning off|auto|cached:<path>] [--fusion] \
-         [--shards N] [--topology ring|alltoall] [--partition contiguous|balanced] \
+         [--shards N] [--topology ring|alltoall] \
+         [--partition contiguous|balanced|1p5d] [--replication N] \
          [--replay] [--batch-size N] [--fanout N] [--stream-edges N] \
          [--save-snapshot PATH]"
     );
@@ -106,9 +107,15 @@ fn main() {
             }
             "--partition" => {
                 cfg.partition = PartitionStrategy::parse(val()).unwrap_or_else(|| {
-                    eprintln!("unknown partition strategy (want contiguous|balanced)");
+                    eprintln!("unknown partition strategy (want contiguous|balanced|1p5d)");
                     usage()
                 })
+            }
+            "--replication" => {
+                cfg.replication = Some(val().parse().unwrap_or_else(|_| {
+                    eprintln!("unknown replication value (want a positive integer)");
+                    usage()
+                }))
             }
             "--save-snapshot" => cfg.snapshot_path = Some(val().to_string()),
             "--batch-size" => cfg.batch_size = Some(val().parse().unwrap_or_else(|_| usage())),
@@ -218,6 +225,20 @@ fn main() {
             report.comms_time_us_per_epoch,
             cfg.shards,
             cfg.topology.tag()
+        );
+        println!(
+            "comms overlap  : {:.1} us serialized -> {:.1} us overlapped \
+             (halo prefetch hides {:.1} us)",
+            report.comms_serialized_us,
+            report.comms_overlapped_us,
+            report.comms_serialized_us - report.comms_overlapped_us
+        );
+        println!(
+            "halo cache     : {} hits, {} misses, {:.2} MiB wire bytes saved \
+             (steady state)",
+            report.halo_cache_hits,
+            report.halo_cache_misses,
+            report.halo_cache_bytes_saved as f64 / 1048576.0
         );
         for ((from, to), s) in report.link_breakdown.iter().take(8) {
             println!(

@@ -33,6 +33,85 @@ fn unknown_partition_strategy_is_rejected_with_a_clear_error() {
 }
 
 #[test]
+fn replication_misuses_are_rejected_with_named_errors() {
+    for (args, needle) in [
+        // Not a number at all: flag-level parse failure.
+        (
+            vec!["--dataset", "cora", "--replication", "two"],
+            "unknown replication value (want a positive integer)",
+        ),
+        // Parses, but zero replicates nothing.
+        (
+            vec!["--dataset", "cora", "--partition", "1p5d", "--replication", "0"],
+            "--replication must be at least 1",
+        ),
+        // Replication only means something under the 1.5D partition.
+        (
+            vec!["--dataset", "cora", "--shards", "4", "--replication", "2"],
+            "--replication requires --partition 1p5d",
+        ),
+        // Replication groups must be whole: 3 shards cannot hold c = 2.
+        (
+            vec!["--dataset", "cora", "--shards", "3", "--partition", "1p5d"],
+            "--shards divisible by the replication factor",
+        ),
+    ] {
+        let out = run(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {}", stderr(&out));
+        let err = stderr(&out);
+        assert!(err.contains(needle), "{args:?} missing {needle:?}: {err}");
+        assert!(!err.contains("panicked"), "{args:?} must not panic: {err}");
+    }
+}
+
+#[test]
+fn usage_lists_the_one5d_partition_and_replication() {
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("--replication"), "usage must document --replication: {err}");
+    assert!(err.contains("1p5d"), "usage must document the 1p5d partition: {err}");
+}
+
+#[test]
+fn one5d_training_runs_and_reports_overlap_and_the_halo_cache() {
+    let out = run(&[
+        "--dataset",
+        "cora",
+        "--model",
+        "gcn",
+        "--precision",
+        "halfgnn",
+        "--epochs",
+        "2",
+        "--shards",
+        "4",
+        "--partition",
+        "1p5d",
+        "--replication",
+        "2",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("comms/epoch"), "missing comms line: {stdout}");
+    assert!(stdout.contains("comms overlap"), "missing overlap line: {stdout}");
+    assert!(stdout.contains("overlapped"), "missing overlapped time: {stdout}");
+    assert!(stdout.contains("halo cache"), "missing halo-cache line: {stdout}");
+}
+
+#[test]
+fn serve_rejects_indivisible_one5d_shards() {
+    let out = run_serve(&["--dataset", "cora", "--shards", "3", "--partition", "1p5d"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(
+        err.contains("--shards divisible by the replication factor"),
+        "must name the divisibility rule: {err}"
+    );
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+}
+
+#[test]
 fn unknown_topology_is_rejected_with_a_clear_error() {
     let out = run(&["--dataset", "cora", "--shards", "2", "--topology", "torus"]);
     assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));

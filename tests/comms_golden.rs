@@ -121,6 +121,41 @@ fn f32_allreduce_trace_matches_the_closed_form() {
     }
 }
 
+/// The 1.5D wire charge on the same fixture, worked by hand. At c = 2 the
+/// two shards form one replication group, every halo row is in-group, and
+/// the halo exchange charges **zero** bytes — the fully-replicated
+/// degenerate corner of the 1.5D family. At c = 1 the group structure is
+/// trivial and the charge is exactly the 1D trace (24 B per directed link
+/// in half). Kernels and halos are untouched either way.
+#[test]
+fn one5d_halo_charges_match_the_hand_computed_group_union() {
+    let dev = DeviceConfig::a100_like();
+    let xf: Vec<f32> = (0..6 * F).map(|i| i as f32 * 0.125).collect();
+    let xh = f32_slice_to_half(&xf);
+    let csr =
+        Csr::from_edges(6, 6, &[(0, 3), (2, 4), (3, 1), (5, 2)]).symmetrized_with_self_loops();
+
+    for (c, want_bytes) in [(1usize, 48u64), (2, 0)] {
+        let ctx = DistCtx::new(&csr, 2, PartitionStrategy::OneP5D { c }, Topology::Ring);
+        // Same halos as the 1D fixture — replication moves charges, not
+        // data dependencies.
+        assert_eq!(ctx.plan.shards[0].halo, vec![3, 4, 5]);
+        assert_eq!(ctx.plan.shards[1].halo, vec![0, 1, 2]);
+        let mut ops = Ops::new(&dev);
+        for shard in &ctx.plan.shards {
+            ctx.exchange_halo_half(&mut ops, &xh, F, shard);
+        }
+        let ledger = ctx.snapshot();
+        assert_eq!(ledger.halo_bytes, want_bytes, "c={c}");
+        if c == 2 {
+            assert!(ledger.link_stats().is_empty(), "no wire messages at c=2");
+            // Every halo row is in-group: nothing to cache either.
+            let s = ctx.halo_cache_stats();
+            assert_eq!((s.hits, s.misses), (0, 0));
+        }
+    }
+}
+
 /// The same gradient on the f16 wire: 2 B/element halves every number in
 /// the f32 trace (200 B payload, 100 B chunks, 400 B class total) — and
 /// the reduced values still come back correct through the discretized

@@ -35,8 +35,14 @@ use proptest::prelude::*;
 
 const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 
-fn strategies() -> [PartitionStrategy; 2] {
-    [PartitionStrategy::Contiguous, PartitionStrategy::DegreeBalanced]
+fn strategies() -> [PartitionStrategy; 3] {
+    [
+        PartitionStrategy::Contiguous,
+        PartitionStrategy::DegreeBalanced,
+        // c = 1 divides every shard count in SHARD_COUNTS; the c = 2 grid
+        // gets its own dedicated property below.
+        PartitionStrategy::OneP5D { c: 1 },
+    ]
 }
 
 /// Arbitrary symmetrized graph + feature width + f32 features.
@@ -235,6 +241,71 @@ proptest! {
                         reference::close(*got as f64, want as f64, 0.05, 0.05),
                         "half grads: {got} vs {want} (shards={shards}, {strategy:?})"
                     );
+                }
+            }
+        }
+    }
+
+    /// 1.5D is the tentpole's cost transformation: it shares the
+    /// DegreeBalanced boundaries, kernel windows and halos exactly — so
+    /// the float step is bitwise the single-device step at every shard
+    /// count, replication factor and topology — while the replication
+    /// groups fetch each out-of-group halo row once, so wire bytes never
+    /// exceed 1D's.
+    #[test]
+    fn one5d_step_is_bitwise_and_never_moves_more_bytes_than_1d(
+        (csr, f, feats) in arb_graph()
+    ) {
+        let dev = DeviceConfig::a100_like();
+        let g = GraphView::full(&csr);
+        let classes = 3;
+        let (labels, mask) = labels_and_mask(g.n(), classes);
+        let p = TwoLayerParams::new(f, 4, classes, 7);
+        let d1 = Dispatch::untuned(PrecisionMode::Float);
+
+        let mut ops = Ops::new(&dev);
+        let want = gcn::step_f32_norm(&mut ops, &g, &p, &feats, &labels, &mask, d1, GcnNorm::Right);
+
+        for shards in [2usize, 4, 8] {
+            for c in [1usize, 2] {
+                for topology in [Topology::Ring, Topology::AllToAll] {
+                    let ctx =
+                        DistCtx::new(&g.csr, shards, PartitionStrategy::OneP5D { c }, topology);
+                    let bal =
+                        DistCtx::new(&g.csr, shards, PartitionStrategy::DegreeBalanced, topology);
+
+                    // Same cuts, same halos: replication changes who pays
+                    // for a halo row, never which rows are halo.
+                    prop_assert_eq!(ctx.plan.replication, c);
+                    for (s15, s1d) in ctx.plan.shards.iter().zip(&bal.plan.shards) {
+                        prop_assert_eq!(s15.row_range, s1d.row_range);
+                        prop_assert_eq!(&s15.halo, &s1d.halo);
+                    }
+
+                    let got = gcn::step_f32_norm(
+                        &mut ops, &g, &p, &feats, &labels, &mask,
+                        d1.with_dist(Some(&ctx)), GcnNorm::Right,
+                    );
+                    prop_assert_eq!(got.loss.to_bits(), want.loss.to_bits());
+                    prop_assert_eq!(&got.logits, &want.logits);
+                    prop_assert_eq!(&got.grads.flat(), &want.grads.flat());
+
+                    let _ = gcn::step_f32_norm(
+                        &mut ops, &g, &p, &feats, &labels, &mask,
+                        d1.with_dist(Some(&bal)), GcnNorm::Right,
+                    );
+                    let (s15, s1d) = (ctx.snapshot(), bal.snapshot());
+                    prop_assert!(
+                        s15.halo_bytes <= s1d.halo_bytes,
+                        "1.5D halo {} > 1D halo {} (shards={}, c={})",
+                        s15.halo_bytes, s1d.halo_bytes, shards, c
+                    );
+                    // c = 1 degenerates to exactly the 1D wire charge.
+                    if c == 1 {
+                        prop_assert_eq!(s15.halo_bytes, s1d.halo_bytes);
+                    }
+                    // The gradient all-reduce is partition-independent.
+                    prop_assert_eq!(s15.allreduce_bytes, s1d.allreduce_bytes);
                 }
             }
         }
