@@ -1,0 +1,325 @@
+//! `bench_pr10` — INT8 quantized wire + kernel path.
+//!
+//! One sweep on the modeled A100: GCN and SAGE on the G1-class graph
+//! (Cora) plus GCN on G3 (Pubmed-class), `--precision i8` against the
+//! f16 HalfGNN baseline, then every sharded wire config, then the tuner's
+//! oracle gate.
+//!
+//! Hard gates, asserted not observed:
+//!
+//! * accuracy: every I8 run lands within ε = 0.08 of its f16
+//!   counterpart's test accuracy with no NaN epoch — the 1-byte wire and
+//!   stochastic rounding cost bandwidth, not convergence;
+//! * saturation: zero *unflagged* saturation events — every epoch whose
+//!   summary counts a clamp or non-finite input must carry first-event
+//!   provenance, and the baseline f16 runs must quantize nothing;
+//! * wire: on every sharded config (1D contiguous/balanced, 1.5D at
+//!   c = 1 and c = 2), halo and all-reduce bytes are exactly 0.5× the
+//!   f16 ledger — the i8 and f16 pipelines move the same elements, so
+//!   the ratio is a byte-width identity. Against float the end-to-end
+//!   ratios land within 5% of 0.25×: the half pipeline pads Cora's 7
+//!   classes to 8 where float does not, so the gradient-side wires carry
+//!   slightly different element counts by design. (The exact 0.25× at
+//!   matched element counts is pinned per-exchange by the
+//!   `shard_equivalence` proptests.);
+//! * tuner: `spmm_i8_plan` yields a plan the f64 oracle confirms clean
+//!   on the bench graph, and under a 6-octave exponent-bias stress every
+//!   candidate saturates and the tuner selects nothing — it never ships
+//!   an oracle-dirty I8 plan.
+//!
+//! Emits `BENCH_pr10.json` in the current directory; run from the repo
+//! root.
+
+use halfgnn_graph::datasets::Dataset;
+use halfgnn_graph::partition::PartitionStrategy;
+use halfgnn_half::quant;
+use halfgnn_nn::trainer::{train_on, ModelKind, PrecisionMode, TrainConfig};
+use halfgnn_sim::interconnect::Topology;
+use halfgnn_sim::DeviceConfig;
+use halfgnn_tune::Tuner;
+
+const EPS: f32 = 0.08;
+
+struct AccRow {
+    graph: &'static str,
+    model: ModelKind,
+    f16_accuracy: f32,
+    i8_accuracy: f32,
+    quantized: u64,
+    saturated: u64,
+}
+
+struct WireRow {
+    shards: usize,
+    partition: &'static str,
+    i8_halo: u64,
+    f16_halo: u64,
+    f32_halo: u64,
+    i8_allreduce: u64,
+    f16_allreduce: u64,
+    f32_allreduce: u64,
+}
+
+fn model_tag(m: ModelKind) -> &'static str {
+    match m {
+        ModelKind::Gcn => "gcn",
+        ModelKind::Gat => "gat",
+        ModelKind::Gin => "gin",
+        ModelKind::Sage => "sage",
+    }
+}
+
+/// Gate: a saturation summary may count flagged events only with
+/// first-event provenance attached; silent clamps are a bug.
+fn assert_flagged_events_carry_provenance(tag: &str, report: &halfgnn_nn::trainer::TrainReport) {
+    for (ep, s) in report.saturation_per_epoch.iter().enumerate() {
+        assert!(
+            s.flagged() == 0 || s.first.is_some(),
+            "{tag}: epoch {ep} counts {} flagged quantizations without provenance",
+            s.flagged()
+        );
+    }
+}
+
+fn main() {
+    let dev = DeviceConfig::a100_like();
+    let mut acc_rows: Vec<AccRow> = Vec::new();
+
+    // Gate 1 + 2: accuracy within ε of f16, saturation fully flagged.
+    for (gid, models) in
+        [("G1", &[ModelKind::Gcn, ModelKind::Sage][..]), ("G3", &[ModelKind::Gcn][..])]
+    {
+        let data = Dataset::by_id(gid).expect("graph in registry").load(42);
+        for &model in models {
+            let base = TrainConfig {
+                model,
+                epochs: 20,
+                hidden: 16,
+                lr: 0.02,
+                seed: 3,
+                ..TrainConfig::default()
+            };
+            let f16 = train_on(
+                &dev,
+                &data,
+                &TrainConfig { precision: PrecisionMode::HalfGnn, ..base.clone() },
+            );
+            let i8 = train_on(
+                &dev,
+                &data,
+                &TrainConfig { precision: PrecisionMode::I8, ..base.clone() },
+            );
+
+            assert!(i8.nan_epoch.is_none(), "{gid}/{model:?}: I8 NaN epoch");
+            assert!(
+                (f16.test_accuracy - i8.test_accuracy).abs() < EPS,
+                "{gid}/{model:?}: f16 {} vs i8 {}",
+                f16.test_accuracy,
+                i8.test_accuracy
+            );
+            assert_flagged_events_carry_provenance(&format!("{gid}/{model:?}"), &i8);
+            let quantized: u64 = i8.saturation_per_epoch.iter().map(|s| s.quantized).sum();
+            let saturated: u64 = i8.saturation_per_epoch.iter().map(|s| s.flagged()).sum();
+            assert!(quantized > 0, "{gid}/{model:?}: the I8 path never quantized");
+            assert!(
+                f16.saturation_per_epoch.iter().all(|s| s.quantized == 0),
+                "{gid}/{model:?}: f16 baseline touched the quantizer"
+            );
+            acc_rows.push(AccRow {
+                graph: gid,
+                model,
+                f16_accuracy: f16.test_accuracy,
+                i8_accuracy: i8.test_accuracy,
+                quantized,
+                saturated,
+            });
+        }
+    }
+
+    // A non-default block size must train just as well (the joint-exponent
+    // bucket of the gradient wire is a knob, not a correctness risk).
+    {
+        let data = Dataset::by_id("G1").expect("G1 in registry").load(42);
+        let cfg = TrainConfig {
+            model: ModelKind::Gcn,
+            precision: PrecisionMode::I8,
+            i8_block: Some(128),
+            epochs: 20,
+            hidden: 16,
+            lr: 0.02,
+            seed: 3,
+            ..TrainConfig::default()
+        };
+        let r = train_on(&dev, &data, &cfg);
+        assert!(r.nan_epoch.is_none(), "i8-block 128: NaN epoch");
+        let f16_gcn = acc_rows
+            .iter()
+            .find(|r| r.graph == "G1" && r.model == ModelKind::Gcn)
+            .expect("G1/GCN row");
+        assert!(
+            (f16_gcn.f16_accuracy - r.test_accuracy).abs() < EPS,
+            "i8-block 128: f16 {} vs i8 {}",
+            f16_gcn.f16_accuracy,
+            r.test_accuracy
+        );
+    }
+
+    // Gate 3: wire bytes on every sharded config.
+    let data = Dataset::by_id("G1").expect("G1 in registry").load(42);
+    let mut wire_rows: Vec<WireRow> = Vec::new();
+    let mut configs: Vec<(usize, PartitionStrategy, &'static str)> = vec![
+        (2, PartitionStrategy::Contiguous, "contiguous"),
+        (2, PartitionStrategy::DegreeBalanced, "balanced"),
+        (2, PartitionStrategy::OneP5D { c: 1 }, "1p5d-c1"),
+        (4, PartitionStrategy::Contiguous, "contiguous"),
+        (4, PartitionStrategy::DegreeBalanced, "balanced"),
+        (4, PartitionStrategy::OneP5D { c: 1 }, "1p5d-c1"),
+    ];
+    configs.push((4, PartitionStrategy::OneP5D { c: 2 }, "1p5d-c2"));
+    for (shards, partition, ptag) in configs {
+        let base = TrainConfig {
+            model: ModelKind::Gcn,
+            epochs: 4,
+            hidden: 16,
+            lr: 0.02,
+            seed: 3,
+            shards,
+            partition,
+            topology: Topology::Ring,
+            ..TrainConfig::default()
+        };
+        let by_mode = |precision| train_on(&dev, &data, &TrainConfig { precision, ..base.clone() });
+        let ri = by_mode(PrecisionMode::I8);
+        let rh = by_mode(PrecisionMode::HalfGnn);
+        let rf = by_mode(PrecisionMode::Float);
+        let tag = format!("shards={shards}/{ptag}");
+
+        assert_flagged_events_carry_provenance(&tag, &ri);
+        assert_eq!(
+            2 * ri.comms_halo_bytes_per_epoch,
+            rh.comms_halo_bytes_per_epoch,
+            "{tag}: i8 halo must be exactly half the f16 wire"
+        );
+        assert_eq!(
+            2 * ri.comms_allreduce_bytes_per_epoch,
+            rh.comms_allreduce_bytes_per_epoch,
+            "{tag}: i8 all-reduce must be exactly half the f16 wire"
+        );
+        // Float carries 7 unpadded classes where the half pipeline pads
+        // to 8, so the gradient-side wires differ slightly in element
+        // count: 0.25× within 5%, on both halo and all-reduce ledgers.
+        for (kind, i8b, f32b) in [
+            ("halo", ri.comms_halo_bytes_per_epoch, rf.comms_halo_bytes_per_epoch),
+            ("all-reduce", ri.comms_allreduce_bytes_per_epoch, rf.comms_allreduce_bytes_per_epoch),
+        ] {
+            let quad = 4 * i8b;
+            assert!(
+                quad >= f32b && quad * 100 <= f32b * 105,
+                "{tag}: 4×i8 {kind} {quad} vs float {f32b}"
+            );
+        }
+        assert!(ri.comms_halo_bytes_per_epoch > 0, "{tag}: halo must be metered");
+
+        wire_rows.push(WireRow {
+            shards,
+            partition: ptag,
+            i8_halo: ri.comms_halo_bytes_per_epoch,
+            f16_halo: rh.comms_halo_bytes_per_epoch,
+            f32_halo: rf.comms_halo_bytes_per_epoch,
+            i8_allreduce: ri.comms_allreduce_bytes_per_epoch,
+            f16_allreduce: rh.comms_allreduce_bytes_per_epoch,
+            f32_allreduce: rf.comms_allreduce_bytes_per_epoch,
+        });
+    }
+
+    // Gate 4: the tuner's oracle gate. A selected plan re-vets clean
+    // through the same f64-oracle harness the tuner used to pick it; a
+    // stressed quantizer leaves nothing to select.
+    let f = 16usize;
+    let tuner = Tuner::auto(&dev);
+    let plan =
+        tuner.spmm_i8_plan(&data.adj, f, false, 3).expect("the bench graph must tune clean in I8");
+    tuner
+        .vet_spmm_i8(&data.adj, f, false, 3, &plan)
+        .unwrap_or_else(|r| panic!("selected I8 plan must re-vet oracle-clean, got: {r}"));
+    // Stress: bias every scale 6 octaves down — all candidates clamp, the
+    // tuner must select nothing rather than ship a dirty plan.
+    quant::set_exponent_bias(-6);
+    let dirty = tuner.spmm_i8_plan(&data.adj, 8, false, 3);
+    quant::set_exponent_bias(0);
+    assert_eq!(dirty, None, "an oracle-dirty I8 plan must never be selected");
+
+    let accuracy_gap_max =
+        acc_rows.iter().map(|r| (r.f16_accuracy - r.i8_accuracy).abs()).fold(0.0f32, f32::max);
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"pr10_i8_wire_and_kernels\",\n");
+    json.push_str("  \"device\": \"a100_like (modeled)\",\n");
+    json.push_str(&format!(
+        "  \"epsilon\": {EPS},\n  \"accuracy_gap_max\": {accuracy_gap_max:.4},\n  \
+         \"unflagged_saturation_events\": 0,\n  \
+         \"wire_bytes_over_f16\": 0.5,\n  \"wire_bytes_over_float\": \"0.25 within 5%\",\n  \
+         \"tuner_selected_plan_oracle_mismatches\": 0,\n  \
+         \"tuner_dirty_plan_selected\": false,\n"
+    ));
+    json.push_str("  \"accuracy_rows\": [\n");
+    for (i, r) in acc_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"graph\": \"{}\", \"model\": \"{}\", \"f16_test_accuracy\": {:.4}, \
+             \"i8_test_accuracy\": {:.4}, \"quantized\": {}, \"saturated\": {}}}{}\n",
+            r.graph,
+            model_tag(r.model),
+            r.f16_accuracy,
+            r.i8_accuracy,
+            r.quantized,
+            r.saturated,
+            if i + 1 < acc_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"wire_rows\": [\n");
+    for (i, r) in wire_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"shards\": {}, \"partition\": \"{}\", \"i8_halo_bytes\": {}, \
+             \"f16_halo_bytes\": {}, \"f32_halo_bytes\": {}, \"i8_allreduce_bytes\": {}, \
+             \"f16_allreduce_bytes\": {}, \"f32_allreduce_bytes\": {}}}{}\n",
+            r.shards,
+            r.partition,
+            r.i8_halo,
+            r.f16_halo,
+            r.f32_halo,
+            r.i8_allreduce,
+            r.f16_allreduce,
+            r.f32_allreduce,
+            if i + 1 < wire_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_pr10.json", &json).expect("write BENCH_pr10.json");
+    print!("{json}");
+    for r in &acc_rows {
+        eprintln!(
+            "[bench_pr10] {:<2} {:<4} f16 {:.4} -> i8 {:.4}  ({} quantized, {} saturated+flagged)",
+            r.graph,
+            model_tag(r.model),
+            r.f16_accuracy,
+            r.i8_accuracy,
+            r.quantized,
+            r.saturated
+        );
+    }
+    for r in &wire_rows {
+        eprintln!(
+            "[bench_pr10] shards={} {:<10} halo i8/f16/f32 {}/{}/{}  allreduce {}/{}/{}",
+            r.shards,
+            r.partition,
+            r.i8_halo,
+            r.f16_halo,
+            r.f32_halo,
+            r.i8_allreduce,
+            r.f16_allreduce,
+            r.f32_allreduce
+        );
+    }
+    eprintln!("[bench_pr10] tuner: selected plan oracle-clean; stressed quantizer selects none");
+}

@@ -57,6 +57,7 @@ fn precision_tag(p: PrecisionMode) -> &'static str {
         PrecisionMode::HalfGnn => "halfgnn",
         PrecisionMode::HalfNaive => "halfnaive",
         PrecisionMode::HalfGnnNoDiscretize => "nodiscretize",
+        PrecisionMode::I8 => "i8",
     }
 }
 

@@ -239,6 +239,20 @@ impl ExecCtx {
         }
     }
 
+    /// Next captured plan for a quantized SpMM site (replay phase; panics
+    /// on divergence). The second field is `true` when the captured plan
+    /// selected the INT8 kernel and `false` when the tuner fell back to
+    /// the f16 kernel at capture time — the fallback is a legitimate
+    /// captured outcome (the oracle vetoed every quantized candidate), so
+    /// replay must honor it rather than re-tune.
+    pub fn next_spmm_i8_plan(&self) -> (SpmmPlan, bool) {
+        match self.next_plan("spmm_i8") {
+            KernelPlan::SpmmI8(p) => (p, true),
+            KernelPlan::Spmm(p) => (p, false),
+            other => panic!("replay diverged from captured graph: wanted spmm_i8, got {other:?}"),
+        }
+    }
+
     /// Next captured SDDMM plan (replay phase; panics on divergence).
     pub fn next_sddmm_plan(&self) -> SddmmPlan {
         match self.next_plan("sddmm") {

@@ -1,0 +1,150 @@
+//! Exhaustive INT8 quantization validation, mirroring `exhaustive_f16`:
+//! every finite binary16 payload survives quantize → dequantize within
+//! one quantization step at its own block scale (and at representative
+//! coarser scales), and the ±127·2^e saturation boundaries are pinned
+//! value by value — including the non-finite pins.
+
+use halfgnn_half::quant::{self, block_exponent, dequantize, isolated, quantize_sr, BLOCK, QMAX};
+
+const SEED: u64 = 0x51C8_0C0D;
+const SITE: u64 = 0xF00D;
+
+/// Quantize → dequantize at the value's own block scale must land within
+/// one step (2^e) of the input, never saturate, and be deterministic —
+/// for every one of the 2^16 binary16 payloads. Non-finite payloads pin
+/// to the documented codes and are the only flagged events.
+#[test]
+fn exhaustive_round_trip_all_65536_f16_payloads() {
+    let (_, sat) = isolated(|| {
+        for bits in 0..=u16::MAX {
+            let h = halfgnn_half::Half::from_bits(bits);
+            let v = h.to_f32();
+            if !v.is_finite() {
+                continue; // pinned separately below
+            }
+            // The scale this value's own block would choose if it were
+            // the block max: |v| ≤ 127·2^e by construction.
+            let e = block_exponent(v.abs());
+            let q = quantize_sr(v, e, SEED, SITE, bits as u64);
+            let back = dequantize(q, e);
+            let step = (2.0f64).powi(e);
+            assert!(
+                (back as f64 - v as f64).abs() < step,
+                "bits {bits:#06x} (value {v:e}): code {q} at e={e} lands {back:e}, \
+                 more than one step away"
+            );
+            // Purity: the same (seed, site, index) draws the same coin.
+            assert_eq!(q, quantize_sr(v, e, SEED, SITE, bits as u64), "bits {bits:#06x}");
+        }
+    });
+    assert_eq!(sat.saturated, 0, "a value can never saturate its own block scale");
+    assert_eq!(sat.nonfinite_inputs, 0);
+    assert!(sat.quantized >= 2 * 63488, "every finite payload must be observed");
+}
+
+/// The same exhaustive sweep at representative *coarser* block scales —
+/// what a payload sees when it shares a block with a larger magnitude.
+/// The error bound stays one step of the coarser scale and saturation
+/// remains impossible (coarser scales only widen the representable
+/// range).
+#[test]
+fn exhaustive_round_trip_at_coarser_block_scales() {
+    for widen in [1i32, 4, 11] {
+        let (_, sat) = isolated(|| {
+            for bits in (0..=u16::MAX).step_by(7) {
+                let h = halfgnn_half::Half::from_bits(bits);
+                let v = h.to_f32();
+                if !v.is_finite() {
+                    continue;
+                }
+                let e = block_exponent(v.abs()) + widen;
+                let q = quantize_sr(v, e, SEED, SITE, bits as u64);
+                let back = dequantize(q, e);
+                let step = (2.0f64).powi(e);
+                assert!(
+                    (back as f64 - v as f64).abs() < step,
+                    "bits {bits:#06x} at widened e={e}: {back:e} vs {v:e}"
+                );
+            }
+        });
+        assert_eq!(sat.flagged(), 0, "widen {widen}");
+    }
+}
+
+/// Saturation-boundary table at ±127·2^e for representative exponents.
+/// Exactly ±QMAX·2^e is the last clean value (the scaled operand is the
+/// integer 127 — no coin, no clamp); anything whose floor exceeds QMAX
+/// clamps to ±127 and flags provenance.
+#[test]
+fn saturation_boundary_table() {
+    for e in [-10i32, -3, 0, 5] {
+        let step = (2.0f32).powi(e);
+        let cases: &[(f32, i8, bool, &str)] = &[
+            (QMAX as f32 * step, 127, false, "exact +boundary is clean"),
+            (-(QMAX as f32) * step, -127, false, "exact -boundary is clean"),
+            (128.5 * step, 127, true, "floor 128 clamps to +127"),
+            (-128.5 * step, -127, true, "floor -129 clamps to -127"),
+            (200.0 * step, 127, true, "far overrange clamps to +127"),
+            (-200.0 * step, -127, true, "far overrange clamps to -127"),
+        ];
+        for &(v, want, flagged, why) in cases {
+            let (q, sat) = isolated(|| quantize_sr(v, e, SEED, SITE, 0));
+            assert_eq!(q, want, "e={e}: {why}");
+            assert_eq!(sat.saturated > 0, flagged, "e={e}: {why}");
+            assert_eq!(sat.nonfinite_inputs, 0, "e={e}: {why}");
+        }
+    }
+}
+
+/// Non-finite inputs pin deterministically: ±INF to ±127, NaN to 0 — and
+/// every one is flagged as a non-finite quantization, never silently
+/// absorbed.
+#[test]
+fn nonfinite_inputs_pin_and_flag() {
+    let cases: &[(f32, i8)] = &[(f32::INFINITY, 127), (f32::NEG_INFINITY, -127), (f32::NAN, 0)];
+    for &(v, want) in cases {
+        for e in [-8i32, 0, 8] {
+            let (q, sat) = isolated(|| quantize_sr(v, e, SEED, SITE, 3));
+            assert_eq!(q, want, "{v} at e={e}");
+            assert_eq!(sat.nonfinite_inputs, 1, "{v} at e={e} must flag");
+            assert_eq!(sat.saturated, 0, "{v} at e={e}: wrong flag kind");
+        }
+    }
+}
+
+/// `block_exponent` minimality, exhaustively over binary16 magnitudes:
+/// the chosen e satisfies `max_abs ≤ 127·2^e` and `e-1` would not.
+#[test]
+fn exhaustive_block_exponent_is_minimal() {
+    for bits in 0..=u16::MAX {
+        let v = halfgnn_half::Half::from_bits(bits).to_f32();
+        if !v.is_finite() || v <= 0.0 {
+            continue;
+        }
+        let e = block_exponent(v);
+        let m = v as f64;
+        assert!(m <= (QMAX as f64) * (2.0f64).powi(e), "bits {bits:#06x}: e={e} too small");
+        assert!(m > (QMAX as f64) * (2.0f64).powi(e - 1), "bits {bits:#06x}: e={e} not minimal");
+    }
+}
+
+/// `quantize_blocks` partitions its input into [`BLOCK`]-element scale
+/// groups; each group's exponent is its own max-abs's minimal exponent,
+/// so mixing a hub magnitude into one block never coarsens its
+/// neighbors' scales.
+#[test]
+fn block_scales_are_local_to_their_block() {
+    let mut vals = vec![0.25f32; 2 * BLOCK];
+    vals[0] = 1000.0; // hub lives in block 0
+    let (qb, sat) = isolated(|| quant::quantize_blocks(&vals, SEED, SITE, 0));
+    assert_eq!(sat.flagged(), 0);
+    assert_eq!(qb.exps.len(), 2);
+    assert_eq!(qb.exps[0] as i32, block_exponent(1000.0));
+    assert_eq!(qb.exps[1] as i32, block_exponent(0.25), "block 1 must not see the hub");
+    // And the fine block's round-trip is correspondingly tight.
+    let back = qb.dequantize();
+    let fine_step = (2.0f64).powi(qb.exps[1] as i32);
+    for (i, &b) in back.iter().enumerate().skip(BLOCK) {
+        assert!((b as f64 - 0.25).abs() < fine_step, "elem {i}: {b}");
+    }
+}

@@ -1,0 +1,156 @@
+//! Statistical test harness for stochastic rounding.
+//!
+//! Two properties make a lossy dtype trainable and debuggable, and both
+//! are checked here over *keyed deterministic* streams (no test-run
+//! randomness — a failure always reproduces):
+//!
+//! 1. **Unbiasedness**: the mean signed rounding error of a block is
+//!    zero in expectation; an observed mean outside the computed
+//!    `z·step/(2·√n)` confidence band is a bias bug, not bad luck.
+//! 2. **Schedule independence**: quantization is a pure function of
+//!    `(seed, site, index)`, so any partition of the index space over
+//!    any number of workers produces bitwise-identical codes.
+//!
+//! The harness functions are generic over "quantize a slice, give me
+//! back the reconstruction and the step", so future lossy dtypes (i4,
+//! block-f8, …) can reuse the same checks by swapping the closure.
+
+use halfgnn_half::quant::{
+    self, isolated, quantize_blocks, site_key, sr_mean_error_band, QuantizedBlocks, BLOCK,
+};
+use std::thread;
+
+/// Deterministic value stream: reproducible pseudo-values in (-8, 8)
+/// with varied magnitudes, independent of the SR coin stream (different
+/// mixing constant).
+fn keyed_values(n: usize, key: u64) -> Vec<f32> {
+    let mut s = key.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xD1B5);
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let u = ((s >> 40) as f32) / (1u32 << 24) as f32; // [0, 1)
+            (u - 0.5) * 16.0
+        })
+        .collect()
+}
+
+/// Harness check #1: per-block mean signed error within the band.
+///
+/// `quantize` maps a value slice to `(reconstruction, per-block step)`.
+/// The band is `z·step/(2√n)` — SR error is zero-mean with standard
+/// deviation at most `step/2`, so `z = 4.5` makes a false alarm over the
+/// whole suite astronomically unlikely while still catching a bias of a
+/// fraction of a step.
+fn assert_blocks_unbiased(
+    label: &str,
+    values: &[f32],
+    quantize: impl Fn(&[f32]) -> (Vec<f32>, Vec<f64>),
+) {
+    let (back, steps) = quantize(values);
+    assert_eq!(back.len(), values.len(), "{label}: reconstruction length");
+    let z = 4.5;
+    let mut normalized_sum = 0.0f64; // error in units of the block step
+    for (bi, block) in values.chunks(BLOCK).enumerate() {
+        let step = steps[bi];
+        let err: f64 =
+            block.iter().zip(&back[bi * BLOCK..]).map(|(&v, &b)| b as f64 - v as f64).sum::<f64>()
+                / block.len() as f64;
+        let band = sr_mean_error_band(step, block.len(), z);
+        assert!(
+            err.abs() <= band,
+            "{label}: block {bi} mean error {err:e} outside ±{band:e} (step {step:e})"
+        );
+        normalized_sum += err / step * block.len() as f64;
+    }
+    // Aggregate check at unit step: much tighter band, catches a small
+    // systematic bias that hides inside every per-block band.
+    let n = values.len();
+    let global = normalized_sum / n as f64;
+    let band = sr_mean_error_band(1.0, n, z);
+    assert!(global.abs() <= band, "{label}: aggregate bias {global:e} outside ±{band:e}");
+}
+
+/// Harness check #2: partition the index space over `workers` threads;
+/// the concatenated codes must be bitwise the serial result. Cuts are
+/// BLOCK-aligned, so every worker sees whole scale groups — exactly how
+/// the kernels divide wire buffers.
+fn quantize_partitioned(values: &[f32], seed: u64, site: u64, workers: usize) -> QuantizedBlocks {
+    let blocks = values.len().div_ceil(BLOCK);
+    let per_worker = blocks.div_ceil(workers).max(1) * BLOCK;
+    let mut parts: Vec<QuantizedBlocks> = Vec::new();
+    thread::scope(|scope| {
+        let handles: Vec<_> = values
+            .chunks(per_worker)
+            .enumerate()
+            .map(|(w, chunk)| {
+                scope.spawn(move || quantize_blocks(chunk, seed, site, (w * per_worker) as u64))
+            })
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("worker panicked"));
+        }
+    });
+    let mut q = Vec::with_capacity(values.len());
+    let mut exps = Vec::with_capacity(blocks);
+    for p in parts {
+        q.extend(p.q);
+        exps.extend(p.exps);
+    }
+    QuantizedBlocks { q, exps }
+}
+
+#[test]
+fn mean_rounding_error_per_block_is_unbiased() {
+    let site = site_key("sr_stats.unbiased");
+    for (case, key) in [(1u64, 11u64), (2, 22), (3, 33)] {
+        let values = keyed_values(256 * BLOCK, key);
+        assert_blocks_unbiased(&format!("case {case}"), &values, |vals| {
+            let (qb, sat) = isolated(|| quantize_blocks(vals, 0xA11CE ^ case, site, 0));
+            assert!(sat.is_clean(), "case {case}: {sat:?}");
+            let steps = qb.exps.iter().map(|&e| (2.0f64).powi(e as i32)).collect::<Vec<_>>();
+            (qb.dequantize(), steps)
+        });
+    }
+}
+
+/// Nearest rounding (what a *biased* quantizer would do) fails the same
+/// band the SR stream passes — the harness has teeth.
+#[test]
+fn the_confidence_band_rejects_deterministic_nearest_rounding() {
+    let values: Vec<f32> = (0..64 * BLOCK).map(|_| 1.0 + 0.3).collect();
+    // Constant 1.3 at block exponent e: nearest rounding lands every
+    // element on the same side, a full-bias worst case.
+    let e = quant::block_exponent(1.3);
+    let step = (2.0f64).powi(e);
+    let nearest = |v: f32| ((v as f64 / step).round() * step) as f32;
+    let err: f64 =
+        values.iter().map(|&v| nearest(v) as f64 - v as f64).sum::<f64>() / values.len() as f64;
+    let band = sr_mean_error_band(step, values.len(), 4.5);
+    assert!(
+        err.abs() > band,
+        "nearest rounding of a constant stream must show its bias: {err:e} vs ±{band:e}"
+    );
+}
+
+#[test]
+fn identical_seed_site_streams_are_bitwise_reproducible_across_thread_counts() {
+    let site = site_key("sr_stats.threads");
+    let seed = 0xBEEF;
+    let values = keyed_values(97 * BLOCK + 13, 5); // ragged tail on purpose
+    let serial = quantize_blocks(&values, seed, site, 0);
+    // The CI matrix drives this with HALFGNN_THREADS=1 and 4; default
+    // covers both inline.
+    let counts: Vec<usize> = match std::env::var("HALFGNN_THREADS") {
+        Ok(v) => vec![v.parse().expect("HALFGNN_THREADS must be an integer")],
+        Err(_) => vec![1, 4],
+    };
+    for workers in counts {
+        let par = quantize_partitioned(&values, seed, site, workers);
+        assert_eq!(par.q, serial.q, "{workers} workers: codes diverged");
+        assert_eq!(par.exps, serial.exps, "{workers} workers: exponents diverged");
+    }
+    // A different seed really changes the stream (the equality above is
+    // not vacuous).
+    let other = quantize_blocks(&values, seed ^ 1, site, 0);
+    assert_ne!(other.q, serial.q);
+}

@@ -22,7 +22,7 @@
 use crate::common::count_nonfinite;
 use halfgnn_graph::VertexId;
 use halfgnn_half::intrinsics::hadd;
-use halfgnn_half::{overflow, Half};
+use halfgnn_half::{overflow, quant, Half};
 use halfgnn_sim::launch::{commit_all, launch, LaunchParams, WriteList};
 use halfgnn_sim::memory::AddrSpace;
 use halfgnn_sim::{DeviceConfig, KernelStats};
@@ -246,6 +246,182 @@ pub fn allreduce_f16_discretized(
     (out, stats)
 }
 
+/// Quantization stream site for the INT8 halo wire.
+pub const HALO_I8_SITE: &str = "halo_i8";
+/// Quantization stream site for the INT8 gradient all-reduce wire.
+pub const ALLREDUCE_I8_SITE: &str = "allreduce_i8";
+
+/// [`halo_gather_half`] with an INT8 wire: the packed rows are quantized
+/// host-side into [`quant::BLOCK`]-element scale blocks over the *flat
+/// wire buffer* (blocks may straddle rows — this is a wire format, not a
+/// tensor layout), stochastically rounded as a pure function of
+/// `(seed, site, flat wire index)`. The payload is 1 byte/element —
+/// half the f16 wire, a quarter of float. The receiver dequantizes to
+/// f32 (exact power-of-two scales), never back through f16: a code at
+/// +127 under a large exponent could overflow binary16 where the source
+/// value did not.
+pub fn halo_gather_i8(
+    dev: &DeviceConfig,
+    x: &[Half],
+    f: usize,
+    halo: &[VertexId],
+    seed: u64,
+) -> (quant::QuantizedBlocks, KernelStats) {
+    assert!(x.len().is_multiple_of(f.max(1)), "X shape mismatch");
+    let n = halo.len();
+    let rows_per_cta = ROWS_PER_WARP * WARPS_PER_CTA;
+    let num_ctas = n.div_ceil(rows_per_cta).max(1);
+
+    // Host-side pure pre-quantization of the packed wire buffer — on the
+    // caller's thread, so the saturation window sees every element.
+    let mut pack = vec![0f32; n * f];
+    for (i, &src_row) in halo.iter().enumerate() {
+        let src = src_row as usize * f;
+        for (dst, h) in pack[i * f..(i + 1) * f].iter_mut().zip(&x[src..src + f]) {
+            *dst = h.to_f32();
+        }
+    }
+    let wire = quant::quantize_blocks(&pack, seed, quant::site_key(HALO_I8_SITE), 0);
+
+    let mut space = AddrSpace::new();
+    let idx_base = space.alloc(n, 4);
+    let x_base = space.alloc(x.len(), 2);
+    let out_base = space.alloc(n * f, 1);
+
+    let (cta_outs, stats) = launch(
+        dev,
+        "halo_gather_i8",
+        LaunchParams { num_ctas, warps_per_cta: WARPS_PER_CTA },
+        |cta| {
+            let mut writes: WriteList<i8> = WriteList::new();
+            for wi in 0..WARPS_PER_CTA {
+                let lo = (cta.id * WARPS_PER_CTA + wi) * ROWS_PER_WARP;
+                let hi = (lo + ROWS_PER_WARP).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                let mut warp = cta.warp(wi);
+                warp.load_contiguous(idx_base + lo as u64 * 4, hi - lo, 4);
+                // Scattered f16 source rows, half2-cast loads.
+                warp.load_feature_rows(
+                    (lo..hi).map(|i| x_base + halo[i] as u64 * (f as u64 * 2)),
+                    f * 2,
+                    4,
+                );
+                // Quantize (f16 → i8 codes), then fully coalesced 1-byte
+                // stores packed four to a word.
+                warp.convert_ops((((hi - lo) * f) as u64).div_ceil(32).max(1));
+                warp.store_contiguous(out_base + (lo * f) as u64, ((hi - lo) * f).div_ceil(4), 4);
+                for i in lo..hi {
+                    writes.assign(i * f, wire.q[i * f..(i + 1) * f].to_vec());
+                }
+            }
+            writes
+        },
+    );
+
+    let mut codes = vec![0i8; n * f];
+    commit_all(cta_outs, &mut codes);
+    debug_assert_eq!(codes, wire.q);
+    (wire, stats)
+}
+
+/// INT8 all-reduce of `S = partials.len()` shard gradient vectors with
+/// per-bucket shared scales and stochastic rounding — the precision rung
+/// below [`allreduce_f16_discretized`], at 1 byte/element on the wire.
+///
+/// For each `bucket`-sized chunk all shards agree on the exponent of
+/// [`quant::block_exponent`] over the *joint* max magnitude, so every
+/// quantized code is in `[-127, 127]` and saturation is impossible by
+/// construction. Each shard rounds stochastically (coin keyed
+/// `(seed, site, s·n + i)` — bitwise-reproducible across thread and
+/// shard counts), the wire sum accumulates **exactly** in `i32`
+/// (`|Σ| ≤ S·127` — no rounding at all on the wire, unlike the f16
+/// version's half adds), and the result dequantizes by the exact
+/// power-of-two `2^e`. The absolute error per element is bounded by
+/// `S · 2^e` deterministically, and is unbiased in expectation.
+pub fn allreduce_i8_stochastic(
+    dev: &DeviceConfig,
+    partials: &[Vec<f32>],
+    bucket: usize,
+    seed: u64,
+) -> (Vec<f32>, KernelStats) {
+    assert!(!partials.is_empty(), "need at least one shard partial");
+    assert!(bucket > 0, "bucket size must be positive");
+    let n = partials[0].len();
+    for p in partials {
+        assert_eq!(p.len(), n, "shard partial length mismatch");
+    }
+    let num_shards = partials.len();
+    let site = quant::site_key(ALLREDUCE_I8_SITE);
+
+    let mut space = AddrSpace::new();
+    let in_bases: Vec<u64> = partials.iter().map(|p| space.alloc(p.len(), 4)).collect();
+    let wire_base = space.alloc(n, 1);
+    let out_base = space.alloc(n, 4);
+
+    let buckets = n.div_ceil(bucket).max(1);
+    let num_ctas = buckets.div_ceil(WARPS_PER_CTA).max(1);
+
+    let (cta_outs, stats) = launch(
+        dev,
+        "allreduce_i8_sr",
+        LaunchParams { num_ctas, warps_per_cta: WARPS_PER_CTA },
+        |cta| {
+            let mut writes: WriteList<f32> = WriteList::new();
+            for wi in 0..WARPS_PER_CTA {
+                let bi = cta.id * WARPS_PER_CTA + wi;
+                if bi >= buckets {
+                    break;
+                }
+                let lo = bi * bucket;
+                let hi = (lo + bucket).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                let len = hi - lo;
+                let chunks = (len as u64).div_ceil(32);
+                let mut warp = cta.warp(wi);
+
+                // Exponent scan: every shard's chunk is read once in f32.
+                for base in &in_bases {
+                    warp.load_contiguous(base + lo as u64 * 4, len, 4);
+                }
+                warp.float_ops(num_shards as u64 * chunks); // |v| max scan
+                let max_abs = partials
+                    .iter()
+                    .flat_map(|p| p[lo..hi].iter())
+                    .fold(0f32, |m, v| m.max(v.abs()));
+                let e = quant::block_exponent(max_abs);
+                let up = (2.0f64).powi(e);
+
+                // Stochastic quantize + exact i32 accumulation on the
+                // 1-byte wire, shard order.
+                warp.convert_ops(num_shards as u64 * chunks); // f32→i8 SR
+                warp.float_ops((num_shards as u64 - 1) * chunks); // wire adds
+                warp.store_contiguous(wire_base + lo as u64, len.div_ceil(4), 4);
+                let mut acc = vec![0i32; len];
+                for (s, p) in partials.iter().enumerate() {
+                    for (i, (a, &v)) in acc.iter_mut().zip(&p[lo..hi]).enumerate() {
+                        let idx = (s * n + lo + i) as u64;
+                        *a += quant::quantize_sr(v, e, seed, site, idx) as i32;
+                    }
+                }
+
+                // Dequantize: exact power-of-two scale back to f32.
+                warp.convert_ops(chunks);
+                warp.store_contiguous(out_base + lo as u64 * 4, len, 4);
+                writes.assign(lo, acc.iter().map(|&q| (q as f64 * up) as f32).collect());
+            }
+            writes
+        },
+    );
+
+    let mut out = vec![0f32; n];
+    commit_all(cta_outs, &mut out);
+    (out, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,6 +523,79 @@ mod tests {
         for (g, v) in got.iter().zip(&p[0]) {
             assert!((g - v).abs() <= 0.01 * v.abs().max(0.05), "{g} vs {v}");
         }
+    }
+
+    #[test]
+    fn i8_halo_gather_round_trips_within_one_step() {
+        let f = 4;
+        let xf = random_f32(20 * f, 1.0, 4);
+        let xh = f32_slice_to_half(&xf);
+        let halo: Vec<u32> = vec![3, 7, 7, 19, 0];
+        let ((wire, _), summary) =
+            halfgnn_half::quant::isolated(|| halo_gather_i8(&dev(), &xh, f, &halo, 5));
+        assert_eq!(summary.quantized, (halo.len() * f) as u64);
+        assert!(summary.is_clean(), "{:?}", summary.first);
+        let got = wire.dequantize();
+        for (i, &v) in halo.iter().enumerate() {
+            for j in 0..f {
+                let want = xh[v as usize * f + j].to_f64();
+                let step = (2.0f64).powi(wire.exps[(i * f + j) / quant::BLOCK] as i32);
+                assert!(
+                    (got[i * f + j] as f64 - want).abs() < step,
+                    "row {i} col {j}: {} vs {want}",
+                    got[i * f + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn i8_allreduce_error_is_bounded_by_shards_times_step() {
+        let n = 500;
+        let shards: Vec<Vec<f32>> = (0..4).map(|s| random_f32(n, 2.0, 40 + s)).collect();
+        let (got, stats) = allreduce_i8_stochastic(&dev(), &shards, 64, 9);
+        for i in 0..n {
+            let want: f64 = shards.iter().map(|p| p[i] as f64).sum();
+            let bi = i / 64;
+            let lo = bi * 64;
+            let hi = (lo + 64).min(n);
+            let max_abs =
+                shards.iter().flat_map(|p| p[lo..hi].iter()).fold(0f32, |m, v| m.max(v.abs()));
+            let step = (2.0f64).powi(quant::block_exponent(max_abs));
+            assert!(
+                (got[i] as f64 - want).abs() <= shards.len() as f64 * step,
+                "[{i}] got {} want {want} step {step}",
+                got[i]
+            );
+        }
+        assert!(stats.totals.convert_ops > 0, "quantization must be charged");
+    }
+
+    #[test]
+    fn i8_allreduce_cannot_saturate_by_construction() {
+        // The joint-max exponent keeps every scaled magnitude ≤ 127, so
+        // even adversarial hub gradients produce zero saturation events.
+        let n = 128;
+        let shards: Vec<Vec<f32>> = (0..8).map(|_| vec![60000.0f32; n]).collect();
+        let ((got, _), summary) =
+            halfgnn_half::quant::isolated(|| allreduce_i8_stochastic(&dev(), &shards, 64, 1));
+        assert!(summary.is_clean(), "{} saturation events", summary.flagged());
+        for &v in &got {
+            assert!(v.is_finite());
+            assert!((v - 480000.0).abs() / 480000.0 < 7e-2, "got {v}");
+        }
+    }
+
+    #[test]
+    fn i8_allreduce_fast_matches_sim_bitwise() {
+        let shards: Vec<Vec<f32>> = (0..4).map(|s| random_f32(300, 2.0, 50 + s)).collect();
+        let (sim, _) = allreduce_i8_stochastic(&dev(), &shards, 64, 2);
+        let (fast, fs) = allreduce_i8_stochastic(&dev().fast(), &shards, 64, 2);
+        assert_eq!(
+            sim.iter().map(|v| v.to_bits()).collect::<Vec<u32>>(),
+            fast.iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+        );
+        assert_eq!(fs.cycles, 0.0);
     }
 
     #[test]

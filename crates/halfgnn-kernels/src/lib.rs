@@ -34,6 +34,7 @@ pub mod halfgnn_sddmm;
 pub mod halfgnn_spmm;
 pub mod huang;
 pub mod oracle;
+pub mod quant_spmm;
 pub mod reference;
 
 pub use common::{EdgeWeights, Reduce, ScalePlacement, VectorWidth, WriteStrategy};

@@ -25,7 +25,9 @@
 use crate::baseline::cusparse::EdgeWeightsF32;
 use crate::common::{EdgeWeights, Reduce, ScalePlacement, VectorWidth};
 use crate::halfgnn_spmm::SpmmConfig;
-use crate::{baseline, dist, edge_ops, fused, halfgnn_sddmm, halfgnn_spmm, huang, reference};
+use crate::{
+    baseline, dist, edge_ops, fused, halfgnn_sddmm, halfgnn_spmm, huang, quant_spmm, reference,
+};
 use halfgnn_graph::{Coo, Csr};
 use halfgnn_half::Half;
 use halfgnn_sim::{DeviceConfig, KernelStats};
@@ -56,6 +58,13 @@ impl Tolerance {
     /// Default band for f32 kernels.
     pub const fn float_default() -> Tolerance {
         Tolerance::new(1e-5, 1e-5)
+    }
+
+    /// Default band for INT8 quantized kernels: one stochastic-rounding
+    /// step per operand at ~1% block scale granularity, accumulated over
+    /// a short reduction — a ~5% band (Tango trains inside it).
+    pub const fn i8_default() -> Tolerance {
+        Tolerance::new(5e-2, 5e-2)
     }
 
     /// True when `got` is acceptably close to `want`.
@@ -402,6 +411,38 @@ pub fn check_spmm_vertex_parallel(
         &Layout::RowMajor { f, degrees: &degrees },
         tol,
     );
+    (got, stats, report)
+}
+
+/// Oracle for [`quant_spmm::spmm_i8`] (INT8 quantized SpMM). The
+/// reference is the exact f64 product of the *unquantized* operands, so
+/// the report measures the full quantization + accumulation error — what
+/// the tuner gates I8 plan candidates on (alongside the saturation
+/// window; run under [`halfgnn_half::quant::isolated`] to collect both).
+#[allow(clippy::too_many_arguments)]
+pub fn check_spmm_i8(
+    dev: &DeviceConfig,
+    csr: &Csr,
+    w: EdgeWeights<'_>,
+    x: &[Half],
+    f: usize,
+    row_scale: Option<&[Half]>,
+    tiling: crate::common::Tiling,
+    seed: u64,
+    tol: Tolerance,
+) -> (Vec<Half>, KernelStats, DivergenceReport) {
+    let (got, stats) = quant_spmm::spmm_i8(dev, csr, w, x, f, row_scale, tiling, seed);
+    let coo = csr.to_coo();
+    let want = spmm_ref_f64(
+        &coo,
+        &weights_f64(&w, coo.nnz()),
+        &reference::half_to_f64(x),
+        f,
+        row_scale.map(reference::half_to_f64).as_deref(),
+    );
+    let degrees = csr.degrees();
+    let report =
+        compare_half("spmm_i8", &got, &want, &Layout::RowMajor { f, degrees: &degrees }, tol);
     (got, stats, report)
 }
 

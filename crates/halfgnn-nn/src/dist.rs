@@ -101,6 +101,9 @@ pub struct DistCtx {
     /// Per-shard exchange sequence number within the epoch (cache slot
     /// key; the epoch kernel sequence is value-independent).
     seq: RefCell<Vec<usize>>,
+    /// INT8 all-reduce bucket: elements sharing one joint exponent on
+    /// the INT8 gradient wire (`--i8-block`).
+    i8_bucket: usize,
 }
 
 impl DistCtx {
@@ -125,7 +128,17 @@ impl DistCtx {
             cache: RefCell::new(cache),
             timeline: RefCell::new(OverlapTimeline::new(shards)),
             seq: RefCell::new(vec![0; shards]),
+            i8_bucket: ALLREDUCE_BUCKET,
         }
+    }
+
+    /// Override the INT8 all-reduce bucket size (`--i8-block`). The f16
+    /// wire keeps [`ALLREDUCE_BUCKET`] — the knob exists for the INT8
+    /// wire, where the joint-exponent width is the accuracy/overhead
+    /// trade the paper's discretization sweep studies.
+    pub fn with_i8_bucket(mut self, bucket: usize) -> DistCtx {
+        self.i8_bucket = bucket;
+        self
     }
 
     /// Number of simulated devices.
@@ -302,6 +315,31 @@ impl DistCtx {
         wire
     }
 
+    /// [`Self::exchange_halo_half`] for the INT8 wire: the gather
+    /// quantizes the packed remote rows into per-64-element scale-block
+    /// INT8 codes on the sender (deterministic stochastic rounding keyed
+    /// by `seed`), so the wire moves 1 byte/element — half the f16 path,
+    /// a quarter of float. The receiver dequantizes straight to f32; the
+    /// codes never round-trip through f16, because a ±127 code under a
+    /// large block exponent can exceed binary16 range.
+    pub fn exchange_halo_i8(
+        &self,
+        ops: &mut Ops,
+        x: &[Half],
+        f: usize,
+        shard: &Shard,
+        seed: u64,
+    ) -> Vec<f32> {
+        let (wire, stats) = dist_kernels::halo_gather_i8(ops.dev, x, f, &shard.halo, seed);
+        ops.record(stats);
+        if let Some(ctx) = ops.exec {
+            ctx.record_node("halo_gather_i8", &[buf_ref(x)], &[buf_ref(&wire.q)], None);
+        }
+        let bytes: Vec<u8> = wire.q.iter().map(|&c| c as u8).collect();
+        self.charge_halo(shard, &bytes, f, 1);
+        wire.dequantize()
+    }
+
     /// All-reduce per-shard half gradient partials over the f16 wire with
     /// discretized per-bucket scaling, charging the topology's all-reduce
     /// traffic. Returns the reduced gradient in half (the mode's gradient
@@ -323,6 +361,35 @@ impl DistCtx {
         ops.record(stats);
         let n = reduced.len();
         let t = self.ledger.borrow_mut().all_reduce(&self.interconnect, (n * 2) as u64);
+        self.log_allreduce(t);
+        reduced
+    }
+
+    /// [`Self::allreduce_grad_half`] on the INT8 wire: each shard's
+    /// bucket contribution is stochastically rounded to INT8 codes under
+    /// the bucket's joint exponent, the codes sum exactly in i32, and
+    /// the wire moves 1 byte/element.
+    pub fn allreduce_grad_i8(&self, ops: &mut Ops, partials: &[Vec<Half>], seed: u64) -> Vec<Half> {
+        let f32_partials: Vec<Vec<f32>> = partials.iter().map(|p| ops.to_f32(p)).collect();
+        let reduced = self.allreduce_f32_on_i8_wire(ops, &f32_partials, seed);
+        ops.to_half(&reduced)
+    }
+
+    /// [`Self::allreduce_f32_on_f16_wire`] on the INT8 wire (1
+    /// byte/element — half the f16 traffic, a quarter of f32). The joint
+    /// per-bucket exponent covers every shard's contribution, so the
+    /// integer wire sum cannot saturate by construction.
+    pub fn allreduce_f32_on_i8_wire(
+        &self,
+        ops: &mut Ops,
+        partials: &[Vec<f32>],
+        seed: u64,
+    ) -> Vec<f32> {
+        let (reduced, stats) =
+            dist_kernels::allreduce_i8_stochastic(ops.dev, partials, self.i8_bucket, seed);
+        ops.record(stats);
+        let n = reduced.len();
+        let t = self.ledger.borrow_mut().all_reduce(&self.interconnect, n as u64);
         self.log_allreduce(t);
         reduced
     }

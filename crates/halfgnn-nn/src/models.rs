@@ -20,10 +20,10 @@ use halfgnn_exec::{buf_ref, BufRef, ExecCtx};
 use halfgnn_graph::partition::Shard;
 use halfgnn_half::Half;
 use halfgnn_kernels::baseline::cusparse::{self, EdgeWeightsF32};
-use halfgnn_kernels::common::{EdgeWeights, Reduce, ScalePlacement};
+use halfgnn_kernels::common::{EdgeWeights, Reduce, ScalePlacement, Tiling, WriteStrategy};
 use halfgnn_kernels::fused::{self, FusedAttnForward};
-use halfgnn_kernels::halfgnn_spmm;
 use halfgnn_kernels::{baseline::dgl_sddmm, baseline::ge_spmm, edge_ops, halfgnn_sddmm};
+use halfgnn_kernels::{halfgnn_spmm, quant_spmm};
 use halfgnn_sim::KernelStats;
 use halfgnn_tensor::Ops;
 use halfgnn_tune::plan::{AttnPlan, KernelPlan, SddmmPlan};
@@ -56,6 +56,14 @@ pub enum PrecisionMode {
     /// Ablation (§6.1.1): HalfGNN kernels but post-reduction scaling — the
     /// overflow returns.
     HalfGnnNoDiscretize,
+    /// INT8 quantized aggregation and wire: HalfGNN's system with
+    /// per-64-element scale-block INT8 SpMM operands under deterministic
+    /// stochastic rounding, and a 1 byte/element halo + all-reduce wire.
+    /// Quantized plans run only where the f64 oracle is clean; vetoed
+    /// sites fall back to the f16 HalfGNN kernels. SDDMM and the dense
+    /// path stay f16 — the quantization targets the aggregation
+    /// bandwidth, which is where §5's roofline says the bytes are.
+    I8,
 }
 
 impl PrecisionMode {
@@ -69,7 +77,7 @@ impl PrecisionMode {
     /// property of the mode — never a tuning knob.
     fn scaling(self) -> ScalePlacement {
         match self {
-            PrecisionMode::HalfGnn => ScalePlacement::Discretized,
+            PrecisionMode::HalfGnn | PrecisionMode::I8 => ScalePlacement::Discretized,
             PrecisionMode::HalfGnnNoDiscretize => ScalePlacement::PostReduction,
             _ => unreachable!("scaling placement is only for HalfGNN modes"),
         }
@@ -111,12 +119,25 @@ pub struct Dispatch<'t> {
     /// boundaries derived from *global* edge offsets, so their partial
     /// sums shift with batch composition.
     pub force_spmm: Option<SpmmVariant>,
+    /// Seed for INT8 stochastic rounding (`PrecisionMode::I8` only).
+    /// Quantization is a pure function of `(seed, site, index)`; the
+    /// trainer re-keys this per epoch so rounding errors decorrelate
+    /// across steps while every run stays reproducible.
+    pub quant_seed: u64,
 }
 
 impl Dispatch<'static> {
     /// Dispatch with default plans only (`tuning: Off`).
     pub fn untuned(mode: PrecisionMode) -> Dispatch<'static> {
-        Dispatch { mode, tuner: None, fusion: false, dist: None, exec: None, force_spmm: None }
+        Dispatch {
+            mode,
+            tuner: None,
+            fusion: false,
+            dist: None,
+            exec: None,
+            force_spmm: None,
+            quant_seed: 0,
+        }
     }
 }
 
@@ -130,6 +151,7 @@ impl<'t> Dispatch<'t> {
             dist: None,
             exec: None,
             force_spmm: None,
+            quant_seed: 0,
         }
     }
 
@@ -155,6 +177,13 @@ impl<'t> Dispatch<'t> {
     /// (see [`Dispatch::force_spmm`]). `false` restores default routing.
     pub fn with_vertex_parallel_spmm(mut self, on: bool) -> Dispatch<'t> {
         self.force_spmm = on.then_some(SpmmVariant::VertexParallel);
+        self
+    }
+
+    /// Re-key INT8 stochastic rounding (no effect outside
+    /// [`PrecisionMode::I8`]).
+    pub fn with_quant_seed(mut self, seed: u64) -> Dispatch<'t> {
+        self.quant_seed = seed;
         self
     }
 
@@ -209,7 +238,15 @@ impl<'t> Dispatch<'t> {
 
 impl<'t> From<PrecisionMode> for Dispatch<'t> {
     fn from(mode: PrecisionMode) -> Dispatch<'t> {
-        Dispatch { mode, tuner: None, fusion: false, dist: None, exec: None, force_spmm: None }
+        Dispatch {
+            mode,
+            tuner: None,
+            fusion: false,
+            dist: None,
+            exec: None,
+            force_spmm: None,
+            quant_seed: 0,
+        }
     }
 }
 
@@ -430,6 +467,84 @@ fn halfgnn_spmm_planned(
     }
 }
 
+/// The INT8 kernel's untuned geometry: its single vertex-parallel
+/// skeleton at the paper-default group size (candidate #0 of
+/// `spmm_i8_candidates`).
+fn default_i8_plan() -> SpmmPlan {
+    SpmmPlan {
+        variant: SpmmVariant::VertexParallel,
+        writes: WriteStrategy::Staged,
+        edges_per_warp: 64,
+        warps_per_cta: 4,
+    }
+}
+
+/// One windowed INT8 SpMM launch, or its f16 fallback. With a tuner
+/// attached the quantized kernel runs only where the f64 oracle found a
+/// clean (no divergence, no saturation) candidate; a `None` plan means
+/// every candidate was oracle-dirty on this shape and the site must run
+/// the f16 HalfGNN kernel instead. The fallback decision is captured, so
+/// replay never re-tunes a vetoed site back onto the quantized path.
+#[allow(clippy::too_many_arguments)]
+fn spmm_i8_planned(
+    ops: &mut Ops,
+    g: &GraphView,
+    w: EdgeWeights<'_>,
+    x: &[Half],
+    f: usize,
+    row_scale: Option<&[Half]>,
+    d: Dispatch<'_>,
+    win: (usize, usize),
+) -> (Vec<Half>, KernelStats) {
+    let (plan, quantized) = match d.exec {
+        Some(ctx) if ctx.is_replaying() => ctx.next_spmm_i8_plan(),
+        exec => {
+            let resolved = match d.tuner {
+                Some(t) => match t.spmm_i8_plan(&g.csr, f, !w.is_ones(), d.quant_seed) {
+                    Some(p) => (p, true),
+                    None => (SpmmPlan::default(), false),
+                },
+                None => (default_i8_plan(), true),
+            };
+            if let Some(ctx) = exec {
+                ctx.record_plan(match resolved {
+                    (p, true) => KernelPlan::SpmmI8(p),
+                    (p, false) => KernelPlan::Spmm(p),
+                });
+            }
+            resolved
+        }
+    };
+    if quantized {
+        let tiling =
+            Tiling { edges_per_warp: plan.edges_per_warp, warps_per_cta: plan.warps_per_cta };
+        quant_spmm::spmm_i8_window(ops.dev, &g.csr, w, x, f, row_scale, tiling, d.quant_seed, win)
+    } else {
+        // Oracle-vetoed fallback: the f16 kernels with I8's correctness
+        // scaling (discretized — the mode property).
+        let scaling = if row_scale.is_some() { d.mode.scaling() } else { ScalePlacement::None };
+        let mut plan = plan;
+        if let Some(v) = d.force_spmm {
+            plan.variant = v;
+        }
+        match plan.variant {
+            SpmmVariant::EdgeParallel => halfgnn_spmm::spmm_window(
+                ops.dev,
+                &g.coo,
+                w,
+                x,
+                f,
+                row_scale,
+                &plan.to_spmm_config(scaling),
+                win,
+            ),
+            SpmmVariant::VertexParallel => halfgnn_spmm::spmm_vertex_parallel_window(
+                ops.dev, &g.csr, w, x, f, row_scale, scaling, win,
+            ),
+        }
+    }
+}
+
 /// One windowed half SpMM launch under the mode's kernel system.
 #[allow(clippy::too_many_arguments)]
 fn spmm_half_window(
@@ -453,6 +568,7 @@ fn spmm_half_window(
             let scaling = if row_scale.is_some() { d.mode.scaling() } else { ScalePlacement::None };
             halfgnn_spmm_planned(ops, g, w, x, f, row_scale, scaling, d, win)
         }
+        PrecisionMode::I8 => spmm_i8_planned(ops, g, w, x, f, row_scale, d, win),
         PrecisionMode::Float => unreachable!("float path uses the f32 dispatch"),
     }
 }
@@ -483,7 +599,11 @@ fn spmm_half_dispatch(
             y
         }
         Some(ctx) => sharded_rows(ops, ctx, g.n(), f, Half::ZERO, |ops, shard| {
-            ctx.exchange_halo_half(ops, x, f, shard);
+            if d.mode == PrecisionMode::I8 {
+                ctx.exchange_halo_i8(ops, x, f, shard, d.quant_seed);
+            } else {
+                ctx.exchange_halo_half(ops, x, f, shard);
+            }
             let (y, stats) = spmm_half_window(ops, g, w, x, f, row_scale, d, shard.row_range);
             ctx.log_compute(shard.index, stats.time_us);
             ops.record(stats);
@@ -596,7 +716,10 @@ fn sddmm_half_window(
 ) -> (Vec<Half>, KernelStats) {
     match d.mode {
         PrecisionMode::HalfNaive => dgl_sddmm::sddmm_half_window(ops.dev, &g.coo, u, v, f, win),
-        PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => {
+        // I8 keeps SDDMM in f16: the dot products are per-edge (no long
+        // reductions to quantize) and the operands already rode the INT8
+        // halo wire — re-quantizing them buys no bytes.
+        PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize | PrecisionMode::I8 => {
             let plan = match d.exec {
                 Some(ctx) if ctx.is_replaying() => ctx.next_sddmm_plan(),
                 exec => {
@@ -639,7 +762,11 @@ pub fn sddmm_half(
             y
         }
         Some(ctx) => sharded_edges(ops, ctx, g.nnz(), Half::ZERO, |ops, shard| {
-            ctx.exchange_halo_half(ops, v, f, shard);
+            if d.mode == PrecisionMode::I8 {
+                ctx.exchange_halo_i8(ops, v, f, shard, d.quant_seed);
+            } else {
+                ctx.exchange_halo_half(ops, v, f, shard);
+            }
             let (y, stats) = sddmm_half_window(ops, g, u, v, f, d, shard.edge_range);
             ctx.log_compute(shard.index, stats.time_us);
             ops.record(stats);
@@ -925,7 +1052,11 @@ pub fn grad_gemm_half(
                     )
                 })
                 .collect();
-            ctx.allreduce_grad_half(ops, &partials)
+            if d.mode == PrecisionMode::I8 {
+                ctx.allreduce_grad_i8(ops, &partials, d.quant_seed)
+            } else {
+                ctx.allreduce_grad_half(ops, &partials)
+            }
         }
     }
 }
@@ -963,7 +1094,11 @@ pub fn grad_colsum_half(ops: &mut Ops, x: &[Half], c: usize, d: Dispatch<'_>) ->
                     ops.colsum_half(&x[r0 * c..r1 * c], c)
                 })
                 .collect();
-            ctx.allreduce_f32_on_f16_wire(ops, &partials)
+            if d.mode == PrecisionMode::I8 {
+                ctx.allreduce_f32_on_i8_wire(ops, &partials, d.quant_seed)
+            } else {
+                ctx.allreduce_f32_on_f16_wire(ops, &partials)
+            }
         }
     }
 }

@@ -14,9 +14,9 @@ pub use halfgnn_exec::{CaptureRefused, ReplaySummary};
 use halfgnn_graph::datasets::LoadedDataset;
 pub use halfgnn_graph::partition::PartitionStrategy;
 use halfgnn_graph::{DeltaCsr, NeighborSampler, VertexId};
-use halfgnn_half::overflow;
 use halfgnn_half::slice::{f32_slice_to_half, pad_feature_len};
 use halfgnn_half::Half;
+use halfgnn_half::{overflow, quant};
 use halfgnn_sim::interconnect::LinkStat;
 pub use halfgnn_sim::interconnect::Topology;
 use halfgnn_sim::DeviceConfig;
@@ -123,6 +123,12 @@ pub struct TrainConfig {
     /// epoch (`--save-snapshot`), atomically and bit-exactly, in the
     /// [`crate::snapshot::ModelSnapshot`] format `halfgnn-serve` loads.
     pub snapshot_path: Option<String>,
+    /// INT8 all-reduce bucket size override (`--i8-block`): elements
+    /// sharing one joint exponent on the INT8 gradient wire. `None`
+    /// keeps [`crate::dist::ALLREDUCE_BUCKET`]. Requires
+    /// `--precision i8` and a power of two in `[16, 256]` — both checked
+    /// at config time, by name.
+    pub i8_block: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -149,6 +155,7 @@ impl Default for TrainConfig {
             fanout: 10,
             stream_edges: 0,
             snapshot_path: None,
+            i8_block: None,
         }
     }
 }
@@ -183,6 +190,14 @@ pub enum ConfigError {
     /// `--partition 1p5d` with a shard count the replication factor does
     /// not divide: replication groups must tile the shards exactly.
     ReplicationDoesNotDivideShards,
+    /// `--i8-block` without `--precision i8`: the bucket only exists on
+    /// the INT8 wire.
+    QuantBlockWithoutI8,
+    /// `--i8-block` that is zero, not a power of two, or outside
+    /// `[16, 256]`: the joint-exponent bucket must pack the wire evenly,
+    /// and a degenerate bucket either crushes small gradients (too wide)
+    /// or pays an exponent per element (too narrow).
+    BadQuantBlock,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -212,6 +227,12 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ReplicationDoesNotDivideShards => {
                 write!(f, "--partition 1p5d requires --shards divisible by the replication factor")
             }
+            ConfigError::QuantBlockWithoutI8 => {
+                write!(f, "--i8-block requires --precision i8")
+            }
+            ConfigError::BadQuantBlock => {
+                write!(f, "--i8-block must be a power of two between 16 and 256")
+            }
         }
     }
 }
@@ -240,6 +261,14 @@ impl TrainConfig {
         }
         if matches!(&self.snapshot_path, Some(p) if p.is_empty()) {
             return Err(ConfigError::EmptySnapshotPath);
+        }
+        if let Some(b) = self.i8_block {
+            if self.precision != PrecisionMode::I8 {
+                return Err(ConfigError::QuantBlockWithoutI8);
+            }
+            if !b.is_power_of_two() || !(16..=256).contains(&b) {
+                return Err(ConfigError::BadQuantBlock);
+            }
         }
         match self.batch_size {
             Some(0) => return Err(ConfigError::ZeroBatchSize),
@@ -313,6 +342,14 @@ pub struct TrainReport {
     /// overflowed first* when a half run NaNs (Fig. 1c). Clean summaries
     /// when `halfgnn-half/provenance` is off or the run is float.
     pub overflow_per_epoch: Vec<overflow::Summary>,
+    /// Saturation-provenance summary for each epoch: every INT8
+    /// quantization of the step is tracked, and the first flagged one
+    /// (a clamp at ±127·2^e or a non-finite input) carries its site,
+    /// answering *which tensor saturated first* when an I8 run drifts.
+    /// Clean summaries outside `--precision i8` — so "zero unflagged
+    /// saturation events" is checkable: a flagged event always lands
+    /// here.
+    pub saturation_per_epoch: Vec<quant::SatSummary>,
     /// Plan-cache counters when the run tuned ([`Tuning::Auto`]/`Cached`):
     /// hits, misses, and candidate evaluations across the whole run. `None`
     /// under [`Tuning::Off`].
@@ -398,6 +435,16 @@ impl TrainReport {
             .enumerate()
             .find_map(|(ep, s)| s.first.as_ref().map(|ev| (ep, ev)))
     }
+
+    /// The first flagged INT8 quantization of the whole run, as
+    /// `(epoch, event)`. `None` for oracle-clean I8 runs and every
+    /// non-I8 run.
+    pub fn first_saturation(&self) -> Option<(usize, &quant::SatEvent)> {
+        self.saturation_per_epoch
+            .iter()
+            .enumerate()
+            .find_map(|(ep, s)| s.first.as_ref().map(|ev| (ep, ev)))
+    }
 }
 
 /// Train on the standard A100-like device.
@@ -442,6 +489,7 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
     let mut opt = Adam::new(params.num_params(), cfg.lr);
 
     let mut overflow_per_epoch: Vec<overflow::Summary> = Vec::with_capacity(cfg.epochs);
+    let mut saturation_per_epoch: Vec<quant::SatSummary> = Vec::with_capacity(cfg.epochs);
 
     // One tuner for the whole run: plans are per (op, graph-shape, dtype)
     // key, so epoch 0 pays any evaluation cost and later epochs hit the
@@ -460,7 +508,13 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
     // Sharded execution context: partition Â (the graph the kernels run
     // on) and meter every halo exchange / all-reduce against the chosen
     // interconnect. `shards == 1` keeps the single-device dispatch path.
-    let dist = (cfg.shards > 1).then(|| DistCtx::new(&g.csr, cfg.shards, partition, cfg.topology));
+    let dist = (cfg.shards > 1).then(|| {
+        let ctx = DistCtx::new(&g.csr, cfg.shards, partition, cfg.topology);
+        match cfg.i8_block {
+            Some(b) => ctx.with_i8_bucket(b),
+            None => ctx,
+        }
+    });
     // Capture/replay context (`--replay`): epoch 0 records every plan
     // resolution and kernel launch; `seal()` freezes the graph and every
     // later epoch replays it — no tuner lookups, launch overhead stripped.
@@ -486,11 +540,38 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
         let mut ops = Ops::new(dev).with_exec(exec_ctx.as_ref());
         ops.loss_scale = cfg.loss_scale;
         // Track every f32→half conversion of this epoch's step; the first
-        // non-finite one is recorded with its layer/kernel site path.
+        // non-finite one is recorded with its layer/kernel site path. The
+        // quant window does the same for INT8 saturation.
         overflow::begin();
-        let (loss, correct, grad_flat, logits) =
-            run_step(&params, &mut ops, &g, &x, &xh, labels, train_mask, dispatch, cfg);
+        quant::begin();
+        // Re-key INT8 stochastic rounding per epoch: errors decorrelate
+        // across steps, yet the whole run is a pure function of the seed.
+        let (loss, correct, grad_flat, logits) = run_step(
+            &params,
+            &mut ops,
+            &g,
+            &x,
+            &xh,
+            labels,
+            train_mask,
+            dispatch.with_quant_seed(cfg.seed ^ epoch as u64),
+            cfg,
+        );
 
+        let satw = quant::take();
+        if let Some(ev) = &satw.first {
+            if saturation_per_epoch.iter().all(quant::SatSummary::is_clean) {
+                eprintln!(
+                    "[halfgnn-nn] {:?}/{:?}: epoch {epoch}: first INT8 saturation: {ev} \
+                     ({} flagged of {} quantizations this epoch)",
+                    cfg.model,
+                    cfg.precision,
+                    satw.flagged(),
+                    satw.quantized
+                );
+            }
+        }
+        saturation_per_epoch.push(satw);
         let ofw = overflow::take();
         if let Some(ev) = &ofw.first {
             // Log only the run's first overflow: later epochs mostly repeat
@@ -572,6 +653,7 @@ pub fn train_on(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) -> 
         dram_bytes_per_epoch: dram_bytes,
         kernel_breakdown: breakdown,
         overflow_per_epoch,
+        saturation_per_epoch,
         tuning_counters: tuner.as_ref().map(Tuner::counters),
         comms_bytes_per_epoch: comms.total_bytes(),
         comms_halo_bytes_per_epoch: comms.halo_bytes,
@@ -756,6 +838,7 @@ fn train_minibatch(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) 
 
     let mut losses = Vec::with_capacity(cfg.epochs);
     let mut overflow_per_epoch: Vec<overflow::Summary> = Vec::with_capacity(cfg.epochs);
+    let mut saturation_per_epoch: Vec<quant::SatSummary> = Vec::with_capacity(cfg.epochs);
     let mut nan_epoch = None;
     let mut logged_overflow = false;
     let mut epoch_time_us = 0.0;
@@ -787,6 +870,7 @@ fn train_minibatch(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) 
         let mut epoch_loss = 0.0f64;
         let mut epoch_seeds = 0usize;
         let mut epoch_ofw = overflow::Summary::default();
+        let mut epoch_sat = quant::SatSummary::default();
 
         for (b, seeds) in schedule.iter().enumerate() {
             let salt = ((epoch as u64) << 32) | b as u64;
@@ -814,8 +898,19 @@ fn train_minibatch(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) 
             let mask_b: Vec<bool> = (0..sub.n()).map(|i| i < sub.n_seeds).collect();
 
             overflow::begin();
-            let (loss, _correct, grad_flat, _logits) =
-                run_step(&params, &mut ops, &view, &xb, &xbh, &labels_b, &mask_b, dispatch, cfg);
+            quant::begin();
+            let (loss, _correct, grad_flat, _logits) = run_step(
+                &params,
+                &mut ops,
+                &view,
+                &xb,
+                &xbh,
+                &labels_b,
+                &mask_b,
+                dispatch.with_quant_seed(cfg.seed ^ salt),
+                cfg,
+            );
+            merge_saturation(&mut epoch_sat, quant::take());
             let ofw = overflow::take();
             if let Some(ev) = ofw.first.as_ref().filter(|_| !logged_overflow) {
                 // Batch-level provenance: which batch of which epoch the
@@ -846,6 +941,7 @@ fn train_minibatch(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) 
         }
         losses.push((epoch_loss / epoch_seeds.max(1) as f64) as f32);
         overflow_per_epoch.push(epoch_ofw);
+        saturation_per_epoch.push(epoch_sat);
     }
 
     // Post-stream tuner activity: the delta's cache-hit story, measured
@@ -898,6 +994,7 @@ fn train_minibatch(dev: &DeviceConfig, data: &LoadedDataset, cfg: &TrainConfig) 
         dram_bytes_per_epoch: epoch0_log.iter().map(halfgnn_sim::KernelStats::dram_bytes).sum(),
         kernel_breakdown: kernel_breakdown(&epoch0_log),
         overflow_per_epoch,
+        saturation_per_epoch,
         tuning_counters: tuner.as_ref().map(Tuner::counters),
         comms_bytes_per_epoch: 0,
         comms_halo_bytes_per_epoch: 0,
@@ -976,6 +1073,15 @@ fn stream_random_edges(graph: &mut DeltaCsr, count: usize, seed: u64) -> usize {
 /// Merge one batch's overflow window into the epoch summary, keeping the
 /// epoch's first event. (`overflow::Summary` lives in `halfgnn-half`,
 /// which this refactor leaves untouched — hence a free function.)
+fn merge_saturation(acc: &mut quant::SatSummary, s: quant::SatSummary) {
+    acc.quantized += s.quantized;
+    acc.saturated += s.saturated;
+    acc.nonfinite_inputs += s.nonfinite_inputs;
+    if acc.first.is_none() {
+        acc.first = s.first;
+    }
+}
+
 fn merge_overflow(acc: &mut overflow::Summary, s: overflow::Summary) {
     acc.conversions += s.conversions;
     acc.overflows += s.overflows;
@@ -1086,10 +1192,17 @@ fn model_memory_shape(
             let overhead = (m.current() / 4) + (8 << 20);
             m.framework_overhead(overhead);
         }
-        PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize => {
+        PrecisionMode::HalfGnn | PrecisionMode::HalfGnnNoDiscretize | PrecisionMode::I8 => {
             // Staging buffer: 2 entries per CTA of |F| halves (§5.2.3).
             let ctas = e.div_ceil(256).max(1);
             m.alloc("staging_buffer", 2 * ctas * (h + 2), 2);
+            if cfg.precision == PrecisionMode::I8 {
+                // Quantized operand mirror for the widest layer's SpMM
+                // input: 1 B codes plus one i16 exponent per 64-element
+                // scale block.
+                m.alloc("i8_codes", n * h, 1);
+                m.alloc("i8_block_exponents", (n * h).div_ceil(64), 2);
+            }
         }
     }
     m
@@ -1134,6 +1247,40 @@ mod tests {
             f.final_train_accuracy,
             h.final_train_accuracy
         );
+    }
+
+    #[test]
+    fn gcn_i8_tracks_halfgnn_accuracy_with_clean_saturation() {
+        let data = Dataset::cora().load(42);
+        let h = train(&data, &quick_cfg(ModelKind::Gcn, PrecisionMode::HalfGnn, 30));
+        let q = train(&data, &quick_cfg(ModelKind::Gcn, PrecisionMode::I8, 30));
+        assert!(q.nan_epoch.is_none(), "I8 must not NaN");
+        assert!(
+            (h.final_train_accuracy - q.final_train_accuracy).abs() < 0.05,
+            "halfgnn {} vs i8 {}",
+            h.final_train_accuracy,
+            q.final_train_accuracy
+        );
+        // Per-block scales are derived from each block's own max-abs, so
+        // a finite input can never be out of range for its own scale.
+        assert!(q.first_saturation().is_none(), "{:?}", q.first_saturation());
+        let quantized: u64 = q.saturation_per_epoch.iter().map(|s| s.quantized).sum();
+        assert!(quantized > 0, "the I8 run must actually quantize");
+        // The non-I8 run never touches the quantizer.
+        let hq: u64 = h.saturation_per_epoch.iter().map(|s| s.quantized).sum();
+        assert_eq!(hq, 0);
+    }
+
+    #[test]
+    fn i8_runs_are_a_pure_function_of_the_seed() {
+        let data = Dataset::cora().load(42);
+        let a = train(&data, &quick_cfg(ModelKind::Gcn, PrecisionMode::I8, 5));
+        let b = train(&data, &quick_cfg(ModelKind::Gcn, PrecisionMode::I8, 5));
+        assert_eq!(a.losses, b.losses, "identical seeds must replay bitwise");
+        let mut cfg = quick_cfg(ModelKind::Gcn, PrecisionMode::I8, 5);
+        cfg.seed = 7;
+        let c = train(&data, &cfg);
+        assert_ne!(a.losses, c.losses, "the seed must actually reach the rounding");
     }
 
     #[test]
@@ -1724,7 +1871,7 @@ mod minibatch_tests {
         let ok = TrainConfig::default();
         assert_eq!(ok.validate(), Ok(()));
         let one5d = PartitionStrategy::OneP5D { c: 2 };
-        let cases: [(TrainConfig, ConfigError); 8] = [
+        let cases: [(TrainConfig, ConfigError); 12] = [
             (
                 TrainConfig { replay: true, batch_size: Some(64), ..ok.clone() },
                 ConfigError::ReplayWithMiniBatch(CaptureRefused::MiniBatchSchedule),
@@ -1751,9 +1898,29 @@ mod minibatch_tests {
                 TrainConfig { shards: 3, partition: one5d, ..ok.clone() },
                 ConfigError::ReplicationDoesNotDivideShards,
             ),
+            // --i8-block outside i8 mode is named even when the value is
+            // itself bad: the mode mismatch is the root cause.
+            (TrainConfig { i8_block: Some(64), ..ok.clone() }, ConfigError::QuantBlockWithoutI8),
+            (
+                TrainConfig { precision: PrecisionMode::I8, i8_block: Some(48), ..ok.clone() },
+                ConfigError::BadQuantBlock,
+            ),
+            (
+                TrainConfig { precision: PrecisionMode::I8, i8_block: Some(0), ..ok.clone() },
+                ConfigError::BadQuantBlock,
+            ),
+            (
+                TrainConfig { precision: PrecisionMode::I8, i8_block: Some(512), ..ok.clone() },
+                ConfigError::BadQuantBlock,
+            ),
         ];
         for (cfg, want) in cases {
             assert_eq!(cfg.validate(), Err(want));
+        }
+        // Legal i8 block sizes pass in i8 mode.
+        for b in [16usize, 64, 256] {
+            let cfg = TrainConfig { precision: PrecisionMode::I8, i8_block: Some(b), ..ok.clone() };
+            assert_eq!(cfg.validate(), Ok(()), "--i8-block {b}");
         }
         // Legal 1.5D configs pass, and --replication folds into the
         // strategy's factor.

@@ -75,7 +75,9 @@ pub enum ServeConfigError {
     /// `--shards 0` leaves the feature table nowhere.
     ZeroShards,
     /// `--precision halfnaive` / `nodiscretize` are training ablations
-    /// (grad-bearing overflow studies), not serving modes.
+    /// (grad-bearing overflow studies), and `i8` is a training-side
+    /// bandwidth optimization whose stochastic rounding would make
+    /// served logits nondeterministic — none are serving modes.
     TrainingOnlyPrecision,
     /// `--replay` with `--batch-window` > 1: no steady-state kernel
     /// sequence exists to capture.
@@ -107,8 +109,8 @@ impl std::fmt::Display for ServeConfigError {
             ServeConfigError::ZeroShards => write!(f, "--shards must be at least 1"),
             ServeConfigError::TrainingOnlyPrecision => write!(
                 f,
-                "unsupported serving precision: halfnaive and nodiscretize are training \
-                 ablations; --precision must be float|halfgnn"
+                "unsupported serving precision: halfnaive, nodiscretize and i8 are \
+                 training-only modes; --precision must be float|halfgnn"
             ),
             ServeConfigError::ReplayWithDynamicBatch(r) => {
                 write!(f, "--replay requires --batch-window 1 ({r})")
@@ -149,7 +151,10 @@ impl ServeConfig {
         if self.shards == 0 {
             return Err(ServeConfigError::ZeroShards);
         }
-        if matches!(self.precision, PrecisionMode::HalfNaive | PrecisionMode::HalfGnnNoDiscretize) {
+        if matches!(
+            self.precision,
+            PrecisionMode::HalfNaive | PrecisionMode::HalfGnnNoDiscretize | PrecisionMode::I8
+        ) {
             return Err(ServeConfigError::TrainingOnlyPrecision);
         }
         if self.replay && self.batch_window != 1 {
@@ -187,6 +192,10 @@ mod tests {
             ),
             (
                 ServeConfig { precision: PrecisionMode::HalfGnnNoDiscretize, ..base() },
+                ServeConfigError::TrainingOnlyPrecision,
+            ),
+            (
+                ServeConfig { precision: PrecisionMode::I8, ..base() },
                 ServeConfigError::TrainingOnlyPrecision,
             ),
             (

@@ -68,6 +68,31 @@ pub fn spmm_candidates(stats: &DegreeStats) -> Vec<SpmmPlan> {
     out
 }
 
+/// INT8 SpMM plans worth evaluating. The quantized kernel has a single
+/// skeleton (vertex-parallel neighbor groups), so the live knobs are the
+/// group size — which is also the scale-block granularity of the
+/// per-group flush — and the warps per CTA. The paper-default geometry
+/// is always candidate #0.
+pub fn spmm_i8_candidates() -> Vec<SpmmPlan> {
+    let mut out = Vec::new();
+    let mut push = |p: SpmmPlan| {
+        if !out.contains(&p) {
+            out.push(p);
+        }
+    };
+    for &edges_per_warp in &[64usize, 32, 128] {
+        for &warps_per_cta in &[4usize, 2, 8] {
+            push(SpmmPlan {
+                variant: SpmmVariant::VertexParallel,
+                writes: WriteStrategy::Staged,
+                edges_per_warp,
+                warps_per_cta,
+            });
+        }
+    }
+    out
+}
+
 /// SDDMM plans legal for feature width `f`. The default (widest width,
 /// sub-warps on, default tile geometry) is always first.
 ///

@@ -49,14 +49,17 @@ impl OpKind {
     }
 }
 
-/// Element dtype of the dispatch (future-proofing: today every tuned
-/// kernel is half).
+/// Element dtype of the dispatch.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Dtype {
     /// IEEE binary16.
     Half,
     /// IEEE binary32 (baseline kernels; not tuned yet).
     Float,
+    /// INT8 block-quantized with stochastic rounding. Its own slot: an
+    /// I8 plan carries an oracle/saturation verdict that must never alias
+    /// the f16 plan for the same shape.
+    I8,
 }
 
 impl Dtype {
@@ -64,6 +67,7 @@ impl Dtype {
         match self {
             Dtype::Half => "f16",
             Dtype::Float => "f32",
+            Dtype::I8 => "i8",
         }
     }
 
@@ -71,6 +75,7 @@ impl Dtype {
         Some(match s {
             "f16" => Dtype::Half,
             "f32" => Dtype::Float,
+            "i8" => Dtype::I8,
             _ => return None,
         })
     }
@@ -385,6 +390,53 @@ mod tests {
         }
         assert_ne!(base.with_shards(7).encode(), base.with_shards(8).encode());
         assert_ne!(base.with_shards(8).encode(), base.with_shards(9).encode());
+    }
+
+    #[test]
+    fn i8_keys_round_trip_and_never_alias_f16_slots() {
+        let stats = DegreeStats {
+            min: 1,
+            max: 32,
+            mean: 8.0,
+            median: 8,
+            gini: 0.2,
+            top1pct_edge_share: 0.05,
+            cv: 0.5,
+            max_mean_skew: 4.0,
+        };
+        let mk = |dtype| {
+            KernelKey::for_graph(
+                OpKind::SpmmV,
+                dtype,
+                64,
+                1024,
+                8192,
+                &stats,
+                ScalePlacement::Discretized,
+            )
+        };
+        let i8 = mk(Dtype::I8);
+        assert!(i8.encode().contains("/i8/"), "{}", i8.encode());
+        assert_ne!(i8.encode(), mk(Dtype::Half).encode());
+        // Round-trips at bucket boundaries, sharded and partitioned forms.
+        for k in [
+            i8,
+            i8.with_shards(4),
+            i8.with_shards(4).with_partition(PartitionStrategy::OneP5D { c: 2 }),
+            KernelKey { rows_bucket: 9, ..i8 },
+            KernelKey { rows_bucket: 10, ..i8 },
+        ] {
+            assert_eq!(KernelKey::decode(&k.encode()), Some(k), "{k}");
+        }
+        // A legacy 8-part f16 key is untouched by the new dtype tag.
+        let legacy = "spmmv/f16/f64/r10/z13/d3/uni/disc";
+        let k = KernelKey::decode(legacy).expect("legacy keys stay decodable");
+        assert_eq!(k.dtype, Dtype::Half);
+        // An i8-tagged legacy-shaped key decodes with the new dtype.
+        let k = KernelKey::decode("spmmv/i8/f64/r10/z13/d3/uni/disc").expect("i8 8-part");
+        assert_eq!(k.dtype, Dtype::I8);
+        // An unknown dtype tag degrades to a miss, never a panic.
+        assert_eq!(KernelKey::decode("spmmv/i4/f64/r10/z13/d3/uni/disc"), None);
     }
 
     #[test]

@@ -119,6 +119,11 @@ pub struct AttnPlan {
 pub enum KernelPlan {
     /// SpMM (SpMMv / SpMMve) plan.
     Spmm(SpmmPlan),
+    /// INT8 quantized SpMM plan. A distinct variant (not a flag on
+    /// [`KernelPlan::Spmm`]) so the quantized path is explicit in the
+    /// wire form: a cache written by a version without INT8 can never be
+    /// misread as licensing the quantized kernel, and vice versa.
+    SpmmI8(SpmmPlan),
     /// SDDMM plan.
     Sddmm(SddmmPlan),
     /// GAT attention-chain plan (fused vs. unfused).
@@ -129,7 +134,8 @@ impl KernelPlan {
     /// Compact, stable wire form (the JSON value in the plan cache).
     pub fn encode(&self) -> String {
         match self {
-            KernelPlan::Spmm(p) => {
+            KernelPlan::Spmm(p) | KernelPlan::SpmmI8(p) => {
+                let tag = if matches!(self, KernelPlan::SpmmI8(_)) { "spmm_i8" } else { "spmm" };
                 let v = match p.variant {
                     SpmmVariant::EdgeParallel => "edge",
                     SpmmVariant::VertexParallel => "vertex",
@@ -138,7 +144,7 @@ impl KernelPlan {
                     WriteStrategy::Atomic => "atomic",
                     WriteStrategy::Staged => "staged",
                 };
-                format!("spmm:{v}:{w}:{}:{}", p.edges_per_warp, p.warps_per_cta)
+                format!("{tag}:{v}:{w}:{}:{}", p.edges_per_warp, p.warps_per_cta)
             }
             KernelPlan::Sddmm(p) => {
                 let w = match p.width {
@@ -165,7 +171,7 @@ impl KernelPlan {
     pub fn decode(s: &str) -> Option<KernelPlan> {
         let mut it = s.split(':');
         match it.next()? {
-            "spmm" => {
+            tag @ ("spmm" | "spmm_i8") => {
                 let variant = match it.next()? {
                     "edge" => SpmmVariant::EdgeParallel,
                     "vertex" => SpmmVariant::VertexParallel,
@@ -181,7 +187,8 @@ impl KernelPlan {
                 if it.next().is_some() || edges_per_warp == 0 || warps_per_cta == 0 {
                     return None;
                 }
-                Some(KernelPlan::Spmm(SpmmPlan { variant, writes, edges_per_warp, warps_per_cta }))
+                let p = SpmmPlan { variant, writes, edges_per_warp, warps_per_cta };
+                Some(if tag == "spmm_i8" { KernelPlan::SpmmI8(p) } else { KernelPlan::Spmm(p) })
             }
             "sddmm" => {
                 let width = match it.next()? {
@@ -257,6 +264,18 @@ mod tests {
     }
 
     #[test]
+    fn i8_and_f16_spmm_plans_never_alias_on_the_wire() {
+        // Same knobs, different dtype path: the wire forms must differ and
+        // each must decode back to its own variant.
+        let p = SpmmPlan::default();
+        let f16 = KernelPlan::Spmm(p).encode();
+        let i8 = KernelPlan::SpmmI8(p).encode();
+        assert_ne!(f16, i8);
+        assert_eq!(KernelPlan::decode(&f16), Some(KernelPlan::Spmm(p)));
+        assert_eq!(KernelPlan::decode(&i8), Some(KernelPlan::SpmmI8(p)));
+    }
+
+    #[test]
     fn plan_wire_form_round_trips() {
         let plans = [
             KernelPlan::Spmm(SpmmPlan::default()),
@@ -280,6 +299,13 @@ mod tests {
             }),
             KernelPlan::Attn(AttnPlan { fused: true }),
             KernelPlan::Attn(AttnPlan { fused: false }),
+            KernelPlan::SpmmI8(SpmmPlan::default()),
+            KernelPlan::SpmmI8(SpmmPlan {
+                variant: SpmmVariant::VertexParallel,
+                writes: WriteStrategy::Staged,
+                edges_per_warp: 32,
+                warps_per_cta: 8,
+            }),
         ];
         for p in plans {
             assert_eq!(KernelPlan::decode(&p.encode()), Some(p), "{}", p.encode());
@@ -304,6 +330,11 @@ mod tests {
             "attn:maybe",
             "attn:fused:extra",
             "conv2d:3x3",
+            "spmm_i8",
+            "spmm_i8:edge:staged:64",
+            "spmm_i8:edge:staged:0:4",
+            "spmm_i8:edge:staged:64:4:extra",
+            "spmm_i8:diagonal:staged:64:4",
         ] {
             assert_eq!(KernelPlan::decode(bad), None, "{bad:?}");
         }

@@ -27,8 +27,8 @@ use halfgnn_graph::metrics::degree_stats;
 use halfgnn_graph::partition::PartitionStrategy;
 use halfgnn_graph::{Coo, Csr};
 use halfgnn_half::slice::f32_slice_to_half;
-use halfgnn_half::{overflow, Half};
-use halfgnn_kernels::common::{row_scales_mean, EdgeWeights, Reduce, ScalePlacement};
+use halfgnn_half::{overflow, quant, Half};
+use halfgnn_kernels::common::{row_scales_mean, EdgeWeights, Reduce, ScalePlacement, Tiling};
 use halfgnn_kernels::halfgnn_sddmm::sddmm_with_config;
 use halfgnn_kernels::halfgnn_spmm::SpmmConfig;
 use halfgnn_kernels::oracle::{self, Layout, Tolerance};
@@ -49,6 +49,9 @@ pub enum Rejection {
     Divergence(String),
     /// The provenance recorder saw `f32 → half` overflow during the run.
     Overflow(String),
+    /// The INT8 saturation recorder saw a clamp to ±127 or a non-finite
+    /// quantizer input — the quantized analogue of an overflow.
+    Saturation(String),
 }
 
 impl std::fmt::Display for Rejection {
@@ -56,6 +59,7 @@ impl std::fmt::Display for Rejection {
         match self {
             Rejection::Divergence(s) => write!(f, "oracle divergence: {s}"),
             Rejection::Overflow(s) => write!(f, "overflow recorded: {s}"),
+            Rejection::Saturation(s) => write!(f, "saturation recorded: {s}"),
         }
     }
 }
@@ -192,6 +196,50 @@ impl Tuner {
             }
         }
         self.commit(&key, KernelPlan::Spmm(best), evals);
+        best
+    }
+
+    /// Resolve the INT8 SpMM plan for aggregating `f`-wide features over
+    /// this graph, or `None` when **no** candidate survives the oracle +
+    /// overflow + saturation gates. A `None` verdict is deliberately not
+    /// cached: a dirty quantized plan must never become selectable via a
+    /// stale cache entry, and the caller's f16 fallback re-asks cheaply.
+    /// `seed` keys the stochastic-rounding streams the dispatch will run
+    /// with, so the vetted kernel is the deployed kernel bit-for-bit.
+    pub fn spmm_i8_plan(&self, csr: &Csr, f: usize, weighted: bool, seed: u64) -> Option<SpmmPlan> {
+        let stats = degree_stats(csr);
+        let op = if weighted { OpKind::SpmmVe } else { OpKind::SpmmV };
+        let key = KernelKey::for_graph(
+            op,
+            Dtype::I8,
+            f,
+            csr.num_rows(),
+            csr.nnz(),
+            &stats,
+            ScalePlacement::Discretized,
+        )
+        .with_shards(self.shards)
+        .with_partition(self.partition);
+        if let Some(KernelPlan::SpmmI8(p)) = self.cache.borrow_mut().get(&key) {
+            return Some(p);
+        }
+        let eval = EvalGraph::build(self, csr);
+        let mut best: Option<SpmmPlan> = None;
+        let mut best_cycles = f64::INFINITY;
+        let cands = candidates::spmm_i8_candidates();
+        let evals = cands.len() as u64;
+        for plan in cands {
+            if let Ok(cycles) = self.vet_spmm_i8_on(&eval, f, weighted, seed, &plan) {
+                if cycles < best_cycles {
+                    best_cycles = cycles;
+                    best = Some(plan);
+                }
+            }
+        }
+        match best {
+            Some(p) => self.commit(&key, KernelPlan::SpmmI8(p), evals),
+            None => self.cache.borrow_mut().record_evaluations(evals),
+        }
         best
     }
 
@@ -338,6 +386,66 @@ impl Tuner {
             ),
         });
         gate(&report, &summary)?;
+        Ok(stats.cycles)
+    }
+
+    /// Evaluate one INT8 SpMM candidate: run it under the oracle inside
+    /// nested saturation + overflow windows and return its modeled
+    /// cycles, or the first reason it is unsafe. Public so tests can
+    /// probe the quantization gate directly.
+    pub fn vet_spmm_i8(
+        &self,
+        csr: &Csr,
+        f: usize,
+        weighted: bool,
+        seed: u64,
+        plan: &SpmmPlan,
+    ) -> Result<f64, Rejection> {
+        self.vet_spmm_i8_on(&EvalGraph::build(self, csr), f, weighted, seed, plan)
+    }
+
+    fn vet_spmm_i8_on(
+        &self,
+        eval: &EvalGraph,
+        f: usize,
+        weighted: bool,
+        seed: u64,
+        plan: &SpmmPlan,
+    ) -> Result<f64, Rejection> {
+        let x = eval.features(self.seed ^ 1, eval.coo.num_cols() * f);
+        let weights = weighted.then(|| eval.features(self.seed ^ 2, eval.coo.nnz()));
+        let w = match &weights {
+            Some(vals) => EdgeWeights::Values(vals),
+            None => EdgeWeights::Ones,
+        };
+        let row_scale = row_scales_mean(&eval.csr.degrees());
+        let tiling =
+            Tiling { edges_per_warp: plan.edges_per_warp, warps_per_cta: plan.warps_per_cta };
+        let (((_, stats, report), ovf), sat) = quant::isolated(|| {
+            overflow::isolated(|| {
+                oracle::check_spmm_i8(
+                    &self.dev,
+                    &eval.csr,
+                    w,
+                    &x,
+                    f,
+                    Some(&row_scale),
+                    tiling,
+                    seed,
+                    Tolerance::i8_default(),
+                )
+            })
+        });
+        // Saturation first: a clamped quantizer also diverges from the
+        // oracle downstream, and the clamp is the root cause the
+        // rejection should name.
+        if !sat.is_clean() {
+            return Err(Rejection::Saturation(match &sat.first {
+                Some(e) => format!("{e}"),
+                None => format!("{} flagged quantizations", sat.flagged()),
+            }));
+        }
+        gate(&report, &ovf)?;
         Ok(stats.cycles)
     }
 
@@ -514,6 +622,7 @@ mod tests {
         match err {
             Rejection::Divergence(msg) => assert!(msg.contains("NON-FINITE"), "{msg}"),
             Rejection::Overflow(_) => {} // provenance feature path
+            Rejection::Saturation(_) => panic!("f16 vetting cannot saturate INT8"),
         }
         // The same graph under discretized scaling is safe.
         t.vet_spmm(&star_graph(), 2, false, ScalePlacement::Discretized, &SpmmPlan::default())
@@ -639,6 +748,71 @@ mod tests {
         assert_eq!(p1, p2);
         let c = t2.counters();
         assert_eq!((c.hits, c.misses, c.evaluations), (1, 0, 0), "t2 must not re-tune");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn saturation_dirty_i8_plans_are_rejected_and_never_cached() {
+        let t = Tuner::auto(&dev());
+        let g = er_graph();
+        // Bias every quantizer scale 6 octaves too small: well-conditioned
+        // eval features now clamp to ±127 — every candidate is dirty.
+        quant::set_exponent_bias(-6);
+        let err = t
+            .vet_spmm_i8(&g, 8, false, 1, &SpmmPlan::default())
+            .expect_err("a saturating candidate must be rejected");
+        assert!(matches!(err, Rejection::Saturation(_)), "{err}");
+        assert!(err.to_string().contains("saturation"), "{err}");
+        let plan = t.spmm_i8_plan(&g, 8, false, 1);
+        quant::set_exponent_bias(0);
+        assert_eq!(plan, None, "no clean candidate may be selected");
+        assert_eq!(t.cache_len(), 0, "a dirty verdict must never be cached");
+        // With sane scales the same shape tunes clean and caches.
+        let p = t.spmm_i8_plan(&g, 8, false, 1).expect("clean candidates exist");
+        assert_eq!(t.cache_len(), 1);
+        assert_eq!(t.spmm_i8_plan(&g, 8, false, 1), Some(p));
+        assert_eq!(t.counters().hits, 1);
+    }
+
+    #[test]
+    fn i8_saturation_window_does_not_leak_into_the_epoch_window() {
+        // The vet runs inside quant::isolated: an outer training-epoch
+        // saturation window must stay clean however dirty the candidates.
+        let t = Tuner::auto(&dev());
+        let g = er_graph();
+        quant::begin();
+        quant::set_exponent_bias(-6);
+        assert_eq!(t.spmm_i8_plan(&g, 8, false, 2), None);
+        quant::set_exponent_bias(0);
+        let outer = quant::take();
+        assert!(outer.is_clean(), "tuner vetting leaked {} events", outer.flagged());
+        assert_eq!(outer.quantized, 0);
+    }
+
+    #[test]
+    fn i8_plan_round_trips_through_a_cache_file() {
+        let dir = std::env::temp_dir().join("halfgnn-tune-i8-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plans.json");
+        std::fs::remove_file(&path).ok();
+        let g = er_graph();
+
+        let t1 = Tuner::cached(&dev(), &path);
+        let p1 = t1.spmm_i8_plan(&g, 8, false, 7).expect("tunes clean");
+        assert!(path.exists());
+        // The persisted wire form names the quantized path explicitly.
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("/i8/"), "{json}");
+        assert!(json.contains("spmm_i8:"), "{json}");
+
+        let t2 = Tuner::cached(&dev(), &path);
+        let p2 = t2.spmm_i8_plan(&g, 8, false, 7).expect("cache hit");
+        assert_eq!(p1, p2);
+        let c = t2.counters();
+        assert_eq!((c.hits, c.misses, c.evaluations), (1, 0, 0), "t2 must not re-tune");
+        // The i8 slot never aliases the f16 slot for the same shape.
+        t2.spmm_plan(&g, 8, false, ScalePlacement::Discretized);
+        assert_eq!(t2.counters().misses, 1, "f16 resolve must miss, not hit the i8 slot");
         std::fs::remove_file(&path).ok();
     }
 

@@ -58,10 +58,11 @@ fn main() {
                 cfg.precision = match val() {
                     "float" => PrecisionMode::Float,
                     "halfgnn" => PrecisionMode::HalfGnn,
-                    // Training-only ablations reach validate() and die
-                    // with the named ServeConfigError.
+                    // Training-only modes reach validate() and die with
+                    // the named ServeConfigError.
                     "halfnaive" => PrecisionMode::HalfNaive,
                     "nodiscretize" => PrecisionMode::HalfGnnNoDiscretize,
+                    "i8" => PrecisionMode::I8,
                     other => {
                         eprintln!("unknown precision {other}");
                         usage()

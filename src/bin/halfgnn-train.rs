@@ -15,13 +15,13 @@ use std::process::exit;
 fn usage() -> ! {
     eprintln!(
         "usage: halfgnn-train --dataset <id|name> [--model gcn|gat|gin|sage] \
-         [--precision float|halfnaive|halfgnn|nodiscretize] [--epochs N] \
+         [--precision float|halfnaive|halfgnn|nodiscretize|i8] [--epochs N] \
          [--lr F] [--hidden N] [--seed N] [--norm right|left|both] [--gin-lambda F] \
          [--loss-scale F] [--tuning off|auto|cached:<path>] [--fusion] \
          [--shards N] [--topology ring|alltoall] \
          [--partition contiguous|balanced|1p5d] [--replication N] \
          [--replay] [--batch-size N] [--fanout N] [--stream-edges N] \
-         [--save-snapshot PATH]"
+         [--save-snapshot PATH] [--i8-block N]"
     );
     exit(2)
 }
@@ -54,6 +54,7 @@ fn main() {
                     "halfnaive" => PrecisionMode::HalfNaive,
                     "halfgnn" => PrecisionMode::HalfGnn,
                     "nodiscretize" => PrecisionMode::HalfGnnNoDiscretize,
+                    "i8" => PrecisionMode::I8,
                     other => {
                         eprintln!("unknown precision {other}");
                         usage()
@@ -118,6 +119,7 @@ fn main() {
                 }))
             }
             "--save-snapshot" => cfg.snapshot_path = Some(val().to_string()),
+            "--i8-block" => cfg.i8_block = Some(val().parse().unwrap_or_else(|_| usage())),
             "--batch-size" => cfg.batch_size = Some(val().parse().unwrap_or_else(|_| usage())),
             "--fanout" => cfg.fanout = val().parse().unwrap_or_else(|_| usage()),
             "--stream-edges" => cfg.stream_edges = val().parse().unwrap_or_else(|_| usage()),
@@ -258,6 +260,9 @@ fn main() {
     }
     if let Some(p) = &cfg.snapshot_path {
         println!("snapshot       : {p}");
+    }
+    if let Some((ep, ev)) = report.first_saturation() {
+        println!("first INT8 saturation: epoch {ep}: {ev}");
     }
     if let Some(e) = report.nan_epoch {
         println!("loss became NaN at epoch {e} (FP16 overflow -> NaN, see DESIGN.md)");

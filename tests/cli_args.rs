@@ -254,8 +254,9 @@ fn serve_rejects_illegal_configs_with_named_errors() {
         (vec!["--dataset", "cora", "--hops", "1"], "--hops must be at least the model depth"),
         (vec!["--dataset", "cora", "--batch-window", "0"], "--batch-window must be at least 1"),
         (vec!["--dataset", "cora", "--shards", "0"], "--shards must be at least 1"),
-        (vec!["--dataset", "cora", "--precision", "halfnaive"], "training ablations"),
-        (vec!["--dataset", "cora", "--precision", "nodiscretize"], "training ablations"),
+        (vec!["--dataset", "cora", "--precision", "halfnaive"], "training-only modes"),
+        (vec!["--dataset", "cora", "--precision", "nodiscretize"], "training-only modes"),
+        (vec!["--dataset", "cora", "--precision", "i8"], "training-only modes"),
         (
             vec!["--dataset", "cora", "--replay", "--batch-window", "4"],
             "--replay requires --batch-window 1",
@@ -336,6 +337,60 @@ fn serve_usage_lists_the_serving_flags() {
     {
         assert!(err.contains(flag), "serve usage must document {flag}: {err}");
     }
+}
+
+#[test]
+fn i8_precision_trains_but_is_rejected_by_serve_with_a_named_error() {
+    // Training accepts the INT8 wire + kernel mode end-to-end.
+    let out = run(&["--dataset", "cora", "--model", "gcn", "--precision", "i8", "--epochs", "2"]);
+    assert_eq!(out.status.code(), Some(0), "train --precision i8 stderr: {}", stderr(&out));
+
+    // Serving refuses it at config validation: stochastic rounding makes
+    // repeated identical requests non-reproducible.
+    let out = run_serve(&["--dataset", "cora", "--precision", "i8"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("training-only modes"), "must name the rejection class: {err}");
+    assert!(err.contains("i8"), "must name the offending mode: {err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+}
+
+#[test]
+fn i8_block_misuses_are_named_config_errors_not_panics() {
+    for (args, needle) in [
+        // The knob without the mode: the mode mismatch is the root cause.
+        (vec!["--dataset", "cora", "--i8-block", "64"], "--i8-block requires --precision i8"),
+        // Not a power of two.
+        (
+            vec!["--dataset", "cora", "--precision", "i8", "--i8-block", "48"],
+            "--i8-block must be a power of two between 16 and 256",
+        ),
+        // Degenerate and out-of-range buckets.
+        (
+            vec!["--dataset", "cora", "--precision", "i8", "--i8-block", "0"],
+            "--i8-block must be a power of two between 16 and 256",
+        ),
+        (
+            vec!["--dataset", "cora", "--precision", "i8", "--i8-block", "512"],
+            "--i8-block must be a power of two between 16 and 256",
+        ),
+    ] {
+        let out = run(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {}", stderr(&out));
+        let err = stderr(&out);
+        assert!(err.contains("config error"), "{args:?} must die at config time: {err}");
+        assert!(err.contains(needle), "{args:?} missing {needle:?}: {err}");
+        assert!(!err.contains("panicked"), "{args:?} must not panic: {err}");
+    }
+}
+
+#[test]
+fn usage_lists_the_i8_precision_and_block_flag() {
+    let out = run(&["--help"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("i8"), "train usage must document the i8 precision: {err}");
+    assert!(err.contains("--i8-block"), "train usage must document --i8-block: {err}");
 }
 
 #[test]

@@ -15,6 +15,7 @@
 
 use halfgnn::graph::partition::PartitionStrategy;
 use halfgnn::graph::{Csr, VertexId};
+use halfgnn::half::quant;
 use halfgnn::half::slice::f32_slice_to_half;
 use halfgnn::half::Half;
 use halfgnn::kernels::common::Reduce;
@@ -338,6 +339,137 @@ proptest! {
                 if fl.halo_bytes > 0 {
                     prop_assert!(h.total_time_us() < fl.total_time_us());
                 }
+            }
+        }
+    }
+
+    /// The INT8 wire rung below: on the same graph, shard plan and
+    /// feature width — 1D and the 1.5D replication grid alike — the i8
+    /// halo exchange moves exactly half the bytes of the f16 ledger and
+    /// a quarter of the float one, on every sharded config.
+    #[test]
+    fn i8_halo_traffic_is_half_of_f16_and_a_quarter_of_float(
+        (csr, f, feats) in arb_graph()
+    ) {
+        let dev = DeviceConfig::a100_like();
+        let g = GraphView::full(&csr);
+        let xh = f32_slice_to_half(&feats);
+        let mut ops = Ops::new(&dev);
+
+        let mut configs: Vec<(usize, PartitionStrategy)> = Vec::new();
+        for shards in [2usize, 4] {
+            for strategy in strategies() {
+                configs.push((shards, strategy));
+            }
+        }
+        // The c = 2 replication grid: groups share halo fetches, and the
+        // compression ratio must survive the shared-fetch accounting.
+        configs.push((4, PartitionStrategy::OneP5D { c: 2 }));
+
+        for (shards, strategy) in configs {
+            let ctx_i = DistCtx::new(&g.csr, shards, strategy, Topology::Ring);
+            let ctx_h = DistCtx::new(&g.csr, shards, strategy, Topology::Ring);
+            let ctx_f = DistCtx::new(&g.csr, shards, strategy, Topology::Ring);
+            let di = Dispatch::untuned(PrecisionMode::I8)
+                .with_quant_seed(0xA5)
+                .with_dist(Some(&ctx_i));
+            let dh = Dispatch::untuned(PrecisionMode::HalfGnn).with_dist(Some(&ctx_h));
+            let df = Dispatch::untuned(PrecisionMode::Float).with_dist(Some(&ctx_f));
+            spmm_sum_half(&mut ops, &g, &xh, f, di);
+            spmm_sum_half(&mut ops, &g, &xh, f, dh);
+            spmm_sum_f32(&mut ops, &g, &feats, f, df);
+            let (i8s, hs, fs) = (ctx_i.snapshot(), ctx_h.snapshot(), ctx_f.snapshot());
+            prop_assert_eq!(
+                2 * i8s.halo_bytes, hs.halo_bytes,
+                "i8 halo vs f16 (shards={}, {:?})", shards, strategy
+            );
+            prop_assert_eq!(
+                4 * i8s.halo_bytes, fs.halo_bytes,
+                "i8 halo vs float (shards={}, {:?})", shards, strategy
+            );
+        }
+    }
+
+    /// The i8 gradient all-reduce lands inside the *deterministic*
+    /// `shards · 2^e` band of the exact f32-wire reduction (e = the joint
+    /// bucket exponent — computable because the wire sums codes exactly
+    /// in i32), never saturates by construction, and charges exactly half
+    /// the f16 all-reduce bytes and a quarter of the float ones.
+    #[test]
+    fn i8_wire_allreduce_stays_in_band_and_moves_quarter_bytes(
+        (csr, _f, feats) in arb_graph()
+    ) {
+        const BUCKET: usize = 64;
+        let dev = DeviceConfig::a100_like();
+        let mut ops = Ops::new(&dev);
+        // Pad to a multiple of every shard count under test: the ring
+        // all-reduce charges per div_ceil(payload, shards) chunk, so
+        // exact 0.5×/0.25× ratios need an evenly divisible payload.
+        let mut feats = feats;
+        while feats.len() % 4 != 0 {
+            feats.push(0.0);
+        }
+        let n = feats.len();
+
+        for shards in [2usize, 4] {
+            for strategy in strategies() {
+                // Synthetic per-shard partials spanning shard-dependent
+                // magnitudes, derived from the proptest feature pool.
+                let partials: Vec<Vec<f32>> = (0..shards)
+                    .map(|s| {
+                        feats
+                            .iter()
+                            .map(|&v| v * (s + 1) as f32 - s as f32 * 0.25)
+                            .collect()
+                    })
+                    .collect();
+                let exact: Vec<f32> =
+                    (0..n).map(|i| partials.iter().map(|p| p[i]).sum()).collect();
+
+                let ctx_i = DistCtx::new(&csr, shards, strategy, Topology::Ring)
+                    .with_i8_bucket(BUCKET);
+                let ctx_h = DistCtx::new(&csr, shards, strategy, Topology::Ring);
+                let ctx_f = DistCtx::new(&csr, shards, strategy, Topology::Ring);
+
+                let (got, sat) = quant::isolated(|| {
+                    ctx_i.allreduce_f32_on_i8_wire(&mut ops, &partials, 0xD15C)
+                });
+                prop_assert_eq!(
+                    sat.saturated, 0,
+                    "the joint bucket exponent makes saturation impossible"
+                );
+                for (bi, chunk) in exact.chunks(BUCKET).enumerate() {
+                    let lo = bi * BUCKET;
+                    let joint = partials
+                        .iter()
+                        .flat_map(|p| p[lo..lo + chunk.len()].iter())
+                        .fold(0f32, |m, &v| m.max(v.abs()));
+                    let band = shards as f64
+                        * (2.0f64).powi(quant::block_exponent(joint));
+                    for (i, (&g_v, &w_v)) in
+                        got[lo..lo + chunk.len()].iter().zip(chunk).enumerate()
+                    {
+                        prop_assert!(
+                            reference::close(g_v as f64, w_v as f64, 1e-6, band + 1e-6),
+                            "elem {}: i8-wire {} vs f32-wire {} outside ±{band:e} \
+                             (shards={}, {:?})",
+                            lo + i, g_v, w_v, shards, strategy
+                        );
+                    }
+                }
+
+                // Same reduction on the f16 and f32 wires: the i8 ledger
+                // charge is exactly 0.5× / 0.25×.
+                ctx_h.allreduce_f32_on_f16_wire(&mut ops, &partials);
+                ctx_f.charge_allreduce_f32(n);
+                let (b8, b16, b32) = (
+                    ctx_i.snapshot().allreduce_bytes,
+                    ctx_h.snapshot().allreduce_bytes,
+                    ctx_f.snapshot().allreduce_bytes,
+                );
+                prop_assert!(b8 > 0, "all-reduce must be metered");
+                prop_assert_eq!(2 * b8, b16, "i8 vs f16 wire (shards={shards})");
+                prop_assert_eq!(4 * b8, b32, "i8 vs f32 wire (shards={shards})");
             }
         }
     }
